@@ -1,0 +1,96 @@
+// Ablation study of Sparta's §4.3 design choices (beyond the paper's
+// tables): each optimization is switched off in isolation, and segment
+// size / Φ are swept. The "all off" row is exactly pNRA.
+#include "core/sparta.h"
+
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+void RunAblation(const corpus::Dataset& ds) {
+  driver::BenchDriver bench(ds);
+  const auto queries = Take(ds.queries().OfLength(12), 50);
+
+  topk::SearchParams params;
+  params.k = driver::DefaultK();
+  params.delta = driver::DefaultDelta();
+
+  struct Config {
+    std::string label;
+    core::SpartaOptions options;
+  };
+  std::vector<Config> configs;
+  {
+    core::SpartaOptions o;
+    configs.push_back({"Sparta (all opts)", o});
+    o = {};
+    o.lazy_ub_updates = false;
+    configs.push_back({"- lazy UB (eager)", o});
+    o = {};
+    o.cleaner_prunes = false;
+    configs.push_back({"- cleaner pruning", o});
+    o = {};
+    o.term_maps = false;
+    configs.push_back({"- termMap replicas", o});
+    o = {};
+    o.insert_cutoff_at_ubstop = false;
+    o.cleaner_prunes = false;  // cutoff is a precondition of pruning
+    o.term_maps = false;
+    configs.push_back({"- insert cutoff (&dependents)", o});
+    o = {};
+    o.lazy_ub_updates = false;
+    o.cleaner_prunes = false;
+    o.term_maps = false;
+    o.insert_cutoff_at_ubstop = false;
+    configs.push_back({"all off (= pNRA)", o});
+  }
+
+  driver::Table table("Ablation: Sparta optimizations, 12-term, " +
+                          ds.spec().name,
+                      {"configuration", "mean_ms", "p95_ms", "recall"});
+  for (const auto& config : configs) {
+    const core::Sparta algo(config.options);
+    const auto res = bench.MeasureLatency(algo, queries, params,
+                                          driver::kMachineWorkers);
+    table.AddRow({config.label, driver::FormatF(res.MeanMs(), 2),
+                  driver::FormatF(res.P95Ms(), 2),
+                  driver::FormatPct(res.mean_recall)});
+    std::cerr << "  [ablation] " << config.label << " done\n";
+  }
+  Emit(table);
+
+  // Parameter sweeps: segment size and the termMap threshold Φ.
+  driver::Table seg("Ablation: segment size sweep, 12-term, " +
+                        ds.spec().name,
+                    {"seg_size", "mean_ms", "recall"});
+  for (const std::uint32_t s : {64u, 256u, 1024u, 4096u, 16384u}) {
+    auto p = params;
+    p.seg_size = s;
+    const core::Sparta algo;
+    const auto res =
+        bench.MeasureLatency(algo, queries, p, driver::kMachineWorkers);
+    seg.AddRow({std::to_string(s), driver::FormatF(res.MeanMs(), 2),
+                driver::FormatPct(res.mean_recall)});
+  }
+  Emit(seg);
+
+  driver::Table phi("Ablation: termMap threshold Phi sweep, 12-term, " +
+                        ds.spec().name,
+                    {"phi", "mean_ms", "recall"});
+  for (const std::size_t f : {0ul, 1000ul, 10000ul, 100000ul}) {
+    auto p = params;
+    p.phi = f;
+    const core::Sparta algo;
+    const auto res =
+        bench.MeasureLatency(algo, queries, p, driver::kMachineWorkers);
+    phi.AddRow({std::to_string(f), driver::FormatF(res.MeanMs(), 2),
+                driver::FormatPct(res.mean_recall)});
+  }
+  Emit(phi);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::RunAblation(sparta::bench::Cw()); }

@@ -1,0 +1,100 @@
+// Extension: predictive intra-query parallelism (Jeon et al., SIGIR'14
+// — discussed as orthogonal related work in the paper's §6).
+//
+// On a mixed (voice-distribution) workload, compare three worker
+// allocation policies for Sparta-high:
+//   fixed-1      — no intra-query parallelism,
+//   fixed-12     — every query gets the whole machine,
+//   adaptive     — predict expensive queries by their total posting
+//                  volume (Σ df, available from index statistics before
+//                  execution) and give them the machine; cheap queries
+//                  run with few workers.
+// The paper's own Fig. 3h shows Sparta needs only ~2 workers for most of
+// its speedup, so adaptive allocation should match fixed-12's tail
+// latency while using far fewer worker-milliseconds (a throughput
+// proxy).
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+struct PolicyResult {
+  util::Histogram latency;
+  double worker_ms = 0.0;  // Σ latency x workers: resource footprint
+};
+
+PolicyResult RunPolicy(const corpus::Dataset& ds,
+                       std::span<const corpus::Query> queries,
+                       const topk::SearchParams& params,
+                       const std::function<int(const corpus::Query&)>&
+                           workers_for) {
+  driver::BenchDriver bench(ds);
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  PolicyResult result;
+  for (const auto& query : queries) {
+    const int workers = workers_for(query);
+    sim::SimExecutor executor(bench.MakeSimConfig(workers));
+    auto ctx = executor.CreateQuery();
+    const auto res = algo->Run(ds.index(), query, params, *ctx);
+    if (!res.ok()) continue;
+    const auto ns = ctx->end_time() - ctx->start_time();
+    result.latency.Add(ns);
+    result.worker_ms +=
+        static_cast<double>(ns) / 1e6 * static_cast<double>(workers);
+  }
+  return result;
+}
+
+void Run() {
+  const auto& ds = Cw();
+  const auto mix = ds.queries().VoiceMix(
+      static_cast<int>(driver::QueryBudget(300)), /*seed=*/0xADA);
+  topk::SearchParams params;
+  params.k = driver::DefaultK();
+  params.delta = driver::DefaultDelta();
+
+  // Predictor threshold: the median query volume of the mix.
+  std::vector<std::uint64_t> volumes;
+  for (const auto& q : mix) {
+    std::uint64_t v = 0;
+    for (const TermId t : q) v += ds.index().Entry(t).df;
+    volumes.push_back(v);
+  }
+  auto sorted = volumes;
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t median = sorted[sorted.size() / 2];
+
+  driver::Table table("Extension: adaptive intra-query parallelism, cw",
+                      {"policy", "mean_ms", "p95_ms", "p99_ms",
+                       "worker_ms_total"});
+  const auto emit = [&](const char* name, const PolicyResult& r) {
+    table.AddRow({name, driver::FormatF(r.latency.Mean() / 1e6, 2),
+                  driver::FormatF(
+                      static_cast<double>(r.latency.Percentile(95)) / 1e6,
+                      2),
+                  driver::FormatF(
+                      static_cast<double>(r.latency.Percentile(99)) / 1e6,
+                      2),
+                  driver::FormatF(r.worker_ms, 1)});
+  };
+
+  emit("fixed-1", RunPolicy(ds, mix, params,
+                            [](const corpus::Query&) { return 1; }));
+  emit("fixed-12", RunPolicy(ds, mix, params, [](const corpus::Query&) {
+         return driver::kMachineWorkers;
+       }));
+  emit("adaptive",
+       RunPolicy(ds, mix, params, [&](const corpus::Query& q) {
+         std::uint64_t v = 0;
+         for (const TermId t : q) v += ds.index().Entry(t).df;
+         // Expensive queries get the machine; cheap ones two workers
+         // (Fig. 3h: Sparta's speedup saturates early).
+         return v > median ? driver::kMachineWorkers : 2;
+       }));
+  Emit(table);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::Run(); }

@@ -1,0 +1,43 @@
+// Shared scaffolding for the per-table/per-figure benchmark binaries.
+//
+// Datasets are built once and cached under data/ (see corpus/datasets.h);
+// tables are printed to stdout and exported as CSV under results/.
+// Set SPARTA_QUICK=1 for a fast smoke run with reduced query counts.
+#pragma once
+
+#include <iostream>
+#include <span>
+
+#include "baselines/registry.h"
+#include "corpus/datasets.h"
+#include "driver/bench_driver.h"
+#include "driver/experiment.h"
+#include "driver/table.h"
+
+namespace sparta::bench {
+
+inline const corpus::Dataset& Cw() {
+  return corpus::GetDataset(corpus::ClueWebSimSpec());
+}
+
+inline const corpus::Dataset& Cwx10() {
+  return corpus::GetDataset(corpus::ClueWebX10SimSpec());
+}
+
+inline const char* kResultsDir = "results";
+
+inline void Emit(const driver::Table& table) {
+  table.Print(std::cout);
+  if (!table.WriteCsv(kResultsDir)) {
+    std::cerr << "warning: could not write CSV for '" << table.title()
+              << "'\n";
+  }
+}
+
+/// Takes the first `n` (quick-mode-adjusted) queries of a bucket.
+inline std::span<const corpus::Query> Take(
+    const std::vector<corpus::Query>& bucket, std::size_t n) {
+  return {bucket.data(), std::min(driver::QueryBudget(n), bucket.size())};
+}
+
+}  // namespace sparta::bench

@@ -1,0 +1,60 @@
+// Figures 3a-3c: latency scaling with query length for the high-recall
+// variants.
+//   3a: mean latency vs #terms, ClueWeb-sim
+//   3b: 95th-percentile latency vs #terms, ClueWeb-sim
+//   3c: mean latency vs #terms, ClueWebX10-sim
+// Workers per query = number of terms (max parallelism for the TA
+// family), as in the paper.
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+void RunDataset(const corpus::Dataset& ds, bool include_p95) {
+  driver::BenchDriver bench(ds);
+  const auto variants = driver::HighRecallVariants();
+
+  std::vector<std::string> columns = {"terms"};
+  for (const auto& v : variants) columns.push_back(v.label + "_mean");
+  if (include_p95) {
+    for (const auto& v : variants) columns.push_back(v.label + "_p95");
+  }
+  driver::Table table(
+      include_p95 ? "Fig 3a-3b: latency (ms) vs query length, " +
+                        ds.spec().name
+                  : "Fig 3c: mean latency (ms) vs query length, " +
+                        ds.spec().name,
+      columns);
+
+  for (int terms = 1; terms <= 12; ++terms) {
+    const auto queries = Take(ds.queries().OfLength(terms), 100);
+    std::vector<std::string> row = {std::to_string(terms)};
+    std::vector<std::string> p95;
+    for (const auto& variant : variants) {
+      const auto algo = algos::MakeAlgorithm(variant.algorithm);
+      const auto res =
+          bench.MeasureLatency(*algo, queries, variant.params,
+                               driver::WorkersFor(terms),
+                               /*measure_recall=*/false);
+      row.push_back(res.AllOom() ? "N/A"
+                                 : driver::FormatF(res.MeanMs(), 1));
+      if (include_p95) {
+        p95.push_back(res.AllOom() ? "N/A"
+                                   : driver::FormatF(res.P95Ms(), 1));
+      }
+    }
+    row.insert(row.end(), p95.begin(), p95.end());
+    table.AddRow(std::move(row));
+    std::cerr << "  [fig3] " << ds.spec().name << " len " << terms
+              << " done\n";
+  }
+  Emit(table);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() {
+  sparta::bench::RunDataset(sparta::bench::Cw(), /*include_p95=*/true);
+  sparta::bench::RunDataset(sparta::bench::Cwx10(), /*include_p95=*/false);
+}

@@ -1,0 +1,56 @@
+// Figures 3d-3e: Sparta-high against the *low-recall* variants of the
+// state-of-the-art web algorithms (pBMW f=10, pJASS p=0.005) — even with
+// recall sacrificed, neither matches Sparta's latency on long queries,
+// and neither fares well on the large corpus.
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+void RunDataset(const corpus::Dataset& ds, std::string_view fig) {
+  driver::BenchDriver bench(ds);
+
+  std::vector<driver::AlgoVariant> variants;
+  for (const auto& v : driver::HighRecallVariants()) {
+    if (v.algorithm == "Sparta") variants.push_back(v);
+  }
+  for (const auto& v : driver::LowRecallVariants()) variants.push_back(v);
+
+  std::vector<std::string> columns = {"terms"};
+  for (const auto& v : variants) {
+    columns.push_back(v.label + "_mean");
+    columns.push_back(v.label + "_p95");
+  }
+  driver::Table table(std::string(fig) +
+                          ": Sparta-high vs low-recall variants, " +
+                          ds.spec().name,
+                      columns);
+
+  for (int terms = 1; terms <= 12; ++terms) {
+    const auto queries = Take(ds.queries().OfLength(terms), 100);
+    std::vector<std::string> row = {std::to_string(terms)};
+    for (const auto& variant : variants) {
+      const auto algo = algos::MakeAlgorithm(variant.algorithm);
+      const auto res =
+          bench.MeasureLatency(*algo, queries, variant.params,
+                               driver::WorkersFor(terms),
+                               /*measure_recall=*/false);
+      row.push_back(res.AllOom() ? "N/A"
+                                 : driver::FormatF(res.MeanMs(), 1));
+      row.push_back(res.AllOom() ? "N/A"
+                                 : driver::FormatF(res.P95Ms(), 1));
+    }
+    table.AddRow(std::move(row));
+    std::cerr << "  [" << fig << "] " << ds.spec().name << " len " << terms
+              << " done\n";
+  }
+  Emit(table);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() {
+  sparta::bench::RunDataset(sparta::bench::Cw(), "Fig 3d");
+  sparta::bench::RunDataset(sparta::bench::Cwx10(), "Fig 3e");
+}

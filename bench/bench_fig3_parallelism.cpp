@@ -1,0 +1,46 @@
+// Figures 3h-3i: mean latency of 12-term high-recall queries as
+// intra-query parallelism grows from 1 to 12 workers. Expected shapes:
+// Sparta gains most of its speedup by 2 workers; pJASS barely improves
+// (unequal per-term workloads); pBMW's latency is inversely proportional
+// to the worker count (doc-range partitioning).
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+void RunDataset(const corpus::Dataset& ds, std::string_view fig) {
+  driver::BenchDriver bench(ds);
+  const auto queries = Take(ds.queries().OfLength(12), 100);
+  const auto variants = driver::HighRecallVariants();
+
+  std::vector<std::string> columns = {"workers"};
+  for (const auto& v : variants) columns.push_back(v.label);
+  driver::Table table(std::string(fig) +
+                          ": mean latency (ms) vs workers, 12-term, " +
+                          ds.spec().name,
+                      columns);
+
+  for (const int workers : {1, 2, 3, 4, 6, 8, 10, 12}) {
+    std::vector<std::string> row = {std::to_string(workers)};
+    for (const auto& variant : variants) {
+      const auto algo = algos::MakeAlgorithm(variant.algorithm);
+      const auto res = bench.MeasureLatency(*algo, queries, variant.params,
+                                            workers,
+                                            /*measure_recall=*/false);
+      row.push_back(res.AllOom() ? "N/A"
+                                 : driver::FormatF(res.MeanMs(), 1));
+    }
+    table.AddRow(std::move(row));
+    std::cerr << "  [" << fig << "] " << ds.spec().name << " w=" << workers
+              << " done\n";
+  }
+  Emit(table);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() {
+  sparta::bench::RunDataset(sparta::bench::Cw(), "Fig 3h");
+  sparta::bench::RunDataset(sparta::bench::Cwx10(), "Fig 3i");
+}

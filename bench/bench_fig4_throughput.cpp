@@ -1,0 +1,38 @@
+// Figure 4: throughput (qps) vs query length on ClueWeb-sim. All queries
+// in a run have the same length; intra-query parallelism equals the
+// length; the pool of 12 workers is shared FCFS.
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+void Run() {
+  const auto& ds = Cw();
+  driver::BenchDriver bench(ds);
+  const auto variants = driver::HighRecallVariants();
+
+  std::vector<std::string> columns = {"terms"};
+  for (const auto& v : variants) columns.push_back(v.label);
+  driver::Table table("Fig 4: throughput (qps) vs query length, cw",
+                      columns);
+
+  for (int terms = 1; terms <= 12; ++terms) {
+    const auto queries = Take(ds.queries().OfLength(terms), 100);
+    std::vector<std::string> row = {std::to_string(terms)};
+    for (const auto& variant : variants) {
+      const auto algo = algos::MakeAlgorithm(variant.algorithm);
+      const auto res = bench.MeasureThroughput(
+          *algo, queries, variant.params, driver::kMachineWorkers);
+      const bool all_oom = res.oom == res.queries && res.queries > 0;
+      row.push_back(all_oom ? "N/A" : driver::FormatF(res.qps, 1));
+    }
+    table.AddRow(std::move(row));
+    std::cerr << "  [fig4] len " << terms << " done\n";
+  }
+  Emit(table);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::Run(); }

@@ -1,0 +1,119 @@
+// Microbenchmarks (google-benchmark) of the substrate components: heap,
+// striped doc map, posting traversal, sampling, simulator dispatch.
+#include <benchmark/benchmark.h>
+
+#include "corpus/synthetic.h"
+#include "index/builder.h"
+#include "sim/sim_executor.h"
+#include "topk/doc_heap.h"
+#include "topk/doc_map.h"
+#include "topk/oracle.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace sparta {
+namespace {
+
+void BM_TopKHeapInsert(benchmark::State& state) {
+  util::Rng rng(1);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    topk::TopKHeap heap(k);
+    for (int i = 0; i < 10'000; ++i) {
+      heap.Insert({static_cast<Score>(rng.Below(1'000'000)),
+                   static_cast<DocId>(i)});
+    }
+    benchmark::DoNotOptimize(heap.threshold());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_TopKHeapInsert)->Arg(100)->Arg(1000);
+
+void BM_AliasSampler(benchmark::State& state) {
+  const auto weights = util::ZipfMandelbrotWeights(
+      static_cast<std::size_t>(state.range(0)), 1.07, 2.7);
+  const util::AliasSampler sampler(weights);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSampler)->Arg(1'000)->Arg(100'000);
+
+void BM_ImpactTraversal(benchmark::State& state) {
+  corpus::SyntheticCorpusSpec spec;
+  spec.num_docs = 20'000;
+  spec.vocab_size = 5'000;
+  static const auto idx =
+      index::FinalizeIndex(corpus::GenerateRawCorpus(spec));
+  TermId best = 0;
+  for (TermId t = 0; t < idx.num_terms(); ++t) {
+    if (idx.Entry(t).df > idx.Entry(best).df) best = t;
+  }
+  for (auto _ : state) {
+    Score sum = 0;
+    for (const auto& p : idx.Term(best).impact_order) sum += p.score;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(idx.Entry(best).df));
+}
+BENCHMARK(BM_ImpactTraversal);
+
+void BM_ExactOracle(benchmark::State& state) {
+  corpus::SyntheticCorpusSpec spec;
+  spec.num_docs = 20'000;
+  spec.vocab_size = 5'000;
+  static const auto idx =
+      index::FinalizeIndex(corpus::GenerateRawCorpus(spec));
+  std::vector<TermId> terms;
+  for (TermId t = 0; terms.size() < 8 && t < idx.num_terms(); ++t) {
+    if (idx.Entry(t).df > 100) terms.push_back(t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topk::ComputeExactTopK(idx, terms, 100));
+  }
+}
+BENCHMARK(BM_ExactOracle);
+
+void BM_SimDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SimConfig config;
+    config.num_workers = 8;
+    sim::SimExecutor executor(config);
+    auto ctx = executor.CreateQuery();
+    std::atomic<int> count{0};
+    for (int i = 0; i < 1'000; ++i) {
+      ctx->Submit([&count](exec::WorkerContext& w) {
+        w.Charge(100);
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    ctx->RunToCompletion();
+    benchmark::DoNotOptimize(count.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_SimDispatch);
+
+void BM_RandomAccessScore(benchmark::State& state) {
+  corpus::SyntheticCorpusSpec spec;
+  spec.num_docs = 20'000;
+  spec.vocab_size = 5'000;
+  static const auto idx =
+      index::FinalizeIndex(corpus::GenerateRawCorpus(spec));
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto t = static_cast<TermId>(rng.Below(idx.num_terms()));
+    const auto d = static_cast<DocId>(rng.Below(idx.num_docs()));
+    benchmark::DoNotOptimize(idx.RandomAccessScore(t, d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomAccessScore);
+
+}  // namespace
+}  // namespace sparta
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table 2: average query latency (ms) of 12-term queries with the exact
+// algorithms, 12 worker threads, on both corpora. In the paper, pNRA and
+// pJASS crash with OOM on ClueWebX10 (reported N/A); here the memory
+// model reports those cells as OOM.
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+void Run() {
+  const auto variants = driver::ExactVariants();
+  driver::Table table("Table 2: exact algorithms, 12-term queries",
+                      {"dataset", "algorithm", "mean_ms", "p95_ms",
+                       "oom", "queries"});
+
+  for (const corpus::Dataset* ds : {&Cw(), &Cwx10()}) {
+    driver::BenchDriver bench(*ds);
+    const auto queries = Take(ds->queries().OfLength(12), 100);
+    for (const auto& variant : variants) {
+      const auto algo = algos::MakeAlgorithm(variant.algorithm);
+      const auto res =
+          bench.MeasureLatency(*algo, queries, variant.params,
+                               driver::kMachineWorkers,
+                               /*measure_recall=*/false);
+      table.AddRow({ds->spec().name, variant.label,
+                    res.AllOom() ? "N/A" : driver::FormatF(res.MeanMs(), 1),
+                    res.AllOom() ? "N/A" : driver::FormatF(res.P95Ms(), 1),
+                    std::to_string(res.oom), std::to_string(res.queries)});
+      std::cerr << "  [table2] " << ds->spec().name << " " << variant.label
+                << " done\n";
+    }
+  }
+  Emit(table);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::Run(); }

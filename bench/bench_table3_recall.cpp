@@ -1,0 +1,37 @@
+// Table 3: recall of the approximate variants on 12-term queries, both
+// corpora. High-recall variants should land at ~96%+ (that is how the
+// paper selected their parameters); pBMW-low trades ~20% of recall away.
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+void Run() {
+  driver::Table table("Table 3: recall of approximate variants, 12-term",
+                      {"dataset", "variant", "recall", "mean_ms", "oom"});
+
+  for (const corpus::Dataset* ds : {&Cw(), &Cwx10()}) {
+    driver::BenchDriver bench(*ds);
+    const auto queries = Take(ds->queries().OfLength(12), 100);
+    auto variants = driver::HighRecallVariants();
+    for (const auto& v : driver::LowRecallVariants()) variants.push_back(v);
+    for (const auto& variant : variants) {
+      const auto algo = algos::MakeAlgorithm(variant.algorithm);
+      const auto res = bench.MeasureLatency(*algo, queries, variant.params,
+                                            driver::kMachineWorkers);
+      table.AddRow({ds->spec().name, variant.label,
+                    res.AllOom() ? "N/A"
+                                 : driver::FormatPct(res.mean_recall),
+                    res.AllOom() ? "N/A" : driver::FormatF(res.MeanMs(), 1),
+                    std::to_string(res.oom)});
+      std::cerr << "  [table3] " << ds->spec().name << " " << variant.label
+                << " done\n";
+    }
+  }
+  Emit(table);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::Run(); }

@@ -1,0 +1,41 @@
+// Table 4: throughput (queries/second) of the high-recall variants on
+// the production voice-query mix (lengths ~ Gaussian(4.2, 2.96) per Guy
+// [SIGIR'16]), FCFS on a shared pool of 12 workers.
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+void Run() {
+  driver::Table table(
+      "Table 4: throughput (qps) on the voice query mix",
+      {"dataset", "variant", "qps", "recall", "oom"});
+
+  for (const corpus::Dataset* ds : {&Cw(), &Cwx10()}) {
+    driver::BenchDriver bench(*ds);
+    const auto mix = ds->queries().VoiceMix(
+        static_cast<int>(driver::QueryBudget(600)), /*seed=*/0x714);
+    for (const auto& variant : driver::HighRecallVariants()) {
+      // The paper's Table 4 compares Sparta, pRA, pBMW, pJASS.
+      if (variant.algorithm == "pNRA" || variant.algorithm == "sNRA") {
+        continue;
+      }
+      const auto algo = algos::MakeAlgorithm(variant.algorithm);
+      const auto res = bench.MeasureThroughput(*algo, mix, variant.params,
+                                               driver::kMachineWorkers);
+      const bool all_oom = res.oom == res.queries && res.queries > 0;
+      table.AddRow({ds->spec().name, variant.label,
+                    all_oom ? "N/A" : driver::FormatF(res.qps, 2),
+                    all_oom ? "N/A" : driver::FormatPct(res.mean_recall),
+                    std::to_string(res.oom)});
+      std::cerr << "  [table4] " << ds->spec().name << " " << variant.label
+                << " done\n";
+    }
+  }
+  Emit(table);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::Run(); }

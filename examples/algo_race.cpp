@@ -1,0 +1,74 @@
+// Algorithm race: one query, every algorithm, side by side — on both the
+// simulated 12-core machine (deterministic virtual time) and real
+// threads (wall-clock). Useful for getting a feel for how the two
+// execution backends relate.
+//
+//   $ ./algo_race [terms] [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/registry.h"
+#include "corpus/query_log.h"
+#include "corpus/synthetic.h"
+#include "exec/threaded_executor.h"
+#include "index/builder.h"
+#include "sim/sim_executor.h"
+#include "topk/oracle.h"
+#include "topk/recall.h"
+
+int main(int argc, char** argv) {
+  using namespace sparta;
+
+  const std::size_t terms = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 100;
+
+  corpus::SyntheticCorpusSpec spec;
+  spec.num_docs = 50'000;
+  spec.vocab_size = 20'000;
+  spec.seed = 0xACE;
+  std::printf("building a %u-document corpus...\n", spec.num_docs);
+  const auto idx = index::FinalizeIndex(corpus::GenerateRawCorpus(spec));
+
+  corpus::QueryLogSpec qs;
+  qs.alpha = 1.0;
+  qs.min_df = 32;
+  qs.queries_per_length = 1;
+  const corpus::QueryLog log(idx, qs, &spec);
+  const auto& query = log.OfLength(static_cast<int>(terms))[0];
+  const auto oracle = topk::ComputeExactTopK(idx, query, k);
+
+  const int workers = static_cast<int>(terms);
+  std::printf("\n%zu-term query, k=%d, %d workers\n", terms, k, workers);
+  std::printf("%-10s | %12s %9s | %12s %9s | %10s\n", "algorithm",
+              "sim_ms", "recall", "real_ms", "recall", "postings");
+
+  for (const auto name : algos::AllAlgorithms()) {
+    const auto algo = algos::MakeAlgorithm(name);
+    topk::SearchParams params;
+    params.k = k;
+
+    sim::SimConfig config;
+    config.num_workers = workers;
+    sim::SimExecutor sim_exec(config);
+    auto sim_ctx = sim_exec.CreateQuery();
+    const auto sim_res = algo->Run(idx, query, params, *sim_ctx);
+    const double sim_ms =
+        static_cast<double>(sim_ctx->end_time() - sim_ctx->start_time()) /
+        1e6;
+
+    exec::ThreadedExecutor thr_exec({.num_workers = workers});
+    auto thr_ctx = thr_exec.CreateQuery();
+    const auto thr_res = algo->Run(idx, query, params, *thr_ctx);
+    const double thr_ms =
+        static_cast<double>(thr_ctx->end_time() - thr_ctx->start_time()) /
+        1e6;
+
+    std::printf("%-10s | %12.3f %8.1f%% | %12.3f %8.1f%% | %10llu\n",
+                std::string(name).c_str(), sim_ms,
+                topk::Recall(oracle, sim_res.entries) * 100.0, thr_ms,
+                topk::Recall(oracle, thr_res.entries) * 100.0,
+                static_cast<unsigned long long>(
+                    sim_res.stats.postings_processed));
+  }
+  return 0;
+}

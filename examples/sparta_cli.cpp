@@ -1,0 +1,170 @@
+// sparta_cli — build indexes from text and serve top-k queries from the
+// command line.
+//
+//   sparta_cli build <docs.txt> <index-prefix>
+//       One document per line; writes <prefix>.idx and <prefix>.vocab.
+//   sparta_cli gen <num_docs> <docs.txt>
+//       Generates a synthetic web-like text corpus.
+//   sparta_cli stats <index-prefix>
+//   sparta_cli query <index-prefix> "<terms ...>" [k] [algo] [threads]
+//       algo in {Sparta, pBMW, pJASS, pRA, sNRA, pNRA, BMW, WAND,
+//       MaxScore, JASS, TA-RA, TA-NRA}; default Sparta.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "baselines/registry.h"
+#include "corpus/synthetic.h"
+#include "exec/threaded_executor.h"
+#include "index/builder.h"
+#include "index/compression.h"
+#include "index/disk_format.h"
+
+namespace {
+
+using namespace sparta;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sparta_cli gen <num_docs> <docs.txt>\n"
+               "  sparta_cli build <docs.txt> <index-prefix>\n"
+               "  sparta_cli stats <index-prefix>\n"
+               "  sparta_cli query <index-prefix> \"<terms>\" "
+               "[k] [algo] [threads]\n");
+  return 2;
+}
+
+int Gen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  corpus::SyntheticCorpusSpec spec;
+  spec.num_docs = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  spec.vocab_size = std::max(500u, spec.num_docs / 3);
+  const auto docs = corpus::GenerateTextCorpus(spec);
+  std::ofstream out(argv[3]);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  for (const auto& doc : docs) out << doc << '\n';
+  std::printf("wrote %zu documents to %s\n", docs.size(), argv[3]);
+  return 0;
+}
+
+int Build(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  index::IndexBuilder builder;
+  std::string line;
+  while (std::getline(in, line)) builder.AddDocument(line);
+  const std::string prefix = argv[3];
+  if (!builder.vocabulary().SaveToFile(prefix + ".vocab")) {
+    std::fprintf(stderr, "cannot write %s.vocab\n", prefix.c_str());
+    return 1;
+  }
+  const auto idx = builder.Build();
+  if (!index::SaveIndex(idx, prefix + ".idx")) {
+    std::fprintf(stderr, "cannot write %s.idx\n", prefix.c_str());
+    return 1;
+  }
+  std::printf("indexed %u docs, %u terms, %llu postings -> %s.idx\n",
+              idx.num_docs(), idx.num_terms(),
+              static_cast<unsigned long long>(idx.total_postings()),
+              prefix.c_str());
+  return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string prefix = argv[2];
+  const auto idx = index::LoadIndex(prefix + ".idx");
+  if (!idx) {
+    std::fprintf(stderr, "cannot load %s.idx\n", prefix.c_str());
+    return 1;
+  }
+  std::printf("documents: %u\nterms: %u\npostings: %llu\n"
+              "avg doc length: %.1f\nindex bytes: %llu\n",
+              idx->num_docs(), idx->num_terms(),
+              static_cast<unsigned long long>(idx->total_postings()),
+              idx->avg_doc_len(),
+              static_cast<unsigned long long>(idx->SizeBytes()));
+  const auto report = index::MeasureIndexCompression(*idx);
+  std::printf("varint-compressible to: doc-order %.0f%%, impact %.0f%%\n",
+              report.DocOrderRatio() * 100.0,
+              report.ImpactOrderRatio() * 100.0);
+  return 0;
+}
+
+int Query(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string prefix = argv[2];
+  auto idx = index::LoadIndex(prefix + ".idx");
+  auto vocab = text::Vocabulary::LoadFromFile(prefix + ".vocab");
+  if (!idx || !vocab) {
+    std::fprintf(stderr, "cannot load %s.{idx,vocab}\n", prefix.c_str());
+    return 1;
+  }
+  const int k = argc > 4 ? std::atoi(argv[4]) : 10;
+  const std::string algo_name = argc > 5 ? argv[5] : "Sparta";
+  const auto algo = algos::MakeAlgorithm(algo_name);
+  if (algo == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
+    return 1;
+  }
+
+  const text::Tokenizer tokenizer;
+  std::vector<TermId> terms;
+  for (const auto& token : tokenizer.Tokenize(argv[3])) {
+    if (const auto t = vocab->Lookup(token)) {
+      terms.push_back(*t);
+    } else {
+      std::fprintf(stderr, "(term '%s' not in index, skipped)\n",
+                   token.c_str());
+    }
+  }
+  if (terms.empty()) {
+    std::fprintf(stderr, "no query terms matched the index\n");
+    return 1;
+  }
+  const int threads = argc > 6 ? std::atoi(argv[6])
+                               : static_cast<int>(terms.size());
+
+  exec::ThreadedExecutor executor({.num_workers = std::max(1, threads)});
+  auto ctx = executor.CreateQuery();
+  topk::SearchParams params;
+  params.k = std::max(1, k);
+  const auto result = algo->Run(*idx, terms, params, *ctx);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query aborted (out of memory budget)\n");
+    return 1;
+  }
+  std::printf("%s: %zu results in %.2f ms (%llu postings)\n",
+              algo_name.c_str(), result.entries.size(),
+              static_cast<double>(ctx->end_time() - ctx->start_time()) /
+                  1e6,
+              static_cast<unsigned long long>(
+                  result.stats.postings_processed));
+  for (std::size_t i = 0; i < result.entries.size(); ++i) {
+    std::printf("%3zu. doc %-10u score %.4f\n", i + 1,
+                result.entries[i].doc,
+                static_cast<double>(result.entries[i].score) / 1e6);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return Gen(argc, argv);
+  if (cmd == "build") return Build(argc, argv);
+  if (cmd == "stats") return Stats(argc, argv);
+  if (cmd == "query") return Query(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Plot the benchmark CSVs produced by run_benches.sh.
+
+Usage:  python3 results/plot_results.py [results_dir] [out_dir]
+
+Requires matplotlib (not needed to *run* the benchmarks, only to plot).
+Produces one PNG per figure-style CSV, mirroring the paper's plots:
+latency-vs-terms (Figs 3a-3e), recall-over-time (3f-3g),
+latency-vs-workers (3h-3i), throughput-vs-terms (Fig 4).
+"""
+import csv
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def numeric(cell):
+    try:
+        return float(cell.rstrip("%"))
+    except ValueError:
+        return None
+
+
+def plot_series(path, out_dir, logy):
+    import matplotlib.pyplot as plt
+
+    header, rows = load(path)
+    x = [numeric(r[0]) for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for col in range(1, len(header)):
+        y = [numeric(r[col]) for r in rows]
+        pts = [(a, b) for a, b in zip(x, y) if a is not None and b is not None]
+        if not pts:
+            continue
+        ax.plot(*zip(*pts), marker="o", markersize=3, label=header[col])
+    if logy:
+        ax.set_yscale("log")
+    ax.set_xlabel(header[0])
+    ax.set_title(path.stem.replace("_", " "))
+    ax.legend(fontsize=7)
+    ax.grid(alpha=0.3)
+    out = out_dir / (path.stem + ".png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
+def main():
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    out_dir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else results)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    plotted = 0
+    for path in sorted(results.glob("*.csv")):
+        name = path.stem
+        if name.startswith("fig_3f") or name.startswith("fig_3g"):
+            plot_series(path, out_dir, logy=False)
+        elif name.startswith(("fig_3", "fig_4", "extension")):
+            plot_series(path, out_dir, logy=True)
+        else:
+            continue  # tables stay tabular
+        plotted += 1
+    if plotted == 0:
+        print("no figure CSVs found; run ./run_benches.sh first",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

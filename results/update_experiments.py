@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Splices the verbatim bench_output.txt into EXPERIMENTS.md's
+"Measured output" code block. Run after ./run_benches.sh."""
+import pathlib
+import re
+import sys
+
+root = pathlib.Path(__file__).resolve().parent.parent
+experiments = root / "EXPERIMENTS.md"
+bench = root / "bench_output.txt"
+
+text = experiments.read_text()
+output = bench.read_text().rstrip()
+
+pattern = re.compile(
+    r"(## Measured output\n.*?```\n).*?(\n```)", re.DOTALL)
+replaced, n = pattern.subn(
+    lambda m: m.group(1) + output + m.group(2), text)
+if n != 1:
+    print("could not locate the Measured output block", file=sys.stderr)
+    sys.exit(1)
+experiments.write_text(replaced)
+print(f"spliced {len(output.splitlines())} lines into EXPERIMENTS.md")

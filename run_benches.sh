@@ -1,0 +1,17 @@
+#!/bin/bash
+# Runs every benchmark binary, teeing output to bench_output.txt.
+cd "$(dirname "$0")"
+set -o pipefail
+{
+  for b in build/bench/bench_table2_exact build/bench/bench_table3_recall \
+           build/bench/bench_table4_throughput build/bench/bench_fig3_latency \
+           build/bench/bench_fig3_lowrecall build/bench/bench_fig3_dynamics \
+           build/bench/bench_fig3_parallelism build/bench/bench_fig4_throughput \
+           build/bench/bench_ablation_sparta build/bench/bench_extensions build/bench/bench_adaptive; do
+    echo "===== $b ====="
+    $b || echo "BENCH FAILED: $b"
+  done
+  echo "===== build/bench/bench_micro ====="
+  build/bench/bench_micro --benchmark_min_time=0.2 || echo "BENCH FAILED: micro"
+} 2>bench_stderr.log | tee bench_output.txt
+echo DONE_ALL >> bench_output.txt

@@ -1,0 +1,222 @@
+#include "baselines/bmw.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/cursor.h"
+
+namespace sparta::algos {
+namespace {
+
+using exec::WorkerContext;
+
+/// Promotes the slower of (local, global) threshold to the faster one —
+/// the pBMW Θ-sharing rule: "Thread T periodically compares Θ to its
+/// local Θ_T and promotes the smaller of the two to max(Θ_T, Θ)".
+Score SyncTheta(std::atomic<Score>* shared, Score local,
+                WorkerContext& w) {
+  if (shared == nullptr) return local;
+  w.SharedAccess(shared, exec::AccessKind::kRead);
+  Score global = shared->load(std::memory_order_relaxed);
+  if (local > global) {
+    while (global < local &&
+           !shared->compare_exchange_weak(global, local,
+                                          std::memory_order_relaxed)) {
+    }
+    w.SharedAccess(shared, exec::AccessKind::kWrite);
+    return local;
+  }
+  return global;
+}
+
+}  // namespace
+
+void BmwScan(const index::InvertedIndex& idx, std::span<const TermId> terms,
+             topk::TopKHeap& heap, const BmwScanParams& params,
+             WorkerContext& w, BmwScanStats& stats) {
+  SPARTA_CHECK(params.f >= 1.0);
+  const std::size_t m = terms.size();
+  SPARTA_CHECK(m >= 1);
+
+  std::vector<DocOrderCursor> cursors;
+  cursors.reserve(m);
+  for (const TermId t : terms) cursors.emplace_back(idx, t);
+  for (auto& c : cursors) {
+    if (params.range_begin > 0) {
+      c.NextGEQ(params.range_begin, w);
+    } else {
+      c.Prime(w);
+    }
+  }
+
+  // Sorted-by-docid view over the cursors (WAND's pivoting order).
+  std::vector<DocOrderCursor*> order;
+  order.reserve(m);
+  for (auto& c : cursors) order.push_back(&c);
+
+  // Local threshold Θ_T: at least the local heap's Θ, possibly promoted
+  // from the shared one.
+  Score theta_local = heap.threshold();
+  std::uint32_t since_sync = 0;
+
+  auto advances = [&] {
+    std::uint64_t sum = 0;
+    for (const auto& c : cursors) sum += c.position();
+    return sum;
+  };
+  const std::uint64_t start_positions = advances();
+
+  for (;;) {
+    std::sort(order.begin(), order.end(),
+              [](const DocOrderCursor* a, const DocOrderCursor* b) {
+                return a->doc() < b->doc();
+              });
+    // Pivot bookkeeping: cursor sort + prefix-bound scan over m cursors.
+    w.Charge(static_cast<exec::VirtualTime>(m) * 8);
+
+    const Score theta_prune = static_cast<Score>(
+        static_cast<double>(theta_local) * params.f);
+
+    // Find the pivot: the first prefix whose term-level upper bounds
+    // could beat the (relaxed) threshold.
+    Score acc = 0;
+    std::size_t pivot = m;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (order[r]->exhausted()) break;
+      acc += order[r]->max_score();
+      if (acc > theta_prune) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == m) break;  // nothing left can beat Θ
+    const DocId pivot_doc = order[pivot]->doc();
+    if (pivot_doc == kInvalidDoc || pivot_doc >= params.range_end) break;
+
+    if (order[0]->doc() == pivot_doc) {
+      // All cursors [0..pivot] are aligned on pivot_doc — and possibly
+      // more: cursors beyond the pivot sitting on the same doc also
+      // contribute to its score, so the aligned set must include them
+      // for the block bound to be a true upper bound on pivot_doc.
+      if (params.use_block_max) {
+        std::size_t last_aligned = pivot;
+        while (last_aligned + 1 < m &&
+               !order[last_aligned + 1]->exhausted() &&
+               order[last_aligned + 1]->doc() == pivot_doc) {
+          ++last_aligned;
+        }
+        Score block_acc = 0;
+        for (std::size_t r = 0; r <= last_aligned; ++r) {
+          block_acc += order[r]->block_max();
+        }
+        if (block_acc <= theta_prune) {
+          // Shallow move: no doc before the nearest block boundary can
+          // beat the threshold on these terms.
+          DocId next = kInvalidDoc;
+          for (std::size_t r = 0; r <= last_aligned; ++r) {
+            next = std::min(next, order[r]->block_last_doc());
+          }
+          DocId target = next == kInvalidDoc ? kInvalidDoc : next + 1;
+          if (last_aligned + 1 < m && !order[last_aligned + 1]->exhausted()) {
+            target = std::min(target, order[last_aligned + 1]->doc());
+          }
+          target = std::max(target, pivot_doc + 1);
+          for (std::size_t r = 0; r <= last_aligned; ++r) {
+            order[r]->NextGEQ(target, w);
+          }
+          continue;
+        }
+      }
+      // Full evaluation of pivot_doc ("fully scoring each document
+      // before moving to the next", §3.1).
+      Score score = 0;
+      std::size_t matched = 0;
+      for (std::size_t r = 0; r < m && !order[r]->exhausted() &&
+                              order[r]->doc() == pivot_doc;
+           ++r) {
+        score += order[r]->score();
+        order[r]->Next(w);
+        ++matched;
+      }
+      ++stats.scored;
+      w.Charge(20 + 6 * static_cast<exec::VirtualTime>(matched));
+      if (score > heap.threshold()) {
+        if (heap.Insert({score, pivot_doc})) {
+          ++stats.heap_inserts;
+          if (params.tracer != nullptr) {
+            params.tracer->OnHeapUpdate(w.Now(), pivot_doc, score);
+          }
+        }
+        theta_local = std::max(theta_local, heap.threshold());
+      }
+      if (++since_sync >= params.sync_interval) {
+        since_sync = 0;
+        theta_local = SyncTheta(params.shared_theta,
+                                std::max(theta_local, heap.threshold()), w);
+      }
+    } else {
+      // Not aligned: move the lagging cursors up to the pivot.
+      for (std::size_t r = 0; r < pivot; ++r) {
+        if (order[r]->doc() < pivot_doc) order[r]->NextGEQ(pivot_doc, w);
+      }
+    }
+  }
+  // Final promotion so later jobs of this query see our Θ.
+  SyncTheta(params.shared_theta, std::max(theta_local, heap.threshold()),
+            w);
+  stats.postings += advances() - start_positions;
+}
+
+namespace {
+
+class BmwRun final : public topk::QueryRun {
+ public:
+  BmwRun(const index::InvertedIndex& idx, std::vector<TermId> terms,
+         const topk::SearchParams& params, exec::QueryContext& ctx,
+         bool use_block_max)
+      : idx_(idx),
+        terms_(std::move(terms)),
+        params_(params),
+        ctx_(ctx),
+        use_block_max_(use_block_max),
+        heap_(params.k) {}
+
+  void Start() override {
+    ctx_.Submit([this](WorkerContext& w) {
+      BmwScanParams scan;
+      scan.use_block_max = use_block_max_;
+      scan.f = params_.f;
+      scan.range_end = idx_.num_docs();
+      scan.tracer = params_.tracer;
+      BmwScan(idx_, terms_, heap_, scan, w, stats_);
+    });
+  }
+
+  topk::SearchResult TakeResult() override {
+    topk::SearchResult result;
+    result.entries = heap_.Extract();
+    result.stats.postings_processed = stats_.postings;
+    result.stats.heap_inserts = stats_.heap_inserts;
+    return result;
+  }
+
+ private:
+  const index::InvertedIndex& idx_;
+  std::vector<TermId> terms_;
+  topk::SearchParams params_;
+  exec::QueryContext& ctx_;
+  bool use_block_max_;
+  topk::TopKHeap heap_;
+  BmwScanStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<topk::QueryRun> BlockMaxWand::Prepare(
+    const index::InvertedIndex& idx, std::vector<TermId> terms,
+    const topk::SearchParams& params, exec::QueryContext& ctx) const {
+  return std::make_unique<BmwRun>(idx, std::move(terms), params, ctx,
+                                  use_block_max_);
+}
+
+}  // namespace sparta::algos

@@ -1,0 +1,68 @@
+// (Block-Max) WAND: the document-order state of the art (§3.1).
+//
+// BmwScan() is the reusable range scanner: it runs WAND pivoting —
+// optionally refined with block-max skipping (Ding & Suel, SIGIR'11) —
+// over a docid range, feeding a caller-owned heap. It is the building
+// block of both the sequential BMW/WAND algorithms here and the parallel
+// pBMW (baselines/pbmw.*).
+#pragma once
+
+#include <atomic>
+#include <span>
+
+#include "topk/algorithm.h"
+#include "topk/doc_heap.h"
+
+namespace sparta::algos {
+
+struct BmwScanParams {
+  /// false = plain WAND (term-level bounds only).
+  bool use_block_max = true;
+  /// Threshold relaxation f >= 1 (§5.2.1): pruning uses f * Θ, trading
+  /// recall for skipping; f = 1 is exact.
+  double f = 1.0;
+  DocId range_begin = 0;
+  DocId range_end = kInvalidDoc;  ///< exclusive
+  /// pBMW's shared threshold: periodically promote
+  /// max(local Θ, global Θ) in both directions (§5.2.1). Null when
+  /// running standalone.
+  std::atomic<Score>* shared_theta = nullptr;
+  /// Documents scored between two promotions.
+  std::uint32_t sync_interval = 1024;
+  topk::HeapTracer* tracer = nullptr;
+};
+
+struct BmwScanStats {
+  std::uint64_t postings = 0;      ///< cursor advances
+  std::uint64_t scored = 0;        ///< fully evaluated documents
+  std::uint64_t heap_inserts = 0;
+};
+
+/// Scans [range_begin, range_end) and inserts qualifying documents into
+/// `heap` (which must not be shared with concurrent writers).
+void BmwScan(const index::InvertedIndex& idx, std::span<const TermId> terms,
+             topk::TopKHeap& heap, const BmwScanParams& params,
+             exec::WorkerContext& w, BmwScanStats& stats);
+
+/// Sequential BMW / WAND as a top-level algorithm (one job; use pBMW for
+/// intra-query parallelism).
+class BlockMaxWand final : public topk::Algorithm {
+ public:
+  explicit BlockMaxWand(bool use_block_max = true)
+      : use_block_max_(use_block_max) {}
+
+  std::string_view name() const override {
+    return use_block_max_ ? "BMW" : "WAND";
+  }
+
+  std::unique_ptr<topk::QueryRun> Prepare(const index::InvertedIndex& idx,
+                                          std::vector<TermId> terms,
+                                          const topk::SearchParams& params,
+                                          exec::QueryContext& ctx)
+      const override;
+
+ private:
+  bool use_block_max_;
+};
+
+}  // namespace sparta::algos

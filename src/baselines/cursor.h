@@ -1,0 +1,121 @@
+// Document-order posting-list cursors with skipping, shared by the
+// document-order algorithm family (MaxScore / WAND / BMW / pBMW, §3.1).
+//
+// A cursor walks one term's doc-ordered posting list. NextGEQ() uses the
+// block-max metadata for block-level skipping and only charges I/O for
+// blocks actually decoded — the essence of BMW's advantage (skipped
+// blocks are never read from disk).
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "exec/context.h"
+#include "index/block_max.h"
+#include "index/inverted_index.h"
+
+namespace sparta::algos {
+
+class DocOrderCursor {
+ public:
+  DocOrderCursor(const index::InvertedIndex& idx, TermId term)
+      : view_(idx.Term(term)) {}
+
+  /// Current docid, or kInvalidDoc when exhausted.
+  DocId doc() const {
+    return pos_ < view_.doc_order.size() ? view_.doc_order[pos_].doc
+                                         : kInvalidDoc;
+  }
+
+  Score score() const {
+    SPARTA_CHECK(pos_ < view_.doc_order.size());
+    return static_cast<Score>(view_.doc_order[pos_].score);
+  }
+
+  /// Term-level score upper bound (for WAND/MaxScore pivoting).
+  Score max_score() const { return static_cast<Score>(view_.max_score); }
+
+  bool exhausted() const { return pos_ >= view_.doc_order.size(); }
+
+  /// Upper bound within the block containing the current position.
+  Score block_max() const {
+    const auto b = pos_ / index::kBlockSize;
+    SPARTA_CHECK(b < view_.blocks.size());
+    return static_cast<Score>(view_.blocks[b].max_score);
+  }
+
+  /// Last docid of the current block (the shallow-move boundary).
+  DocId block_last_doc() const {
+    const auto b = pos_ / index::kBlockSize;
+    SPARTA_CHECK(b < view_.blocks.size());
+    return view_.blocks[b].last_doc;
+  }
+
+  /// Charges the read of the first block (call once before traversal).
+  void Prime(exec::WorkerContext& w) {
+    if (!exhausted()) {
+      TouchBlock(0, std::min<std::size_t>(index::kBlockSize,
+                                          view_.doc_order.size()),
+                 w);
+    }
+  }
+
+  /// Advances to the first posting with docid >= target, skipping whole
+  /// blocks via the metadata. Charges I/O only for the block decoded.
+  void NextGEQ(DocId target, exec::WorkerContext& w) {
+    if (exhausted() || doc() >= target) return;
+    const std::size_t block = index::FindBlock(view_.blocks, target);
+    if (block >= view_.blocks.size()) {
+      pos_ = view_.doc_order.size();
+      return;
+    }
+    const std::size_t block_begin = block * index::kBlockSize;
+    const std::size_t block_end = std::min<std::size_t>(
+        block_begin + index::kBlockSize, view_.doc_order.size());
+    TouchBlock(block_begin, block_end, w);
+    // Binary search inside the decoded block.
+    const auto first = view_.doc_order.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           std::max(block_begin, pos_));
+    const auto last =
+        view_.doc_order.begin() + static_cast<std::ptrdiff_t>(block_end);
+    const auto it = std::lower_bound(
+        first, last, target,
+        [](const index::Posting& p, DocId d) { return p.doc < d; });
+    pos_ = static_cast<std::size_t>(it - view_.doc_order.begin());
+    w.ChargePostings(1);
+    w.Charge(12);  // block lookup + in-block binary search
+  }
+
+  /// Advances by one posting.
+  void Next(exec::WorkerContext& w) {
+    SPARTA_CHECK(!exhausted());
+    ++pos_;
+    if (!exhausted() && pos_ % index::kBlockSize == 0) {
+      TouchBlock(pos_, std::min<std::size_t>(pos_ + index::kBlockSize,
+                                             view_.doc_order.size()),
+                 w);
+    }
+    w.ChargePostings(1);
+  }
+
+  const index::TermView& view() const { return view_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void TouchBlock(std::size_t begin, std::size_t end,
+                  exec::WorkerContext& w) {
+    if (begin == last_touched_block_begin_) return;
+    last_touched_block_begin_ = begin;
+    w.IoSequential(view_.doc_order_file_offset +
+                       begin * sizeof(index::Posting),
+                   (end - begin) * sizeof(index::Posting));
+  }
+
+  index::TermView view_;
+  std::size_t pos_ = 0;
+  std::size_t last_touched_block_begin_ =
+      std::numeric_limits<std::size_t>::max();
+};
+
+}  // namespace sparta::algos

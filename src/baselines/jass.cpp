@@ -1,0 +1,192 @@
+#include "baselines/jass.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+
+#include "topk/doc_map.h"
+#include "topk/doc_heap.h"
+
+namespace sparta::algos {
+namespace {
+
+using exec::VirtualTime;
+using exec::WorkerContext;
+using index::Posting;
+
+/// Modeled per-accumulator footprint: a ConcurrentHashMap node plus the
+/// paper's per-document lock object (§5.2.1) — noticeably heavier than
+/// the NRA family's entries, and the reason pJASS is the first to hit
+/// the memory wall on the big corpus ("pJASS intentionally avoids
+/// pruning and maintains a huge in-memory document map", §6).
+constexpr std::int64_t kJassEntryBytes = 136;
+
+class JassRun final : public topk::QueryRun {
+ public:
+  JassRun(const index::InvertedIndex& idx, std::vector<TermId> terms,
+          const topk::SearchParams& params, exec::QueryContext& ctx)
+      : idx_(idx),
+        terms_(std::move(terms)),
+        params_(params),
+        ctx_(ctx),
+        accumulators_(ctx, /*num_terms=*/0, kJassEntryBytes),
+        heap_(params.k),
+        positions_(terms_.size(), 0),
+        active_terms_(static_cast<int>(terms_.size())) {
+    SPARTA_CHECK(params_.p > 0.0 && params_.p <= 1.0);
+    std::uint64_t total = 0;
+    for (const TermId t : terms_) total += idx_.Entry(t).df;
+    budget_ = static_cast<std::uint64_t>(
+        params_.p * static_cast<double>(total));
+    budget_ = std::max<std::uint64_t>(budget_, 1);
+    if (params_.tracer != nullptr) trace_lock_ = ctx.MakeLock();
+  }
+
+  void Start() override {
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+      ctx_.Submit([this, i](WorkerContext& w) { ProcessTerm(i, w); });
+    }
+  }
+
+  topk::SearchResult TakeResult() override {
+    topk::SearchResult result;
+    if (oom_.load()) {
+      result.status = topk::Status::kOutOfMemory;
+    } else {
+      result.entries = heap_.Extract();
+    }
+    result.stats.postings_processed = postings_.load();
+    result.stats.docmap_peak_entries = accumulators_.PeakSize();
+    return result;
+  }
+
+ private:
+  void ProcessTerm(std::size_t i, WorkerContext& w) {
+    if (done_.load(std::memory_order_acquire) ||
+        finalize_started_.load(std::memory_order_acquire)) {
+      return;
+    }
+    const auto view = idx_.Term(terms_[i]);
+    const auto list = view.impact_order;
+    const std::size_t begin = positions_[i];
+    const std::size_t end =
+        std::min<std::size_t>(begin + params_.seg_size, list.size());
+
+    if (begin < end) {
+      w.IoSequential(
+          view.impact_order_file_offset + begin * sizeof(Posting),
+          (end - begin) * sizeof(Posting));
+      for (std::size_t j = begin; j < end; ++j) {
+        if (done_.load(std::memory_order_acquire)) break;
+        const Posting posting = list[j];
+        const auto res = accumulators_.AddScore(
+            posting.doc, static_cast<Score>(posting.score), w);
+        if (res.oom) {
+          oom_.store(true);
+          done_.store(true, std::memory_order_release);
+          return;
+        }
+        if (params_.tracer != nullptr && res.doc != nullptr) {
+          TraceAccumulation(res.doc, w);
+        }
+      }
+      positions_[i] = end;
+      const auto processed = static_cast<std::uint64_t>(end - begin);
+      w.ChargePostings(processed);
+      const auto total =
+          postings_.fetch_add(processed, std::memory_order_relaxed) +
+          processed;
+      if (total >= budget_) {
+        StartFinalize();
+        return;
+      }
+    }
+
+    if (positions_[i] >= list.size()) {
+      // This term is exhausted; when the last term finishes, finalize.
+      if (active_terms_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        StartFinalize();
+      }
+      return;
+    }
+    ctx_.Submit([this, i](WorkerContext& w2) { ProcessTerm(i, w2); });
+  }
+
+  void StartFinalize() {
+    if (finalize_started_.exchange(true)) return;
+    ctx_.Submit([this](WorkerContext& w) {
+      // Build the top-k heap from the accumulators in one pass. The map
+      // may still see stragglers mid-segment, hence the locked sweep.
+      std::size_t scanned = 0;
+      accumulators_.ForEachLocked(
+          [&](topk::DocType* d) {
+            ++scanned;
+            heap_.Insert(
+                {d->lb.load(std::memory_order_relaxed), d->id()});
+          },
+          w);
+      w.StructureAccessMany(accumulators_.ApproxBytes(),
+                            /*write_shared=*/false, scanned);
+      w.Charge(static_cast<VirtualTime>(scanned) * 4);
+      done_.store(true, std::memory_order_release);
+    });
+  }
+
+  void TraceAccumulation(topk::DocType* d, WorkerContext& w) {
+    // Tracing-only shadow of the accumulated top-k: reconstructs
+    // "recall over time" curves without changing the algorithm (JASS
+    // proper has no online heap). Deduplicated per document — a plain
+    // heap of (value, doc) pairs would fill with stale duplicates of
+    // growing accumulators and inflate its threshold past the true kth.
+    const Score lb = d->lb.load(std::memory_order_relaxed);
+    if (lb <= trace_threshold_.load(std::memory_order_relaxed)) return;
+    const exec::CtxLockGuard guard(*trace_lock_, w);
+    trace_best_[d->id()] = lb;
+    params_.tracer->OnHeapUpdate(w.Now(), d->id(), lb);
+    if (++trace_updates_ % 256 == 0 &&
+        trace_best_.size() > static_cast<std::size_t>(params_.k)) {
+      // Refresh the threshold: kth largest tracked value.
+      std::vector<Score> values;
+      values.reserve(trace_best_.size());
+      for (const auto& [doc, score] : trace_best_) {
+        values.push_back(score);
+      }
+      const auto kth = values.begin() + (params_.k - 1);
+      std::nth_element(values.begin(), kth, values.end(),
+                       std::greater<>());
+      trace_threshold_.store(*kth, std::memory_order_relaxed);
+    }
+  }
+
+  const index::InvertedIndex& idx_;
+  std::vector<TermId> terms_;
+  topk::SearchParams params_;
+  exec::QueryContext& ctx_;
+
+  topk::ConcurrentDocMap accumulators_;
+  topk::TopKHeap heap_;
+  std::vector<std::size_t> positions_;
+  std::uint64_t budget_ = 0;
+
+  std::atomic<std::uint64_t> postings_{0};
+  std::atomic<int> active_terms_;
+  std::atomic<bool> finalize_started_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> oom_{false};
+
+  std::unordered_map<DocId, Score> trace_best_;
+  std::atomic<Score> trace_threshold_{0};
+  std::uint64_t trace_updates_ = 0;
+  std::unique_ptr<exec::CtxLock> trace_lock_;
+};
+
+}  // namespace
+
+std::unique_ptr<topk::QueryRun> Jass::Prepare(
+    const index::InvertedIndex& idx, std::vector<TermId> terms,
+    const topk::SearchParams& params, exec::QueryContext& ctx) const {
+  return std::make_unique<JassRun>(idx, std::move(terms), params, ctx);
+}
+
+}  // namespace sparta::algos

@@ -1,0 +1,35 @@
+// JASS / pJASS — score-order accumulation (Lin & Trotman; Mackenzie,
+// Scholer & Culpepper; §5.2.1).
+//
+// Workers traverse the impact-ordered posting lists in segments and add
+// each posting's score to a shared per-document accumulator protected by
+// a granular lock. There is no threshold and no pruning: the heap is
+// built once, when traversal ends. Early termination is the heuristic p:
+// stop after scanning a fraction p of the query terms' postings
+// (p = 1 is exact; its exact variant is known to be inefficient).
+#pragma once
+
+#include "topk/algorithm.h"
+
+namespace sparta::algos {
+
+class Jass final : public topk::Algorithm {
+ public:
+  /// `parallel_name` selects the display name; the implementation is the
+  /// same engine (sequential JASS is pJASS on one worker).
+  explicit Jass(bool parallel_name = true)
+      : name_(parallel_name ? "pJASS" : "JASS") {}
+
+  std::string_view name() const override { return name_; }
+
+  std::unique_ptr<topk::QueryRun> Prepare(const index::InvertedIndex& idx,
+                                          std::vector<TermId> terms,
+                                          const topk::SearchParams& params,
+                                          exec::QueryContext& ctx)
+      const override;
+
+ private:
+  std::string_view name_;
+};
+
+}  // namespace sparta::algos

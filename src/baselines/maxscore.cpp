@@ -1,0 +1,133 @@
+#include "baselines/maxscore.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/cursor.h"
+#include "topk/doc_heap.h"
+
+namespace sparta::algos {
+namespace {
+
+using exec::WorkerContext;
+
+class MaxScoreRun final : public topk::QueryRun {
+ public:
+  MaxScoreRun(const index::InvertedIndex& idx, std::vector<TermId> terms,
+              const topk::SearchParams& params, exec::QueryContext& ctx)
+      : idx_(idx),
+        terms_(std::move(terms)),
+        params_(params),
+        ctx_(ctx),
+        heap_(params.k) {}
+
+  void Start() override {
+    ctx_.Submit([this](WorkerContext& w) { Scan(w); });
+  }
+
+  topk::SearchResult TakeResult() override {
+    topk::SearchResult result;
+    result.entries = heap_.Extract();
+    result.stats.postings_processed = postings_;
+    result.stats.heap_inserts = heap_inserts_;
+    return result;
+  }
+
+ private:
+  void Scan(WorkerContext& w) {
+    const std::size_t m = terms_.size();
+    std::vector<DocOrderCursor> cursors;
+    cursors.reserve(m);
+    for (const TermId t : terms_) cursors.emplace_back(idx_, t);
+    for (auto& c : cursors) c.Prime(w);
+
+    // Terms ordered by increasing max score; cum_[j] = sum of the j+1
+    // smallest term bounds. The first `essential_` terms whose cumulative
+    // bound exceeds Θ must be traversed; the rest are probe-only.
+    std::vector<std::size_t> by_bound(m);
+    for (std::size_t i = 0; i < m; ++i) by_bound[i] = i;
+    std::sort(by_bound.begin(), by_bound.end(),
+              [&](std::size_t a, std::size_t b) {
+                return cursors[a].max_score() < cursors[b].max_score();
+              });
+    std::vector<Score> cum(m);
+    Score acc = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      acc += cursors[by_bound[j]].max_score();
+      cum[j] = acc;
+    }
+
+    // first_essential = smallest j with cum[j] > Θ.
+    std::size_t first_essential = 0;
+    auto refresh_split = [&] {
+      const Score theta = heap_.threshold();
+      while (first_essential < m && cum[first_essential] <= theta) {
+        ++first_essential;
+      }
+    };
+
+    for (;;) {
+      refresh_split();
+      if (first_essential >= m) break;  // no term combination can win
+
+      // Candidate: the smallest docid among essential cursors.
+      DocId d = kInvalidDoc;
+      for (std::size_t j = first_essential; j < m; ++j) {
+        d = std::min(d, cursors[by_bound[j]].doc());
+      }
+      if (d == kInvalidDoc) break;
+
+      // Score essential terms at d.
+      Score score = 0;
+      for (std::size_t j = first_essential; j < m; ++j) {
+        auto& c = cursors[by_bound[j]];
+        if (c.doc() == d) {
+          score += c.score();
+          c.Next(w);
+        }
+      }
+      ++scored_;
+      // Probe non-essential terms from the largest bound down, pruning
+      // with the remaining-bound test.
+      bool viable = true;
+      for (std::size_t j = first_essential; j-- > 0;) {
+        if (score + cum[j] <= heap_.threshold()) {
+          viable = false;
+          break;
+        }
+        auto& c = cursors[by_bound[j]];
+        c.NextGEQ(d, w);
+        if (c.doc() == d) score += c.score();
+      }
+      if (viable && score > heap_.threshold()) {
+        if (heap_.Insert({score, d})) {
+          ++heap_inserts_;
+          if (params_.tracer != nullptr) {
+            params_.tracer->OnHeapUpdate(w.Now(), d, score);
+          }
+        }
+      }
+      w.Charge(static_cast<exec::VirtualTime>(m) * 2);
+    }
+    for (const auto& c : cursors) postings_ += c.position();
+  }
+
+  const index::InvertedIndex& idx_;
+  std::vector<TermId> terms_;
+  topk::SearchParams params_;
+  exec::QueryContext& ctx_;
+  topk::TopKHeap heap_;
+  std::uint64_t postings_ = 0;
+  std::uint64_t scored_ = 0;
+  std::uint64_t heap_inserts_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<topk::QueryRun> MaxScore::Prepare(
+    const index::InvertedIndex& idx, std::vector<TermId> terms,
+    const topk::SearchParams& params, exec::QueryContext& ctx) const {
+  return std::make_unique<MaxScoreRun>(idx, std::move(terms), params, ctx);
+}
+
+}  // namespace sparta::algos

@@ -1,0 +1,21 @@
+// MaxScore (Turtle & Flood '95): the classic document-order pruning
+// algorithm (§3.1). Sequential; included as the third member of the
+// document-order family for baseline completeness and cross-checking.
+#pragma once
+
+#include "topk/algorithm.h"
+
+namespace sparta::algos {
+
+class MaxScore final : public topk::Algorithm {
+ public:
+  std::string_view name() const override { return "MaxScore"; }
+
+  std::unique_ptr<topk::QueryRun> Prepare(const index::InvertedIndex& idx,
+                                          std::vector<TermId> terms,
+                                          const topk::SearchParams& params,
+                                          exec::QueryContext& ctx)
+      const override;
+};
+
+}  // namespace sparta::algos

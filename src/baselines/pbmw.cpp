@@ -1,0 +1,100 @@
+#include "baselines/pbmw.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "baselines/bmw.h"
+
+namespace sparta::algos {
+namespace {
+
+using exec::WorkerContext;
+
+class PBmwRun final : public topk::QueryRun {
+ public:
+  PBmwRun(const index::InvertedIndex& idx, std::vector<TermId> terms,
+          const topk::SearchParams& params, exec::QueryContext& ctx)
+      : idx_(idx),
+        terms_(std::move(terms)),
+        params_(params),
+        ctx_(ctx),
+        merged_(params.k) {
+    const int workers = ctx.num_workers();
+    num_jobs_ = 2 * workers;  // paper: jobs = 2 x worker threads
+    jobs_left_.store(num_jobs_, std::memory_order_relaxed);
+    local_heaps_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) local_heaps_.emplace_back(params.k);
+    local_stats_.resize(static_cast<std::size_t>(workers));
+  }
+
+  void Start() override {
+    const DocId n = idx_.num_docs();
+    const DocId range = (n + static_cast<DocId>(num_jobs_) - 1) /
+                        static_cast<DocId>(num_jobs_);
+    for (int j = 0; j < num_jobs_; ++j) {
+      const DocId begin = static_cast<DocId>(j) * range;
+      const DocId end = std::min<DocId>(begin + range, n);
+      ctx_.Submit([this, begin, end](WorkerContext& w) {
+        RunRange(begin, end, w);
+      });
+    }
+  }
+
+  topk::SearchResult TakeResult() override {
+    topk::SearchResult result;
+    result.entries = merged_.Extract();
+    for (const auto& s : local_stats_) {
+      result.stats.postings_processed += s.postings;
+      result.stats.heap_inserts += s.heap_inserts;
+    }
+    return result;
+  }
+
+ private:
+  void RunRange(DocId begin, DocId end, WorkerContext& w) {
+    if (begin < end) {
+      auto& heap =
+          local_heaps_[static_cast<std::size_t>(w.worker_id())];
+      BmwScanParams scan;
+      scan.f = params_.f;
+      scan.range_begin = begin;
+      scan.range_end = end;
+      scan.shared_theta = &shared_theta_;
+      scan.tracer = params_.tracer;
+      BmwScan(idx_, terms_, heap, scan, w,
+              local_stats_[static_cast<std::size_t>(w.worker_id())]);
+    }
+    if (jobs_left_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last range done: merge the local heaps (lightweight, done as its
+      // own job so the merge cost lands on the query's critical path).
+      ctx_.Submit([this](WorkerContext& mw) {
+        for (const auto& heap : local_heaps_) merged_.Merge(heap);
+        mw.Charge(static_cast<exec::VirtualTime>(local_heaps_.size()) *
+                  static_cast<exec::VirtualTime>(params_.k) * 4);
+      });
+    }
+  }
+
+  const index::InvertedIndex& idx_;
+  std::vector<TermId> terms_;
+  topk::SearchParams params_;
+  exec::QueryContext& ctx_;
+
+  int num_jobs_ = 0;
+  std::atomic<int> jobs_left_{0};
+  std::atomic<Score> shared_theta_{0};
+  std::vector<topk::TopKHeap> local_heaps_;
+  std::vector<BmwScanStats> local_stats_;
+  topk::TopKHeap merged_;
+};
+
+}  // namespace
+
+std::unique_ptr<topk::QueryRun> PBmw::Prepare(
+    const index::InvertedIndex& idx, std::vector<TermId> terms,
+    const topk::SearchParams& params, exec::QueryContext& ctx) const {
+  return std::make_unique<PBmwRun>(idx, std::move(terms), params, ctx);
+}
+
+}  // namespace sparta::algos

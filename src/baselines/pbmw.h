@@ -1,0 +1,26 @@
+// pBMW — parallel Block-Max WAND (Rojas, Gil-Costa & Marin; §5.2.1).
+//
+// The document space is split into 2x(num workers) equal docid ranges;
+// range jobs are drawn from the common job queue. Each worker keeps a
+// thread-local heap and threshold Θ_T, periodically promoting
+// min(Θ_T, Θ_global) to max(Θ_T, Θ_global) so slower workers catch up.
+// When all range jobs finish, a merge job combines the local heaps.
+// The approximation knob is the threshold-relaxation factor f.
+#pragma once
+
+#include "topk/algorithm.h"
+
+namespace sparta::algos {
+
+class PBmw final : public topk::Algorithm {
+ public:
+  std::string_view name() const override { return "pBMW"; }
+
+  std::unique_ptr<topk::QueryRun> Prepare(const index::InvertedIndex& idx,
+                                          std::vector<TermId> terms,
+                                          const topk::SearchParams& params,
+                                          exec::QueryContext& ctx)
+      const override;
+};
+
+}  // namespace sparta::algos

@@ -1,0 +1,49 @@
+// pNRA — the naïve shared-state parallel NRA (§5.2.2).
+//
+// "It uses a shared document map, which it does not clean, and it
+//  updates the term upper bounds upon every document evaluation. As in
+//  Sparta, a dedicated task checks the stopping condition."
+//
+// Implemented as the Sparta engine with every §4.3 optimization switched
+// off: eager UB publication (cache-line ping-pong on UB), no cleaner
+// pruning (the map — and hence the working set — only grows), no termMap
+// replicas (all lookups hit the shared map), and no insert cutoff (new
+// documents keep being added after UBStop). This is both faithful to the
+// paper's description and the cleanest possible ablation: the measured
+// gap between pNRA and Sparta *is* the sum of Sparta's optimizations.
+#pragma once
+
+#include "core/sparta.h"
+
+namespace sparta::algos {
+
+/// Factory for the pNRA configuration of the Sparta engine.
+inline core::SpartaOptions PNraOptions() {
+  core::SpartaOptions options;
+  options.lazy_ub_updates = false;
+  options.cleaner_prunes = false;
+  options.term_maps = false;
+  options.insert_cutoff_at_ubstop = false;
+  options.name = "pNRA";
+  return options;
+}
+
+class PNra final : public topk::Algorithm {
+ public:
+  PNra() : engine_(PNraOptions()) {}
+
+  std::string_view name() const override { return engine_.name(); }
+
+  std::unique_ptr<topk::QueryRun> Prepare(const index::InvertedIndex& idx,
+                                          std::vector<TermId> terms,
+                                          const topk::SearchParams& params,
+                                          exec::QueryContext& ctx)
+      const override {
+    return engine_.Prepare(idx, std::move(terms), params, ctx);
+  }
+
+ private:
+  core::Sparta engine_;
+};
+
+}  // namespace sparta::algos

@@ -1,0 +1,39 @@
+#include "baselines/registry.h"
+
+#include "baselines/bmw.h"
+#include "baselines/jass.h"
+#include "baselines/maxscore.h"
+#include "baselines/pbmw.h"
+#include "baselines/pnra.h"
+#include "baselines/snra.h"
+#include "baselines/ta_ra.h"
+#include "core/sparta.h"
+
+namespace sparta::algos {
+
+std::unique_ptr<topk::Algorithm> MakeAlgorithm(std::string_view name) {
+  if (name == "Sparta") return std::make_unique<core::Sparta>();
+  if (name == "pNRA") return std::make_unique<PNra>();
+  if (name == "sNRA") return std::make_unique<SNra>();
+  if (name == "TA-NRA") return std::make_unique<SNra>(false);
+  if (name == "pRA") return std::make_unique<RandomAccessTA>();
+  if (name == "TA-RA") return std::make_unique<RandomAccessTA>(false);
+  if (name == "pBMW") return std::make_unique<PBmw>();
+  if (name == "pJASS") return std::make_unique<Jass>();
+  if (name == "JASS") return std::make_unique<Jass>(false);
+  if (name == "BMW") return std::make_unique<BlockMaxWand>(true);
+  if (name == "WAND") return std::make_unique<BlockMaxWand>(false);
+  if (name == "MaxScore") return std::make_unique<MaxScore>();
+  return nullptr;
+}
+
+std::vector<std::string_view> PaperAlgorithms() {
+  return {"Sparta", "pNRA", "sNRA", "pRA", "pBMW", "pJASS"};
+}
+
+std::vector<std::string_view> AllAlgorithms() {
+  return {"Sparta", "pNRA", "sNRA", "pRA",  "pBMW", "pJASS",
+          "TA-RA",  "TA-NRA", "JASS", "BMW", "WAND", "MaxScore"};
+}
+
+}  // namespace sparta::algos

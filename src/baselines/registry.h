@@ -1,0 +1,25 @@
+// Algorithm registry: string name -> configured Algorithm instance.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "topk/algorithm.h"
+
+namespace sparta::algos {
+
+/// Creates an algorithm by name. Known names:
+///   "Sparta", "pNRA", "sNRA", "pRA", "pBMW", "pJASS"   (the paper's
+///   §5 comparison set), and the sequential ancestors
+///   "TA-RA", "TA-NRA", "JASS", "BMW", "WAND", "MaxScore".
+/// Returns nullptr for unknown names.
+std::unique_ptr<topk::Algorithm> MakeAlgorithm(std::string_view name);
+
+/// The paper's parallel comparison set, in its reporting order.
+std::vector<std::string_view> PaperAlgorithms();
+
+/// Every registered name.
+std::vector<std::string_view> AllAlgorithms();
+
+}  // namespace sparta::algos

@@ -1,0 +1,120 @@
+#include "baselines/snra.h"
+
+#include <atomic>
+#include <memory>
+
+#include "baselines/ta_nra.h"
+#include "topk/doc_heap.h"
+
+namespace sparta::algos {
+namespace {
+
+using exec::WorkerContext;
+using index::Posting;
+
+class SNraRun final : public topk::QueryRun {
+ public:
+  SNraRun(const index::InvertedIndex& idx, std::vector<TermId> terms,
+          const topk::SearchParams& params, exec::QueryContext& ctx,
+          int num_shards)
+      : idx_(idx),
+        terms_(std::move(terms)),
+        params_(params),
+        ctx_(ctx),
+        num_shards_(num_shards),
+        shards_left_(num_shards),
+        outputs_(static_cast<std::size_t>(num_shards)),
+        merged_(params.k) {
+    SPARTA_CHECK(num_shards_ >= 1);
+  }
+
+  void Start() override {
+    // Partition every term's impact-ordered list by docid range. The
+    // partitioning itself models the paper's *offline* index sharding,
+    // so it is not charged to query time.
+    const DocId n = idx_.num_docs();
+    const DocId range =
+        (n + static_cast<DocId>(num_shards_) - 1) /
+        static_cast<DocId>(num_shards_);
+    inputs_.resize(static_cast<std::size_t>(num_shards_));
+    for (int s = 0; s < num_shards_; ++s) {
+      auto& input = inputs_[static_cast<std::size_t>(s)];
+      input.k = params_.k;
+      input.delta = params_.delta;
+      input.seg_size = params_.seg_size;
+      input.tracer = params_.tracer;
+      input.lists.resize(terms_.size());
+    }
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+      const auto view = idx_.Term(terms_[i]);
+      for (const Posting& p : view.impact_order) {
+        const int s = static_cast<int>(p.doc / range);
+        inputs_[static_cast<std::size_t>(s)].lists[i].postings.push_back(p);
+      }
+      for (int s = 0; s < num_shards_; ++s) {
+        // Each shard has its own on-disk index; give every (term, shard)
+        // slice a distinct page region beyond the unified index file.
+        inputs_[static_cast<std::size_t>(s)].lists[i].io_offset =
+            idx_.SizeBytes() * static_cast<std::uint64_t>(s + 1) +
+            view.impact_order_file_offset;
+      }
+    }
+    for (int s = 0; s < num_shards_; ++s) {
+      ctx_.Submit([this, s](WorkerContext& w) { RunShard(s, w); });
+    }
+  }
+
+  topk::SearchResult TakeResult() override {
+    topk::SearchResult result;
+    if (oom_.load()) {
+      result.status = topk::Status::kOutOfMemory;
+    } else {
+      result.entries = merged_.Extract();
+    }
+    for (const auto& o : outputs_) {
+      result.stats.postings_processed += o.postings;
+      result.stats.docmap_peak_entries += o.peak_candidates;
+    }
+    return result;
+  }
+
+ private:
+  void RunShard(int s, WorkerContext& w) {
+    auto& out = outputs_[static_cast<std::size_t>(s)];
+    out = NraShardScan(inputs_[static_cast<std::size_t>(s)], w);
+    if (out.oom) oom_.store(true);
+    if (shards_left_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ctx_.Submit([this](WorkerContext& mw) {
+        for (const auto& o : outputs_) {
+          for (const auto& e : o.topk) merged_.Insert({e.score, e.doc});
+        }
+        mw.Charge(static_cast<exec::VirtualTime>(num_shards_) *
+                  static_cast<exec::VirtualTime>(params_.k) * 4);
+      });
+    }
+  }
+
+  const index::InvertedIndex& idx_;
+  std::vector<TermId> terms_;
+  topk::SearchParams params_;
+  exec::QueryContext& ctx_;
+  int num_shards_;
+
+  std::vector<NraShardInput> inputs_;
+  std::atomic<int> shards_left_;
+  std::vector<NraShardOutput> outputs_;
+  std::atomic<bool> oom_{false};
+  topk::TopKHeap merged_;
+};
+
+}  // namespace
+
+std::unique_ptr<topk::QueryRun> SNra::Prepare(
+    const index::InvertedIndex& idx, std::vector<TermId> terms,
+    const topk::SearchParams& params, exec::QueryContext& ctx) const {
+  const int shards = single_shard_ ? 1 : ctx.num_workers();
+  return std::make_unique<SNraRun>(idx, std::move(terms), params, ctx,
+                                   shards);
+}
+
+}  // namespace sparta::algos

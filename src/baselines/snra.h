@@ -1,0 +1,36 @@
+// sNRA — shared-nothing parallelization of NRA (§5.2.2).
+//
+// The index is partitioned into (num workers) shards by docid; each
+// worker runs sequential NRA on its shard with thread-local data
+// structures; a final job merges the per-shard top-k lists. No
+// information is shared between the threads — the paper's strawman
+// showing that *some* sharing (a global Θ) is essential: each shard must
+// discover its own top-k from scratch, so the aggregate work is roughly
+// (num shards) x the work of one global NRA pass.
+#pragma once
+
+#include "topk/algorithm.h"
+
+namespace sparta::algos {
+
+class SNra final : public topk::Algorithm {
+ public:
+  /// `parallel_name` false gives the sequential baseline name ("TA-NRA",
+  /// a single shard spanning the whole index).
+  explicit SNra(bool parallel_name = true)
+      : name_(parallel_name ? "sNRA" : "TA-NRA"), single_shard_(!parallel_name) {}
+
+  std::string_view name() const override { return name_; }
+
+  std::unique_ptr<topk::QueryRun> Prepare(const index::InvertedIndex& idx,
+                                          std::vector<TermId> terms,
+                                          const topk::SearchParams& params,
+                                          exec::QueryContext& ctx)
+      const override;
+
+ private:
+  std::string_view name_;
+  bool single_shard_;
+};
+
+}  // namespace sparta::algos

@@ -1,0 +1,196 @@
+#include "baselines/ta_nra.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "topk/doc_map.h"
+
+namespace sparta::algos {
+namespace {
+
+using exec::VirtualTime;
+using exec::WorkerContext;
+using index::Posting;
+
+struct Candidate {
+  std::vector<Score> score;  // per query term, 0 = unseen
+  Score lb = 0;
+  bool in_heap = false;
+};
+
+}  // namespace
+
+NraShardOutput NraShardScan(const NraShardInput& input, WorkerContext& w) {
+  const std::size_t m = input.lists.size();
+  SPARTA_CHECK(m >= 1);
+  NraShardOutput out;
+
+  const std::int64_t entry_bytes =
+      topk::ModeledEntryBytes(static_cast<int>(m), /*concurrent=*/false);
+  std::int64_t charged_bytes = 0;
+
+  std::unordered_map<DocId, Candidate> candidates;
+  std::vector<Score> ub(m);
+  std::vector<std::size_t> pos(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    ub[i] = input.lists[i].postings.empty()
+                ? 0
+                : static_cast<Score>(input.lists[i].postings[0].score);
+  }
+
+  // Lower-bound top-k heap with lazy refresh (same discipline as the
+  // parallel variants; sequential, so no locks).
+  std::vector<Candidate*> heap;
+  std::vector<DocId> heap_ids;
+  heap.reserve(static_cast<std::size_t>(input.k));
+  heap_ids.reserve(static_cast<std::size_t>(input.k));
+  Score theta = 0;
+
+  auto heap_lowest = [&]() -> std::size_t {
+    std::size_t lowest = 0;
+    for (std::size_t i = 1; i < heap.size(); ++i) {
+      if (heap[i]->lb < heap[lowest]->lb ||
+          (heap[i]->lb == heap[lowest]->lb &&
+           heap_ids[i] > heap_ids[lowest])) {
+        lowest = i;
+      }
+    }
+    return lowest;
+  };
+
+  VirtualTime last_heap_change = w.Now();
+  bool ubstop = false;
+  bool done = false;
+
+  auto try_insert = [&](DocId id, Candidate* c) {
+    if (c->in_heap) return;
+    for (Candidate* member : heap) {
+      member->lb = 0;
+      for (const Score s : member->score) member->lb += s;
+    }
+    c->in_heap = true;
+    heap.push_back(c);
+    heap_ids.push_back(id);
+    bool changed = true;
+    if (heap.size() > static_cast<std::size_t>(input.k)) {
+      const std::size_t lowest = heap_lowest();
+      heap[lowest]->in_heap = false;
+      changed = (heap[lowest] != c);
+      heap[lowest] = heap.back();
+      heap_ids[lowest] = heap_ids.back();
+      heap.pop_back();
+      heap_ids.pop_back();
+    }
+    if (heap.size() == static_cast<std::size_t>(input.k)) {
+      theta = heap[heap_lowest()]->lb;
+    }
+    w.Charge(static_cast<VirtualTime>(heap.size()) * 3);
+    if (changed) {
+      last_heap_change = w.Now();
+      if (input.tracer != nullptr) {
+        input.tracer->OnHeapUpdate(w.Now(), id, c->lb);
+      }
+    }
+  };
+
+  while (!done) {
+    bool any_progress = false;
+    for (std::size_t i = 0; i < m && !done; ++i) {
+      const auto& list = input.lists[i].postings;
+      const std::size_t begin = pos[i];
+      const std::size_t end =
+          std::min<std::size_t>(begin + input.seg_size, list.size());
+      if (begin >= end) continue;
+      any_progress = true;
+      w.IoSequential(input.lists[i].io_offset + begin * sizeof(Posting),
+                     (end - begin) * sizeof(Posting));
+
+      for (std::size_t j = begin; j < end; ++j) {
+        const Posting posting = list[j];
+        Candidate* c = nullptr;
+        if (!ubstop) {
+          const auto [it, inserted] =
+              candidates.try_emplace(posting.doc);
+          if (inserted) {
+            it->second.score.assign(m, 0);
+            charged_bytes += entry_bytes;
+            if (!w.ChargeMemory(entry_bytes)) {
+              out.oom = true;
+              done = true;
+              break;
+            }
+          }
+          c = &it->second;
+        } else {
+          const auto it = candidates.find(posting.doc);
+          if (it == candidates.end()) continue;
+          c = &it->second;
+        }
+        c->score[i] = static_cast<Score>(posting.score);
+        c->lb = 0;
+        for (const Score s : c->score) c->lb += s;
+        if (c->lb > theta) try_insert(posting.doc, c);
+      }
+      if (done) break;
+      pos[i] = end;
+      const auto processed = static_cast<std::uint64_t>(end - begin);
+      out.postings += processed;
+      w.ChargePostings(processed);
+      w.StructureAccessMany(
+          candidates.size() * (sizeof(Candidate) + 4 * m + 32),
+          /*write_shared=*/false, processed);
+      ub[i] = pos[i] >= list.size()
+                  ? 0
+                  : static_cast<Score>(list[pos[i]].score);
+    }
+    if (done) break;
+    out.peak_candidates =
+        std::max<std::uint64_t>(out.peak_candidates, candidates.size());
+
+    // Stopping condition 1 (Eq. 1): latch the insert cutoff.
+    if (!ubstop) {
+      Score ub_sum = 0;
+      for (const Score u : ub) ub_sum += u;
+      ubstop = ub_sum <= theta;
+    }
+    // Δ heuristic.
+    if (input.delta != exec::kNever &&
+        last_heap_change + input.delta < w.Now()) {
+      break;
+    }
+    // Stopping condition 2 (Eq. 2): every candidate outside the heap is
+    // beaten. Only checkable (and only reachable) after UBStop.
+    if (ubstop) {
+      bool resolved = true;
+      for (auto& [id, c] : candidates) {
+        if (c.in_heap) continue;
+        Score cand_ub = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          cand_ub += c.score[i] > 0 ? c.score[i] : ub[i];
+        }
+        if (cand_ub > theta) {
+          resolved = false;
+          break;
+        }
+      }
+      w.Charge(static_cast<VirtualTime>(candidates.size()) *
+               (static_cast<VirtualTime>(m) + 4));
+      if (resolved) break;
+    }
+    if (!any_progress && ubstop) break;  // exhausted; nothing to resolve
+    SPARTA_CHECK_MSG(any_progress || ubstop,
+                     "NRA made no progress before UBStop");
+  }
+
+  // Harvest the heap.
+  out.topk.reserve(heap.size());
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    out.topk.push_back({heap_ids[i], heap[i]->lb});
+  }
+  topk::CanonicalizeResult(out.topk);
+  // The shard's candidate map dies with the scan.
+  (void)w.ChargeMemory(-charged_bytes);
+  return out;
+}
+
+}  // namespace sparta::algos

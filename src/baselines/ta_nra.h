@@ -1,0 +1,48 @@
+// Sequential NRA (Fagin et al.'s No-Random-Access TA, §3.2) over a
+// document shard — the building block of sNRA (shared-nothing NRA) and
+// usable standalone as the sequential TA-NRA baseline.
+//
+// Classic NRA with the standard candidate-set optimizations of the
+// sequential literature (Mamoulis et al.): round-robin traversal of the
+// impact-ordered lists, partial-score candidates with lower/upper
+// bounds, a lower-bound top-k heap, insert cutoff once UBStop (Eq. 1)
+// holds, and the two-part safe stopping rule (Eq. 1 + Eq. 2).
+#pragma once
+
+#include <vector>
+
+#include "exec/context.h"
+#include "index/types.h"
+#include "topk/params.h"
+#include "topk/result.h"
+
+namespace sparta::algos {
+
+struct NraShardInput {
+  struct TermList {
+    /// Impact-ordered postings restricted to the shard's docid range.
+    std::vector<index::Posting> postings;
+    /// Synthetic byte offset of this shard-list in the shard's index
+    /// file, for the I/O model.
+    std::uint64_t io_offset = 0;
+  };
+  std::vector<TermList> lists;
+  int k = 100;
+  exec::VirtualTime delta = exec::kNever;
+  std::uint32_t seg_size = 1024;
+  topk::HeapTracer* tracer = nullptr;
+};
+
+struct NraShardOutput {
+  std::vector<topk::ResultEntry> topk;  ///< canonical order, lb scores
+  bool oom = false;
+  std::uint64_t postings = 0;
+  std::uint64_t peak_candidates = 0;
+};
+
+/// Runs the whole shard to completion within the calling job, charging
+/// costs to `w`. Thread-local by construction: no shared state.
+NraShardOutput NraShardScan(const NraShardInput& input,
+                            exec::WorkerContext& w);
+
+}  // namespace sparta::algos

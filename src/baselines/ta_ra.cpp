@@ -1,0 +1,178 @@
+#include "baselines/ta_ra.h"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+
+#include "topk/doc_heap.h"
+#include "topk/doc_map.h"
+
+namespace sparta::algos {
+namespace {
+
+using exec::AccessKind;
+using exec::VirtualTime;
+using exec::WorkerContext;
+using index::Posting;
+
+class RaRun final : public topk::QueryRun {
+ public:
+  RaRun(const index::InvertedIndex& idx, std::vector<TermId> terms,
+        const topk::SearchParams& params, exec::QueryContext& ctx)
+      : idx_(idx),
+        terms_(std::move(terms)),
+        params_(params),
+        ctx_(ctx),
+        m_(terms_.size()),
+        ub_(m_),
+        seen_(ctx, /*num_terms=*/0),
+        heap_(params.k),
+        heap_lock_(ctx.MakeLock()),
+        positions_(m_, 0) {
+    SPARTA_CHECK(m_ >= 1);
+    for (std::size_t i = 0; i < m_; ++i) {
+      ub_[i].store(static_cast<Score>(idx_.Term(terms_[i]).max_score),
+                   std::memory_order_relaxed);
+    }
+    heap_upd_time_.store(ctx.start_time(), std::memory_order_relaxed);
+  }
+
+  void Start() override {
+    for (std::size_t i = 0; i < m_; ++i) {
+      ctx_.Submit([this, i](WorkerContext& w) { ProcessTerm(i, w); });
+    }
+  }
+
+  topk::SearchResult TakeResult() override {
+    topk::SearchResult result;
+    if (oom_.load()) {
+      result.status = topk::Status::kOutOfMemory;
+    } else {
+      result.entries = heap_.Extract();
+    }
+    result.stats.postings_processed = postings_.load();
+    result.stats.random_accesses = random_accesses_.load();
+    result.stats.docmap_peak_entries = seen_.PeakSize();
+    return result;
+  }
+
+ private:
+  /// Full document score: the traversed posting plus a random-access
+  /// lookup per other term (one random SSD page each on a disk-resident
+  /// index — pRA's Achilles' heel, §5.3.2).
+  Score FullScore(std::size_t from_term, const Posting& posting,
+                  WorkerContext& w) {
+    Score sum = static_cast<Score>(posting.score);
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (j == from_term) continue;
+      const auto view = idx_.Term(terms_[j]);
+      sum += static_cast<Score>(
+          idx_.RandomAccessScore(terms_[j], posting.doc));
+      // The page touched sits at roughly the docid-proportional position
+      // of the doc-ordered list.
+      const auto est_pos = static_cast<std::uint64_t>(
+          static_cast<double>(view.df()) *
+          (static_cast<double>(posting.doc) /
+           static_cast<double>(idx_.num_docs())));
+      w.IoRandom(view.doc_order_file_offset + est_pos * sizeof(Posting));
+      w.Charge(30);  // binary search within the page
+      random_accesses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void ProcessTerm(std::size_t i, WorkerContext& w) {
+    if (done_.load(std::memory_order_acquire)) return;
+    const auto view = idx_.Term(terms_[i]);
+    const auto list = view.impact_order;
+    const std::size_t begin = positions_[i];
+    const std::size_t end =
+        std::min<std::size_t>(begin + params_.seg_size, list.size());
+    if (begin >= end) return;
+
+    w.IoSequential(view.impact_order_file_offset + begin * sizeof(Posting),
+                   (end - begin) * sizeof(Posting));
+    Score last_score = ub_[i].load(std::memory_order_relaxed);
+    std::size_t processed = 0;
+    for (std::size_t j = begin; j < end; ++j) {
+      if (done_.load(std::memory_order_acquire)) break;
+      const Posting posting = list[j];
+      last_score = static_cast<Score>(posting.score);
+      ++processed;
+
+      // Only the first encounter scores a document ("the implementation
+      // allows only the first to take effect").
+      const auto res = seen_.GetOrCreate(posting.doc, w);
+      if (res.oom) {
+        oom_.store(true);
+        done_.store(true, std::memory_order_release);
+        return;
+      }
+      if (!res.inserted) continue;
+
+      const Score score = FullScore(i, posting, w);
+      if (score > heap_.threshold()) {
+        const exec::CtxLockGuard guard(*heap_lock_, w);
+        if (heap_.Insert({score, posting.doc})) {
+          heap_upd_time_.store(w.Now(), std::memory_order_relaxed);
+          if (params_.tracer != nullptr) {
+            params_.tracer->OnHeapUpdate(w.Now(), posting.doc, score);
+          }
+        }
+      }
+    }
+    positions_[i] = begin + processed;
+    postings_.fetch_add(processed, std::memory_order_relaxed);
+    w.ChargePostings(processed);
+
+    ub_[i].store(positions_[i] >= list.size() ? 0 : last_score,
+                 std::memory_order_relaxed);
+    w.SharedAccess(&ub_[i], AccessKind::kWrite);
+
+    // Worker-side stopping checks (Eq. 1; Δ heap-stability heuristic).
+    Score ub_sum = 0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      w.SharedAccess(&ub_[r], AccessKind::kRead);
+      ub_sum += ub_[r].load(std::memory_order_relaxed);
+    }
+    const VirtualTime upd = heap_upd_time_.load(std::memory_order_relaxed);
+    const bool delta_stop = params_.delta != exec::kNever &&
+                            upd + params_.delta < w.Now();
+    if (ub_sum <= heap_.threshold() || delta_stop) {
+      done_.store(true, std::memory_order_release);
+      w.SharedAccess(&done_, AccessKind::kWrite);
+      return;
+    }
+    if (positions_[i] < list.size()) {
+      ctx_.Submit([this, i](WorkerContext& w2) { ProcessTerm(i, w2); });
+    }
+  }
+
+  const index::InvertedIndex& idx_;
+  std::vector<TermId> terms_;
+  topk::SearchParams params_;
+  exec::QueryContext& ctx_;
+  std::size_t m_;
+
+  topk::UpperBounds ub_;
+  topk::ConcurrentDocMap seen_;  // scored-document set
+  topk::TopKHeap heap_;
+  std::unique_ptr<exec::CtxLock> heap_lock_;
+  std::atomic<VirtualTime> heap_upd_time_{0};
+
+  std::vector<std::size_t> positions_;
+  std::atomic<bool> done_{false};
+  std::atomic<bool> oom_{false};
+  std::atomic<std::uint64_t> postings_{0};
+  std::atomic<std::uint64_t> random_accesses_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<topk::QueryRun> RandomAccessTA::Prepare(
+    const index::InvertedIndex& idx, std::vector<TermId> terms,
+    const topk::SearchParams& params, exec::QueryContext& ctx) const {
+  return std::make_unique<RaRun>(idx, std::move(terms), params, ctx);
+}
+
+}  // namespace sparta::algos

@@ -1,0 +1,35 @@
+// TA Random-Access variant (Fagin et al.), parallelized — pRA (§5.2.2).
+//
+// Workers traverse impact-ordered lists in segments; every *new*
+// document encountered is fully scored immediately via random access to
+// the other terms' doc-ordered lists (the "secondary index" — which is
+// why RA doubles the index footprint, §3.2). Fully scored documents go
+// into one shared heap. Stopping is RA's UBStop (Eq. 1) — by then every
+// potential winner has been fully scored — plus the Δ heuristic for the
+// approximate variant. Stopping detection is done by the workers
+// themselves (no dedicated task): "RA's stopping detection is
+// lightweight ... all workers check the UBStop condition" (§5.2.2).
+#pragma once
+
+#include "topk/algorithm.h"
+
+namespace sparta::algos {
+
+class RandomAccessTA final : public topk::Algorithm {
+ public:
+  explicit RandomAccessTA(bool parallel_name = true)
+      : name_(parallel_name ? "pRA" : "TA-RA") {}
+
+  std::string_view name() const override { return name_; }
+
+  std::unique_ptr<topk::QueryRun> Prepare(const index::InvertedIndex& idx,
+                                          std::vector<TermId> terms,
+                                          const topk::SearchParams& params,
+                                          exec::QueryContext& ctx)
+      const override;
+
+ private:
+  std::string_view name_;
+};
+
+}  // namespace sparta::algos

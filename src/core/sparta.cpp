@@ -1,0 +1,504 @@
+#include "core/sparta.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "topk/doc_map.h"
+
+namespace sparta::core {
+namespace {
+
+using exec::AccessKind;
+using exec::VirtualTime;
+using exec::WorkerContext;
+using index::Posting;
+using topk::DocType;
+using topk::LocalDocMap;
+using topk::SearchParams;
+using topk::SearchResult;
+
+/// Virtual CPU cost of refreshing one heap member's lower bound (m adds
+/// plus the heap bookkeeping, amortized).
+constexpr VirtualTime kHeapRefreshPerDocNs = 3;
+
+/// The docHeap of Algorithm 1: top-k DocTypes ordered by score *lower
+/// bound*, with lazy LB refresh — "every thread that adds a document to
+/// the heap updates the lower bounds of all heap documents" (§4.3).
+/// All methods except theta() must be called under the owner's heap lock.
+class LbHeap {
+ public:
+  explicit LbHeap(int k) : k_(static_cast<std::size_t>(k)) {
+    docs_.reserve(k_);
+  }
+
+  Score theta() const { return theta_.load(std::memory_order_relaxed); }
+
+  std::size_t size() const { return docs_.size(); }
+
+  /// UPDATE_HEAP lines 28-37. Returns true if membership changed.
+  bool Insert(DocType* d, WorkerContext& w) {
+    if (d->in_heap.load(std::memory_order_relaxed)) return false;
+    // Lazy LB refresh of every member (lines 30-32).
+    w.Charge(static_cast<VirtualTime>(docs_.size() + 1) *
+             kHeapRefreshPerDocNs);
+    for (DocType* member : docs_) {
+      member->lb.store(member->SumScores(), std::memory_order_relaxed);
+    }
+    d->lb.store(d->SumScores(), std::memory_order_relaxed);
+
+    // Insert, then evict the lowest if above capacity (lines 29, 33-34).
+    d->in_heap.store(true, std::memory_order_relaxed);
+    docs_.push_back(d);
+    bool changed = true;
+    if (docs_.size() > k_) {
+      const auto lowest = LowestMember();
+      DocType* evicted = docs_[lowest];
+      evicted->in_heap.store(false, std::memory_order_relaxed);
+      docs_[lowest] = docs_.back();
+      docs_.pop_back();
+      changed = (evicted != d);
+    }
+    if (docs_.size() == k_) {
+      theta_.store(docs_[LowestMember()]->lb.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    }
+    return changed;
+  }
+
+  const std::vector<DocType*>& docs() const { return docs_; }
+
+ private:
+  std::size_t LowestMember() const {
+    SPARTA_CHECK(!docs_.empty());
+    std::size_t lowest = 0;
+    for (std::size_t i = 1; i < docs_.size(); ++i) {
+      const Score li = docs_[i]->lb.load(std::memory_order_relaxed);
+      const Score ll = docs_[lowest]->lb.load(std::memory_order_relaxed);
+      // Deterministic tie-breaking: larger doc id is "worse".
+      if (li < ll || (li == ll && docs_[i]->id() > docs_[lowest]->id())) {
+        lowest = i;
+      }
+    }
+    return lowest;
+  }
+
+  std::size_t k_;
+  std::vector<DocType*> docs_;  // unordered; Θ recomputed on demand
+  std::atomic<Score> theta_{0};
+};
+
+class SpartaRun final : public topk::QueryRun {
+ public:
+  SpartaRun(const index::InvertedIndex& idx, std::vector<TermId> terms,
+            const SearchParams& params, exec::QueryContext& ctx,
+            const SpartaOptions& options)
+      : idx_(idx),
+        terms_(std::move(terms)),
+        params_(params),
+        ctx_(ctx),
+        options_(options),
+        m_(terms_.size()),
+        ub_(m_),
+        heap_(params.k),
+        heap_lock_(ctx.MakeLock()),
+        doc_map_(ctx, static_cast<int>(m_)),
+        positions_(m_, 0),
+        term_maps_(m_) {
+    SPARTA_CHECK(m_ >= 1);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const auto view = idx_.Term(terms_[i]);
+      // UB starts at the term's max score — the tightest bound available
+      // before any traversal (the paper's "init ∞" weakened by index
+      // statistics, which only speeds up UBStop without affecting
+      // safety).
+      ub_[i].store(static_cast<Score>(view.max_score),
+                   std::memory_order_relaxed);
+    }
+    heap_upd_time_.store(ctx.start_time(), std::memory_order_relaxed);
+  }
+
+  void Start() override {
+    // Lines 1-3: one PROCESSTERM job per query term.
+    for (std::size_t i = 0; i < m_; ++i) {
+      ctx_.Submit([this, i](WorkerContext& w) { ProcessTerm(i, w); });
+    }
+  }
+
+  SearchResult TakeResult() override {
+    SearchResult result;
+    if (oom_.load()) {
+      result.status = topk::Status::kOutOfMemory;
+    } else {
+      const auto& docs = heap_.docs();
+      result.entries.reserve(docs.size());
+      for (DocType* d : docs) {
+        result.entries.push_back({d->id(), d->SumScores()});
+      }
+      topk::CanonicalizeResult(result.entries);
+    }
+    result.stats.postings_processed = postings_.load();
+    result.stats.heap_inserts = heap_inserts_.load();
+    result.stats.docmap_peak_entries = doc_map_.PeakSize();
+    return result;
+  }
+
+ private:
+  // --- shared-state helpers -------------------------------------------
+
+  bool Done(WorkerContext& w) const {
+    w.SharedAccess(&done_, AccessKind::kRead);
+    return done_.load(std::memory_order_acquire);
+  }
+
+  void SetDone() { done_.store(true, std::memory_order_release); }
+
+  /// Σ UB[i] ≤ Θ (Eq. 1), latched monotone: UB entries only decrease and
+  /// Θ only increases. The latch freezes the shared map first, so any
+  /// worker that observes ubstop_ (acquire) also observes the freeze.
+  bool UbStop(WorkerContext& w) {
+    if (ubstop_.load(std::memory_order_acquire)) return true;
+    Score sum = 0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      w.SharedAccess(&ub_[i], AccessKind::kRead);
+      sum += ub_[i].load(std::memory_order_relaxed);
+    }
+    // Probabilistic variant (§6 future work): untraversed documents
+    // rarely realize the worst-case bound on every term at once.
+    sum = static_cast<Score>(static_cast<double>(sum) *
+                             options_.prob_factor);
+    if (sum <= heap_.theta()) {
+      if (options_.insert_cutoff_at_ubstop) doc_map_.SetReadOnly();
+      ubstop_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// Entries of the current docMap view (cleaner snapshot if installed).
+  std::size_t DocMapSize() const {
+    const LocalDocMap* snap = snapshot_.load(std::memory_order_acquire);
+    return snap != nullptr ? snap->Size() : doc_map_.Size();
+  }
+
+  DocType* LookupShared(DocId doc, WorkerContext& w) {
+    const LocalDocMap* snap = snapshot_.load(std::memory_order_acquire);
+    return snap != nullptr ? snap->Find(doc, w) : doc_map_.Find(doc, w);
+  }
+
+  void AbortOom() {
+    oom_.store(true, std::memory_order_release);
+    SetDone();
+  }
+
+  /// UB(D) with unknown-term contributions scaled by the probabilistic
+  /// factor (= the paper's safe bound when prob_factor == 1).
+  Score ProbUpperBound(const DocType* d) const {
+    Score known = 0, unknown = 0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Score s = d->score[i].load(std::memory_order_relaxed);
+      if (s > 0) {
+        known += s;
+      } else {
+        unknown += ub_[i].load(std::memory_order_relaxed);
+      }
+    }
+    return known + static_cast<Score>(static_cast<double>(unknown) *
+                                      options_.prob_factor);
+  }
+
+  // --- PROCESSTERM (lines 8-25) ---------------------------------------
+
+  void ProcessTerm(std::size_t i, WorkerContext& w) {
+    if (Done(w)) return;
+    const auto view = idx_.Term(terms_[i]);
+    const auto list = view.impact_order;
+
+    // Lines 9-12: adopt a thread-local termMap once the shared map is
+    // frozen, shrinking, and small enough to fit a private cache.
+    if (options_.term_maps && term_maps_[i] == nullptr &&
+        ubstop_.load(std::memory_order_acquire) &&
+        DocMapSize() < params_.phi) {
+      BuildTermMap(i, w);
+    }
+
+    const std::size_t begin = positions_[i];
+    const std::size_t end =
+        std::min<std::size_t>(begin + params_.seg_size, list.size());
+    if (begin >= end) return;  // list exhausted
+    w.IoSequential(view.impact_order_file_offset + begin * sizeof(Posting),
+                   (end - begin) * sizeof(Posting));
+
+    Score last_score = ub_[i].load(std::memory_order_relaxed);
+    std::size_t processed = 0;
+    for (std::size_t j = begin; j < end; ++j) {
+      if (done_.load(std::memory_order_acquire)) break;  // line 14
+      const Posting posting = list[j];
+      last_score = static_cast<Score>(posting.score);
+      ++processed;
+
+      DocType* d = nullptr;
+      if (term_maps_[i] != nullptr) {
+        d = term_maps_[i]->Find(posting.doc, w);
+      } else if (!options_.insert_cutoff_at_ubstop ||
+                 !ubstop_.load(std::memory_order_acquire)) {
+        // Lines 17-20 (and the pNRA configuration, which keeps inserting
+        // for the whole run). GetOrCreate refuses inserts if the freeze
+        // raced ahead of us, which is exactly line 21's "continue".
+        auto res = doc_map_.GetOrCreate(posting.doc, w);
+        if (res.oom) return AbortOom();
+        d = res.doc;
+      } else {
+        d = LookupShared(posting.doc, w);  // hash complete (line 18)
+      }
+      if (d == nullptr) continue;  // line 21: cannot be a top-k candidate
+
+      d->score[i].store(static_cast<Score>(posting.score),
+                        std::memory_order_relaxed);  // line 22
+      if (d->SumScores() > heap_.theta()) UpdateHeap(d, w);  // line 23
+
+      if (!options_.lazy_ub_updates) {
+        // pNRA configuration: publish UB on every evaluation.
+        ub_[i].store(last_score, std::memory_order_relaxed);
+        w.SharedAccess(&ub_[i], AccessKind::kWrite);
+      }
+    }
+    positions_[i] = begin + processed;
+    postings_.fetch_add(processed, std::memory_order_relaxed);
+    w.ChargePostings(processed);
+
+    if (options_.lazy_ub_updates) {
+      // Line 24: one UB publication per segment.
+      ub_[i].store(last_score, std::memory_order_relaxed);
+      w.SharedAccess(&ub_[i], AccessKind::kWrite);
+    }
+    if (positions_[i] >= list.size()) {
+      // List exhausted: nothing untraversed remains for this term.
+      ub_[i].store(0, std::memory_order_relaxed);
+      w.SharedAccess(&ub_[i], AccessKind::kWrite);
+      exhausted_terms_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    // Lines 4-5 folded into the workers: the first one to observe UBStop
+    // launches the cleaner (UbStop itself freezes the map).
+    if (UbStop(w) && !cleaner_started_.exchange(true)) {
+      ctx_.Submit([this](WorkerContext& cw) { Cleaner(cw); });
+    }
+
+    if (!done_.load(std::memory_order_acquire) &&
+        positions_[i] < list.size()) {
+      ctx_.Submit([this, i](WorkerContext& cw) { ProcessTerm(i, cw); });
+    }
+  }
+
+  void BuildTermMap(std::size_t i, WorkerContext& w) {
+    auto map = std::make_unique<LocalDocMap>(static_cast<int>(m_));
+    bool ok = true;
+    auto copy_missing = [&](DocType* d) {
+      if (!ok) return;
+      // Only documents still missing term i's score can appear in the
+      // untraversed part of list i (lines 11-12).
+      if (d->score[i].load(std::memory_order_relaxed) == 0) {
+        ok = map->Add(d, w);
+      }
+    };
+    const LocalDocMap* snap = snapshot_.load(std::memory_order_acquire);
+    if (snap != nullptr) {
+      snap->ForEach(copy_missing);
+    } else {
+      doc_map_.ForEach(copy_missing);
+    }
+    if (!ok) return AbortOom();
+    term_maps_[i] = std::move(map);
+  }
+
+  // --- UPDATE_HEAP (lines 26-38) ---------------------------------------
+
+  void UpdateHeap(DocType* d, WorkerContext& w) {
+    const exec::CtxLockGuard guard(*heap_lock_, w);
+    if (d->in_heap.load(std::memory_order_relaxed)) return;  // line 28
+    const bool changed = heap_.Insert(d, w);
+    heap_inserts_.fetch_add(1, std::memory_order_relaxed);
+    // Line 37: the update timestamp drives Δ-stopping.
+    heap_upd_time_.store(w.Now(), std::memory_order_relaxed);
+    w.SharedAccess(&heap_upd_time_, AccessKind::kWrite);
+    if (changed && params_.tracer != nullptr) {
+      // Re-emit every member with its lazily refreshed lower bound, so
+      // recall-over-time reconstruction sees score growth, not just the
+      // value a document happened to have when it first entered.
+      for (DocType* member : heap_.docs()) {
+        params_.tracer->OnHeapUpdate(
+            w.Now(), member->id(),
+            member->lb.load(std::memory_order_relaxed));
+      }
+    }
+  }
+
+  // --- CLEANER (lines 39-48) -------------------------------------------
+
+  void Cleaner(WorkerContext& w) {
+    if (Done(w)) return;
+
+    if (options_.cleaner_prunes) {
+      // Build tmpDocMap: retain heap members and documents whose upper
+      // bound still exceeds Θ (lines 40-45). We prune on every pass (the
+      // paper gates pruning on |docMap| > Φ; pruning small maps too is
+      // what guarantees the exact mode's size-based stop fires — the
+      // extra work is O(Φ) per pass).
+      const Score theta = heap_.theta();
+      auto tmp = std::make_unique<LocalDocMap>(static_cast<int>(m_));
+      bool ok = true;
+      std::size_t scanned = 0;
+      auto retain = [&](DocType* d) {
+        if (!ok) return;
+        ++scanned;
+        if (d->in_heap.load(std::memory_order_relaxed) ||
+            ProbUpperBound(d) > theta) {
+          ok = tmp->Add(d, w);
+        }
+      };
+      const LocalDocMap* old_snap =
+          snapshot_.load(std::memory_order_acquire);
+      if (old_snap != nullptr) {
+        old_snap->ForEach(retain);
+      } else {
+        doc_map_.ForEach(retain);
+      }
+      if (!ok) return AbortOom();
+      // Each scanned entry costs a map access plus the m-term UB sum.
+      w.Charge(static_cast<VirtualTime>(scanned) *
+               (static_cast<VirtualTime>(m_) + 8));
+      w.StructureAccess(old_snap != nullptr ? old_snap->ApproxBytes()
+                                            : doc_map_.ApproxBytes(),
+                        /*write_shared=*/false);
+
+      if (old_snap != nullptr && tmp->Size() == old_snap->Size()) {
+        // Nothing shrank: installing an identical copy would only churn
+        // caches and retire yet another map. Keep the current snapshot.
+        // (Retired snapshots stay alive until the query ends because
+        // in-flight jobs may still read them; without this check a long
+        // no-progress phase retains one copy per cleaner pass.)
+        tmp->ReleaseModeledMemory(w);
+      } else {
+        // Pointer swing (§4.3): publish the pruned copy; retire the old
+        // snapshot but keep it alive — workers may still hold it.
+        LocalDocMap* fresh = tmp.get();
+        retired_.push_back(std::move(tmp));
+        snapshot_.store(fresh, std::memory_order_release);
+        if (old_snap != nullptr) {
+          const_cast<LocalDocMap*>(old_snap)->ReleaseModeledMemory(w);
+        }
+      }
+    }
+
+    // Line 46: stop when Eq. 2 is satisfied or the heap has been stable
+    // for Δ. With pruning on, Eq. 2 reduces to |docMap| == |docHeap|;
+    // without it (the pNRA configuration / the no-cleaner ablation) the
+    // whole map must be scanned for unresolved candidates.
+    const VirtualTime upd =
+        heap_upd_time_.load(std::memory_order_relaxed);
+    const bool delta_stop =
+        params_.delta != exec::kNever && upd + params_.delta < w.Now();
+    bool stop = delta_stop;
+    if (!stop) {
+      if (options_.cleaner_prunes) {
+        stop = DocMapSize() == heap_.size();
+      } else {
+        stop = AllCandidatesResolved(w);
+      }
+    }
+    // Safety net for non-safe bounds (prob_factor < 1): once every list
+    // is exhausted, scores and Θ are final; if a prune pass then removes
+    // nothing, the residual map/heap mismatch consists of bound
+    // artifacts that no future pass can resolve — the heap is already
+    // the final answer.
+    if (!stop &&
+        exhausted_terms_.load(std::memory_order_acquire) ==
+            static_cast<int>(m_)) {
+      const std::size_t size = DocMapSize();
+      if (size == last_cleaner_size_) stop = true;
+      last_cleaner_size_ = size;
+    }
+    if (stop) {
+      SetDone();
+      w.SharedAccess(&done_, AccessKind::kWrite);
+    } else {
+      ctx_.Submit([this](WorkerContext& cw) { Cleaner(cw); });
+    }
+  }
+
+  /// NRA's second stopping condition (Eq. 2) checked by exhaustive scan:
+  /// every visited document outside the heap must have UB(D) <= Θ.
+  bool AllCandidatesResolved(WorkerContext& w) {
+    const Score theta = heap_.theta();
+    bool resolved = true;
+    std::size_t scanned = 0;
+    auto check = [&](DocType* d) {
+      ++scanned;
+      if (resolved && !d->in_heap.load(std::memory_order_relaxed) &&
+          ProbUpperBound(d) > theta) {
+        resolved = false;
+      }
+    };
+    if (doc_map_.read_only()) {
+      doc_map_.ForEach(check);
+    } else {
+      doc_map_.ForEachLocked(check, w);
+    }
+    w.Charge(static_cast<VirtualTime>(scanned) *
+             (static_cast<VirtualTime>(m_) + 8));
+    w.StructureAccess(doc_map_.ApproxBytes(), !doc_map_.read_only());
+    return resolved;
+  }
+
+  // --- state ------------------------------------------------------------
+
+  const index::InvertedIndex& idx_;
+  std::vector<TermId> terms_;
+  SearchParams params_;
+  exec::QueryContext& ctx_;
+  SpartaOptions options_;
+  std::size_t m_;
+
+  topk::UpperBounds ub_;
+  LbHeap heap_;
+  std::unique_ptr<exec::CtxLock> heap_lock_;
+  std::atomic<VirtualTime> heap_upd_time_{0};
+
+  topk::ConcurrentDocMap doc_map_;
+  std::atomic<const LocalDocMap*> snapshot_{nullptr};
+  std::vector<std::unique_ptr<LocalDocMap>> retired_;  // cleaner-only
+
+  std::vector<std::size_t> positions_;  // per-term traversal position
+  std::vector<std::unique_ptr<LocalDocMap>> term_maps_;
+
+  std::atomic<int> exhausted_terms_{0};
+  std::size_t last_cleaner_size_ = std::numeric_limits<std::size_t>::max();
+  std::atomic<bool> ubstop_{false};
+  std::atomic<bool> cleaner_started_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> oom_{false};
+
+  std::atomic<std::uint64_t> postings_{0};
+  std::atomic<std::uint64_t> heap_inserts_{0};
+};
+
+}  // namespace
+
+Sparta::Sparta(SpartaOptions options) : options_(std::move(options)) {
+  // Pruned snapshots and termMap replicas are only meaningful (and only
+  // safe to build) once the shared map stops growing at UBStop.
+  SPARTA_CHECK(!options_.cleaner_prunes ||
+               options_.insert_cutoff_at_ubstop);
+  SPARTA_CHECK(!options_.term_maps || options_.insert_cutoff_at_ubstop);
+  SPARTA_CHECK(options_.prob_factor > 0.0 && options_.prob_factor <= 1.0);
+}
+
+std::unique_ptr<topk::QueryRun> Sparta::Prepare(
+    const index::InvertedIndex& idx, std::vector<TermId> terms,
+    const topk::SearchParams& params, exec::QueryContext& ctx) const {
+  return std::make_unique<SpartaRun>(idx, std::move(terms), params, ctx,
+                                     options_);
+}
+
+}  // namespace sparta::core

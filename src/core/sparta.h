@@ -1,0 +1,76 @@
+// Sparta — Scalable PARallel Threshold Algorithm (the paper's §4).
+//
+// A parallel NRA: worker jobs traverse the query terms' impact-ordered
+// posting lists in segments, maintaining per-document partial scores in
+// a shared docMap and the current top-k (by score lower bound) in a
+// shared heap with threshold Θ. The design points that make it scale
+// (§4.3) are all here and individually switchable for ablation studies:
+//
+//   * lazy UB updates      — term upper bounds are published once per
+//                            segment, not per posting, avoiding
+//                            cache-line ping-pong on the UB array;
+//   * the CLEANER task     — once UBStop (Eq. 1) holds, a background job
+//                            repeatedly rebuilds a pruned copy of docMap
+//                            (tmpDocMap) and installs it with a pointer
+//                            swing, keeping the hot working set small;
+//   * termMap replicas     — when the (cleaned) docMap drops below Φ
+//                            entries, each posting-list owner copies the
+//                            entries still missing its term into a
+//                            thread-local map that fits its private
+//                            cache, eliminating shared reads entirely;
+//   * insert cutoff        — after UBStop no new document can enter the
+//                            top-k (Mamoulis et al.), so docMap stops
+//                            growing.
+//
+// Setting all four off (and keeping the stopping-condition task) yields
+// exactly the paper's pNRA baseline — "a naïve shared-state parallel
+// implementation of NRA that does not employ Sparta's optimizations"
+// (§5.2.2) — which is how baselines/pnra.cpp is implemented.
+//
+// Stopping: exact mode (delta = kNever) stops when docMap has shrunk to
+// the heap itself — NRA's safe condition (Eq. 2) — and is proven safe by
+// the same argument as NRA (§4.4). Approximate mode additionally stops
+// once the heap has not changed for Δ.
+#pragma once
+
+#include <string>
+
+#include "topk/algorithm.h"
+
+namespace sparta::core {
+
+struct SpartaOptions {
+  bool lazy_ub_updates = true;
+  bool cleaner_prunes = true;
+  bool term_maps = true;
+  bool insert_cutoff_at_ubstop = true;
+  /// Probabilistic pruning (the paper's §6 future work, after Theobald
+  /// et al. [VLDB'04]): scale the *unknown*-term contributions of upper
+  /// bounds by this factor in the stopping/pruning rules. A document
+  /// missing most query terms rarely scores anywhere near the worst-case
+  /// bound, so γ < 1 prunes candidates (and halts) earlier at a small,
+  /// controlled recall risk. 1.0 = the paper's safe bounds.
+  double prob_factor = 1.0;
+  /// Display name (the pNRA configuration overrides it).
+  std::string name = "Sparta";
+};
+
+class Sparta final : public topk::Algorithm {
+ public:
+  explicit Sparta(SpartaOptions options = {});
+
+  std::string_view name() const override { return options_.name; }
+
+  std::unique_ptr<topk::QueryRun> Prepare(const index::InvertedIndex& idx,
+                                          std::vector<TermId> terms,
+                                          const topk::SearchParams& params,
+                                          exec::QueryContext& ctx)
+      const override;
+
+  const SpartaOptions& options() const { return options_; }
+
+ private:
+  SpartaOptions options_;
+};
+
+}  // namespace sparta::core

@@ -1,0 +1,146 @@
+#include "corpus/query_log.h"
+
+#include <algorithm>
+#include <memory>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/zipf.h"
+
+namespace sparta::corpus {
+
+QueryLog::QueryLog(const index::InvertedIndex& idx, const QueryLogSpec& spec,
+                   const SyntheticCorpusSpec* corpus_spec)
+    : spec_(spec) {
+  SPARTA_CHECK(spec.min_terms >= 1 && spec.max_terms >= spec.min_terms);
+
+  // Candidate terms and their popularity weights, globally and (when the
+  // corpus has topic structure) per topic.
+  struct Pool {
+    std::vector<TermId> terms;
+    std::vector<double> weights;
+    std::unique_ptr<util::AliasSampler> sampler;
+    void Finish() {
+      if (!terms.empty()) {
+        sampler = std::make_unique<util::AliasSampler>(weights);
+      }
+    }
+    TermId Sample(util::Rng& rng) const {
+      return terms[sampler->Sample(rng)];
+    }
+  };
+  Pool global;
+  std::vector<Pool> topical;
+  std::vector<double> rates;
+  if (corpus_spec != nullptr && corpus_spec->num_topics > 0) {
+    topical.resize(corpus_spec->num_topics);
+    rates = TermDocRates(*corpus_spec);
+  }
+  for (TermId t = 0; t < idx.num_terms(); ++t) {
+    const auto df = idx.Entry(t).df;
+    if (df < spec.min_df) continue;
+    const double w = std::pow(static_cast<double>(df), spec.alpha);
+    std::uint32_t topic = kGlobalTopic;
+    if (!topical.empty() && t < rates.size()) {
+      topic = TermTopic(*corpus_spec, t, rates[t]);
+    }
+    if (topic == kGlobalTopic) {
+      global.terms.push_back(t);
+      global.weights.push_back(w);
+    } else {
+      topical[topic].terms.push_back(t);
+      topical[topic].weights.push_back(w);
+    }
+  }
+  global.Finish();
+  for (auto& pool : topical) pool.Finish();
+  SPARTA_CHECK_MSG(global.terms.size() >=
+                       static_cast<std::size_t>(spec.max_terms),
+                   "vocabulary too small for the requested query lengths");
+
+  util::Rng rng(spec.seed);
+  by_length_.resize(
+      static_cast<std::size_t>(spec.max_terms - spec.min_terms + 1));
+  for (int len = spec.min_terms; len <= spec.max_terms; ++len) {
+    auto& bucket = by_length_[static_cast<std::size_t>(len - spec.min_terms)];
+    bucket.reserve(static_cast<std::size_t>(spec.queries_per_length));
+    for (int q = 0; q < spec.queries_per_length; ++q) {
+      // Each query is about one topic; most terms come from it, the
+      // rest from the generic head (as in real logs: "cheap flights
+      // tokyo" = generic terms + topical terms).
+      const Pool* topic_pool = nullptr;
+      if (!topical.empty()) {
+        for (int attempt = 0; attempt < 16 && topic_pool == nullptr;
+             ++attempt) {
+          const auto& candidate = topical[rng.Below(topical.size())];
+          if (candidate.terms.size() >=
+              static_cast<std::size_t>(spec.max_terms)) {
+            topic_pool = &candidate;
+          }
+        }
+      }
+      Query query;
+      std::unordered_set<TermId> used;
+      int stall = 0;
+      while (query.size() < static_cast<std::size_t>(len)) {
+        const bool pick_topical =
+            topic_pool != nullptr &&
+            rng.NextDouble() < spec.topical_fraction;
+        const TermId t =
+            pick_topical ? topic_pool->Sample(rng) : global.Sample(rng);
+        if (used.insert(t).second) {
+          query.push_back(t);
+          stall = 0;
+        } else if (++stall > 1000) {
+          // Pathologically small pools: fall back to a global pick.
+          const TermId g = global.Sample(rng);
+          if (used.insert(g).second) query.push_back(g);
+          stall = 0;
+        }
+      }
+      bucket.push_back(std::move(query));
+    }
+  }
+}
+
+const std::vector<Query>& QueryLog::OfLength(int len) const {
+  SPARTA_CHECK(len >= spec_.min_terms && len <= spec_.max_terms);
+  return by_length_[static_cast<std::size_t>(len - spec_.min_terms)];
+}
+
+std::vector<Query> QueryLog::All() const {
+  std::vector<Query> all;
+  for (const auto& bucket : by_length_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  return all;
+}
+
+std::vector<Query> QueryLog::VoiceMix(int count, std::uint64_t seed) const {
+  // Voice-query length distribution from Guy [SIGIR'16]: mean 4.2,
+  // stddev 2.96, and "more than 5% of voice search queries exceed 10
+  // terms". A symmetric Gaussian cannot satisfy both, so lengths are
+  // drawn from a right-skewed mixture: a verbose component uniform over
+  // [10, max] with probability 5.5%, and a Gaussian body otherwise —
+  // matching all three reported statistics after clamping.
+  util::Rng rng(seed);
+  std::vector<Query> mix;
+  mix.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    int len;
+    if (spec_.max_terms >= 10 && rng.NextDouble() < 0.055) {
+      len = 10 + static_cast<int>(
+                     rng.Below(static_cast<std::uint64_t>(
+                         spec_.max_terms - 10 + 1)));
+    } else {
+      const double raw = rng.Gaussian(3.85, 2.5);
+      len = std::clamp(static_cast<int>(std::lround(raw)),
+                       spec_.min_terms, std::min(9, spec_.max_terms));
+    }
+    const auto& bucket = OfLength(len);
+    mix.push_back(bucket[rng.Below(bucket.size())]);
+  }
+  return mix;
+}
+
+}  // namespace sparta::corpus

@@ -1,0 +1,70 @@
+// Query-log generation.
+//
+// Stands in for the paper's AOL-log sampling (§5.1): "For each number of
+// terms from 1 to 12, we independently sample 100 queries of this length
+// uniformly at random from the AOL log." Real query terms are popularity
+// biased — users type common words far more often than the dictionary
+// tail — so query terms are drawn with probability proportional to
+// df(t)^alpha, restricted to terms common enough to plausibly appear in
+// a query log.
+//
+// The throughput experiments use the voice-query length distribution of
+// Guy [SIGIR'16]: mean 4.2 terms, stddev 2.96, >5% of queries with 10+
+// terms (Table 4 / §5.3.2), reproduced here with a discretized clamped
+// Gaussian.
+#pragma once
+
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "index/inverted_index.h"
+#include "util/rng.h"
+
+namespace sparta::corpus {
+
+using Query = std::vector<TermId>;
+
+struct QueryLogSpec {
+  int min_terms = 1;
+  int max_terms = 12;
+  int queries_per_length = 100;
+  /// Popularity bias: term sampling weight = df^alpha.
+  double alpha = 0.75;
+  /// Ignore dictionary-tail terms with fewer postings than this.
+  std::uint32_t min_df = 8;
+  /// When the corpus has topic structure, the fraction of a query's
+  /// terms drawn from one topic (real queries are topical: their terms
+  /// co-occur in documents, which is what makes the best documents match
+  /// most of the query).
+  double topical_fraction = 0.75;
+  std::uint64_t seed = 0xA01;
+};
+
+class QueryLog {
+ public:
+  /// Samples the full per-length grid from the given index's term
+  /// statistics (terms within one query are distinct). When
+  /// `corpus_spec` is provided, queries are topical: each query picks a
+  /// topic and draws most terms from it.
+  QueryLog(const index::InvertedIndex& idx, const QueryLogSpec& spec,
+           const SyntheticCorpusSpec* corpus_spec = nullptr);
+
+  /// All queries with exactly `len` terms (spec.queries_per_length many).
+  const std::vector<Query>& OfLength(int len) const;
+
+  /// The complete set (the "1200 AOL queries" pool).
+  std::vector<Query> All() const;
+
+  /// The production voice-query mix: lengths drawn from a clamped
+  /// discretized Gaussian(4.2, 2.96), queries uniform among that length.
+  std::vector<Query> VoiceMix(int count, std::uint64_t seed) const;
+
+  const QueryLogSpec& spec() const { return spec_; }
+
+ private:
+  QueryLogSpec spec_;
+  /// by_length_[len - min_terms] = queries of that length.
+  std::vector<std::vector<Query>> by_length_;
+};
+
+}  // namespace sparta::corpus

@@ -1,0 +1,48 @@
+#include "corpus/scale_up.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corpus/synthetic.h"
+#include "util/rng.h"
+
+namespace sparta::corpus {
+
+std::vector<EmpiricalTermStats> MeasureTermStats(
+    const index::RawIndexData& base) {
+  SPARTA_CHECK(base.num_docs > 0);
+  std::vector<EmpiricalTermStats> stats(base.term_postings.size());
+  const auto n = static_cast<double>(base.num_docs);
+  for (std::size_t t = 0; t < base.term_postings.size(); ++t) {
+    const auto& list = base.term_postings[t];
+    stats[t].doc_rate = static_cast<double>(list.size()) / n;
+    if (!list.empty()) {
+      std::uint64_t total = 0;
+      for (const auto& p : list) total += p.tf;
+      stats[t].mean_tf =
+          static_cast<double>(total) / static_cast<double>(list.size());
+    }
+  }
+  return stats;
+}
+
+index::RawIndexData ScaleUpCorpus(const index::RawIndexData& base,
+                                  const SyntheticCorpusSpec& base_spec,
+                                  const ScaleUpSpec& spec) {
+  SPARTA_CHECK(spec.factor >= 1);
+  const auto stats = MeasureTermStats(base);
+
+  // Empirical rates and geometric continuation probabilities:
+  // mean_tf = 1 / (1 - continuation)  =>  continuation = 1 - 1/mean_tf.
+  std::vector<double> rates(stats.size());
+  std::vector<double> continuation(stats.size());
+  for (std::size_t t = 0; t < stats.size(); ++t) {
+    rates[t] = stats[t].doc_rate;
+    continuation[t] = std::clamp(
+        1.0 - 1.0 / std::max(1.0, stats[t].mean_tf), 0.0, 0.95);
+  }
+  return GenerateScaledCorpus(base_spec, base.num_docs * spec.factor,
+                              rates, continuation, spec.seed);
+}
+
+}  // namespace sparta::corpus

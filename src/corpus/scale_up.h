@@ -1,0 +1,42 @@
+// Corpus scale-up: the paper's ClueWebX10 construction (§5.1).
+//
+// "Each document is a bag of words drawn from the original ClueWeb
+//  dictionary ... so that the number of occurrences of a term t_i with an
+//  original global frequency rate of F(t_i) is drawn from a geometric
+//  distribution with a stopping probability of 1 - F(t_i). This process
+//  preserves the term frequency distribution of ClueWeb in ClueWebX10."
+//
+// We implement the same construction term-major: empirical document
+// rates F(t) and mean term frequencies are *measured from the base
+// corpus*, then a corpus with `factor` times as many documents is drawn
+// from those empirical distributions.
+#pragma once
+
+#include "corpus/synthetic.h"
+#include "index/types.h"
+
+namespace sparta::corpus {
+
+struct ScaleUpSpec {
+  std::uint32_t factor = 10;
+  std::uint64_t seed = 0xD0C5;
+};
+
+/// Empirical statistics of a base corpus, per term.
+struct EmpiricalTermStats {
+  double doc_rate = 0.0;   ///< df / N
+  double mean_tf = 0.0;    ///< average within-document occurrences
+};
+
+std::vector<EmpiricalTermStats> MeasureTermStats(
+    const index::RawIndexData& base);
+
+/// Generates a corpus with base.num_docs * factor documents whose
+/// term-frequency distribution matches the base corpus. `base_spec` is
+/// the spec the base corpus was generated with (supplies the topic /
+/// length / quality structure).
+index::RawIndexData ScaleUpCorpus(const index::RawIndexData& base,
+                                  const SyntheticCorpusSpec& base_spec,
+                                  const ScaleUpSpec& spec);
+
+}  // namespace sparta::corpus

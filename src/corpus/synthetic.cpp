@@ -1,0 +1,276 @@
+#include "corpus/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/zipf.h"
+
+namespace sparta::corpus {
+namespace {
+
+/// Base per-term repetition model: the continuation probability of the
+/// geometric draw grows with term popularity (stop probability
+/// 1 - F'(t)), mirroring the paper's ClueWebX10 recipe where occurrence
+/// counts are "drawn from a geometric distribution with a stopping
+/// probability of 1 - F(t_i)" (§5.1).
+double ContinuationProbability(double doc_rate) {
+  return std::min(0.55, 0.08 + 4.0 * doc_rate);
+}
+
+/// Longer documents repeat terms more often (mildly; see
+/// SyntheticCorpusSpec::tf_length_pow).
+double ModulatedContinuation(const SyntheticCorpusSpec& spec, double base,
+                             double size_factor) {
+  return std::clamp(base * std::pow(size_factor, spec.tf_length_pow), 0.02,
+                    spec.max_continuation);
+}
+
+}  // namespace
+
+std::uint32_t TermTopic(const SyntheticCorpusSpec& spec, TermId term,
+                        double doc_rate) {
+  if (doc_rate >= spec.global_rate_threshold || spec.num_topics == 0) {
+    return kGlobalTopic;
+  }
+  return static_cast<std::uint32_t>(
+      util::Mix64(spec.seed ^ 0x7091C5ULL ^ term) % spec.num_topics);
+}
+
+std::uint32_t DocTopic(const SyntheticCorpusSpec& spec, DocId doc) {
+  if (spec.num_topics == 0) return kGlobalTopic;
+  return static_cast<std::uint32_t>(
+      util::Mix64(spec.seed ^ 0xD0C701CULL ^ doc) % spec.num_topics);
+}
+
+std::vector<double> DocSizeFactors(std::uint32_t num_docs, double sigma,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xD0C51EFULL);
+  std::vector<double> factors(num_docs);
+  // exp(N(-sigma^2/2, sigma)) has mean 1, so expected document
+  // frequencies stay equal to the nominal rates.
+  const double mu = -0.5 * sigma * sigma;
+  for (auto& f : factors) f = std::exp(rng.Gaussian(mu, sigma));
+  return factors;
+}
+
+std::vector<double> MixtureSizeFactors(const SyntheticCorpusSpec& spec,
+                                       std::uint32_t num_docs,
+                                       std::uint64_t seed) {
+  auto factors = DocSizeFactors(num_docs, spec.length_sigma, seed);
+  util::Rng rng(seed ^ 0x10A6);
+  for (auto& f : factors) {
+    if (rng.NextDouble() < spec.long_doc_fraction) {
+      f *= spec.long_doc_factor;
+    }
+  }
+  return factors;
+}
+
+std::vector<double> TermDocRates(const SyntheticCorpusSpec& spec) {
+  SPARTA_CHECK(spec.vocab_size > 0);
+  auto weights =
+      util::ZipfMandelbrotWeights(spec.vocab_size, spec.zipf_s, spec.zipf_q);
+  // Scale so that the expected number of distinct terms per document,
+  // sum_t F(t), matches mean_unique_terms — then clamp head terms.
+  const double scale = spec.mean_unique_terms;
+  for (auto& w : weights) {
+    w = std::min(spec.max_doc_rate, w * scale);
+    w = std::max(w, 0.5 / static_cast<double>(spec.num_docs));
+  }
+  return weights;
+}
+
+namespace {
+
+/// Term-major generation core shared by GenerateRawCorpus and the
+/// scale-up: draws each term's df documents from the size-biased
+/// document pool of its topic (plus a global background) and geometric
+/// tf values; document quality (keyword density) shortens the effective
+/// length used for score normalization, creating the sharp score head
+/// and cross-term correlation of real impact lists.
+index::RawIndexData GenerateFromModel(
+    const SyntheticCorpusSpec& spec, std::uint32_t num_docs,
+    const std::vector<double>& rates,
+    const std::vector<double>& continuation, std::uint64_t seed) {
+  index::RawIndexData raw;
+  raw.num_docs = num_docs;
+  raw.doc_lengths.assign(num_docs, 0);
+  raw.term_postings.resize(rates.size());
+
+  const auto size_factor = MixtureSizeFactors(spec, num_docs, seed);
+
+  // Per-topic document pools with size-biased alias samplers. All
+  // occurrences — topical and background — are size-biased: longer pages
+  // mention more terms. The topic structure decides *which* documents a
+  // term's occurrences concentrate in (co-occurrence), while the length
+  // mixture decides how they score: the bulk of every list lands on
+  // long, low-scoring pages, and the sharp head is the minority of
+  // short/dense pages of the term's own topic.
+  const std::uint32_t topics = std::max(1u, spec.num_topics);
+  std::vector<std::vector<DocId>> topic_docs(topics);
+  for (DocId d = 0; d < num_docs; ++d) {
+    const auto z = DocTopic(spec, d);
+    topic_docs[z == kGlobalTopic ? 0 : z % topics].push_back(d);
+  }
+  std::vector<std::unique_ptr<util::AliasSampler>> topic_samplers(topics);
+  for (std::uint32_t z = 0; z < topics; ++z) {
+    if (topic_docs[z].empty()) continue;
+    std::vector<double> weights;
+    weights.reserve(topic_docs[z].size());
+    // Topical draws use a *tempered* size bias (sqrt): longer topic
+    // pages still attract more of their topic's terms, but short focused
+    // pages participate too — without the tempering, one aggregator page
+    // would absorb nearly all of a small pool's probability mass and
+    // topical co-occurrence would collapse onto a handful of long,
+    // low-scoring documents.
+    for (const DocId d : topic_docs[z]) {
+      weights.push_back(std::sqrt(size_factor[d]));
+    }
+    topic_samplers[z] = std::make_unique<util::AliasSampler>(weights);
+  }
+  const util::AliasSampler global_sampler(size_factor);
+
+  util::Rng rng(seed);
+  std::vector<DocId> draws;
+  // Draws documents with replacement from `sample` until `target` unique
+  // ids accumulate in `out` (or the distribution saturates). Plain
+  // rejection would silently lose most of the targeted document
+  // frequency under heavy size bias, compounding across scale-ups.
+  const auto draw_unique = [&](std::size_t target, std::size_t pool_size,
+                               auto&& sample, std::vector<DocId>& out) {
+    target = std::min(target, pool_size * 9 / 10 + 1);
+    std::size_t unique = 0;
+    for (int round = 0; round < 8 && unique < target; ++round) {
+      const std::size_t need = (target - unique) * 13 / 10 + 4;
+      for (std::size_t i = 0; i < need; ++i) out.push_back(sample());
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      if (out.size() == unique) break;  // saturated
+      unique = out.size();
+    }
+  };
+
+  for (TermId t = 0; t < rates.size(); ++t) {
+    const auto target_df = static_cast<std::size_t>(
+        std::max(1.0, rates[t] * static_cast<double>(num_docs)));
+    const auto topic = TermTopic(spec, t, rates[t]);
+    const std::uint32_t z = topic == kGlobalTopic ? 0 : topic % topics;
+
+    // Size-biased sampling: documents with a larger size factor attract
+    // proportionally more terms; topical terms concentrate in their
+    // topic's documents.
+    draws.clear();
+    draws.reserve(target_df);
+    if (topic != kGlobalTopic && topic_samplers[z] != nullptr) {
+      const auto topical_target = static_cast<std::size_t>(
+          spec.topical_concentration * static_cast<double>(target_df));
+      draw_unique(
+          topical_target, topic_docs[z].size(),
+          [&] { return topic_docs[z][topic_samplers[z]->Sample(rng)]; },
+          draws);
+    }
+    const std::size_t topical_unique = draws.size();
+    draw_unique(
+        topical_unique + (target_df - std::min(target_df, topical_unique)),
+        num_docs,
+        [&] { return static_cast<DocId>(global_sampler.Sample(rng)); },
+        draws);
+
+    auto& list = raw.term_postings[t];
+    list.reserve(draws.size());
+    for (const DocId doc : draws) {
+      const double cont =
+          ModulatedContinuation(spec, continuation[t], size_factor[doc]);
+      const auto tf =
+          static_cast<std::uint32_t>(1 + rng.Geometric(1.0 - cont));
+      list.push_back(index::RawPosting{doc, tf});
+      raw.doc_lengths[doc] += tf;
+    }
+  }
+
+  // Normalization lengths are set directly from the generative factors:
+  // len ∝ ℓ / q, where ℓ is the size factor (how much raw text the page
+  // has — the same factor that attracted background term occurrences)
+  // and q the quality/keyword-density factor. Because background list
+  // membership is size-biased, the *bulk* of every posting list consists
+  // of long documents scoring low after length normalization, while the
+  // typical (uniformly drawn) topical candidate is short and scores near
+  // the ceiling — together producing the sharp-headed impact lists and
+  // high Θ of real web corpora. (The raw Σtf is deliberately not used:
+  // per-term dedup saturates it for huge documents, compressing exactly
+  // the length spread the model needs.)
+  const auto quality =
+      DocSizeFactors(num_docs, spec.quality_sigma, seed ^ 0x0A11U);
+  constexpr double kLengthScale = 300.0;
+  for (DocId d = 0; d < num_docs; ++d) {
+    const double len = kLengthScale * size_factor[d] / quality[d];
+    raw.doc_lengths[d] =
+        std::max(1u, static_cast<std::uint32_t>(std::lround(len)));
+  }
+  return raw;
+}
+
+}  // namespace
+
+index::RawIndexData GenerateRawCorpus(const SyntheticCorpusSpec& spec) {
+  const auto rates = TermDocRates(spec);
+  std::vector<double> continuation(rates.size());
+  for (std::size_t t = 0; t < rates.size(); ++t) {
+    continuation[t] = ContinuationProbability(rates[t]);
+  }
+  return GenerateFromModel(spec, spec.num_docs, rates, continuation,
+                           spec.seed);
+}
+
+index::RawIndexData GenerateScaledCorpus(
+    const SyntheticCorpusSpec& base_spec, std::uint32_t num_docs,
+    const std::vector<double>& rates,
+    const std::vector<double>& continuation, std::uint64_t seed) {
+  return GenerateFromModel(base_spec, num_docs, rates, continuation, seed);
+}
+
+std::string SyntheticWord(TermId t) { return "w" + std::to_string(t); }
+
+std::vector<std::string> GenerateTextCorpus(const SyntheticCorpusSpec& spec) {
+  // Document-major view of the same model (without the topic channel;
+  // intended for small pipeline tests): a number of distinct-term draws
+  // proportional to the document's size factor, each drawn from the
+  // term-popularity distribution, repeated geometrically.
+  const auto rates = TermDocRates(spec);
+  const util::AliasSampler term_sampler(rates);
+  double rate_sum = 0.0;
+  for (const double r : rates) rate_sum += r;
+  const auto size_factor =
+      DocSizeFactors(spec.num_docs, spec.length_sigma, spec.seed);
+
+  util::Rng rng(spec.seed ^ 0x7e57);
+  std::vector<std::string> docs;
+  docs.reserve(spec.num_docs);
+  std::vector<std::string> words;
+  for (std::uint32_t d = 0; d < spec.num_docs; ++d) {
+    const double expected = rate_sum * size_factor[d];
+    const auto distinct = static_cast<std::size_t>(std::max(
+        1.0, rng.Gaussian(expected, std::sqrt(std::max(1.0, expected)))));
+    words.clear();
+    for (std::size_t i = 0; i < distinct; ++i) {
+      const TermId t = static_cast<TermId>(term_sampler.Sample(rng));
+      const double cont = ModulatedContinuation(
+          spec, ContinuationProbability(rates[t]), size_factor[d]);
+      const auto tf =
+          static_cast<std::uint32_t>(1 + rng.Geometric(1.0 - cont));
+      for (std::uint32_t r = 0; r < tf; ++r) words.push_back(SyntheticWord(t));
+    }
+    rng.Shuffle(words.begin(), words.end());
+    std::string doc;
+    doc.reserve(words.size() * 7);
+    for (const auto& w : words) {
+      if (!doc.empty()) doc.push_back(' ');
+      doc += w;
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace sparta::corpus

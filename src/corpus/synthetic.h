@@ -1,0 +1,126 @@
+// Synthetic web-like corpus generation.
+//
+// Stands in for TREC ClueWeb09B (not available offline; see DESIGN.md §1).
+// The statistical properties that drive top-k algorithm dynamics are
+// preserved:
+//   * Zipf-Mandelbrot term popularity (document frequencies),
+//   * per-document term repetitions drawn from a geometric distribution
+//     whose continuation probability grows with term popularity — the
+//     exact mechanism the paper uses to build ClueWebX10 (§5.1),
+//   * log-normal-ish document lengths emerging from the draws, which via
+//     tf-idf length normalization induce the cross-term score correlation
+//     (short docs score high in all their terms) that makes score-order
+//     early stopping effective on real corpora.
+//
+// Generation is *term-major*: posting lists are built directly, term by
+// term, instead of materializing documents and inverting them. For a
+// bag-of-words scoring function the two are statistically equivalent,
+// and term-major is what makes million-document corpora cheap to build.
+// A document-major *text* generator is also provided to exercise the
+// tokenizer -> IndexBuilder pipeline in tests and examples.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "index/types.h"
+#include "util/rng.h"
+
+namespace sparta::corpus {
+
+struct SyntheticCorpusSpec {
+  std::uint32_t num_docs = 100'000;
+  std::uint32_t vocab_size = 50'000;
+  /// Zipf-Mandelbrot exponent / shift for term document-rates.
+  double zipf_s = 1.07;
+  double zipf_q = 2.7;
+  /// Target mean number of *distinct* terms per document; sets the
+  /// normalization of the term document-rate curve.
+  double mean_unique_terms = 60.0;
+  /// Cap on any single term's document rate (fraction of docs).
+  double max_doc_rate = 0.20;
+  /// Document sizes are a two-component mixture, reproducing the two
+  /// facts about web corpora that drive top-k dynamics: (a) the typical
+  /// (content) page is modest in length with a mild spread — so scores
+  /// among *candidates* are discriminative rather than saturated; and
+  /// (b) a minority of very long aggregator/boilerplate pages holds most
+  /// of the token mass — so the size-biased *bulk of every posting list*
+  /// is long, low-scoring documents. Together these yield sharp-headed
+  /// impact lists: a few percent of postings score high, the rest low,
+  /// which is what makes score-order early stopping effective.
+  double length_sigma = 2.2;        ///< sigma of the typical-page component
+  double long_doc_fraction = 0.10;  ///< share of aggregator pages
+  double long_doc_factor = 60.0;    ///< their size multiplier
+  /// Sigma of the log-normal per-document *quality* (keyword-density)
+  /// factor: a high-quality document packs the same term occurrences
+  /// into a shorter effective length, raising all of its term scores at
+  /// once. This produces the sharp head of real impact lists and the
+  /// cross-term score correlation that lets Θ climb quickly.
+  double quality_sigma = 1.4;
+  /// Topic model: topical terms concentrate their occurrences in the
+  /// documents of their topic, and queries are topical (see QueryLog) —
+  /// reproducing the term co-occurrence of real query logs, where the
+  /// best documents contain most of the query's terms.
+  std::uint32_t num_topics = 64;
+  /// Fraction of a topical term's occurrences that land in its topic.
+  double topical_concentration = 0.65;
+  /// Exponent coupling a document's size factor to its tf draws (how
+  /// much longer documents repeat terms). Kept small: large values make
+  /// tf saturation cancel length normalization and flatten impact lists.
+  double tf_length_pow = 0.05;
+  /// Cap on the geometric continuation probability (bounds tf tails).
+  double max_continuation = 0.55;
+  /// Terms with a document rate at or above this are topic-free (the
+  /// generic head of the vocabulary).
+  double global_rate_threshold = 0.12;
+  std::uint64_t seed = 0x5eedC0DE;
+};
+
+inline constexpr std::uint32_t kGlobalTopic =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Deterministic topic of a term (kGlobalTopic for the generic head);
+/// pure function of the spec, so the query generator and the scale-up
+/// recompute it without metadata.
+std::uint32_t TermTopic(const SyntheticCorpusSpec& spec, TermId term,
+                        double doc_rate);
+
+/// Deterministic topic of a document.
+std::uint32_t DocTopic(const SyntheticCorpusSpec& spec, DocId doc);
+
+/// Per-document size factors: log-normal with mean 1.
+std::vector<double> DocSizeFactors(std::uint32_t num_docs, double sigma,
+                                   std::uint64_t seed);
+
+/// The mixture size factors described at SyntheticCorpusSpec: typical
+/// pages (log-normal, sigma = length_sigma) plus long aggregator pages.
+std::vector<double> MixtureSizeFactors(const SyntheticCorpusSpec& spec,
+                                       std::uint32_t num_docs,
+                                       std::uint64_t seed);
+
+/// Per-term document rates F(t): P[term t appears in a document].
+/// Index = term id = popularity rank.
+std::vector<double> TermDocRates(const SyntheticCorpusSpec& spec);
+
+/// Builds raw posting lists directly from the statistical model.
+index::RawIndexData GenerateRawCorpus(const SyntheticCorpusSpec& spec);
+
+/// Low-level generator used by the scale-up: per-term document rates and
+/// geometric continuation probabilities are given explicitly (measured
+/// from the base corpus); topic/quality/length structure comes from
+/// `base_spec` so the scaled corpus is statistically congruent.
+index::RawIndexData GenerateScaledCorpus(
+    const SyntheticCorpusSpec& base_spec, std::uint32_t num_docs,
+    const std::vector<double>& rates,
+    const std::vector<double>& continuation, std::uint64_t seed);
+
+/// Document-major generator producing actual text (space-separated
+/// synthetic words, word `w<t>` for term id t), for pipeline tests and
+/// examples. Intended for small corpora.
+std::vector<std::string> GenerateTextCorpus(const SyntheticCorpusSpec& spec);
+
+/// Deterministic synthetic word for a term id ("w123" style).
+std::string SyntheticWord(TermId t);
+
+}  // namespace sparta::corpus

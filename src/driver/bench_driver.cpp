@@ -1,0 +1,146 @@
+#include "driver/bench_driver.h"
+
+#include <string>
+
+namespace sparta::driver {
+
+BenchDriver::BenchDriver(const corpus::Dataset& dataset)
+    : dataset_(dataset) {}
+
+sim::SimConfig BenchDriver::MakeSimConfig(int workers) const {
+  sim::SimConfig config;
+  config.num_workers = workers;
+  config.page_cache_bytes = dataset_.PageCacheBytes();
+  config.memory_budget_bytes = dataset_.spec().memory_budget_bytes;
+  // Random-access work (pRA's secondary-index lookups) is k-bound, not
+  // corpus-bound: the paper scores ~O(k) documents before UBStop no
+  // matter the corpus size. Our corpora are 1:500 scale but k is 1:10
+  // (100 vs 1000), so relative to traversal work pRA would be 50x
+  // over-penalized at the physical 80us/read. The per-read cost is
+  // scaled by that distortion factor to preserve the paper's balance
+  // (see EXPERIMENTS.md, "calibration").
+  // Random-access (per-event, k-bound) device costs are scaled by the
+  // corpus ratio so the random-vs-sequential balance of a query matches
+  // the paper's; per-posting (corpus-bound) costs are left physical.
+  constexpr double kCorpusScale = 1.0 / 500.0;  // docs_sim / docs_paper
+  config.costs.ssd_random_page =
+      static_cast<exec::VirtualTime>(80'000.0 * kCorpusScale);  // 160 ns
+  config.costs.page_cache_hit = 80;
+
+  // The cache hierarchy is scaled as well: per-entry structure sizes do
+  // not shrink with the corpus, so at physical cache sizes every
+  // algorithm's working set would fit in L2 and the memory-boundness the
+  // paper measures (shared maps in DRAM vs termMap replicas in private
+  // caches) would vanish. The scaled sizes keep the which-fits-where
+  // relationships of the paper's machine: pruned/local maps fit private
+  // caches, shared document maps do not.
+  config.costs.l1_bytes = 4 * 1024;
+  config.costs.l2_bytes = 32 * 1024;
+  config.costs.llc_bytes = 1536 * 1024;
+  return config;
+}
+
+const topk::ExactTopK& BenchDriver::Oracle(const corpus::Query& query,
+                                           int k) {
+  std::string key = std::to_string(k);
+  for (const TermId t : query) {
+    key.push_back(':');
+    key += std::to_string(t);
+  }
+  const auto it = oracle_cache_.find(key);
+  if (it != oracle_cache_.end()) return it->second;
+  auto exact = topk::ComputeExactTopK(dataset_.index(), query, k);
+  return oracle_cache_.emplace(key, std::move(exact)).first->second;
+}
+
+LatencyResult BenchDriver::MeasureLatency(
+    const topk::Algorithm& algo, std::span<const corpus::Query> queries,
+    const topk::SearchParams& params, int workers, bool measure_recall) {
+  sim::SimExecutor executor(MakeSimConfig(workers));
+  // "Prior to each experiment, we flush the file system's page cache."
+  executor.page_cache().Reset();
+
+  LatencyResult result;
+  double recall_sum = 0.0;
+  std::size_t recall_n = 0;
+  for (const auto& query : queries) {
+    auto ctx = executor.CreateQuery();
+    const auto search =
+        algo.Run(dataset_.index(), query, params, *ctx);
+    ++result.queries;
+    result.postings += search.stats.postings_processed;
+    if (!search.ok()) {
+      ++result.oom;
+      continue;
+    }
+    result.latency_ns.Add(ctx->end_time() - ctx->start_time());
+    if (measure_recall) {
+      const auto& exact = Oracle(query, params.k);
+      recall_sum += topk::Recall(exact, search.entries);
+      ++recall_n;
+    }
+  }
+  result.mean_recall =
+      recall_n > 0 ? recall_sum / static_cast<double>(recall_n) : 0.0;
+  return result;
+}
+
+ThroughputResult BenchDriver::MeasureThroughput(
+    const topk::Algorithm& algo, std::span<const corpus::Query> queries,
+    const topk::SearchParams& params, int workers) {
+  sim::SimExecutor executor(MakeSimConfig(workers));
+  executor.page_cache().Reset();
+
+  struct InFlight {
+    std::unique_ptr<exec::QueryContext> ctx;
+    std::unique_ptr<topk::QueryRun> run;
+    const corpus::Query* query = nullptr;
+  };
+  std::vector<InFlight> flights;
+  flights.reserve(queries.size());
+
+  std::size_t next = 0;
+  exec::VirtualTime first_admit = 0;
+  const auto admit = [&](exec::VirtualTime now) -> bool {
+    if (next >= queries.size()) return false;
+    if (next == 0) first_admit = now;
+    InFlight flight;
+    flight.query = &queries[next];
+    flight.ctx = executor.CreateQueryAt(now);
+    flight.run = algo.Prepare(dataset_.index(), *flight.query, params,
+                              *flight.ctx);
+    flight.run->Start();
+    flights.push_back(std::move(flight));
+    ++next;
+    return next < queries.size();
+  };
+  executor.Drain(admit);
+
+  ThroughputResult result;
+  result.queries = flights.size();
+  exec::VirtualTime makespan_end = first_admit;
+  double recall_sum = 0.0;
+  std::size_t recall_n = 0;
+  for (auto& flight : flights) {
+    const auto search = flight.run->TakeResult();
+    if (!search.ok()) {
+      ++result.oom;
+      continue;
+    }
+    makespan_end = std::max(makespan_end, flight.ctx->end_time());
+    const auto& exact = Oracle(*flight.query, params.k);
+    recall_sum += topk::Recall(exact, search.entries);
+    ++recall_n;
+  }
+  const double seconds =
+      static_cast<double>(makespan_end - first_admit) / 1e9;
+  result.qps = seconds > 0.0
+                   ? static_cast<double>(result.queries - result.oom) /
+                         seconds
+                   : 0.0;
+  result.mean_recall =
+      recall_n > 0 ? recall_sum / static_cast<double>(recall_n) : 0.0;
+  return result;
+}
+
+}  // namespace sparta::driver

@@ -1,0 +1,85 @@
+// Benchmark driver: the measurement harness of §5.1.
+//
+// "A benchmark driver draws queries from an input queue and submits them
+//  to the algorithm being tested, which uses a thread pool for
+//  intra-query parallelism. ... When testing latency, the entire thread
+//  pool is used by a single query. In the throughput evaluation mode,
+//  queries are scheduled first-come-first-served, and a new query is
+//  scheduled for execution once there are idle threads."
+//
+// All measurements run on the simulated machine (sim::SimExecutor) so
+// that 12-core results are reproducible on any host; the page cache is
+// flushed at the start of every experiment, as in the paper.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+
+#include "corpus/datasets.h"
+#include "sim/sim_executor.h"
+#include "topk/algorithm.h"
+#include "topk/oracle.h"
+#include "topk/recall.h"
+#include "util/histogram.h"
+
+namespace sparta::driver {
+
+struct LatencyResult {
+  util::Histogram latency_ns;
+  std::size_t queries = 0;
+  std::size_t oom = 0;
+  double mean_recall = 0.0;  ///< over non-OOM queries
+  std::uint64_t postings = 0;
+
+  double MeanMs() const {
+    return latency_ns.empty() ? 0.0 : latency_ns.Mean() / 1e6;
+  }
+  double P95Ms() const {
+    return latency_ns.empty()
+               ? 0.0
+               : static_cast<double>(latency_ns.Percentile(95)) / 1e6;
+  }
+  bool AllOom() const { return queries > 0 && oom == queries; }
+};
+
+struct ThroughputResult {
+  double qps = 0.0;
+  std::size_t queries = 0;
+  std::size_t oom = 0;
+  double mean_recall = 0.0;
+};
+
+class BenchDriver {
+ public:
+  explicit BenchDriver(const corpus::Dataset& dataset);
+
+  const corpus::Dataset& dataset() const { return dataset_; }
+
+  /// Simulated-machine configuration for this dataset with `workers`
+  /// worker threads.
+  sim::SimConfig MakeSimConfig(int workers) const;
+
+  /// Latency mode: each query runs alone on a fresh page cache per
+  /// *experiment* (not per query). `measure_recall` compares against the
+  /// (cached) exact oracle.
+  LatencyResult MeasureLatency(const topk::Algorithm& algo,
+                               std::span<const corpus::Query> queries,
+                               const topk::SearchParams& params, int workers,
+                               bool measure_recall = true);
+
+  /// Throughput mode: FCFS admission onto a shared pool of `workers`.
+  ThroughputResult MeasureThroughput(const topk::Algorithm& algo,
+                                     std::span<const corpus::Query> queries,
+                                     const topk::SearchParams& params,
+                                     int workers);
+
+  /// Ground truth for (query, k), cached across calls.
+  const topk::ExactTopK& Oracle(const corpus::Query& query, int k);
+
+ private:
+  const corpus::Dataset& dataset_;
+  std::map<std::string, topk::ExactTopK> oracle_cache_;
+};
+
+}  // namespace sparta::driver

@@ -1,0 +1,145 @@
+#include "driver/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "topk/doc_heap.h"
+
+namespace sparta::driver {
+
+int DefaultK() { return 100; }
+
+int WorkersFor(int terms) { return std::min(terms, kMachineWorkers); }
+
+exec::VirtualTime DefaultDelta() {
+  // The paper's Δ = 10 ms guards the completeness of a k = 1000 result.
+  // We apply the paper's own calibration procedure — the approximate
+  // "high" variants must empirically reach ~96%+ recall (§5.3) — which
+  // on the scaled corpora lands at Δ = 2 ms; see bench_table3 and
+  // EXPERIMENTS.md ("calibration").
+  return 2 * exec::kMillisecond;
+}
+
+namespace {
+
+topk::SearchParams BaseParams() {
+  topk::SearchParams params;
+  params.k = DefaultK();
+  // The paper's Φ = 10K entries is "small enough to fit in local
+  // caches" on its machine. Scaled like the cache hierarchy (DESIGN.md
+  // §3a): with ~1.5 MB of simulated LLC, m termMap replicas of Φ
+  // entries fit caches — and stay well under the scaled memory budget —
+  // at Φ = 1000. (The ablation bench sweeps Φ and shows latency is flat
+  // in it at this scale.)
+  params.phi = 1000;
+  return params;
+}
+
+AlgoVariant Variant(std::string algorithm, std::string suffix,
+                    topk::SearchParams params) {
+  AlgoVariant v;
+  v.label = algorithm + std::move(suffix);
+  v.algorithm = std::move(algorithm);
+  v.params = params;
+  return v;
+}
+
+}  // namespace
+
+std::vector<AlgoVariant> ExactVariants() {
+  const auto base = BaseParams();
+  std::vector<AlgoVariant> out;
+  for (const char* name :
+       {"Sparta", "pNRA", "sNRA", "pRA", "pBMW", "pJASS"}) {
+    out.push_back(Variant(name, "-exact", base));
+  }
+  return out;
+}
+
+std::vector<AlgoVariant> HighRecallVariants() {
+  std::vector<AlgoVariant> out;
+  auto delta = BaseParams();
+  delta.delta = DefaultDelta();
+  for (const char* name : {"Sparta", "pNRA", "sNRA", "pRA"}) {
+    out.push_back(Variant(name, "-high", delta));
+  }
+  // pBMW's f = 5 was the paper's empirical high-recall point; the same
+  // >= 96% calibration procedure lands at f = 2 on our corpora.
+  auto bmw = BaseParams();
+  bmw.f = 2.0;
+  out.push_back(Variant("pBMW", "-high", bmw));
+  // The paper instantiates pJASS with p = 0.02 for high recall on
+  // ClueWeb; p does not control recall directly ("our high recall
+  // instances are ones that empirically achieve a recall of 96% or
+  // higher", §5.3) and our synthetic impact lists are flatter than
+  // ClueWeb's, so the same calibration procedure lands at a larger p.
+  auto jass = BaseParams();
+  jass.p = 0.75;
+  out.push_back(Variant("pJASS", "-high", jass));
+  return out;
+}
+
+std::vector<AlgoVariant> LowRecallVariants() {
+  std::vector<AlgoVariant> out;
+  auto bmw = BaseParams();
+  bmw.f = 10.0;
+  out.push_back(Variant("pBMW", "-low", bmw));
+  // Low-recall pJASS: same calibration note as the high variant (the
+  // paper's p = 0.005 maps to a larger fraction on our flatter lists).
+  auto jass = BaseParams();
+  jass.p = 0.4;
+  out.push_back(Variant("pJASS", "-low", jass));
+  return out;
+}
+
+bool QuickMode() { return std::getenv("SPARTA_QUICK") != nullptr; }
+
+std::size_t QueryBudget(std::size_t full) {
+  if (!QuickMode()) return full;
+  return std::max<std::size_t>(2, full / 10);
+}
+
+std::vector<double> RecallOverTime(
+    const TraceRecorder& trace, exec::VirtualTime query_start,
+    const topk::ExactTopK& exact,
+    std::span<const exec::VirtualTime> sample_offsets) {
+  // Events are appended in real execution order, whose virtual
+  // timestamps are only approximately monotone; sort by time.
+  auto events = trace.events();
+  std::sort(events.begin(), events.end(),
+            [](const TraceRecorder::Event& a, const TraceRecorder::Event& b) {
+              return a.time < b.time;
+            });
+
+  std::vector<double> recalls;
+  recalls.reserve(sample_offsets.size());
+  const int k = static_cast<int>(exact.topk.size());
+  if (k == 0) {
+    recalls.assign(sample_offsets.size(), 1.0);
+    return recalls;
+  }
+
+  // Reconstruct the heap at each sample: best-score-so-far per doc,
+  // top-k by score.
+  std::unordered_map<DocId, Score> best;
+  topk::TopKHeap heap(k);
+  std::size_t next_event = 0;
+  for (const auto offset : sample_offsets) {
+    const exec::VirtualTime cutoff = query_start + offset;
+    for (; next_event < events.size() && events[next_event].time <= cutoff;
+         ++next_event) {
+      const auto& e = events[next_event];
+      auto& slot = best[e.doc];
+      if (e.score > slot) slot = e.score;
+    }
+    // Rebuild the heap from scratch only if something changed; the map
+    // is small (bounded by distinct traced docs).
+    heap = topk::TopKHeap(k);
+    for (const auto& [doc, score] : best) heap.Insert({score, doc});
+    recalls.push_back(topk::Recall(exact, heap.Extract()));
+  }
+  return recalls;
+}
+
+}  // namespace sparta::driver

@@ -1,0 +1,90 @@
+#include "driver/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/common.h"
+
+namespace sparta::driver {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  SPARTA_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  os << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os.width(static_cast<std::streamsize>(width[c]));
+      os << (c == 0 ? std::left : std::right);
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule.append(width[c] + (c == 0 ? 0 : 2), '-');
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+bool Table::WriteCsv(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string slug;
+  for (const char ch : title_) {
+    slug.push_back(std::isalnum(static_cast<unsigned char>(ch))
+                       ? static_cast<char>(
+                             std::tolower(static_cast<unsigned char>(ch)))
+                       : '_');
+  }
+  std::ofstream out(dir + "/" + slug + ".csv");
+  if (!out) return false;
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+  return static_cast<bool>(out);
+}
+
+std::string FormatMs(exec::VirtualTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string FormatPct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string FormatF(double v, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace sparta::driver

@@ -1,0 +1,39 @@
+// Fixed-width table printing and CSV export for the benchmark binaries.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exec/context.h"
+
+namespace sparta::driver {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Aligned human-readable rendering.
+  void Print(std::ostream& os) const;
+
+  /// Writes "<dir>/<slug(title)>.csv". Returns false on I/O error.
+  bool WriteCsv(const std::string& dir) const;
+
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "123.4" from virtual nanoseconds, in milliseconds.
+std::string FormatMs(exec::VirtualTime ns);
+/// "97.5%" from a [0,1] fraction.
+std::string FormatPct(double fraction);
+/// Fixed-precision double.
+std::string FormatF(double v, int precision = 2);
+
+}  // namespace sparta::driver

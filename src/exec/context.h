@@ -1,0 +1,146 @@
+// Execution abstraction: one algorithm code path, two executors.
+//
+// Retrieval algorithms are written as self-replenishing *jobs* submitted
+// to a per-query QueryContext (exactly the job-queue structure of the
+// paper's Algorithm 1). The context is backed either by
+//   * exec::ThreadedExecutor — real std::threads, wall-clock time; or
+//   * sim::SimExecutor      — a deterministic discrete-event simulator
+//     with virtual worker clocks and a memory/IO cost model, which is how
+//     the paper's 12-core results are reproduced on any host.
+//
+// Algorithms interact with the machine only through WorkerContext:
+// clocks, CPU cost charging, shared-line coherence hints, structure
+// access costs, disk I/O, and memory-budget accounting. The threaded
+// executor implements the cost hooks as no-ops (real hardware charges
+// them implicitly); the simulator turns them into virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "util/common.h"
+
+namespace sparta::exec {
+
+/// Time in nanoseconds. Virtual under the simulator, steady-clock-based
+/// under the threaded executor.
+using VirtualTime = std::int64_t;
+
+inline constexpr VirtualTime kNever =
+    std::numeric_limits<VirtualTime>::max() / 4;
+
+inline constexpr VirtualTime kMillisecond = 1'000'000;
+
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+/// Handle passed to every job invocation; identifies the executing worker
+/// and carries the cost-model hooks.
+class WorkerContext {
+ public:
+  virtual ~WorkerContext() = default;
+
+  /// Executing worker id in [0, num_workers).
+  virtual int worker_id() const = 0;
+
+  /// This worker's clock (virtual ns in sim mode; elapsed real ns since
+  /// query start in threaded mode).
+  virtual VirtualTime Now() const = 0;
+
+  /// Charges `ns` of CPU work to this worker. No-op on real threads.
+  virtual void Charge(VirtualTime ns) = 0;
+
+  /// Charges the per-posting CPU cost (decode + integer scoring) for
+  /// `n` postings. No-op on real threads.
+  virtual void ChargePostings(std::uint64_t n) = 0;
+
+  /// Coherence hint for a small hot shared variable (a term-UB entry, a
+  /// flag, a threshold). `line` identifies the cache line (any address on
+  /// it). The simulator charges an invalidation miss to readers after a
+  /// remote write, reproducing the cache-line ping-pong the paper's lazy
+  /// UB update optimization avoids.
+  virtual void SharedAccess(const void* line, AccessKind kind) = 0;
+
+  /// Cost hint for accessing a large in-memory structure (a document
+  /// map). The simulator prices the access by which cache level a
+  /// structure of `structure_bytes` lives in; `write_shared` marks
+  /// structures concurrently mutated by other workers (never cacheable);
+  /// `insert` adds node-allocation/rehash cost.
+  virtual void StructureAccess(std::size_t structure_bytes,
+                               bool write_shared, bool insert = false) = 0;
+
+  /// Batched form of StructureAccess for tight loops: `count` accesses to
+  /// a structure of the given size.
+  virtual void StructureAccessMany(std::size_t structure_bytes,
+                                   bool write_shared,
+                                   std::uint64_t count) = 0;
+
+  /// Sequential read of `length` bytes at `offset` of the index file;
+  /// charged through the page-cache/SSD model.
+  virtual void IoSequential(std::uint64_t offset, std::uint64_t length) = 0;
+
+  /// Random 1-page read at `offset` (TA-RA's secondary-index lookups).
+  virtual void IoRandom(std::uint64_t offset) = 0;
+
+  /// Adjusts the query's modeled memory footprint by `delta_bytes`
+  /// (negative to release). Returns false once the budget is exceeded —
+  /// the caller must then abort the query with an OOM result (this is
+  /// how the paper's "N/A — crashed due to lack of memory" cells are
+  /// reproduced without crashing).
+  [[nodiscard]] virtual bool ChargeMemory(std::int64_t delta_bytes) = 0;
+};
+
+/// A mutual-exclusion lock priced by the executor (real std::mutex on
+/// threads; a contention/serialization model in the simulator).
+class CtxLock {
+ public:
+  virtual ~CtxLock() = default;
+  virtual void Lock(WorkerContext& worker) = 0;
+  virtual void Unlock(WorkerContext& worker) = 0;
+};
+
+/// RAII guard for CtxLock.
+class CtxLockGuard {
+ public:
+  CtxLockGuard(CtxLock& lock, WorkerContext& worker)
+      : lock_(lock), worker_(worker) {
+    lock_.Lock(worker_);
+  }
+  ~CtxLockGuard() { lock_.Unlock(worker_); }
+  CtxLockGuard(const CtxLockGuard&) = delete;
+  CtxLockGuard& operator=(const CtxLockGuard&) = delete;
+
+ private:
+  CtxLock& lock_;
+  WorkerContext& worker_;
+};
+
+using JobFn = std::function<void(WorkerContext&)>;
+
+/// Per-query execution facade.
+class QueryContext {
+ public:
+  virtual ~QueryContext() = default;
+
+  /// Enqueues a job. Callable both from outside (initial jobs) and from
+  /// within a running job (self-replenishing segment tasks).
+  virtual void Submit(JobFn job) = 0;
+
+  /// Number of workers the query may use.
+  virtual int num_workers() const = 0;
+
+  /// Creates a lock priced by this executor.
+  virtual std::unique_ptr<CtxLock> MakeLock() = 0;
+
+  /// Runs all submitted jobs to completion (latency mode: the query owns
+  /// the worker pool). Valid only when this is the only active query.
+  virtual void RunToCompletion() = 0;
+
+  /// The query's start time on this executor's clock.
+  virtual VirtualTime start_time() const = 0;
+
+  /// Completion time of the query's last job (valid after drain).
+  virtual VirtualTime end_time() const = 0;
+};
+
+}  // namespace sparta::exec

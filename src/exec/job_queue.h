@@ -1,0 +1,39 @@
+// Blocking multi-producer multi-consumer FIFO job queue with drain
+// detection, used by the threaded executor.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "exec/context.h"
+
+namespace sparta::exec {
+
+class JobQueue {
+ public:
+  /// Enqueues a job. A job counts as outstanding from Push() until the
+  /// matching JobDone().
+  void Push(JobFn job);
+
+  /// Pops the next job, blocking while the queue is empty but jobs are
+  /// still outstanding (they may push successors). Returns nullopt once
+  /// the queue has fully drained (no queued and no running jobs).
+  std::optional<JobFn> Pop();
+
+  /// Marks one previously popped job as finished.
+  void JobDone();
+
+  /// Outstanding = queued + running.
+  std::size_t outstanding() const;
+  std::size_t queued() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<JobFn> queue_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace sparta::exec

@@ -1,0 +1,201 @@
+#include "exec/thread_pool.h"
+
+#include <chrono>
+
+namespace sparta::exec {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+class PoolLock final : public CtxLock {
+ public:
+  void Lock(WorkerContext&) override { mutex_.lock(); }
+  void Unlock(WorkerContext&) override { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Base worker context of a pool worker: real clock, no-op cost hooks.
+/// Memory accounting is query-scoped (see QueryScopedContext).
+class PoolWorkerContext final : public WorkerContext {
+ public:
+  PoolWorkerContext(int id, Clock::time_point epoch)
+      : id_(id), epoch_(epoch) {}
+
+  int worker_id() const override { return id_; }
+  VirtualTime Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - epoch_)
+        .count();
+  }
+  void Charge(VirtualTime) override {}
+  void ChargePostings(std::uint64_t) override {}
+  void SharedAccess(const void*, AccessKind) override {}
+  void StructureAccess(std::size_t, bool, bool) override {}
+  void StructureAccessMany(std::size_t, bool, std::uint64_t) override {}
+  void IoSequential(std::uint64_t, std::uint64_t) override {}
+  void IoRandom(std::uint64_t) override {}
+  bool ChargeMemory(std::int64_t) override { return true; }
+
+ private:
+  int id_;
+  Clock::time_point epoch_;
+};
+
+/// Decorator binding memory accounting to the job's query.
+class QueryScopedContext final : public WorkerContext {
+ public:
+  QueryScopedContext(WorkerContext& base,
+                     std::atomic<std::int64_t>& mem_used,
+                     std::int64_t mem_budget)
+      : base_(base), mem_used_(mem_used), mem_budget_(mem_budget) {}
+
+  int worker_id() const override { return base_.worker_id(); }
+  VirtualTime Now() const override { return base_.Now(); }
+  void Charge(VirtualTime ns) override { base_.Charge(ns); }
+  void ChargePostings(std::uint64_t n) override {
+    base_.ChargePostings(n);
+  }
+  void SharedAccess(const void* line, AccessKind kind) override {
+    base_.SharedAccess(line, kind);
+  }
+  void StructureAccess(std::size_t bytes, bool shared,
+                       bool insert) override {
+    base_.StructureAccess(bytes, shared, insert);
+  }
+  void StructureAccessMany(std::size_t bytes, bool shared,
+                           std::uint64_t count) override {
+    base_.StructureAccessMany(bytes, shared, count);
+  }
+  void IoSequential(std::uint64_t offset, std::uint64_t length) override {
+    base_.IoSequential(offset, length);
+  }
+  void IoRandom(std::uint64_t offset) override { base_.IoRandom(offset); }
+  bool ChargeMemory(std::int64_t delta) override {
+    return mem_used_.fetch_add(delta, std::memory_order_relaxed) + delta <=
+           mem_budget_;
+  }
+
+ private:
+  WorkerContext& base_;
+  std::atomic<std::int64_t>& mem_used_;
+  std::int64_t mem_budget_;
+};
+
+}  // namespace
+
+/// Per-query state + QueryContext facade over the shared pool.
+class ThreadPool::PoolQuery final : public QueryContext {
+ public:
+  PoolQuery(ThreadPool& pool, VirtualTime start)
+      : pool_(pool), start_(start) {
+    end_.store(start, std::memory_order_relaxed);
+  }
+
+  void Submit(JobFn job) override {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    // The pool references this query only while jobs are outstanding;
+    // RunToCompletion() below guarantees the needed lifetime.
+    pool_.Enqueue([this, job = std::move(job)](WorkerContext& w) {
+      QueryScopedContext ctx(w, mem_used_,
+                             pool_.options_.memory_budget_bytes);
+      job(ctx);
+      const auto now = w.Now();
+      VirtualTime prev = end_.load(std::memory_order_relaxed);
+      while (prev < now && !end_.compare_exchange_weak(
+                               prev, now, std::memory_order_relaxed)) {
+      }
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard guard(done_mutex_);
+        done_cv_.notify_all();
+      }
+    });
+  }
+
+  int num_workers() const override { return pool_.num_workers(); }
+
+  std::unique_ptr<CtxLock> MakeLock() override {
+    return std::make_unique<PoolLock>();
+  }
+
+  void RunToCompletion() override {
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  VirtualTime start_time() const override { return start_; }
+  VirtualTime end_time() const override {
+    return end_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ThreadPool& pool_;
+  VirtualTime start_;
+  std::atomic<VirtualTime> end_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<std::int64_t> mem_used_{0};
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+};
+
+void ThreadPool::Enqueue(std::function<void(WorkerContext&)> fn) {
+  {
+    const std::lock_guard guard(mutex_);
+    SPARTA_CHECK(!shutdown_.load(std::memory_order_relaxed));
+    jobs_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(int id) {
+  PoolWorkerContext ctx(id, epoch_);
+  for (;;) {
+    std::function<void(WorkerContext&)> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] {
+        return !jobs_.empty() || shutdown_.load(std::memory_order_acquire);
+      });
+      if (jobs_.empty()) return;  // shutdown with a drained queue
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job(ctx);
+  }
+}
+
+ThreadPool::ThreadPool(Options options) : options_(options) {
+  SPARTA_CHECK(options_.num_workers >= 1);
+  epoch_ = Clock::now();
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard guard(mutex_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::unique_ptr<QueryContext> ThreadPool::CreateQuery() {
+  const auto start = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         Clock::now() - epoch_)
+                         .count();
+  return std::make_unique<PoolQuery>(*this, start);
+}
+
+std::size_t ThreadPool::QueuedJobs() const {
+  const std::lock_guard guard(mutex_);
+  return jobs_.size();
+}
+
+}  // namespace sparta::exec

@@ -1,0 +1,69 @@
+// Shared-pool threaded executor: the production counterpart of the
+// paper's throughput mode (§5.1) — "queries are scheduled
+// first-come-first-served, and a new query is scheduled for execution
+// once there are idle threads ... All queries scheduled for execution
+// equally share the thread pool."
+//
+// One persistent worker pool drains one global FIFO job queue; any
+// number of queries may be in flight, each with its own QueryContext
+// carrying per-query completion and memory accounting. Use
+// ThreadedExecutor (one pool per query) for latency mode.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/context.h"
+
+namespace sparta::exec {
+
+class ThreadPool {
+ public:
+  struct Options {
+    int num_workers = 4;
+    /// Modeled per-query memory budget (unlimited by default).
+    std::int64_t memory_budget_bytes =
+        std::numeric_limits<std::int64_t>::max();
+  };
+
+  explicit ThreadPool(Options options);
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Creates a query context bound to the shared pool. Its
+  /// RunToCompletion() waits for *this query's* jobs only — other
+  /// queries keep running; start/end times are on the pool's clock, so
+  /// FCFS makespans are directly comparable across queries.
+  std::unique_ptr<QueryContext> CreateQuery();
+
+  /// Jobs currently queued (not yet picked up). The paper's admission
+  /// rule: admit the next query while this is below the worker count.
+  std::size_t QueuedJobs() const;
+
+  int num_workers() const { return options_.num_workers; }
+
+ private:
+  class PoolQuery;
+
+  void Enqueue(std::function<void(WorkerContext&)> fn);
+  void WorkerLoop(int id);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void(WorkerContext&)>> jobs_;
+  std::atomic<bool> shutdown_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sparta::exec

@@ -1,0 +1,117 @@
+#include "exec/threaded_executor.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sparta::exec {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class ThreadedQuery;
+
+/// Per-worker context: real clock, no-op cost hooks, shared memory meter.
+class ThreadedWorker final : public WorkerContext {
+ public:
+  ThreadedWorker(int id, Clock::time_point epoch,
+                 std::atomic<std::int64_t>* mem_used,
+                 std::int64_t mem_budget)
+      : id_(id), epoch_(epoch), mem_used_(mem_used),
+        mem_budget_(mem_budget) {}
+
+  int worker_id() const override { return id_; }
+
+  VirtualTime Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - epoch_)
+        .count();
+  }
+
+  void Charge(VirtualTime) override {}
+  void ChargePostings(std::uint64_t) override {}
+  void SharedAccess(const void*, AccessKind) override {}
+  void StructureAccess(std::size_t, bool, bool) override {}
+  void StructureAccessMany(std::size_t, bool, std::uint64_t) override {}
+  void IoSequential(std::uint64_t, std::uint64_t) override {}
+  void IoRandom(std::uint64_t) override {}
+
+  bool ChargeMemory(std::int64_t delta_bytes) override {
+    const auto used =
+        mem_used_->fetch_add(delta_bytes, std::memory_order_relaxed) +
+        delta_bytes;
+    return used <= mem_budget_;
+  }
+
+ private:
+  int id_;
+  Clock::time_point epoch_;
+  std::atomic<std::int64_t>* mem_used_;
+  std::int64_t mem_budget_;
+};
+
+/// CtxLock over std::mutex.
+class ThreadedLock final : public CtxLock {
+ public:
+  void Lock(WorkerContext&) override { mutex_.lock(); }
+  void Unlock(WorkerContext&) override { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+class ThreadedQuery final : public QueryContext {
+ public:
+  explicit ThreadedQuery(ThreadedExecutor::Options options)
+      : options_(options), epoch_(Clock::now()) {}
+
+  void Submit(JobFn job) override { queue_.Push(std::move(job)); }
+
+  int num_workers() const override { return options_.num_workers; }
+
+  std::unique_ptr<CtxLock> MakeLock() override {
+    return std::make_unique<ThreadedLock>();
+  }
+
+  void RunToCompletion() override {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(options_.num_workers));
+    for (int w = 0; w < options_.num_workers; ++w) {
+      workers.emplace_back([this, w] {
+        ThreadedWorker ctx(w, epoch_, &mem_used_,
+                           options_.memory_budget_bytes);
+        while (auto job = queue_.Pop()) {
+          (*job)(ctx);
+          queue_.JobDone();
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    end_time_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - epoch_)
+                    .count();
+  }
+
+  VirtualTime start_time() const override { return 0; }
+  VirtualTime end_time() const override { return end_time_; }
+
+ private:
+  ThreadedExecutor::Options options_;
+  Clock::time_point epoch_;
+  JobQueue queue_;
+  std::atomic<std::int64_t> mem_used_{0};
+  VirtualTime end_time_ = 0;
+};
+
+}  // namespace
+
+ThreadedExecutor::ThreadedExecutor(Options options) : options_(options) {
+  SPARTA_CHECK(options_.num_workers >= 1);
+}
+
+std::unique_ptr<QueryContext> ThreadedExecutor::CreateQuery() {
+  return std::make_unique<ThreadedQuery>(options_);
+}
+
+}  // namespace sparta::exec

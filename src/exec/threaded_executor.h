@@ -1,0 +1,39 @@
+// Real-thread executor: the production-mode backend of QueryContext.
+//
+// Cost hooks are no-ops (real hardware pays them implicitly); Now() is a
+// steady-clock reading relative to query start, so Δ-based approximate
+// stopping works identically to the simulator.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "exec/context.h"
+#include "exec/job_queue.h"
+
+namespace sparta::exec {
+
+class ThreadedExecutor {
+ public:
+  struct Options {
+    int num_workers = 1;
+    /// Modeled memory budget per query; the default is effectively
+    /// unlimited (real executions do not simulate OOM).
+    std::int64_t memory_budget_bytes =
+        std::numeric_limits<std::int64_t>::max();
+  };
+
+  explicit ThreadedExecutor(Options options);
+
+  /// Creates a fresh per-query context. The query's jobs run when
+  /// RunToCompletion() is invoked on the returned context; workers are
+  /// spawned for the duration of that call.
+  std::unique_ptr<QueryContext> CreateQuery();
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace sparta::exec

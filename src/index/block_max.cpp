@@ -1,0 +1,31 @@
+#include "index/block_max.h"
+
+#include <algorithm>
+
+namespace sparta::index {
+
+std::vector<BlockMeta> BuildBlockMeta(std::span<const Posting> doc_order) {
+  std::vector<BlockMeta> blocks;
+  blocks.reserve((doc_order.size() + kBlockSize - 1) / kBlockSize);
+  for (std::size_t begin = 0; begin < doc_order.size();
+       begin += kBlockSize) {
+    const std::size_t end = std::min(begin + kBlockSize, doc_order.size());
+    BlockMeta meta;
+    meta.last_doc = doc_order[end - 1].doc;
+    meta.max_score = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      meta.max_score = std::max(meta.max_score, doc_order[i].score);
+    }
+    blocks.push_back(meta);
+  }
+  return blocks;
+}
+
+std::size_t FindBlock(std::span<const BlockMeta> blocks, DocId target) {
+  const auto it = std::lower_bound(
+      blocks.begin(), blocks.end(), target,
+      [](const BlockMeta& b, DocId d) { return b.last_doc < d; });
+  return static_cast<std::size_t>(it - blocks.begin());
+}
+
+}  // namespace sparta::index

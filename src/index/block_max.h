@@ -1,0 +1,19 @@
+// Block-max metadata construction and lookup (Ding & Suel, SIGIR'11).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "index/types.h"
+
+namespace sparta::index {
+
+/// Builds per-block metadata for a doc-ordered posting list: every
+/// kBlockSize postings form a block carrying its last docid and max score.
+std::vector<BlockMeta> BuildBlockMeta(std::span<const Posting> doc_order);
+
+/// Index of the block containing the first posting with doc >= target,
+/// or blocks.size() if no such block exists.
+std::size_t FindBlock(std::span<const BlockMeta> blocks, DocId target);
+
+}  // namespace sparta::index

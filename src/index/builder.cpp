@@ -1,0 +1,118 @@
+#include "index/builder.h"
+
+#include <algorithm>
+#include <map>
+
+#include "index/block_max.h"
+
+namespace sparta::index {
+
+InvertedIndex FinalizeIndex(RawIndexData raw, ScorerParams scorer_params) {
+  SPARTA_CHECK(raw.num_docs > 0);
+  SPARTA_CHECK(raw.doc_lengths.size() == raw.num_docs);
+
+  std::uint64_t total_len = 0;
+  for (const auto len : raw.doc_lengths) total_len += len;
+  const double avg_doc_len =
+      std::max(1.0, static_cast<double>(total_len) /
+                        static_cast<double>(raw.num_docs));
+  const Scorer scorer(raw.num_docs, avg_doc_len, scorer_params);
+
+  const std::size_t num_terms = raw.term_postings.size();
+  std::uint64_t total_postings = 0;
+  for (const auto& list : raw.term_postings) total_postings += list.size();
+
+  std::vector<TermEntry> terms(num_terms);
+  std::vector<Posting> doc_postings;
+  std::vector<Posting> impact_postings;
+  std::vector<BlockMeta> blocks;
+  doc_postings.reserve(total_postings);
+  impact_postings.reserve(total_postings);
+
+  std::vector<Posting> scratch;
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    auto& rawlist = raw.term_postings[t];
+    const auto df = static_cast<std::uint32_t>(rawlist.size());
+    TermEntry& entry = terms[t];
+    entry.doc_off = doc_postings.size();
+    entry.impact_off = impact_postings.size();
+    entry.block_off = blocks.size();
+    entry.df = df;
+    if (df == 0) continue;
+
+    SPARTA_CHECK_MSG(
+        std::is_sorted(rawlist.begin(), rawlist.end(),
+                       [](const RawPosting& a, const RawPosting& b) {
+                         return a.doc < b.doc;
+                       }),
+        "raw posting lists must be doc-sorted and duplicate-free");
+
+    scratch.clear();
+    scratch.reserve(df);
+    for (const RawPosting& rp : rawlist) {
+      SPARTA_CHECK(rp.doc < raw.num_docs);
+      const PackedScore s =
+          scorer.TermScore(rp.tf, df, raw.doc_lengths[rp.doc]);
+      scratch.push_back(Posting{rp.doc, s});
+      entry.max_score = std::max(entry.max_score, s);
+    }
+    // Doc-ordered list (input order) + its block-max metadata.
+    doc_postings.insert(doc_postings.end(), scratch.begin(), scratch.end());
+    const auto term_blocks = BuildBlockMeta(
+        std::span<const Posting>(scratch.data(), scratch.size()));
+    entry.num_blocks = static_cast<std::uint32_t>(term_blocks.size());
+    blocks.insert(blocks.end(), term_blocks.begin(), term_blocks.end());
+    // Impact-ordered list: decreasing score, ties by increasing docid so
+    // traversal order is deterministic.
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Posting& a, const Posting& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    impact_postings.insert(impact_postings.end(), scratch.begin(),
+                           scratch.end());
+    rawlist.clear();
+    rawlist.shrink_to_fit();  // bound peak memory on large corpora
+  }
+
+  return InvertedIndex::FromParts(raw.num_docs, avg_doc_len,
+                                  std::move(terms), std::move(doc_postings),
+                                  std::move(impact_postings),
+                                  std::move(blocks));
+}
+
+IndexBuilder::IndexBuilder(text::TokenizerOptions options)
+    : tokenizer_(options) {}
+
+DocId IndexBuilder::AddDocument(std::string_view content) {
+  const auto tokens = tokenizer_.Tokenize(content);
+  return AddTokens(tokens);
+}
+
+DocId IndexBuilder::AddTokens(std::span<const std::string> tokens) {
+  const DocId doc = raw_.num_docs++;
+  // Aggregate term frequencies for this document. std::map keeps terms
+  // of a document sorted which is irrelevant here; an unordered_map with
+  // per-doc clear would also do — documents are small, either is fine.
+  std::map<TermId, std::uint32_t> tfs;
+  for (const auto& token : tokens) {
+    ++tfs[vocab_.GetOrAdd(token)];
+  }
+  if (raw_.term_postings.size() < vocab_.size()) {
+    raw_.term_postings.resize(vocab_.size());
+  }
+  for (const auto& [term, tf] : tfs) {
+    raw_.term_postings[term].push_back(RawPosting{doc, tf});
+  }
+  raw_.doc_lengths.push_back(static_cast<std::uint32_t>(tokens.size()));
+  return doc;
+}
+
+InvertedIndex IndexBuilder::Build(ScorerParams scorer_params) {
+  RawIndexData raw = std::move(raw_);
+  raw_ = RawIndexData{};
+  raw.term_postings.resize(vocab_.size());
+  return FinalizeIndex(std::move(raw), scorer_params);
+}
+
+}  // namespace sparta::index

@@ -1,0 +1,55 @@
+// Index construction.
+//
+// Two front ends feed one finalization path:
+//   * IndexBuilder — document-major; consumes tokenized documents (the
+//     role Lucene plays in the paper's pipeline).
+//   * corpus::... — term-major; the synthetic corpus generators fill a
+//     RawIndexData directly.
+// FinalizeIndex() then scores postings (tf-idf), emits doc-ordered and
+// impact-ordered lists plus block-max metadata, and assembles the
+// immutable InvertedIndex.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "index/inverted_index.h"
+#include "index/scorer.h"
+#include "index/types.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace sparta::index {
+
+/// Turns raw (doc, tf) postings into a scored, immutable InvertedIndex.
+/// `scorer_params` configures tf-idf; statistics (N, avgdl, df) are taken
+/// from the data itself.
+InvertedIndex FinalizeIndex(RawIndexData raw,
+                            ScorerParams scorer_params = {});
+
+/// Document-major builder with integrated text analysis.
+class IndexBuilder {
+ public:
+  explicit IndexBuilder(text::TokenizerOptions options = {});
+
+  /// Tokenizes `content` and adds it as the next document. Returns the
+  /// assigned docid (dense, in insertion order).
+  DocId AddDocument(std::string_view content);
+
+  /// Adds a pre-tokenized document.
+  DocId AddTokens(std::span<const std::string> tokens);
+
+  /// Finalizes into an index. The builder is left empty.
+  InvertedIndex Build(ScorerParams scorer_params = {});
+
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  const text::Tokenizer& tokenizer() const { return tokenizer_; }
+  std::uint32_t num_docs() const { return raw_.num_docs; }
+
+ private:
+  text::Tokenizer tokenizer_;
+  text::Vocabulary vocab_;
+  RawIndexData raw_;
+};
+
+}  // namespace sparta::index

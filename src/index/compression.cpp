@@ -1,0 +1,106 @@
+#include "index/compression.h"
+
+namespace sparta::index {
+
+void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+const std::uint8_t* GetVarint(const std::uint8_t* p,
+                              const std::uint8_t* end,
+                              std::uint64_t& value) {
+  value = 0;
+  int shift = 0;
+  while (p < end && shift <= 63) {
+    const std::uint8_t byte = *p++;
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return p;
+    shift += 7;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint8_t> CompressDocOrder(std::span<const Posting> list) {
+  std::vector<std::uint8_t> out;
+  out.reserve(list.size() * 3);
+  PutVarint(out, list.size());
+  DocId prev = 0;
+  for (const Posting& p : list) {
+    PutVarint(out, p.doc - prev);  // strictly increasing => gap >= 1
+    PutVarint(out, p.score);
+    prev = p.doc;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> CompressImpactOrder(
+    std::span<const Posting> list) {
+  std::vector<std::uint8_t> out;
+  out.reserve(list.size() * 4);
+  PutVarint(out, list.size());
+  PackedScore prev = 0;
+  bool first = true;
+  for (const Posting& p : list) {
+    PutVarint(out, p.doc);
+    // Scores decrease monotonically: store the non-negative drop.
+    PutVarint(out, first ? p.score : prev - p.score);
+    prev = p.score;
+    first = false;
+  }
+  return out;
+}
+
+bool DecompressDocOrder(std::span<const std::uint8_t> bytes,
+                        std::vector<Posting>& out) {
+  const std::uint8_t* p = bytes.data();
+  const std::uint8_t* end = p + bytes.size();
+  std::uint64_t count = 0;
+  if ((p = GetVarint(p, end, count)) == nullptr) return false;
+  out.reserve(out.size() + count);
+  DocId doc = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t gap = 0, score = 0;
+    if ((p = GetVarint(p, end, gap)) == nullptr) return false;
+    if ((p = GetVarint(p, end, score)) == nullptr) return false;
+    doc += static_cast<DocId>(gap);
+    out.push_back(Posting{doc, static_cast<PackedScore>(score)});
+  }
+  return true;
+}
+
+bool DecompressImpactOrder(std::span<const std::uint8_t> bytes,
+                           std::vector<Posting>& out) {
+  const std::uint8_t* p = bytes.data();
+  const std::uint8_t* end = p + bytes.size();
+  std::uint64_t count = 0;
+  if ((p = GetVarint(p, end, count)) == nullptr) return false;
+  out.reserve(out.size() + count);
+  PackedScore score = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t doc = 0, drop = 0;
+    if ((p = GetVarint(p, end, doc)) == nullptr) return false;
+    if ((p = GetVarint(p, end, drop)) == nullptr) return false;
+    score = i == 0 ? static_cast<PackedScore>(drop)
+                   : score - static_cast<PackedScore>(drop);
+    out.push_back(Posting{static_cast<DocId>(doc), score});
+  }
+  return true;
+}
+
+CompressionReport MeasureIndexCompression(const InvertedIndex& idx) {
+  CompressionReport report;
+  for (TermId t = 0; t < idx.num_terms(); ++t) {
+    const auto view = idx.Term(t);
+    report.raw_bytes += view.doc_order.size_bytes();
+    report.doc_order_bytes += CompressDocOrder(view.doc_order).size();
+    report.impact_order_bytes +=
+        CompressImpactOrder(view.impact_order).size();
+  }
+  return report;
+}
+
+}  // namespace sparta::index

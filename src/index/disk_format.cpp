@@ -1,0 +1,150 @@
+#include "index/disk_format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+
+#include "index/mmap_file.h"
+
+namespace sparta::index {
+namespace {
+
+struct Header {
+  std::uint64_t magic = kIndexMagic;
+  std::uint32_t num_docs = 0;
+  std::uint32_t num_terms = 0;
+  std::uint64_t num_doc_postings = 0;
+  std::uint64_t num_impact_postings = 0;
+  std::uint64_t num_blocks = 0;
+  double avg_doc_len = 0.0;
+};
+static_assert(sizeof(Header) % 8 == 0);
+
+constexpr std::uint64_t Align8(std::uint64_t x) { return (x + 7) & ~7ULL; }
+
+/// RAII stdio file handle.
+struct FileCloser {
+  void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteAll(std::FILE* f, const void* data, std::size_t size) {
+  return size == 0 || std::fwrite(data, 1, size, f) == size;
+}
+
+}  // namespace
+
+SectionLayout ComputeSectionLayout(std::uint64_t num_terms,
+                                   std::uint64_t num_doc_postings,
+                                   std::uint64_t num_impact_postings,
+                                   std::uint64_t num_blocks) {
+  SectionLayout layout;
+  layout.term_table_offset = Align8(sizeof(Header));
+  layout.doc_postings_offset =
+      Align8(layout.term_table_offset + num_terms * sizeof(TermEntry));
+  layout.impact_postings_offset = Align8(
+      layout.doc_postings_offset + num_doc_postings * sizeof(Posting));
+  layout.blocks_offset = Align8(layout.impact_postings_offset +
+                                num_impact_postings * sizeof(Posting));
+  layout.total_size = layout.blocks_offset + num_blocks * sizeof(BlockMeta);
+  return layout;
+}
+
+std::uint64_t SerializedIndexSize(std::uint64_t num_terms,
+                                  std::uint64_t num_doc_postings,
+                                  std::uint64_t num_impact_postings,
+                                  std::uint64_t num_blocks) {
+  return ComputeSectionLayout(num_terms, num_doc_postings,
+                              num_impact_postings, num_blocks)
+      .total_size;
+}
+
+bool SaveIndex(const InvertedIndex& idx, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) return false;
+
+  Header header;
+  header.num_docs = idx.num_docs();
+  header.num_terms = idx.num_terms();
+  header.num_doc_postings = idx.doc_postings().size();
+  header.num_impact_postings = idx.impact_postings().size();
+  header.num_blocks = idx.blocks().size();
+  header.avg_doc_len = idx.avg_doc_len();
+
+  const SectionLayout layout = ComputeSectionLayout(
+      header.num_terms, header.num_doc_postings, header.num_impact_postings,
+      header.num_blocks);
+
+  // Collect the term table (it is stored internally; re-derive it).
+  std::vector<TermEntry> terms(header.num_terms);
+  for (TermId t = 0; t < header.num_terms; ++t) terms[t] = idx.Entry(t);
+
+  auto pad_to = [&](std::uint64_t offset) {
+    const long pos = std::ftell(file.get());
+    SPARTA_CHECK(pos >= 0 &&
+                 static_cast<std::uint64_t>(pos) <= offset);
+    static constexpr char kZeros[8] = {};
+    return WriteAll(file.get(), kZeros,
+                    offset - static_cast<std::uint64_t>(pos));
+  };
+
+  if (!WriteAll(file.get(), &header, sizeof(header))) return false;
+  if (!pad_to(layout.term_table_offset)) return false;
+  if (!WriteAll(file.get(), terms.data(),
+                terms.size() * sizeof(TermEntry))) {
+    return false;
+  }
+  if (!pad_to(layout.doc_postings_offset)) return false;
+  if (!WriteAll(file.get(), idx.doc_postings().data(),
+                idx.doc_postings().size_bytes())) {
+    return false;
+  }
+  if (!pad_to(layout.impact_postings_offset)) return false;
+  if (!WriteAll(file.get(), idx.impact_postings().data(),
+                idx.impact_postings().size_bytes())) {
+    return false;
+  }
+  if (!pad_to(layout.blocks_offset)) return false;
+  return WriteAll(file.get(), idx.blocks().data(),
+                  idx.blocks().size_bytes());
+}
+
+std::optional<InvertedIndex> LoadIndex(const std::string& path) {
+  auto mapping = std::make_unique<MmapFile>();
+  if (!mapping->Open(path)) return std::nullopt;
+  const auto bytes = mapping->bytes();
+  if (bytes.size() < sizeof(Header)) return std::nullopt;
+
+  Header header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (header.magic != kIndexMagic) return std::nullopt;
+
+  const SectionLayout layout = ComputeSectionLayout(
+      header.num_terms, header.num_doc_postings, header.num_impact_postings,
+      header.num_blocks);
+  if (bytes.size() < layout.total_size) return std::nullopt;
+
+  std::vector<TermEntry> terms(header.num_terms);
+  std::memcpy(terms.data(), bytes.data() + layout.term_table_offset,
+              terms.size() * sizeof(TermEntry));
+
+  // The sections are 8-byte aligned within the file and mmap returns
+  // page-aligned memory, so reinterpreting is safe for these trivially
+  // copyable, alignment-8 types.
+  const auto* doc_ptr = reinterpret_cast<const Posting*>(
+      bytes.data() + layout.doc_postings_offset);
+  const auto* impact_ptr = reinterpret_cast<const Posting*>(
+      bytes.data() + layout.impact_postings_offset);
+  const auto* block_ptr = reinterpret_cast<const BlockMeta*>(
+      bytes.data() + layout.blocks_offset);
+
+  return InvertedIndex::FromMmap(
+      header.num_docs, header.avg_doc_len, std::move(terms),
+      {doc_ptr, header.num_doc_postings},
+      {impact_ptr, header.num_impact_postings},
+      {block_ptr, header.num_blocks}, layout.doc_postings_offset,
+      layout.impact_postings_offset, std::move(mapping));
+}
+
+}  // namespace sparta::index

@@ -1,0 +1,53 @@
+// Binary on-disk index format (single file, mmap-friendly).
+//
+// Layout (all sections 8-byte aligned, little-endian, fixed-width):
+//
+//   [Header]            magic, version, counts, avg doc len
+//   [TermEntry array]   num_terms entries
+//   [doc-ordered postings]
+//   [impact-ordered postings]
+//   [block-max metadata]
+//
+// The paper stores each index "on disk uncompressed as a collection of
+// binary files" (§5.1); we use one file with the same uncompressed fixed
+// layout, which keeps the page-offset arithmetic of the I/O model simple.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "index/inverted_index.h"
+
+namespace sparta::index {
+
+inline constexpr std::uint64_t kIndexMagic = 0x5350415254413031ULL;  // "SPARTA01"
+
+struct SectionLayout {
+  std::uint64_t term_table_offset = 0;
+  std::uint64_t doc_postings_offset = 0;
+  std::uint64_t impact_postings_offset = 0;
+  std::uint64_t blocks_offset = 0;
+  std::uint64_t total_size = 0;
+};
+
+/// Byte layout of an index with the given element counts.
+SectionLayout ComputeSectionLayout(std::uint64_t num_terms,
+                                   std::uint64_t num_doc_postings,
+                                   std::uint64_t num_impact_postings,
+                                   std::uint64_t num_blocks);
+
+/// Total serialized size in bytes.
+std::uint64_t SerializedIndexSize(std::uint64_t num_terms,
+                                  std::uint64_t num_doc_postings,
+                                  std::uint64_t num_impact_postings,
+                                  std::uint64_t num_blocks);
+
+/// Writes `idx` to `path`. Returns false on I/O error.
+bool SaveIndex(const InvertedIndex& idx, const std::string& path);
+
+/// Memory-maps `path` and returns an index backed by the mapping.
+/// Returns an empty optional on error or format mismatch.
+std::optional<InvertedIndex> LoadIndex(const std::string& path);
+
+}  // namespace sparta::index

@@ -1,0 +1,88 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "index/disk_format.h"
+#include "index/mmap_file.h"
+
+namespace sparta::index {
+
+InvertedIndex::InvertedIndex(InvertedIndex&&) noexcept = default;
+InvertedIndex& InvertedIndex::operator=(InvertedIndex&&) noexcept = default;
+InvertedIndex::~InvertedIndex() = default;
+
+TermView InvertedIndex::Term(TermId t) const {
+  SPARTA_CHECK(t < terms_.size());
+  const TermEntry& e = terms_[t];
+  TermView view;
+  view.doc_order = doc_postings_.subspan(e.doc_off, e.df);
+  view.impact_order = impact_postings_.subspan(e.impact_off, e.df);
+  view.blocks = blocks_.subspan(e.block_off, e.num_blocks);
+  view.max_score = e.max_score;
+  view.doc_order_file_offset =
+      doc_section_offset_ + e.doc_off * sizeof(Posting);
+  view.impact_order_file_offset =
+      impact_section_offset_ + e.impact_off * sizeof(Posting);
+  return view;
+}
+
+PackedScore InvertedIndex::RandomAccessScore(TermId t, DocId doc) const {
+  const auto list = Term(t).doc_order;
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), doc,
+      [](const Posting& p, DocId d) { return p.doc < d; });
+  if (it != list.end() && it->doc == doc) return it->score;
+  return 0;
+}
+
+std::uint64_t InvertedIndex::SizeBytes() const {
+  return SerializedIndexSize(num_terms(), doc_postings_.size(),
+                             impact_postings_.size(), blocks_.size());
+}
+
+InvertedIndex InvertedIndex::FromParts(std::uint32_t num_docs,
+                                       double avg_doc_len,
+                                       std::vector<TermEntry> terms,
+                                       std::vector<Posting> doc_postings,
+                                       std::vector<Posting> impact_postings,
+                                       std::vector<BlockMeta> blocks) {
+  InvertedIndex idx;
+  idx.num_docs_ = num_docs;
+  idx.avg_doc_len_ = avg_doc_len;
+  idx.terms_ = std::move(terms);
+  idx.owned_doc_ = std::move(doc_postings);
+  idx.owned_impact_ = std::move(impact_postings);
+  idx.owned_blocks_ = std::move(blocks);
+  idx.doc_postings_ = idx.owned_doc_;
+  idx.impact_postings_ = idx.owned_impact_;
+  idx.blocks_ = idx.owned_blocks_;
+  // Synthesize the byte layout the on-disk format would use, so the I/O
+  // cost model behaves identically for in-memory and mmap-backed indexes.
+  const SectionLayout layout = ComputeSectionLayout(
+      idx.terms_.size(), idx.doc_postings_.size(),
+      idx.impact_postings_.size(), idx.blocks_.size());
+  idx.doc_section_offset_ = layout.doc_postings_offset;
+  idx.impact_section_offset_ = layout.impact_postings_offset;
+  return idx;
+}
+
+InvertedIndex InvertedIndex::FromMmap(
+    std::uint32_t num_docs, double avg_doc_len, std::vector<TermEntry> terms,
+    std::span<const Posting> doc_postings,
+    std::span<const Posting> impact_postings,
+    std::span<const BlockMeta> blocks, std::uint64_t doc_section_offset,
+    std::uint64_t impact_section_offset, std::unique_ptr<MmapFile> backing) {
+  InvertedIndex idx;
+  idx.num_docs_ = num_docs;
+  idx.avg_doc_len_ = avg_doc_len;
+  idx.terms_ = std::move(terms);
+  idx.doc_postings_ = doc_postings;
+  idx.impact_postings_ = impact_postings;
+  idx.blocks_ = blocks;
+  idx.doc_section_offset_ = doc_section_offset;
+  idx.impact_section_offset_ = impact_section_offset;
+  idx.mmap_ = std::move(backing);
+  return idx;
+}
+
+}  // namespace sparta::index

@@ -1,0 +1,141 @@
+// The inverted index: read-side API shared by all retrieval algorithms.
+//
+// For every term the index holds
+//   * a document-ordered posting list  (used by WAND / BMW / MaxScore and
+//     as the secondary "random access" index needed by TA-RA — one index,
+//     two roles, which is why RA "doubles the footprint", §3.2),
+//   * an impact-ordered posting list   (sorted by decreasing term score;
+//     used by all score-order algorithms: JASS, TA variants, Sparta),
+//   * block-max metadata               (per 64-posting block, for BMW).
+//
+// The postings of all terms live in three global arrays so that the whole
+// index is one contiguous mmap-able blob; a per-term table stores offsets.
+// Byte offsets within the (real or virtual) index file are exposed so the
+// simulator's page-cache model can charge disk I/O for every access.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "index/types.h"
+#include "util/common.h"
+
+namespace sparta::index {
+
+class MmapFile;
+
+/// Per-term directory entry. Offsets are in elements within the global
+/// arrays.
+struct TermEntry {
+  std::uint64_t doc_off = 0;     ///< into doc-ordered posting array
+  std::uint64_t impact_off = 0;  ///< into impact-ordered posting array
+  std::uint64_t block_off = 0;   ///< into block-meta array
+  std::uint32_t df = 0;          ///< document frequency == list length
+  std::uint32_t num_blocks = 0;
+  PackedScore max_score = 0;     ///< max term score in the list
+};
+
+/// Read-only view of one term's data.
+struct TermView {
+  std::span<const Posting> doc_order;
+  std::span<const Posting> impact_order;
+  std::span<const BlockMeta> blocks;
+  PackedScore max_score = 0;
+  /// Byte offset of the first doc-ordered / impact-ordered posting within
+  /// the index file (for the I/O cost model).
+  std::uint64_t doc_order_file_offset = 0;
+  std::uint64_t impact_order_file_offset = 0;
+
+  std::uint32_t df() const {
+    return static_cast<std::uint32_t>(doc_order.size());
+  }
+};
+
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+  InvertedIndex(InvertedIndex&&) noexcept;
+  InvertedIndex& operator=(InvertedIndex&&) noexcept;
+  ~InvertedIndex();
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  std::uint32_t num_docs() const { return num_docs_; }
+  std::uint32_t num_terms() const {
+    return static_cast<std::uint32_t>(terms_.size());
+  }
+  double avg_doc_len() const { return avg_doc_len_; }
+  std::uint64_t total_postings() const { return doc_postings_.size(); }
+
+  /// View of one term's posting lists and statistics.
+  TermView Term(TermId t) const;
+
+  const TermEntry& Entry(TermId t) const {
+    SPARTA_CHECK(t < terms_.size());
+    return terms_[t];
+  }
+
+  /// Random access (TA-RA): the term score of `doc` for term `t`, or 0 if
+  /// the document does not contain the term. Binary search over the
+  /// doc-ordered list — the caller is responsible for charging the random
+  /// I/O this implies on a disk-resident index.
+  PackedScore RandomAccessScore(TermId t, DocId doc) const;
+
+  /// Total size in bytes of the serialized index (what the file format
+  /// occupies; also what the page-cache model uses as the footprint).
+  std::uint64_t SizeBytes() const;
+
+  // --- construction (used by the builder and the disk loader) ---
+
+  /// Assembles an owning, in-memory index. Consumes the arguments.
+  static InvertedIndex FromParts(std::uint32_t num_docs, double avg_doc_len,
+                                 std::vector<TermEntry> terms,
+                                 std::vector<Posting> doc_postings,
+                                 std::vector<Posting> impact_postings,
+                                 std::vector<BlockMeta> blocks);
+
+  /// Assembles an index whose arrays live in `backing` (an mmap-ed file);
+  /// the index takes ownership of the mapping.
+  static InvertedIndex FromMmap(std::uint32_t num_docs, double avg_doc_len,
+                                std::vector<TermEntry> terms,
+                                std::span<const Posting> doc_postings,
+                                std::span<const Posting> impact_postings,
+                                std::span<const BlockMeta> blocks,
+                                std::uint64_t doc_section_offset,
+                                std::uint64_t impact_section_offset,
+                                std::unique_ptr<MmapFile> backing);
+
+  std::span<const Posting> doc_postings() const { return doc_postings_; }
+  std::span<const Posting> impact_postings() const {
+    return impact_postings_;
+  }
+  std::span<const BlockMeta> blocks() const { return blocks_; }
+  std::uint64_t doc_section_offset() const { return doc_section_offset_; }
+  std::uint64_t impact_section_offset() const {
+    return impact_section_offset_;
+  }
+
+ private:
+  std::uint32_t num_docs_ = 0;
+  double avg_doc_len_ = 0.0;
+  std::vector<TermEntry> terms_;
+
+  std::span<const Posting> doc_postings_;
+  std::span<const Posting> impact_postings_;
+  std::span<const BlockMeta> blocks_;
+
+  /// Byte offsets of the posting sections within the (real or virtual)
+  /// index file; used to map element offsets to file pages.
+  std::uint64_t doc_section_offset_ = 0;
+  std::uint64_t impact_section_offset_ = 0;
+
+  // Exactly one backing is active: owned vectors or an mmap.
+  std::vector<Posting> owned_doc_;
+  std::vector<Posting> owned_impact_;
+  std::vector<BlockMeta> owned_blocks_;
+  std::unique_ptr<MmapFile> mmap_;
+};
+
+}  // namespace sparta::index

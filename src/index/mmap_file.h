@@ -1,0 +1,40 @@
+// RAII wrapper over a read-only memory-mapped file.
+//
+// Plays the role of Java's MappedByteBuffer in the paper's benchmark
+// environment (§5.1): the on-disk index is mapped once and posting lists
+// are read directly from the mapping.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace sparta::index {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. Returns false (and stays unmapped) on error.
+  bool Open(const std::string& path);
+
+  void Close();
+
+  bool is_open() const { return data_ != nullptr; }
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sparta::index

@@ -1,0 +1,38 @@
+#include "index/scorer.h"
+
+#include <cmath>
+
+#include "util/fixed_point.h"
+
+namespace sparta::index {
+
+Scorer::Scorer(std::uint32_t num_docs, double avg_doc_len, ScorerParams params)
+    : num_docs_(num_docs), avg_doc_len_(avg_doc_len), params_(params) {
+  SPARTA_CHECK(num_docs > 0);
+  SPARTA_CHECK(avg_doc_len > 0.0);
+}
+
+double Scorer::Idf(std::uint32_t df) const {
+  SPARTA_CHECK(df > 0);
+  return std::log(1.0 + static_cast<double>(num_docs_) /
+                            static_cast<double>(df));
+}
+
+PackedScore Scorer::TermScore(std::uint32_t tf, std::uint32_t df,
+                              std::uint32_t doc_len) const {
+  SPARTA_CHECK(tf > 0);
+  const double norm = params_.k * ((1.0 - params_.b) +
+                                   params_.b * static_cast<double>(doc_len) /
+                                       avg_doc_len_);
+  const double tf_factor =
+      static_cast<double>(tf) / (static_cast<double>(tf) + norm);
+  return static_cast<PackedScore>(util::ToFixed(Idf(df) * tf_factor));
+}
+
+PackedScore Scorer::MaxTermScore(std::uint32_t df) const {
+  // tf_factor < 1 always, and norm >= k*(1-b) > 0; the supremum of the tf
+  // factor over all tf and doc_len is tf/(tf + k(1-b)) -> 1.
+  return static_cast<PackedScore>(util::ToFixed(Idf(df)));
+}
+
+}  // namespace sparta::index

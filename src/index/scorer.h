@@ -1,0 +1,47 @@
+// Document scoring: tf-idf with document-length normalization (§5.1).
+#pragma once
+
+#include <cstdint>
+
+#include "index/types.h"
+#include "util/common.h"
+
+namespace sparta::index {
+
+/// tf-idf scorer with pivoted document-length normalization:
+///
+///   ts(D, t) = idf(t) * tf / (tf + k * ((1-b) + b * |D| / avgdl))
+///   idf(t)   = ln(1 + N / df(t))
+///
+/// The tf factor saturates at 1, so idf(t) is a tight per-term score
+/// upper bound — which is exactly the `max_score` statistic MaxScore,
+/// WAND and BMW prune with. Output is integer fixed-point (x 10^6),
+/// following the paper (§5.2).
+struct ScorerParams {
+  double k = 1.2;  ///< tf saturation steepness
+  double b = 0.75;  ///< degree of length normalization
+};
+
+class Scorer {
+ public:
+  Scorer(std::uint32_t num_docs, double avg_doc_len, ScorerParams params = {});
+
+  /// Integer term score for a posting.
+  PackedScore TermScore(std::uint32_t tf, std::uint32_t df,
+                        std::uint32_t doc_len) const;
+
+  /// Tight upper bound on TermScore over all documents, for a given df.
+  PackedScore MaxTermScore(std::uint32_t df) const;
+
+  std::uint32_t num_docs() const { return num_docs_; }
+  double avg_doc_len() const { return avg_doc_len_; }
+
+ private:
+  double Idf(std::uint32_t df) const;
+
+  std::uint32_t num_docs_;
+  double avg_doc_len_;
+  ScorerParams params_;
+};
+
+}  // namespace sparta::index

@@ -1,0 +1,57 @@
+// Fundamental index data types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace sparta::index {
+
+/// Integer term score as stored in posting lists (tf-idf scaled by 10^6;
+/// always fits 32 bits because idf <= ln(1+N) and tf-saturation <= 1).
+using PackedScore = std::uint32_t;
+
+/// One posting: a document and its (integer) term score. 8 bytes, the
+/// unit of both the doc-ordered and the impact-ordered lists.
+struct Posting {
+  DocId doc = kInvalidDoc;
+  PackedScore score = 0;
+
+  friend bool operator==(const Posting&, const Posting&) = default;
+};
+static_assert(sizeof(Posting) == 8, "postings must stay 8 bytes");
+
+/// Per-block metadata for Block-Max WAND: the last docid in the block and
+/// the maximum term score within it.
+struct BlockMeta {
+  DocId last_doc = kInvalidDoc;
+  PackedScore max_score = 0;
+
+  friend bool operator==(const BlockMeta&, const BlockMeta&) = default;
+};
+static_assert(sizeof(BlockMeta) == 8);
+
+/// Number of postings covered by one BlockMeta. The paper selected 64
+/// after a block-size sweep (§5.2.1).
+inline constexpr std::uint32_t kBlockSize = 64;
+
+/// Pre-scoring posting: raw term frequency. Builders accumulate these;
+/// finalization turns tf into scores.
+struct RawPosting {
+  DocId doc = kInvalidDoc;
+  std::uint32_t tf = 0;
+};
+
+/// Raw index data prior to scoring: what both the document-major builder
+/// (text pipeline) and the term-major builder (synthetic corpus
+/// generator) produce.
+struct RawIndexData {
+  std::uint32_t num_docs = 0;
+  /// term_postings[t] is sorted by doc id, one entry per (doc, term) pair.
+  std::vector<std::vector<RawPosting>> term_postings;
+  /// doc_lengths[d] = total token count of document d.
+  std::vector<std::uint32_t> doc_lengths;
+};
+
+}  // namespace sparta::index

@@ -1,0 +1,31 @@
+#include "sim/coherence.h"
+
+#include "util/common.h"
+
+namespace sparta::sim {
+
+CoherenceModel::Access CoherenceModel::Read(int worker, const void* addr) {
+  SPARTA_CHECK(worker >= 0 && worker < kMaxSimWorkers);
+  LineState& line = lines_[LineOf(addr)];
+  if (line.version == 0) line.version = 1;  // first sighting of this line
+  Access access;
+  access.miss = line.seen[static_cast<std::size_t>(worker)] != line.version;
+  line.seen[static_cast<std::size_t>(worker)] = line.version;
+  return access;
+}
+
+CoherenceModel::Access CoherenceModel::Write(int worker, const void* addr) {
+  SPARTA_CHECK(worker >= 0 && worker < kMaxSimWorkers);
+  LineState& line = lines_[LineOf(addr)];
+  Access access;
+  // Writing a line someone else touched since our last write/read is a
+  // request-for-ownership (invalidate) round trip.
+  access.miss = line.version != 0 &&
+                line.seen[static_cast<std::size_t>(worker)] != line.version;
+  ++line.version;
+  line.seen.fill(0);  // everyone else is invalidated
+  line.seen[static_cast<std::size_t>(worker)] = line.version;
+  return access;
+}
+
+}  // namespace sparta::sim

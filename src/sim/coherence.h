@@ -1,0 +1,55 @@
+// Cache-line coherence model for small hot shared variables.
+//
+// Tracks, per 64-byte line, a version counter bumped on every write and
+// the last version each virtual worker observed. A worker reading a line
+// whose version moved since its last access pays a coherence miss —
+// which is precisely the cache-line ping-pong the paper's lazy UB
+// updates (§4.3) are designed to avoid, and what makes pNRA slow.
+//
+// Only registered "small hot" lines go through this model (UB entries,
+// flags, thresholds); large structures use the size-based cost in
+// CostModel::StructureAccessCost.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "exec/context.h"
+
+namespace sparta::sim {
+
+inline constexpr int kMaxSimWorkers = 32;
+
+class CoherenceModel {
+ public:
+  /// Outcome of one access: whether this worker pays a miss.
+  struct Access {
+    bool miss = false;
+  };
+
+  Access Read(int worker, const void* addr);
+  Access Write(int worker, const void* addr);
+
+  /// Drops all tracked lines (called between queries; heap addresses are
+  /// recycled across queries, so stale versions must not leak).
+  void Reset() { lines_.clear(); }
+
+  std::size_t tracked_lines() const { return lines_.size(); }
+
+ private:
+  struct LineState {
+    std::uint64_t version = 0;
+    /// Last version observed per worker; 0 = never seen (versions start
+    /// at 1).
+    std::array<std::uint64_t, kMaxSimWorkers> seen{};
+  };
+
+  static std::uintptr_t LineOf(const void* addr) {
+    return reinterpret_cast<std::uintptr_t>(addr) >> 6;
+  }
+
+  std::unordered_map<std::uintptr_t, LineState> lines_;
+};
+
+}  // namespace sparta::sim

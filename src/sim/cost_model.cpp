@@ -1,0 +1,4 @@
+#include "sim/cost_model.h"
+
+// The cost model is header-only today; this translation unit anchors the
+// library and leaves room for calibration tables later.

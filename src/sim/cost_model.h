@@ -1,0 +1,72 @@
+// Cost model of the simulated machine.
+//
+// Models a mid-tier multi-core server of the paper's era (12-core Xeon
+// E5620, 24 GB RAM, SATA SSD, §5.1). Constants are in nanoseconds of
+// virtual time. The *shape* of every experiment comes from the
+// algorithms' real access patterns; these constants only set the scale.
+// Calibration notes live in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/context.h"
+
+namespace sparta::sim {
+
+struct CostModel {
+  // --- CPU ---
+  /// Decode + arithmetic per posting evaluated (integer scoring, §5.2).
+  exec::VirtualTime cpu_per_posting = 4;
+  /// Fixed overhead of picking up a job from the queue.
+  exec::VirtualTime job_dispatch = 400;
+
+  // --- memory hierarchy ---
+  exec::VirtualTime l1_hit = 1;
+  exec::VirtualTime l2_hit = 5;
+  exec::VirtualTime llc_hit = 18;
+  exec::VirtualTime dram_access = 65;
+  /// Reading a line invalidated by a remote writer (coherence miss).
+  exec::VirtualTime coherence_miss = 80;
+  /// Hash-map entry allocation (node + rehash amortization).
+  exec::VirtualTime map_insert_extra = 35;
+
+  /// Capacities deciding which level a structure of a given size
+  /// effectively lives in. Write-shared structures are priced at least
+  /// at LLC (lines bounce between cores and are never L1/L2-stable).
+  std::size_t l1_bytes = 32 * 1024;
+  std::size_t l2_bytes = 256 * 1024;
+  std::size_t llc_bytes = 12 * 1024 * 1024;
+
+  // --- synchronization ---
+  exec::VirtualTime lock_uncontended = 25;
+  /// Extra cost paid by a worker that finds the lock held (on top of
+  /// waiting for the holder's release in virtual time).
+  exec::VirtualTime lock_handoff = 60;
+
+  // --- storage (SATA-era SSD) ---
+  /// 4 KB page, sequential streaming (~500 MB/s).
+  exec::VirtualTime ssd_seq_page = 8'000;
+  /// 4 KB page, random read (~80 us: queueless SATA-SSD latency).
+  exec::VirtualTime ssd_random_page = 80'000;
+  /// Page-cache hit (kernel copy / TLB).
+  exec::VirtualTime page_cache_hit = 250;
+
+  /// Cost of one access to a structure of `bytes` total size.
+  exec::VirtualTime StructureAccessCost(std::size_t bytes,
+                                        bool write_shared) const {
+    exec::VirtualTime cost;
+    if (bytes <= l1_bytes) {
+      cost = l1_hit;
+    } else if (bytes <= l2_bytes) {
+      cost = l2_hit;
+    } else if (bytes <= llc_bytes) {
+      cost = llc_hit;
+    } else {
+      cost = dram_access;
+    }
+    if (write_shared && cost < llc_hit) cost = llc_hit;
+    return cost;
+  }
+};
+
+}  // namespace sparta::sim

@@ -1,0 +1,33 @@
+#include "sim/page_cache.h"
+
+namespace sparta::sim {
+
+bool PageCache::Touch(std::uint64_t page_id) {
+  const auto it = map_.find(page_id);
+  if (it != map_.end()) {
+    ++hits_;
+    // Move-to-front only when bounded; unbounded caches never evict, so
+    // recency order is irrelevant and the splice would be pure overhead.
+    if (capacity_pages_ != 0) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+    }
+    return true;
+  }
+  ++misses_;
+  lru_.push_front(page_id);
+  map_.emplace(page_id, lru_.begin());
+  if (capacity_pages_ != 0 && map_.size() > capacity_pages_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+void PageCache::Reset() {
+  lru_.clear();
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace sparta::sim

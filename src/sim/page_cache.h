@@ -1,0 +1,47 @@
+// OS page-cache model over the (virtual) on-disk index file.
+//
+// The paper flushes the page cache before each experiment so that every
+// run pays real SSD reads (§5.1). Here the flush is a deterministic
+// Reset(): the first touch of every 4 KB page costs an SSD read, later
+// touches cost a page-cache hit, and an LRU bound models a RAM-limited
+// cache (relevant when the index exceeds memory, as ClueWebX10's does).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "exec/context.h"
+
+namespace sparta::sim {
+
+inline constexpr std::uint64_t kPageBytes = 4096;
+
+class PageCache {
+ public:
+  /// capacity_bytes == 0 means unbounded (everything stays cached).
+  explicit PageCache(std::uint64_t capacity_bytes = 0)
+      : capacity_pages_(capacity_bytes / kPageBytes) {}
+
+  /// Touches one page; returns true if it was a cache hit.
+  bool Touch(std::uint64_t page_id);
+
+  /// Flushes the cache (paper: "prior to each experiment, we flush the
+  /// file system's page cache").
+  void Reset();
+
+  std::uint64_t pages_cached() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::uint64_t capacity_pages_;  // 0 = unbounded
+  // LRU: most-recent at front.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sparta::sim

@@ -1,0 +1,239 @@
+#include "sim/sim_executor.h"
+
+#include <algorithm>
+
+namespace sparta::sim {
+
+using exec::VirtualTime;
+
+/// Shared mutable state of one simulated query.
+struct SimExecutor::SimQueryState {
+  VirtualTime start = 0;
+  VirtualTime end = 0;
+  std::int64_t mem_used = 0;
+  std::int64_t mem_budget = 0;
+};
+
+namespace {
+
+/// Lock model: the lock is "free at" some virtual time; an acquirer whose
+/// clock is behind that time stalls until the holder's release, then pays
+/// a handoff penalty (line transfer). Uncontended acquisition costs a
+/// CAS.
+class SimLock final : public exec::CtxLock {
+ public:
+  explicit SimLock(const CostModel& costs) : costs_(costs) {}
+
+  void Lock(exec::WorkerContext& worker) override {
+    const VirtualTime now = worker.Now();
+    if (now < free_at_) {
+      worker.Charge((free_at_ - now) + costs_.lock_handoff);
+    } else {
+      worker.Charge(costs_.lock_uncontended);
+    }
+  }
+
+  void Unlock(exec::WorkerContext& worker) override {
+    free_at_ = worker.Now();
+  }
+
+ private:
+  const CostModel& costs_;
+  VirtualTime free_at_ = 0;
+};
+
+}  // namespace
+
+/// WorkerContext bound to one virtual worker for the duration of a job.
+class SimWorkerContext final : public exec::WorkerContext {
+ public:
+  SimWorkerContext(SimExecutor& exec, int worker,
+                   SimExecutor::SimQueryState& query)
+      : exec_(exec), worker_(worker), query_(query) {}
+
+  int worker_id() const override { return worker_; }
+
+  VirtualTime Now() const override {
+    return exec_.clocks_[static_cast<std::size_t>(worker_)];
+  }
+
+  void Charge(VirtualTime ns) override {
+    SPARTA_CHECK(ns >= 0);
+    exec_.clocks_[static_cast<std::size_t>(worker_)] += ns;
+  }
+
+  void ChargePostings(std::uint64_t n) override {
+    Charge(static_cast<VirtualTime>(n) *
+           exec_.config_.costs.cpu_per_posting);
+  }
+
+  void SharedAccess(const void* line, exec::AccessKind kind) override {
+    const auto access = kind == exec::AccessKind::kRead
+                            ? exec_.coherence_.Read(worker_, line)
+                            : exec_.coherence_.Write(worker_, line);
+    Charge(access.miss ? exec_.config_.costs.coherence_miss
+                       : exec_.config_.costs.l1_hit);
+  }
+
+  void StructureAccess(std::size_t structure_bytes, bool write_shared,
+                       bool insert) override {
+    auto cost = exec_.config_.costs.StructureAccessCost(structure_bytes,
+                                                        write_shared);
+    if (insert) cost += exec_.config_.costs.map_insert_extra;
+    Charge(cost);
+  }
+
+  void StructureAccessMany(std::size_t structure_bytes, bool write_shared,
+                           std::uint64_t count) override {
+    Charge(static_cast<VirtualTime>(count) *
+           exec_.config_.costs.StructureAccessCost(structure_bytes,
+                                                   write_shared));
+  }
+
+  void IoSequential(std::uint64_t offset, std::uint64_t length) override {
+    if (length == 0) return;
+    const auto& costs = exec_.config_.costs;
+    const std::uint64_t first = offset / kPageBytes;
+    const std::uint64_t last = (offset + length - 1) / kPageBytes;
+    for (std::uint64_t page = first; page <= last; ++page) {
+      Charge(exec_.page_cache_.Touch(page) ? costs.page_cache_hit
+                                           : costs.ssd_seq_page);
+    }
+  }
+
+  void IoRandom(std::uint64_t offset) override {
+    const auto& costs = exec_.config_.costs;
+    Charge(exec_.page_cache_.Touch(offset / kPageBytes)
+               ? costs.page_cache_hit
+               : costs.ssd_random_page);
+  }
+
+  bool ChargeMemory(std::int64_t delta_bytes) override {
+    query_.mem_used += delta_bytes;
+    return query_.mem_used <= query_.mem_budget;
+  }
+
+ private:
+  SimExecutor& exec_;
+  int worker_;
+  SimExecutor::SimQueryState& query_;
+};
+
+/// QueryContext facade handed to algorithms.
+class SimQuery final : public exec::QueryContext {
+ public:
+  SimQuery(SimExecutor& exec,
+           std::shared_ptr<SimExecutor::SimQueryState> state)
+      : exec_(exec), state_(std::move(state)) {}
+
+  void Submit(exec::JobFn job) override {
+    exec_.SubmitJob(state_, std::move(job));
+  }
+
+  int num_workers() const override { return exec_.config().num_workers; }
+
+  std::unique_ptr<exec::CtxLock> MakeLock() override {
+    return std::make_unique<SimLock>(exec_.config().costs);
+  }
+
+  void RunToCompletion() override { exec_.Drain(); }
+
+  VirtualTime start_time() const override { return state_->start; }
+  VirtualTime end_time() const override { return state_->end; }
+
+ private:
+  SimExecutor& exec_;
+  std::shared_ptr<SimExecutor::SimQueryState> state_;
+};
+
+SimExecutor::SimExecutor(SimConfig config)
+    : config_(config),
+      clocks_(static_cast<std::size_t>(config.num_workers), 0),
+      page_cache_(config.page_cache_bytes) {
+  SPARTA_CHECK(config.num_workers >= 1 &&
+               config.num_workers <= kMaxSimWorkers);
+}
+
+SimExecutor::~SimExecutor() = default;
+
+std::unique_ptr<exec::QueryContext> SimExecutor::CreateQuery() {
+  coherence_.Reset();
+  return CreateQueryAt(SyncBarrier());
+}
+
+std::unique_ptr<exec::QueryContext> SimExecutor::CreateQueryAt(
+    VirtualTime start) {
+  auto state = std::make_shared<SimQueryState>();
+  state->start = start;
+  state->end = start;
+  state->mem_budget = config_.memory_budget_bytes;
+  return std::make_unique<SimQuery>(*this, std::move(state));
+}
+
+void SimExecutor::SubmitJob(std::shared_ptr<SimQueryState> query,
+                            exec::JobFn fn) {
+  Job job;
+  job.fn = std::move(fn);
+  // Jobs submitted from within a job become ready at the submitter's
+  // current virtual time; external submissions at the query's admission.
+  job.ready = current_worker_ >= 0
+                  ? clocks_[static_cast<std::size_t>(current_worker_)]
+                  : query->start;
+  job.seq = next_seq_++;
+  job.query = std::move(query);
+  jobs_.push(std::move(job));
+}
+
+int SimExecutor::PickWorker() const {
+  int best = 0;
+  for (int w = 1; w < config_.num_workers; ++w) {
+    if (clocks_[static_cast<std::size_t>(w)] <
+        clocks_[static_cast<std::size_t>(best)]) {
+      best = w;
+    }
+  }
+  return best;
+}
+
+void SimExecutor::Drain(
+    const std::function<bool(VirtualTime)>& admit) {
+  bool more_to_admit = static_cast<bool>(admit);
+  for (;;) {
+    // FCFS admission: top up whenever some workers would sit idle.
+    while (more_to_admit &&
+           jobs_.size() <
+               static_cast<std::size_t>(config_.num_workers)) {
+      more_to_admit = admit(IdleTime());
+    }
+    if (jobs_.empty()) break;
+
+    Job job = jobs_.top();
+    jobs_.pop();
+    const int w = PickWorker();
+    auto& clock = clocks_[static_cast<std::size_t>(w)];
+    clock = std::max(clock, job.ready) + config_.costs.job_dispatch;
+
+    current_worker_ = w;
+    SimWorkerContext ctx(*this, w, *job.query);
+    job.fn(ctx);
+    current_worker_ = -1;
+
+    job.query->end = std::max(job.query->end, clock);
+  }
+}
+
+VirtualTime SimExecutor::GlobalTime() const {
+  return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+VirtualTime SimExecutor::IdleTime() const {
+  return *std::min_element(clocks_.begin(), clocks_.end());
+}
+
+VirtualTime SimExecutor::SyncBarrier() {
+  const VirtualTime t = GlobalTime();
+  std::fill(clocks_.begin(), clocks_.end(), t);
+  return t;
+}
+
+}  // namespace sparta::sim

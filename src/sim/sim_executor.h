@@ -1,0 +1,119 @@
+// Deterministic discrete-event executor: the simulated multi-core.
+//
+// Executes the same job-queue-structured algorithms as the threaded
+// executor, but on *virtual* workers with per-worker virtual clocks.
+// Jobs are dispatched FIFO (by readiness time) to the least-loaded
+// worker; the job body runs natively and accrues virtual time through
+// the WorkerContext cost hooks (CPU, cache/coherence, locks, SSD pages).
+// A query's latency is the completion time of its last job — so parallel
+// speedup, lock serialization, cache-line ping-pong and I/O stalls all
+// emerge from the algorithms' real behavior, deterministically and
+// independently of host hardware. This is the substrate on which every
+// figure of the paper is regenerated (see DESIGN.md §1).
+//
+// Fidelity note: workers interleave at *job* granularity (a job runs to
+// completion natively while its virtual interval may overlap others').
+// Jobs are posting-list segments of ~1K postings, i.e. tens of
+// microseconds of virtual time, so shared-state staleness stays in the
+// same order as on real hardware.
+//
+// Determinism note: result sets and work counts are bit-reproducible.
+// Virtual latencies are reproducible to ~0.1%: the coherence model keys
+// cache lines by real addresses, and heap-allocation alignment decides
+// which lines small shared variables straddle run-to-run.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "exec/context.h"
+#include "sim/coherence.h"
+#include "sim/cost_model.h"
+#include "sim/page_cache.h"
+
+namespace sparta::sim {
+
+struct SimConfig {
+  int num_workers = 12;
+  CostModel costs;
+  /// Page-cache capacity in bytes; 0 = unbounded (index fits in RAM).
+  std::uint64_t page_cache_bytes = 0;
+  /// Modeled per-query memory budget; exceeding it makes ChargeMemory
+  /// return false (the "crashed due to lack of memory" cells).
+  std::int64_t memory_budget_bytes =
+      std::numeric_limits<std::int64_t>::max();
+};
+
+class SimExecutor {
+ public:
+  explicit SimExecutor(SimConfig config);
+  ~SimExecutor();
+
+  SimExecutor(const SimExecutor&) = delete;
+  SimExecutor& operator=(const SimExecutor&) = delete;
+
+  /// Creates a query that owns the machine from "now": all worker clocks
+  /// are synchronized to a common barrier time, which becomes the
+  /// query's start (latency mode). Also resets coherence tracking.
+  std::unique_ptr<exec::QueryContext> CreateQuery();
+
+  /// Creates a query admitted at time `start` while the machine keeps
+  /// running (throughput mode; no barrier, no coherence reset).
+  std::unique_ptr<exec::QueryContext> CreateQueryAt(exec::VirtualTime start);
+
+  /// Runs submitted jobs until none remain. `admit`, when provided, is
+  /// invoked whenever queued jobs < num_workers (i.e. some workers are
+  /// idle — the paper's FCFS scheduling rule, §5.1) with the current
+  /// idle time; it may submit more work and returns false once there is
+  /// nothing left to admit.
+  void Drain(const std::function<bool(exec::VirtualTime)>& admit = nullptr);
+
+  /// Max over worker clocks.
+  exec::VirtualTime GlobalTime() const;
+  /// Min over worker clocks (when the next worker would go idle).
+  exec::VirtualTime IdleTime() const;
+
+  /// Synchronizes all worker clocks to GlobalTime() and returns it.
+  exec::VirtualTime SyncBarrier();
+
+  PageCache& page_cache() { return page_cache_; }
+  CoherenceModel& coherence() { return coherence_; }
+  const SimConfig& config() const { return config_; }
+
+ private:
+  friend class SimQuery;
+  friend class SimWorkerContext;
+  friend class SimLock;
+
+  struct SimQueryState;
+  struct Job {
+    exec::JobFn fn;
+    exec::VirtualTime ready = 0;
+    std::uint64_t seq = 0;
+    std::shared_ptr<SimQueryState> query;
+  };
+  struct JobLater {
+    bool operator()(const Job& a, const Job& b) const {
+      if (a.ready != b.ready) return a.ready > b.ready;
+      return a.seq > b.seq;
+    }
+  };
+
+  void SubmitJob(std::shared_ptr<SimQueryState> query, exec::JobFn fn);
+  int PickWorker() const;
+
+  SimConfig config_;
+  std::vector<exec::VirtualTime> clocks_;
+  std::priority_queue<Job, std::vector<Job>, JobLater> jobs_;
+  std::uint64_t next_seq_ = 0;
+  CoherenceModel coherence_;
+  PageCache page_cache_;
+
+  /// Worker currently executing a job (-1 outside Drain); used to stamp
+  /// readiness of jobs submitted from inside jobs.
+  int current_worker_ = -1;
+};
+
+}  // namespace sparta::sim

@@ -1,0 +1,54 @@
+#include "text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace sparta::text {
+namespace {
+
+// The classic English stop-word list used by Lucene's StandardAnalyzer.
+constexpr std::array<std::string_view, 33> kStopwords = {
+    "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but",  "by",
+    "for",  "if",   "in",   "into", "is",   "it",   "no",   "not",  "of",
+    "on",   "or",   "such", "that", "the",  "their", "then", "there",
+    "these", "they", "this", "to",  "was",  "will", "with"};
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {
+  if (options_.remove_stopwords) {
+    stopwords_.insert(kStopwords.begin(), kStopwords.end());
+  }
+}
+
+bool Tokenizer::IsStopword(std::string_view token) const {
+  return stopwords_.contains(token);
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view input) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  current.reserve(16);
+
+  auto flush = [&] {
+    if (current.size() >= options_.min_token_length &&
+        current.size() <= options_.max_token_length &&
+        !IsStopword(current)) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+
+  for (const char raw : input) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      flush();
+    }
+  }
+  if (!current.empty()) flush();
+  return tokens;
+}
+
+}  // namespace sparta::text

@@ -1,0 +1,44 @@
+// Text analysis: tokenization and stop-word filtering.
+//
+// Plays the role Lucene's analyzer plays in the paper's preprocessing
+// pipeline (§5.1): lowercasing, alphanumeric token splitting, and optional
+// stop-word removal. Query-time and index-time analysis must agree, so
+// both go through the same Tokenizer instance.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace sparta::text {
+
+struct TokenizerOptions {
+  /// Drop tokens shorter than this many characters.
+  std::size_t min_token_length = 1;
+  /// Drop tokens longer than this (protects the index from binary junk).
+  std::size_t max_token_length = 64;
+  /// Remove English stop words ("the", "of", ...).
+  bool remove_stopwords = true;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Splits `input` into lowercase alphanumeric tokens, applying length
+  /// and stop-word filters.
+  std::vector<std::string> Tokenize(std::string_view input) const;
+
+  /// True if `token` (already lowercase) is a stop word under the current
+  /// options.
+  bool IsStopword(std::string_view token) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+  std::unordered_set<std::string_view> stopwords_;
+};
+
+}  // namespace sparta::text

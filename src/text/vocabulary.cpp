@@ -1,0 +1,45 @@
+#include "text/vocabulary.h"
+
+#include <fstream>
+
+namespace sparta::text {
+
+TermId Vocabulary::GetOrAdd(std::string_view term) {
+  const auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+std::optional<TermId> Vocabulary::Lookup(std::string_view term) const {
+  const auto it = ids_.find(std::string(term));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Vocabulary::TermOf(TermId id) const {
+  SPARTA_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+bool Vocabulary::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const auto& term : terms_) out << term << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<Vocabulary> Vocabulary::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  Vocabulary vocab;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) vocab.GetOrAdd(line);
+  }
+  return vocab;
+}
+
+}  // namespace sparta::text

@@ -1,0 +1,37 @@
+// Vocabulary: bidirectional term <-> dense TermId mapping.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+
+namespace sparta::text {
+
+class Vocabulary {
+ public:
+  /// Returns the id of `term`, interning it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id of `term` if present.
+  std::optional<TermId> Lookup(std::string_view term) const;
+
+  /// Returns the string for a valid id.
+  const std::string& TermOf(TermId id) const;
+
+  std::size_t size() const { return terms_.size(); }
+
+  /// Plain-text persistence: one term per line, id = line number.
+  /// Companion to the binary index file (which stores ids only).
+  bool SaveToFile(const std::string& path) const;
+  static std::optional<Vocabulary> LoadFromFile(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace sparta::text

@@ -1,0 +1,17 @@
+#include "topk/algorithm.h"
+
+namespace sparta::topk {
+
+SearchResult Algorithm::Run(const index::InvertedIndex& idx,
+                            std::vector<TermId> terms,
+                            const SearchParams& params,
+                            exec::QueryContext& ctx) const {
+  auto run = Prepare(idx, std::move(terms), params, ctx);
+  run->Start();
+  ctx.RunToCompletion();
+  SearchResult result = run->TakeResult();
+  result.stats.latency = ctx.end_time() - ctx.start_time();
+  return result;
+}
+
+}  // namespace sparta::topk

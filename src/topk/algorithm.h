@@ -1,0 +1,52 @@
+// The top-k retrieval algorithm interface.
+//
+// Algorithms are asynchronous: Prepare() binds a query to an execution
+// context, Start() submits the initial jobs, and TakeResult() harvests
+// the result once the context has drained. The blocking Run() convenience
+// wraps the three for latency-mode callers; the throughput driver uses
+// the asynchronous form to keep many queries in flight on one simulated
+// machine.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "exec/context.h"
+#include "index/inverted_index.h"
+#include "topk/params.h"
+#include "topk/result.h"
+
+namespace sparta::topk {
+
+/// One in-flight query; owns all per-query algorithm state.
+class QueryRun {
+ public:
+  virtual ~QueryRun() = default;
+
+  /// Submits the query's initial jobs into its execution context.
+  virtual void Start() = 0;
+
+  /// Extracts the final result. Valid once the context has drained.
+  virtual SearchResult TakeResult() = 0;
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string_view name() const = 0;
+
+  virtual std::unique_ptr<QueryRun> Prepare(const index::InvertedIndex& idx,
+                                            std::vector<TermId> terms,
+                                            const SearchParams& params,
+                                            exec::QueryContext& ctx) const = 0;
+
+  /// Blocking convenience: Prepare + Start + RunToCompletion +
+  /// TakeResult, with latency filled in from the context clock.
+  SearchResult Run(const index::InvertedIndex& idx,
+                   std::vector<TermId> terms, const SearchParams& params,
+                   exec::QueryContext& ctx) const;
+};
+
+}  // namespace sparta::topk

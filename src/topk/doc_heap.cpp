@@ -1,0 +1,58 @@
+#include "topk/doc_heap.h"
+
+#include <algorithm>
+
+namespace sparta::topk {
+namespace {
+
+bool HeapCmp(const HeapEntry& a, const HeapEntry& b) {
+  // std::push_heap builds a max-heap; invert to keep the *worst* entry at
+  // the root.
+  return WorseThan(b, a);
+}
+
+}  // namespace
+
+TopKHeap::TopKHeap(int k) : k_(k) {
+  SPARTA_CHECK(k > 0);
+  heap_.reserve(static_cast<std::size_t>(k));
+}
+
+void TopKHeap::UpdateThreshold() {
+  threshold_.store(full() ? heap_.front().score : 0,
+                   std::memory_order_relaxed);
+}
+
+bool TopKHeap::Insert(HeapEntry e) {
+  if (!full()) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), HeapCmp);
+    UpdateThreshold();
+    return true;
+  }
+  if (!WorseThan(heap_.front(), e)) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), HeapCmp);
+  heap_.back() = e;
+  std::push_heap(heap_.begin(), heap_.end(), HeapCmp);
+  UpdateThreshold();
+  return true;
+}
+
+bool TopKHeap::Contains(DocId doc) const {
+  return std::any_of(heap_.begin(), heap_.end(),
+                     [doc](const HeapEntry& e) { return e.doc == doc; });
+}
+
+void TopKHeap::Merge(const TopKHeap& other) {
+  for (const HeapEntry& e : other.heap_) Insert(e);
+}
+
+std::vector<ResultEntry> TopKHeap::Extract() const {
+  std::vector<ResultEntry> out;
+  out.reserve(heap_.size());
+  for (const HeapEntry& e : heap_) out.push_back({e.doc, e.score});
+  CanonicalizeResult(out);
+  return out;
+}
+
+}  // namespace sparta::topk

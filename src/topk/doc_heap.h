@@ -1,0 +1,79 @@
+// Bounded top-k heap with threshold Θ.
+//
+// The classic IR structure (§3): a min-heap of the best k documents seen
+// so far, whose minimum is the threshold Θ — any document that cannot
+// beat Θ is not a top-k candidate. Θ is published through an atomic so
+// workers can read it without taking the heap lock; all mutations happen
+// under the owner's lock (a CtxLock in parallel algorithms).
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "topk/result.h"
+#include "util/common.h"
+
+namespace sparta::topk {
+
+/// Heap ordering: by score, ties broken by doc id (larger doc id is
+/// "worse", making the contents deterministic for a given input).
+struct HeapEntry {
+  Score score = 0;
+  DocId doc = kInvalidDoc;
+
+  friend bool operator==(const HeapEntry&, const HeapEntry&) = default;
+};
+
+inline bool WorseThan(const HeapEntry& a, const HeapEntry& b) {
+  if (a.score != b.score) return a.score < b.score;
+  return a.doc > b.doc;
+}
+
+class TopKHeap {
+ public:
+  explicit TopKHeap(int k);
+
+  // Movable (atomics transferred by value) so heaps can live in vectors.
+  TopKHeap(TopKHeap&& other) noexcept
+      : k_(other.k_),
+        heap_(std::move(other.heap_)),
+        threshold_(other.threshold_.load(std::memory_order_relaxed)) {}
+  TopKHeap& operator=(TopKHeap&& other) noexcept {
+    k_ = other.k_;
+    heap_ = std::move(other.heap_);
+    threshold_.store(other.threshold_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Inserts if the heap has room or `e` beats the current minimum.
+  /// Returns true if the heap changed.
+  bool Insert(HeapEntry e);
+
+  /// Θ: the k-th (lowest) score once the heap is full, else 0 (§3).
+  Score threshold() const {
+    return threshold_.load(std::memory_order_relaxed);
+  }
+
+  bool Contains(DocId doc) const;
+  std::size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == static_cast<std::size_t>(k_); }
+  int k() const { return k_; }
+
+  /// Merges another heap's contents (shard-merge step of sNRA / pBMW).
+  void Merge(const TopKHeap& other);
+
+  /// Contents in canonical (descending) order.
+  std::vector<ResultEntry> Extract() const;
+
+  const std::vector<HeapEntry>& raw() const { return heap_; }
+
+ private:
+  void UpdateThreshold();
+
+  int k_;
+  std::vector<HeapEntry> heap_;  // min-heap via WorseThan
+  std::atomic<Score> threshold_{0};
+};
+
+}  // namespace sparta::topk

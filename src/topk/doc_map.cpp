@@ -1,0 +1,153 @@
+#include "topk/doc_map.h"
+
+#include "util/rng.h"
+
+namespace sparta::topk {
+
+Score SumUpperBounds(const UpperBounds& ub) {
+  Score sum = 0;
+  for (const auto& entry : ub) sum += entry.load(std::memory_order_relaxed);
+  return sum;
+}
+
+DocType::DocType(DocId id, int num_terms)
+    : score(static_cast<std::size_t>(num_terms)), id_(id) {}
+
+Score DocType::SumScores() const {
+  Score sum = 0;
+  for (const auto& s : score) sum += s.load(std::memory_order_relaxed);
+  return sum;
+}
+
+Score DocType::UpperBound(const UpperBounds& ub) const {
+  SPARTA_CHECK(ub.size() == score.size());
+  Score sum = 0;
+  for (std::size_t i = 0; i < score.size(); ++i) {
+    const Score s = score[i].load(std::memory_order_relaxed);
+    sum += s > 0 ? s : ub[i].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::int64_t ModeledEntryBytes(int num_terms, bool concurrent) {
+  // Modeled after the paper's Java implementation: a HashMap.Node (or
+  // ConcurrentHashMap.Node plus its synchronization overhead), an
+  // Integer-boxed key, a DocType object header with an int[] score array
+  // and an int LB. See DESIGN.md §1 (memory-budget substitution).
+  const std::int64_t node = concurrent ? 88 : 60;
+  return node + 4 * static_cast<std::int64_t>(num_terms);
+}
+
+std::size_t ConcurrentDocMap::StripeOf(DocId doc) {
+  return static_cast<std::size_t>(util::Mix64(doc)) %
+         static_cast<std::size_t>(kStripes);
+}
+
+ConcurrentDocMap::ConcurrentDocMap(exec::QueryContext& ctx, int num_terms,
+                                   std::int64_t modeled_entry_bytes)
+    : num_terms_(num_terms),
+      entry_bytes_(modeled_entry_bytes != 0
+                       ? modeled_entry_bytes
+                       : ModeledEntryBytes(num_terms, /*concurrent=*/true)),
+      stripes_(kStripes) {
+  for (auto& stripe : stripes_) stripe.lock = ctx.MakeLock();
+}
+
+std::size_t ConcurrentDocMap::ApproxBytes() const {
+  // DocType payload + hash node per entry, approximated for the cost
+  // model (what matters is the cache level it lands in, not exact bytes).
+  return Size() * (sizeof(DocType) + 32 +
+                   4 * static_cast<std::size_t>(num_terms_));
+}
+
+ConcurrentDocMap::GetOrCreateResult ConcurrentDocMap::GetOrCreate(
+    DocId doc, exec::WorkerContext& worker) {
+  Stripe& stripe = stripes_[StripeOf(doc)];
+  GetOrCreateResult result;
+  const exec::CtxLockGuard guard(*stripe.lock, worker);
+  worker.StructureAccess(ApproxBytes(), /*write_shared=*/true);
+  const auto it = stripe.map.find(doc);
+  if (it != stripe.map.end()) {
+    result.doc = it->second;
+    return result;
+  }
+  // A caller that observed UBStop slightly late may still reach here
+  // after the map was frozen; the read-only check under the stripe lock
+  // makes the freeze race-free.
+  if (read_only()) return result;
+  if (!worker.ChargeMemory(entry_bytes_)) {
+    (void)worker.ChargeMemory(-entry_bytes_);  // nothing was stored
+    result.oom = true;
+    return result;
+  }
+  worker.StructureAccess(ApproxBytes(), /*write_shared=*/true,
+                         /*insert=*/true);
+  DocType* created = &stripe.arena.emplace_back(doc, num_terms_);
+  stripe.map.emplace(doc, created);
+  const auto new_size =
+      size_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto peak = peak_.load(std::memory_order_relaxed);
+  while (new_size > peak &&
+         !peak_.compare_exchange_weak(peak, new_size,
+                                      std::memory_order_relaxed)) {
+  }
+  result.doc = created;
+  result.inserted = true;
+  return result;
+}
+
+DocType* ConcurrentDocMap::Find(DocId doc, exec::WorkerContext& worker) {
+  // The stripe lock is held even in the read-only phase: the freeze is
+  // not a synchronization point, so lock-free reads would race with the
+  // last in-flight inserts (this is also the honest cost — the paper's
+  // workers keep using the locked concurrent map until their termMap
+  // replicas take over).
+  Stripe& stripe = stripes_[StripeOf(doc)];
+  const exec::CtxLockGuard guard(*stripe.lock, worker);
+  worker.StructureAccess(ApproxBytes(), /*write_shared=*/!read_only());
+  const auto it = stripe.map.find(doc);
+  return it == stripe.map.end() ? nullptr : it->second;
+}
+
+ConcurrentDocMap::GetOrCreateResult ConcurrentDocMap::AddScore(
+    DocId doc, Score delta, exec::WorkerContext& worker) {
+  GetOrCreateResult result = GetOrCreate(doc, worker);
+  if (result.doc != nullptr) {
+    result.doc->lb.fetch_add(delta, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+bool LocalDocMap::Add(DocType* doc, exec::WorkerContext& worker) {
+  SPARTA_CHECK(doc != nullptr);
+  if (!worker.ChargeMemory(entry_bytes_)) {
+    // The entry is not stored, so its charge must not linger.
+    (void)worker.ChargeMemory(-entry_bytes_);
+    return false;
+  }
+  worker.StructureAccess(ApproxBytes(), /*write_shared=*/false,
+                         /*insert=*/true);
+  map_.emplace(doc->id(), doc);
+  return true;
+}
+
+DocType* LocalDocMap::Find(DocId doc, exec::WorkerContext& worker) const {
+  worker.StructureAccess(ApproxBytes(), /*write_shared=*/false);
+  const auto it = map_.find(doc);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+std::size_t LocalDocMap::ApproxBytes() const {
+  // Hash node plus the referenced DocType payload the reader touches.
+  return map_.size() * (24 + sizeof(DocType) + 48);
+}
+
+void LocalDocMap::ReleaseModeledMemory(exec::WorkerContext& worker) {
+  if (memory_released_) return;
+  memory_released_ = true;
+  // Releasing cannot newly exceed the budget; ignore the flag.
+  (void)worker.ChargeMemory(-entry_bytes_ *
+                            static_cast<std::int64_t>(map_.size()));
+}
+
+}  // namespace sparta::topk

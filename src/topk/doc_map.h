@@ -1,0 +1,193 @@
+// Document maps: the candidate bookkeeping of the NRA family (§4.1).
+//
+//   * DocType          — per-document record: observed term scores, lower
+//                        bound, heap membership.
+//   * ConcurrentDocMap — the shared docMap: striped hashing with a
+//                        granular lock per stripe (the paper protects
+//                        "each hash bucket by a granular lock", §4.3).
+//   * LocalDocMap      — an unsynchronized partial copy: Sparta's
+//                        termMap replicas and the cleaner's tmpDocMap.
+//
+// Memory accounting: entry footprints are *modeled* after the paper's
+// Java implementation (object headers + boxed map nodes), so the memory
+// budget that decides the "crashed due to lack of memory" cells scales
+// like the original system rather than like our leaner C++ structs.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/context.h"
+#include "topk/result.h"
+#include "util/common.h"
+
+namespace sparta::topk {
+
+/// Shared per-term score upper bounds (UB[m] of the paper). Entries are
+/// written only by the worker that owns the term's posting list; padding
+/// would reduce simulated ping-pong, but the paper's layout is a plain
+/// array, so we keep one (coherence effects are part of the study).
+using UpperBounds = std::vector<std::atomic<Score>>;
+
+/// Sum of all term upper bounds (left side of UBStop, Eq. 1).
+Score SumUpperBounds(const UpperBounds& ub);
+
+/// The paper's DocType: <id, score[m], LB> plus a heap-membership flag.
+/// score[i] is written only by the worker currently owning term i; LB is
+/// refreshed lazily under the heap lock (§4.3).
+class DocType {
+ public:
+  DocType(DocId id, int num_terms);
+
+  DocType(const DocType&) = delete;
+  DocType& operator=(const DocType&) = delete;
+
+  DocId id() const { return id_; }
+
+  // Hot fields, accessed directly by algorithms.
+  std::atomic<Score> lb{0};
+  std::atomic<bool> in_heap{false};
+  /// Term scores observed so far (0 = not yet seen). Index = query term
+  /// position, not global TermId.
+  std::vector<std::atomic<Score>> score;
+
+  /// Σ score[i] (the document's current lower bound, recomputed).
+  Score SumScores() const;
+
+  /// UB(D) = Σ (score[i] > 0 ? score[i] : UB[i])  (§4.1, Table 1).
+  Score UpperBound(const UpperBounds& ub) const;
+
+ private:
+  DocId id_;
+};
+
+/// Modeled per-entry footprint (bytes) of the paper's Java maps.
+std::int64_t ModeledEntryBytes(int num_terms, bool concurrent);
+
+/// Striped concurrent hash map DocId -> DocType*, owning the DocType
+/// storage (arena per stripe; entries live until the map is destroyed,
+/// which lets cleaner snapshots hold raw pointers safely).
+class ConcurrentDocMap {
+ public:
+  static constexpr int kStripes = 64;
+
+  /// `num_terms` sizes each DocType's score vector (0 for accumulator
+  /// maps like pJASS's). `modeled_entry_bytes` overrides the default
+  /// Java-footprint model (pJASS's per-document lock objects make its
+  /// entries heavier); 0 keeps the default.
+  ConcurrentDocMap(exec::QueryContext& ctx, int num_terms,
+                   std::int64_t modeled_entry_bytes = 0);
+
+  struct GetOrCreateResult {
+    DocType* doc = nullptr;
+    bool inserted = false;
+    /// True if the memory budget was exceeded; the caller must abort the
+    /// query with Status::kOutOfMemory.
+    bool oom = false;
+  };
+
+  /// Finds or inserts the document. Locks the stripe.
+  GetOrCreateResult GetOrCreate(DocId doc, exec::WorkerContext& worker);
+
+  /// Lookup without insertion. Locks the stripe while the map is still
+  /// write-shared.
+  DocType* Find(DocId doc, exec::WorkerContext& worker);
+
+  /// Accumulator update (JASS family): get-or-create the document and
+  /// add `delta` to its running score under the stripe lock, modeling
+  /// the paper's "each document is protected by a lock" (§5.2.1) with
+  /// granular striping.
+  GetOrCreateResult AddScore(DocId doc, Score delta,
+                             exec::WorkerContext& worker);
+
+  std::size_t Size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t PeakSize() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate resident bytes, for the cache-level cost model.
+  std::size_t ApproxBytes() const;
+
+  /// Marks the insert phase over (UBStop reached): lookups stop taking
+  /// stripe locks and stop being priced as write-shared.
+  void SetReadOnly() { read_only_.store(true, std::memory_order_release); }
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// Iterates all entries. Only valid once read-only.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    SPARTA_CHECK(read_only());
+    for (const auto& stripe : stripes_) {
+      for (const auto& [id, doc] : stripe.map) fn(doc);
+    }
+  }
+
+  /// Iterates all entries stripe-by-stripe under the stripe locks; safe
+  /// while the map is still being mutated (pNRA's stopping scan).
+  template <typename Fn>
+  void ForEachLocked(Fn&& fn, exec::WorkerContext& worker) {
+    for (auto& stripe : stripes_) {
+      const exec::CtxLockGuard guard(*stripe.lock, worker);
+      for (const auto& [id, doc] : stripe.map) fn(doc);
+    }
+  }
+
+  int num_terms() const { return num_terms_; }
+
+ private:
+  struct Stripe {
+    std::unique_ptr<exec::CtxLock> lock;
+    std::unordered_map<DocId, DocType*> map;
+    std::deque<DocType> arena;
+  };
+
+  static std::size_t StripeOf(DocId doc);
+
+  int num_terms_;
+  std::int64_t entry_bytes_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::atomic<bool> read_only_{false};
+  std::vector<Stripe> stripes_;
+};
+
+/// Unsynchronized map of DocType references: termMap / tmpDocMap.
+class LocalDocMap {
+ public:
+  explicit LocalDocMap(int num_terms)
+      : entry_bytes_(ModeledEntryBytes(num_terms, /*concurrent=*/false)) {}
+
+  void Reserve(std::size_t n) { map_.reserve(n); }
+
+  /// Returns false if the memory budget was exceeded.
+  [[nodiscard]] bool Add(DocType* doc, exec::WorkerContext& worker);
+
+  DocType* Find(DocId doc, exec::WorkerContext& worker) const;
+
+  std::size_t Size() const { return map_.size(); }
+  std::size_t ApproxBytes() const;
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [id, doc] : map_) fn(doc);
+  }
+
+  /// Releases the modeled memory of this map (called when a snapshot is
+  /// retired by the cleaner's pointer swing).
+  void ReleaseModeledMemory(exec::WorkerContext& worker);
+
+ private:
+  std::int64_t entry_bytes_;
+  bool memory_released_ = false;
+  std::unordered_map<DocId, DocType*> map_;
+};
+
+}  // namespace sparta::topk

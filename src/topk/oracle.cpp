@@ -1,0 +1,39 @@
+#include "topk/oracle.h"
+
+#include <algorithm>
+
+namespace sparta::topk {
+
+ExactTopK ComputeExactTopK(const index::InvertedIndex& idx,
+                           std::span<const TermId> terms, int k) {
+  SPARTA_CHECK(k > 0);
+  // Dense accumulator + touched list: O(total postings) with two passes.
+  std::vector<Score> acc(idx.num_docs(), 0);
+  std::vector<DocId> touched;
+  for (const TermId t : terms) {
+    for (const index::Posting& p : idx.Term(t).doc_order) {
+      if (acc[p.doc] == 0) touched.push_back(p.doc);
+      acc[p.doc] += static_cast<Score>(p.score);
+    }
+  }
+
+  std::vector<ResultEntry> all;
+  all.reserve(touched.size());
+  for (const DocId d : touched) all.push_back({d, acc[d]});
+  CanonicalizeResult(all);
+
+  ExactTopK out;
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(k), all.size());
+  out.topk.assign(all.begin(), all.begin() + static_cast<long>(take));
+  out.kth_score = take == static_cast<std::size_t>(k)
+                      ? out.topk.back().score
+                      : 0;
+  for (std::size_t i = take; i < all.size(); ++i) {
+    if (all[i].score != out.kth_score) break;
+    out.boundary.push_back(all[i].doc);
+  }
+  return out;
+}
+
+}  // namespace sparta::topk

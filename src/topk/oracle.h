@@ -1,0 +1,29 @@
+// Brute-force exact top-k oracle.
+//
+// Computes ground truth by fully scoring every document that matches any
+// query term. Used for correctness tests (safe algorithms must match it)
+// and as the reference set for recall measurements (§2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "topk/result.h"
+
+namespace sparta::topk {
+
+struct ExactTopK {
+  /// The exact top-k, canonical order (score desc, doc asc).
+  std::vector<ResultEntry> topk;
+  /// Score of the k-th result (0 if fewer than k matches exist).
+  Score kth_score = 0;
+  /// Documents *outside* topk whose score ties kth_score. For recall
+  /// purposes they are interchangeable with same-scored topk members.
+  std::vector<DocId> boundary;
+};
+
+ExactTopK ComputeExactTopK(const index::InvertedIndex& idx,
+                           std::span<const TermId> terms, int k);
+
+}  // namespace sparta::topk

@@ -1,0 +1,49 @@
+// Search parameters shared by all algorithms.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/context.h"
+#include "util/common.h"
+
+namespace sparta::topk {
+
+/// Observer of heap updates, used to reconstruct recall-over-time curves
+/// (paper Figs. 3f-3g). Implementations must be safe to call under the
+/// algorithm's heap lock.
+class HeapTracer {
+ public:
+  virtual ~HeapTracer() = default;
+  /// `score` is the document's current (lower-bound or full) score at the
+  /// moment it enters/moves in a heap.
+  virtual void OnHeapUpdate(exec::VirtualTime time, DocId doc,
+                            Score score) = 0;
+};
+
+struct SearchParams {
+  /// Result-set size. The paper uses k = 1000 (k = 100 "qualitatively
+  /// similar", §5.1).
+  int k = 100;
+
+  /// Approximation knob of the TA family (Sparta, pRA, pNRA, sNRA):
+  /// stop once the heap has not changed for `delta` ns. kNever = exact.
+  exec::VirtualTime delta = exec::kNever;
+
+  /// pBMW threshold-relaxation factor (f >= 1; 1 = exact), §5.2.1.
+  double f = 1.0;
+
+  /// pJASS fraction of postings to scan (p in (0, 1]; 1 = exact), §5.2.1.
+  double p = 1.0;
+
+  /// Posting-list segment length per job (Sparta, pJASS, TA variants).
+  std::uint32_t seg_size = 1024;
+
+  /// docMap size threshold below which Sparta workers build their local
+  /// termMap replicas; the paper uses 10K entries (§4.3).
+  std::size_t phi = 10'000;
+
+  /// Optional heap-update observer for recall-dynamics experiments.
+  HeapTracer* tracer = nullptr;
+};
+
+}  // namespace sparta::topk

@@ -1,0 +1,33 @@
+#include "topk/recall.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sparta::topk {
+
+void CanonicalizeResult(std::vector<ResultEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ResultEntry& a, const ResultEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+}
+
+double Recall(const ExactTopK& exact, std::span<const ResultEntry> approx) {
+  if (exact.topk.empty()) return 1.0;
+  std::unordered_set<DocId> good;
+  good.reserve(exact.topk.size() + exact.boundary.size());
+  for (const auto& e : exact.topk) good.insert(e.doc);
+  for (const DocId d : exact.boundary) good.insert(d);
+
+  std::size_t hits = 0;
+  std::unordered_set<DocId> seen;  // guard against duplicate entries
+  for (const auto& e : approx) {
+    if (seen.insert(e.doc).second && good.contains(e.doc)) ++hits;
+  }
+  hits = std::min(hits, exact.topk.size());
+  return static_cast<double>(hits) /
+         static_cast<double>(exact.topk.size());
+}
+
+}  // namespace sparta::topk

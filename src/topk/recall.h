@@ -1,0 +1,16 @@
+// Recall: the quality metric of approximate top-k retrieval (§2).
+#pragma once
+
+#include <span>
+
+#include "topk/oracle.h"
+#include "topk/result.h"
+
+namespace sparta::topk {
+
+/// Fraction of the exact top-k covered by `approx` (§2), tie-aware:
+/// a returned document whose exact score equals the k-th score counts
+/// even if the oracle's tie-breaking placed it just outside the list.
+double Recall(const ExactTopK& exact, std::span<const ResultEntry> approx);
+
+}  // namespace sparta::topk

@@ -1,0 +1,49 @@
+// Query results and per-query statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/context.h"
+#include "util/common.h"
+
+namespace sparta::topk {
+
+struct ResultEntry {
+  DocId doc = kInvalidDoc;
+  /// For exact/RA-style algorithms the full document score; for
+  /// NRA-style algorithms the lower bound at termination.
+  Score score = 0;
+
+  friend bool operator==(const ResultEntry&, const ResultEntry&) = default;
+};
+
+enum class Status : std::uint8_t {
+  kOk,
+  /// The query exceeded its modeled memory budget — the reproduction of
+  /// the paper's "N/A: crashed due to lack of memory" outcomes.
+  kOutOfMemory,
+};
+
+struct QueryStats {
+  std::uint64_t postings_processed = 0;
+  std::uint64_t heap_inserts = 0;
+  std::uint64_t docmap_peak_entries = 0;
+  std::uint64_t random_accesses = 0;
+  /// Filled by the driver: end_time - start_time on the executor clock.
+  exec::VirtualTime latency = 0;
+};
+
+struct SearchResult {
+  Status status = Status::kOk;
+  /// Sorted by decreasing score, ties by increasing doc.
+  std::vector<ResultEntry> entries;
+  QueryStats stats;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+/// Sorts entries into canonical order (decreasing score, increasing doc).
+void CanonicalizeResult(std::vector<ResultEntry>& entries);
+
+}  // namespace sparta::topk

@@ -1,0 +1,46 @@
+// Core type aliases and invariant-checking macros shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace sparta {
+
+/// Document identifier. Dense, 0-based within a corpus.
+using DocId = std::uint32_t;
+/// Term identifier. Dense, 0-based within a vocabulary.
+using TermId = std::uint32_t;
+/// Integer term/document score. Term scores are tf-idf values scaled by
+/// 10^6 and rounded (paper §5.2); document scores are sums of term scores.
+using Score = std::int64_t;
+
+inline constexpr DocId kInvalidDoc = std::numeric_limits<DocId>::max();
+inline constexpr TermId kInvalidTerm = std::numeric_limits<TermId>::max();
+
+/// Hardware cache-line size used for padding shared state.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace sparta
+
+/// Always-on invariant check (benchmarks rely on correctness, so these are
+/// not compiled out in release builds; they are cheap compared to the work
+/// they guard).
+#define SPARTA_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      std::fprintf(stderr, "SPARTA_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SPARTA_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      std::fprintf(stderr, "SPARTA_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

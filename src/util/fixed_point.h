@@ -1,0 +1,27 @@
+// Fixed-point score representation.
+//
+// Term scores (tf-idf) are stored in posting lists as integers scaled by
+// 10^6 and rounded, following the paper (§5.2): "Using integer arithmetic
+// instead of floating-point significantly speeds up document evaluation."
+#pragma once
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace sparta::util {
+
+inline constexpr Score kScoreScale = 1'000'000;
+
+/// Converts a floating-point tf-idf weight to the integer wire format.
+inline Score ToFixed(double score) {
+  return static_cast<Score>(std::llround(score * kScoreScale));
+}
+
+/// Converts an integer score back to its floating-point value (for
+/// display only; all algorithm comparisons use the integer form).
+inline double FromFixed(Score score) {
+  return static_cast<double>(score) / static_cast<double>(kScoreScale);
+}
+
+}  // namespace sparta::util

@@ -1,0 +1,57 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace sparta::util {
+
+void Histogram::Add(std::int64_t sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+double Histogram::Mean() const {
+  SPARTA_CHECK(!samples_.empty());
+  double sum = 0.0;
+  for (const auto s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::int64_t Histogram::Min() const {
+  SPARTA_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+std::int64_t Histogram::Max() const {
+  SPARTA_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<std::int64_t>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    sorted_ = true;
+  }
+}
+
+std::int64_t Histogram::Percentile(double q) const {
+  SPARTA_CHECK(!samples_.empty());
+  SPARTA_CHECK(q >= 0.0 && q <= 100.0);
+  EnsureSorted();
+  const auto n = samples_.size();
+  // Nearest-rank: smallest index i with (i+1)/n >= q/100.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(n)));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace sparta::util

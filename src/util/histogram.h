@@ -1,0 +1,35 @@
+// Latency sample accumulator with exact percentiles.
+//
+// Experiments collect at most a few thousand samples per cell, so we keep
+// raw samples and sort on demand instead of approximating.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sparta::util {
+
+class Histogram {
+ public:
+  void Add(std::int64_t sample);
+  void Merge(const Histogram& other);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const;
+  std::int64_t Min() const;
+  std::int64_t Max() const;
+  /// Exact percentile by nearest-rank; q in [0, 100].
+  std::int64_t Percentile(double q) const;
+
+  const std::vector<std::int64_t>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<std::int64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace sparta::util

@@ -1,0 +1,17 @@
+#include "util/rng.h"
+
+namespace sparta::util {
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Marsaglia polar method; one deviate per call (the spare is discarded
+  // to keep the generator state a pure function of the call count).
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace sparta::util

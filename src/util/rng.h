@@ -1,0 +1,102 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomness in the library flows through these generators so that
+// corpus generation, query sampling, and simulations are reproducible
+// from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace sparta::util {
+
+/// SplitMix64 — used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix; good avalanche, used for hash tables.
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return SplitMix64(s);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna. Fast, high-quality, 2^256 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    SPARTA_CHECK(bound > 0);
+    // Lemire's multiply-shift rejection-free-ish reduction (bias < 2^-64
+    // for the bounds used here, which is irrelevant for benchmarking).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as a log() argument.
+  double NextDoublePositive() {
+    return (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Geometric number of failures before the first success;
+  /// success probability p in (0, 1]. Returns values in {0, 1, 2, ...}.
+  std::uint64_t Geometric(double p) {
+    SPARTA_CHECK(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    const double u = NextDoublePositive();
+    return static_cast<std::uint64_t>(std::floor(std::log(u) /
+                                                 std::log1p(-p)));
+  }
+
+  /// Gaussian via Marsaglia polar method.
+  double Gaussian(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of [first, last).
+  template <typename It>
+  void Shuffle(It first, It last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = Below(i);
+      using std::swap;
+      swap(first[i - 1], first[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace sparta::util

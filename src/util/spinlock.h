@@ -1,0 +1,47 @@
+// Minimal test-and-test-and-set spinlock with exponential backoff.
+//
+// Used for very short critical sections (per-bucket map locks, per-doc
+// accumulator locks) where a std::mutex's syscall path would dominate.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "util/common.h"
+
+namespace sparta::util {
+
+class alignas(kCacheLine) Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    int spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Test-and-test-and-set: spin on a plain load to avoid bouncing the
+      // cache line in exclusive state.
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins >= kYieldThreshold) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kYieldThreshold = 256;
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace sparta::util

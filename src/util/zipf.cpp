@@ -1,0 +1,68 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace sparta::util {
+
+std::vector<double> ZipfMandelbrotWeights(std::size_t n, double s, double q) {
+  SPARTA_CHECK(n > 0);
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    w[r] = 1.0 / std::pow(static_cast<double>(r) + 1.0 + q, s);
+    sum += w[r];
+  }
+  for (auto& x : w) x /= sum;
+  return w;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  SPARTA_CHECK(n > 0);
+  double sum = 0.0;
+  for (double w : weights) {
+    SPARTA_CHECK(w >= 0.0);
+    sum += w;
+  }
+  SPARTA_CHECK(sum > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled weights; buckets with scaled weight < 1 are "small".
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / sum;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Numerical leftovers: both queues drain to probability 1.
+  for (const auto q : large) prob_[q] = 1.0;
+  for (const auto q : small) prob_[q] = 1.0;
+}
+
+std::size_t AliasSampler::Sample(Rng& rng) const {
+  const std::size_t bucket = rng.Below(prob_.size());
+  return rng.NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace sparta::util

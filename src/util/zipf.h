@@ -1,0 +1,37 @@
+// Zipf-Mandelbrot frequency models and O(1) discrete sampling.
+//
+// Web-corpus term frequencies are famously Zipfian; both the synthetic
+// corpus generator and the query-log generator build on this module.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sparta::util {
+
+/// Normalized Zipf-Mandelbrot probabilities over ranks 0..n-1:
+///   p(r) ∝ 1 / (r + 1 + q)^s
+std::vector<double> ZipfMandelbrotWeights(std::size_t n, double s, double q);
+
+/// Walker's alias method: O(n) build, O(1) sampling from an arbitrary
+/// discrete distribution.
+class AliasSampler {
+ public:
+  /// Weights need not be normalized; they must be non-negative with a
+  /// positive sum.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight.
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;  // fallback index per bucket
+};
+
+}  // namespace sparta::util

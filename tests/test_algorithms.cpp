@@ -1,0 +1,176 @@
+// Integration tests: every retrieval algorithm against the brute-force
+// oracle, across corpora, query lengths, k, and both executors.
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace sparta::test {
+namespace {
+
+// Safe (exact-mode) algorithms: must return exactly the oracle's top-k.
+// sNRA is excluded: its shard merge ranks by lower bounds, which is only
+// guaranteed to be a high-recall approximation (see baselines/snra.h).
+const char* kSafeAlgorithms[] = {"Sparta", "pNRA",  "pRA",  "TA-RA",
+                                 "TA-NRA", "pBMW",  "pJASS", "JASS",
+                                 "BMW",    "WAND",  "MaxScore"};
+
+struct ExactCase {
+  std::string algo;
+  std::size_t terms;
+  int k;
+  int workers;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ExactCase>& info) {
+  std::string name = info.param.algo + "_m" +
+                     std::to_string(info.param.terms) + "_k" +
+                     std::to_string(info.param.k) + "_w" +
+                     std::to_string(info.param.workers);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class ExactAlgorithmTest : public ::testing::TestWithParam<ExactCase> {};
+
+TEST_P(ExactAlgorithmTest, MatchesOracleOnSim) {
+  const auto& p = GetParam();
+  const auto idx = MakeTinyIndex(1500, /*seed=*/11);
+  const auto terms = PickQueryTerms(idx, p.terms, /*salt=*/3);
+  topk::SearchParams params;
+  params.k = p.k;
+  params.seg_size = 64;
+  const auto result = RunOnSim(idx, p.algo, terms, params, p.workers);
+  EXPECT_TRUE(IsExactTopK(idx, terms, p.k, result));
+}
+
+std::vector<ExactCase> MakeExactCases() {
+  std::vector<ExactCase> cases;
+  for (const char* algo : kSafeAlgorithms) {
+    for (const std::size_t m : {1u, 2u, 4u, 8u}) {
+      cases.push_back({algo, m, 10, 4});
+    }
+    cases.push_back({algo, 3, 1, 2});    // k = 1 edge
+    cases.push_back({algo, 5, 500, 6});  // k larger than many lists
+    cases.push_back({algo, 6, 25, 1});   // sequential execution
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ExactAlgorithmTest,
+                         ::testing::ValuesIn(MakeExactCases()), CaseName);
+
+TEST(ExactAlgorithmThreadedTest, MatchesOracleOnRealThreads) {
+  const auto idx = MakeTinyIndex(1200, /*seed=*/5);
+  const auto terms = PickQueryTerms(idx, 5, /*salt=*/9);
+  topk::SearchParams params;
+  params.k = 20;
+  params.seg_size = 32;
+  for (const char* algo : kSafeAlgorithms) {
+    SCOPED_TRACE(algo);
+    const auto result = RunOnThreads(idx, algo, terms, params, 4);
+    EXPECT_TRUE(IsExactTopK(idx, terms, params.k, result));
+  }
+}
+
+TEST(SNraTest, HighRecallExactMode) {
+  const auto idx = MakeTinyIndex(1500, /*seed=*/13);
+  const auto terms = PickQueryTerms(idx, 6, /*salt=*/1);
+  topk::SearchParams params;
+  params.k = 20;
+  params.seg_size = 64;
+  const auto result = RunOnSim(idx, "sNRA", terms, params, 4);
+  ASSERT_TRUE(result.ok());
+  const auto exact = topk::ComputeExactTopK(idx, terms, params.k);
+  EXPECT_GE(topk::Recall(exact, result.entries), 0.9);
+}
+
+TEST(ApproximateTest, DeltaStoppingKeepsHighRecall) {
+  const auto idx = MakeTinyIndex(3000, /*seed=*/17);
+  const auto terms = PickQueryTerms(idx, 6, /*salt=*/2);
+  topk::SearchParams params;
+  params.k = 50;
+  params.seg_size = 64;
+  params.delta = exec::kMillisecond;  // aggressive but nonzero
+  for (const char* algo : {"Sparta", "pRA", "pNRA"}) {
+    SCOPED_TRACE(algo);
+    const auto result = RunOnSim(idx, algo, terms, params, 6);
+    ASSERT_TRUE(result.ok());
+    const auto exact = topk::ComputeExactTopK(idx, terms, params.k);
+    EXPECT_GE(topk::Recall(exact, result.entries), 0.5);
+  }
+}
+
+TEST(ApproximateTest, PBmwRelaxationTradesRecall) {
+  const auto idx = MakeTinyIndex(3000, /*seed=*/19);
+  const auto terms = PickQueryTerms(idx, 6, /*salt=*/4);
+  topk::SearchParams exact_params;
+  exact_params.k = 50;
+  topk::SearchParams relaxed = exact_params;
+  relaxed.f = 8.0;
+  const auto oracle = topk::ComputeExactTopK(idx, terms, exact_params.k);
+
+  const auto exact_run = RunOnSim(idx, "pBMW", terms, exact_params, 4);
+  const auto relaxed_run = RunOnSim(idx, "pBMW", terms, relaxed, 4);
+  ASSERT_TRUE(exact_run.ok());
+  ASSERT_TRUE(relaxed_run.ok());
+  EXPECT_DOUBLE_EQ(topk::Recall(oracle, exact_run.entries), 1.0);
+  // Relaxation must do no more work than the exact run.
+  EXPECT_LE(relaxed_run.stats.postings_processed,
+            exact_run.stats.postings_processed);
+}
+
+TEST(ApproximateTest, PJassFractionBoundsWork) {
+  const auto idx = MakeTinyIndex(3000, /*seed=*/23);
+  const auto terms = PickQueryTerms(idx, 8, /*salt=*/5);
+  std::uint64_t total = 0;
+  for (const TermId t : terms) total += idx.Entry(t).df;
+
+  topk::SearchParams params;
+  params.k = 30;
+  params.p = 0.1;
+  params.seg_size = 32;
+  const auto result = RunOnSim(idx, "pJASS", terms, params, 4);
+  ASSERT_TRUE(result.ok());
+  // p bounds the scanned postings up to in-flight segment slack.
+  EXPECT_LE(result.stats.postings_processed,
+            static_cast<std::uint64_t>(0.1 * static_cast<double>(total)) +
+                4 * params.seg_size);
+}
+
+TEST(WorkerScalingTest, ResultsIndependentOfWorkerCount) {
+  const auto idx = MakeTinyIndex(1500, /*seed=*/29);
+  const auto terms = PickQueryTerms(idx, 6, /*salt=*/6);
+  topk::SearchParams params;
+  params.k = 15;
+  params.seg_size = 64;
+  for (const char* algo : {"Sparta", "pRA", "pBMW", "pJASS"}) {
+    SCOPED_TRACE(algo);
+    for (const int workers : {1, 2, 3, 6, 12}) {
+      SCOPED_TRACE(workers);
+      const auto result = RunOnSim(idx, algo, terms, params, workers);
+      EXPECT_TRUE(IsExactTopK(idx, terms, params.k, result));
+    }
+  }
+}
+
+TEST(StatsTest, PostingCountsAreSane) {
+  const auto idx = MakeTinyIndex(1500, /*seed=*/31);
+  const auto terms = PickQueryTerms(idx, 4, /*salt=*/7);
+  std::uint64_t total = 0;
+  for (const TermId t : terms) total += idx.Entry(t).df;
+
+  topk::SearchParams params;
+  params.k = 10;
+  for (const char* algo : {"Sparta", "pJASS", "pRA"}) {
+    SCOPED_TRACE(algo);
+    const auto result = RunOnSim(idx, algo, terms, params, 4);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result.stats.postings_processed, 0u);
+    EXPECT_LE(result.stats.postings_processed, total);
+  }
+}
+
+}  // namespace
+}  // namespace sparta::test

@@ -1,0 +1,192 @@
+// Baseline-internals tests: document-order cursors, BMW scan mechanics,
+// pBMW threshold sharing, JASS budgets, NRA shard scans.
+#include <gtest/gtest.h>
+
+#include "baselines/bmw.h"
+#include "baselines/cursor.h"
+#include "baselines/ta_nra.h"
+#include "test_helpers.h"
+
+namespace sparta::algos {
+namespace {
+
+class NullWorker final : public exec::WorkerContext {
+ public:
+  int worker_id() const override { return 0; }
+  exec::VirtualTime Now() const override { return clock_; }
+  void Charge(exec::VirtualTime ns) override { clock_ += ns; }
+  void ChargePostings(std::uint64_t n) override {
+    clock_ += static_cast<exec::VirtualTime>(n);
+  }
+  void SharedAccess(const void*, exec::AccessKind) override {}
+  void StructureAccess(std::size_t, bool, bool) override {}
+  void StructureAccessMany(std::size_t, bool, std::uint64_t) override {}
+  void IoSequential(std::uint64_t, std::uint64_t) override {}
+  void IoRandom(std::uint64_t) override {}
+  bool ChargeMemory(std::int64_t) override { return true; }
+
+ private:
+  exec::VirtualTime clock_ = 0;
+};
+
+TEST(CursorTest, SequentialTraversalMatchesList) {
+  const auto idx = test::MakeTinyIndex(600, 3);
+  NullWorker w;
+  for (TermId t = 0; t < 20; ++t) {
+    const auto view = idx.Term(t);
+    if (view.df() == 0) continue;
+    DocOrderCursor cursor(idx, t);
+    cursor.Prime(w);
+    for (const auto& p : view.doc_order) {
+      ASSERT_FALSE(cursor.exhausted());
+      EXPECT_EQ(cursor.doc(), p.doc);
+      EXPECT_EQ(cursor.score(), static_cast<Score>(p.score));
+      cursor.Next(w);
+    }
+    EXPECT_TRUE(cursor.exhausted());
+    EXPECT_EQ(cursor.doc(), kInvalidDoc);
+  }
+}
+
+TEST(CursorTest, NextGeqMatchesLowerBound) {
+  const auto idx = test::MakeTinyIndex(800, 5);
+  NullWorker w;
+  TermId big = 0;
+  for (TermId t = 0; t < idx.num_terms(); ++t) {
+    if (idx.Entry(t).df > idx.Entry(big).df) big = t;
+  }
+  const auto list = idx.Term(big).doc_order;
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    DocOrderCursor cursor(idx, big);
+    const DocId target =
+        static_cast<DocId>(rng.Below(idx.num_docs() + 10));
+    cursor.NextGEQ(target, w);
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), target,
+        [](const index::Posting& p, DocId d) { return p.doc < d; });
+    if (it == list.end()) {
+      EXPECT_TRUE(cursor.exhausted());
+    } else {
+      EXPECT_EQ(cursor.doc(), it->doc);
+    }
+  }
+}
+
+TEST(CursorTest, NextGeqIsMonotoneAndIdempotent) {
+  const auto idx = test::MakeTinyIndex(800, 5);
+  NullWorker w;
+  DocOrderCursor cursor(idx, 0);
+  cursor.NextGEQ(100, w);
+  const DocId at_100 = cursor.doc();
+  cursor.NextGEQ(50, w);  // going backwards is a no-op
+  EXPECT_EQ(cursor.doc(), at_100);
+  cursor.NextGEQ(at_100, w);  // same target is a no-op
+  EXPECT_EQ(cursor.doc(), at_100);
+}
+
+TEST(BmwScanTest, RangeRestrictionIsRespected) {
+  const auto idx = test::MakeTinyIndex(1000, 9);
+  const auto terms = test::PickQueryTerms(idx, 4, 1);
+  NullWorker w;
+  topk::TopKHeap heap(50);
+  BmwScanParams params;
+  params.range_begin = 200;
+  params.range_end = 600;
+  BmwScanStats stats;
+  BmwScan(idx, terms, heap, params, w, stats);
+  for (const auto& e : heap.Extract()) {
+    EXPECT_GE(e.doc, 200u);
+    EXPECT_LT(e.doc, 600u);
+  }
+}
+
+TEST(BmwScanTest, DisjointRangesCoverFullScan) {
+  const auto idx = test::MakeTinyIndex(1000, 11);
+  const auto terms = test::PickQueryTerms(idx, 5, 2);
+  NullWorker w;
+  topk::TopKHeap full(25);
+  BmwScanParams params;
+  params.range_end = idx.num_docs();
+  BmwScanStats stats;
+  BmwScan(idx, terms, full, params, w, stats);
+
+  topk::TopKHeap merged(25);
+  for (DocId begin = 0; begin < idx.num_docs(); begin += 250) {
+    topk::TopKHeap part(25);
+    BmwScanParams range;
+    range.range_begin = begin;
+    range.range_end = begin + 250;
+    BmwScanStats s;
+    BmwScan(idx, terms, part, range, w, s);
+    merged.Merge(part);
+  }
+  EXPECT_EQ(full.Extract(), merged.Extract());
+}
+
+TEST(BmwScanTest, SharedThetaPrunesSecondScan) {
+  const auto idx = test::MakeTinyIndex(2000, 13);
+  const auto terms = test::PickQueryTerms(idx, 5, 3);
+  NullWorker w;
+
+  // Without a shared threshold, each range starts pruning from zero.
+  topk::TopKHeap cold(10);
+  BmwScanParams params;
+  params.range_end = idx.num_docs();
+  BmwScanStats cold_stats;
+  BmwScan(idx, terms, cold, params, w, cold_stats);
+
+  // With a pre-promoted global Θ (as if another worker finished first),
+  // the same scan does no more work, typically much less.
+  std::atomic<Score> shared{cold.threshold()};
+  topk::TopKHeap warm(10);
+  params.shared_theta = &shared;
+  BmwScanStats warm_stats;
+  BmwScan(idx, terms, warm, params, w, warm_stats);
+  EXPECT_LE(warm_stats.scored, cold_stats.scored);
+}
+
+TEST(NraShardTest, SingleShardIsExact) {
+  const auto idx = test::MakeTinyIndex(900, 15);
+  const auto terms = test::PickQueryTerms(idx, 5, 4);
+  NraShardInput input;
+  input.k = 15;
+  input.seg_size = 32;
+  input.lists.resize(terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    const auto view = idx.Term(terms[i]);
+    input.lists[i].postings.assign(view.impact_order.begin(),
+                                   view.impact_order.end());
+    input.lists[i].io_offset = view.impact_order_file_offset;
+  }
+  NullWorker w;
+  const auto out = NraShardScan(input, w);
+  ASSERT_FALSE(out.oom);
+  const auto exact = topk::ComputeExactTopK(idx, terms, input.k);
+  EXPECT_DOUBLE_EQ(topk::Recall(exact, out.topk), 1.0);
+  EXPECT_GT(out.postings, 0u);
+  EXPECT_GT(out.peak_candidates, 0u);
+}
+
+TEST(NraShardTest, EmptyListsProduceEmptyResult) {
+  NraShardInput input;
+  input.k = 5;
+  input.lists.resize(3);  // all empty
+  NullWorker w;
+  const auto out = NraShardScan(input, w);
+  EXPECT_FALSE(out.oom);
+  EXPECT_TRUE(out.topk.empty());
+}
+
+TEST(RegistryTest, AllNamesResolveAndReportThemselves) {
+  for (const auto name : AllAlgorithms()) {
+    const auto algo = MakeAlgorithm(name);
+    ASSERT_NE(algo, nullptr) << name;
+    EXPECT_EQ(algo->name(), name);
+  }
+  EXPECT_EQ(MakeAlgorithm("NotAnAlgorithm"), nullptr);
+  EXPECT_EQ(PaperAlgorithms().size(), 6u);
+}
+
+}  // namespace
+}  // namespace sparta::algos

@@ -1,0 +1,262 @@
+// Unit tests: corpus — synthetic generation, scale-up, query log.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "corpus/query_log.h"
+#include "corpus/scale_up.h"
+#include "corpus/synthetic.h"
+#include "index/builder.h"
+
+namespace sparta::corpus {
+namespace {
+
+SyntheticCorpusSpec SmallSpec() {
+  SyntheticCorpusSpec spec;
+  spec.num_docs = 5000;
+  spec.vocab_size = 2000;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(SyntheticTest, RawCorpusWellFormed) {
+  const auto spec = SmallSpec();
+  const auto raw = GenerateRawCorpus(spec);
+  EXPECT_EQ(raw.num_docs, spec.num_docs);
+  EXPECT_EQ(raw.term_postings.size(), spec.vocab_size);
+  EXPECT_EQ(raw.doc_lengths.size(), spec.num_docs);
+  for (const auto len : raw.doc_lengths) EXPECT_GE(len, 1u);
+  for (const auto& list : raw.term_postings) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_GE(list[i].tf, 1u);
+      EXPECT_LT(list[i].doc, spec.num_docs);
+      if (i > 0) {
+        EXPECT_LT(list[i - 1].doc, list[i].doc);  // sorted, unique
+      }
+    }
+  }
+}
+
+TEST(SyntheticTest, Deterministic) {
+  const auto a = GenerateRawCorpus(SmallSpec());
+  const auto b = GenerateRawCorpus(SmallSpec());
+  ASSERT_EQ(a.term_postings.size(), b.term_postings.size());
+  for (std::size_t t = 0; t < a.term_postings.size(); ++t) {
+    ASSERT_EQ(a.term_postings[t].size(), b.term_postings[t].size());
+    for (std::size_t i = 0; i < a.term_postings[t].size(); ++i) {
+      EXPECT_EQ(a.term_postings[t][i].doc, b.term_postings[t][i].doc);
+      EXPECT_EQ(a.term_postings[t][i].tf, b.term_postings[t][i].tf);
+    }
+  }
+}
+
+TEST(SyntheticTest, DfFollowsTargetRates) {
+  const auto spec = SmallSpec();
+  const auto rates = TermDocRates(spec);
+  const auto raw = GenerateRawCorpus(spec);
+  // Head terms: realized df within a factor of the target (dedup of
+  // size-biased draws loses some mass; tail terms are noisy).
+  for (TermId t = 0; t < 20; ++t) {
+    const double target = rates[t] * spec.num_docs;
+    const auto realized = static_cast<double>(raw.term_postings[t].size());
+    EXPECT_GT(realized, target * 0.4) << "term " << t;
+    EXPECT_LE(realized, target * 1.05) << "term " << t;
+  }
+  // Zipf: df roughly decreasing in rank for the head.
+  EXPECT_GT(raw.term_postings[0].size(), raw.term_postings[100].size());
+  EXPECT_GT(raw.term_postings[100].size(),
+            raw.term_postings[1900].size());
+}
+
+TEST(SyntheticTest, TopicsAreDeterministicAndCoherent) {
+  const auto spec = SmallSpec();
+  const auto rates = TermDocRates(spec);
+  std::set<std::uint32_t> seen_topics;
+  for (TermId t = 0; t < spec.vocab_size; ++t) {
+    const auto topic = TermTopic(spec, t, rates[t]);
+    EXPECT_EQ(topic, TermTopic(spec, t, rates[t]));
+    if (topic != kGlobalTopic) {
+      EXPECT_LT(topic, spec.num_topics);
+      seen_topics.insert(topic);
+    } else {
+      EXPECT_GE(rates[t], spec.global_rate_threshold);
+    }
+  }
+  EXPECT_EQ(seen_topics.size(), spec.num_topics);  // all topics populated
+  for (DocId d = 0; d < 100; ++d) {
+    EXPECT_EQ(DocTopic(spec, d), DocTopic(spec, d));
+    EXPECT_LT(DocTopic(spec, d), spec.num_topics);
+  }
+}
+
+TEST(SyntheticTest, TopicalConcentration) {
+  // A topical term's postings should land in its topic's documents far
+  // more often than the topic's share of the corpus.
+  const auto spec = SmallSpec();
+  const auto rates = TermDocRates(spec);
+  const auto raw = GenerateRawCorpus(spec);
+  std::vector<std::size_t> pool(spec.num_topics, 0);
+  for (DocId d = 0; d < spec.num_docs; ++d) ++pool[DocTopic(spec, d)];
+  int checked = 0;
+  for (TermId t = 0; t < spec.vocab_size && checked < 10; ++t) {
+    const auto topic = TermTopic(spec, t, rates[t]);
+    if (topic == kGlobalTopic || raw.term_postings[t].size() < 50) continue;
+    ++checked;
+    std::size_t in_topic = 0;
+    for (const auto& p : raw.term_postings[t]) {
+      if (DocTopic(spec, p.doc) == topic) ++in_topic;
+    }
+    const double df = static_cast<double>(raw.term_postings[t].size());
+    const double fraction = static_cast<double>(in_topic) / df;
+    // Base rate would be 1/num_topics ~ 1.6%. The achievable
+    // concentration is capped by the pool size for terms whose df
+    // approaches it (they saturate their topic).
+    const double achievable =
+        std::min(0.30, 0.5 * static_cast<double>(pool[topic]) / df);
+    EXPECT_GT(fraction, achievable) << "term " << t;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(SizeFactorTest, MixtureHasUnitishMeanAndHeavyTail) {
+  SyntheticCorpusSpec spec;
+  const auto factors = MixtureSizeFactors(spec, 50'000, 5);
+  double sum = 0;
+  std::size_t heavy = 0;
+  for (const double f : factors) {
+    EXPECT_GT(f, 0.0);
+    sum += f;
+    if (f > 10.0) ++heavy;
+  }
+  const double expected_mean =
+      1.0 + spec.long_doc_fraction * (spec.long_doc_factor - 1.0);
+  EXPECT_NEAR(sum / 50'000, expected_mean, expected_mean * 0.25);
+  EXPECT_GT(heavy, 1000u);  // aggregator pages exist in force
+}
+
+TEST(ScaleUpTest, PreservesTermFrequencyDistribution) {
+  const auto spec = SmallSpec();
+  const auto base = GenerateRawCorpus(spec);
+  ScaleUpSpec up;
+  up.factor = 4;
+  const auto scaled = ScaleUpCorpus(base, spec, up);
+
+  EXPECT_EQ(scaled.num_docs, base.num_docs * 4);
+  const auto base_stats = MeasureTermStats(base);
+  const auto scaled_stats = MeasureTermStats(scaled);
+  // Head-term document rates preserved within tolerance (the paper's
+  // stated property of the ClueWebX10 construction).
+  for (TermId t = 0; t < 30; ++t) {
+    if (base_stats[t].doc_rate < 0.01) continue;
+    EXPECT_NEAR(scaled_stats[t].doc_rate, base_stats[t].doc_rate,
+                base_stats[t].doc_rate * 0.25)
+        << "term " << t;
+    EXPECT_NEAR(scaled_stats[t].mean_tf, base_stats[t].mean_tf,
+                base_stats[t].mean_tf * 0.3)
+        << "term " << t;
+  }
+}
+
+TEST(TextCorpusTest, PipelineRoundTrip) {
+  SyntheticCorpusSpec spec;
+  spec.num_docs = 300;
+  spec.vocab_size = 400;
+  spec.mean_unique_terms = 20.0;
+  spec.seed = 5;
+  const auto docs = GenerateTextCorpus(spec);
+  ASSERT_EQ(docs.size(), 300u);
+
+  index::IndexBuilder builder(
+      text::TokenizerOptions{.remove_stopwords = false});
+  for (const auto& doc : docs) builder.AddDocument(doc);
+  const auto idx = builder.Build();
+  EXPECT_EQ(idx.num_docs(), 300u);
+  EXPECT_GT(idx.total_postings(), 300u * 5);
+  // Every token is a synthetic word, so the vocabulary maps back.
+  EXPECT_GT(builder.vocabulary().size(), 50u);
+}
+
+class QueryLogTest : public ::testing::Test {
+ protected:
+  QueryLogTest()
+      : spec_(SmallSpec()),
+        idx_(index::FinalizeIndex(GenerateRawCorpus(spec_))) {}
+
+  SyntheticCorpusSpec spec_;
+  index::InvertedIndex idx_;
+};
+
+TEST_F(QueryLogTest, LengthsAndDistinctness) {
+  QueryLogSpec qs;
+  qs.min_df = 2;
+  qs.queries_per_length = 30;
+  const QueryLog log(idx_, qs, &spec_);
+  for (int len = 1; len <= 12; ++len) {
+    const auto& bucket = log.OfLength(len);
+    ASSERT_EQ(bucket.size(), 30u);
+    for (const auto& q : bucket) {
+      EXPECT_EQ(q.size(), static_cast<std::size_t>(len));
+      std::set<TermId> unique(q.begin(), q.end());
+      EXPECT_EQ(unique.size(), q.size());
+      for (const TermId t : q) EXPECT_GE(idx_.Entry(t).df, qs.min_df);
+    }
+  }
+  EXPECT_EQ(log.All().size(), 12u * 30u);
+}
+
+TEST_F(QueryLogTest, DeterministicForSeed) {
+  QueryLogSpec qs;
+  qs.min_df = 2;
+  qs.queries_per_length = 5;
+  const QueryLog a(idx_, qs, &spec_);
+  const QueryLog b(idx_, qs, &spec_);
+  for (int len = 1; len <= 12; ++len) {
+    EXPECT_EQ(a.OfLength(len), b.OfLength(len));
+  }
+}
+
+TEST_F(QueryLogTest, VoiceMixDistribution) {
+  QueryLogSpec qs;
+  qs.min_df = 2;
+  const QueryLog log(idx_, qs, &spec_);
+  const auto mix = log.VoiceMix(4000, 1234);
+  ASSERT_EQ(mix.size(), 4000u);
+  double mean = 0;
+  std::size_t long_queries = 0;
+  for (const auto& q : mix) {
+    mean += static_cast<double>(q.size());
+    if (q.size() >= 10) ++long_queries;
+  }
+  mean /= 4000.0;
+  // Guy [SIGIR'16]: mean 4.2 (clamping shifts it slightly up), and more
+  // than 5% of queries have 10+ terms.
+  EXPECT_NEAR(mean, 4.4, 0.5);
+  EXPECT_GT(long_queries, 4000u * 5 / 100);
+}
+
+TEST_F(QueryLogTest, QueriesAreTopical) {
+  QueryLogSpec qs;
+  qs.min_df = 2;
+  qs.queries_per_length = 50;
+  const QueryLog log(idx_, qs, &spec_);
+  const auto rates = TermDocRates(spec_);
+  // For most 8-term queries, several terms should share one topic.
+  int topical_queries = 0;
+  for (const auto& q : log.OfLength(8)) {
+    std::map<std::uint32_t, int> counts;
+    for (const TermId t : q) {
+      const auto topic = TermTopic(spec_, t, rates[t]);
+      if (topic != kGlobalTopic) ++counts[topic];
+    }
+    int max_shared = 0;
+    for (const auto& [topic, count] : counts) {
+      max_shared = std::max(max_shared, count);
+    }
+    if (max_shared >= 3) ++topical_queries;
+  }
+  EXPECT_GT(topical_queries, 25);
+}
+
+}  // namespace
+}  // namespace sparta::corpus

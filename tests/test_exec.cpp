@@ -1,0 +1,221 @@
+// Unit tests: exec — job queue and the threaded executor.
+#include "test_helpers.h"
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "exec/job_queue.h"
+#include "exec/thread_pool.h"
+#include "exec/threaded_executor.h"
+
+namespace sparta::exec {
+namespace {
+
+TEST(JobQueueTest, FifoOrderSingleThread) {
+  JobQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.Push([&order, i](WorkerContext&) { order.push_back(i); });
+  }
+  ThreadedExecutor executor({.num_workers = 1});
+  auto ctx = executor.CreateQuery();
+  while (auto job = queue.Pop()) {
+    // Run through a real worker context for interface coverage.
+    (void)job;
+    queue.JobDone();
+    order.push_back(-1);
+  }
+  EXPECT_EQ(order.size(), 5u);  // five pops, all marked done
+}
+
+TEST(JobQueueTest, DrainsWhenAllDone) {
+  JobQueue queue;
+  queue.Push([](WorkerContext&) {});
+  EXPECT_EQ(queue.outstanding(), 1u);
+  auto job = queue.Pop();
+  ASSERT_TRUE(job.has_value());
+  queue.JobDone();
+  EXPECT_EQ(queue.outstanding(), 0u);
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // drained, no blocking
+}
+
+TEST(JobQueueTest, BlockedPopperWakesOnDrain) {
+  JobQueue queue;
+  queue.Push([](WorkerContext&) {});
+  std::atomic<bool> popper_done{false};
+  std::thread popper([&] {
+    // First pop gets the job; second pop must block until drain.
+    auto job = queue.Pop();
+    EXPECT_TRUE(job.has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.JobDone();
+    EXPECT_EQ(queue.Pop(), std::nullopt);
+    popper_done = true;
+  });
+  popper.join();
+  EXPECT_TRUE(popper_done);
+}
+
+TEST(ThreadedExecutorTest, RunsAllJobs) {
+  ThreadedExecutor executor({.num_workers = 4});
+  auto ctx = executor.CreateQuery();
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ctx->Submit([&count](WorkerContext&) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  ctx->RunToCompletion();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_GT(ctx->end_time(), 0);
+}
+
+TEST(ThreadedExecutorTest, SelfReplenishingJobsComplete) {
+  ThreadedExecutor executor({.num_workers = 3});
+  auto ctx = executor.CreateQuery();
+  std::atomic<int> hops{0};
+  std::function<void(WorkerContext&)> hop = [&](WorkerContext& w) {
+    (void)w;
+    if (hops.fetch_add(1, std::memory_order_relaxed) < 50) {
+      ctx->Submit(hop);
+    }
+  };
+  ctx->Submit(hop);
+  ctx->RunToCompletion();
+  EXPECT_GE(hops.load(), 51);
+}
+
+TEST(ThreadedExecutorTest, WorkerIdsAreDistinct) {
+  constexpr int kWorkers = 4;
+  ThreadedExecutor executor({.num_workers = kWorkers});
+  auto ctx = executor.CreateQuery();
+  std::mutex mu;
+  std::set<int> ids;
+  for (int i = 0; i < 64; ++i) {
+    ctx->Submit([&](WorkerContext& w) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      const std::lock_guard guard(mu);
+      ids.insert(w.worker_id());
+    });
+  }
+  ctx->RunToCompletion();
+  for (const int id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, kWorkers);
+  }
+}
+
+TEST(ThreadedExecutorTest, MemoryBudgetEnforced) {
+  ThreadedExecutor::Options options;
+  options.num_workers = 1;
+  options.memory_budget_bytes = 1000;
+  ThreadedExecutor executor(options);
+  auto ctx = executor.CreateQuery();
+  bool hit_limit = false;
+  ctx->Submit([&](WorkerContext& w) {
+    EXPECT_TRUE(w.ChargeMemory(900));
+    hit_limit = !w.ChargeMemory(200);
+    (void)w.ChargeMemory(-1100);
+  });
+  ctx->RunToCompletion();
+  EXPECT_TRUE(hit_limit);
+}
+
+TEST(ThreadedExecutorTest, LocksAreMutuallyExclusive) {
+  ThreadedExecutor executor({.num_workers = 4});
+  auto ctx = executor.CreateQuery();
+  auto lock = ctx->MakeLock();
+  long counter = 0;
+  for (int i = 0; i < 200; ++i) {
+    ctx->Submit([&](WorkerContext& w) {
+      const CtxLockGuard guard(*lock, w);
+      for (int j = 0; j < 100; ++j) ++counter;
+    });
+  }
+  ctx->RunToCompletion();
+  EXPECT_EQ(counter, 200L * 100);
+}
+
+TEST(ThreadedExecutorTest, ClockAdvances) {
+  ThreadedExecutor executor({.num_workers = 1});
+  auto ctx = executor.CreateQuery();
+  VirtualTime first = 0, second = 0;
+  ctx->Submit([&](WorkerContext& w) {
+    first = w.Now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    second = w.Now();
+  });
+  ctx->RunToCompletion();
+  EXPECT_GT(second, first);
+  EXPECT_GE(ctx->end_time(), second);
+}
+
+TEST(ThreadPoolTest, ConcurrentQueriesShareThePool) {
+  ThreadPool pool({.num_workers = 4});
+  auto q1 = pool.CreateQuery();
+  auto q2 = pool.CreateQuery();
+  std::atomic<int> count1{0}, count2{0};
+  for (int i = 0; i < 50; ++i) {
+    q1->Submit([&](WorkerContext&) {
+      count1.fetch_add(1, std::memory_order_relaxed);
+    });
+    q2->Submit([&](WorkerContext&) {
+      count2.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  q1->RunToCompletion();
+  q2->RunToCompletion();
+  EXPECT_EQ(count1.load(), 50);
+  EXPECT_EQ(count2.load(), 50);
+  EXPECT_GE(q1->end_time(), q1->start_time());
+  EXPECT_GE(q2->end_time(), q2->start_time());
+}
+
+TEST(ThreadPoolTest, SelfReplenishingJobsAndPerQueryWait) {
+  ThreadPool pool({.num_workers = 3});
+  auto ctx = pool.CreateQuery();
+  std::atomic<int> hops{0};
+  std::function<void(WorkerContext&)> hop = [&](WorkerContext&) {
+    if (hops.fetch_add(1, std::memory_order_relaxed) < 40) {
+      ctx->Submit(hop);
+    }
+  };
+  ctx->Submit(hop);
+  ctx->RunToCompletion();
+  EXPECT_GE(hops.load(), 41);
+  EXPECT_EQ(pool.QueuedJobs(), 0u);
+}
+
+TEST(ThreadPoolTest, PerQueryMemoryBudget) {
+  ThreadPool pool({.num_workers = 2, .memory_budget_bytes = 100});
+  auto starving = pool.CreateQuery();
+  auto healthy = pool.CreateQuery();
+  std::atomic<bool> starved{false};
+  starving->Submit([&](WorkerContext& w) {
+    (void)w.ChargeMemory(90);
+    starved = !w.ChargeMemory(50);
+  });
+  std::atomic<bool> fine{true};
+  healthy->Submit([&](WorkerContext& w) { fine = w.ChargeMemory(90); });
+  starving->RunToCompletion();
+  healthy->RunToCompletion();
+  EXPECT_TRUE(starved.load());   // budgets are per query...
+  EXPECT_TRUE(fine.load());      // ...not shared across queries
+}
+
+TEST(ThreadPoolTest, AlgorithmRunsOnSharedPool) {
+  const auto idx = sparta::test::MakeTinyIndex(800, 7);
+  const auto terms = sparta::test::PickQueryTerms(idx, 4, 2);
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  topk::SearchParams params;
+  params.k = 10;
+  ThreadPool pool({.num_workers = 4});
+  auto ctx = pool.CreateQuery();
+  const auto result = algo->Run(idx, terms, params, *ctx);
+  EXPECT_TRUE(sparta::test::IsExactTopK(idx, terms, params.k, result));
+}
+
+}  // namespace
+}  // namespace sparta::exec

@@ -1,0 +1,168 @@
+// Cross-cutting property tests on the simulator + algorithms:
+// determinism, monotonicity in the approximation knobs, and work/recall
+// trade-off directions. All run on the DES, where every property is
+// exactly checkable (no timing noise).
+#include <gtest/gtest.h>
+
+#include "core/sparta.h"
+#include "corpus/scale_up.h"
+#include "driver/experiment.h"
+#include "test_helpers.h"
+
+namespace sparta::test {
+namespace {
+
+struct AlgoParam {
+  const char* name;
+};
+
+class DeterminismTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeterminismTest, IdenticalRunsProduceIdenticalResultsAndTimes) {
+  const auto idx = MakeTinyIndex(2500, 201);
+  const auto terms = PickQueryTerms(idx, 7, 4);
+  topk::SearchParams params;
+  params.k = 30;
+  params.delta = 500'000;  // exercise the Δ path too
+
+  auto run_once = [&](exec::VirtualTime* latency) {
+    const auto algo = algos::MakeAlgorithm(GetParam());
+    sim::SimConfig config;
+    config.num_workers = 7;
+    sim::SimExecutor executor(config);
+    auto ctx = executor.CreateQuery();
+    auto result = algo->Run(idx, terms, params, *ctx);
+    *latency = ctx->end_time() - ctx->start_time();
+    return result;
+  };
+  exec::VirtualTime t1 = 0, t2 = 0;
+  const auto a = run_once(&t1);
+  const auto b = run_once(&t2);
+  // Results are bit-identical. Virtual time is reproducible to a hair:
+  // heap-allocation alignment decides which 64-byte lines small shared
+  // variables straddle, perturbing coherence-miss counts by O(0.1%).
+  EXPECT_NEAR(static_cast<double>(t1), static_cast<double>(t2),
+              0.005 * static_cast<double>(t1));
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.entries, b.entries);
+  EXPECT_EQ(a.stats.postings_processed, b.stats.postings_processed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, DeterminismTest,
+                         ::testing::Values("Sparta", "pNRA", "sNRA",
+                                           "pRA", "pBMW", "pJASS"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(MonotonicityTest, LargerDeltaNeverReducesWorkOrRecall) {
+  const auto idx = MakeTinyIndex(5000, 203);
+  const auto terms = PickQueryTerms(idx, 8, 6);
+  const auto oracle = topk::ComputeExactTopK(idx, terms, 40);
+
+  std::uint64_t prev_postings = 0;
+  double prev_recall = -1.0;
+  for (const exec::VirtualTime delta :
+       {20'000LL, 100'000LL, 500'000LL, 5'000'000LL}) {
+    topk::SearchParams params;
+    params.k = 40;
+    params.delta = delta;
+    const auto res = RunOnSim(idx, "Sparta", terms, params, 8);
+    ASSERT_TRUE(res.ok());
+    const double recall = topk::Recall(oracle, res.entries);
+    // The simulator is deterministic and a larger Δ strictly extends the
+    // run of a smaller one, so both work and recall are monotone.
+    EXPECT_GE(res.stats.postings_processed, prev_postings)
+        << "delta " << delta;
+    EXPECT_GE(recall, prev_recall - 1e-12) << "delta " << delta;
+    prev_postings = res.stats.postings_processed;
+    prev_recall = recall;
+  }
+}
+
+TEST(MonotonicityTest, LargerJassFractionNeverReducesRecall) {
+  const auto idx = MakeTinyIndex(5000, 207);
+  const auto terms = PickQueryTerms(idx, 8, 8);
+  const auto oracle = topk::ComputeExactTopK(idx, terms, 40);
+  double prev_recall = -1.0;
+  for (const double p : {0.05, 0.2, 0.5, 1.0}) {
+    topk::SearchParams params;
+    params.k = 40;
+    params.p = p;
+    const auto res = RunOnSim(idx, "pJASS", terms, params, 8);
+    ASSERT_TRUE(res.ok());
+    const double recall = topk::Recall(oracle, res.entries);
+    EXPECT_GE(recall, prev_recall - 1e-12) << "p " << p;
+    prev_recall = recall;
+  }
+  EXPECT_DOUBLE_EQ(prev_recall, 1.0);  // p = 1 is exact
+}
+
+TEST(MonotonicityTest, LargerBmwRelaxationNeverIncreasesWork) {
+  const auto idx = MakeTinyIndex(5000, 209);
+  const auto terms = PickQueryTerms(idx, 8, 10);
+  std::uint64_t prev_postings = std::numeric_limits<std::uint64_t>::max();
+  for (const double f : {1.0, 2.0, 5.0, 10.0}) {
+    topk::SearchParams params;
+    params.k = 40;
+    params.f = f;
+    const auto res = RunOnSim(idx, "pBMW", terms, params, 8);
+    ASSERT_TRUE(res.ok());
+    EXPECT_LE(res.stats.postings_processed, prev_postings) << "f " << f;
+    prev_postings = res.stats.postings_processed;
+  }
+}
+
+TEST(MonotonicityTest, ProbFactorTradesWorkMonotonically) {
+  const auto idx = MakeTinyIndex(5000, 211);
+  const auto terms = PickQueryTerms(idx, 8, 12);
+  std::uint64_t prev_postings = std::numeric_limits<std::uint64_t>::max();
+  for (const double gamma : {1.0, 0.8, 0.6, 0.4}) {
+    core::SpartaOptions options;
+    options.prob_factor = gamma;
+    const core::Sparta algo(options);
+    topk::SearchParams params;
+    params.k = 40;
+    sim::SimConfig config;
+    config.num_workers = 8;
+    sim::SimExecutor executor(config);
+    auto ctx = executor.CreateQuery();
+    const auto res = algo.Run(idx, terms, params, *ctx);
+    ASSERT_TRUE(res.ok());
+    EXPECT_LE(res.stats.postings_processed, prev_postings)
+        << "gamma " << gamma;
+    prev_postings = res.stats.postings_processed;
+  }
+}
+
+TEST(ScaleTest, BiggerCorpusMeansMoreExactWork) {
+  // Sanity direction on the scale-up itself: a 3x corpus costs the exact
+  // algorithms more postings for the same query shape.
+  corpus::SyntheticCorpusSpec small;
+  small.num_docs = 4000;
+  small.vocab_size = 1500;
+  small.seed = 77;
+  const auto base = corpus::GenerateRawCorpus(small);
+  auto idx_small = index::FinalizeIndex(corpus::GenerateRawCorpus(small));
+  corpus::ScaleUpSpec up;
+  up.factor = 3;
+  auto idx_big =
+      index::FinalizeIndex(corpus::ScaleUpCorpus(base, small, up));
+
+  const auto terms = PickQueryTerms(idx_small, 6, 3);
+  topk::SearchParams params;
+  params.k = 20;
+  const auto small_run = RunOnSim(idx_small, "pJASS", terms, params, 6);
+  const auto big_run = RunOnSim(idx_big, "pJASS", terms, params, 6);
+  ASSERT_TRUE(small_run.ok());
+  ASSERT_TRUE(big_run.ok());
+  EXPECT_GT(big_run.stats.postings_processed,
+            small_run.stats.postings_processed * 2);
+}
+
+}  // namespace
+}  // namespace sparta::test

@@ -1,0 +1,208 @@
+// Unit tests: sim — the discrete-event executor, coherence model, page
+// cache, lock model, memory budget, FCFS admission.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sim/coherence.h"
+#include "sim/page_cache.h"
+#include "sim/sim_executor.h"
+
+namespace sparta::sim {
+namespace {
+
+using exec::VirtualTime;
+using exec::WorkerContext;
+
+SimConfig Config(int workers) {
+  SimConfig config;
+  config.num_workers = workers;
+  return config;
+}
+
+TEST(SimExecutorTest, Deterministic) {
+  auto run_once = [] {
+    SimExecutor executor(Config(4));
+    auto ctx = executor.CreateQuery();
+    for (int i = 0; i < 40; ++i) {
+      ctx->Submit([i](WorkerContext& w) { w.Charge(100 + i * 7); });
+    }
+    ctx->RunToCompletion();
+    return ctx->end_time();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0);
+}
+
+TEST(SimExecutorTest, IndependentWorkSpeedsUpWithWorkers) {
+  auto latency = [](int workers) {
+    SimExecutor executor(Config(workers));
+    auto ctx = executor.CreateQuery();
+    for (int i = 0; i < 120; ++i) {
+      ctx->Submit([](WorkerContext& w) { w.Charge(10'000); });
+    }
+    ctx->RunToCompletion();
+    return ctx->end_time() - ctx->start_time();
+  };
+  const auto t1 = latency(1);
+  const auto t4 = latency(4);
+  const auto t12 = latency(12);
+  EXPECT_NEAR(static_cast<double>(t1) / static_cast<double>(t4), 4.0, 0.5);
+  EXPECT_NEAR(static_cast<double>(t1) / static_cast<double>(t12), 12.0,
+              1.5);
+}
+
+TEST(SimExecutorTest, ContendedLockSerializes) {
+  // Jobs that spend all their time inside one lock cannot speed up.
+  auto latency = [](int workers) {
+    SimExecutor executor(Config(workers));
+    auto ctx = executor.CreateQuery();
+    auto lock = ctx->MakeLock();
+    for (int i = 0; i < 60; ++i) {
+      ctx->Submit([&lock](WorkerContext& w) {
+        const exec::CtxLockGuard guard(*lock, w);
+        w.Charge(10'000);
+      });
+    }
+    ctx->RunToCompletion();
+    return ctx->end_time() - ctx->start_time();
+  };
+  const auto t1 = latency(1);
+  const auto t8 = latency(8);
+  // Serialized: at most ~20% faster with 8 workers.
+  EXPECT_GT(t8, t1 * 8 / 10);
+}
+
+TEST(SimExecutorTest, JobsSubmittedFromJobsRespectCausality) {
+  SimExecutor executor(Config(2));
+  auto ctx = executor.CreateQuery();
+  VirtualTime parent_end = 0, child_start = 0;
+  ctx->Submit([&](WorkerContext& w) {
+    w.Charge(5'000);
+    parent_end = w.Now();
+    ctx->Submit([&](WorkerContext& w2) { child_start = w2.Now(); });
+  });
+  ctx->RunToCompletion();
+  EXPECT_GE(child_start, parent_end);
+}
+
+TEST(SimExecutorTest, FcfsAdmissionSharesPool) {
+  // Two "queries" of 4 jobs each on a 4-worker machine: admission lets
+  // the second start only when the pool has spare capacity.
+  SimExecutor executor(Config(4));
+  std::vector<std::unique_ptr<exec::QueryContext>> queries;
+  int admitted = 0;
+  const auto admit = [&](VirtualTime now) -> bool {
+    if (admitted >= 2) return false;
+    auto ctx = executor.CreateQueryAt(now);
+    for (int i = 0; i < 4; ++i) {
+      ctx->Submit([](WorkerContext& w) { w.Charge(50'000); });
+    }
+    queries.push_back(std::move(ctx));
+    ++admitted;
+    return admitted < 2;
+  };
+  executor.Drain(admit);
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_GT(queries[1]->end_time(), queries[0]->start_time());
+  // Total makespan ~ 2 sequential queries' worth of work.
+  const auto makespan =
+      queries[1]->end_time() - queries[0]->start_time();
+  EXPECT_NEAR(static_cast<double>(makespan), 2.0 * 50'000, 25'000);
+}
+
+TEST(SimExecutorTest, MemoryBudgetTriggersOom) {
+  SimConfig config = Config(1);
+  config.memory_budget_bytes = 500;
+  SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  bool over = false;
+  ctx->Submit([&](WorkerContext& w) {
+    EXPECT_TRUE(w.ChargeMemory(400));
+    over = !w.ChargeMemory(200);
+  });
+  ctx->RunToCompletion();
+  EXPECT_TRUE(over);
+}
+
+TEST(SimExecutorTest, BarrierSynchronizesClocks) {
+  SimExecutor executor(Config(3));
+  auto ctx = executor.CreateQuery();
+  ctx->Submit([](WorkerContext& w) { w.Charge(123'456); });
+  ctx->RunToCompletion();
+  const auto t = executor.SyncBarrier();
+  EXPECT_EQ(t, executor.GlobalTime());
+  EXPECT_EQ(executor.IdleTime(), t);
+}
+
+TEST(CoherenceTest, ReadAfterRemoteWriteMisses) {
+  CoherenceModel model;
+  int line = 0;
+  EXPECT_TRUE(model.Read(0, &line).miss);    // cold
+  EXPECT_FALSE(model.Read(0, &line).miss);   // cached
+  EXPECT_TRUE(model.Read(1, &line).miss);    // other worker, cold
+  model.Write(1, &line);                     // worker 1 takes ownership
+  EXPECT_TRUE(model.Read(0, &line).miss);    // invalidated
+  EXPECT_FALSE(model.Read(1, &line).miss);   // owner still hits
+}
+
+TEST(CoherenceTest, WriterOwnershipAndPingPong) {
+  CoherenceModel model;
+  int line = 0;
+  model.Write(0, &line);
+  EXPECT_FALSE(model.Write(0, &line).miss);  // repeated writes hit
+  EXPECT_TRUE(model.Write(1, &line).miss);   // ownership transfer
+  EXPECT_TRUE(model.Write(0, &line).miss);   // ping-pong
+}
+
+TEST(CoherenceTest, DistinctLinesIndependent) {
+  CoherenceModel model;
+  alignas(64) std::array<char, 128> buffer{};
+  model.Write(0, buffer.data());
+  EXPECT_TRUE(model.Read(1, buffer.data() + 64).miss);   // cold line
+  EXPECT_FALSE(model.Read(1, buffer.data() + 64).miss);  // unaffected
+  EXPECT_EQ(model.tracked_lines(), 2u);
+}
+
+TEST(PageCacheTest, HitsAndMisses) {
+  PageCache cache(0);  // unbounded
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_FALSE(cache.Touch(2));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  cache.Reset();
+  EXPECT_FALSE(cache.Touch(1));  // flushed
+}
+
+TEST(PageCacheTest, LruEviction) {
+  PageCache cache(2 * kPageBytes);  // two pages
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_FALSE(cache.Touch(2));
+  EXPECT_TRUE(cache.Touch(1));   // 1 is now most recent
+  EXPECT_FALSE(cache.Touch(3));  // evicts 2
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_FALSE(cache.Touch(2));  // was evicted
+}
+
+TEST(SimExecutorTest, IoCostsFlowThroughPageCache) {
+  SimConfig config = Config(1);
+  SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  VirtualTime cold = 0, warm = 0;
+  ctx->Submit([&](WorkerContext& w) {
+    const auto t0 = w.Now();
+    w.IoSequential(0, 4 * kPageBytes);
+    cold = w.Now() - t0;
+    const auto t1 = w.Now();
+    w.IoSequential(0, 4 * kPageBytes);
+    warm = w.Now() - t1;
+  });
+  ctx->RunToCompletion();
+  EXPECT_GT(cold, warm * 10);  // SSD reads dwarf page-cache hits
+}
+
+}  // namespace
+}  // namespace sparta::sim

@@ -1,0 +1,212 @@
+// Sparta-specific tests: ablation configurations stay safe, the memory
+// budget reproduces OOM, tracing, approximation behavior, statistics.
+#include <gtest/gtest.h>
+
+#include "core/sparta.h"
+#include "driver/experiment.h"
+#include "test_helpers.h"
+
+namespace sparta::core {
+namespace {
+
+struct AblationCase {
+  const char* name;
+  SpartaOptions options;
+};
+
+std::vector<AblationCase> AblationCases() {
+  std::vector<AblationCase> cases;
+  SpartaOptions o;
+  cases.push_back({"all_on", o});
+  o = {};
+  o.lazy_ub_updates = false;
+  cases.push_back({"eager_ub", o});
+  o = {};
+  o.cleaner_prunes = false;
+  cases.push_back({"no_cleaner_prune", o});
+  o = {};
+  o.term_maps = false;
+  cases.push_back({"no_term_maps", o});
+  o = {};
+  o.lazy_ub_updates = false;
+  o.cleaner_prunes = false;
+  o.term_maps = false;
+  o.insert_cutoff_at_ubstop = false;
+  cases.push_back({"pnra_config", o});
+  return cases;
+}
+
+class SpartaAblationTest
+    : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(SpartaAblationTest, EveryConfigurationIsSafeInExactMode) {
+  const auto idx = test::MakeTinyIndex(1500, 41);
+  const auto terms = test::PickQueryTerms(idx, 6, 3);
+  topk::SearchParams params;
+  params.k = 20;
+  params.seg_size = 64;
+
+  const Sparta algo(GetParam().options);
+  sim::SimConfig config;
+  config.num_workers = 6;
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  const auto result = algo.Run(idx, terms, params, *ctx);
+  EXPECT_TRUE(test::IsExactTopK(idx, terms, params.k, result));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SpartaAblationTest, ::testing::ValuesIn(AblationCases()),
+    [](const ::testing::TestParamInfo<AblationCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(SpartaTest, InsertCutoffShrinksPeakMap) {
+  const auto idx = test::MakeTinyIndex(4000, 43);
+  const auto terms = test::PickQueryTerms(idx, 8, 5);
+  topk::SearchParams params;
+  params.k = 20;
+
+  const auto with_cutoff = test::RunOnSim(idx, "Sparta", terms, params, 8);
+  const auto naive = test::RunOnSim(idx, "pNRA", terms, params, 8);
+  ASSERT_TRUE(with_cutoff.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_LE(with_cutoff.stats.docmap_peak_entries,
+            naive.stats.docmap_peak_entries);
+}
+
+TEST(SpartaTest, MemoryBudgetReproducesOom) {
+  const auto idx = test::MakeTinyIndex(3000, 47);
+  const auto terms = test::PickQueryTerms(idx, 8, 1);
+  topk::SearchParams params;
+  params.k = 10;
+
+  sim::SimConfig config;
+  config.num_workers = 4;
+  config.memory_budget_bytes = 10'000;  // absurdly small
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  const Sparta algo;
+  const auto result = algo.Run(idx, terms, params, *ctx);
+  EXPECT_EQ(result.status, topk::Status::kOutOfMemory);
+  EXPECT_TRUE(result.entries.empty());
+}
+
+TEST(SpartaTest, TracerReconstructsFullRecall) {
+  const auto idx = test::MakeTinyIndex(2500, 53);
+  const auto terms = test::PickQueryTerms(idx, 6, 7);
+  topk::SearchParams params;
+  params.k = 25;
+  driver::TraceRecorder trace;
+  params.tracer = &trace;
+
+  sim::SimConfig config;
+  config.num_workers = 6;
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  const Sparta algo;
+  const auto result = algo.Run(idx, terms, params, *ctx);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(trace.events().empty());
+
+  const auto exact = topk::ComputeExactTopK(idx, terms, params.k);
+  const std::vector<exec::VirtualTime> at_end{ctx->end_time() -
+                                              ctx->start_time()};
+  const auto recalls =
+      driver::RecallOverTime(trace, ctx->start_time(), exact, at_end);
+  ASSERT_EQ(recalls.size(), 1u);
+  EXPECT_DOUBLE_EQ(recalls[0], 1.0);
+  // Events never precede the query start.
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.time, ctx->start_time());
+  }
+}
+
+TEST(SpartaTest, DeltaTradesWorkForRecall) {
+  const auto idx = test::MakeTinyIndex(6000, 59);
+  const auto terms = test::PickQueryTerms(idx, 8, 9);
+  topk::SearchParams exact_params;
+  exact_params.k = 50;
+  auto eager = exact_params;
+  eager.delta = 20'000;  // 20 us: very aggressive
+
+  const auto full = test::RunOnSim(idx, "Sparta", terms, exact_params, 8);
+  const auto fast = test::RunOnSim(idx, "Sparta", terms, eager, 8);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_LE(fast.stats.postings_processed, full.stats.postings_processed);
+  const auto oracle = topk::ComputeExactTopK(idx, terms, exact_params.k);
+  EXPECT_DOUBLE_EQ(topk::Recall(oracle, full.entries), 1.0);
+  EXPECT_GE(topk::Recall(oracle, fast.entries), 0.3);
+}
+
+TEST(SpartaTest, SegmentSizeDoesNotAffectSafety) {
+  const auto idx = test::MakeTinyIndex(1200, 61);
+  const auto terms = test::PickQueryTerms(idx, 5, 11);
+  topk::SearchParams params;
+  params.k = 15;
+  for (const std::uint32_t seg : {1u, 7u, 64u, 4096u}) {
+    params.seg_size = seg;
+    const auto result = test::RunOnSim(idx, "Sparta", terms, params, 5);
+    EXPECT_TRUE(test::IsExactTopK(idx, terms, params.k, result))
+        << "seg_size " << seg;
+  }
+}
+
+TEST(SpartaTest, PhiZeroDisablesTermMapsButStaysSafe) {
+  const auto idx = test::MakeTinyIndex(1200, 67);
+  const auto terms = test::PickQueryTerms(idx, 5, 13);
+  topk::SearchParams params;
+  params.k = 15;
+  params.phi = 0;  // docMap is never "small enough"
+  const auto result = test::RunOnSim(idx, "Sparta", terms, params, 5);
+  EXPECT_TRUE(test::IsExactTopK(idx, terms, params.k, result));
+}
+
+TEST(SpartaTest, StatsPopulated) {
+  const auto idx = test::MakeTinyIndex(1500, 71);
+  const auto terms = test::PickQueryTerms(idx, 6, 15);
+  topk::SearchParams params;
+  params.k = 10;
+  const auto result = test::RunOnSim(idx, "Sparta", terms, params, 6);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.stats.postings_processed, 0u);
+  EXPECT_GT(result.stats.heap_inserts, 0u);
+  EXPECT_GT(result.stats.docmap_peak_entries, 0u);
+}
+
+TEST(SpartaTest, AccessCountWithinConstantOfSequentialNra) {
+  // §4.4: Sparta is asymptotically instance-optimal like NRA — a worker
+  // "running ahead" costs at most segSize extra accesses per list, plus
+  // a constant factor from worker-rate skew. Operationalized: parallel
+  // Sparta's posting accesses stay within a small constant of the
+  // sequential TA-NRA's on the same query, plus the segment slack.
+  const auto idx = test::MakeTinyIndex(4000, 103);
+  topk::SearchParams params;
+  params.k = 25;
+  params.seg_size = 128;
+  for (const std::uint64_t salt : {1ull, 5ull, 9ull}) {
+    const auto terms = test::PickQueryTerms(idx, 8, salt);
+    const auto sparta = test::RunOnSim(idx, "Sparta", terms, params, 8);
+    const auto nra = test::RunOnSim(idx, "TA-NRA", terms, params, 1);
+    ASSERT_TRUE(sparta.ok());
+    ASSERT_TRUE(nra.ok());
+    const auto slack =
+        static_cast<std::uint64_t>(terms.size()) * params.seg_size;
+    EXPECT_LE(sparta.stats.postings_processed,
+              3 * nra.stats.postings_processed + slack)
+        << "salt " << salt;
+  }
+}
+
+TEST(SpartaTest, WorksWithMoreWorkersThanTerms) {
+  const auto idx = test::MakeTinyIndex(1000, 73);
+  const auto terms = test::PickQueryTerms(idx, 2, 17);
+  topk::SearchParams params;
+  params.k = 10;
+  const auto result = test::RunOnSim(idx, "Sparta", terms, params, 12);
+  EXPECT_TRUE(test::IsExactTopK(idx, terms, params.k, result));
+}
+
+}  // namespace
+}  // namespace sparta::core

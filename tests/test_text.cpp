@@ -1,0 +1,98 @@
+// Unit tests: text — tokenizer and vocabulary.
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace sparta::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer tok({.remove_stopwords = false});
+  const auto tokens = tok.Tokenize("Hello, World!  FooBar42 baz");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "foobar42");
+  EXPECT_EQ(tokens[3], "baz");
+}
+
+TEST(TokenizerTest, RemovesStopwords) {
+  Tokenizer tok;
+  const auto tokens = tok.Tokenize("the quick brown fox and the lazy dog");
+  for (const auto& t : tokens) {
+    EXPECT_NE(t, "the");
+    EXPECT_NE(t, "and");
+  }
+  EXPECT_EQ(tokens.size(), 5u);  // quick brown fox lazy dog
+}
+
+TEST(TokenizerTest, LengthFilters) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  options.max_token_length = 5;
+  options.remove_stopwords = false;
+  Tokenizer tok(options);
+  const auto tokens = tok.Tokenize("a ab abc abcd abcde abcdef");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "abc");
+  EXPECT_EQ(tokens[2], "abcde");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("!@# $%^ ...").empty());
+}
+
+TEST(TokenizerTest, QueryAndIndexTimeAgree) {
+  Tokenizer tok;
+  const auto a = tok.Tokenize("Scalable Top-K Retrieval");
+  const auto b = tok.Tokenize("scalable top k retrieval");
+  EXPECT_EQ(a, b);
+}
+
+TEST(VocabularyTest, InternAndLookup) {
+  Vocabulary vocab;
+  const TermId hello = vocab.GetOrAdd("hello");
+  const TermId world = vocab.GetOrAdd("world");
+  EXPECT_NE(hello, world);
+  EXPECT_EQ(vocab.GetOrAdd("hello"), hello);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.Lookup("world"), std::optional<TermId>(world));
+  EXPECT_EQ(vocab.Lookup("missing"), std::nullopt);
+  EXPECT_EQ(vocab.TermOf(hello), "hello");
+}
+
+TEST(VocabularyTest, DenseIds) {
+  Vocabulary vocab;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(vocab.GetOrAdd("term" + std::to_string(i)),
+              static_cast<TermId>(i));
+  }
+}
+
+TEST(VocabularyTest, FileRoundTrip) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("alpha");
+  vocab.GetOrAdd("beta");
+  vocab.GetOrAdd("gamma");
+  const std::string path = "/tmp/sparta_vocab_test.vocab";
+  ASSERT_TRUE(vocab.SaveToFile(path));
+  const auto loaded = Vocabulary::LoadFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 3u);
+  // Ids are preserved by line order.
+  EXPECT_EQ(loaded->Lookup("alpha"), std::optional<TermId>(0));
+  EXPECT_EQ(loaded->Lookup("gamma"), std::optional<TermId>(2));
+  std::remove(path.c_str());
+}
+
+TEST(VocabularyTest, LoadMissingFileFails) {
+  EXPECT_FALSE(
+      Vocabulary::LoadFromFile("/tmp/definitely_missing.vocab").has_value());
+}
+
+}  // namespace
+}  // namespace sparta::text

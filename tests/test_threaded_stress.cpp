@@ -1,0 +1,80 @@
+// Stress tests on real threads: the production execution path of every
+// parallel algorithm, run repeatedly with contention-friendly settings.
+// (Timing-based assertions are avoided — only correctness is checked;
+// the host may have any number of cores.)
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace sparta::test {
+namespace {
+
+class ThreadedStressTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ThreadedStressTest, RepeatedExactRunsAreCorrect) {
+  const auto idx = MakeTinyIndex(2000, 83);
+  topk::SearchParams params;
+  params.k = 25;
+  params.seg_size = 16;  // tiny segments maximize interleaving
+  for (int round = 0; round < 5; ++round) {
+    const auto terms = PickQueryTerms(idx, 6, static_cast<std::uint64_t>(round));
+    const auto result =
+        RunOnThreads(idx, GetParam(), terms, params, 8);
+    EXPECT_TRUE(IsExactTopK(idx, terms, params.k, result))
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ThreadedStressTest,
+                         ::testing::Values("Sparta", "pNRA", "pRA",
+                                           "pJASS", "pBMW"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ThreadedStressTest, SpartaApproximateUnderRealTime) {
+  // Δ-based stopping with the real clock: just verify termination and a
+  // sane result (recall depends on machine speed).
+  const auto idx = MakeTinyIndex(3000, 89);
+  const auto terms = PickQueryTerms(idx, 8, 3);
+  topk::SearchParams params;
+  params.k = 20;
+  params.delta = 5 * exec::kMillisecond;  // generous for real time
+  const auto result = RunOnThreads(idx, "Sparta", terms, params, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.entries.size(), 20u);
+  const auto exact = topk::ComputeExactTopK(idx, terms, params.k);
+  EXPECT_GE(topk::Recall(exact, result.entries), 0.5);
+}
+
+TEST(ThreadedStressTest, ManyQueriesBackToBack) {
+  const auto idx = MakeTinyIndex(1200, 97);
+  exec::ThreadedExecutor executor({.num_workers = 6});
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  topk::SearchParams params;
+  params.k = 10;
+  for (int i = 0; i < 20; ++i) {
+    const auto terms = PickQueryTerms(idx, 4, static_cast<std::uint64_t>(i));
+    auto ctx = executor.CreateQuery();
+    const auto result = algo->Run(idx, terms, params, *ctx);
+    EXPECT_TRUE(IsExactTopK(idx, terms, params.k, result)) << i;
+  }
+}
+
+TEST(ThreadedStressTest, SNraShardsAreIndependent) {
+  const auto idx = MakeTinyIndex(2400, 101);
+  const auto terms = PickQueryTerms(idx, 6, 5);
+  topk::SearchParams params;
+  params.k = 30;
+  const auto result = RunOnThreads(idx, "sNRA", terms, params, 8);
+  ASSERT_TRUE(result.ok());
+  const auto exact = topk::ComputeExactTopK(idx, terms, params.k);
+  EXPECT_GE(topk::Recall(exact, result.entries), 0.9);
+}
+
+}  // namespace
+}  // namespace sparta::test

@@ -1,0 +1,283 @@
+// Unit tests: topk — heap, document maps, oracle, recall.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "exec/threaded_executor.h"
+#include "test_helpers.h"
+#include "topk/doc_heap.h"
+#include "topk/doc_map.h"
+
+namespace sparta::topk {
+namespace {
+
+TEST(TopKHeapTest, ThresholdIsKthScore) {
+  TopKHeap heap(3);
+  EXPECT_EQ(heap.threshold(), 0);
+  heap.Insert({10, 1});
+  heap.Insert({20, 2});
+  EXPECT_EQ(heap.threshold(), 0);  // not yet full
+  heap.Insert({30, 3});
+  EXPECT_EQ(heap.threshold(), 10);
+  heap.Insert({15, 4});  // evicts 10
+  EXPECT_EQ(heap.threshold(), 15);
+  EXPECT_FALSE(heap.Insert({5, 5}));  // below threshold
+  EXPECT_TRUE(heap.Contains(4));
+  EXPECT_FALSE(heap.Contains(1));
+}
+
+TEST(TopKHeapTest, TieBreaksByDocId) {
+  TopKHeap heap(2);
+  heap.Insert({10, 5});
+  heap.Insert({10, 9});
+  // Smaller doc id wins a tie: doc 3 displaces doc 9.
+  EXPECT_TRUE(heap.Insert({10, 3}));
+  EXPECT_TRUE(heap.Contains(3));
+  EXPECT_TRUE(heap.Contains(5));
+  EXPECT_FALSE(heap.Contains(9));
+  // Larger doc id does not displace an equal score.
+  EXPECT_FALSE(heap.Insert({10, 7}));
+}
+
+class HeapPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeapPropertyTest, MatchesSortedReference) {
+  const int k = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(k) * 31 + 7);
+  TopKHeap heap(k);
+  std::vector<HeapEntry> all;
+  for (int i = 0; i < 5000; ++i) {
+    const HeapEntry e{static_cast<Score>(rng.Below(500)),
+                      static_cast<DocId>(i)};
+    all.push_back(e);
+    heap.Insert(e);
+  }
+  std::sort(all.begin(), all.end(), [](const HeapEntry& a,
+                                       const HeapEntry& b) {
+    return WorseThan(b, a);  // best first
+  });
+  const auto extracted = heap.Extract();
+  ASSERT_EQ(extracted.size(), std::min<std::size_t>(k, all.size()));
+  for (std::size_t i = 0; i < extracted.size(); ++i) {
+    EXPECT_EQ(extracted[i].doc, all[i].doc) << "rank " << i;
+    EXPECT_EQ(extracted[i].score, all[i].score) << "rank " << i;
+  }
+  EXPECT_EQ(heap.threshold(), extracted.back().score);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, HeapPropertyTest,
+                         ::testing::Values(1, 2, 10, 100, 1000));
+
+TEST(TopKHeapTest, MergeEqualsUnion) {
+  util::Rng rng(77);
+  TopKHeap a(20), b(20), expected(20);
+  for (int i = 0; i < 500; ++i) {
+    const HeapEntry e{static_cast<Score>(rng.Below(10000)),
+                      static_cast<DocId>(i)};
+    (i % 2 == 0 ? a : b).Insert(e);
+    expected.Insert(e);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Extract(), expected.Extract());
+}
+
+class DocMapTest : public ::testing::Test {
+ protected:
+  DocMapTest()
+      : executor_({.num_workers = 2}), ctx_(executor_.CreateQuery()) {}
+
+  exec::ThreadedExecutor executor_;
+  std::unique_ptr<exec::QueryContext> ctx_;
+};
+
+TEST_F(DocMapTest, GetOrCreateAndFind) {
+  ConcurrentDocMap map(*ctx_, /*num_terms=*/3);
+  ctx_->Submit([&](exec::WorkerContext& w) {
+    auto r1 = map.GetOrCreate(42, w);
+    EXPECT_TRUE(r1.inserted);
+    EXPECT_EQ(r1.doc->id(), 42u);
+    auto r2 = map.GetOrCreate(42, w);
+    EXPECT_FALSE(r2.inserted);
+    EXPECT_EQ(r1.doc, r2.doc);
+    EXPECT_EQ(map.Find(42, w), r1.doc);
+    EXPECT_EQ(map.Find(7, w), nullptr);
+    EXPECT_EQ(map.Size(), 1u);
+  });
+  ctx_->RunToCompletion();
+}
+
+TEST_F(DocMapTest, ReadOnlyFreezeRefusesInserts) {
+  ConcurrentDocMap map(*ctx_, 2);
+  ctx_->Submit([&](exec::WorkerContext& w) {
+    (void)map.GetOrCreate(1, w);
+    map.SetReadOnly();
+    auto r = map.GetOrCreate(2, w);
+    EXPECT_EQ(r.doc, nullptr);
+    EXPECT_FALSE(r.inserted);
+    EXPECT_FALSE(r.oom);
+    EXPECT_EQ(map.Size(), 1u);
+    // Existing entries still found.
+    auto r2 = map.GetOrCreate(1, w);
+    EXPECT_NE(r2.doc, nullptr);
+  });
+  ctx_->RunToCompletion();
+}
+
+TEST_F(DocMapTest, ConcurrentInsertStress) {
+  ConcurrentDocMap map(*ctx_, 1);
+  std::atomic<int> created{0};
+  for (int job = 0; job < 8; ++job) {
+    ctx_->Submit([&](exec::WorkerContext& w) {
+      for (DocId d = 0; d < 2000; ++d) {
+        const auto r = map.GetOrCreate(d, w);
+        ASSERT_NE(r.doc, nullptr);
+        ASSERT_EQ(r.doc->id(), d);
+        if (r.inserted) created.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  ctx_->RunToCompletion();
+  EXPECT_EQ(created.load(), 2000);  // each doc created exactly once
+  EXPECT_EQ(map.Size(), 2000u);
+  EXPECT_EQ(map.PeakSize(), 2000u);
+}
+
+TEST_F(DocMapTest, AddScoreAccumulates) {
+  ConcurrentDocMap map(*ctx_, 0);
+  for (int job = 0; job < 4; ++job) {
+    ctx_->Submit([&](exec::WorkerContext& w) {
+      for (int i = 0; i < 1000; ++i) {
+        const auto r = map.AddScore(5, 2, w);
+        ASSERT_NE(r.doc, nullptr);
+      }
+    });
+  }
+  ctx_->RunToCompletion();
+  ctx_->Submit([&](exec::WorkerContext& w) {
+    EXPECT_EQ(map.Find(5, w)->lb.load(), 8000);
+  });
+  ctx_->RunToCompletion();
+}
+
+TEST(DocMapOomTest, BudgetExceededReportsOom) {
+  exec::ThreadedExecutor::Options options;
+  options.num_workers = 1;
+  options.memory_budget_bytes = ModeledEntryBytes(4, true) * 10;
+  exec::ThreadedExecutor executor(options);
+  auto ctx = executor.CreateQuery();
+  ConcurrentDocMap map(*ctx, 4);
+  bool saw_oom = false;
+  ctx->Submit([&](exec::WorkerContext& w) {
+    for (DocId d = 0; d < 100 && !saw_oom; ++d) {
+      saw_oom = map.GetOrCreate(d, w).oom;
+    }
+  });
+  ctx->RunToCompletion();
+  EXPECT_TRUE(saw_oom);
+  EXPECT_LE(map.Size(), 11u);
+}
+
+TEST(LocalDocMapTest, AddFindAndMemoryRelease) {
+  exec::ThreadedExecutor::Options options;
+  options.num_workers = 1;
+  options.memory_budget_bytes = ModeledEntryBytes(2, false) * 3 + 1;
+  exec::ThreadedExecutor executor(options);
+  auto ctx = executor.CreateQuery();
+  ctx->Submit([&](exec::WorkerContext& w) {
+    DocType a(1, 2), b(2, 2), c(3, 2), d(4, 2);
+    LocalDocMap map(2);
+    EXPECT_TRUE(map.Add(&a, w));
+    EXPECT_TRUE(map.Add(&b, w));
+    EXPECT_TRUE(map.Add(&c, w));
+    EXPECT_FALSE(map.Add(&d, w));  // 4th entry exceeds the budget
+    EXPECT_EQ(map.Find(2, w), &b);
+    EXPECT_EQ(map.Find(99, w), nullptr);
+    EXPECT_EQ(map.Size(), 3u);  // refused entries are not stored
+    // Releasing frees the modeled bytes; a fresh map fits again.
+    map.ReleaseModeledMemory(w);
+    map.ReleaseModeledMemory(w);  // idempotent
+    LocalDocMap fresh(2);
+    EXPECT_TRUE(fresh.Add(&a, w));
+  });
+  ctx->RunToCompletion();
+}
+
+TEST(DocTypeTest, BoundsArithmetic) {
+  DocType d(9, 3);
+  UpperBounds ub(3);
+  ub[0].store(10);
+  ub[1].store(20);
+  ub[2].store(30);
+  EXPECT_EQ(d.SumScores(), 0);
+  EXPECT_EQ(d.UpperBound(ub), 60);  // nothing known yet
+  d.score[1].store(15);
+  EXPECT_EQ(d.SumScores(), 15);
+  EXPECT_EQ(d.UpperBound(ub), 10 + 15 + 30);
+}
+
+TEST(OracleTest, MatchesNaiveReference) {
+  const auto idx = test::MakeTinyIndex(400, 21);
+  const auto terms = test::PickQueryTerms(idx, 4, 2);
+  const auto exact = ComputeExactTopK(idx, terms, 10);
+  // Naive reference: random-access score every document.
+  std::vector<ResultEntry> all;
+  for (DocId d = 0; d < idx.num_docs(); ++d) {
+    Score s = 0;
+    for (const TermId t : terms) s += idx.RandomAccessScore(t, d);
+    if (s > 0) all.push_back({d, s});
+  }
+  CanonicalizeResult(all);
+  ASSERT_GE(all.size(), exact.topk.size());
+  for (std::size_t i = 0; i < exact.topk.size(); ++i) {
+    EXPECT_EQ(exact.topk[i], all[i]);
+  }
+  EXPECT_EQ(exact.kth_score, exact.topk.back().score);
+}
+
+TEST(OracleTest, FewerMatchesThanK) {
+  const auto idx = test::MakeTinyIndex(200, 23);
+  // Pick the rarest usable term.
+  TermId rare = 0;
+  std::uint32_t best_df = std::numeric_limits<std::uint32_t>::max();
+  for (TermId t = 0; t < idx.num_terms(); ++t) {
+    const auto df = idx.Entry(t).df;
+    if (df > 0 && df < best_df) {
+      best_df = df;
+      rare = t;
+    }
+  }
+  const std::vector<TermId> terms{rare};
+  const auto exact = ComputeExactTopK(idx, terms, 1000);
+  EXPECT_EQ(exact.topk.size(), best_df);
+  EXPECT_EQ(exact.kth_score, 0);  // heap never filled
+}
+
+TEST(RecallTest, TieAwareness) {
+  ExactTopK exact;
+  exact.topk = {{1, 100}, {2, 50}, {3, 50}};
+  exact.kth_score = 50;
+  exact.boundary = {4};  // doc 4 also scores 50, outside the list
+
+  const std::vector<ResultEntry> perfect{{1, 100}, {2, 50}, {3, 50}};
+  EXPECT_DOUBLE_EQ(Recall(exact, perfect), 1.0);
+
+  // Doc 4 substitutes for doc 3: still perfect recall (interchangeable).
+  const std::vector<ResultEntry> tied{{1, 100}, {2, 50}, {4, 50}};
+  EXPECT_DOUBLE_EQ(Recall(exact, tied), 1.0);
+
+  const std::vector<ResultEntry> partial{{1, 100}, {9, 10}, {8, 5}};
+  EXPECT_NEAR(Recall(exact, partial), 1.0 / 3.0, 1e-9);
+
+  // Duplicates must not double count.
+  const std::vector<ResultEntry> dupes{{1, 100}, {1, 100}, {1, 100}};
+  EXPECT_NEAR(Recall(exact, dupes), 1.0 / 3.0, 1e-9);
+}
+
+TEST(RecallTest, EmptyExactIsPerfect) {
+  ExactTopK exact;
+  EXPECT_DOUBLE_EQ(Recall(exact, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace sparta::topk

@@ -1,0 +1,195 @@
+// Unit tests: util — RNG, Zipf/alias sampling, histogram, fixed point,
+// spinlock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/fixed_point.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/spinlock.h"
+#include "util/zipf.h"
+
+namespace sparta::util {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> buckets(10, 0);
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = rng.Below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[v];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+class GeometricTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricTest, MeanMatchesTheory) {
+  const double p = GetParam();
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.Geometric(p));
+  }
+  const double expected = (1.0 - p) / p;  // failures before success
+  EXPECT_NEAR(sum / kDraws, expected, 0.05 * (expected + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, GeometricTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.9, 1.0));
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.Gaussian(5.0, 2.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.Shuffle(v.begin(), v.end());
+  EXPECT_NE(v, sorted);  // 1/10! chance of flake
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfTest, WeightsNormalizedAndDecreasing) {
+  const auto w = ZipfMandelbrotWeights(1000, 1.07, 2.7);
+  double sum = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    sum += w[i];
+    if (i > 0) {
+      EXPECT_LE(w[i], w[i - 1]);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(AliasSamplerTest, MatchesTargetDistribution) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  const AliasSampler sampler(weights);
+  Rng rng(19);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 400'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0 * kDraws;
+    EXPECT_NEAR(counts[i], expected, expected * 0.03) << "bucket " << i;
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  const std::vector<double> weights{0.0, 1.0, 0.0, 1.0};
+  const AliasSampler sampler(weights);
+  Rng rng(23);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto s = sampler.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  const AliasSampler sampler({5.0});
+  Rng rng(29);
+  EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(HistogramTest, PercentilesExact) {
+  Histogram h;
+  for (int i = 100; i >= 1; --i) h.Add(i);  // 1..100
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 100);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_EQ(h.Percentile(50), 50);
+  EXPECT_EQ(h.Percentile(95), 95);
+  EXPECT_EQ(h.Percentile(100), 100);
+  EXPECT_EQ(h.Percentile(0), 1);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  a.Add(1);
+  a.Add(2);
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.Max(), 3);
+}
+
+TEST(FixedPointTest, RoundTripAndScale) {
+  EXPECT_EQ(ToFixed(1.0), 1'000'000);
+  EXPECT_EQ(ToFixed(0.5), 500'000);
+  EXPECT_NEAR(FromFixed(ToFixed(3.14159)), 3.14159, 1e-6);
+  EXPECT_EQ(ToFixed(0.0000004), 0);  // rounds below resolution
+}
+
+TEST(SpinlockTest, MutualExclusionUnderContention) {
+  Spinlock lock;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
+}
+
+TEST(SpinlockTest, TryLock) {
+  Spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+}  // namespace
+}  // namespace sparta::util
