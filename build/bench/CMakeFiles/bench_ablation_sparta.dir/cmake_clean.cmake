@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sparta.dir/bench_ablation_sparta.cpp.o"
+  "CMakeFiles/bench_ablation_sparta.dir/bench_ablation_sparta.cpp.o.d"
+  "bench_ablation_sparta"
+  "bench_ablation_sparta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sparta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

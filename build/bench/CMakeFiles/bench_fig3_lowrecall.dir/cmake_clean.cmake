@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lowrecall.dir/bench_fig3_lowrecall.cpp.o"
+  "CMakeFiles/bench_fig3_lowrecall.dir/bench_fig3_lowrecall.cpp.o.d"
+  "bench_fig3_lowrecall"
+  "bench_fig3_lowrecall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lowrecall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

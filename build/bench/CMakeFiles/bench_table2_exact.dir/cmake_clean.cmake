@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_exact.dir/bench_table2_exact.cpp.o"
+  "CMakeFiles/bench_table2_exact.dir/bench_table2_exact.cpp.o.d"
+  "bench_table2_exact"
+  "bench_table2_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

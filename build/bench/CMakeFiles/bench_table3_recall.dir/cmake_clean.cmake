@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_recall.dir/bench_table3_recall.cpp.o"
+  "CMakeFiles/bench_table3_recall.dir/bench_table3_recall.cpp.o.d"
+  "bench_table3_recall"
+  "bench_table3_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_race.dir/algo_race.cpp.o"
+  "CMakeFiles/algo_race.dir/algo_race.cpp.o.d"
+  "algo_race"
+  "algo_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_topn.dir/analytics_topn.cpp.o"
+  "CMakeFiles/analytics_topn.dir/analytics_topn.cpp.o.d"
+  "analytics_topn"
+  "analytics_topn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_topn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

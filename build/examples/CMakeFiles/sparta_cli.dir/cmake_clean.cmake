@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_cli.dir/sparta_cli.cpp.o"
+  "CMakeFiles/sparta_cli.dir/sparta_cli.cpp.o.d"
+  "sparta_cli"
+  "sparta_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

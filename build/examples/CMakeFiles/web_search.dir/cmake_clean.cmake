@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_search.dir/web_search.cpp.o"
+  "CMakeFiles/web_search.dir/web_search.cpp.o.d"
+  "web_search"
+  "web_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

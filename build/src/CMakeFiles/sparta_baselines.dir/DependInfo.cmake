@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bmw.cpp" "src/CMakeFiles/sparta_baselines.dir/baselines/bmw.cpp.o" "gcc" "src/CMakeFiles/sparta_baselines.dir/baselines/bmw.cpp.o.d"
+  "/root/repo/src/baselines/jass.cpp" "src/CMakeFiles/sparta_baselines.dir/baselines/jass.cpp.o" "gcc" "src/CMakeFiles/sparta_baselines.dir/baselines/jass.cpp.o.d"
+  "/root/repo/src/baselines/maxscore.cpp" "src/CMakeFiles/sparta_baselines.dir/baselines/maxscore.cpp.o" "gcc" "src/CMakeFiles/sparta_baselines.dir/baselines/maxscore.cpp.o.d"
+  "/root/repo/src/baselines/pbmw.cpp" "src/CMakeFiles/sparta_baselines.dir/baselines/pbmw.cpp.o" "gcc" "src/CMakeFiles/sparta_baselines.dir/baselines/pbmw.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/CMakeFiles/sparta_baselines.dir/baselines/registry.cpp.o" "gcc" "src/CMakeFiles/sparta_baselines.dir/baselines/registry.cpp.o.d"
+  "/root/repo/src/baselines/snra.cpp" "src/CMakeFiles/sparta_baselines.dir/baselines/snra.cpp.o" "gcc" "src/CMakeFiles/sparta_baselines.dir/baselines/snra.cpp.o.d"
+  "/root/repo/src/baselines/ta_nra.cpp" "src/CMakeFiles/sparta_baselines.dir/baselines/ta_nra.cpp.o" "gcc" "src/CMakeFiles/sparta_baselines.dir/baselines/ta_nra.cpp.o.d"
+  "/root/repo/src/baselines/ta_ra.cpp" "src/CMakeFiles/sparta_baselines.dir/baselines/ta_ra.cpp.o" "gcc" "src/CMakeFiles/sparta_baselines.dir/baselines/ta_ra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sparta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_topk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

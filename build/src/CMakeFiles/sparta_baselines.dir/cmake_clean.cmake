@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_baselines.dir/baselines/bmw.cpp.o"
+  "CMakeFiles/sparta_baselines.dir/baselines/bmw.cpp.o.d"
+  "CMakeFiles/sparta_baselines.dir/baselines/jass.cpp.o"
+  "CMakeFiles/sparta_baselines.dir/baselines/jass.cpp.o.d"
+  "CMakeFiles/sparta_baselines.dir/baselines/maxscore.cpp.o"
+  "CMakeFiles/sparta_baselines.dir/baselines/maxscore.cpp.o.d"
+  "CMakeFiles/sparta_baselines.dir/baselines/pbmw.cpp.o"
+  "CMakeFiles/sparta_baselines.dir/baselines/pbmw.cpp.o.d"
+  "CMakeFiles/sparta_baselines.dir/baselines/registry.cpp.o"
+  "CMakeFiles/sparta_baselines.dir/baselines/registry.cpp.o.d"
+  "CMakeFiles/sparta_baselines.dir/baselines/snra.cpp.o"
+  "CMakeFiles/sparta_baselines.dir/baselines/snra.cpp.o.d"
+  "CMakeFiles/sparta_baselines.dir/baselines/ta_nra.cpp.o"
+  "CMakeFiles/sparta_baselines.dir/baselines/ta_nra.cpp.o.d"
+  "CMakeFiles/sparta_baselines.dir/baselines/ta_ra.cpp.o"
+  "CMakeFiles/sparta_baselines.dir/baselines/ta_ra.cpp.o.d"
+  "libsparta_baselines.a"
+  "libsparta_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_core.dir/core/sparta.cpp.o"
+  "CMakeFiles/sparta_core.dir/core/sparta.cpp.o.d"
+  "libsparta_core.a"
+  "libsparta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

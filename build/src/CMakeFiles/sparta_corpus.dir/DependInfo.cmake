@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/datasets.cpp" "src/CMakeFiles/sparta_corpus.dir/corpus/datasets.cpp.o" "gcc" "src/CMakeFiles/sparta_corpus.dir/corpus/datasets.cpp.o.d"
+  "/root/repo/src/corpus/query_log.cpp" "src/CMakeFiles/sparta_corpus.dir/corpus/query_log.cpp.o" "gcc" "src/CMakeFiles/sparta_corpus.dir/corpus/query_log.cpp.o.d"
+  "/root/repo/src/corpus/scale_up.cpp" "src/CMakeFiles/sparta_corpus.dir/corpus/scale_up.cpp.o" "gcc" "src/CMakeFiles/sparta_corpus.dir/corpus/scale_up.cpp.o.d"
+  "/root/repo/src/corpus/synthetic.cpp" "src/CMakeFiles/sparta_corpus.dir/corpus/synthetic.cpp.o" "gcc" "src/CMakeFiles/sparta_corpus.dir/corpus/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sparta_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

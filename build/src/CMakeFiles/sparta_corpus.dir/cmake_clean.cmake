@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_corpus.dir/corpus/datasets.cpp.o"
+  "CMakeFiles/sparta_corpus.dir/corpus/datasets.cpp.o.d"
+  "CMakeFiles/sparta_corpus.dir/corpus/query_log.cpp.o"
+  "CMakeFiles/sparta_corpus.dir/corpus/query_log.cpp.o.d"
+  "CMakeFiles/sparta_corpus.dir/corpus/scale_up.cpp.o"
+  "CMakeFiles/sparta_corpus.dir/corpus/scale_up.cpp.o.d"
+  "CMakeFiles/sparta_corpus.dir/corpus/synthetic.cpp.o"
+  "CMakeFiles/sparta_corpus.dir/corpus/synthetic.cpp.o.d"
+  "libsparta_corpus.a"
+  "libsparta_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_driver.dir/driver/bench_driver.cpp.o"
+  "CMakeFiles/sparta_driver.dir/driver/bench_driver.cpp.o.d"
+  "CMakeFiles/sparta_driver.dir/driver/experiment.cpp.o"
+  "CMakeFiles/sparta_driver.dir/driver/experiment.cpp.o.d"
+  "CMakeFiles/sparta_driver.dir/driver/table.cpp.o"
+  "CMakeFiles/sparta_driver.dir/driver/table.cpp.o.d"
+  "libsparta_driver.a"
+  "libsparta_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

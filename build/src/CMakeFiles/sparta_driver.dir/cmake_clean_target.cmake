@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsparta_driver.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_exec.dir/exec/job_queue.cpp.o"
+  "CMakeFiles/sparta_exec.dir/exec/job_queue.cpp.o.d"
+  "CMakeFiles/sparta_exec.dir/exec/thread_pool.cpp.o"
+  "CMakeFiles/sparta_exec.dir/exec/thread_pool.cpp.o.d"
+  "CMakeFiles/sparta_exec.dir/exec/threaded_executor.cpp.o"
+  "CMakeFiles/sparta_exec.dir/exec/threaded_executor.cpp.o.d"
+  "libsparta_exec.a"
+  "libsparta_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

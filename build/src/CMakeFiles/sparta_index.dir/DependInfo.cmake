@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/block_max.cpp" "src/CMakeFiles/sparta_index.dir/index/block_max.cpp.o" "gcc" "src/CMakeFiles/sparta_index.dir/index/block_max.cpp.o.d"
+  "/root/repo/src/index/builder.cpp" "src/CMakeFiles/sparta_index.dir/index/builder.cpp.o" "gcc" "src/CMakeFiles/sparta_index.dir/index/builder.cpp.o.d"
+  "/root/repo/src/index/compression.cpp" "src/CMakeFiles/sparta_index.dir/index/compression.cpp.o" "gcc" "src/CMakeFiles/sparta_index.dir/index/compression.cpp.o.d"
+  "/root/repo/src/index/disk_format.cpp" "src/CMakeFiles/sparta_index.dir/index/disk_format.cpp.o" "gcc" "src/CMakeFiles/sparta_index.dir/index/disk_format.cpp.o.d"
+  "/root/repo/src/index/inverted_index.cpp" "src/CMakeFiles/sparta_index.dir/index/inverted_index.cpp.o" "gcc" "src/CMakeFiles/sparta_index.dir/index/inverted_index.cpp.o.d"
+  "/root/repo/src/index/mmap_file.cpp" "src/CMakeFiles/sparta_index.dir/index/mmap_file.cpp.o" "gcc" "src/CMakeFiles/sparta_index.dir/index/mmap_file.cpp.o.d"
+  "/root/repo/src/index/scorer.cpp" "src/CMakeFiles/sparta_index.dir/index/scorer.cpp.o" "gcc" "src/CMakeFiles/sparta_index.dir/index/scorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sparta_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

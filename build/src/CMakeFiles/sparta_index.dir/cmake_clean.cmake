@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_index.dir/index/block_max.cpp.o"
+  "CMakeFiles/sparta_index.dir/index/block_max.cpp.o.d"
+  "CMakeFiles/sparta_index.dir/index/builder.cpp.o"
+  "CMakeFiles/sparta_index.dir/index/builder.cpp.o.d"
+  "CMakeFiles/sparta_index.dir/index/compression.cpp.o"
+  "CMakeFiles/sparta_index.dir/index/compression.cpp.o.d"
+  "CMakeFiles/sparta_index.dir/index/disk_format.cpp.o"
+  "CMakeFiles/sparta_index.dir/index/disk_format.cpp.o.d"
+  "CMakeFiles/sparta_index.dir/index/inverted_index.cpp.o"
+  "CMakeFiles/sparta_index.dir/index/inverted_index.cpp.o.d"
+  "CMakeFiles/sparta_index.dir/index/mmap_file.cpp.o"
+  "CMakeFiles/sparta_index.dir/index/mmap_file.cpp.o.d"
+  "CMakeFiles/sparta_index.dir/index/scorer.cpp.o"
+  "CMakeFiles/sparta_index.dir/index/scorer.cpp.o.d"
+  "libsparta_index.a"
+  "libsparta_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

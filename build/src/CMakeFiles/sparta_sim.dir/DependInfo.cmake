@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/coherence.cpp" "src/CMakeFiles/sparta_sim.dir/sim/coherence.cpp.o" "gcc" "src/CMakeFiles/sparta_sim.dir/sim/coherence.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/sparta_sim.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/sparta_sim.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/page_cache.cpp" "src/CMakeFiles/sparta_sim.dir/sim/page_cache.cpp.o" "gcc" "src/CMakeFiles/sparta_sim.dir/sim/page_cache.cpp.o.d"
+  "/root/repo/src/sim/sim_executor.cpp" "src/CMakeFiles/sparta_sim.dir/sim/sim_executor.cpp.o" "gcc" "src/CMakeFiles/sparta_sim.dir/sim/sim_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sparta_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

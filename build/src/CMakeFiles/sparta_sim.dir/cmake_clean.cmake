@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_sim.dir/sim/coherence.cpp.o"
+  "CMakeFiles/sparta_sim.dir/sim/coherence.cpp.o.d"
+  "CMakeFiles/sparta_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/sparta_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/sparta_sim.dir/sim/page_cache.cpp.o"
+  "CMakeFiles/sparta_sim.dir/sim/page_cache.cpp.o.d"
+  "CMakeFiles/sparta_sim.dir/sim/sim_executor.cpp.o"
+  "CMakeFiles/sparta_sim.dir/sim/sim_executor.cpp.o.d"
+  "libsparta_sim.a"
+  "libsparta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/tokenizer.cpp" "src/CMakeFiles/sparta_text.dir/text/tokenizer.cpp.o" "gcc" "src/CMakeFiles/sparta_text.dir/text/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocabulary.cpp" "src/CMakeFiles/sparta_text.dir/text/vocabulary.cpp.o" "gcc" "src/CMakeFiles/sparta_text.dir/text/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sparta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_text.dir/text/tokenizer.cpp.o"
+  "CMakeFiles/sparta_text.dir/text/tokenizer.cpp.o.d"
+  "CMakeFiles/sparta_text.dir/text/vocabulary.cpp.o"
+  "CMakeFiles/sparta_text.dir/text/vocabulary.cpp.o.d"
+  "libsparta_text.a"
+  "libsparta_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topk/algorithm.cpp" "src/CMakeFiles/sparta_topk.dir/topk/algorithm.cpp.o" "gcc" "src/CMakeFiles/sparta_topk.dir/topk/algorithm.cpp.o.d"
+  "/root/repo/src/topk/doc_heap.cpp" "src/CMakeFiles/sparta_topk.dir/topk/doc_heap.cpp.o" "gcc" "src/CMakeFiles/sparta_topk.dir/topk/doc_heap.cpp.o.d"
+  "/root/repo/src/topk/doc_map.cpp" "src/CMakeFiles/sparta_topk.dir/topk/doc_map.cpp.o" "gcc" "src/CMakeFiles/sparta_topk.dir/topk/doc_map.cpp.o.d"
+  "/root/repo/src/topk/oracle.cpp" "src/CMakeFiles/sparta_topk.dir/topk/oracle.cpp.o" "gcc" "src/CMakeFiles/sparta_topk.dir/topk/oracle.cpp.o.d"
+  "/root/repo/src/topk/recall.cpp" "src/CMakeFiles/sparta_topk.dir/topk/recall.cpp.o" "gcc" "src/CMakeFiles/sparta_topk.dir/topk/recall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sparta_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

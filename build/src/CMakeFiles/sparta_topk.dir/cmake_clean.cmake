@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_topk.dir/topk/algorithm.cpp.o"
+  "CMakeFiles/sparta_topk.dir/topk/algorithm.cpp.o.d"
+  "CMakeFiles/sparta_topk.dir/topk/doc_heap.cpp.o"
+  "CMakeFiles/sparta_topk.dir/topk/doc_heap.cpp.o.d"
+  "CMakeFiles/sparta_topk.dir/topk/doc_map.cpp.o"
+  "CMakeFiles/sparta_topk.dir/topk/doc_map.cpp.o.d"
+  "CMakeFiles/sparta_topk.dir/topk/oracle.cpp.o"
+  "CMakeFiles/sparta_topk.dir/topk/oracle.cpp.o.d"
+  "CMakeFiles/sparta_topk.dir/topk/recall.cpp.o"
+  "CMakeFiles/sparta_topk.dir/topk/recall.cpp.o.d"
+  "libsparta_topk.a"
+  "libsparta_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparta_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/sparta_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/sparta_util.dir/util/rng.cpp.o"
+  "CMakeFiles/sparta_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/sparta_util.dir/util/zipf.cpp.o"
+  "CMakeFiles/sparta_util.dir/util/zipf.cpp.o.d"
+  "libsparta_util.a"
+  "libsparta_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparta_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

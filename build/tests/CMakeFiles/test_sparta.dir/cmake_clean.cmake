@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparta.dir/test_sparta.cpp.o"
+  "CMakeFiles/test_sparta.dir/test_sparta.cpp.o.d"
+  "test_sparta"
+  "test_sparta.pdb"
+  "test_sparta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_text.cpp" "tests/CMakeFiles/test_text.dir/test_text.cpp.o" "gcc" "tests/CMakeFiles/test_text.dir/test_text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sparta_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_topk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sparta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

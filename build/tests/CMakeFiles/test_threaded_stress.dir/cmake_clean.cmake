@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threaded_stress.dir/test_threaded_stress.cpp.o"
+  "CMakeFiles/test_threaded_stress.dir/test_threaded_stress.cpp.o.d"
+  "test_threaded_stress"
+  "test_threaded_stress.pdb"
+  "test_threaded_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threaded_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
