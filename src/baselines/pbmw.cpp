@@ -26,6 +26,9 @@ class PBmwRun final : public topk::QueryRun {
     local_heaps_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) local_heaps_.emplace_back(params.k);
     local_stats_.resize(static_cast<std::size_t>(workers));
+    // The shared Θ is a deliberately lock-free atomic (§5.2.2).
+    ctx.AnnotateBenignRace(&shared_theta_, sizeof(shared_theta_),
+                           "pbmw.theta");
   }
 
   void Start() override {

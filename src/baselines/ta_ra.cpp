@@ -35,6 +35,9 @@ class RaRun final : public topk::QueryRun {
                    std::memory_order_relaxed);
     }
     heap_upd_time_.store(ctx.start_time(), std::memory_order_relaxed);
+    // Lock-free by design: lazy UB updates and the done flag.
+    ctx.AnnotateBenignRace(ub_.data(), m_ * sizeof(ub_[0]), "ra.UB");
+    ctx.AnnotateBenignRace(&done_, sizeof(done_), "ra.done");
   }
 
   void Start() override {

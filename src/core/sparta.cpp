@@ -34,7 +34,9 @@ class LbHeap {
 
   Score theta() const { return theta_.load(std::memory_order_relaxed); }
 
-  std::size_t size() const { return docs_.size(); }
+  /// Lock-free peek (the cleaner's stopping check); mirrors docs_.size()
+  /// which itself only changes under the heap lock.
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
 
   /// UPDATE_HEAP lines 28-37. Returns true if membership changed.
   bool Insert(DocType* d, WorkerContext& w) {
@@ -63,6 +65,7 @@ class LbHeap {
       theta_.store(docs_[LowestMember()]->lb.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
     }
+    size_.store(docs_.size(), std::memory_order_relaxed);
     return changed;
   }
 
@@ -85,6 +88,7 @@ class LbHeap {
 
   std::size_t k_;
   std::vector<DocType*> docs_;  // unordered; Θ recomputed on demand
+  std::atomic<std::size_t> size_{0};
   std::atomic<Score> theta_{0};
 };
 
@@ -116,6 +120,11 @@ class SpartaRun final : public topk::QueryRun {
                    std::memory_order_relaxed);
     }
     heap_upd_time_.store(ctx.start_time(), std::memory_order_relaxed);
+    // Deliberate lock-free synchronization — lazy UB reads (§4.3) and the
+    // done flag. The race detector must count, not report, races here
+    // (DESIGN.md §6).
+    ctx.AnnotateBenignRace(ub_.data(), m_ * sizeof(ub_[0]), "sparta.UB");
+    ctx.AnnotateBenignRace(&done_, sizeof(done_), "sparta.done");
   }
 
   void Start() override {
@@ -168,7 +177,7 @@ class SpartaRun final : public topk::QueryRun {
     sum = static_cast<Score>(static_cast<double>(sum) *
                              options_.prob_factor);
     if (sum <= heap_.theta()) {
-      if (options_.insert_cutoff_at_ubstop) doc_map_.SetReadOnly();
+      if (options_.insert_cutoff_at_ubstop) doc_map_.Freeze(w);
       ubstop_.store(true, std::memory_order_release);
       return true;
     }
@@ -306,7 +315,7 @@ class SpartaRun final : public topk::QueryRun {
     if (snap != nullptr) {
       snap->ForEach(copy_missing);
     } else {
-      doc_map_.ForEach(copy_missing);
+      doc_map_.ForEach(copy_missing, w);
     }
     if (!ok) return AbortOom();
     term_maps_[i] = std::move(map);
@@ -362,7 +371,7 @@ class SpartaRun final : public topk::QueryRun {
       if (old_snap != nullptr) {
         old_snap->ForEach(retain);
       } else {
-        doc_map_.ForEach(retain);
+        doc_map_.ForEach(retain, w);
       }
       if (!ok) return AbortOom();
       // Each scanned entry costs a map access plus the m-term UB sum.
@@ -441,7 +450,7 @@ class SpartaRun final : public topk::QueryRun {
       }
     };
     if (doc_map_.read_only()) {
-      doc_map_.ForEach(check);
+      doc_map_.ForEach(check, w);
     } else {
       doc_map_.ForEachLocked(check, w);
     }

@@ -15,8 +15,10 @@
 // them implicitly); the simulator turns them into virtual time.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 
 #include "util/common.h"
@@ -88,6 +90,19 @@ class WorkerContext {
   /// how the paper's "N/A — crashed due to lack of memory" cells are
   /// reproduced without crashing).
   [[nodiscard]] virtual bool ChargeMemory(std::int64_t delta_bytes) = 0;
+
+  /// Race-detector-only access event for granular structures whose cost
+  /// is already priced through StructureAccess (a docMap stripe table).
+  /// Charges nothing; ignored outside `SimConfig::race_check` runs.
+  virtual void ShadowAccess(const void* /*addr*/, AccessKind /*kind*/) {}
+
+  /// Declares to the race detector that every critical section completed
+  /// so far under `token` (a CtxLock used as a release point)
+  /// happens-before this worker's next access — the acquire side of a
+  /// module-level publication protocol the detector cannot observe (the
+  /// docMap freeze; see DESIGN.md §6). No cost; ignored outside
+  /// race-check runs.
+  virtual void AnnotateAcquire(const void* /*token*/) {}
 };
 
 /// A mutual-exclusion lock priced by the executor (real std::mutex on
@@ -141,6 +156,15 @@ class QueryContext {
 
   /// Completion time of the query's last job (valid after drain).
   virtual VirtualTime end_time() const = 0;
+
+  /// Marks [addr, addr+bytes) as an intentional benign race for the race
+  /// detector: deliberate lock-free accesses to atomics (the paper's
+  /// lazy UB reads, done flags, pBMW's shared Θ). Detections inside the
+  /// range are counted as suppressed instead of reported. No-op outside
+  /// `SimConfig::race_check` runs.
+  virtual void AnnotateBenignRace(const void* /*addr*/,
+                                  std::size_t /*bytes*/,
+                                  const char* /*label*/) {}
 };
 
 }  // namespace sparta::exec

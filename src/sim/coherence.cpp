@@ -1,11 +1,15 @@
 #include "sim/coherence.h"
 
+#include "sim/race_detector.h"
 #include "util/common.h"
 
 namespace sparta::sim {
 
 CoherenceModel::Access CoherenceModel::Read(int worker, const void* addr) {
   SPARTA_CHECK(worker >= 0 && worker < kMaxSimWorkers);
+  if (race_detector_ != nullptr) {
+    race_detector_->OnAccess(worker, addr, exec::AccessKind::kRead);
+  }
   LineState& line = lines_[LineOf(addr)];
   if (line.version == 0) line.version = 1;  // first sighting of this line
   Access access;
@@ -16,6 +20,9 @@ CoherenceModel::Access CoherenceModel::Read(int worker, const void* addr) {
 
 CoherenceModel::Access CoherenceModel::Write(int worker, const void* addr) {
   SPARTA_CHECK(worker >= 0 && worker < kMaxSimWorkers);
+  if (race_detector_ != nullptr) {
+    race_detector_->OnAccess(worker, addr, exec::AccessKind::kWrite);
+  }
   LineState& line = lines_[LineOf(addr)];
   Access access;
   // Writing a line someone else touched since our last write/read is a

@@ -21,6 +21,8 @@ namespace sparta::sim {
 
 inline constexpr int kMaxSimWorkers = 32;
 
+class RaceDetector;
+
 class CoherenceModel {
  public:
   /// Outcome of one access: whether this worker pays a miss.
@@ -30,6 +32,14 @@ class CoherenceModel {
 
   Access Read(int worker, const void* addr);
   Access Write(int worker, const void* addr);
+
+  /// Attaches a race detector: every Read/Write event is forwarded to it
+  /// as an access at byte granularity (the hinted address, not the
+  /// line — distinct variables on one line must not alias in the
+  /// checker). Pass nullptr to detach.
+  void set_race_detector(RaceDetector* detector) {
+    race_detector_ = detector;
+  }
 
   /// Drops all tracked lines (called between queries; heap addresses are
   /// recycled across queries, so stale versions must not leak).
@@ -50,6 +60,7 @@ class CoherenceModel {
   }
 
   std::unordered_map<std::uintptr_t, LineState> lines_;
+  RaceDetector* race_detector_ = nullptr;
 };
 
 }  // namespace sparta::sim

@@ -7,6 +7,7 @@
 // Calibration notes live in EXPERIMENTS.md.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "exec/context.h"

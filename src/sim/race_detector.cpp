@@ -1,0 +1,243 @@
+#include "sim/race_detector.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace sparta::sim {
+
+namespace {
+
+const char* KindName(exec::AccessKind kind) {
+  return kind == exec::AccessKind::kRead ? "read" : "write";
+}
+
+void AppendLocks(std::string& out, const std::vector<int>& locks) {
+  out += '{';
+  for (std::size_t i = 0; i < locks.size(); ++i) {
+    if (i > 0) out += ',';
+    out += 'L';
+    out += std::to_string(locks[i]);
+  }
+  out += '}';
+}
+
+void Join(std::array<std::uint64_t, kMaxSimWorkers>& into,
+          const std::array<std::uint64_t, kMaxSimWorkers>& from) {
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+}  // namespace
+
+std::string RaceReport::Describe() const {
+  std::string out = label.empty() ? std::string("<unlabeled>") : label;
+  if (!label.empty() && offset != 0) {
+    out += '+';
+    out += std::to_string(offset);
+  }
+  out += ": w";
+  out += std::to_string(prior_worker);
+  out += ' ';
+  out += KindName(prior_kind);
+  AppendLocks(out, prior_locks);
+  out += " vs w";
+  out += std::to_string(worker);
+  out += ' ';
+  out += KindName(kind);
+  AppendLocks(out, locks);
+  return out;
+}
+
+RaceDetector::RaceDetector(int num_workers) : num_workers_(num_workers) {
+  SPARTA_CHECK(num_workers_ >= 1 && num_workers_ <= kMaxSimWorkers);
+  // Each worker starts in its own epoch 1: a fresh access must compare
+  // unordered against workers that never synchronized (whose clock entry
+  // for it is still 0).
+  for (std::size_t w = 0; w < vc_.size(); ++w) vc_[w][w] = 1;
+}
+
+const RaceDetector::Range* RaceDetector::FindRange(const void* addr) const {
+  const auto p = reinterpret_cast<std::uintptr_t>(addr);
+  for (const Range& r : ranges_) {
+    if (p >= r.lo && p < r.hi) return &r;
+  }
+  return nullptr;
+}
+
+int RaceDetector::LockId(const void* lock) {
+  const auto [it, inserted] =
+      lock_ids_.emplace(lock, static_cast<int>(lock_ids_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+bool RaceDetector::OrderedBefore(const AccessRecord& prior,
+                                 int prior_worker, int worker) const {
+  return prior.clock <=
+         vc_[static_cast<std::size_t>(worker)]
+            [static_cast<std::size_t>(prior_worker)];
+}
+
+bool RaceDetector::Disjoint(const LockSet& a, const LockSet& b) {
+  for (const void* lock : a) {
+    if (std::find(b.begin(), b.end(), lock) != b.end()) return false;
+  }
+  return true;
+}
+
+std::vector<int> RaceDetector::LockIds(const LockSet& locks) {
+  std::vector<int> ids;
+  ids.reserve(locks.size());
+  for (const void* lock : locks) ids.push_back(LockId(lock));
+  return ids;
+}
+
+void RaceDetector::Report(const void* addr, int prior_worker,
+                          exec::AccessKind prior_kind,
+                          const AccessRecord& prior, int worker,
+                          exec::AccessKind kind) {
+  const Range* range = FindRange(addr);
+  if (range != nullptr && range->allow) {
+    ++suppressed_;
+    return;
+  }
+  if (!seen_
+           .emplace(addr, prior_worker, worker, static_cast<int>(prior_kind),
+                    static_cast<int>(kind))
+           .second) {
+    return;  // already reported this pair for this address
+  }
+  RaceReport report;
+  report.addr = addr;
+  if (range != nullptr) {
+    report.label = range->label;
+    report.offset = static_cast<std::ptrdiff_t>(
+        reinterpret_cast<std::uintptr_t>(addr) - range->lo);
+  }
+  report.prior_worker = prior_worker;
+  report.worker = worker;
+  report.prior_kind = prior_kind;
+  report.kind = kind;
+  report.prior_locks = LockIds(prior.locks);
+  report.locks = LockIds(held_[static_cast<std::size_t>(worker)]);
+  reports_.push_back(std::move(report));
+}
+
+void RaceDetector::OnAccess(int worker, const void* addr,
+                            exec::AccessKind kind) {
+  SPARTA_CHECK(worker >= 0 && worker < num_workers_);
+  const auto w = static_cast<std::size_t>(worker);
+  Shadow& s = shadow_[addr];
+  const LockSet& held = held_[w];
+
+  // Any access races with an unordered, lockset-disjoint prior write.
+  if (s.writer >= 0 && s.writer != worker &&
+      !OrderedBefore(s.write, s.writer, worker) &&
+      Disjoint(s.write.locks, held)) {
+    Report(addr, s.writer, exec::AccessKind::kWrite, s.write, worker, kind);
+  }
+
+  if (kind == exec::AccessKind::kWrite) {
+    // A write additionally races with every unordered read-share member.
+    for (const auto& [reader, record] : s.reads) {
+      if (reader == worker) continue;
+      if (!OrderedBefore(record, reader, worker) &&
+          Disjoint(record.locks, held)) {
+        Report(addr, reader, exec::AccessKind::kRead, record, worker, kind);
+      }
+    }
+    s.writer = worker;
+    s.write = {vc_[w][w], held};
+    s.reads.clear();
+  } else {
+    for (auto& [reader, record] : s.reads) {
+      if (reader == worker) {
+        record = {vc_[w][w], held};
+        return;
+      }
+    }
+    s.reads.emplace_back(worker, AccessRecord{vc_[w][w], held});
+  }
+}
+
+void RaceDetector::OnLockAcquire(int worker, const void* lock) {
+  SPARTA_CHECK(worker >= 0 && worker < num_workers_);
+  const auto w = static_cast<std::size_t>(worker);
+  LockId(lock);  // assign ids in deterministic first-acquire order
+  const auto it = sync_vc_.find(lock);
+  if (it != sync_vc_.end()) Join(vc_[w], it->second);
+  held_[w].push_back(lock);
+}
+
+void RaceDetector::OnLockRelease(int worker, const void* lock) {
+  SPARTA_CHECK(worker >= 0 && worker < num_workers_);
+  const auto w = static_cast<std::size_t>(worker);
+  Join(sync_vc_[lock], vc_[w]);
+  ++vc_[w][w];
+  auto& held = held_[w];
+  const auto it = std::find(held.rbegin(), held.rend(), lock);
+  if (it != held.rend()) held.erase(std::next(it).base());
+}
+
+std::uint64_t RaceDetector::OnJobSubmit(int worker) {
+  SPARTA_CHECK(worker >= 0 && worker < num_workers_);
+  const auto w = static_cast<std::size_t>(worker);
+  const std::uint64_t token = ++next_fork_;
+  fork_vc_.emplace(token, vc_[w]);
+  // Post-fork accesses of the submitter must not appear ordered before
+  // the child: bump the submitter past the snapshot.
+  ++vc_[w][w];
+  return token;
+}
+
+void RaceDetector::OnJobStart(int worker, std::uint64_t fork_token) {
+  SPARTA_CHECK(worker >= 0 && worker < num_workers_);
+  const auto w = static_cast<std::size_t>(worker);
+  if (fork_token != 0) {
+    const auto it = fork_vc_.find(fork_token);
+    if (it != fork_vc_.end()) {
+      Join(vc_[w], it->second);
+      fork_vc_.erase(it);
+    }
+  }
+  ++vc_[w][w];  // every job is a fresh epoch on its worker
+}
+
+void RaceDetector::OnSyncAcquire(int worker, const void* token) {
+  SPARTA_CHECK(worker >= 0 && worker < num_workers_);
+  const auto it = sync_vc_.find(token);
+  if (it != sync_vc_.end()) {
+    Join(vc_[static_cast<std::size_t>(worker)], it->second);
+  }
+}
+
+void RaceDetector::AllowRange(const void* addr, std::size_t bytes,
+                              std::string label) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(addr);
+  ranges_.push_back({lo, lo + bytes, std::move(label), /*allow=*/true});
+}
+
+void RaceDetector::LabelRange(const void* addr, std::size_t bytes,
+                              std::string label) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(addr);
+  ranges_.push_back({lo, lo + bytes, std::move(label), /*allow=*/false});
+}
+
+void RaceDetector::ResetShadow() {
+  for (std::size_t w = 0; w < vc_.size(); ++w) {
+    vc_[w].fill(0);
+    vc_[w][w] = 1;
+  }
+  for (auto& held : held_) held.clear();
+  sync_vc_.clear();
+  fork_vc_.clear();
+  next_fork_ = 0;
+  shadow_.clear();
+  ranges_.clear();
+  lock_ids_.clear();
+  seen_.clear();
+}
+
+}  // namespace sparta::sim

@@ -1,0 +1,165 @@
+// Deterministic hybrid lockset + vector-clock race detector.
+//
+// Piggybacks on the simulator's existing instrumentation surface:
+//   * CoherenceModel::Read/Write — every SharedAccess-hinted access to a
+//     small hot shared variable (UB entries, flags, thresholds);
+//   * WorkerContext::ShadowAccess — zero-cost detector-only events for
+//     granular structures priced through StructureAccess (the docMap's
+//     stripe tables);
+//   * SimLock Lock/Unlock        — lockset maintenance plus FastTrack
+//     release→acquire happens-before edges;
+//   * SubmitJob/Drain            — fork edges from a submitting job to
+//     the jobs it spawns (Algorithm 1's self-replenishing segments).
+//
+// Because the discrete-event executor runs jobs in a deterministic host
+// order, the detector is deterministic too: the same query produces the
+// same report set on every run — which is what makes it usable as a CI
+// gate (ThreadSanitizer, by contrast, only flags the interleavings it
+// happens to observe).
+//
+// Shadow state per address (Eraser/FastTrack lineage):
+//   * last-writer epoch (worker, clock) + the lockset held at the write;
+//   * a read-share set: per reading worker, the read epoch and lockset.
+// Two accesses to the same address race when (a) neither happens-before
+// the other under the fork/lock-edge vector clocks AND (b) their
+// locksets are disjoint. Violations are reported with the address,
+// offending workers, access kinds and both held locksets.
+//
+// False-positive policy: intentional benign races on atomics (the
+// paper's lazy UB reads, done flags, pBMW's shared Θ) are suppressed via
+// QueryContext::AnnotateBenignRace allowlist ranges; suppressed
+// detections are counted, not reported. See DESIGN.md §6.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/coherence.h"
+
+namespace sparta::sim {
+
+/// One detected data-race / lock-discipline violation: an unordered,
+/// lockset-disjoint pair of accesses to the same address.
+struct RaceReport {
+  const void* addr = nullptr;
+  /// Label of the annotated range containing `addr` (empty if none).
+  std::string label;
+  /// Byte offset of `addr` within the labeled range (0 if unlabeled).
+  std::ptrdiff_t offset = 0;
+
+  int prior_worker = -1;
+  int worker = -1;
+  exec::AccessKind prior_kind = exec::AccessKind::kRead;
+  exec::AccessKind kind = exec::AccessKind::kRead;
+  /// Stable lock ids (assigned in first-acquire order) held at each
+  /// access — deterministic across runs, unlike lock addresses.
+  std::vector<int> prior_locks;
+  std::vector<int> locks;
+
+  /// Address-free rendering: identical across runs of the same query
+  /// (heap addresses are not reproducible; everything else is).
+  std::string Describe() const;
+};
+
+class RaceDetector {
+ public:
+  explicit RaceDetector(int num_workers);
+
+  // --- event hooks (wired by SimExecutor) ------------------------------
+
+  /// Access to `addr` by `worker` (from CoherenceModel or ShadowAccess).
+  void OnAccess(int worker, const void* addr, exec::AccessKind kind);
+  /// Lock acquire: joins the lock's clock into the worker's and pushes
+  /// the lock onto the worker's held set.
+  void OnLockAcquire(int worker, const void* lock);
+  /// Lock release: publishes the worker's clock into the lock's.
+  void OnLockRelease(int worker, const void* lock);
+  /// Fork edge source: snapshots the submitting worker's clock. Returns
+  /// a token to pass to OnJobStart; 0 = no edge (external submission).
+  std::uint64_t OnJobSubmit(int worker);
+  /// Fork edge sink: joins the snapshot taken at submit time into the
+  /// worker about to run the job.
+  void OnJobStart(int worker, std::uint64_t fork_token);
+  /// Declares that every critical section completed so far under `token`
+  /// (a lock used as a release point) happens-before this worker's next
+  /// access — the docMap freeze protocol's acquire side (DESIGN.md §6).
+  void OnSyncAcquire(int worker, const void* token);
+
+  // --- annotations ------------------------------------------------------
+
+  /// Allowlists [addr, addr+bytes): detections there are counted as
+  /// suppressed instead of reported.
+  void AllowRange(const void* addr, std::size_t bytes, std::string label);
+  /// Labels [addr, addr+bytes) for reporting without suppressing.
+  void LabelRange(const void* addr, std::size_t bytes, std::string label);
+
+  // --- results ----------------------------------------------------------
+
+  /// All unsuppressed violations, in detection order (deterministic).
+  const std::vector<RaceReport>& reports() const { return reports_; }
+  /// Count of detections inside allowlisted ranges.
+  std::uint64_t suppressed() const { return suppressed_; }
+
+  /// Drops all shadow/synchronization state and annotations (reports
+  /// persist). Called between latency-mode queries: heap addresses are
+  /// recycled, so stale epochs must not leak across queries.
+  void ResetShadow();
+
+ private:
+  using Clock = std::uint64_t;
+  using VectorClock = std::array<Clock, kMaxSimWorkers>;
+  using LockSet = std::vector<const void*>;
+
+  struct AccessRecord {
+    Clock clock = 0;
+    LockSet locks;
+  };
+  struct Shadow {
+    int writer = -1;
+    AccessRecord write;
+    /// Latest read per worker since the last write.
+    std::vector<std::pair<int, AccessRecord>> reads;
+  };
+  struct Range {
+    std::uintptr_t lo = 0;
+    std::uintptr_t hi = 0;
+    std::string label;
+    bool allow = false;
+  };
+
+  const Range* FindRange(const void* addr) const;
+  int LockId(const void* lock);
+  /// True if the recorded access happens-before `worker`'s current epoch.
+  bool OrderedBefore(const AccessRecord& prior, int prior_worker,
+                     int worker) const;
+  static bool Disjoint(const LockSet& a, const LockSet& b);
+  void Report(const void* addr, int prior_worker,
+              exec::AccessKind prior_kind, const AccessRecord& prior,
+              int worker, exec::AccessKind kind);
+  std::vector<int> LockIds(const LockSet& locks);
+
+  int num_workers_;
+  std::array<VectorClock, kMaxSimWorkers> vc_{};
+  std::array<LockSet, kMaxSimWorkers> held_;
+  /// Release clocks of locks and sync tokens.
+  std::unordered_map<const void*, VectorClock> sync_vc_;
+  std::unordered_map<std::uint64_t, VectorClock> fork_vc_;
+  std::uint64_t next_fork_ = 0;
+
+  std::unordered_map<const void*, Shadow> shadow_;
+  std::vector<Range> ranges_;
+  std::unordered_map<const void*, int> lock_ids_;
+
+  /// Dedup: one report per (addr, worker pair, kind pair).
+  std::set<std::tuple<const void*, int, int, int, int>> seen_;
+  std::vector<RaceReport> reports_;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace sparta::sim

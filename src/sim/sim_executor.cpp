@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/race_detector.h"
+
 namespace sparta::sim {
 
 using exec::VirtualTime;
@@ -22,7 +24,8 @@ namespace {
 /// CAS.
 class SimLock final : public exec::CtxLock {
  public:
-  explicit SimLock(const CostModel& costs) : costs_(costs) {}
+  SimLock(const CostModel& costs, RaceDetector* detector)
+      : costs_(costs), detector_(detector) {}
 
   void Lock(exec::WorkerContext& worker) override {
     const VirtualTime now = worker.Now();
@@ -31,14 +34,21 @@ class SimLock final : public exec::CtxLock {
     } else {
       worker.Charge(costs_.lock_uncontended);
     }
+    if (detector_ != nullptr) {
+      detector_->OnLockAcquire(worker.worker_id(), this);
+    }
   }
 
   void Unlock(exec::WorkerContext& worker) override {
     free_at_ = worker.Now();
+    if (detector_ != nullptr) {
+      detector_->OnLockRelease(worker.worker_id(), this);
+    }
   }
 
  private:
   const CostModel& costs_;
+  RaceDetector* detector_;
   VirtualTime free_at_ = 0;
 };
 
@@ -113,6 +123,19 @@ class SimWorkerContext final : public exec::WorkerContext {
     return query_.mem_used <= query_.mem_budget;
   }
 
+  void ShadowAccess(const void* addr, exec::AccessKind kind) override {
+    // Detector-only: charges no virtual time.
+    if (exec_.race_detector_ != nullptr) {
+      exec_.race_detector_->OnAccess(worker_, addr, kind);
+    }
+  }
+
+  void AnnotateAcquire(const void* token) override {
+    if (exec_.race_detector_ != nullptr) {
+      exec_.race_detector_->OnSyncAcquire(worker_, token);
+    }
+  }
+
  private:
   SimExecutor& exec_;
   int worker_;
@@ -133,13 +156,21 @@ class SimQuery final : public exec::QueryContext {
   int num_workers() const override { return exec_.config().num_workers; }
 
   std::unique_ptr<exec::CtxLock> MakeLock() override {
-    return std::make_unique<SimLock>(exec_.config().costs);
+    return std::make_unique<SimLock>(exec_.config().costs,
+                                     exec_.race_detector_.get());
   }
 
   void RunToCompletion() override { exec_.Drain(); }
 
   VirtualTime start_time() const override { return state_->start; }
   VirtualTime end_time() const override { return state_->end; }
+
+  void AnnotateBenignRace(const void* addr, std::size_t bytes,
+                          const char* label) override {
+    if (exec_.race_detector_ != nullptr) {
+      exec_.race_detector_->AllowRange(addr, bytes, label);
+    }
+  }
 
  private:
   SimExecutor& exec_;
@@ -152,12 +183,19 @@ SimExecutor::SimExecutor(SimConfig config)
       page_cache_(config.page_cache_bytes) {
   SPARTA_CHECK(config.num_workers >= 1 &&
                config.num_workers <= kMaxSimWorkers);
+  if (config_.race_check) {
+    race_detector_ = std::make_unique<RaceDetector>(config_.num_workers);
+    coherence_.set_race_detector(race_detector_.get());
+  }
 }
 
 SimExecutor::~SimExecutor() = default;
 
 std::unique_ptr<exec::QueryContext> SimExecutor::CreateQuery() {
   coherence_.Reset();
+  // Heap addresses recycle across queries: stale shadow epochs must not
+  // alias a new query's allocations (reports accumulated so far persist).
+  if (race_detector_ != nullptr) race_detector_->ResetShadow();
   return CreateQueryAt(SyncBarrier());
 }
 
@@ -180,6 +218,9 @@ void SimExecutor::SubmitJob(std::shared_ptr<SimQueryState> query,
                   ? clocks_[static_cast<std::size_t>(current_worker_)]
                   : query->start;
   job.seq = next_seq_++;
+  if (race_detector_ != nullptr && current_worker_ >= 0) {
+    job.fork = race_detector_->OnJobSubmit(current_worker_);
+  }
   job.query = std::move(query);
   jobs_.push(std::move(job));
 }
@@ -214,6 +255,7 @@ void SimExecutor::Drain(
     clock = std::max(clock, job.ready) + config_.costs.job_dispatch;
 
     current_worker_ = w;
+    if (race_detector_ != nullptr) race_detector_->OnJobStart(w, job.fork);
     SimWorkerContext ctx(*this, w, *job.query);
     job.fn(ctx);
     current_worker_ = -1;

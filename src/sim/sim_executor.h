@@ -23,7 +23,9 @@
 // which lines small shared variables straddle run-to-run.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -35,6 +37,8 @@
 
 namespace sparta::sim {
 
+class RaceDetector;
+
 struct SimConfig {
   int num_workers = 12;
   CostModel costs;
@@ -44,6 +48,12 @@ struct SimConfig {
   /// return false (the "crashed due to lack of memory" cells).
   std::int64_t memory_budget_bytes =
       std::numeric_limits<std::int64_t>::max();
+  /// Runs the deterministic race detector alongside the cost model (see
+  /// sim/race_detector.h). Detection hooks charge no virtual time;
+  /// result sets and reports are unaffected, and latencies agree with
+  /// detector-off runs up to the heap-layout jitter noted above (the
+  /// detector's shadow allocations shift coherence-line addresses).
+  bool race_check = false;
 };
 
 class SimExecutor {
@@ -82,6 +92,9 @@ class SimExecutor {
   CoherenceModel& coherence() { return coherence_; }
   const SimConfig& config() const { return config_; }
 
+  /// Non-null iff `SimConfig::race_check` is set.
+  RaceDetector* race_detector() const { return race_detector_.get(); }
+
  private:
   friend class SimQuery;
   friend class SimWorkerContext;
@@ -92,6 +105,8 @@ class SimExecutor {
     exec::JobFn fn;
     exec::VirtualTime ready = 0;
     std::uint64_t seq = 0;
+    /// Race-detector fork token (0 = external submission, no fork edge).
+    std::uint64_t fork = 0;
     std::shared_ptr<SimQueryState> query;
   };
   struct JobLater {
@@ -110,6 +125,7 @@ class SimExecutor {
   std::uint64_t next_seq_ = 0;
   CoherenceModel coherence_;
   PageCache page_cache_;
+  std::unique_ptr<RaceDetector> race_detector_;
 
   /// Worker currently executing a job (-1 outside Drain); used to stamp
   /// readiness of jobs submitted from inside jobs.

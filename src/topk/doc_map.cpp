@@ -66,15 +66,16 @@ ConcurrentDocMap::GetOrCreateResult ConcurrentDocMap::GetOrCreate(
   GetOrCreateResult result;
   const exec::CtxLockGuard guard(*stripe.lock, worker);
   worker.StructureAccess(ApproxBytes(), /*write_shared=*/true);
+  worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
   const auto it = stripe.map.find(doc);
   if (it != stripe.map.end()) {
     result.doc = it->second;
     return result;
   }
   // A caller that observed UBStop slightly late may still reach here
-  // after the map was frozen; the read-only check under the stripe lock
-  // makes the freeze race-free.
-  if (read_only()) return result;
+  // after the cutoff; the check under the stripe lock makes the freeze
+  // race-free (Freeze() drains this lock before publishing frozen_).
+  if (insert_cutoff()) return result;
   if (!worker.ChargeMemory(entry_bytes_)) {
     (void)worker.ChargeMemory(-entry_bytes_);  // nothing was stored
     result.oom = true;
@@ -82,6 +83,7 @@ ConcurrentDocMap::GetOrCreateResult ConcurrentDocMap::GetOrCreate(
   }
   worker.StructureAccess(ApproxBytes(), /*write_shared=*/true,
                          /*insert=*/true);
+  worker.ShadowAccess(&stripe.map, exec::AccessKind::kWrite);
   DocType* created = &stripe.arena.emplace_back(doc, num_terms_);
   stripe.map.emplace(doc, created);
   const auto new_size =
@@ -105,8 +107,20 @@ DocType* ConcurrentDocMap::Find(DocId doc, exec::WorkerContext& worker) {
   Stripe& stripe = stripes_[StripeOf(doc)];
   const exec::CtxLockGuard guard(*stripe.lock, worker);
   worker.StructureAccess(ApproxBytes(), /*write_shared=*/!read_only());
+  worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
   const auto it = stripe.map.find(doc);
   return it == stripe.map.end() ? nullptr : it->second;
+}
+
+void ConcurrentDocMap::Freeze(exec::WorkerContext& worker) {
+  insert_cutoff_.store(true, std::memory_order_release);
+  // Drain: any insert that passed the cutoff check is still inside its
+  // stripe's critical section; acquiring each lock once waits it out.
+  // Inserts acquiring after our unlock see the cutoff and back off.
+  for (auto& stripe : stripes_) {
+    const exec::CtxLockGuard guard(*stripe.lock, worker);
+  }
+  frozen_.store(true, std::memory_order_release);
 }
 
 ConcurrentDocMap::GetOrCreateResult ConcurrentDocMap::AddScore(

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <span>
@@ -114,11 +115,24 @@ class ConcurrentDocMap {
   /// Approximate resident bytes, for the cache-level cost model.
   std::size_t ApproxBytes() const;
 
-  /// Marks the insert phase over (UBStop reached): lookups stop taking
-  /// stripe locks and stop being priced as write-shared.
-  void SetReadOnly() { read_only_.store(true, std::memory_order_release); }
+  /// Marks the insert phase over (UBStop reached) while workers may
+  /// still be mid-insert: sets the insert cutoff, then drains every
+  /// stripe lock (acquire+release) so in-flight critical sections
+  /// complete, then publishes the frozen flag. Unlocked scans gated on
+  /// read_only() are race-free only because the flag is published
+  /// *after* the drain (found by TSan on the pre-drain protocol).
+  void Freeze(exec::WorkerContext& worker);
+
+  /// Quiescent freeze: valid only when no mutator can be in flight
+  /// (e.g. between test phases after a full drain). Skips the stripe
+  /// drain.
+  void SetReadOnly() {
+    insert_cutoff_.store(true, std::memory_order_release);
+    frozen_.store(true, std::memory_order_release);
+  }
+
   bool read_only() const {
-    return read_only_.load(std::memory_order_acquire);
+    return frozen_.load(std::memory_order_acquire);
   }
 
   /// Iterates all entries. Only valid once read-only.
@@ -130,12 +144,31 @@ class ConcurrentDocMap {
     }
   }
 
+  /// Race-detector-visible variant of the unlocked scan. When the map is
+  /// frozen, each stripe lock's release clock is acquired first
+  /// (AnnotateAcquire) — the freeze protocol guarantees every insert's
+  /// critical section happened-before the scan, which the detector can't
+  /// see through the read_only_ atomic alone (DESIGN.md §6). Calling this
+  /// before SetReadOnly() records unsynchronized reads the detector will
+  /// flag against the stripe inserts — deliberately no SPARTA_CHECK here;
+  /// misuse surfaces as a race report instead of a crash.
+  template <typename Fn>
+  void ForEach(Fn&& fn, exec::WorkerContext& worker) const {
+    const bool frozen = read_only();
+    for (const auto& stripe : stripes_) {
+      if (frozen) worker.AnnotateAcquire(stripe.lock.get());
+      worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
+      for (const auto& [id, doc] : stripe.map) fn(doc);
+    }
+  }
+
   /// Iterates all entries stripe-by-stripe under the stripe locks; safe
   /// while the map is still being mutated (pNRA's stopping scan).
   template <typename Fn>
   void ForEachLocked(Fn&& fn, exec::WorkerContext& worker) {
     for (auto& stripe : stripes_) {
       const exec::CtxLockGuard guard(*stripe.lock, worker);
+      worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
       for (const auto& [id, doc] : stripe.map) fn(doc);
     }
   }
@@ -151,11 +184,18 @@ class ConcurrentDocMap {
 
   static std::size_t StripeOf(DocId doc);
 
+  bool insert_cutoff() const {
+    return insert_cutoff_.load(std::memory_order_acquire);
+  }
+
   int num_terms_;
   std::int64_t entry_bytes_;
   std::atomic<std::size_t> size_{0};
   std::atomic<std::uint64_t> peak_{0};
-  std::atomic<bool> read_only_{false};
+  /// Inserts stop (checked under the stripe lock)...
+  std::atomic<bool> insert_cutoff_{false};
+  /// ...and once the stripes are drained, unlocked scans may start.
+  std::atomic<bool> frozen_{false};
   std::vector<Stripe> stripes_;
 };
 

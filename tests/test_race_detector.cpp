@@ -1,0 +1,420 @@
+// Deterministic race detector: unit tests against the hook API, plus
+// end-to-end runs of every paper algorithm under SimConfig::race_check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/race_detector.h"
+#include "test_helpers.h"
+#include "topk/doc_map.h"
+
+namespace sparta::test {
+namespace {
+
+using exec::AccessKind;
+using sim::RaceDetector;
+using sim::RaceReport;
+
+int dummy_target = 0;
+int dummy_lock_a = 0;
+int dummy_lock_b = 0;
+
+std::vector<std::string> Described(const std::vector<RaceReport>& reports) {
+  std::vector<std::string> out;
+  out.reserve(reports.size());
+  for (const auto& r : reports) out.push_back(r.Describe());
+  return out;
+}
+
+// --- unit tests: detector hook API -----------------------------------
+
+TEST(RaceDetectorUnit, UnsynchronizedWriteWriteIsFlagged) {
+  RaceDetector det(4);
+  det.LabelRange(&dummy_target, sizeof(dummy_target), "target");
+  det.OnAccess(0, &dummy_target, AccessKind::kWrite);
+  det.OnAccess(1, &dummy_target, AccessKind::kWrite);
+  ASSERT_EQ(det.reports().size(), 1u);
+  const RaceReport& r = det.reports()[0];
+  EXPECT_EQ(r.addr, &dummy_target);
+  EXPECT_EQ(r.label, "target");
+  EXPECT_EQ(r.prior_worker, 0);
+  EXPECT_EQ(r.worker, 1);
+  EXPECT_EQ(r.prior_kind, AccessKind::kWrite);
+  EXPECT_EQ(r.kind, AccessKind::kWrite);
+  EXPECT_TRUE(r.prior_locks.empty());
+  EXPECT_TRUE(r.locks.empty());
+}
+
+TEST(RaceDetectorUnit, WriteThenRemoteReadIsFlagged) {
+  RaceDetector det(4);
+  det.OnAccess(2, &dummy_target, AccessKind::kWrite);
+  det.OnAccess(3, &dummy_target, AccessKind::kRead);
+  ASSERT_EQ(det.reports().size(), 1u);
+  EXPECT_EQ(det.reports()[0].prior_worker, 2);
+  EXPECT_EQ(det.reports()[0].worker, 3);
+  EXPECT_EQ(det.reports()[0].kind, AccessKind::kRead);
+}
+
+TEST(RaceDetectorUnit, ReadThenRemoteWriteIsFlagged) {
+  RaceDetector det(4);
+  det.OnAccess(0, &dummy_target, AccessKind::kRead);
+  det.OnAccess(1, &dummy_target, AccessKind::kWrite);
+  ASSERT_EQ(det.reports().size(), 1u);
+  EXPECT_EQ(det.reports()[0].prior_kind, AccessKind::kRead);
+  EXPECT_EQ(det.reports()[0].kind, AccessKind::kWrite);
+}
+
+TEST(RaceDetectorUnit, ConcurrentReadsAreClean) {
+  RaceDetector det(4);
+  for (int w = 0; w < 4; ++w) {
+    det.OnAccess(w, &dummy_target, AccessKind::kRead);
+  }
+  EXPECT_TRUE(det.reports().empty());
+}
+
+TEST(RaceDetectorUnit, CommonLockProtects) {
+  RaceDetector det(4);
+  det.OnLockAcquire(0, &dummy_lock_a);
+  det.OnAccess(0, &dummy_target, AccessKind::kWrite);
+  det.OnLockRelease(0, &dummy_lock_a);
+  det.OnLockAcquire(1, &dummy_lock_a);
+  det.OnAccess(1, &dummy_target, AccessKind::kWrite);
+  det.OnLockRelease(1, &dummy_lock_a);
+  EXPECT_TRUE(det.reports().empty());
+}
+
+TEST(RaceDetectorUnit, DisjointLocksDoNotProtect) {
+  RaceDetector det(4);
+  det.OnLockAcquire(0, &dummy_lock_a);
+  det.OnAccess(0, &dummy_target, AccessKind::kWrite);
+  det.OnLockRelease(0, &dummy_lock_a);
+  det.OnLockAcquire(1, &dummy_lock_b);
+  det.OnAccess(1, &dummy_target, AccessKind::kWrite);
+  det.OnLockRelease(1, &dummy_lock_b);
+  ASSERT_EQ(det.reports().size(), 1u);
+  // Lock ids are assigned in first-acquire order: a=0, b=1.
+  EXPECT_EQ(det.reports()[0].prior_locks, std::vector<int>{0});
+  EXPECT_EQ(det.reports()[0].locks, std::vector<int>{1});
+}
+
+TEST(RaceDetectorUnit, LockReleaseAcquireCreatesOrder) {
+  RaceDetector det(4);
+  // Worker 0 publishes an unprotected write via a later release of L;
+  // worker 1 acquires L first, so the read is ordered (no lockset
+  // overlap needed — pure happens-before).
+  det.OnAccess(0, &dummy_target, AccessKind::kWrite);
+  det.OnLockAcquire(0, &dummy_lock_a);
+  det.OnLockRelease(0, &dummy_lock_a);
+  det.OnLockAcquire(1, &dummy_lock_a);
+  det.OnLockRelease(1, &dummy_lock_a);
+  det.OnAccess(1, &dummy_target, AccessKind::kRead);
+  EXPECT_TRUE(det.reports().empty());
+}
+
+TEST(RaceDetectorUnit, ForkEdgeOrdersParentBeforeChild) {
+  RaceDetector det(4);
+  det.OnJobStart(0, 0);
+  det.OnAccess(0, &dummy_target, AccessKind::kWrite);
+  const std::uint64_t token = det.OnJobSubmit(0);
+  det.OnJobStart(1, token);
+  det.OnAccess(1, &dummy_target, AccessKind::kRead);
+  EXPECT_TRUE(det.reports().empty());
+}
+
+TEST(RaceDetectorUnit, PostForkWriteRacesWithChild) {
+  RaceDetector det(4);
+  det.OnJobStart(0, 0);
+  const std::uint64_t token = det.OnJobSubmit(0);
+  // Written only *after* the fork snapshot: not ordered before the child.
+  det.OnAccess(0, &dummy_target, AccessKind::kWrite);
+  det.OnJobStart(1, token);
+  det.OnAccess(1, &dummy_target, AccessKind::kRead);
+  ASSERT_EQ(det.reports().size(), 1u);
+  EXPECT_EQ(det.reports()[0].prior_worker, 0);
+  EXPECT_EQ(det.reports()[0].worker, 1);
+}
+
+TEST(RaceDetectorUnit, SyncAcquireJoinsReleaseClock) {
+  RaceDetector det(4);
+  det.OnLockAcquire(0, &dummy_lock_a);
+  det.OnAccess(0, &dummy_target, AccessKind::kWrite);
+  det.OnLockRelease(0, &dummy_lock_a);
+  // The quiescent-scan protocol: acquire the lock's clock without
+  // locking, then read.
+  det.OnSyncAcquire(1, &dummy_lock_a);
+  det.OnAccess(1, &dummy_target, AccessKind::kRead);
+  EXPECT_TRUE(det.reports().empty());
+}
+
+TEST(RaceDetectorUnit, AllowRangeSuppressesInsteadOfReporting) {
+  RaceDetector det(4);
+  det.AllowRange(&dummy_target, sizeof(dummy_target), "benign");
+  det.OnAccess(0, &dummy_target, AccessKind::kWrite);
+  det.OnAccess(1, &dummy_target, AccessKind::kWrite);
+  det.OnAccess(2, &dummy_target, AccessKind::kRead);
+  EXPECT_TRUE(det.reports().empty());
+  EXPECT_GE(det.suppressed(), 2u);
+}
+
+TEST(RaceDetectorUnit, DuplicatePairsReportedOnce) {
+  RaceDetector det(4);
+  det.OnAccess(0, &dummy_target, AccessKind::kWrite);
+  det.OnAccess(1, &dummy_target, AccessKind::kRead);
+  det.OnAccess(1, &dummy_target, AccessKind::kRead);
+  det.OnAccess(1, &dummy_target, AccessKind::kRead);
+  EXPECT_EQ(det.reports().size(), 1u);
+}
+
+TEST(RaceDetectorUnit, DescribeUsesLabelAndOffsetNotAddresses) {
+  static int array_target[8] = {};
+  RaceDetector det(4);
+  det.LabelRange(array_target, sizeof(array_target), "UB");
+  det.OnAccess(0, &array_target[3], AccessKind::kWrite);
+  det.OnAccess(1, &array_target[3], AccessKind::kRead);
+  ASSERT_EQ(det.reports().size(), 1u);
+  const std::string text = det.reports()[0].Describe();
+  EXPECT_EQ(text, "UB+12: w0 write{} vs w1 read{}");
+}
+
+TEST(RaceDetectorUnit, ResetShadowDropsStateButKeepsReports) {
+  RaceDetector det(4);
+  det.OnAccess(0, &dummy_target, AccessKind::kWrite);
+  det.OnAccess(1, &dummy_target, AccessKind::kWrite);
+  ASSERT_EQ(det.reports().size(), 1u);
+  det.ResetShadow();
+  // Same address reused by a "new query": no stale writer epoch.
+  det.OnAccess(2, &dummy_target, AccessKind::kRead);
+  EXPECT_EQ(det.reports().size(), 1u);
+}
+
+// --- integration: seeded races through the simulator ------------------
+
+/// Runs two externally submitted jobs (no fork edge between them) that
+/// touch `target` via the zero-cost ShadowAccess hook.
+std::vector<std::string> RunSeededConflict(bool lock_both) {
+  sim::SimConfig config;
+  config.num_workers = 2;
+  config.race_check = true;
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  static int target = 0;
+  auto lock = ctx->MakeLock();
+  for (int j = 0; j < 2; ++j) {
+    ctx->Submit([&, j](exec::WorkerContext& w) {
+      w.Charge(j * 10);  // keep the two jobs on distinct virtual workers
+      if (lock_both) {
+        const exec::CtxLockGuard guard(*lock, w);
+        w.ShadowAccess(&target, AccessKind::kWrite);
+      } else {
+        w.ShadowAccess(&target, AccessKind::kWrite);
+      }
+    });
+  }
+  ctx->RunToCompletion();
+  const RaceDetector* det = executor.race_detector();
+  EXPECT_NE(det, nullptr);
+  return Described(det->reports());
+}
+
+TEST(RaceDetectorSim, SeededRaceSurfacesThroughExecutor) {
+  const auto reports = RunSeededConflict(/*lock_both=*/false);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0], "<unlabeled>: w0 write{} vs w1 write{}");
+}
+
+TEST(RaceDetectorSim, LockedConflictIsClean) {
+  EXPECT_TRUE(RunSeededConflict(/*lock_both=*/true).empty());
+}
+
+TEST(RaceDetectorSim, SeededRaceIsDeterministicAcrossRuns) {
+  const auto first = RunSeededConflict(false);
+  const auto second = RunSeededConflict(false);
+  EXPECT_EQ(first, second);
+}
+
+TEST(RaceDetectorSim, JobForkEdgeVisibleThroughExecutor) {
+  sim::SimConfig config;
+  config.num_workers = 2;
+  config.race_check = true;
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  static int target = 0;
+  ctx->Submit([&](exec::WorkerContext& w) {
+    w.ShadowAccess(&target, AccessKind::kWrite);
+    // Child job inherits a fork edge from this point: ordered, clean.
+    ctx->Submit([&](exec::WorkerContext& cw) {
+      cw.ShadowAccess(&target, AccessKind::kRead);
+    });
+  });
+  ctx->RunToCompletion();
+  EXPECT_TRUE(executor.race_detector()->reports().empty());
+}
+
+// --- integration: ConcurrentDocMap invariants -------------------------
+
+struct DocMapHarness {
+  sim::SimConfig config;
+  std::unique_ptr<sim::SimExecutor> executor;
+  std::unique_ptr<exec::QueryContext> ctx;
+  std::unique_ptr<topk::ConcurrentDocMap> map;
+
+  explicit DocMapHarness(int workers = 4) {
+    config.num_workers = workers;
+    config.race_check = true;
+    executor = std::make_unique<sim::SimExecutor>(config);
+    ctx = executor->CreateQuery();
+    map = std::make_unique<topk::ConcurrentDocMap>(*ctx, /*num_terms=*/2);
+  }
+
+  void SubmitInserts(DocId base, DocId count, exec::VirtualTime stagger) {
+    ctx->Submit([this, base, count, stagger](exec::WorkerContext& w) {
+      w.Charge(stagger);
+      for (DocId d = base; d < base + count; ++d) {
+        auto res = map->GetOrCreate(d, w);
+        ASSERT_NE(res.doc, nullptr);
+        map->AddScore(d, 3, w);
+      }
+    });
+  }
+
+  const RaceDetector& detector() const { return *executor->race_detector(); }
+};
+
+TEST(RaceDetectorDocMap, LockedOperationsAreClean) {
+  DocMapHarness h;
+  h.SubmitInserts(0, 64, 0);
+  h.SubmitInserts(32, 64, 5);  // overlapping ids: find + insert mix
+  h.ctx->Submit([&](exec::WorkerContext& w) {
+    w.Charge(10);
+    std::size_t n = 0;
+    h.map->ForEachLocked([&](topk::DocType*) { ++n; }, w);
+  });
+  h.ctx->RunToCompletion();
+  EXPECT_TRUE(h.detector().reports().empty());
+}
+
+TEST(RaceDetectorDocMap, UnlockedScanBeforeFreezeIsFlagged) {
+  DocMapHarness h;
+  h.SubmitInserts(0, 256, 0);
+  h.ctx->Submit([&](exec::WorkerContext& w) {
+    w.Charge(1);  // interleave with the insert job, on another worker
+    std::size_t n = 0;
+    h.map->ForEach([&](topk::DocType*) { ++n; }, w);  // no SetReadOnly()!
+  });
+  h.ctx->RunToCompletion();
+  EXPECT_FALSE(h.detector().reports().empty());
+}
+
+TEST(RaceDetectorDocMap, FrozenScanIsClean) {
+  DocMapHarness h;
+  h.SubmitInserts(0, 256, 0);
+  h.ctx->RunToCompletion();
+  h.map->SetReadOnly();
+  h.ctx->Submit([&](exec::WorkerContext& w) {
+    std::size_t n = 0;
+    h.map->ForEach([&](topk::DocType*) { ++n; }, w);
+    EXPECT_EQ(n, 256u);
+  });
+  h.ctx->RunToCompletion();
+  EXPECT_TRUE(h.detector().reports().empty());
+}
+
+// --- integration: the paper's algorithms run clean --------------------
+
+struct AlgoRunOutcome {
+  topk::SearchResult result;
+  std::vector<std::string> reports;
+  std::uint64_t suppressed = 0;
+  exec::VirtualTime latency = 0;
+};
+
+AlgoRunOutcome RunWithRaceCheck(const index::InvertedIndex& idx,
+                                std::string_view algo_name,
+                                const std::vector<TermId>& terms,
+                                const topk::SearchParams& params,
+                                bool race_check, int workers = 4) {
+  const auto algo = algos::MakeAlgorithm(algo_name);
+  SPARTA_CHECK(algo != nullptr);
+  sim::SimConfig config;
+  config.num_workers = workers;
+  config.race_check = race_check;
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  AlgoRunOutcome out;
+  out.result = algo->Run(idx, terms, params, *ctx);
+  out.latency = ctx->end_time() - ctx->start_time();
+  if (const RaceDetector* det = executor.race_detector()) {
+    out.reports = Described(det->reports());
+    out.suppressed = det->suppressed();
+  }
+  return out;
+}
+
+class RaceDetectorAlgorithms
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RaceDetectorAlgorithms, RunsCleanUnderRaceCheck) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 3);
+  topk::SearchParams params;
+  params.k = 10;
+  const auto out =
+      RunWithRaceCheck(idx, GetParam(), terms, params, /*race_check=*/true);
+  EXPECT_TRUE(out.result.ok());
+  EXPECT_TRUE(out.reports.empty())
+      << "first report: " << out.reports.front();
+}
+
+TEST_P(RaceDetectorAlgorithms, ReportSetIsDeterministic) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 3);
+  topk::SearchParams params;
+  params.k = 10;
+  const auto a = RunWithRaceCheck(idx, GetParam(), terms, params, true);
+  const auto b = RunWithRaceCheck(idx, GetParam(), terms, params, true);
+  EXPECT_EQ(a.reports, b.reports);
+  EXPECT_EQ(a.suppressed, b.suppressed);
+}
+
+TEST_P(RaceDetectorAlgorithms, DetectorDoesNotPerturbLatency) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 3);
+  topk::SearchParams params;
+  params.k = 10;
+  const auto off = RunWithRaceCheck(idx, GetParam(), terms, params, false);
+  const auto on = RunWithRaceCheck(idx, GetParam(), terms, params, true);
+  // The hooks charge no virtual time; the only residual effect is the
+  // heap-layout sensitivity of address-keyed coherence lines (the ~0.1%
+  // jitter documented in sim_executor.h), since the detector's shadow
+  // allocations interleave with the query's.
+  EXPECT_NEAR(static_cast<double>(on.latency),
+              static_cast<double>(off.latency),
+              0.005 * static_cast<double>(off.latency));
+  EXPECT_EQ(off.result.entries.size(), on.result.entries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAlgorithms, RaceDetectorAlgorithms,
+                         ::testing::Values("Sparta", "pBMW", "pJASS", "pRA",
+                                           "sNRA", "pNRA"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(RaceDetectorAlgorithms, SpartaSuppressesLazyUbRaces) {
+  // The lazy UB protocol is racy on purpose; the allowlist must be doing
+  // real work (detections counted, not reported).
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  const auto out = RunWithRaceCheck(idx, "Sparta", terms, params, true);
+  EXPECT_TRUE(out.reports.empty());
+  EXPECT_GT(out.suppressed, 0u);
+}
+
+}  // namespace
+}  // namespace sparta::test

@@ -182,6 +182,27 @@ TEST(SpinlockTest, MutualExclusionUnderContention) {
   EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
 }
 
+TEST(SpinlockTest, ImmediateYieldThresholdStillExcludes) {
+  // yield_threshold = 1: every failed inner test yields (the TSan
+  // default); mutual exclusion must be unaffected.
+  Spinlock lock(/*yield_threshold=*/1);
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
+}
+
 TEST(SpinlockTest, TryLock) {
   Spinlock lock;
   EXPECT_TRUE(lock.try_lock());
