@@ -1,0 +1,135 @@
+// Degradation experiment: anytime behavior under deadlines and injected
+// faults (DESIGN.md §7, EXPERIMENTS.md "degradation").
+//
+// Three tables:
+//  1. Recall vs deadline — queries cut off at fractions of their
+//     unconstrained mean latency return best-so-far top-k sets whose
+//     recall climbs back to the unconstrained value as the deadline
+//     loosens.
+//  2. Tail latency under stragglers — seeded worker stalls stretch the
+//     tail (p95/p99) while leaving result sets exact.
+//  3. Transient I/O errors — retry-with-backoff absorbs low error rates
+//     at a latency premium; saturated rates escalate to degraded
+//     statuses instead of hanging.
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+topk::SearchParams ExactParams() {
+  topk::SearchParams params;
+  params.k = driver::DefaultK();
+  return params;
+}
+
+void RecallVsDeadline(driver::BenchDriver& bench,
+                      std::span<const corpus::Query> queries) {
+  driver::Table table(
+      "Degradation: recall vs deadline",
+      {"variant", "deadline_ms", "recall", "degraded", "mean_ms",
+       "postings_frac"});
+
+  for (const char* name : {"Sparta", "pBMW", "pJASS"}) {
+    const auto algo = algos::MakeAlgorithm(name);
+    const auto params = ExactParams();
+    const auto free_run = bench.MeasureLatency(*algo, queries, params,
+                                               driver::kMachineWorkers);
+    const auto mean_ns =
+        static_cast<exec::VirtualTime>(free_run.latency_ns.Mean());
+
+    // Deadlines as fractions of the unconstrained mean; the last row is
+    // loose enough that no query degrades and recall must match the
+    // unconstrained run.
+    const double fractions[] = {0.125, 0.25, 0.5, 1.0, 8.0};
+    for (const double frac : fractions) {
+      auto p = params;
+      p.deadline = static_cast<exec::VirtualTime>(
+          frac * static_cast<double>(mean_ns));
+      p.deadline = std::max<exec::VirtualTime>(p.deadline, 1);
+      const auto res = bench.MeasureLatency(*algo, queries, p,
+                                            driver::kMachineWorkers);
+      table.AddRow({name, driver::FormatMs(p.deadline),
+                    driver::FormatPct(res.mean_recall),
+                    std::to_string(res.degraded),
+                    driver::FormatF(res.MeanMs(), 2),
+                    driver::FormatPct(res.mean_postings_fraction)});
+    }
+    table.AddRow({name, "none", driver::FormatPct(free_run.mean_recall),
+                  std::to_string(free_run.degraded),
+                  driver::FormatF(free_run.MeanMs(), 2),
+                  driver::FormatPct(free_run.mean_postings_fraction)});
+    std::cerr << "  [degradation] recall-vs-deadline " << name << " done\n";
+  }
+  Emit(table);
+}
+
+void TailLatencyUnderStragglers(driver::BenchDriver& bench,
+                                std::span<const corpus::Query> queries) {
+  driver::Table table(
+      "Degradation: tail latency under stragglers",
+      {"variant", "stall_prob", "mean_ms", "p95_ms", "p99_ms", "faults",
+       "recall"});
+
+  struct Plan {
+    const char* label;
+    double stall_prob;
+  };
+  const Plan plans[] = {{"clean", 0.0}, {"mild", 0.02}, {"harsh", 0.10}};
+
+  for (const char* name : {"Sparta", "pBMW"}) {
+    const auto algo = algos::MakeAlgorithm(name);
+    const auto params = ExactParams();
+    for (const Plan& plan : plans) {
+      auto config = bench.MakeSimConfig(driver::kMachineWorkers);
+      config.faults.seed = 7;
+      config.faults.stall_prob = plan.stall_prob;
+      config.faults.stall_ns = 2 * exec::kMillisecond;
+      const auto res = bench.MeasureLatency(*algo, queries, params, config);
+      table.AddRow({name, plan.label, driver::FormatF(res.MeanMs(), 2),
+                    driver::FormatF(res.P95Ms(), 2),
+                    driver::FormatF(res.P99Ms(), 2),
+                    std::to_string(res.faults_injected),
+                    driver::FormatPct(res.mean_recall)});
+    }
+    std::cerr << "  [degradation] stragglers " << name << " done\n";
+  }
+  Emit(table);
+}
+
+void TransientIoErrors(driver::BenchDriver& bench,
+                       std::span<const corpus::Query> queries) {
+  driver::Table table(
+      "Degradation: transient I/O errors",
+      {"error_prob", "io_retries", "degraded", "mean_ms", "recall"});
+
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  const auto params = ExactParams();
+  for (const double prob : {0.0, 0.001, 0.01}) {
+    auto config = bench.MakeSimConfig(driver::kMachineWorkers);
+    config.faults.seed = 11;
+    config.faults.io_error_prob = prob;
+    config.faults.io_retry_limit = 3;
+    const auto res = bench.MeasureLatency(*algo, queries, params, config);
+    table.AddRow({driver::FormatF(prob, 3),
+                  std::to_string(res.io_retries),
+                  std::to_string(res.degraded),
+                  driver::FormatF(res.MeanMs(), 2),
+                  driver::FormatPct(res.mean_recall)});
+  }
+  std::cerr << "  [degradation] io-errors done\n";
+  Emit(table);
+}
+
+void Run() {
+  const corpus::Dataset& ds = Cw();
+  driver::BenchDriver bench(ds);
+  const auto queries = Take(ds.queries().OfLength(12), 50);
+  RecallVsDeadline(bench, queries);
+  TailLatencyUnderStragglers(bench, queries);
+  TransientIoErrors(bench, queries);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::Run(); }

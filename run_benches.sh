@@ -1,17 +1,71 @@
 #!/bin/bash
 # Runs every benchmark binary, teeing output to bench_output.txt.
+#
+# Fails fast when the build tree is missing or stale, runs every bench
+# even if one fails, and exits non-zero if any did (per-bench exit codes
+# are recorded in the output).
+set -euo pipefail
 cd "$(dirname "$0")"
-set -o pipefail
+
+if [[ ! -d build ]]; then
+  echo "error: no build/ directory — run: cmake -B build -S . && cmake --build build -j" >&2
+  exit 2
+fi
+
+BENCHES=(
+  bench_table2_exact
+  bench_table3_recall
+  bench_table4_throughput
+  bench_fig3_latency
+  bench_fig3_lowrecall
+  bench_fig3_dynamics
+  bench_fig3_parallelism
+  bench_fig4_throughput
+  bench_ablation_sparta
+  bench_extensions
+  bench_adaptive
+  bench_degradation
+)
+
+# Fail fast on missing or stale binaries: every bench must exist and be
+# no older than the newest source file.
+newest_src=$(find src bench -name '*.cpp' -o -name '*.h' | xargs ls -t 2>/dev/null | head -1)
+for b in "${BENCHES[@]}" bench_micro; do
+  bin="build/bench/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: missing benchmark binary $bin — rebuild first" >&2
+    exit 2
+  fi
+  if [[ -n "$newest_src" && "$bin" -ot "$newest_src" ]]; then
+    echo "error: $bin is older than $newest_src — rebuild first" >&2
+    exit 2
+  fi
+done
+
+failed=0
 {
-  for b in build/bench/bench_table2_exact build/bench/bench_table3_recall \
-           build/bench/bench_table4_throughput build/bench/bench_fig3_latency \
-           build/bench/bench_fig3_lowrecall build/bench/bench_fig3_dynamics \
-           build/bench/bench_fig3_parallelism build/bench/bench_fig4_throughput \
-           build/bench/bench_ablation_sparta build/bench/bench_extensions build/bench/bench_adaptive; do
-    echo "===== $b ====="
-    $b || echo "BENCH FAILED: $b"
+  for b in "${BENCHES[@]}"; do
+    bin="build/bench/$b"
+    echo "===== $bin ====="
+    rc=0
+    "$bin" || rc=$?
+    if [[ $rc -ne 0 ]]; then
+      echo "BENCH FAILED: $bin (exit $rc)"
+      failed=1
+    fi
   done
   echo "===== build/bench/bench_micro ====="
-  build/bench/bench_micro --benchmark_min_time=0.2 || echo "BENCH FAILED: micro"
+  rc=0
+  build/bench/bench_micro --benchmark_min_time=0.2 || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "BENCH FAILED: bench_micro (exit $rc)"
+    failed=1
+  fi
+  if [[ $failed -eq 0 ]]; then
+    echo DONE_ALL
+  else
+    echo "DONE_WITH_FAILURES"
+  fi
 } 2>bench_stderr.log | tee bench_output.txt
-echo DONE_ALL >> bench_output.txt
+
+grep -q '^DONE_ALL$' bench_output.txt

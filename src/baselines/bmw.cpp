@@ -66,7 +66,17 @@ void BmwScan(const index::InvertedIndex& idx, std::span<const TermId> terms,
   };
   const std::uint64_t start_positions = advances();
 
+  std::uint32_t since_poll = 0;
   for (;;) {
+    // Anytime poll: check deadline / escalated faults every few pivots so
+    // a stopped scan still leaves a valid (partial) heap behind.
+    if (++since_poll >= 32) {
+      since_poll = 0;
+      if (w.ShouldStop()) {
+        stats.stopped = exec::MergeStopCause(stats.stopped, w.stop_cause());
+        break;
+      }
+    }
     std::sort(order.begin(), order.end(),
               [](const DocOrderCursor* a, const DocOrderCursor* b) {
                 return a->doc() < b->doc();
@@ -195,7 +205,11 @@ class BmwRun final : public topk::QueryRun {
   topk::SearchResult TakeResult() override {
     topk::SearchResult result;
     result.entries = heap_.Extract();
+    result.status = topk::StatusFromStopCause(stats_.stopped);
     result.stats.postings_processed = stats_.postings;
+    for (const TermId t : terms_) {
+      result.stats.postings_total += idx_.Term(t).doc_order.size();
+    }
     result.stats.heap_inserts = stats_.heap_inserts;
     return result;
   }

@@ -36,6 +36,9 @@ struct BmwScanStats {
   std::uint64_t postings = 0;      ///< cursor advances
   std::uint64_t scored = 0;        ///< fully evaluated documents
   std::uint64_t heap_inserts = 0;
+  /// Most severe anytime-stop cause observed across the scans feeding
+  /// these stats (kNone when every scan ran to its pruning bound).
+  exec::StopCause stopped = exec::StopCause::kNone;
 };
 
 /// Scans [range_begin, range_end) and inserts qualifying documents into

@@ -51,12 +51,19 @@ class JassRun final : public topk::QueryRun {
 
   topk::SearchResult TakeResult() override {
     topk::SearchResult result;
+    // Anytime: the finalize sweep ran even on OOM/deadline/fault, so the
+    // heap always holds the best-so-far accumulators.
+    result.entries = heap_.Extract();
     if (oom_.load()) {
-      result.status = topk::Status::kOutOfMemory;
+      result.status = topk::ResultStatus::kOom;
     } else {
-      result.entries = heap_.Extract();
+      result.status = topk::StatusFromStopCause(
+          stop_cause_.load(std::memory_order_relaxed));
     }
     result.stats.postings_processed = postings_.load();
+    for (const TermId t : terms_) {
+      result.stats.postings_total += idx_.Term(t).impact_order.size();
+    }
     result.stats.docmap_peak_entries = accumulators_.PeakSize();
     return result;
   }
@@ -65,6 +72,13 @@ class JassRun final : public topk::QueryRun {
   void ProcessTerm(std::size_t i, WorkerContext& w) {
     if (done_.load(std::memory_order_acquire) ||
         finalize_started_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (w.ShouldStop()) {
+      // Deadline or escalated fault: record why and jump straight to the
+      // finalize sweep so the partial accumulators become a top-k.
+      RecordStop(w.stop_cause());
+      StartFinalize();
       return;
     }
     const auto view = idx_.Term(terms_[i]);
@@ -83,8 +97,10 @@ class JassRun final : public topk::QueryRun {
         const auto res = accumulators_.AddScore(
             posting.doc, static_cast<Score>(posting.score), w);
         if (res.oom) {
+          // Out of budget: stop accumulating but still finalize, so the
+          // caller gets the best-so-far top-k tagged kOom.
           oom_.store(true);
-          done_.store(true, std::memory_order_release);
+          StartFinalize();
           return;
         }
         if (params_.tracer != nullptr && res.doc != nullptr) {
@@ -111,6 +127,15 @@ class JassRun final : public topk::QueryRun {
       return;
     }
     ctx_.Submit([this, i](WorkerContext& w2) { ProcessTerm(i, w2); });
+  }
+
+  void RecordStop(exec::StopCause cause) {
+    exec::StopCause prev = stop_cause_.load(std::memory_order_relaxed);
+    while (exec::MergeStopCause(prev, cause) != prev &&
+           !stop_cause_.compare_exchange_weak(
+               prev, exec::MergeStopCause(prev, cause),
+               std::memory_order_acq_rel)) {
+    }
   }
 
   void StartFinalize() {
@@ -174,6 +199,7 @@ class JassRun final : public topk::QueryRun {
   std::atomic<bool> finalize_started_{false};
   std::atomic<bool> done_{false};
   std::atomic<bool> oom_{false};
+  std::atomic<exec::StopCause> stop_cause_{exec::StopCause::kNone};
 
   std::unordered_map<DocId, Score> trace_best_;
   std::atomic<Score> trace_threshold_{0};

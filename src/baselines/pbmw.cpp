@@ -47,16 +47,27 @@ class PBmwRun final : public topk::QueryRun {
   topk::SearchResult TakeResult() override {
     topk::SearchResult result;
     result.entries = merged_.Extract();
+    exec::StopCause stop = exec::StopCause::kNone;
     for (const auto& s : local_stats_) {
       result.stats.postings_processed += s.postings;
       result.stats.heap_inserts += s.heap_inserts;
+      stop = exec::MergeStopCause(stop, s.stopped);
+    }
+    result.status = topk::StatusFromStopCause(stop);
+    for (const TermId t : terms_) {
+      result.stats.postings_total += idx_.Term(t).doc_order.size();
     }
     return result;
   }
 
  private:
   void RunRange(DocId begin, DocId end, WorkerContext& w) {
-    if (begin < end) {
+    auto& stats = local_stats_[static_cast<std::size_t>(w.worker_id())];
+    if (w.ShouldStop()) {
+      // Anytime: skip this range entirely, but still fall through to the
+      // jobs_left_ decrement so the merge of already-built heaps runs.
+      stats.stopped = exec::MergeStopCause(stats.stopped, w.stop_cause());
+    } else if (begin < end) {
       auto& heap =
           local_heaps_[static_cast<std::size_t>(w.worker_id())];
       BmwScanParams scan;
@@ -65,8 +76,7 @@ class PBmwRun final : public topk::QueryRun {
       scan.range_end = end;
       scan.shared_theta = &shared_theta_;
       scan.tracer = params_.tracer;
-      BmwScan(idx_, terms_, heap, scan, w,
-              local_stats_[static_cast<std::size_t>(w.worker_id())]);
+      BmwScan(idx_, terms_, heap, scan, w, stats);
     }
     if (jobs_left_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last range done: merge the local heaps (lightweight, done as its

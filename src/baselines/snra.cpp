@@ -66,15 +66,18 @@ class SNraRun final : public topk::QueryRun {
 
   topk::SearchResult TakeResult() override {
     topk::SearchResult result;
-    if (oom_.load()) {
-      result.status = topk::Status::kOutOfMemory;
-    } else {
-      result.entries = merged_.Extract();
-    }
+    // Anytime: stopped shards still contributed their partial heaps to
+    // the merge, so the merged top-k is always returned.
+    result.entries = merged_.Extract();
+    exec::StopCause stop = exec::StopCause::kNone;
     for (const auto& o : outputs_) {
       result.stats.postings_processed += o.postings;
+      result.stats.postings_total += o.postings_total;
       result.stats.docmap_peak_entries += o.peak_candidates;
+      stop = exec::MergeStopCause(stop, o.stopped);
     }
+    result.status = oom_.load() ? topk::ResultStatus::kOom
+                                : topk::StatusFromStopCause(stop);
     return result;
   }
 

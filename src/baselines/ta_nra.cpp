@@ -93,9 +93,26 @@ NraShardOutput NraShardScan(const NraShardInput& input, WorkerContext& w) {
     }
   };
 
+  for (const auto& list : input.lists) {
+    out.postings_total += list.postings.size();
+  }
+
   while (!done) {
+    // Anytime poll once per round-robin pass: a stopped shard returns its
+    // current lower-bound heap as the partial top-k.
+    if (w.ShouldStop()) {
+      out.stopped = exec::MergeStopCause(out.stopped, w.stop_cause());
+      break;
+    }
     bool any_progress = false;
     for (std::size_t i = 0; i < m && !done; ++i) {
+      // Segment-boundary poll: virtual time advances within a pass, so a
+      // deadline can fire between two lists of the same round.
+      if (i > 0 && w.ShouldStop()) {
+        out.stopped = exec::MergeStopCause(out.stopped, w.stop_cause());
+        done = true;
+        break;
+      }
       const auto& list = input.lists[i].postings;
       const std::size_t begin = pos[i];
       const std::size_t end =

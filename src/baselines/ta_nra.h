@@ -36,7 +36,11 @@ struct NraShardInput {
 struct NraShardOutput {
   std::vector<topk::ResultEntry> topk;  ///< canonical order, lb scores
   bool oom = false;
+  /// Why the scan stopped early (deadline / escalated fault); kNone when
+  /// it ran to a safe stopping condition.
+  exec::StopCause stopped = exec::StopCause::kNone;
   std::uint64_t postings = 0;
+  std::uint64_t postings_total = 0;  ///< shard-list postings available
   std::uint64_t peak_candidates = 0;
 };
 

@@ -48,18 +48,34 @@ class RaRun final : public topk::QueryRun {
 
   topk::SearchResult TakeResult() override {
     topk::SearchResult result;
+    // Anytime: the heap holds fully-scored documents even after OOM or a
+    // deadline stop, so always return the best-so-far entries.
+    result.entries = heap_.Extract();
     if (oom_.load()) {
-      result.status = topk::Status::kOutOfMemory;
+      result.status = topk::ResultStatus::kOom;
     } else {
-      result.entries = heap_.Extract();
+      result.status = topk::StatusFromStopCause(
+          stop_cause_.load(std::memory_order_relaxed));
     }
     result.stats.postings_processed = postings_.load();
+    for (const TermId t : terms_) {
+      result.stats.postings_total += idx_.Term(t).impact_order.size();
+    }
     result.stats.random_accesses = random_accesses_.load();
     result.stats.docmap_peak_entries = seen_.PeakSize();
     return result;
   }
 
  private:
+  void RecordStop(exec::StopCause cause) {
+    exec::StopCause prev = stop_cause_.load(std::memory_order_relaxed);
+    while (exec::MergeStopCause(prev, cause) != prev &&
+           !stop_cause_.compare_exchange_weak(
+               prev, exec::MergeStopCause(prev, cause),
+               std::memory_order_acq_rel)) {
+    }
+  }
+
   /// Full document score: the traversed posting plus a random-access
   /// lookup per other term (one random SSD page each on a disk-resident
   /// index — pRA's Achilles' heel, §5.3.2).
@@ -86,6 +102,14 @@ class RaRun final : public topk::QueryRun {
 
   void ProcessTerm(std::size_t i, WorkerContext& w) {
     if (done_.load(std::memory_order_acquire)) return;
+    if (w.ShouldStop()) {
+      // Anytime: latch the cause and stop; the heap already holds every
+      // fully-scored document seen so far.
+      RecordStop(w.stop_cause());
+      done_.store(true, std::memory_order_release);
+      w.SharedAccess(&done_, AccessKind::kWrite);
+      return;
+    }
     const auto view = idx_.Term(terms_[i]);
     const auto list = view.impact_order;
     const std::size_t begin = positions_[i];
@@ -166,6 +190,7 @@ class RaRun final : public topk::QueryRun {
   std::vector<std::size_t> positions_;
   std::atomic<bool> done_{false};
   std::atomic<bool> oom_{false};
+  std::atomic<exec::StopCause> stop_cause_{exec::StopCause::kNone};
   std::atomic<std::uint64_t> postings_{0};
   std::atomic<std::uint64_t> random_accesses_{0};
 };

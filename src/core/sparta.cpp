@@ -136,17 +136,27 @@ class SpartaRun final : public topk::QueryRun {
 
   SearchResult TakeResult() override {
     SearchResult result;
+    // Anytime semantics: the heap is harvested on every path — a query
+    // that ran out of time, hit an escalated fault, or OOMed returns its
+    // best-so-far top-k instead of discarding the work.
     if (oom_.load()) {
-      result.status = topk::Status::kOutOfMemory;
+      result.status = topk::ResultStatus::kOom;
     } else {
-      const auto& docs = heap_.docs();
-      result.entries.reserve(docs.size());
-      for (DocType* d : docs) {
-        result.entries.push_back({d->id(), d->SumScores()});
-      }
-      topk::CanonicalizeResult(result.entries);
+      result.status = topk::StatusFromStopCause(
+          stop_cause_.load(std::memory_order_acquire));
     }
+    const auto& docs = heap_.docs();
+    result.entries.reserve(docs.size());
+    for (DocType* d : docs) {
+      result.entries.push_back({d->id(), d->SumScores()});
+    }
+    topk::CanonicalizeResult(result.entries);
     result.stats.postings_processed = postings_.load();
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      total += idx_.Term(terms_[i]).impact_order.size();
+    }
+    result.stats.postings_total = total;
     result.stats.heap_inserts = heap_inserts_.load();
     result.stats.docmap_peak_entries = doc_map_.PeakSize();
     return result;
@@ -200,6 +210,23 @@ class SpartaRun final : public topk::QueryRun {
     SetDone();
   }
 
+  /// Anytime poll point, checked at job boundaries. When the deadline
+  /// has passed or a fault escalated, records the cause and latches the
+  /// done flag so every in-flight job winds down; the current-best heap
+  /// becomes the result.
+  bool PollStop(WorkerContext& w) {
+    if (!w.ShouldStop()) return false;
+    exec::StopCause prev = stop_cause_.load(std::memory_order_relaxed);
+    const exec::StopCause cause = w.stop_cause();
+    while (exec::MergeStopCause(prev, cause) != prev &&
+           !stop_cause_.compare_exchange_weak(
+               prev, exec::MergeStopCause(prev, cause),
+               std::memory_order_acq_rel)) {
+    }
+    SetDone();
+    return true;
+  }
+
   /// UB(D) with unknown-term contributions scaled by the probabilistic
   /// factor (= the paper's safe bound when prob_factor == 1).
   Score ProbUpperBound(const DocType* d) const {
@@ -219,7 +246,7 @@ class SpartaRun final : public topk::QueryRun {
   // --- PROCESSTERM (lines 8-25) ---------------------------------------
 
   void ProcessTerm(std::size_t i, WorkerContext& w) {
-    if (Done(w)) return;
+    if (Done(w) || PollStop(w)) return;
     const auto view = idx_.Term(terms_[i]);
     const auto list = view.impact_order;
 
@@ -294,7 +321,7 @@ class SpartaRun final : public topk::QueryRun {
       ctx_.Submit([this](WorkerContext& cw) { Cleaner(cw); });
     }
 
-    if (!done_.load(std::memory_order_acquire) &&
+    if (!done_.load(std::memory_order_acquire) && !PollStop(w) &&
         positions_[i] < list.size()) {
       ctx_.Submit([this, i](WorkerContext& cw) { ProcessTerm(i, cw); });
     }
@@ -346,7 +373,7 @@ class SpartaRun final : public topk::QueryRun {
   // --- CLEANER (lines 39-48) -------------------------------------------
 
   void Cleaner(WorkerContext& w) {
-    if (Done(w)) return;
+    if (Done(w) || PollStop(w)) return;
 
     if (options_.cleaner_prunes) {
       // Build tmpDocMap: retain heap members and documents whose upper
@@ -487,6 +514,7 @@ class SpartaRun final : public topk::QueryRun {
   std::atomic<bool> cleaner_started_{false};
   std::atomic<bool> done_{false};
   std::atomic<bool> oom_{false};
+  std::atomic<exec::StopCause> stop_cause_{exec::StopCause::kNone};
 
   std::atomic<std::uint64_t> postings_{0};
   std::atomic<std::uint64_t> heap_inserts_{0};

@@ -56,24 +56,45 @@ const topk::ExactTopK& BenchDriver::Oracle(const corpus::Query& query,
 LatencyResult BenchDriver::MeasureLatency(
     const topk::Algorithm& algo, std::span<const corpus::Query> queries,
     const topk::SearchParams& params, int workers, bool measure_recall) {
-  sim::SimExecutor executor(MakeSimConfig(workers));
+  return MeasureLatency(algo, queries, params, MakeSimConfig(workers),
+                        measure_recall);
+}
+
+LatencyResult BenchDriver::MeasureLatency(
+    const topk::Algorithm& algo, std::span<const corpus::Query> queries,
+    const topk::SearchParams& params, const sim::SimConfig& config,
+    bool measure_recall) {
+  sim::SimExecutor executor(config);
   // "Prior to each experiment, we flush the file system's page cache."
   executor.page_cache().Reset();
 
   LatencyResult result;
   double recall_sum = 0.0;
   std::size_t recall_n = 0;
+  double oom_recall_sum = 0.0;
+  double fraction_sum = 0.0;
   for (const auto& query : queries) {
     auto ctx = executor.CreateQuery();
     const auto search =
         algo.Run(dataset_.index(), query, params, *ctx);
     ++result.queries;
     result.postings += search.stats.postings_processed;
-    if (!search.ok()) {
+    result.io_retries += search.stats.io_retries;
+    result.faults_injected += search.stats.faults_injected;
+    if (search.status == topk::ResultStatus::kOom) {
+      // OOM queries are excluded from the latency/recall aggregates (the
+      // paper reports them as N/A), but their achieved recall is kept as
+      // a separate anytime-quality signal.
       ++result.oom;
+      if (measure_recall) {
+        oom_recall_sum +=
+            topk::Recall(Oracle(query, params.k), search.entries);
+      }
       continue;
     }
+    if (search.degraded()) ++result.degraded;
     result.latency_ns.Add(ctx->end_time() - ctx->start_time());
+    fraction_sum += search.stats.PostingsFraction();
     if (measure_recall) {
       const auto& exact = Oracle(query, params.k);
       recall_sum += topk::Recall(exact, search.entries);
@@ -82,6 +103,12 @@ LatencyResult BenchDriver::MeasureLatency(
   }
   result.mean_recall =
       recall_n > 0 ? recall_sum / static_cast<double>(recall_n) : 0.0;
+  result.mean_oom_recall =
+      result.oom > 0 ? oom_recall_sum / static_cast<double>(result.oom)
+                     : 0.0;
+  const std::size_t non_oom = result.queries - result.oom;
+  result.mean_postings_fraction =
+      non_oom > 0 ? fraction_sum / static_cast<double>(non_oom) : 0.0;
   return result;
 }
 
@@ -107,6 +134,9 @@ ThroughputResult BenchDriver::MeasureThroughput(
     InFlight flight;
     flight.query = &queries[next];
     flight.ctx = executor.CreateQueryAt(now);
+    if (params.deadline != exec::kNever) {
+      flight.ctx->set_deadline(now + params.deadline);
+    }
     flight.run = algo.Prepare(dataset_.index(), *flight.query, params,
                               *flight.ctx);
     flight.run->Start();
@@ -123,10 +153,11 @@ ThroughputResult BenchDriver::MeasureThroughput(
   std::size_t recall_n = 0;
   for (auto& flight : flights) {
     const auto search = flight.run->TakeResult();
-    if (!search.ok()) {
+    if (search.status == topk::ResultStatus::kOom) {
       ++result.oom;
       continue;
     }
+    if (search.degraded()) ++result.degraded;
     makespan_end = std::max(makespan_end, flight.ctx->end_time());
     const auto& exact = Oracle(*flight.query, params.k);
     recall_sum += topk::Recall(exact, search.entries);

@@ -28,9 +28,14 @@ namespace sparta::driver {
 struct LatencyResult {
   util::Histogram latency_ns;
   std::size_t queries = 0;
-  std::size_t oom = 0;
-  double mean_recall = 0.0;  ///< over non-OOM queries
+  std::size_t oom = 0;       ///< ResultStatus::kOom
+  std::size_t degraded = 0;  ///< deadline- or fault-degraded (anytime)
+  double mean_recall = 0.0;  ///< over non-OOM queries, degraded included
+  double mean_oom_recall = 0.0;  ///< achieved recall of the kOom queries
   std::uint64_t postings = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t faults_injected = 0;
+  double mean_postings_fraction = 0.0;  ///< over non-OOM queries
 
   double MeanMs() const {
     return latency_ns.empty() ? 0.0 : latency_ns.Mean() / 1e6;
@@ -40,6 +45,11 @@ struct LatencyResult {
                ? 0.0
                : static_cast<double>(latency_ns.Percentile(95)) / 1e6;
   }
+  double P99Ms() const {
+    return latency_ns.empty()
+               ? 0.0
+               : static_cast<double>(latency_ns.Percentile(99)) / 1e6;
+  }
   bool AllOom() const { return queries > 0 && oom == queries; }
 };
 
@@ -47,6 +57,7 @@ struct ThroughputResult {
   double qps = 0.0;
   std::size_t queries = 0;
   std::size_t oom = 0;
+  std::size_t degraded = 0;
   double mean_recall = 0.0;
 };
 
@@ -66,6 +77,15 @@ class BenchDriver {
   LatencyResult MeasureLatency(const topk::Algorithm& algo,
                                std::span<const corpus::Query> queries,
                                const topk::SearchParams& params, int workers,
+                               bool measure_recall = true);
+
+  /// Latency mode on an explicit simulator configuration — the entry
+  /// point for fault-injection experiments: build a config with
+  /// MakeSimConfig() and fill in `config.faults` before calling.
+  LatencyResult MeasureLatency(const topk::Algorithm& algo,
+                               std::span<const corpus::Query> queries,
+                               const topk::SearchParams& params,
+                               const sim::SimConfig& config,
                                bool measure_recall = true);
 
   /// Throughput mode: FCFS admission onto a shared pool of `workers`.

@@ -36,6 +36,34 @@ inline constexpr VirtualTime kMillisecond = 1'000'000;
 
 enum class AccessKind : std::uint8_t { kRead, kWrite };
 
+/// Why a query should wind down early. Ordered by severity so concurrent
+/// observers can merge causes with max().
+enum class StopCause : std::uint8_t {
+  kNone = 0,
+  /// The query's deadline passed; finalize with the best-so-far top-k.
+  kDeadline = 1,
+  /// An injected fault escalated past its retry budget (e.g. a
+  /// persistent I/O error); finalize with the best-so-far top-k.
+  kFault = 2,
+};
+
+/// Merges two stop causes, keeping the more severe one.
+constexpr StopCause MergeStopCause(StopCause a, StopCause b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a
+                                                                      : b;
+}
+
+/// Per-query fault/robustness counters maintained by the executor.
+struct FaultStats {
+  /// Faults injected into this query (stalls, I/O errors/spikes,
+  /// preemptions, budget squeezes).
+  std::uint64_t injected = 0;
+  /// Transient-I/O retry attempts (each priced in virtual time).
+  std::uint64_t io_retries = 0;
+  /// Reads whose retry budget was exhausted, escalating to StopCause::kFault.
+  std::uint64_t io_escalations = 0;
+};
+
 /// Handle passed to every job invocation; identifies the executing worker
 /// and carries the cost-model hooks.
 class WorkerContext {
@@ -103,6 +131,19 @@ class WorkerContext {
   /// docMap freeze; see DESIGN.md §6). No cost; ignored outside
   /// race-check runs.
   virtual void AnnotateAcquire(const void* /*token*/) {}
+
+  /// The query's absolute deadline on this executor's clock; kNever when
+  /// none was set.
+  virtual VirtualTime deadline() const { return kNever; }
+
+  /// Anytime poll point: true once the query should stop expanding work
+  /// and finalize with its best-so-far result (deadline passed, or an
+  /// injected fault escalated). Algorithms check this at job/segment
+  /// boundaries; it must stay cheap enough to call there.
+  virtual bool ShouldStop() const { return false; }
+
+  /// Why ShouldStop() returned true (kNone while it is false).
+  virtual StopCause stop_cause() const { return StopCause::kNone; }
 };
 
 /// A mutual-exclusion lock priced by the executor (real std::mutex on
@@ -156,6 +197,19 @@ class QueryContext {
 
   /// Completion time of the query's last job (valid after drain).
   virtual VirtualTime end_time() const = 0;
+
+  /// Sets the query's absolute deadline (on this executor's clock, so
+  /// callers typically pass start_time() + budget). Workers observe it
+  /// through WorkerContext::ShouldStop(); the executor never cancels
+  /// jobs itself — algorithms wind down cooperatively at poll points.
+  virtual void set_deadline(VirtualTime /*absolute*/) {}
+
+  /// The configured deadline; kNever when none was set.
+  virtual VirtualTime deadline() const { return kNever; }
+
+  /// Fault/retry counters accumulated for this query (all-zero on
+  /// executors without fault injection).
+  virtual FaultStats fault_stats() const { return {}; }
 
   /// Marks [addr, addr+bytes) as an intentional benign race for the race
   /// detector: deliberate lock-free accesses to atomics (the paper's

@@ -12,14 +12,16 @@ using Clock = std::chrono::steady_clock;
 
 class ThreadedQuery;
 
-/// Per-worker context: real clock, no-op cost hooks, shared memory meter.
+/// Per-worker context: real clock, no-op cost hooks, shared memory meter,
+/// deadline polls against the shared per-query deadline.
 class ThreadedWorker final : public WorkerContext {
  public:
   ThreadedWorker(int id, Clock::time_point epoch,
                  std::atomic<std::int64_t>* mem_used,
-                 std::int64_t mem_budget)
+                 std::int64_t mem_budget,
+                 const std::atomic<VirtualTime>* deadline)
       : id_(id), epoch_(epoch), mem_used_(mem_used),
-        mem_budget_(mem_budget) {}
+        mem_budget_(mem_budget), deadline_(deadline) {}
 
   int worker_id() const override { return id_; }
 
@@ -44,11 +46,22 @@ class ThreadedWorker final : public WorkerContext {
     return used <= mem_budget_;
   }
 
+  VirtualTime deadline() const override {
+    return deadline_->load(std::memory_order_relaxed);
+  }
+
+  bool ShouldStop() const override { return Now() >= deadline(); }
+
+  StopCause stop_cause() const override {
+    return ShouldStop() ? StopCause::kDeadline : StopCause::kNone;
+  }
+
  private:
   int id_;
   Clock::time_point epoch_;
   std::atomic<std::int64_t>* mem_used_;
   std::int64_t mem_budget_;
+  const std::atomic<VirtualTime>* deadline_;
 };
 
 /// CtxLock over std::mutex.
@@ -80,7 +93,7 @@ class ThreadedQuery final : public QueryContext {
     for (int w = 0; w < options_.num_workers; ++w) {
       workers.emplace_back([this, w] {
         ThreadedWorker ctx(w, epoch_, &mem_used_,
-                           options_.memory_budget_bytes);
+                           options_.memory_budget_bytes, &deadline_);
         while (auto job = queue_.Pop()) {
           (*job)(ctx);
           queue_.JobDone();
@@ -96,11 +109,19 @@ class ThreadedQuery final : public QueryContext {
   VirtualTime start_time() const override { return 0; }
   VirtualTime end_time() const override { return end_time_; }
 
+  void set_deadline(VirtualTime absolute) override {
+    deadline_.store(absolute, std::memory_order_relaxed);
+  }
+  VirtualTime deadline() const override {
+    return deadline_.load(std::memory_order_relaxed);
+  }
+
  private:
   ThreadedExecutor::Options options_;
   Clock::time_point epoch_;
   JobQueue queue_;
   std::atomic<std::int64_t> mem_used_{0};
+  std::atomic<VirtualTime> deadline_{kNever};
   VirtualTime end_time_ = 0;
 };
 

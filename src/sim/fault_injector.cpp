@@ -1,0 +1,48 @@
+#include "sim/fault_injector.h"
+
+namespace sparta::sim {
+
+using exec::VirtualTime;
+
+VirtualTime FaultInjector::OnJobDispatch(int worker, VirtualTime now) {
+  if (!Draw(config_.stall_prob)) return 0;
+  // Uniform in [stall/2, 3*stall/2): stragglers vary, but stay the same
+  // order of magnitude so tail-latency curves are interpretable.
+  const auto base = static_cast<std::uint64_t>(config_.stall_ns);
+  const VirtualTime stall = static_cast<VirtualTime>(
+      base / 2 + rng_.Below(base > 1 ? base : 1));
+  events_.push_back({Kind::kStall, worker, now, stall});
+  return stall;
+}
+
+VirtualTime FaultInjector::OnSsdRead(int worker, VirtualTime now) {
+  if (!Draw(config_.io_spike_prob)) return 0;
+  events_.push_back({Kind::kIoSpike, worker, now, config_.io_spike_ns});
+  return config_.io_spike_ns;
+}
+
+int FaultInjector::IoFailures() {
+  int failures = 0;
+  while (failures <= config_.io_retry_limit && Draw(config_.io_error_prob)) {
+    ++failures;
+  }
+  return failures;
+}
+
+void FaultInjector::LogIoError(int worker, VirtualTime now,
+                               VirtualTime extra_cost) {
+  events_.push_back({Kind::kIoError, worker, now, extra_cost});
+}
+
+VirtualTime FaultInjector::OnLockRelease(int worker, VirtualTime now) {
+  if (!Draw(config_.lock_preempt_prob)) return 0;
+  events_.push_back(
+      {Kind::kLockPreempt, worker, now, config_.lock_preempt_ns});
+  return config_.lock_preempt_ns;
+}
+
+void FaultInjector::LogMemSqueeze(int worker, VirtualTime now) {
+  events_.push_back({Kind::kMemSqueeze, worker, now, 0});
+}
+
+}  // namespace sparta::sim

@@ -1,0 +1,138 @@
+// Deterministic fault injection for the simulated machine.
+//
+// A seeded fault plan perturbs the discrete-event executor the way a
+// flaky production box perturbs a real one: worker stalls (stragglers,
+// charged as virtual-time freezes at job dispatch), SSD read-latency
+// spikes and transient read errors (retried with exponential backoff,
+// priced in virtual time, escalating to StopCause::kFault once the
+// retry budget is exhausted), lock-holder preemption (the release is
+// delayed, so waiters stall), and mid-query memory-budget squeezes
+// (ChargeMemory starts failing partway through a query).
+//
+// Determinism: all draws come from one util::Rng consumed in the
+// executor's (deterministic) event order, so the same SimConfig — seed
+// included — produces a bit-identical fault log, virtual-time trace,
+// statuses, and result sets. That makes fault runs CI-gateable exactly
+// like the race detector (DESIGN.md §7). With a default FaultConfig the
+// injector is not even constructed and every fault path compiles down
+// to a null-pointer check, preserving pre-fault-layer traces bit for
+// bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/context.h"
+#include "util/rng.h"
+
+namespace sparta::sim {
+
+struct FaultConfig {
+  /// Seed of the fault plan. Two runs with the same config replay the
+  /// same faults at the same virtual times.
+  std::uint64_t seed = 1;
+
+  // --- worker stalls (stragglers) ---
+  /// Probability that a job dispatch freezes its worker first (an OS
+  /// preemption / frequency dip / noisy neighbor).
+  double stall_prob = 0.0;
+  /// Stall length drawn uniformly from [stall_ns/2, 3*stall_ns/2).
+  exec::VirtualTime stall_ns = 2 * exec::kMillisecond;
+
+  // --- storage faults ---
+  /// Probability that an SSD page read takes a latency spike on top of
+  /// its device cost (GC pause / queueing, Lin et al. 2019).
+  double io_spike_prob = 0.0;
+  exec::VirtualTime io_spike_ns = 400'000;  // 0.4 ms
+  /// Probability that an SSD page read fails transiently. Each failed
+  /// attempt re-pays the device cost plus an exponentially growing
+  /// backoff; after io_retry_limit failed attempts the read escalates
+  /// to StopCause::kFault instead of blocking forever.
+  double io_error_prob = 0.0;
+  int io_retry_limit = 3;
+  exec::VirtualTime io_retry_backoff_ns = 20'000;  // doubles per attempt
+
+  // --- lock-holder preemption ---
+  /// Probability that a lock holder is preempted just before release,
+  /// extending the hold (and every waiter's stall) by lock_preempt_ns.
+  double lock_preempt_prob = 0.0;
+  exec::VirtualTime lock_preempt_ns = 100'000;  // 0.1 ms
+
+  // --- memory-budget squeeze ---
+  /// If set (!= kNever): once a query has been running this long, its
+  /// memory budget is multiplied by mem_squeeze_factor (a co-tenant
+  /// ballooning mid-query). Queries over the squeezed budget take the
+  /// kOom path — with anytime semantics, returning their partial top-k.
+  exec::VirtualTime mem_squeeze_after = exec::kNever;
+  double mem_squeeze_factor = 1.0;
+
+  /// True when any fault source is active; a config with all sources
+  /// off never constructs an injector, keeping fault-free runs
+  /// bit-identical to pre-fault-layer builds.
+  bool enabled() const {
+    return stall_prob > 0.0 || io_spike_prob > 0.0 || io_error_prob > 0.0 ||
+           lock_preempt_prob > 0.0 || mem_squeeze_after != exec::kNever;
+  }
+};
+
+class FaultInjector {
+ public:
+  enum class Kind : std::uint8_t {
+    kStall,
+    kIoSpike,
+    kIoError,
+    kLockPreempt,
+    kMemSqueeze,
+  };
+
+  /// One injected fault, in injection order. `cost` is the virtual time
+  /// charged (for kIoError: per-read total of retries + backoff; for
+  /// kMemSqueeze: 0).
+  struct Event {
+    Kind kind;
+    int worker;
+    exec::VirtualTime at;
+    exec::VirtualTime cost;
+
+    friend bool operator==(const Event&, const Event&) = default;
+  };
+
+  explicit FaultInjector(const FaultConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Straggler probe at job dispatch. Returns the stall to charge
+  /// (0 = none).
+  exec::VirtualTime OnJobDispatch(int worker, exec::VirtualTime now);
+
+  /// Latency-spike probe for one SSD page read (cache misses only).
+  exec::VirtualTime OnSsdRead(int worker, exec::VirtualTime now);
+
+  /// Transient-error probe for one SSD page read: the number of
+  /// consecutive failed attempts, capped at io_retry_limit + 1 (a value
+  /// above io_retry_limit means the read escalates). `extra_cost` is
+  /// logged for the event; the caller computes and charges it.
+  int IoFailures();
+  void LogIoError(int worker, exec::VirtualTime now,
+                  exec::VirtualTime extra_cost);
+
+  /// Lock-holder-preemption probe at lock release. Returns the extra
+  /// hold time to charge (0 = none).
+  exec::VirtualTime OnLockRelease(int worker, exec::VirtualTime now);
+
+  /// Records a memory-budget squeeze taking effect on a query.
+  void LogMemSqueeze(int worker, exec::VirtualTime now);
+
+  const FaultConfig& config() const { return config_; }
+  const std::vector<Event>& events() const { return events_; }
+  std::uint64_t injected() const { return events_.size(); }
+
+ private:
+  /// One deterministic Bernoulli draw.
+  bool Draw(double p) { return p > 0.0 && rng_.NextDouble() < p; }
+
+  FaultConfig config_;
+  util::Rng rng_;
+  std::vector<Event> events_;
+};
+
+}  // namespace sparta::sim

@@ -14,45 +14,13 @@ struct SimExecutor::SimQueryState {
   VirtualTime end = 0;
   std::int64_t mem_used = 0;
   std::int64_t mem_budget = 0;
+  VirtualTime deadline = exec::kNever;
+  /// Escalated-fault latch (set when a read exhausts its retry budget).
+  exec::StopCause stop = exec::StopCause::kNone;
+  /// One-shot: the mid-query memory-budget squeeze already applied.
+  bool squeezed = false;
+  exec::FaultStats faults;
 };
-
-namespace {
-
-/// Lock model: the lock is "free at" some virtual time; an acquirer whose
-/// clock is behind that time stalls until the holder's release, then pays
-/// a handoff penalty (line transfer). Uncontended acquisition costs a
-/// CAS.
-class SimLock final : public exec::CtxLock {
- public:
-  SimLock(const CostModel& costs, RaceDetector* detector)
-      : costs_(costs), detector_(detector) {}
-
-  void Lock(exec::WorkerContext& worker) override {
-    const VirtualTime now = worker.Now();
-    if (now < free_at_) {
-      worker.Charge((free_at_ - now) + costs_.lock_handoff);
-    } else {
-      worker.Charge(costs_.lock_uncontended);
-    }
-    if (detector_ != nullptr) {
-      detector_->OnLockAcquire(worker.worker_id(), this);
-    }
-  }
-
-  void Unlock(exec::WorkerContext& worker) override {
-    free_at_ = worker.Now();
-    if (detector_ != nullptr) {
-      detector_->OnLockRelease(worker.worker_id(), this);
-    }
-  }
-
- private:
-  const CostModel& costs_;
-  RaceDetector* detector_;
-  VirtualTime free_at_ = 0;
-};
-
-}  // namespace
 
 /// WorkerContext bound to one virtual worker for the duration of a job.
 class SimWorkerContext final : public exec::WorkerContext {
@@ -102,23 +70,29 @@ class SimWorkerContext final : public exec::WorkerContext {
 
   void IoSequential(std::uint64_t offset, std::uint64_t length) override {
     if (length == 0) return;
-    const auto& costs = exec_.config_.costs;
     const std::uint64_t first = offset / kPageBytes;
     const std::uint64_t last = (offset + length - 1) / kPageBytes;
     for (std::uint64_t page = first; page <= last; ++page) {
-      Charge(exec_.page_cache_.Touch(page) ? costs.page_cache_hit
-                                           : costs.ssd_seq_page);
+      ReadPage(page, /*random=*/false);
     }
   }
 
   void IoRandom(std::uint64_t offset) override {
-    const auto& costs = exec_.config_.costs;
-    Charge(exec_.page_cache_.Touch(offset / kPageBytes)
-               ? costs.page_cache_hit
-               : costs.ssd_random_page);
+    ReadPage(offset / kPageBytes, /*random=*/true);
   }
 
   bool ChargeMemory(std::int64_t delta_bytes) override {
+    auto* injector = exec_.fault_injector_.get();
+    if (injector != nullptr && !query_.squeezed &&
+        injector->config().mem_squeeze_after != exec::kNever &&
+        Now() >= query_.start + injector->config().mem_squeeze_after) {
+      query_.squeezed = true;
+      query_.mem_budget = static_cast<std::int64_t>(
+          static_cast<double>(query_.mem_budget) *
+          injector->config().mem_squeeze_factor);
+      injector->LogMemSqueeze(worker_, Now());
+      ++query_.faults.injected;
+    }
     query_.mem_used += delta_bytes;
     return query_.mem_used <= query_.mem_budget;
   }
@@ -136,11 +110,121 @@ class SimWorkerContext final : public exec::WorkerContext {
     }
   }
 
+  VirtualTime deadline() const override { return query_.deadline; }
+
+  bool ShouldStop() const override {
+    return query_.stop != exec::StopCause::kNone ||
+           Now() >= query_.deadline;
+  }
+
+  exec::StopCause stop_cause() const override {
+    if (query_.stop != exec::StopCause::kNone) return query_.stop;
+    return Now() >= query_.deadline ? exec::StopCause::kDeadline
+                                    : exec::StopCause::kNone;
+  }
+
+  /// Counts one injected fault against this worker's query (used by the
+  /// lock model, which only sees the WorkerContext).
+  void CountInjectedFault() { ++query_.faults.injected; }
+
  private:
+  /// One page read through the cache/SSD/fault model. Cache hits are
+  /// never perturbed (the fault plan models the device, not DRAM);
+  /// misses may take a latency spike and/or transient errors. Each
+  /// failed attempt re-pays the device cost plus exponential backoff;
+  /// exhausting the retry budget latches StopCause::kFault on the query
+  /// so algorithms wind down at their next poll point.
+  void ReadPage(std::uint64_t page, bool random) {
+    const auto& costs = exec_.config_.costs;
+    if (exec_.page_cache_.Touch(page)) {
+      Charge(costs.page_cache_hit);
+      return;
+    }
+    const VirtualTime device =
+        random ? costs.ssd_random_page : costs.ssd_seq_page;
+    Charge(device);
+    auto* injector = exec_.fault_injector_.get();
+    if (injector == nullptr) return;
+    const VirtualTime spike = injector->OnSsdRead(worker_, Now());
+    if (spike > 0) {
+      Charge(spike);
+      ++query_.faults.injected;
+    }
+    const int failures = injector->IoFailures();
+    if (failures == 0) return;
+    const auto& fc = injector->config();
+    VirtualTime extra = 0;
+    const int retries = failures > fc.io_retry_limit ? fc.io_retry_limit
+                                                     : failures;
+    for (int attempt = 0; attempt < retries; ++attempt) {
+      extra += device + (fc.io_retry_backoff_ns << attempt);
+    }
+    Charge(extra);
+    query_.faults.io_retries += static_cast<std::uint64_t>(retries);
+    ++query_.faults.injected;
+    injector->LogIoError(worker_, Now(), extra);
+    if (failures > fc.io_retry_limit) {
+      // Retry budget exhausted: escalate instead of blocking forever.
+      ++query_.faults.io_escalations;
+      query_.stop = exec::MergeStopCause(query_.stop,
+                                         exec::StopCause::kFault);
+    }
+  }
+
   SimExecutor& exec_;
   int worker_;
   SimExecutor::SimQueryState& query_;
 };
+
+namespace {
+
+/// Lock model: the lock is "free at" some virtual time; an acquirer whose
+/// clock is behind that time stalls until the holder's release, then pays
+/// a handoff penalty (line transfer). Uncontended acquisition costs a
+/// CAS. Under fault injection the holder may be preempted just before
+/// release, extending the hold.
+class SimLock final : public exec::CtxLock {
+ public:
+  SimLock(const CostModel& costs, RaceDetector* detector,
+          FaultInjector* injector)
+      : costs_(costs), detector_(detector), injector_(injector) {}
+
+  void Lock(exec::WorkerContext& worker) override {
+    const VirtualTime now = worker.Now();
+    if (now < free_at_) {
+      worker.Charge((free_at_ - now) + costs_.lock_handoff);
+    } else {
+      worker.Charge(costs_.lock_uncontended);
+    }
+    if (detector_ != nullptr) {
+      detector_->OnLockAcquire(worker.worker_id(), this);
+    }
+  }
+
+  void Unlock(exec::WorkerContext& worker) override {
+    if (injector_ != nullptr) {
+      const VirtualTime preempt =
+          injector_->OnLockRelease(worker.worker_id(), worker.Now());
+      if (preempt > 0) {
+        // Locks created by SimQuery::MakeLock only ever see sim workers.
+        worker.Charge(preempt);
+        static_cast<SimWorkerContext&>(worker).CountInjectedFault();
+      }
+    }
+    free_at_ = worker.Now();
+    if (detector_ != nullptr) {
+      detector_->OnLockRelease(worker.worker_id(), this);
+    }
+  }
+
+ private:
+  const CostModel& costs_;
+  RaceDetector* detector_;
+  FaultInjector* injector_;
+  VirtualTime free_at_ = 0;
+};
+
+}  // namespace
 
 /// QueryContext facade handed to algorithms.
 class SimQuery final : public exec::QueryContext {
@@ -157,13 +241,20 @@ class SimQuery final : public exec::QueryContext {
 
   std::unique_ptr<exec::CtxLock> MakeLock() override {
     return std::make_unique<SimLock>(exec_.config().costs,
-                                     exec_.race_detector_.get());
+                                     exec_.race_detector_.get(),
+                                     exec_.fault_injector_.get());
   }
 
   void RunToCompletion() override { exec_.Drain(); }
 
   VirtualTime start_time() const override { return state_->start; }
   VirtualTime end_time() const override { return state_->end; }
+
+  void set_deadline(VirtualTime absolute) override {
+    state_->deadline = absolute;
+  }
+  VirtualTime deadline() const override { return state_->deadline; }
+  exec::FaultStats fault_stats() const override { return state_->faults; }
 
   void AnnotateBenignRace(const void* addr, std::size_t bytes,
                           const char* label) override {
@@ -186,6 +277,9 @@ SimExecutor::SimExecutor(SimConfig config)
   if (config_.race_check) {
     race_detector_ = std::make_unique<RaceDetector>(config_.num_workers);
     coherence_.set_race_detector(race_detector_.get());
+  }
+  if (config_.faults.enabled()) {
+    fault_injector_ = std::make_unique<FaultInjector>(config_.faults);
   }
 }
 
@@ -253,6 +347,15 @@ void SimExecutor::Drain(
     const int w = PickWorker();
     auto& clock = clocks_[static_cast<std::size_t>(w)];
     clock = std::max(clock, job.ready) + config_.costs.job_dispatch;
+    if (fault_injector_ != nullptr) {
+      // Straggler injection: the worker freezes (in virtual time) before
+      // picking up the job, exactly like an OS preemption would stall it.
+      const exec::VirtualTime stall = fault_injector_->OnJobDispatch(w, clock);
+      if (stall > 0) {
+        clock += stall;
+        ++job.query->faults.injected;
+      }
+    }
 
     current_worker_ = w;
     if (race_detector_ != nullptr) race_detector_->OnJobStart(w, job.fork);

@@ -33,6 +33,7 @@
 #include "exec/context.h"
 #include "sim/coherence.h"
 #include "sim/cost_model.h"
+#include "sim/fault_injector.h"
 #include "sim/page_cache.h"
 
 namespace sparta::sim {
@@ -54,6 +55,11 @@ struct SimConfig {
   /// detector-off runs up to the heap-layout jitter noted above (the
   /// detector's shadow allocations shift coherence-line addresses).
   bool race_check = false;
+  /// Seeded deterministic fault plan (see sim/fault_injector.h). The
+  /// default plan is inert: no injector is constructed and every fault
+  /// hook reduces to a null check, so fault-free runs stay bit-identical
+  /// to builds without the fault layer.
+  FaultConfig faults;
 };
 
 class SimExecutor {
@@ -95,6 +101,10 @@ class SimExecutor {
   /// Non-null iff `SimConfig::race_check` is set.
   RaceDetector* race_detector() const { return race_detector_.get(); }
 
+  /// Non-null iff `SimConfig::faults.enabled()`. Exposes the fault log
+  /// for determinism tests and the degradation benchmark.
+  FaultInjector* fault_injector() const { return fault_injector_.get(); }
+
  private:
   friend class SimQuery;
   friend class SimWorkerContext;
@@ -126,6 +136,7 @@ class SimExecutor {
   CoherenceModel coherence_;
   PageCache page_cache_;
   std::unique_ptr<RaceDetector> race_detector_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 
   /// Worker currently executing a job (-1 outside Drain); used to stamp
   /// readiness of jobs submitted from inside jobs.

@@ -7,10 +7,16 @@ SearchResult Algorithm::Run(const index::InvertedIndex& idx,
                             const SearchParams& params,
                             exec::QueryContext& ctx) const {
   auto run = Prepare(idx, std::move(terms), params, ctx);
+  if (params.deadline != exec::kNever) {
+    ctx.set_deadline(ctx.start_time() + params.deadline);
+  }
   run->Start();
   ctx.RunToCompletion();
   SearchResult result = run->TakeResult();
   result.stats.latency = ctx.end_time() - ctx.start_time();
+  const exec::FaultStats faults = ctx.fault_stats();
+  result.stats.io_retries = faults.io_retries;
+  result.stats.faults_injected = faults.injected;
   return result;
 }
 

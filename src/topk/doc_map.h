@@ -86,8 +86,9 @@ class ConcurrentDocMap {
   struct GetOrCreateResult {
     DocType* doc = nullptr;
     bool inserted = false;
-    /// True if the memory budget was exceeded; the caller must abort the
-    /// query with Status::kOutOfMemory.
+    /// True if the memory budget was exceeded; the caller must stop
+    /// accumulating and finalize a best-so-far result tagged
+    /// ResultStatus::kOom.
     bool oom = false;
   };
 

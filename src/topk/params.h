@@ -29,6 +29,12 @@ struct SearchParams {
   /// stop once the heap has not changed for `delta` ns. kNever = exact.
   exec::VirtualTime delta = exec::kNever;
 
+  /// Per-query latency budget relative to query start (kNever = none).
+  /// When it expires the algorithms finalize with their best-so-far
+  /// top-k and tag the result ResultStatus::kDeadlineDegraded. Applied
+  /// to the execution context by Algorithm::Run and the bench driver.
+  exec::VirtualTime deadline = exec::kNever;
+
   /// pBMW threshold-relaxation factor (f >= 1; 1 = exact), §5.2.1.
   double f = 1.0;
 

@@ -18,29 +18,77 @@ struct ResultEntry {
   friend bool operator==(const ResultEntry&, const ResultEntry&) = default;
 };
 
-enum class Status : std::uint8_t {
-  kOk,
+/// How a query ended. Every status except kComplete still carries the
+/// best-so-far top-k (anytime semantics): entries are never discarded,
+/// only honestly labeled.
+enum class ResultStatus : std::uint8_t {
+  /// Ran to its normal stopping condition.
+  kComplete,
+  /// The deadline fired first; entries are the heap at that moment.
+  kDeadlineDegraded,
+  /// An injected fault escalated past its retry budget; entries are the
+  /// heap at the escalation point.
+  kPartialAfterFault,
   /// The query exceeded its modeled memory budget — the reproduction of
-  /// the paper's "N/A: crashed due to lack of memory" outcomes.
-  kOutOfMemory,
+  /// the paper's "N/A: crashed due to lack of memory" outcomes, now with
+  /// the partial top-k retained so achieved recall is still reportable.
+  kOom,
 };
+
+/// Legacy alias from when the enum had only kOk/kOutOfMemory.
+using Status = ResultStatus;
+
+/// Maps a worker-side stop cause to the result status it implies.
+constexpr ResultStatus StatusFromStopCause(exec::StopCause cause) {
+  switch (cause) {
+    case exec::StopCause::kDeadline:
+      return ResultStatus::kDeadlineDegraded;
+    case exec::StopCause::kFault:
+      return ResultStatus::kPartialAfterFault;
+    case exec::StopCause::kNone:
+      break;
+  }
+  return ResultStatus::kComplete;
+}
 
 struct QueryStats {
   std::uint64_t postings_processed = 0;
+  /// Total postings of the query's terms — the denominator of
+  /// PostingsFraction(). 0 when the algorithm does not report it.
+  std::uint64_t postings_total = 0;
   std::uint64_t heap_inserts = 0;
   std::uint64_t docmap_peak_entries = 0;
   std::uint64_t random_accesses = 0;
+  /// Transient-I/O retries charged to this query (fault injection).
+  std::uint64_t io_retries = 0;
+  /// Faults injected into this query (fault injection).
+  std::uint64_t faults_injected = 0;
   /// Filled by the driver: end_time - start_time on the executor clock.
   exec::VirtualTime latency = 0;
+
+  /// Fraction of the query terms' postings consumed before termination,
+  /// in [0, 1]; 0 when postings_total is unknown.
+  double PostingsFraction() const {
+    if (postings_total == 0) return 0.0;
+    const double f = static_cast<double>(postings_processed) /
+                     static_cast<double>(postings_total);
+    return f > 1.0 ? 1.0 : f;
+  }
 };
 
 struct SearchResult {
-  Status status = Status::kOk;
+  ResultStatus status = ResultStatus::kComplete;
   /// Sorted by decreasing score, ties by increasing doc.
   std::vector<ResultEntry> entries;
   QueryStats stats;
 
-  bool ok() const { return status == Status::kOk; }
+  /// Ran to the algorithm's own stopping condition.
+  bool ok() const { return status == ResultStatus::kComplete; }
+  /// Ended early but with a usable best-so-far result (anytime path).
+  bool degraded() const {
+    return status == ResultStatus::kDeadlineDegraded ||
+           status == ResultStatus::kPartialAfterFault;
+  }
 };
 
 /// Sorts entries into canonical order (decreasing score, increasing doc).

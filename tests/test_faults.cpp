@@ -1,0 +1,357 @@
+// Fault injection and anytime execution (DESIGN.md §7).
+//
+// Three invariants are gated here:
+//  1. No-regression: the default (inert) fault config leaves the
+//     simulator bit-identical to a config-free run — no injector is
+//     constructed, results and latencies match exactly.
+//  2. Determinism: a seeded fault plan replays bit-identically — same
+//     fault log (kind/worker/cost sequence), same statuses, same result
+//     sets; virtual latencies within the simulator's documented jitter.
+//  3. Graceful degradation: deadlines and escalated faults yield
+//     best-so-far top-k sets with honest statuses, recall monotone in
+//     the deadline, and the loosest deadline matching the unconstrained
+//     run.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sim/fault_injector.h"
+#include "test_helpers.h"
+
+namespace sparta::test {
+namespace {
+
+using sim::FaultConfig;
+using sim::FaultInjector;
+using sim::SimConfig;
+
+/// Runs one query on a fresh simulated machine and returns
+/// (result, latency, fault event log).
+struct FaultRun {
+  topk::SearchResult result;
+  exec::VirtualTime latency = 0;
+  std::vector<FaultInjector::Event> events;
+};
+
+FaultRun RunWithFaults(const index::InvertedIndex& idx,
+                       std::string_view algo_name,
+                       const std::vector<TermId>& terms,
+                       const topk::SearchParams& params,
+                       const SimConfig& config) {
+  const auto algo = algos::MakeAlgorithm(algo_name);
+  SPARTA_CHECK(algo != nullptr);
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  FaultRun run;
+  run.result = algo->Run(idx, terms, params, *ctx);
+  run.latency = ctx->end_time() - ctx->start_time();
+  if (executor.fault_injector() != nullptr) {
+    run.events = executor.fault_injector()->events();
+  }
+  return run;
+}
+
+/// The clock-free projection of a fault log: injection order, kind,
+/// worker, and charged cost are bit-stable; `at` carries the simulator's
+/// documented O(0.1%) virtual-time jitter and is compared separately.
+std::vector<std::tuple<FaultInjector::Kind, int, exec::VirtualTime>>
+EventShape(const std::vector<FaultInjector::Event>& events) {
+  std::vector<std::tuple<FaultInjector::Kind, int, exec::VirtualTime>> out;
+  out.reserve(events.size());
+  for (const auto& e : events) out.emplace_back(e.kind, e.worker, e.cost);
+  return out;
+}
+
+TEST(FaultInjectionTest, DefaultConfigIsInert) {
+  // The no-regression guard: a default FaultConfig and an explicitly
+  // zeroed one construct no injector and reproduce the exact same trace.
+  const auto idx = MakeTinyIndex(2500, 301);
+  const auto terms = PickQueryTerms(idx, 7, 2);
+  topk::SearchParams params;
+  params.k = 25;
+
+  SimConfig plain;
+  plain.num_workers = 6;
+  EXPECT_FALSE(plain.faults.enabled());
+
+  SimConfig zeroed = plain;
+  zeroed.faults.seed = 999;  // seed alone must not matter
+  zeroed.faults.stall_prob = 0.0;
+  zeroed.faults.io_spike_prob = 0.0;
+  zeroed.faults.io_error_prob = 0.0;
+  zeroed.faults.lock_preempt_prob = 0.0;
+  EXPECT_FALSE(zeroed.faults.enabled());
+
+  for (const char* algo : {"Sparta", "pBMW", "pJASS", "pRA", "sNRA"}) {
+    const auto a = RunWithFaults(idx, algo, terms, params, plain);
+    const auto b = RunWithFaults(idx, algo, terms, params, zeroed);
+    EXPECT_TRUE(a.events.empty()) << algo;
+    EXPECT_TRUE(b.events.empty()) << algo;
+    EXPECT_EQ(a.result.status, topk::ResultStatus::kComplete) << algo;
+    EXPECT_EQ(a.result.entries, b.result.entries) << algo;
+    EXPECT_EQ(a.result.stats.postings_processed,
+              b.result.stats.postings_processed)
+        << algo;
+    EXPECT_EQ(a.result.stats.faults_injected, 0u) << algo;
+    EXPECT_EQ(a.result.stats.io_retries, 0u) << algo;
+    // Same process, same machine model: latency within the simulator's
+    // heap-alignment jitter (see DeterminismTest).
+    EXPECT_NEAR(static_cast<double>(a.latency),
+                static_cast<double>(b.latency),
+                0.005 * static_cast<double>(a.latency))
+        << algo;
+  }
+}
+
+class SeededReplayTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SeededReplayTest, SameSeedReplaysBitIdentically) {
+  const auto idx = MakeTinyIndex(2500, 307);
+  const auto terms = PickQueryTerms(idx, 7, 5);
+  topk::SearchParams params;
+  params.k = 25;
+
+  SimConfig config;
+  config.num_workers = 6;
+  config.faults.seed = 42;
+  config.faults.stall_prob = 0.10;
+  config.faults.stall_ns = 200'000;
+  config.faults.io_spike_prob = 0.20;
+  config.faults.io_error_prob = 0.05;
+  config.faults.lock_preempt_prob = 0.25;
+
+  const auto a = RunWithFaults(idx, GetParam(), terms, params, config);
+  const auto b = RunWithFaults(idx, GetParam(), terms, params, config);
+  EXPECT_FALSE(a.events.empty());
+  EXPECT_EQ(EventShape(a.events), EventShape(b.events));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(a.events[i].at),
+                static_cast<double>(b.events[i].at),
+                0.005 * static_cast<double>(a.events[i].at) + 1.0)
+        << "event " << i;
+  }
+  EXPECT_EQ(a.result.status, b.result.status);
+  EXPECT_EQ(a.result.entries, b.result.entries);
+  EXPECT_EQ(a.result.stats.postings_processed,
+            b.result.stats.postings_processed);
+  EXPECT_EQ(a.result.stats.faults_injected, b.result.stats.faults_injected);
+  EXPECT_EQ(a.result.stats.io_retries, b.result.stats.io_retries);
+  EXPECT_NEAR(static_cast<double>(a.latency), static_cast<double>(b.latency),
+              0.005 * static_cast<double>(a.latency));
+
+  // A different seed draws a different plan.
+  SimConfig reseeded = config;
+  reseeded.faults.seed = 43;
+  const auto c = RunWithFaults(idx, GetParam(), terms, params, reseeded);
+  EXPECT_NE(EventShape(a.events), EventShape(c.events));
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SeededReplayTest,
+                         ::testing::Values("Sparta", "pNRA", "sNRA", "pRA",
+                                           "pBMW", "pJASS"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+class DeadlineTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeadlineTest, RecallMonotoneInDeadlineAndLoosestMatchesUnconstrained) {
+  const auto idx = MakeTinyIndex(4000, 311);
+  const auto terms = PickQueryTerms(idx, 8, 3);
+  topk::SearchParams params;
+  params.k = 30;
+  params.seg_size = 128;  // small segments = dense anytime poll points
+  const auto oracle = topk::ComputeExactTopK(idx, terms, params.k);
+
+  SimConfig config;
+  config.num_workers = 6;
+  const auto free_run = RunWithFaults(idx, GetParam(), terms, params, config);
+  ASSERT_EQ(free_run.result.status, topk::ResultStatus::kComplete);
+  const double free_recall = topk::Recall(oracle, free_run.result.entries);
+  const exec::VirtualTime full = free_run.latency;
+  ASSERT_GT(full, 0);
+
+  // The simulator is deterministic and a longer deadline strictly
+  // extends the execution prefix of a shorter one, so both consumed
+  // work and recall are monotone in the deadline.
+  double prev_recall = -1.0;
+  std::uint64_t prev_postings = 0;
+  bool saw_degraded = false;
+  for (const exec::VirtualTime deadline :
+       {full / 16, full / 4, full / 2, 4 * full}) {
+    topk::SearchParams p = params;
+    p.deadline = deadline;
+    const auto run = RunWithFaults(idx, GetParam(), terms, p, config);
+    const double recall = topk::Recall(oracle, run.result.entries);
+    EXPECT_GE(recall, prev_recall) << "deadline " << deadline;
+    EXPECT_GE(run.result.stats.postings_processed, prev_postings)
+        << "deadline " << deadline;
+    prev_recall = recall;
+    prev_postings = run.result.stats.postings_processed;
+    if (run.result.status == topk::ResultStatus::kDeadlineDegraded) {
+      saw_degraded = true;
+      EXPECT_TRUE(run.result.degraded());
+    } else {
+      EXPECT_EQ(run.result.status, topk::ResultStatus::kComplete);
+    }
+  }
+  // A deadline past the unconstrained latency never fires: same recall,
+  // complete status.
+  topk::SearchParams loose = params;
+  loose.deadline = 4 * full;
+  const auto loose_run = RunWithFaults(idx, GetParam(), terms, loose, config);
+  EXPECT_EQ(loose_run.result.status, topk::ResultStatus::kComplete);
+  EXPECT_EQ(loose_run.result.entries, free_run.result.entries);
+  EXPECT_DOUBLE_EQ(topk::Recall(oracle, loose_run.result.entries),
+                   free_recall);
+  // And a tight one does fire for every algorithm under test.
+  EXPECT_TRUE(saw_degraded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, DeadlineTest,
+                         ::testing::Values("Sparta", "pNRA", "sNRA", "pRA",
+                                           "pBMW", "pJASS"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(FaultInjectionTest, TransientIoErrorsRetryThenComplete) {
+  // Low error rate, generous retry budget: the query pays for retries in
+  // virtual time but still finishes exactly.
+  const auto idx = MakeTinyIndex(2500, 313);
+  const auto terms = PickQueryTerms(idx, 7, 6);
+  topk::SearchParams params;
+  params.k = 25;
+
+  SimConfig config;
+  config.num_workers = 6;
+  config.faults.io_error_prob = 0.3;
+  config.faults.io_retry_limit = 8;  // escalation needs 9 straight fails
+
+  const auto faulty = RunWithFaults(idx, "Sparta", terms, params, config);
+  EXPECT_EQ(faulty.result.status, topk::ResultStatus::kComplete);
+  EXPECT_TRUE(IsExactTopK(idx, terms, params.k, faulty.result));
+  EXPECT_GT(faulty.result.stats.io_retries, 0u);
+
+  SimConfig clean;
+  clean.num_workers = 6;
+  const auto baseline = RunWithFaults(idx, "Sparta", terms, params, clean);
+  EXPECT_GT(faulty.latency, baseline.latency)
+      << "retry+backoff must be priced in virtual time";
+}
+
+TEST(FaultInjectionTest, ExhaustedRetryBudgetEscalatesToFaultStatus) {
+  // Every read fails: the very first SSD read exhausts its retry budget
+  // and the query degrades to kPartialAfterFault instead of spinning.
+  const auto idx = MakeTinyIndex(2500, 313);
+  const auto terms = PickQueryTerms(idx, 7, 6);
+  topk::SearchParams params;
+  params.k = 25;
+
+  SimConfig config;
+  config.num_workers = 6;
+  config.faults.io_error_prob = 1.0;
+  config.faults.io_retry_limit = 2;
+
+  for (const char* algo : {"Sparta", "pJASS", "pRA", "sNRA"}) {
+    const auto run = RunWithFaults(idx, algo, terms, params, config);
+    EXPECT_EQ(run.result.status, topk::ResultStatus::kPartialAfterFault)
+        << algo;
+    EXPECT_TRUE(run.result.degraded()) << algo;
+    EXPECT_GT(run.result.stats.io_retries, 0u) << algo;
+    EXPECT_GT(run.result.stats.faults_injected, 0u) << algo;
+  }
+}
+
+TEST(FaultInjectionTest, StragglerStallsStretchLatencyNotResults) {
+  const auto idx = MakeTinyIndex(2500, 317);
+  const auto terms = PickQueryTerms(idx, 7, 1);
+  topk::SearchParams params;
+  params.k = 25;
+
+  SimConfig clean;
+  clean.num_workers = 6;
+  const auto baseline = RunWithFaults(idx, "Sparta", terms, params, clean);
+  ASSERT_EQ(baseline.result.status, topk::ResultStatus::kComplete);
+
+  SimConfig config = clean;
+  config.faults.stall_prob = 0.5;
+  config.faults.stall_ns = 2 * exec::kMillisecond;
+  const auto straggled = RunWithFaults(idx, "Sparta", terms, params, config);
+  EXPECT_EQ(straggled.result.status, topk::ResultStatus::kComplete);
+  // No deadline: stalls stretch the critical path but change no work.
+  EXPECT_EQ(straggled.result.entries, baseline.result.entries);
+  EXPECT_GT(straggled.result.stats.faults_injected, 0u);
+  EXPECT_GT(straggled.latency, baseline.latency);
+}
+
+TEST(FaultInjectionTest, LockHolderPreemptionKeepsResultsExact) {
+  const auto idx = MakeTinyIndex(2500, 331);
+  const auto terms = PickQueryTerms(idx, 7, 4);
+  topk::SearchParams params;
+  params.k = 25;
+
+  SimConfig config;
+  config.num_workers = 6;
+  config.faults.lock_preempt_prob = 1.0;
+
+  // pRA and pJASS lock on every heap insert / stripe access, so a 100%
+  // preemption rate exercises the delayed-release path heavily.
+  for (const char* algo : {"pRA", "pJASS"}) {
+    const auto run = RunWithFaults(idx, algo, terms, params, config);
+    EXPECT_EQ(run.result.status, topk::ResultStatus::kComplete) << algo;
+    EXPECT_TRUE(IsExactTopK(idx, terms, params.k, run.result)) << algo;
+    EXPECT_GT(run.result.stats.faults_injected, 0u) << algo;
+  }
+}
+
+TEST(FaultInjectionTest, MidQueryMemorySqueezeReturnsPartialTopK) {
+  const auto idx = MakeTinyIndex(4000, 337);
+  const auto terms = PickQueryTerms(idx, 8, 2);
+  topk::SearchParams params;
+  params.k = 20;
+
+  // Find the unconstrained latency, then squeeze the budget to zero
+  // partway through: the map-heavy pJASS must OOM yet still return its
+  // accumulated best-so-far top-k.
+  SimConfig clean;
+  clean.num_workers = 4;
+  const auto free_run = RunWithFaults(idx, "pJASS", terms, params, clean);
+  ASSERT_EQ(free_run.result.status, topk::ResultStatus::kComplete);
+
+  SimConfig config = clean;
+  config.faults.mem_squeeze_after = free_run.latency / 3;
+  config.faults.mem_squeeze_factor = 0.0;
+  const auto squeezed = RunWithFaults(idx, "pJASS", terms, params, config);
+  EXPECT_EQ(squeezed.result.status, topk::ResultStatus::kOom);
+  EXPECT_FALSE(squeezed.result.entries.empty());
+  EXPECT_GT(squeezed.result.stats.faults_injected, 0u);
+  EXPECT_LT(squeezed.result.stats.postings_processed,
+            free_run.result.stats.postings_processed);
+}
+
+TEST(FaultInjectionTest, PostingsFractionReflectsDeadlineTightness) {
+  const auto idx = MakeTinyIndex(4000, 347);
+  const auto terms = PickQueryTerms(idx, 8, 7);
+  topk::SearchParams params;
+  params.k = 20;
+
+  SimConfig config;
+  config.num_workers = 6;
+  const auto free_run = RunWithFaults(idx, "Sparta", terms, params, config);
+  ASSERT_EQ(free_run.result.status, topk::ResultStatus::kComplete);
+  ASSERT_GT(free_run.result.stats.postings_total, 0u);
+
+  topk::SearchParams tight = params;
+  tight.deadline = free_run.latency / 8;
+  const auto run = RunWithFaults(idx, "Sparta", terms, tight, config);
+  EXPECT_LE(run.result.stats.PostingsFraction(),
+            free_run.result.stats.PostingsFraction());
+  EXPECT_GE(run.result.stats.PostingsFraction(), 0.0);
+  EXPECT_LE(run.result.stats.PostingsFraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace sparta::test

@@ -73,6 +73,20 @@ inline topk::SearchResult RunOnSim(const index::InvertedIndex& idx,
   return algo->Run(idx, terms, params, *ctx);
 }
 
+/// Runs `algo_name` on a simulated machine with an explicit config —
+/// the entry point for fault-injection and deadline tests.
+inline topk::SearchResult RunOnSim(const index::InvertedIndex& idx,
+                                   std::string_view algo_name,
+                                   const std::vector<TermId>& terms,
+                                   const topk::SearchParams& params,
+                                   const sim::SimConfig& config) {
+  const auto algo = algos::MakeAlgorithm(algo_name);
+  SPARTA_CHECK(algo != nullptr);
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  return algo->Run(idx, terms, params, *ctx);
+}
+
 /// Runs `algo_name` on real threads.
 inline topk::SearchResult RunOnThreads(const index::InvertedIndex& idx,
                                        std::string_view algo_name,

@@ -65,6 +65,46 @@ TEST(ThreadedStressTest, ManyQueriesBackToBack) {
   }
 }
 
+class ThreadedDeadlineTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(ThreadedDeadlineTest, ExpiredDeadlineCancelsWithHonestStatus) {
+  // A deadline of 0 ns relative to query start is expired by the time
+  // any job polls, so every algorithm must take the anytime path and
+  // return kDeadlineDegraded — deterministically, even on real threads.
+  const auto idx = MakeTinyIndex(2000, 103);
+  const auto terms = PickQueryTerms(idx, 6, 2);
+  topk::SearchParams params;
+  params.k = 20;
+  params.deadline = 0;
+  for (int round = 0; round < 3; ++round) {
+    const auto result = RunOnThreads(idx, GetParam(), terms, params, 8);
+    EXPECT_EQ(result.status, topk::ResultStatus::kDeadlineDegraded)
+        << "round " << round;
+    EXPECT_TRUE(result.degraded()) << "round " << round;
+  }
+}
+
+TEST_P(ThreadedDeadlineTest, GenerousDeadlineStaysCompleteAndExact) {
+  const auto idx = MakeTinyIndex(2000, 103);
+  const auto terms = PickQueryTerms(idx, 6, 2);
+  topk::SearchParams params;
+  params.k = 20;
+  params.deadline = 60'000 * exec::kMillisecond;  // never fires here
+  const auto result = RunOnThreads(idx, GetParam(), terms, params, 8);
+  EXPECT_EQ(result.status, topk::ResultStatus::kComplete);
+  if (std::string_view(GetParam()) != "sNRA") {
+    EXPECT_TRUE(IsExactTopK(idx, terms, params.k, result));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ThreadedDeadlineTest,
+                         ::testing::Values("Sparta", "pNRA", "sNRA", "pRA",
+                                           "pJASS", "pBMW"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
 TEST(ThreadedStressTest, SNraShardsAreIndependent) {
   const auto idx = MakeTinyIndex(2400, 101);
   const auto terms = PickQueryTerms(idx, 6, 5);
