@@ -1,0 +1,272 @@
+// Overload experiment: open-loop serving past the saturation knee
+// (DESIGN.md §8, EXPERIMENTS.md "overload").
+//
+// Closed-loop throughput mode cannot ask the question that decides
+// whether a serving tier survives Monday morning: what happens when
+// queries arrive *faster* than the machine drains them. Here arrivals
+// come from a seeded open-loop schedule at multiples of each
+// algorithm's measured closed-loop capacity, and two policies face the
+// same schedules:
+//   * protected   — bounded admission queue, estimated-wait shedding,
+//     and the adaptive degradation ladder (deadlines and approximation
+//     knobs tighten with queue occupancy);
+//   * unprotected — unbounded queue, no shedding, no deadlines: every
+//     query is answered exactly, eventually, which past the knee means
+//     queue waits that grow without bound.
+//
+// Tables:
+//  1. Goodput vs offered load — the headline curve: past the knee the
+//     protected policy holds goodput near its peak while the
+//     unprotected p99 end-to-end latency explodes.
+//  2. Bursty arrivals — the same offered load delivered in MMPP squalls
+//     instead of a smooth Poisson stream.
+//  3. Circuit breaker under a fault storm — an I/O error storm trips
+//     the breaker, which sheds arrivals for the cooloff instead of
+//     serving broken answers, then closes again via half-open probes.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+topk::SearchParams ExactParams() {
+  topk::SearchParams params;
+  params.k = driver::DefaultK();
+  return params;
+}
+
+std::size_t ArrivalCount() { return driver::QuickMode() ? 60 : 1800; }
+
+/// Serving configuration for one run. `protect` selects the full
+/// defense stack; the unprotected variant answers everything exactly
+/// (effectively unbounded queue, no shedding, no deadlines).
+serve::ServeConfig MakeServeConfig(bool protect, double rate_qps,
+                                   std::uint64_t seed,
+                                   exec::VirtualTime slo,
+                                   double capacity_qps,
+                                   exec::VirtualTime service_ns,
+                                   serve::ArrivalKind kind) {
+  serve::ServeConfig sc;
+  sc.arrivals.kind = kind;
+  sc.arrivals.seed = seed;
+  sc.arrivals.rate_qps = rate_qps;
+  sc.arrivals.count = ArrivalCount();
+  sc.slo = slo;
+  if (protect) {
+    sc.admission.queue_capacity = 64;
+    sc.admission.shed_predicted_wait = true;
+    // Seed the drain-rate and service estimates from the measured
+    // capacity and the lightly-loaded calibration run, so early
+    // arrivals are judged against reality; the EWMAs take over as
+    // completions come in.
+    sc.admission.initial_departure_gap_ns = static_cast<exec::VirtualTime>(
+        1e9 / std::max(capacity_qps, 1.0));
+    sc.admission.initial_service_ns =
+        std::max<exec::VirtualTime>(service_ns, 1);
+    // Aim admissions at 75% of the SLO: the queue then settles where
+    // completions land comfortably inside the SLO instead of straddling
+    // the boundary (straddlers are served work that misses goodput).
+    sc.admission.slo_headroom = 0.75;
+    sc.ladder = serve::DegradationLadder::Default();
+    sc.deadline_from_slo = true;
+  } else {
+    sc.admission.queue_capacity = 1u << 20;
+    sc.admission.shed_predicted_wait = false;
+    sc.deadline_from_slo = false;
+  }
+  return sc;
+}
+
+double PctMs(const util::Histogram& h, double pct) {
+  return h.empty() ? 0.0 : static_cast<double>(h.Percentile(pct)) / 1e6;
+}
+
+/// Per-algorithm load calibration shared by the tables.
+struct Calibration {
+  double capacity_qps = 0.0;         ///< warm steady-state drain rate
+  exec::VirtualTime slo = 0;         ///< self-calibrated end-to-end SLO
+  exec::VirtualTime service_ns = 0;  ///< lightly-loaded mean service
+};
+
+/// Measures warm steady-state capacity and picks the SLO. The open-loop
+/// runs cycle through `queries` repeatedly with a warm page cache, so
+/// capacity is measured the same way: a closed loop over the cycled
+/// sequence with the first full cycle as warmup.
+Calibration Calibrate(driver::BenchDriver& bench,
+                      const topk::Algorithm& algo,
+                      std::span<const corpus::Query> queries,
+                      const topk::SearchParams& params) {
+  Calibration cal;
+  std::vector<corpus::Query> cycle;
+  const std::size_t total =
+      std::max<std::size_t>(3 * queries.size(), 30);
+  cycle.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    cycle.push_back(queries[i % queries.size()]);
+  }
+  cal.capacity_qps = bench
+                         .MeasureThroughput(algo, cycle, params,
+                                            driver::kMachineWorkers,
+                                            queries.size())
+                         .qps;
+
+  // Lightly-loaded open-loop pass (half capacity, no protection): its
+  // p95 end-to-end latency defines the SLO (x3 headroom) and its mean
+  // seeds the admission controller's service estimate.
+  auto sc = MakeServeConfig(false, 0.5 * cal.capacity_qps, 17,
+                            exec::kNever, cal.capacity_qps, 0,
+                            serve::ArrivalKind::kPoisson);
+  sc.arrivals.count = std::min<std::size_t>(sc.arrivals.count, 150);
+  const auto calib = bench.MeasureOpenLoop(algo, queries, params, sc,
+                                           driver::kMachineWorkers, false);
+  cal.slo = std::max<exec::VirtualTime>(
+      3 * calib.serve.e2e_ns.Percentile(95), exec::kMillisecond);
+  cal.service_ns = calib.serve.e2e_ns.empty()
+                       ? exec::kMillisecond
+                       : static_cast<exec::VirtualTime>(
+                             calib.serve.e2e_ns.Mean());
+  return cal;
+}
+
+void GoodputVsLoad(driver::BenchDriver& bench,
+                   std::span<const corpus::Query> queries) {
+  driver::Table table(
+      "Overload: goodput vs offered load",
+      {"variant", "policy", "load_x", "offered_qps", "capacity_qps",
+       "admitted", "shed", "rejected", "completed", "degraded",
+       "goodput_qps", "p50_ms", "p99_ms", "max_queue", "recall"});
+
+  const double loads[] = {0.5, 1.0, 1.2, 1.5, 2.0};
+  for (const char* name : {"Sparta", "pBMW", "pJASS"}) {
+    const auto algo = algos::MakeAlgorithm(name);
+    const auto params = ExactParams();
+    const Calibration cal = Calibrate(bench, *algo, queries, params);
+
+    for (const double load : loads) {
+      for (const bool protect : {true, false}) {
+        const auto res = bench.MeasureOpenLoop(
+            *algo, queries, params,
+            MakeServeConfig(protect, load * cal.capacity_qps, 17, cal.slo,
+                            cal.capacity_qps, cal.service_ns,
+                            serve::ArrivalKind::kPoisson),
+            driver::kMachineWorkers);
+        const auto& s = res.serve;
+        table.AddRow({name, protect ? "protected" : "unprotected",
+                      driver::FormatF(load, 1),
+                      driver::FormatF(load * cal.capacity_qps, 0),
+                      driver::FormatF(cal.capacity_qps, 0),
+                      std::to_string(s.admitted), std::to_string(s.shed),
+                      std::to_string(s.rejected_full),
+                      std::to_string(s.completed),
+                      std::to_string(s.degraded),
+                      driver::FormatF(s.GoodputQps(), 0),
+                      driver::FormatF(PctMs(s.e2e_ns, 50), 2),
+                      driver::FormatF(PctMs(s.e2e_ns, 99), 2),
+                      std::to_string(s.max_queue_depth),
+                      driver::FormatPct(res.mean_recall)});
+      }
+      std::cerr << "  [overload] " << name << " load " << load << "x done\n";
+    }
+  }
+  Emit(table);
+}
+
+void BurstyArrivals(driver::BenchDriver& bench,
+                    std::span<const corpus::Query> queries) {
+  driver::Table table(
+      "Overload: bursty arrivals",
+      {"variant", "arrivals", "offered_qps", "admitted", "shed",
+       "goodput_qps", "p99_ms", "max_queue", "recall"});
+
+  for (const char* name : {"Sparta", "pBMW"}) {
+    const auto algo = algos::MakeAlgorithm(name);
+    const auto params = ExactParams();
+    const Calibration cal = Calibrate(bench, *algo, queries, params);
+
+    // Same long-run offered load (1.2x capacity), smooth vs in squalls:
+    // the MMPP bursts push the queue much deeper, so the ladder and
+    // shedding work harder for the same mean load.
+    for (const auto kind :
+         {serve::ArrivalKind::kPoisson, serve::ArrivalKind::kBursty}) {
+      const auto res = bench.MeasureOpenLoop(
+          *algo, queries, params,
+          MakeServeConfig(true, 1.2 * cal.capacity_qps, 23, cal.slo,
+                          cal.capacity_qps, cal.service_ns, kind),
+          driver::kMachineWorkers);
+      const auto& s = res.serve;
+      table.AddRow(
+          {name, kind == serve::ArrivalKind::kPoisson ? "poisson" : "bursty",
+           driver::FormatF(1.2 * cal.capacity_qps, 0),
+           std::to_string(s.admitted),
+           std::to_string(s.shed), driver::FormatF(s.GoodputQps(), 0),
+           driver::FormatF(PctMs(s.e2e_ns, 99), 2),
+           std::to_string(s.max_queue_depth),
+           driver::FormatPct(res.mean_recall)});
+    }
+    std::cerr << "  [overload] bursty " << name << " done\n";
+  }
+  Emit(table);
+}
+
+void BreakerUnderFaultStorm(driver::BenchDriver& bench,
+                            std::span<const corpus::Query> queries) {
+  driver::Table table(
+      "Overload: circuit breaker under fault storm",
+      {"variant", "breaker", "faulted", "dropped", "trips", "probes",
+       "goodput_qps", "recall"});
+
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  const auto params = ExactParams();
+  const Calibration cal = Calibrate(bench, *algo, queries, params);
+
+  // A persistent I/O error storm: retries saturate and queries come
+  // back kPartialAfterFault. Without the breaker every arrival is
+  // served into the storm; with it, failure bursts open the circuit and
+  // arrivals are dropped at the door until half-open probes succeed.
+  // I/O faults fire on SSD reads only, so the page cache is pinned tiny
+  // to keep the storm active in steady state (a warm cache would
+  // otherwise absorb all reads after the first pass).
+  for (const bool breaker : {false, true}) {
+    auto sc = MakeServeConfig(true, 0.8 * cal.capacity_qps, 29, cal.slo,
+                              cal.capacity_qps, cal.service_ns,
+                              serve::ArrivalKind::kPoisson);
+    sc.breaker_enabled = breaker;
+    sc.breaker.failure_threshold = 6;
+    sc.breaker.window_ns = 20 * exec::kMillisecond;
+    sc.breaker.open_ns = 10 * exec::kMillisecond;
+    auto config = bench.MakeSimConfig(driver::kMachineWorkers);
+    config.page_cache_bytes = 64 * 1024;
+    config.faults.seed = 31;
+    config.faults.io_error_prob = 0.6;
+    config.faults.io_retry_limit = 1;
+    const auto res =
+        bench.MeasureOpenLoop(*algo, queries, params, sc, config);
+    const auto& s = res.serve;
+    table.AddRow({"Sparta", breaker ? "on" : "off",
+                  std::to_string(s.faulted),
+                  std::to_string(s.breaker_dropped),
+                  std::to_string(s.breaker_trips),
+                  std::to_string(s.breaker_probes),
+                  driver::FormatF(s.GoodputQps(), 0),
+                  driver::FormatPct(res.mean_recall)});
+  }
+  std::cerr << "  [overload] breaker done\n";
+  Emit(table);
+}
+
+void Run() {
+  const corpus::Dataset& ds = Cw();
+  driver::BenchDriver bench(ds);
+  const auto queries = Take(ds.queries().OfLength(12), 50);
+  GoodputVsLoad(bench, queries);
+  BurstyArrivals(bench, queries);
+  BreakerUnderFaultStorm(bench, queries);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::Run(); }

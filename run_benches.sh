@@ -25,6 +25,7 @@ BENCHES=(
   bench_extensions
   bench_adaptive
   bench_degradation
+  bench_overload
 )
 
 # Fail fast on missing or stale binaries: every bench must exist and be

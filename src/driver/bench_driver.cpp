@@ -1,6 +1,8 @@
 #include "driver/bench_driver.h"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 namespace sparta::driver {
 
@@ -114,7 +116,13 @@ LatencyResult BenchDriver::MeasureLatency(
 
 ThroughputResult BenchDriver::MeasureThroughput(
     const topk::Algorithm& algo, std::span<const corpus::Query> queries,
-    const topk::SearchParams& params, int workers) {
+    const topk::SearchParams& params, int workers, std::size_t warmup) {
+  // A zero-query call has no makespan to divide by (and silently
+  // reporting 0 qps has hidden miswired benches before); at least one
+  // query must remain after the warmup prefix.
+  SPARTA_CHECK_MSG(!queries.empty(),
+                   "MeasureThroughput needs a non-empty query span");
+  warmup = std::min(warmup, queries.size() - 1);
   sim::SimExecutor executor(MakeSimConfig(workers));
   executor.page_cache().Reset();
 
@@ -123,16 +131,44 @@ ThroughputResult BenchDriver::MeasureThroughput(
     std::unique_ptr<topk::QueryRun> run;
     const corpus::Query* query = nullptr;
   };
+
+  // Warmup drain: the first `warmup` queries run to completion and warm
+  // the page cache, but their drain is excluded from the measured
+  // makespan (the post-drain barrier restarts the clock baseline).
+  if (warmup > 0) {
+    std::vector<InFlight> discard;
+    discard.reserve(warmup);
+    std::size_t next_warm = 0;
+    executor.Drain([&](exec::VirtualTime now) -> bool {
+      if (next_warm >= warmup) return false;
+      InFlight flight;
+      flight.query = &queries[next_warm];
+      flight.ctx = executor.CreateQueryAt(now);
+      if (params.deadline != exec::kNever) {
+        flight.ctx->set_deadline(now + params.deadline);
+      }
+      flight.run = algo.Prepare(dataset_.index(), *flight.query, params,
+                                *flight.ctx);
+      flight.run->Start();
+      discard.push_back(std::move(flight));
+      ++next_warm;
+      return next_warm < warmup;
+    });
+    for (auto& flight : discard) (void)flight.run->TakeResult();
+    executor.SyncBarrier();
+  }
+  const std::span<const corpus::Query> measured = queries.subspan(warmup);
+
   std::vector<InFlight> flights;
-  flights.reserve(queries.size());
+  flights.reserve(measured.size());
 
   std::size_t next = 0;
   exec::VirtualTime first_admit = 0;
   const auto admit = [&](exec::VirtualTime now) -> bool {
-    if (next >= queries.size()) return false;
+    if (next >= measured.size()) return false;
     if (next == 0) first_admit = now;
     InFlight flight;
-    flight.query = &queries[next];
+    flight.query = &measured[next];
     flight.ctx = executor.CreateQueryAt(now);
     if (params.deadline != exec::kNever) {
       flight.ctx->set_deadline(now + params.deadline);
@@ -142,9 +178,11 @@ ThroughputResult BenchDriver::MeasureThroughput(
     flight.run->Start();
     flights.push_back(std::move(flight));
     ++next;
-    return next < queries.size();
+    return next < measured.size();
   };
   executor.Drain(admit);
+  SPARTA_CHECK_MSG(!flights.empty(),
+                   "MeasureThroughput admitted zero queries");
 
   ThroughputResult result;
   result.queries = flights.size();
@@ -171,6 +209,48 @@ ThroughputResult BenchDriver::MeasureThroughput(
                    : 0.0;
   result.mean_recall =
       recall_n > 0 ? recall_sum / static_cast<double>(recall_n) : 0.0;
+  return result;
+}
+
+OpenLoopResult BenchDriver::MeasureOpenLoop(
+    const topk::Algorithm& algo, std::span<const corpus::Query> queries,
+    const topk::SearchParams& params,
+    const serve::ServeConfig& serve_config, int workers,
+    bool measure_recall) {
+  return MeasureOpenLoop(algo, queries, params, serve_config,
+                         MakeSimConfig(workers), measure_recall);
+}
+
+OpenLoopResult BenchDriver::MeasureOpenLoop(
+    const topk::Algorithm& algo, std::span<const corpus::Query> queries,
+    const topk::SearchParams& params,
+    const serve::ServeConfig& serve_config, const sim::SimConfig& config,
+    bool measure_recall) {
+  SPARTA_CHECK_MSG(!queries.empty(),
+                   "MeasureOpenLoop needs a non-empty query span");
+  sim::SimExecutor executor(config);
+  executor.page_cache().Reset();
+
+  serve::Server server(dataset_.index(), algo, serve_config);
+  OpenLoopResult result;
+  result.serve = server.ServeOnSim(executor, queries, params);
+
+  if (measure_recall) {
+    double recall_sum = 0.0;
+    std::size_t recall_n = 0;
+    for (const serve::ServedQuery& q : result.serve.queries) {
+      if (q.outcome != topk::AdmissionOutcome::kAdmitted ||
+          q.completion < 0 ||
+          q.result.status == topk::ResultStatus::kOom) {
+        continue;
+      }
+      recall_sum += topk::Recall(Oracle(queries[q.query_index], params.k),
+                                 q.result.entries);
+      ++recall_n;
+    }
+    result.mean_recall =
+        recall_n > 0 ? recall_sum / static_cast<double>(recall_n) : 0.0;
+  }
   return result;
 }
 

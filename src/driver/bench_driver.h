@@ -17,6 +17,7 @@
 #include <span>
 
 #include "corpus/datasets.h"
+#include "serve/server.h"
 #include "sim/sim_executor.h"
 #include "topk/algorithm.h"
 #include "topk/oracle.h"
@@ -61,6 +62,14 @@ struct ThroughputResult {
   double mean_recall = 0.0;
 };
 
+struct OpenLoopResult {
+  /// Full per-query and aggregate serving record (see serve/server.h).
+  serve::ServeResult serve;
+  /// Mean recall over completed non-OOM queries (degraded included) —
+  /// the quality the ladder actually delivered under load.
+  double mean_recall = 0.0;
+};
+
 class BenchDriver {
  public:
   explicit BenchDriver(const corpus::Dataset& dataset);
@@ -89,10 +98,35 @@ class BenchDriver {
                                bool measure_recall = true);
 
   /// Throughput mode: FCFS admission onto a shared pool of `workers`.
+  /// `queries` must be non-empty. The first `warmup` queries (capped at
+  /// queries.size() - 1) are run and drained before measurement starts —
+  /// they warm the page cache but are excluded from the makespan and
+  /// from every reported aggregate.
   ThroughputResult MeasureThroughput(const topk::Algorithm& algo,
                                      std::span<const corpus::Query> queries,
                                      const topk::SearchParams& params,
-                                     int workers);
+                                     int workers, std::size_t warmup = 0);
+
+  /// Open-loop serving mode: arrivals come on `serve_config.arrivals`'s
+  /// own schedule regardless of machine state, pass through admission
+  /// control / the degradation ladder / the circuit breaker, and queue
+  /// wait counts toward every query's end-to-end latency. This is the
+  /// only mode that can push the machine past saturation.
+  OpenLoopResult MeasureOpenLoop(const topk::Algorithm& algo,
+                                 std::span<const corpus::Query> queries,
+                                 const topk::SearchParams& params,
+                                 const serve::ServeConfig& serve_config,
+                                 int workers, bool measure_recall = true);
+
+  /// Open-loop mode on an explicit simulator configuration — fill in
+  /// `config.faults` to serve through a fault storm (the circuit-breaker
+  /// experiments).
+  OpenLoopResult MeasureOpenLoop(const topk::Algorithm& algo,
+                                 std::span<const corpus::Query> queries,
+                                 const topk::SearchParams& params,
+                                 const serve::ServeConfig& serve_config,
+                                 const sim::SimConfig& config,
+                                 bool measure_recall = true);
 
   /// Ground truth for (query, k), cached across calls.
   const topk::ExactTopK& Oracle(const corpus::Query& query, int k);

@@ -144,6 +144,13 @@ class WorkerContext {
 
   /// Why ShouldStop() returned true (kNone while it is false).
   virtual StopCause stop_cause() const { return StopCause::kNone; }
+
+  /// Machine-level queue pressure: jobs queued on the executor divided
+  /// by its worker count (0 = idle machine, 1 = one queued job per
+  /// worker, >1 = backlog). The serving layer samples this to drive its
+  /// degradation ladder; algorithms themselves keep adapting only
+  /// through the deadline/ShouldStop hooks above.
+  virtual double QueuePressure() const { return 0.0; }
 };
 
 /// A mutual-exclusion lock priced by the executor (real std::mutex on
@@ -210,6 +217,14 @@ class QueryContext {
   /// Fault/retry counters accumulated for this query (all-zero on
   /// executors without fault injection).
   virtual FaultStats fault_stats() const { return {}; }
+
+  /// Jobs of this query still queued or running. Once a started query
+  /// reaches zero it can never rise again (only running jobs submit
+  /// successors), so `Start()`ed queries with zero outstanding jobs have
+  /// completed — this is how the serving layer harvests finished queries
+  /// while the shared machine keeps draining. Executors that do not
+  /// track per-query jobs return 0.
+  virtual std::size_t outstanding_jobs() const { return 0; }
 
   /// Marks [addr, addr+bytes) as an intentional benign race for the race
   /// detector: deliberate lock-free accesses to atomics (the paper's

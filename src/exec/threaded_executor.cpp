@@ -19,9 +19,11 @@ class ThreadedWorker final : public WorkerContext {
   ThreadedWorker(int id, Clock::time_point epoch,
                  std::atomic<std::int64_t>* mem_used,
                  std::int64_t mem_budget,
-                 const std::atomic<VirtualTime>* deadline)
+                 const std::atomic<VirtualTime>* deadline,
+                 const JobQueue* queue, int num_workers)
       : id_(id), epoch_(epoch), mem_used_(mem_used),
-        mem_budget_(mem_budget), deadline_(deadline) {}
+        mem_budget_(mem_budget), deadline_(deadline), queue_(queue),
+        num_workers_(num_workers) {}
 
   int worker_id() const override { return id_; }
 
@@ -56,12 +58,19 @@ class ThreadedWorker final : public WorkerContext {
     return ShouldStop() ? StopCause::kDeadline : StopCause::kNone;
   }
 
+  double QueuePressure() const override {
+    return static_cast<double>(queue_->queued()) /
+           static_cast<double>(num_workers_);
+  }
+
  private:
   int id_;
   Clock::time_point epoch_;
   std::atomic<std::int64_t>* mem_used_;
   std::int64_t mem_budget_;
   const std::atomic<VirtualTime>* deadline_;
+  const JobQueue* queue_;
+  int num_workers_;
 };
 
 /// CtxLock over std::mutex.
@@ -93,7 +102,8 @@ class ThreadedQuery final : public QueryContext {
     for (int w = 0; w < options_.num_workers; ++w) {
       workers.emplace_back([this, w] {
         ThreadedWorker ctx(w, epoch_, &mem_used_,
-                           options_.memory_budget_bytes, &deadline_);
+                           options_.memory_budget_bytes, &deadline_,
+                           &queue_, options_.num_workers);
         while (auto job = queue_.Pop()) {
           (*job)(ctx);
           queue_.JobDone();
@@ -114,6 +124,9 @@ class ThreadedQuery final : public QueryContext {
   }
   VirtualTime deadline() const override {
     return deadline_.load(std::memory_order_relaxed);
+  }
+  std::size_t outstanding_jobs() const override {
+    return queue_.outstanding();
   }
 
  private:

@@ -1,0 +1,45 @@
+#include "serve/admission.h"
+
+#include "util/common.h"
+
+namespace sparta::serve {
+
+topk::AdmissionOutcome AdmissionController::Decide(exec::VirtualTime now) {
+  (void)now;  // decisions are state-based; `now` documents the instant.
+  if (queue_depth_ >= config_.queue_capacity) {
+    return topk::AdmissionOutcome::kRejectedFull;
+  }
+  if (config_.shed_predicted_wait && slo_ != exec::kNever) {
+    // Admitting is only useful if the query can still finish inside its
+    // SLO after waiting behind the current backlog.
+    const exec::VirtualTime predicted =
+        PredictedWait() + EstimatedService();
+    if (predicted > BudgetedSlo()) {
+      return topk::AdmissionOutcome::kShedPredictedWait;
+    }
+  }
+  ++queue_depth_;
+  return topk::AdmissionOutcome::kAdmitted;
+}
+
+void AdmissionController::OnDispatch(exec::VirtualTime now) {
+  (void)now;
+  SPARTA_CHECK(queue_depth_ > 0);
+  --queue_depth_;
+}
+
+void AdmissionController::OnComplete(exec::VirtualTime now,
+                                     exec::VirtualTime service_ns) {
+  const double alpha = config_.ewma_alpha;
+  if (last_departure_ >= 0 && now > last_departure_) {
+    const auto gap = static_cast<double>(now - last_departure_);
+    departure_gap_ = (1.0 - alpha) * departure_gap_ + alpha * gap;
+  }
+  last_departure_ = now;
+  if (service_ns > 0) {
+    service_ =
+        (1.0 - alpha) * service_ + alpha * static_cast<double>(service_ns);
+  }
+}
+
+}  // namespace sparta::serve

@@ -1,0 +1,106 @@
+// Deadline-aware admission control for the serving layer.
+//
+// Two defenses keep an overloaded tier's queue honest:
+//  * reject-on-full — the admission queue is bounded; an arrival that
+//    finds it full is turned away immediately (cheap for the server,
+//    fast feedback for the client) instead of growing an unbounded
+//    backlog;
+//  * estimated-wait shedding — even a non-full queue can be a lie: if
+//    the predicted wait already forfeits the end-to-end SLO, serving
+//    the query burns capacity on an answer nobody will use. The
+//    controller predicts wait as queue_depth x the EWMA inter-departure
+//    gap (departure spacing is what a FCFS queue drains at, regardless
+//    of how much intra-query parallelism each query gets) and sheds
+//    arrivals whose predicted completion would land past the SLO.
+//
+// The controller is pure bookkeeping over timestamps handed to it by
+// the caller (virtual time under the simulator, wall time on threads),
+// so the same code path is exercised by both executors and is exactly
+// as deterministic as its inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "exec/context.h"
+#include "topk/result.h"
+
+namespace sparta::serve {
+
+struct AdmissionConfig {
+  /// Bound on queries waiting for dispatch (in-flight queries are not
+  /// counted). Arrivals beyond it are rejected.
+  std::size_t queue_capacity = 64;
+  /// Shed arrivals whose predicted wait + service lands past the SLO.
+  bool shed_predicted_wait = true;
+  /// EWMA smoothing for the inter-departure and service estimates.
+  double ewma_alpha = 0.2;
+  /// Fraction of the SLO the shedder budgets for. Admission targets
+  /// predicted completion within headroom x SLO, so the queue settles
+  /// where completions land comfortably *inside* the SLO instead of
+  /// straddling it (prediction noise would otherwise push half the
+  /// admitted tail just past the boundary, serving work that no longer
+  /// counts as goodput).
+  double slo_headroom = 1.0;
+  /// Estimates used until the first completions are observed.
+  exec::VirtualTime initial_departure_gap_ns = exec::kMillisecond;
+  exec::VirtualTime initial_service_ns = exec::kMillisecond;
+};
+
+/// Tracks queue depth and drain-rate estimates; decides per arrival.
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionConfig& config, exec::VirtualTime slo)
+      : config_(config), slo_(slo),
+        departure_gap_(static_cast<double>(config.initial_departure_gap_ns)),
+        service_(static_cast<double>(config.initial_service_ns)) {}
+
+  /// Decision for one arrival at time `now`. kAdmitted increments the
+  /// queue depth; the caller must pair it with OnDispatch() when the
+  /// query leaves the queue. Breaker verdicts are layered on by the
+  /// caller *before* consulting the queue (an open breaker drops
+  /// traffic regardless of queue state).
+  topk::AdmissionOutcome Decide(exec::VirtualTime now);
+
+  /// The queued query picked for execution (depth decrements).
+  void OnDispatch(exec::VirtualTime now);
+
+  /// A dispatched query finished; updates the inter-departure EWMA (the
+  /// drain-rate signal) and the service-time EWMA.
+  void OnComplete(exec::VirtualTime now, exec::VirtualTime service_ns);
+
+  std::size_t queue_depth() const { return queue_depth_; }
+  /// Queue occupancy in [0, 1] — the degradation ladder's input.
+  double Occupancy() const {
+    return config_.queue_capacity == 0
+               ? 0.0
+               : static_cast<double>(queue_depth_) /
+                     static_cast<double>(config_.queue_capacity);
+  }
+  /// Predicted wait for an arrival joining the queue now.
+  exec::VirtualTime PredictedWait() const {
+    return static_cast<exec::VirtualTime>(
+        static_cast<double>(queue_depth_) * departure_gap_);
+  }
+  exec::VirtualTime EstimatedService() const {
+    return static_cast<exec::VirtualTime>(service_);
+  }
+  exec::VirtualTime slo() const { return slo_; }
+  /// The end-to-end budget admission and dispatch actually aim for:
+  /// headroom x SLO (the SLO itself when headroom is 1).
+  exec::VirtualTime BudgetedSlo() const {
+    if (slo_ == exec::kNever) return exec::kNever;
+    return static_cast<exec::VirtualTime>(config_.slo_headroom *
+                                          static_cast<double>(slo_));
+  }
+
+ private:
+  AdmissionConfig config_;
+  exec::VirtualTime slo_;
+  std::size_t queue_depth_ = 0;
+  double departure_gap_;  ///< EWMA of completion spacing, ns.
+  double service_;        ///< EWMA of per-query service time, ns.
+  exec::VirtualTime last_departure_ = -1;
+};
+
+}  // namespace sparta::serve

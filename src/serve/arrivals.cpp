@@ -1,0 +1,94 @@
+#include "serve/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace sparta::serve {
+namespace {
+
+/// Exponential gap with mean 1/rate_per_ns, in whole nanoseconds (>= 1
+/// so schedules stay strictly increasing and replay comparisons are not
+/// confused by zero-length gaps).
+exec::VirtualTime ExpGap(util::Rng& rng, double rate_per_ns) {
+  const double gap = -std::log(rng.NextDoublePositive()) / rate_per_ns;
+  const double clamped =
+      std::min(gap, static_cast<double>(exec::kNever) / 4.0);
+  return std::max<exec::VirtualTime>(
+      1, static_cast<exec::VirtualTime>(std::llround(clamped)));
+}
+
+std::vector<exec::VirtualTime> Poisson(const ArrivalConfig& config,
+                                       util::Rng& rng) {
+  const double rate_per_ns = config.rate_qps / 1e9;
+  std::vector<exec::VirtualTime> out;
+  out.reserve(config.count);
+  exec::VirtualTime t = 0;
+  for (std::size_t i = 0; i < config.count; ++i) {
+    t += ExpGap(rng, rate_per_ns);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<exec::VirtualTime> Bursty(const ArrivalConfig& config,
+                                      util::Rng& rng) {
+  SPARTA_CHECK(config.burst_rate_factor >= 1.0);
+  SPARTA_CHECK(config.burst_time_fraction > 0.0 &&
+               config.burst_time_fraction < 1.0);
+  SPARTA_CHECK(config.mean_burst_ns > 0);
+  // Normalize state rates so the long-run mean is rate_qps:
+  //   pi_b * (factor * calm) + (1 - pi_b) * calm = rate.
+  const double pi_b = config.burst_time_fraction;
+  const double calm_qps =
+      config.rate_qps / (1.0 + pi_b * (config.burst_rate_factor - 1.0));
+  const double calm_per_ns = calm_qps / 1e9;
+  const double burst_per_ns = calm_per_ns * config.burst_rate_factor;
+  // Occupancy pi_b = mean_burst / (mean_burst + mean_calm).
+  const double mean_burst = static_cast<double>(config.mean_burst_ns);
+  const double mean_calm = mean_burst * (1.0 - pi_b) / pi_b;
+
+  std::vector<exec::VirtualTime> out;
+  out.reserve(config.count);
+  exec::VirtualTime t = 0;
+  bool in_burst = false;
+  // End of the current state's sojourn; the first calm sojourn starts
+  // at 0.
+  exec::VirtualTime state_end = ExpGap(rng, 1.0 / mean_calm);
+  while (out.size() < config.count) {
+    const double rate = in_burst ? burst_per_ns : calm_per_ns;
+    const exec::VirtualTime next = t + ExpGap(rng, rate);
+    if (next >= state_end) {
+      // The state flips before this arrival materializes: discard the
+      // draw (memorylessness makes the restart exact) and continue from
+      // the flip point in the other state.
+      t = state_end;
+      in_burst = !in_burst;
+      state_end =
+          t + ExpGap(rng, 1.0 / (in_burst ? mean_burst : mean_calm));
+      continue;
+    }
+    t = next;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<exec::VirtualTime> GenerateArrivals(
+    const ArrivalConfig& config) {
+  SPARTA_CHECK(config.rate_qps > 0.0);
+  util::Rng rng(config.seed);
+  switch (config.kind) {
+    case ArrivalKind::kPoisson:
+      return Poisson(config, rng);
+    case ArrivalKind::kBursty:
+      return Bursty(config, rng);
+  }
+  return {};
+}
+
+}  // namespace sparta::serve

@@ -1,0 +1,55 @@
+// Seeded open-loop arrival processes for the serving layer.
+//
+// A closed-loop driver (MeasureThroughput) admits a query whenever a
+// worker frees up, so the system is never pushed past its own capacity.
+// Real traffic does not wait for permission: queries arrive on their own
+// schedule and pile up when the machine falls behind. These generators
+// produce that schedule — a sorted vector of absolute virtual arrival
+// times — deterministically from a seed, so overload experiments replay
+// bit-identically (same property the fault plans have, DESIGN.md §7).
+//
+// Two processes:
+//  * Poisson — i.i.d. exponential gaps at `rate_qps`; the memoryless
+//    baseline of every queueing model.
+//  * Bursty (2-state MMPP) — a Markov-modulated Poisson process that
+//    alternates exponential calm/burst sojourns; within each state
+//    arrivals are Poisson at the state's rate. Burst-state rate is
+//    `burst_rate_factor` times the calm rate, and rates are normalized
+//    so the long-run mean equals `rate_qps` — the same offered load as
+//    the Poisson plan, delivered in squalls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/context.h"
+
+namespace sparta::serve {
+
+enum class ArrivalKind : std::uint8_t { kPoisson, kBursty };
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Seed of the arrival plan; same config => bit-identical schedule.
+  std::uint64_t seed = 1;
+  /// Long-run mean offered load, queries per (virtual) second. Must be
+  /// positive.
+  double rate_qps = 1000.0;
+  /// Number of arrivals to generate.
+  std::size_t count = 100;
+
+  // --- bursty (MMPP) shape, ignored for kPoisson ---
+  /// Burst-state arrival rate as a multiple of the calm-state rate.
+  double burst_rate_factor = 8.0;
+  /// Long-run fraction of time spent in the burst state, in (0, 1).
+  double burst_time_fraction = 0.1;
+  /// Mean burst sojourn (exponential); calm sojourns are scaled so the
+  /// state occupancy matches burst_time_fraction.
+  exec::VirtualTime mean_burst_ns = 5 * exec::kMillisecond;
+};
+
+/// Absolute arrival times (virtual ns, starting after 0), sorted
+/// nondecreasing, deterministic per config.
+std::vector<exec::VirtualTime> GenerateArrivals(const ArrivalConfig& config);
+
+}  // namespace sparta::serve

@@ -1,0 +1,68 @@
+#include "serve/breaker.h"
+
+namespace sparta::serve {
+
+CircuitBreaker::State CircuitBreaker::state(exec::VirtualTime now) {
+  if (state_ == State::kOpen && now >= opened_at_ + config_.open_ns) {
+    state_ = State::kHalfOpen;
+    probe_in_flight_ = false;
+    probe_successes_ = 0;
+  }
+  return state_;
+}
+
+void CircuitBreaker::Trip(exec::VirtualTime now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  failures_.clear();
+  probe_in_flight_ = false;
+  probe_successes_ = 0;
+  ++trips_;
+}
+
+bool CircuitBreaker::Admit(exec::VirtualTime now) {
+  switch (state(now)) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      ++probes_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::OnSuccess(exec::VirtualTime now, bool probe) {
+  if (probe && state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (++probe_successes_ >= config_.probe_successes_to_close) {
+      state_ = State::kClosed;
+      failures_.clear();
+      probe_successes_ = 0;
+    }
+    return;
+  }
+  (void)now;  // non-probe successes carry no timer information.
+}
+
+void CircuitBreaker::OnFailure(exec::VirtualTime now, bool probe) {
+  if (probe && state_ == State::kHalfOpen) {
+    // The machine is still sick: back to a full cooloff.
+    Trip(now);
+    return;
+  }
+  if (state_ != State::kClosed) return;  // already open; nothing to learn
+  failures_.push_back(now);
+  const exec::VirtualTime horizon = now - config_.window_ns;
+  while (!failures_.empty() && failures_.front() < horizon) {
+    failures_.pop_front();
+  }
+  if (static_cast<int>(failures_.size()) >= config_.failure_threshold) {
+    Trip(now);
+  }
+}
+
+}  // namespace sparta::serve

@@ -1,0 +1,80 @@
+// Circuit breaker: stop feeding a machine that is failing queries.
+//
+// Fault storms (an SSD throwing persistent read errors, a straggling
+// worker pool) make admitted queries come back kPartialAfterFault/kOom.
+// Serving through the storm wastes queue capacity on degraded answers;
+// the breaker instead trips after `failure_threshold` failures inside a
+// sliding window, drops arrivals while open (kBreakerDropped — cheap,
+// immediate), and after a cooloff half-opens: single probe queries are
+// let through one at a time, and `probe_successes_to_close` consecutive
+// successes close the circuit again (one probe failure re-opens it).
+//
+// All transitions are keyed by caller-provided timestamps — virtual
+// time under the simulator ("breaker timers on the virtual clock"),
+// wall time on threads — so the state machine is deterministic given
+// its inputs and unit-testable without any executor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "exec/context.h"
+
+namespace sparta::serve {
+
+struct BreakerConfig {
+  /// Failures within `window_ns` that trip the breaker.
+  int failure_threshold = 8;
+  exec::VirtualTime window_ns = 50 * exec::kMillisecond;
+  /// Open-state cooloff before half-opening.
+  exec::VirtualTime open_ns = 20 * exec::kMillisecond;
+  /// Consecutive probe successes needed to close from half-open.
+  int probe_successes_to_close = 3;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const BreakerConfig& config) : config_(config) {}
+
+  /// Current state after advancing timers to `now`.
+  State state(exec::VirtualTime now);
+
+  /// Arrival gate. Closed: always true. Open: false. Half-open: true
+  /// for one probe at a time (the probe slot frees on its completion).
+  /// A true return in half-open state claims the probe slot — the
+  /// caller must report that query's completion with probe = true.
+  bool Admit(exec::VirtualTime now);
+
+  /// Whether an Admit() at `now` would be a probe (call before Admit to
+  /// tag the query).
+  bool WouldProbe(exec::VirtualTime now) {
+    return state(now) == State::kHalfOpen && !probe_in_flight_;
+  }
+
+  /// Completion callbacks for admitted queries. Every `Admit`ted query
+  /// must report exactly one of these, with `probe` echoing what
+  /// WouldProbe() said at its admission (stragglers admitted before a
+  /// trip report probe = false and never touch the probe slot).
+  void OnSuccess(exec::VirtualTime now, bool probe = false);
+  void OnFailure(exec::VirtualTime now, bool probe = false);
+
+  std::uint64_t trips() const { return trips_; }
+  std::uint64_t probes() const { return probes_; }
+
+ private:
+  void Trip(exec::VirtualTime now);
+
+  BreakerConfig config_;
+  State state_ = State::kClosed;
+  /// Failure timestamps inside the sliding window (closed state).
+  std::deque<exec::VirtualTime> failures_;
+  exec::VirtualTime opened_at_ = 0;
+  bool probe_in_flight_ = false;
+  int probe_successes_ = 0;
+  std::uint64_t trips_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace sparta::serve

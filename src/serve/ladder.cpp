@@ -1,0 +1,78 @@
+#include "serve/ladder.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace sparta::serve {
+
+DegradationLadder::DegradationLadder(std::vector<DegradationRung> rungs)
+    : rungs_(std::move(rungs)) {
+  SPARTA_CHECK(!rungs_.empty());
+  SPARTA_CHECK(rungs_.front().min_occupancy == 0.0);
+  for (std::size_t i = 1; i < rungs_.size(); ++i) {
+    SPARTA_CHECK(rungs_[i].min_occupancy > rungs_[i - 1].min_occupancy);
+  }
+  for (const auto& rung : rungs_) {
+    SPARTA_CHECK(rung.deadline_fraction > 0.0 &&
+                 rung.deadline_fraction <= 1.0);
+    SPARTA_CHECK(rung.delta_fraction >= 0.0 && rung.delta_fraction <= 1.0);
+    SPARTA_CHECK(rung.f_scale >= 1.0);
+    SPARTA_CHECK(rung.p_scale > 0.0 && rung.p_scale <= 1.0);
+  }
+}
+
+DegradationLadder DegradationLadder::Default() {
+  return DegradationLadder({
+      {.min_occupancy = 0.0, .deadline_fraction = 1.0},
+      {.min_occupancy = 0.25, .deadline_fraction = 0.6},
+      {.min_occupancy = 0.50,
+       .deadline_fraction = 0.35,
+       .delta_fraction = 0.5,
+       .f_scale = 2.0,
+       .p_scale = 0.7},
+      {.min_occupancy = 0.75,
+       .deadline_fraction = 0.15,
+       .delta_fraction = 0.25,
+       .f_scale = 4.0,
+       .p_scale = 0.4},
+  });
+}
+
+std::size_t DegradationLadder::PickRung(double occupancy) const {
+  if (rungs_.empty()) return 0;
+  std::size_t pick = 0;
+  for (std::size_t i = 0; i < rungs_.size(); ++i) {
+    if (occupancy >= rungs_[i].min_occupancy) pick = i;
+  }
+  return pick;
+}
+
+topk::SearchParams DegradationLadder::Apply(std::size_t rung,
+                                            const topk::SearchParams& base,
+                                            exec::VirtualTime slo,
+                                            exec::VirtualTime slack) const {
+  topk::SearchParams params = base;
+  exec::VirtualTime budget = slo;
+  if (!rungs_.empty()) {
+    SPARTA_CHECK(rung < rungs_.size());
+    const DegradationRung& r = rungs_[rung];
+    budget = static_cast<exec::VirtualTime>(
+        r.deadline_fraction * static_cast<double>(slo));
+    if (r.delta_fraction > 0.0) {
+      const auto delta = static_cast<exec::VirtualTime>(
+          r.delta_fraction * static_cast<double>(budget));
+      params.delta = std::min(params.delta, std::max<exec::VirtualTime>(
+                                                delta, 1));
+    }
+    params.f *= r.f_scale;
+    params.p = std::max(0.01, params.p * r.p_scale);
+  }
+  // Deadline-aware: a query that already burned queue wait gets only its
+  // remaining slack, never a budget past its SLO.
+  budget = std::min(budget, slack);
+  params.deadline = std::max<exec::VirtualTime>(budget, 1);
+  return params;
+}
+
+}  // namespace sparta::serve

@@ -1,0 +1,75 @@
+// Adaptive degradation ladder: trade recall for drain rate as queue
+// pressure rises.
+//
+// Bruch et al. show that bounded-recall execution is the scaling lever
+// for sparse retrieval; PR 2's anytime machinery gives every algorithm
+// an honest way to stop early (deadline -> best-so-far top-k tagged
+// kDeadlineDegraded). The ladder turns that knob automatically: each
+// rung maps a queue-occupancy band to a per-query deadline budget (a
+// fraction of the SLO) and optionally to cheaper approximation
+// parameters (TA-family delta, pBMW's f, pJASS's p). Under light load
+// queries run at full quality; as the admission queue fills, deadlines
+// tighten and approximations coarsen, so service time shrinks exactly
+// when capacity is scarce — degraded answers stay honest because they
+// ride the existing ResultStatus paths.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/context.h"
+#include "topk/params.h"
+
+namespace sparta::serve {
+
+struct DegradationRung {
+  /// Rung applies while queue occupancy >= this (rungs sorted ascending;
+  /// the last matching rung wins).
+  double min_occupancy = 0.0;
+  /// Per-query deadline budget as a fraction of the SLO (<= 1; the
+  /// dispatcher additionally caps it by the query's remaining slack).
+  double deadline_fraction = 1.0;
+  /// TA-family early-stop delta as a fraction of the rung deadline
+  /// (0 = leave SearchParams::delta untouched).
+  double delta_fraction = 0.0;
+  /// Multiplier on pBMW's threshold-relaxation f (1 = untouched).
+  double f_scale = 1.0;
+  /// Multiplier on pJASS's scanned-postings fraction p (1 = untouched;
+  /// values < 1 scan less).
+  double p_scale = 1.0;
+};
+
+class DegradationLadder {
+ public:
+  /// No rungs = ladder disabled: every dispatch uses rung 0 semantics
+  /// (full SLO deadline, untouched params).
+  DegradationLadder() = default;
+  explicit DegradationLadder(std::vector<DegradationRung> rungs);
+
+  /// The default four-rung ladder used by the overload benchmark:
+  ///   occupancy < 0.25 : full SLO budget, exact params;
+  ///   >= 0.25          : 60% budget;
+  ///   >= 0.50          : 35% budget, delta = 1/2 deadline, f x2, p x0.7;
+  ///   >= 0.75          : 15% budget, delta = 1/4 deadline, f x4, p x0.4.
+  static DegradationLadder Default();
+
+  bool enabled() const { return !rungs_.empty(); }
+  std::size_t num_rungs() const { return rungs_.size(); }
+
+  /// Index of the rung governing `occupancy` (0 when disabled).
+  std::size_t PickRung(double occupancy) const;
+
+  /// Applies rung `rung` to `base`: sets params.deadline to the rung's
+  /// budget (capped by `slack`, the query's remaining time before its
+  /// SLO expires) and coarsens the approximation knobs. With the ladder
+  /// disabled, the deadline is min(slo, slack) and params are untouched.
+  topk::SearchParams Apply(std::size_t rung,
+                           const topk::SearchParams& base,
+                           exec::VirtualTime slo,
+                           exec::VirtualTime slack) const;
+
+ private:
+  std::vector<DegradationRung> rungs_;
+};
+
+}  // namespace sparta::serve

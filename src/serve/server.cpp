@@ -1,0 +1,357 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/common.h"
+
+namespace sparta::serve {
+namespace {
+
+using topk::AdmissionOutcome;
+
+/// A failed completion from the breaker's point of view: the machine
+/// mangled the query (fault escalation, OOM). Deadline degradation is a
+/// policy outcome, not a machine failure, and must not trip the breaker.
+bool IsMachineFailure(topk::ResultStatus status) {
+  return status == topk::ResultStatus::kPartialAfterFault ||
+         status == topk::ResultStatus::kOom;
+}
+
+struct Decision {
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+  bool probe = false;
+};
+
+/// Admission + breaker policy shared by the sim and threaded paths; all
+/// timestamps are caller-provided, so this is exactly as deterministic
+/// as its inputs.
+class PolicyState {
+ public:
+  explicit PolicyState(const ServeConfig& config)
+      : config_(config),
+        ctrl_(config.admission, config.slo),
+        breaker_(config.breaker) {}
+
+  Decision Decide(exec::VirtualTime arrival) {
+    Decision d;
+    bool half_open = false;
+    if (config_.breaker_enabled) {
+      switch (breaker_.state(arrival)) {
+        case CircuitBreaker::State::kOpen:
+          d.outcome = AdmissionOutcome::kBreakerDropped;
+          return d;
+        case CircuitBreaker::State::kHalfOpen:
+          if (!breaker_.WouldProbe(arrival)) {
+            d.outcome = AdmissionOutcome::kBreakerDropped;
+            return d;
+          }
+          half_open = true;
+          break;
+        case CircuitBreaker::State::kClosed:
+          break;
+      }
+    }
+    d.outcome = ctrl_.Decide(arrival);
+    if (d.outcome == AdmissionOutcome::kAdmitted && half_open) {
+      // Claim the probe slot only for queries that clear the queue too,
+      // so a rejected arrival cannot leak the slot.
+      const bool ok = breaker_.Admit(arrival);
+      SPARTA_CHECK(ok);
+      d.probe = true;
+    }
+    return d;
+  }
+
+  void OnDispatch(exec::VirtualTime now) { ctrl_.OnDispatch(now); }
+
+  void OnComplete(exec::VirtualTime completion, exec::VirtualTime service,
+                  topk::ResultStatus status, bool probe) {
+    ctrl_.OnComplete(completion, service);
+    if (config_.breaker_enabled) {
+      if (IsMachineFailure(status)) {
+        breaker_.OnFailure(completion, probe);
+      } else {
+        breaker_.OnSuccess(completion, probe);
+      }
+    }
+  }
+
+  AdmissionController& ctrl() { return ctrl_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+ private:
+  const ServeConfig& config_;
+  AdmissionController ctrl_;
+  CircuitBreaker breaker_;
+};
+
+/// Fills the per-query records shared fields and computes aggregates.
+void Finalize(ServeResult& result, const PolicyState& policy,
+              exec::VirtualTime slo) {
+  result.offered = result.queries.size();
+  for (const ServedQuery& q : result.queries) {
+    result.horizon = std::max(result.horizon, q.arrival);
+    switch (q.outcome) {
+      case AdmissionOutcome::kRejectedFull:
+        ++result.rejected_full;
+        continue;
+      case AdmissionOutcome::kShedPredictedWait:
+        ++result.shed;
+        continue;
+      case AdmissionOutcome::kBreakerDropped:
+        ++result.breaker_dropped;
+        continue;
+      case AdmissionOutcome::kAdmitted:
+        break;
+    }
+    ++result.admitted;
+    if (q.completion < 0) continue;
+    ++result.completed;
+    result.queue_wait_ns.Add(q.QueueWait());
+    result.e2e_ns.Add(q.EndToEnd());
+    result.horizon = std::max(result.horizon, q.completion);
+    if (q.result.degraded()) ++result.degraded;
+    if (q.result.status == topk::ResultStatus::kPartialAfterFault) {
+      ++result.faulted;
+    }
+    if (q.result.status == topk::ResultStatus::kOom) {
+      ++result.oom;
+    } else if (slo == exec::kNever || q.EndToEnd() <= slo) {
+      ++result.goodput;
+    }
+  }
+  result.breaker_trips = policy.breaker().trips();
+  result.breaker_probes = policy.breaker().probes();
+}
+
+}  // namespace
+
+ServeResult Server::ServeOnSim(sim::SimExecutor& executor,
+                               std::span<const std::vector<TermId>> queries,
+                               const topk::SearchParams& base_params) {
+  SPARTA_CHECK(!queries.empty());
+  const auto arrivals = GenerateArrivals(config_.arrivals);
+  ServeResult result;
+  result.queries.resize(arrivals.size());
+  result.rung_dispatches.assign(
+      std::max<std::size_t>(1, config_.ladder.num_rungs()), 0);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    result.queries[i].arrival = arrivals[i];
+    result.queries[i].query_index = i % queries.size();
+  }
+
+  PolicyState policy(config_);
+
+  struct Flight {
+    std::size_t record = 0;
+    std::unique_ptr<exec::QueryContext> ctx;
+    std::unique_ptr<topk::QueryRun> run;
+  };
+  std::vector<Flight> flights;
+  flights.reserve(arrivals.size());
+  std::vector<std::size_t> active;  // unharvested indices into flights
+  std::deque<std::size_t> queue;    // admitted records awaiting dispatch
+  std::size_t next_arrival = 0;
+
+  // Completions feed the drain-rate EWMA and the breaker before any
+  // decision at or after their completion time. A started query with
+  // zero outstanding jobs is finished (jobs only beget jobs while
+  // running); batches are processed in completion order so the
+  // inter-departure estimate sees real spacing.
+  const auto harvest = [&]() {
+    std::vector<std::size_t> done;
+    for (std::size_t i = 0; i < active.size();) {
+      Flight& f = flights[active[i]];
+      if (f.ctx->outstanding_jobs() == 0) {
+        done.push_back(active[i]);
+        active[i] = active.back();
+        active.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    std::sort(done.begin(), done.end(),
+              [&](std::size_t a, std::size_t b) {
+                const auto ta = flights[a].ctx->end_time();
+                const auto tb = flights[b].ctx->end_time();
+                return ta != tb ? ta < tb
+                                : flights[a].record < flights[b].record;
+              });
+    for (const std::size_t i : done) {
+      Flight& f = flights[i];
+      ServedQuery& rec = result.queries[f.record];
+      rec.completion = f.ctx->end_time();
+      rec.result = f.run->TakeResult();
+      rec.result.stats.latency = rec.completion - rec.dispatch;
+      rec.result.stats.queue_wait = rec.QueueWait();
+      rec.result.stats.admission_outcome = AdmissionOutcome::kAdmitted;
+      policy.OnComplete(rec.completion, rec.completion - rec.dispatch,
+                        rec.result.status, rec.probe);
+    }
+  };
+
+  const auto decide = [&](std::size_t idx) {
+    ServedQuery& rec = result.queries[idx];
+    const Decision d = policy.Decide(rec.arrival);
+    rec.outcome = d.outcome;
+    rec.probe = d.probe;
+    rec.result.stats.admission_outcome = d.outcome;
+    if (d.outcome == AdmissionOutcome::kAdmitted) {
+      queue.push_back(idx);
+      result.max_queue_depth =
+          std::max(result.max_queue_depth, queue.size());
+    }
+  };
+
+  const auto dispatch = [&](exec::VirtualTime now) {
+    const std::size_t rec_idx = queue.front();
+    queue.pop_front();
+    policy.OnDispatch(now);
+    ServedQuery& rec = result.queries[rec_idx];
+    rec.dispatch = now;
+    // Rung from the post-dispatch occupancy: the pressure the *next*
+    // arrival would see, which is what this query's service time
+    // contributes to.
+    const std::size_t rung =
+        config_.ladder.PickRung(policy.ctrl().Occupancy());
+    rec.rung = rung;
+    ++result.rung_dispatches[std::min(rung,
+                                      result.rung_dispatches.size() - 1)];
+    topk::SearchParams params = base_params;
+    if (config_.deadline_from_slo && config_.slo != exec::kNever) {
+      // Slack against the *budgeted* SLO (headroom applied): a query
+      // dispatched late gets a deadline that still lands it inside the
+      // SLO with margin, not exactly on the boundary.
+      const exec::VirtualTime slack = std::max<exec::VirtualTime>(
+          1, policy.ctrl().BudgetedSlo() - rec.QueueWait());
+      params = config_.ladder.Apply(rung, base_params, config_.slo, slack);
+    }
+    Flight f;
+    f.record = rec_idx;
+    f.ctx = executor.CreateQueryAt(now);
+    if (params.deadline != exec::kNever) {
+      f.ctx->set_deadline(now + params.deadline);
+    }
+    f.run = algo_.Prepare(index_, queries[rec.query_index], params, *f.ctx);
+    f.run->Start();
+    active.push_back(flights.size());
+    flights.push_back(std::move(f));
+  };
+
+  const auto admit = [&](exec::VirtualTime now) -> bool {
+    harvest();
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival] <= now) {
+      decide(next_arrival++);
+    }
+    if (!queue.empty()) {
+      dispatch(now);
+    } else if (next_arrival < arrivals.size()) {
+      // Idle capacity and only future arrivals: bring the next one in
+      // on its own schedule (it finds an empty queue, zero wait).
+      const exec::VirtualTime at = arrivals[next_arrival];
+      decide(next_arrival++);
+      if (!queue.empty()) dispatch(at);
+    }
+    return next_arrival < arrivals.size() || !queue.empty();
+  };
+  executor.Drain(admit);
+  harvest();
+  SPARTA_CHECK(queue.empty() && next_arrival == arrivals.size());
+  SPARTA_CHECK(active.empty());
+
+  Finalize(result, policy, config_.slo);
+  return result;
+}
+
+ServeResult Server::ServeOnThreads(
+    exec::ThreadedExecutor& executor,
+    std::span<const std::vector<TermId>> queries,
+    const topk::SearchParams& base_params) {
+  SPARTA_CHECK(!queries.empty());
+  const auto arrivals = GenerateArrivals(config_.arrivals);
+  ServeResult result;
+  result.queries.resize(arrivals.size());
+  result.rung_dispatches.assign(
+      std::max<std::size_t>(1, config_.ladder.num_rungs()), 0);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    result.queries[i].arrival = arrivals[i];
+    result.queries[i].query_index = i % queries.size();
+  }
+
+  PolicyState policy(config_);
+  std::deque<std::size_t> queue;
+  std::size_t next_arrival = 0;
+  // The pool serves one query at a time (pool-per-query, the paper's
+  // latency mode); the serving timeline merges the virtual arrival
+  // schedule with measured wall-clock service times.
+  exec::VirtualTime server_free = 0;
+
+  const auto decide = [&](std::size_t idx) {
+    ServedQuery& rec = result.queries[idx];
+    const Decision d = policy.Decide(rec.arrival);
+    rec.outcome = d.outcome;
+    rec.probe = d.probe;
+    rec.result.stats.admission_outcome = d.outcome;
+    if (d.outcome == AdmissionOutcome::kAdmitted) {
+      queue.push_back(idx);
+      result.max_queue_depth =
+          std::max(result.max_queue_depth, queue.size());
+    }
+  };
+
+  while (next_arrival < arrivals.size() || !queue.empty()) {
+    const exec::VirtualTime next_at = next_arrival < arrivals.size()
+                                          ? arrivals[next_arrival]
+                                          : exec::kNever;
+    if (queue.empty() || server_free > next_at) {
+      decide(next_arrival++);
+      continue;
+    }
+    const std::size_t rec_idx = queue.front();
+    queue.pop_front();
+    ServedQuery& rec = result.queries[rec_idx];
+    const exec::VirtualTime start = std::max(server_free, rec.arrival);
+    policy.OnDispatch(start);
+    rec.dispatch = start;
+    const std::size_t rung =
+        config_.ladder.PickRung(policy.ctrl().Occupancy());
+    rec.rung = rung;
+    ++result.rung_dispatches[std::min(rung,
+                                      result.rung_dispatches.size() - 1)];
+    topk::SearchParams params = base_params;
+    if (config_.deadline_from_slo && config_.slo != exec::kNever) {
+      // Slack against the *budgeted* SLO (headroom applied): a query
+      // dispatched late gets a deadline that still lands it inside the
+      // SLO with margin, not exactly on the boundary.
+      const exec::VirtualTime slack = std::max<exec::VirtualTime>(
+          1, policy.ctrl().BudgetedSlo() - rec.QueueWait());
+      params = config_.ladder.Apply(rung, base_params, config_.slo, slack);
+    }
+    auto ctx = executor.CreateQuery();
+    if (params.deadline != exec::kNever) {
+      // The threaded clock starts at 0 per query, so the relative
+      // budget is the absolute deadline.
+      ctx->set_deadline(params.deadline);
+    }
+    auto run = algo_.Prepare(index_, queries[rec.query_index], params, *ctx);
+    run->Start();
+    ctx->RunToCompletion();
+    rec.result = run->TakeResult();
+    const exec::VirtualTime service =
+        std::max<exec::VirtualTime>(1, ctx->end_time());
+    rec.completion = start + service;
+    server_free = rec.completion;
+    rec.result.stats.latency = service;
+    rec.result.stats.queue_wait = rec.QueueWait();
+    rec.result.stats.admission_outcome = AdmissionOutcome::kAdmitted;
+    policy.OnComplete(rec.completion, service, rec.result.status,
+                      rec.probe);
+  }
+
+  Finalize(result, policy, config_.slo);
+  return result;
+}
+
+}  // namespace sparta::serve

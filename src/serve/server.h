@@ -1,0 +1,149 @@
+// The open-loop serving layer: what the benchmark driver cannot say.
+//
+// MeasureThroughput is closed-loop — a new query is admitted only when
+// workers free up, so the system is never pushed past saturation and
+// "queries per second" is the only statement it can make. A serving
+// tier lives or dies past that point: arrivals keep coming at their own
+// (offered) rate, queue wait becomes part of every query's latency, and
+// the difference between a 10% overload degrading gracefully and
+// melting down is policy, not throughput. This layer models that tier
+// on either executor:
+//
+//   arrivals (serve/arrivals.h)  — seeded Poisson / bursty schedules;
+//   admission (serve/admission.h) — bounded queue, reject-on-full,
+//       estimated-wait shedding against the end-to-end SLO;
+//   ladder (serve/ladder.h)      — queue pressure tightens per-query
+//       deadlines / approximation knobs via PR 2's anytime machinery;
+//   breaker (serve/breaker.h)    — fault storms trip a circuit breaker
+//       that half-opens with probe queries.
+//
+// On the simulator everything runs on the virtual clock inside one
+// SimExecutor::Drain pass (arrival events, breaker timers, queue waits)
+// and is deterministic per seed. On real threads the same policy code
+// runs against wall-clock service times with the pool dedicated to one
+// query at a time (the paper's latency mode), which exercises identical
+// decision paths minus cross-query interference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/threaded_executor.h"
+#include "serve/admission.h"
+#include "serve/arrivals.h"
+#include "serve/breaker.h"
+#include "serve/ladder.h"
+#include "sim/sim_executor.h"
+#include "topk/algorithm.h"
+#include "util/histogram.h"
+
+namespace sparta::serve {
+
+struct ServeConfig {
+  ArrivalConfig arrivals;
+  AdmissionConfig admission;
+  /// End-to-end SLO (queue wait + service time), kNever = none. Drives
+  /// estimated-wait shedding, ladder deadline budgets, and goodput.
+  exec::VirtualTime slo = 20 * exec::kMillisecond;
+  /// Degradation ladder; a default-constructed (disabled) ladder
+  /// dispatches every query with the full SLO budget and untouched
+  /// parameters.
+  DegradationLadder ladder;
+  /// When false, dispatch never sets a per-query deadline (the
+  /// unprotected configuration: queries always run to completion).
+  bool deadline_from_slo = true;
+  /// Circuit breaker; disabled by default (the breaker only matters
+  /// under fault injection).
+  bool breaker_enabled = false;
+  BreakerConfig breaker;
+};
+
+/// Per-query accounting record, in arrival order.
+struct ServedQuery {
+  /// Index into the query span handed to Serve* (arrival i runs query
+  /// i mod queries.size()).
+  std::size_t query_index = 0;
+  exec::VirtualTime arrival = 0;
+  /// Dispatch/completion on the serving clock; -1 for unadmitted.
+  exec::VirtualTime dispatch = -1;
+  exec::VirtualTime completion = -1;
+  topk::AdmissionOutcome outcome = topk::AdmissionOutcome::kAdmitted;
+  /// Ladder rung applied at dispatch (0 when the ladder is disabled).
+  std::size_t rung = 0;
+  /// Admitted as a half-open circuit-breaker probe.
+  bool probe = false;
+  /// Search result; meaningful only for admitted queries. stats carries
+  /// queue_wait and admission_outcome.
+  topk::SearchResult result;
+
+  exec::VirtualTime QueueWait() const {
+    return dispatch >= 0 ? dispatch - arrival : 0;
+  }
+  exec::VirtualTime EndToEnd() const {
+    return completion >= 0 ? completion - arrival : 0;
+  }
+};
+
+struct ServeResult {
+  std::vector<ServedQuery> queries;
+
+  // Aggregates over the run.
+  std::size_t offered = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected_full = 0;
+  std::size_t shed = 0;
+  std::size_t breaker_dropped = 0;
+  std::size_t completed = 0;  ///< admitted queries that finished
+  std::size_t degraded = 0;   ///< deadline- or fault-degraded results
+  std::size_t faulted = 0;    ///< kPartialAfterFault results
+  std::size_t oom = 0;
+  /// Admitted, non-OOM, end-to-end latency within the SLO.
+  std::size_t goodput = 0;
+  std::size_t max_queue_depth = 0;
+  std::vector<std::size_t> rung_dispatches;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_probes = 0;
+
+  util::Histogram e2e_ns;         ///< admitted: queue wait + service
+  util::Histogram queue_wait_ns;  ///< admitted
+  /// Last completion (or last arrival if nothing completed): the run's
+  /// time horizon for rate computations.
+  exec::VirtualTime horizon = 0;
+
+  double GoodputQps() const {
+    return horizon > 0 ? static_cast<double>(goodput) /
+                             (static_cast<double>(horizon) / 1e9)
+                       : 0.0;
+  }
+};
+
+class Server {
+ public:
+  Server(const index::InvertedIndex& index, const topk::Algorithm& algo,
+         ServeConfig config)
+      : index_(index), algo_(algo), config_(std::move(config)) {}
+
+  const ServeConfig& config() const { return config_; }
+
+  /// Open-loop run on the simulated machine (virtual clock,
+  /// deterministic per seed). The executor's page cache is NOT reset —
+  /// callers decide cache state, as with the driver's other modes.
+  ServeResult ServeOnSim(sim::SimExecutor& executor,
+                         std::span<const std::vector<TermId>> queries,
+                         const topk::SearchParams& base_params);
+
+  /// Same policy paths on real threads: admitted queries run one at a
+  /// time with the whole pool (pool-per-query), the serving timeline is
+  /// emulated from measured wall-clock service times.
+  ServeResult ServeOnThreads(exec::ThreadedExecutor& executor,
+                             std::span<const std::vector<TermId>> queries,
+                             const topk::SearchParams& base_params);
+
+ private:
+  const index::InvertedIndex& index_;
+  const topk::Algorithm& algo_;
+  ServeConfig config_;
+};
+
+}  // namespace sparta::serve

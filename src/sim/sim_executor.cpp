@@ -15,6 +15,9 @@ struct SimExecutor::SimQueryState {
   std::int64_t mem_used = 0;
   std::int64_t mem_budget = 0;
   VirtualTime deadline = exec::kNever;
+  /// Jobs queued or running (SubmitJob increments, Drain decrements
+  /// after the body returns): zero on a started query means complete.
+  std::size_t outstanding = 0;
   /// Escalated-fault latch (set when a read exhausts its retry budget).
   exec::StopCause stop = exec::StopCause::kNone;
   /// One-shot: the mid-query memory-budget squeeze already applied.
@@ -121,6 +124,11 @@ class SimWorkerContext final : public exec::WorkerContext {
     if (query_.stop != exec::StopCause::kNone) return query_.stop;
     return Now() >= query_.deadline ? exec::StopCause::kDeadline
                                     : exec::StopCause::kNone;
+  }
+
+  double QueuePressure() const override {
+    return static_cast<double>(exec_.jobs_.size()) /
+           static_cast<double>(exec_.config_.num_workers);
   }
 
   /// Counts one injected fault against this worker's query (used by the
@@ -255,6 +263,9 @@ class SimQuery final : public exec::QueryContext {
   }
   VirtualTime deadline() const override { return state_->deadline; }
   exec::FaultStats fault_stats() const override { return state_->faults; }
+  std::size_t outstanding_jobs() const override {
+    return state_->outstanding;
+  }
 
   void AnnotateBenignRace(const void* addr, std::size_t bytes,
                           const char* label) override {
@@ -315,6 +326,7 @@ void SimExecutor::SubmitJob(std::shared_ptr<SimQueryState> query,
   if (race_detector_ != nullptr && current_worker_ >= 0) {
     job.fork = race_detector_->OnJobSubmit(current_worker_);
   }
+  ++query->outstanding;
   job.query = std::move(query);
   jobs_.push(std::move(job));
 }
@@ -363,6 +375,7 @@ void SimExecutor::Drain(
     job.fn(ctx);
     current_worker_ = -1;
 
+    --job.query->outstanding;
     job.query->end = std::max(job.query->end, clock);
   }
 }

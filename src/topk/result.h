@@ -38,6 +38,37 @@ enum class ResultStatus : std::uint8_t {
 /// Legacy alias from when the enum had only kOk/kOutOfMemory.
 using Status = ResultStatus;
 
+/// What the serving layer's admission control decided for a query. Every
+/// query measured through the open-loop driver carries one of these so
+/// per-query accounting (and the CSV output built from it) distinguishes
+/// answered traffic from traffic turned away at the door.
+enum class AdmissionOutcome : std::uint8_t {
+  /// Entered the admission queue and was served (possibly degraded).
+  kAdmitted,
+  /// Bounced at arrival: the bounded admission queue was full.
+  kRejectedFull,
+  /// Shed at arrival: the estimated queue wait already forfeited the
+  /// end-to-end SLO, so serving it would have been wasted work.
+  kShedPredictedWait,
+  /// Dropped because the circuit breaker was open (or half-open and the
+  /// probe slot was taken).
+  kBreakerDropped,
+};
+
+constexpr const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kRejectedFull:
+      return "rejected";
+    case AdmissionOutcome::kShedPredictedWait:
+      return "shed";
+    case AdmissionOutcome::kBreakerDropped:
+      return "breaker-dropped";
+  }
+  return "unknown";
+}
+
 /// Maps a worker-side stop cause to the result status it implies.
 constexpr ResultStatus StatusFromStopCause(exec::StopCause cause) {
   switch (cause) {
@@ -65,6 +96,12 @@ struct QueryStats {
   std::uint64_t faults_injected = 0;
   /// Filled by the driver: end_time - start_time on the executor clock.
   exec::VirtualTime latency = 0;
+  /// Filled by the serving layer: time spent in the admission queue
+  /// before dispatch (0 in closed-loop modes). End-to-end latency is
+  /// queue_wait + latency.
+  exec::VirtualTime queue_wait = 0;
+  /// Filled by the serving layer; closed-loop modes leave the default.
+  AdmissionOutcome admission_outcome = AdmissionOutcome::kAdmitted;
 
   /// Fraction of the query terms' postings consumed before termination,
   /// in [0, 1]; 0 when postings_total is unknown.

@@ -8,11 +8,29 @@
 namespace sparta::util {
 
 void Histogram::Add(std::int64_t sample) {
+  if (samples_.empty()) {
+    min_ = max_ = sample;
+    sum_ = static_cast<double>(sample);
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+    sum_ += static_cast<double>(sample);
+  }
   samples_.push_back(sample);
   sorted_ = false;
 }
 
 void Histogram::Merge(const Histogram& other) {
+  if (other.empty()) return;
+  if (samples_.empty()) {
+    min_ = other.min_;
+    max_ = other.max_;
+    sum_ = other.sum_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+  }
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
   sorted_ = false;
@@ -20,19 +38,17 @@ void Histogram::Merge(const Histogram& other) {
 
 double Histogram::Mean() const {
   SPARTA_CHECK(!samples_.empty());
-  double sum = 0.0;
-  for (const auto s : samples_) sum += static_cast<double>(s);
-  return sum / static_cast<double>(samples_.size());
+  return sum_ / static_cast<double>(samples_.size());
 }
 
 std::int64_t Histogram::Min() const {
   SPARTA_CHECK(!samples_.empty());
-  return *std::min_element(samples_.begin(), samples_.end());
+  return min_;
 }
 
 std::int64_t Histogram::Max() const {
   SPARTA_CHECK(!samples_.empty());
-  return *std::max_element(samples_.begin(), samples_.end());
+  return max_;
 }
 
 void Histogram::EnsureSorted() const {
@@ -48,9 +64,11 @@ std::int64_t Histogram::Percentile(double q) const {
   SPARTA_CHECK(q >= 0.0 && q <= 100.0);
   EnsureSorted();
   const auto n = samples_.size();
-  // Nearest-rank: smallest index i with (i+1)/n >= q/100.
+  // Nearest-rank: smallest index i with (i+1)/n >= q/100. The epsilon
+  // absorbs fp wobble when q/100*n is an exact integer (99.9% of 1000
+  // computes as 999.0000000000001 and must not ceil to 1000).
   const auto rank = static_cast<std::size_t>(
-      std::ceil(q / 100.0 * static_cast<double>(n)));
+      std::ceil(q / 100.0 * static_cast<double>(n) - 1e-9));
   return samples_[rank == 0 ? 0 : rank - 1];
 }
 

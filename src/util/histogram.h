@@ -1,7 +1,10 @@
 // Latency sample accumulator with exact percentiles.
 //
 // Experiments collect at most a few thousand samples per cell, so we keep
-// raw samples and sort on demand instead of approximating.
+// raw samples and sort on demand instead of approximating. Min/max/sum
+// are additionally tracked streaming (O(1) per Add) so tail extrema and
+// means survive Merge() without touching the sample vector — overload
+// curves combine per-worker histograms this way.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +15,9 @@ namespace sparta::util {
 class Histogram {
  public:
   void Add(std::int64_t sample);
+  /// Combines another histogram into this one (per-worker histograms are
+  /// merged into the experiment-level one). Streaming min/max/sum merge
+  /// in O(1); samples are concatenated for percentile queries.
   void Merge(const Histogram& other);
 
   std::size_t count() const { return samples_.size(); }
@@ -22,6 +28,10 @@ class Histogram {
   std::int64_t Max() const;
   /// Exact percentile by nearest-rank; q in [0, 100].
   std::int64_t Percentile(double q) const;
+  /// Tail shorthands. p999 needs >= 1000 samples to be distinct from
+  /// Max(); with fewer it degrades to the nearest-rank neighbor.
+  std::int64_t P99() const { return Percentile(99.0); }
+  std::int64_t P999() const { return Percentile(99.9); }
 
   const std::vector<std::int64_t>& samples() const { return samples_; }
 
@@ -30,6 +40,10 @@ class Histogram {
 
   std::vector<std::int64_t> samples_;
   mutable bool sorted_ = true;
+  // Streaming aggregates, valid whenever !empty().
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace sparta::util

@@ -156,6 +156,30 @@ TEST(HistogramTest, MergeCombinesSamples) {
   EXPECT_EQ(a.Max(), 3);
 }
 
+TEST(HistogramTest, TailPercentilesAndStreamingMerge) {
+  // 1..2000: p999 must sit distinctly below max, and the streaming
+  // min/max/sum aggregates must survive Merge without re-scanning.
+  Histogram a, b;
+  for (int i = 1; i <= 1000; ++i) a.Add(i);
+  for (int i = 1001; i <= 2000; ++i) b.Add(i);
+  EXPECT_EQ(a.P99(), 990);
+  EXPECT_EQ(a.P999(), 999);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_EQ(a.Min(), 1);
+  EXPECT_EQ(a.Max(), 2000);
+  EXPECT_EQ(a.P99(), 1980);
+  EXPECT_EQ(a.P999(), 1998);
+  EXPECT_DOUBLE_EQ(a.Mean(), 1000.5);
+  // Merging an empty histogram is a no-op in both directions.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2000u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.Min(), 1);
+  EXPECT_EQ(empty.Max(), 2000);
+}
+
 TEST(FixedPointTest, RoundTripAndScale) {
   EXPECT_EQ(ToFixed(1.0), 1'000'000);
   EXPECT_EQ(ToFixed(0.5), 500'000);
