@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
         static_cast<double>(sim_ctx->end_time() - sim_ctx->start_time()) /
         1e6;
 
-    exec::ThreadedExecutor thr_exec({.num_workers = workers});
+    exec::ThreadedExecutor thr_exec({.num_workers = workers, .trace = {}});
     auto thr_ctx = thr_exec.CreateQuery();
     const auto thr_res = algo->Run(idx, query, params, *thr_ctx);
     const double thr_ms =

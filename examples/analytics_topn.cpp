@@ -65,7 +65,7 @@ int main() {
   std::vector<TermId> window(kDays);
   for (std::uint32_t d = 0; d < kDays; ++d) window[d] = d;
 
-  exec::ThreadedExecutor executor({.num_workers = kDays});
+  exec::ThreadedExecutor executor({.num_workers = kDays, .trace = {}});
   auto ctx = executor.CreateQuery();
   topk::SearchParams params;
   params.k = kTopN;

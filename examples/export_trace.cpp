@@ -1,0 +1,78 @@
+// Exports a Chrome/Perfetto trace of one Sparta query on the simulated
+// 4-worker machine and prints the where-the-time-goes attribution
+// table.
+//
+//   ./export_trace [out.json]
+//
+// Open the JSON in ui.perfetto.dev or chrome://tracing: tids 0..3 are
+// the worker tracks (spans nest: job > postings.scan / docmap.access /
+// heap.update > io.read / lock.wait), tid 4 is the scheduler track
+// (queue waits), tid 5 the serving track (idle here — no admission
+// queue in single-query mode).
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "corpus/synthetic.h"
+#include "driver/bench_driver.h"
+#include "index/builder.h"
+
+int main(int argc, char** argv) {
+  using namespace sparta;
+  const std::string out_path =
+      argc > 1 ? argv[1] : "trace_sparta_w4.json";
+
+  // A mid-size deterministic synthetic corpus: big enough that the
+  // attribution table has non-trivial milliseconds, small enough that
+  // the exported JSON stays a few hundred KB.
+  corpus::SyntheticCorpusSpec spec;
+  spec.num_docs = 20000;
+  spec.vocab_size = 2000;
+  spec.mean_unique_terms = 25.0;
+  spec.seed = 7;
+  const auto idx = index::FinalizeIndex(corpus::GenerateRawCorpus(spec));
+
+  // Three reasonably popular query terms spread over the vocabulary,
+  // so each worker shard sees real postings work.
+  std::vector<TermId> candidates;
+  for (TermId t = 0; t < idx.num_terms(); ++t) {
+    if (idx.Entry(t).df >= 256) candidates.push_back(t);
+  }
+  const std::size_t stride = candidates.size() / 4;
+  const std::vector<TermId> terms = {candidates[stride],
+                                     candidates[2 * stride],
+                                     candidates[3 * stride]};
+
+  topk::SearchParams params;
+  params.k = 10;
+
+  sim::SimConfig config;
+  config.num_workers = 4;
+  // Address-independent cost model so regenerating this trace is
+  // byte-stable across runs and machines (see obs/trace.h).
+  config.costs.coherence_miss = config.costs.l1_hit;
+
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  const driver::TraceReport report =
+      driver::TraceSingleQuery(idx, *algo, terms, params, config);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << report.json;
+  out.close();
+
+  std::cout << "query: " << terms.size() << " terms, k=" << params.k
+            << ", 4 workers, latency "
+            << static_cast<double>(report.latency) / 1e6 << " ms, "
+            << report.result.entries.size() << " results ("
+            << report.result.stats.postings_processed << "/"
+            << report.result.stats.postings_total << " postings)\n";
+  driver::AttributionTable(report).Print(std::cout);
+  std::cout << "trace written to " << out_path
+            << " — open in ui.perfetto.dev\n";
+  return 0;
+}

@@ -47,7 +47,7 @@ int main() {
 
   // 3. Run Sparta on a real thread pool (one worker per query term).
   exec::ThreadedExecutor executor(
-      {.num_workers = static_cast<int>(query.size())});
+      {.num_workers = static_cast<int>(query.size()), .trace = {}});
   auto ctx = executor.CreateQuery();
   topk::SearchParams params;
   params.k = 3;

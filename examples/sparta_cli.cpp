@@ -134,7 +134,7 @@ int Query(int argc, char** argv) {
   const int threads = argc > 6 ? std::atoi(argv[6])
                                : static_cast<int>(terms.size());
 
-  exec::ThreadedExecutor executor({.num_workers = std::max(1, threads)});
+  exec::ThreadedExecutor executor({.num_workers = std::max(1, threads), .trace = {}});
   auto ctx = executor.CreateQuery();
   topk::SearchParams params;
   params.k = std::max(1, k);

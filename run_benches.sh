@@ -43,6 +43,10 @@ for b in "${BENCHES[@]}" bench_micro; do
   fi
 done
 
+# Tier-1 gate: no benchmark numbers without a passing fast-correctness
+# suite (see README "Test tiers").
+ctest --test-dir build -L tier1 --output-on-failure -j"$(nproc)"
+
 failed=0
 {
   for b in "${BENCHES[@]}"; do

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "baselines/cursor.h"
+#include "obs/trace.h"
 
 namespace sparta::algos {
 namespace {
@@ -37,6 +38,8 @@ void BmwScan(const index::InvertedIndex& idx, std::span<const TermId> terms,
   SPARTA_CHECK(params.f >= 1.0);
   const std::size_t m = terms.size();
   SPARTA_CHECK(m >= 1);
+  obs::SpanScope scan_span(w, obs::SpanKind::kPostingsScan,
+                           params.trace_spans);
 
   std::vector<DocOrderCursor> cursors;
   cursors.reserve(m);
@@ -59,12 +62,9 @@ void BmwScan(const index::InvertedIndex& idx, std::span<const TermId> terms,
   Score theta_local = heap.threshold();
   std::uint32_t since_sync = 0;
 
-  auto advances = [&] {
-    std::uint64_t sum = 0;
-    for (const auto& c : cursors) sum += c.position();
-    return sum;
-  };
-  const std::uint64_t start_positions = advances();
+  std::vector<std::uint64_t> start_positions;
+  start_positions.reserve(m);
+  for (const auto& c : cursors) start_positions.push_back(c.position());
 
   std::uint32_t since_poll = 0;
   for (;;) {
@@ -174,7 +174,33 @@ void BmwScan(const index::InvertedIndex& idx, std::span<const TermId> terms,
   // Final promotion so later jobs of this query see our Θ.
   SyncTheta(params.shared_theta, std::max(theta_local, heap.threshold()),
             w);
-  stats.postings += advances() - start_positions;
+  // Postings accounting, clamped to this scan's docid range: shallow
+  // moves target block boundaries and may leave a cursor far past
+  // range_end, and those skipped tail postings belong to the *next*
+  // range job — counting raw position deltas double-counts them across
+  // jobs (pBMW could then report postings_processed > postings_total).
+  // The clamp is bookkeeping only; traversal and cost charges are
+  // untouched.
+  std::uint64_t counted = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto list = idx.Term(terms[i]).doc_order;
+    std::uint64_t cap = list.size();
+    if (params.range_end != kInvalidDoc) {
+      cap = static_cast<std::uint64_t>(
+          std::lower_bound(list.begin(), list.end(), params.range_end,
+                           [](const index::Posting& p, DocId d) {
+                             return p.doc < d;
+                           }) -
+          list.begin());
+    }
+    const std::uint64_t pos =
+        std::min<std::uint64_t>(cursors[i].position(), cap);
+    const std::uint64_t start =
+        std::min<std::uint64_t>(start_positions[i], cap);
+    counted += pos - start;
+  }
+  stats.postings += counted;
+  scan_span.set_args(terms[0], counted);
 }
 
 namespace {
@@ -198,6 +224,7 @@ class BmwRun final : public topk::QueryRun {
       scan.f = params_.f;
       scan.range_end = idx_.num_docs();
       scan.tracer = params_.tracer;
+      scan.trace_spans = params_.trace.enabled;
       BmwScan(idx_, terms_, heap_, scan, w, stats_);
     });
   }

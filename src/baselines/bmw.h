@@ -30,6 +30,9 @@ struct BmwScanParams {
   /// Documents scored between two promotions.
   std::uint32_t sync_interval = 1024;
   topk::HeapTracer* tracer = nullptr;
+  /// Emit one obs postings.scan span per BmwScan call (no-op unless the
+  /// executor also has tracing enabled).
+  bool trace_spans = false;
 };
 
 struct BmwScanStats {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "topk/doc_map.h"
 #include "topk/doc_heap.h"
 
@@ -88,12 +89,16 @@ class JassRun final : public topk::QueryRun {
         std::min<std::size_t>(begin + params_.seg_size, list.size());
 
     if (begin < end) {
+      obs::SpanScope scan_span(w, obs::SpanKind::kPostingsScan,
+                               params_.trace.enabled);
       w.IoSequential(
           view.impact_order_file_offset + begin * sizeof(Posting),
           (end - begin) * sizeof(Posting));
+      std::size_t consumed = 0;
       for (std::size_t j = begin; j < end; ++j) {
         if (done_.load(std::memory_order_acquire)) break;
         const Posting posting = list[j];
+        ++consumed;
         const auto res = accumulators_.AddScore(
             posting.doc, static_cast<Score>(posting.score), w);
         if (res.oom) {
@@ -107,8 +112,13 @@ class JassRun final : public topk::QueryRun {
           TraceAccumulation(res.doc, w);
         }
       }
-      positions_[i] = end;
-      const auto processed = static_cast<std::uint64_t>(end - begin);
+      // Count and charge only what the loop actually consumed: a done_
+      // flag raised mid-segment (threaded mode) used to leave the whole
+      // [begin, end) window charged and counted, drifting
+      // postings_processed past the postings actually read.
+      positions_[i] = begin + consumed;
+      const auto processed = static_cast<std::uint64_t>(consumed);
+      scan_span.set_args(terms_[i], processed);
       w.ChargePostings(processed);
       const auto total =
           postings_.fetch_add(processed, std::memory_order_relaxed) +
@@ -143,6 +153,8 @@ class JassRun final : public topk::QueryRun {
     ctx_.Submit([this](WorkerContext& w) {
       // Build the top-k heap from the accumulators in one pass. The map
       // may still see stragglers mid-segment, hence the locked sweep.
+      obs::SpanScope span(w, obs::SpanKind::kFinalize,
+                          params_.trace.enabled);
       std::size_t scanned = 0;
       accumulators_.ForEachLocked(
           [&](topk::DocType* d) {
@@ -154,6 +166,7 @@ class JassRun final : public topk::QueryRun {
       w.StructureAccessMany(accumulators_.ApproxBytes(),
                             /*write_shared=*/false, scanned);
       w.Charge(static_cast<VirtualTime>(scanned) * 4);
+      span.set_args(scanned);
       done_.store(true, std::memory_order_release);
     });
   }

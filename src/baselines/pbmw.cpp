@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "baselines/bmw.h"
+#include "obs/trace.h"
 
 namespace sparta::algos {
 namespace {
@@ -76,12 +77,16 @@ class PBmwRun final : public topk::QueryRun {
       scan.range_end = end;
       scan.shared_theta = &shared_theta_;
       scan.tracer = params_.tracer;
+      scan.trace_spans = params_.trace.enabled;
       BmwScan(idx_, terms_, heap, scan, w, stats);
     }
     if (jobs_left_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last range done: merge the local heaps (lightweight, done as its
       // own job so the merge cost lands on the query's critical path).
       ctx_.Submit([this](WorkerContext& mw) {
+        obs::SpanScope span(mw, obs::SpanKind::kMerge,
+                            params_.trace.enabled);
+        span.set_args(local_heaps_.size());
         for (const auto& heap : local_heaps_) merged_.Merge(heap);
         mw.Charge(static_cast<exec::VirtualTime>(local_heaps_.size()) *
                   static_cast<exec::VirtualTime>(params_.k) * 4);

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "baselines/ta_nra.h"
+#include "obs/trace.h"
 #include "topk/doc_heap.h"
 
 namespace sparta::algos {
@@ -43,6 +44,7 @@ class SNraRun final : public topk::QueryRun {
       input.delta = params_.delta;
       input.seg_size = params_.seg_size;
       input.tracer = params_.tracer;
+      input.trace_spans = params_.trace.enabled;
       input.lists.resize(terms_.size());
     }
     for (std::size_t i = 0; i < terms_.size(); ++i) {
@@ -88,6 +90,9 @@ class SNraRun final : public topk::QueryRun {
     if (out.oom) oom_.store(true);
     if (shards_left_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       ctx_.Submit([this](WorkerContext& mw) {
+        obs::SpanScope span(mw, obs::SpanKind::kMerge,
+                            params_.trace.enabled);
+        span.set_args(outputs_.size());
         for (const auto& o : outputs_) {
           for (const auto& e : o.topk) merged_.Insert({e.score, e.doc});
         }

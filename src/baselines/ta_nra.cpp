@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "topk/doc_map.h"
 
 namespace sparta::algos {
@@ -119,6 +120,8 @@ NraShardOutput NraShardScan(const NraShardInput& input, WorkerContext& w) {
           std::min<std::size_t>(begin + input.seg_size, list.size());
       if (begin >= end) continue;
       any_progress = true;
+      obs::SpanScope scan_span(w, obs::SpanKind::kPostingsScan,
+                               input.trace_spans);
       w.IoSequential(input.lists[i].io_offset + begin * sizeof(Posting),
                      (end - begin) * sizeof(Posting));
 
@@ -153,6 +156,7 @@ NraShardOutput NraShardScan(const NraShardInput& input, WorkerContext& w) {
       const auto processed = static_cast<std::uint64_t>(end - begin);
       out.postings += processed;
       w.ChargePostings(processed);
+      scan_span.set_args(static_cast<std::uint64_t>(i), processed);
       w.StructureAccessMany(
           candidates.size() * (sizeof(Candidate) + 4 * m + 32),
           /*write_shared=*/false, processed);

@@ -31,6 +31,9 @@ struct NraShardInput {
   exec::VirtualTime delta = exec::kNever;
   std::uint32_t seg_size = 1024;
   topk::HeapTracer* tracer = nullptr;
+  /// Emit one obs postings.scan span per traversed segment (no-op unless
+  /// the executor also has tracing enabled).
+  bool trace_spans = false;
 };
 
 struct NraShardOutput {

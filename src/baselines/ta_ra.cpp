@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/trace.h"
 #include "topk/doc_heap.h"
 #include "topk/doc_map.h"
 
@@ -117,6 +118,8 @@ class RaRun final : public topk::QueryRun {
         std::min<std::size_t>(begin + params_.seg_size, list.size());
     if (begin >= end) return;
 
+    obs::SpanScope scan_span(w, obs::SpanKind::kPostingsScan,
+                             params_.trace.enabled);
     w.IoSequential(view.impact_order_file_offset + begin * sizeof(Posting),
                    (end - begin) * sizeof(Posting));
     Score last_score = ub_[i].load(std::memory_order_relaxed);
@@ -151,6 +154,7 @@ class RaRun final : public topk::QueryRun {
     positions_[i] = begin + processed;
     postings_.fetch_add(processed, std::memory_order_relaxed);
     w.ChargePostings(processed);
+    scan_span.set_args(terms_[i], processed);
 
     ub_[i].store(positions_[i] >= list.size() ? 0 : last_score,
                  std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/trace.h"
 #include "topk/doc_map.h"
 
 namespace sparta::core {
@@ -262,6 +263,11 @@ class SpartaRun final : public topk::QueryRun {
     const std::size_t end =
         std::min<std::size_t>(begin + params_.seg_size, list.size());
     if (begin >= end) return;  // list exhausted
+    // Segment scan span: covers the I/O, the posting loop and the
+    // per-posting CPU charge; payload b carries `processed` so traces
+    // reconcile exactly with QueryStats::postings_processed.
+    obs::SpanScope scan_span(w, obs::SpanKind::kPostingsScan,
+                             params_.trace.enabled);
     w.IoSequential(view.impact_order_file_offset + begin * sizeof(Posting),
                    (end - begin) * sizeof(Posting));
 
@@ -302,6 +308,7 @@ class SpartaRun final : public topk::QueryRun {
     positions_[i] = begin + processed;
     postings_.fetch_add(processed, std::memory_order_relaxed);
     w.ChargePostings(processed);
+    scan_span.set_args(terms_[i], processed);
 
     if (options_.lazy_ub_updates) {
       // Line 24: one UB publication per segment.
@@ -328,6 +335,8 @@ class SpartaRun final : public topk::QueryRun {
   }
 
   void BuildTermMap(std::size_t i, WorkerContext& w) {
+    obs::SpanScope span(w, obs::SpanKind::kTermMapBuild,
+                        params_.trace.enabled);
     auto map = std::make_unique<LocalDocMap>(static_cast<int>(m_));
     bool ok = true;
     auto copy_missing = [&](DocType* d) {
@@ -345,12 +354,17 @@ class SpartaRun final : public topk::QueryRun {
       doc_map_.ForEach(copy_missing, w);
     }
     if (!ok) return AbortOom();
+    span.set_args(terms_[i], map->Size());
     term_maps_[i] = std::move(map);
   }
 
   // --- UPDATE_HEAP (lines 26-38) ---------------------------------------
 
   void UpdateHeap(DocType* d, WorkerContext& w) {
+    // Begins before the lock guard so any lock.wait span nests inside.
+    obs::SpanScope span(w, obs::SpanKind::kHeapUpdate,
+                        params_.trace.enabled);
+    span.set_args(d->id());
     const exec::CtxLockGuard guard(*heap_lock_, w);
     if (d->in_heap.load(std::memory_order_relaxed)) return;  // line 28
     const bool changed = heap_.Insert(d, w);
@@ -374,6 +388,8 @@ class SpartaRun final : public topk::QueryRun {
 
   void Cleaner(WorkerContext& w) {
     if (Done(w) || PollStop(w)) return;
+    obs::SpanScope pass_span(w, obs::SpanKind::kCleanerPass,
+                             params_.trace.enabled);
 
     if (options_.cleaner_prunes) {
       // Build tmpDocMap: retain heap members and documents whose upper
@@ -401,6 +417,7 @@ class SpartaRun final : public topk::QueryRun {
         doc_map_.ForEach(retain, w);
       }
       if (!ok) return AbortOom();
+      pass_span.set_args(scanned, tmp->Size());
       // Each scanned entry costs a map access plus the m-term UB sum.
       w.Charge(static_cast<VirtualTime>(scanned) *
                (static_cast<VirtualTime>(m_) + 8));

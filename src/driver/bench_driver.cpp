@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "topk/query_metrics.h"
+
 namespace sparta::driver {
 
 BenchDriver::BenchDriver(const corpus::Dataset& dataset)
@@ -79,6 +81,7 @@ LatencyResult BenchDriver::MeasureLatency(
     auto ctx = executor.CreateQuery();
     const auto search =
         algo.Run(dataset_.index(), query, params, *ctx);
+    topk::ValidateQueryStats(search.stats, "MeasureLatency");
     ++result.queries;
     result.postings += search.stats.postings_processed;
     result.io_retries += search.stats.io_retries;
@@ -191,6 +194,7 @@ ThroughputResult BenchDriver::MeasureThroughput(
   std::size_t recall_n = 0;
   for (auto& flight : flights) {
     const auto search = flight.run->TakeResult();
+    topk::ValidateQueryStats(search.stats, "MeasureThroughput");
     if (search.status == topk::ResultStatus::kOom) {
       ++result.oom;
       continue;
@@ -235,6 +239,13 @@ OpenLoopResult BenchDriver::MeasureOpenLoop(
   OpenLoopResult result;
   result.serve = server.ServeOnSim(executor, queries, params);
 
+  for (const serve::ServedQuery& q : result.serve.queries) {
+    if (q.outcome == topk::AdmissionOutcome::kAdmitted &&
+        q.completion >= 0) {
+      topk::ValidateQueryStats(q.result.stats, "MeasureOpenLoop");
+    }
+  }
+
   if (measure_recall) {
     double recall_sum = 0.0;
     std::size_t recall_n = 0;
@@ -252,6 +263,55 @@ OpenLoopResult BenchDriver::MeasureOpenLoop(
         recall_n > 0 ? recall_sum / static_cast<double>(recall_n) : 0.0;
   }
   return result;
+}
+
+TraceReport TraceSingleQuery(const index::InvertedIndex& index,
+                             const topk::Algorithm& algo,
+                             const corpus::Query& query,
+                             const topk::SearchParams& params,
+                             sim::SimConfig config) {
+  config.trace.enabled = true;
+  sim::SimExecutor executor(config);
+  executor.page_cache().Reset();
+
+  topk::SearchParams traced_params = params;
+  traced_params.trace.enabled = true;
+
+  auto ctx = executor.CreateQuery();
+  TraceReport report;
+  report.result = algo.Run(index, query, traced_params, *ctx);
+  topk::ValidateQueryStats(report.result.stats, "TraceSingleQuery");
+  report.latency = ctx->end_time() - ctx->start_time();
+
+  const obs::Tracer* tracer = executor.tracer();
+  SPARTA_CHECK(tracer != nullptr);
+  report.json = obs::ExportChromeTrace(*tracer);
+  report.attribution = obs::ComputeAttribution(*tracer);
+  return report;
+}
+
+Table AttributionTable(const TraceReport& report) {
+  Table table("where the time goes",
+              {"span", "count", "total_ms", "self_ms", "self_share"});
+  for (const obs::AttributionRow& row : report.attribution) {
+    const double share =
+        report.latency > 0
+            ? static_cast<double>(row.self) /
+                  static_cast<double>(report.latency)
+            : 0.0;
+    table.AddRow({obs::SpanKindName(row.kind),
+                  std::to_string(row.count), FormatMs(row.total),
+                  FormatMs(row.self), FormatPct(share)});
+  }
+  return table;
+}
+
+TraceReport BenchDriver::TraceQuery(const topk::Algorithm& algo,
+                                    const corpus::Query& query,
+                                    const topk::SearchParams& params,
+                                    int workers) {
+  return TraceSingleQuery(dataset_.index(), algo, query, params,
+                          MakeSimConfig(workers));
 }
 
 }  // namespace sparta::driver

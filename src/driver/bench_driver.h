@@ -17,6 +17,8 @@
 #include <span>
 
 #include "corpus/datasets.h"
+#include "driver/table.h"
+#include "obs/trace_export.h"
 #include "serve/server.h"
 #include "sim/sim_executor.h"
 #include "topk/algorithm.h"
@@ -61,6 +63,30 @@ struct ThroughputResult {
   std::size_t degraded = 0;
   double mean_recall = 0.0;
 };
+
+/// One traced query run: the search result plus the exported Chrome
+/// trace-event JSON and the per-kind latency-attribution rows.
+struct TraceReport {
+  topk::SearchResult result;
+  exec::VirtualTime latency = 0;  ///< end-to-end virtual time
+  std::string json;               ///< Chrome trace-event export
+  std::vector<obs::AttributionRow> attribution;
+};
+
+/// Runs one query alone on a traced simulator (machine- and
+/// algorithm-level spans both enabled) and exports the trace. The cost
+/// model in `config` is used as given — pass coherence_miss == l1_hit
+/// when byte-identical reruns matter (see obs/trace.h).
+TraceReport TraceSingleQuery(const index::InvertedIndex& index,
+                             const topk::Algorithm& algo,
+                             const corpus::Query& query,
+                             const topk::SearchParams& params,
+                             sim::SimConfig config);
+
+/// Renders a TraceReport's attribution rows as a "where the time goes"
+/// table: per span kind, count, inclusive and exclusive (self) time, and
+/// self time as a share of query latency.
+Table AttributionTable(const TraceReport& report);
 
 struct OpenLoopResult {
   /// Full per-query and aggregate serving record (see serve/server.h).
@@ -127,6 +153,12 @@ class BenchDriver {
                                  const serve::ServeConfig& serve_config,
                                  const sim::SimConfig& config,
                                  bool measure_recall = true);
+
+  /// Traces one query on this dataset's simulated machine (see
+  /// TraceSingleQuery).
+  TraceReport TraceQuery(const topk::Algorithm& algo,
+                         const corpus::Query& query,
+                         const topk::SearchParams& params, int workers);
 
   /// Ground truth for (query, k), cached across calls.
   const topk::ExactTopK& Oracle(const corpus::Query& query, int k);

@@ -23,6 +23,10 @@
 
 #include "util/common.h"
 
+namespace sparta::obs {
+class Tracer;
+}  // namespace sparta::obs
+
 namespace sparta::exec {
 
 /// Time in nanoseconds. Virtual under the simulator, steady-clock-based
@@ -151,6 +155,17 @@ class WorkerContext {
   /// degradation ladder; algorithms themselves keep adapting only
   /// through the deadline/ShouldStop hooks above.
   virtual double QueuePressure() const { return 0.0; }
+
+  /// Span sink for query-lifecycle tracing, or nullptr when tracing is
+  /// off (the default). Instrumentation sites read this once per scope
+  /// (obs::SpanScope) so the off path is a single null check — no
+  /// charges, no allocations, no behavior change.
+  virtual obs::Tracer* tracer() const { return nullptr; }
+
+  /// Timestamp for trace events. Equal to Now() in the simulator; the
+  /// threaded executor rebases onto an executor-lifetime epoch so spans
+  /// from successive queries stay monotone on one timeline.
+  virtual VirtualTime TraceNow() const { return Now(); }
 };
 
 /// A mutual-exclusion lock priced by the executor (real std::mutex on

@@ -20,10 +20,12 @@ class ThreadedWorker final : public WorkerContext {
                  std::atomic<std::int64_t>* mem_used,
                  std::int64_t mem_budget,
                  const std::atomic<VirtualTime>* deadline,
-                 const JobQueue* queue, int num_workers)
+                 const JobQueue* queue, int num_workers,
+                 obs::Tracer* tracer, Clock::time_point trace_epoch)
       : id_(id), epoch_(epoch), mem_used_(mem_used),
         mem_budget_(mem_budget), deadline_(deadline), queue_(queue),
-        num_workers_(num_workers) {}
+        num_workers_(num_workers), tracer_(tracer),
+        trace_epoch_(trace_epoch) {}
 
   int worker_id() const override { return id_; }
 
@@ -63,6 +65,14 @@ class ThreadedWorker final : public WorkerContext {
            static_cast<double>(num_workers_);
   }
 
+  obs::Tracer* tracer() const override { return tracer_; }
+
+  VirtualTime TraceNow() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - trace_epoch_)
+        .count();
+  }
+
  private:
   int id_;
   Clock::time_point epoch_;
@@ -71,6 +81,8 @@ class ThreadedWorker final : public WorkerContext {
   const std::atomic<VirtualTime>* deadline_;
   const JobQueue* queue_;
   int num_workers_;
+  obs::Tracer* tracer_;
+  Clock::time_point trace_epoch_;
 };
 
 /// CtxLock over std::mutex.
@@ -85,8 +97,10 @@ class ThreadedLock final : public CtxLock {
 
 class ThreadedQuery final : public QueryContext {
  public:
-  explicit ThreadedQuery(ThreadedExecutor::Options options)
-      : options_(options), epoch_(Clock::now()) {}
+  ThreadedQuery(ThreadedExecutor::Options options, obs::Tracer* tracer,
+                Clock::time_point trace_epoch, std::uint64_t qid)
+      : options_(options), epoch_(Clock::now()), tracer_(tracer),
+        trace_epoch_(trace_epoch), qid_(qid) {}
 
   void Submit(JobFn job) override { queue_.Push(std::move(job)); }
 
@@ -103,9 +117,14 @@ class ThreadedQuery final : public QueryContext {
       workers.emplace_back([this, w] {
         ThreadedWorker ctx(w, epoch_, &mem_used_,
                            options_.memory_budget_bytes, &deadline_,
-                           &queue_, options_.num_workers);
+                           &queue_, options_.num_workers, tracer_,
+                           trace_epoch_);
         while (auto job = queue_.Pop()) {
-          (*job)(ctx);
+          {
+            obs::SpanScope span(ctx, obs::SpanKind::kJob);
+            span.set_args(qid_);
+            (*job)(ctx);
+          }
           queue_.JobDone();
         }
       });
@@ -136,16 +155,25 @@ class ThreadedQuery final : public QueryContext {
   std::atomic<std::int64_t> mem_used_{0};
   std::atomic<VirtualTime> deadline_{kNever};
   VirtualTime end_time_ = 0;
+  obs::Tracer* tracer_;
+  Clock::time_point trace_epoch_;
+  std::uint64_t qid_;
 };
 
 }  // namespace
 
-ThreadedExecutor::ThreadedExecutor(Options options) : options_(options) {
+ThreadedExecutor::ThreadedExecutor(Options options)
+    : options_(options), trace_epoch_(std::chrono::steady_clock::now()) {
   SPARTA_CHECK(options_.num_workers >= 1);
+  if (options_.trace.enabled) {
+    tracer_ = std::make_unique<obs::Tracer>(options_.num_workers);
+  }
 }
 
 std::unique_ptr<QueryContext> ThreadedExecutor::CreateQuery() {
-  return std::make_unique<ThreadedQuery>(options_);
+  return std::make_unique<ThreadedQuery>(
+      options_, tracer_.get(), trace_epoch_,
+      next_query_id_.fetch_add(1, std::memory_order_relaxed));
 }
 
 }  // namespace sparta::exec

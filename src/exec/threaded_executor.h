@@ -6,10 +6,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 #include "exec/context.h"
 #include "exec/job_queue.h"
+#include "obs/trace.h"
 
 namespace sparta::exec {
 
@@ -21,6 +23,11 @@ class ThreadedExecutor {
     /// unlimited (real executions do not simulate OOM).
     std::int64_t memory_budget_bytes =
         std::numeric_limits<std::int64_t>::max();
+    /// Query-lifecycle tracing (wall-clock timestamps; off by default).
+    /// Unlike the simulator, threaded traces are not byte-reproducible —
+    /// they time real hardware — but the span structure obeys the same
+    /// well-formedness invariants.
+    obs::TraceConfig trace;
   };
 
   explicit ThreadedExecutor(Options options);
@@ -32,8 +39,17 @@ class ThreadedExecutor {
 
   const Options& options() const { return options_; }
 
+  /// Non-null iff `Options::trace.enabled`. Spans from successive
+  /// queries share one timeline anchored at executor construction.
+  obs::Tracer* tracer() const { return tracer_.get(); }
+
  private:
   Options options_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  /// Trace-timestamp epoch: executor construction, not query start, so
+  /// per-track timestamps stay monotone across sequential queries.
+  std::chrono::steady_clock::time_point trace_epoch_;
+  std::atomic<std::uint64_t> next_query_id_{0};
 };
 
 }  // namespace sparta::exec

@@ -1,0 +1,62 @@
+#include "obs/metrics.h"
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace sparta::obs {
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return gauges_[name];
+}
+
+util::Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s;
+    s.count = h.count();
+    if (!h.empty()) {
+      s.mean = h.Mean();
+      s.min = h.Min();
+      s.max = h.Max();
+      s.p50 = h.Percentile(50.0);
+      s.p99 = h.P99();
+    }
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+void AccumulateTraceMetrics(const Tracer& tracer, MetricsRegistry& registry) {
+  for (int t = 0; t < tracer.num_tracks(); ++t) {
+    for (const TraceEvent& e : tracer.track(t)) {
+      if (e.is_instant) {
+        registry
+            .GetCounter(std::string("trace.instants.") +
+                        InstantKindName(e.instant_kind()))
+            .Add();
+      } else {
+        const char* name = SpanKindName(e.span_kind());
+        registry.GetCounter(std::string("trace.spans.") + name).Add();
+        registry.GetHistogram(std::string("trace.span_ns.") + name)
+            .Add(e.end - e.begin);
+      }
+    }
+  }
+}
+
+}  // namespace sparta::obs

@@ -1,0 +1,87 @@
+// Pull-based metrics registry: named counters, gauges and histograms
+// with stable handles, snapshotted on demand.
+//
+// The registry subsumes the ad-hoc aggregate fields scattered across
+// QueryStats and the serving layer: callers register (or look up) a
+// metric by name once, hold the returned reference, and update it with
+// atomic operations; a reporting thread calls Snapshot() to get a
+// consistent by-name copy. Handles returned by GetCounter/GetGauge/
+// GetHistogram are valid for the registry's lifetime (std::map nodes
+// never move).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace sparta::obs {
+
+class Tracer;
+
+/// Monotone event count.
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level (queue depth, in-flight queries, rung index).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_ = v; }
+  void Add(std::int64_t delta) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Five-number summary of a histogram at snapshot time.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p99 = 0;
+};
+
+/// Consistent by-name copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  util::Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, util::Histogram> histograms_;
+};
+
+/// Folds a finished trace into the registry: one
+/// `trace.spans.<kind>` counter per span kind present, one
+/// `trace.instants.<kind>` counter per instant kind, and
+/// `trace.span_ns.<kind>` histograms of span durations.
+void AccumulateTraceMetrics(const Tracer& tracer, MetricsRegistry& registry);
+
+}  // namespace sparta::obs

@@ -1,0 +1,181 @@
+#include "obs/trace.h"
+
+namespace sparta::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kJob:
+      return "job";
+    case SpanKind::kPostingsScan:
+      return "postings.scan";
+    case SpanKind::kDocMapAccess:
+      return "docmap.access";
+    case SpanKind::kHeapUpdate:
+      return "heap.update";
+    case SpanKind::kIoRead:
+      return "io.read";
+    case SpanKind::kLockWait:
+      return "lock.wait";
+    case SpanKind::kQueueWait:
+      return "queue.wait";
+    case SpanKind::kCleanerPass:
+      return "cleaner.pass";
+    case SpanKind::kTermMapBuild:
+      return "termmap.build";
+    case SpanKind::kMerge:
+      return "merge";
+    case SpanKind::kFinalize:
+      return "finalize";
+    case SpanKind::kAdmissionWait:
+      return "admission.wait";
+  }
+  return "span";
+}
+
+const char* InstantKindName(InstantKind kind) {
+  switch (kind) {
+    case InstantKind::kIoRetry:
+      return "io.retry";
+    case InstantKind::kFaultStall:
+      return "fault.stall";
+    case InstantKind::kAdmissionReject:
+      return "admission.reject";
+    case InstantKind::kAdmissionShed:
+      return "admission.shed";
+    case InstantKind::kBreakerDrop:
+      return "breaker.drop";
+    case InstantKind::kLadderRung:
+      return "ladder.rung";
+    case InstantKind::kBreakerState:
+      return "breaker.state";
+  }
+  return "instant";
+}
+
+const char* SpanArgName(SpanKind kind, int slot) {
+  switch (kind) {
+    case SpanKind::kJob:
+    case SpanKind::kQueueWait:
+      return slot == 0 ? "query" : "seq";
+    case SpanKind::kPostingsScan:
+      return slot == 0 ? "term" : "postings";
+    case SpanKind::kDocMapAccess:
+      return slot == 0 ? "doc" : "op";
+    case SpanKind::kHeapUpdate:
+      return slot == 0 ? "doc" : "score";
+    case SpanKind::kIoRead:
+      return slot == 0 ? "page" : "flags";
+    case SpanKind::kLockWait:
+      return slot == 0 ? "lock" : "arg";
+    case SpanKind::kCleanerPass:
+      return slot == 0 ? "scanned" : "kept";
+    case SpanKind::kTermMapBuild:
+      return slot == 0 ? "term" : "entries";
+    case SpanKind::kMerge:
+      return slot == 0 ? "items" : "arg";
+    case SpanKind::kFinalize:
+      return slot == 0 ? "scanned" : "arg";
+    case SpanKind::kAdmissionWait:
+      return slot == 0 ? "record" : "rung";
+  }
+  return slot == 0 ? "a" : "b";
+}
+
+const char* InstantArgName(InstantKind kind, int slot) {
+  switch (kind) {
+    case InstantKind::kIoRetry:
+      return slot == 0 ? "retries" : "page";
+    case InstantKind::kFaultStall:
+      return slot == 0 ? "stall_ns" : "query";
+    case InstantKind::kAdmissionReject:
+    case InstantKind::kAdmissionShed:
+    case InstantKind::kBreakerDrop:
+      return slot == 0 ? "record" : "arg";
+    case InstantKind::kLadderRung:
+      return slot == 0 ? "rung" : "record";
+    case InstantKind::kBreakerState:
+      return slot == 0 ? "state" : "arg";
+  }
+  return slot == 0 ? "a" : "b";
+}
+
+Tracer::Tracer(int num_workers) : num_workers_(num_workers) {
+  SPARTA_CHECK(num_workers >= 1);
+  tracks_.resize(static_cast<std::size_t>(num_tracks()));
+}
+
+void Tracer::AddSpan(int track, SpanKind kind, exec::VirtualTime begin,
+                     exec::VirtualTime end, std::uint64_t a,
+                     std::uint64_t b) {
+  SPARTA_CHECK(track >= 0 && track < num_tracks());
+  SPARTA_CHECK(end >= begin);
+  const std::lock_guard<std::mutex> guard(mutex_);
+  tracks_[static_cast<std::size_t>(track)].push_back(
+      {begin, end, a, b, static_cast<std::uint8_t>(kind), false});
+}
+
+void Tracer::AddInstant(int track, InstantKind kind, exec::VirtualTime ts,
+                        std::uint64_t a, std::uint64_t b) {
+  SPARTA_CHECK(track >= 0 && track < num_tracks());
+  const std::lock_guard<std::mutex> guard(mutex_);
+  tracks_[static_cast<std::size_t>(track)].push_back(
+      {ts, ts, a, b, static_cast<std::uint8_t>(kind), true});
+}
+
+std::size_t Tracer::total_events() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  std::size_t total = 0;
+  for (const auto& t : tracks_) total += t.size();
+  return total;
+}
+
+std::uint64_t Tracer::CountSpans(SpanKind kind) const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  std::uint64_t count = 0;
+  for (const auto& t : tracks_) {
+    for (const auto& e : t) {
+      if (!e.is_instant && e.span_kind() == kind) ++count;
+    }
+  }
+  return count;
+}
+
+std::uint64_t Tracer::CountInstants(InstantKind kind) const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  std::uint64_t count = 0;
+  for (const auto& t : tracks_) {
+    for (const auto& e : t) {
+      if (e.is_instant && e.instant_kind() == kind) ++count;
+    }
+  }
+  return count;
+}
+
+std::uint64_t Tracer::SumSpanArgB(SpanKind kind) const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  std::uint64_t sum = 0;
+  for (const auto& t : tracks_) {
+    for (const auto& e : t) {
+      if (!e.is_instant && e.span_kind() == kind) sum += e.b;
+    }
+  }
+  return sum;
+}
+
+std::uint64_t Tracer::SumInstantArgA(InstantKind kind) const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  std::uint64_t sum = 0;
+  for (const auto& t : tracks_) {
+    for (const auto& e : t) {
+      if (e.is_instant && e.instant_kind() == kind) sum += e.a;
+    }
+  }
+  return sum;
+}
+
+void Tracer::Clear() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& t : tracks_) t.clear();
+}
+
+}  // namespace sparta::obs

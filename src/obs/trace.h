@@ -1,0 +1,170 @@
+// Per-query span tracing: where the time inside a query goes.
+//
+// The tracer records scoped begin/end events (jobs, postings-segment
+// scans, docMap accesses, heap updates, SSD reads, lock waits, queue
+// waits) and point-in-time instant events (I/O retries, admission
+// decisions, ladder rung changes, breaker flips), stamped with the
+// executor clock and a track id. Tracks 0..W-1 are the workers (spans on
+// a worker track strictly nest — each worker has one monotone clock and
+// spans are emitted by RAII scopes); track W is the scheduler (job queue
+// waits, which legitimately overlap); track W+1 is the serving layer
+// (admission waits and policy events).
+//
+// Determinism contract (enforced by tests/test_obs.cpp): tracing is
+// off by default and the off path is a null-pointer check — no charges,
+// no allocations — so traced-off runs are bit-identical to builds
+// without this layer. With tracing on, hooks read clocks but never
+// charge virtual time, so result sets and virtual latencies are
+// unchanged; under an address-independent cost model (coherence_miss ==
+// l1_hit) the same seed yields a byte-identical exported trace.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "exec/context.h"
+#include "util/common.h"
+
+namespace sparta::obs {
+
+/// Runtime tracing knob, carried by SimConfig / ThreadedExecutor::Options
+/// (machine-level spans: jobs, I/O, locks, queue waits, docMap) and by
+/// SearchParams (algorithm-level spans: postings scans, heap updates,
+/// cleaner passes, merges). Off by default everywhere.
+struct TraceConfig {
+  bool enabled = false;
+};
+
+/// Scoped (begin/end) event kinds.
+enum class SpanKind : std::uint8_t {
+  kJob,           ///< one job body, dispatch overhead included
+  kPostingsScan,  ///< one posting-list segment scan
+  kDocMapAccess,  ///< shared/local document-map operation
+  kHeapUpdate,    ///< top-k heap insert under the heap lock
+  kIoRead,        ///< one page through the cache/SSD model
+  kLockWait,      ///< contended lock acquisition (wait + handoff)
+  kQueueWait,     ///< job sat in the executor queue (scheduler track)
+  kCleanerPass,   ///< one Sparta cleaner prune/stop pass
+  kTermMapBuild,  ///< Sparta termMap replica construction
+  kMerge,         ///< local-heap / shard-result merge job
+  kFinalize,      ///< accumulator sweep building the final heap
+  kAdmissionWait, ///< admission-queue wait (serving track)
+};
+
+/// Point events.
+enum class InstantKind : std::uint8_t {
+  kIoRetry,         ///< transient read error: retries charged
+  kFaultStall,      ///< injected worker stall at job dispatch
+  kAdmissionReject, ///< bounced: admission queue full
+  kAdmissionShed,   ///< shed: predicted wait forfeits the SLO
+  kBreakerDrop,     ///< dropped: circuit breaker open
+  kLadderRung,      ///< degradation-ladder rung changed at dispatch
+  kBreakerState,    ///< observed breaker state changed
+};
+
+const char* SpanKindName(SpanKind kind);
+const char* InstantKindName(InstantKind kind);
+/// Chrome-trace arg-field names for the two payload slots of a kind.
+const char* SpanArgName(SpanKind kind, int slot);
+const char* InstantArgName(InstantKind kind, int slot);
+
+/// One recorded event. Spans have end >= begin; instants have end ==
+/// begin and is_instant set. `a`/`b` are kind-specific payloads (see
+/// SpanArgName) — always derived from deterministic values (never
+/// addresses), so exports are byte-stable across runs.
+struct TraceEvent {
+  exec::VirtualTime begin = 0;
+  exec::VirtualTime end = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint8_t code = 0;  ///< SpanKind or InstantKind
+  bool is_instant = false;
+
+  SpanKind span_kind() const { return static_cast<SpanKind>(code); }
+  InstantKind instant_kind() const {
+    return static_cast<InstantKind>(code);
+  }
+};
+
+/// Event sink owned by an executor. Append-only per-track vectors; the
+/// per-track emission order is deterministic because the executors are.
+/// Thread-safe (the threaded executor's workers emit concurrently); the
+/// simulator pays only an uncontended mutex.
+class Tracer {
+ public:
+  explicit Tracer(int num_workers);
+
+  int num_workers() const { return num_workers_; }
+  int num_tracks() const { return num_workers_ + 2; }
+  int scheduler_track() const { return num_workers_; }
+  int serving_track() const { return num_workers_ + 1; }
+
+  void AddSpan(int track, SpanKind kind, exec::VirtualTime begin,
+               exec::VirtualTime end, std::uint64_t a = 0,
+               std::uint64_t b = 0);
+  void AddInstant(int track, InstantKind kind, exec::VirtualTime ts,
+                  std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Events of one track in emission order (inner RAII spans precede the
+  /// enclosing span — order by end time, not begin).
+  const std::vector<TraceEvent>& track(int t) const {
+    return tracks_[static_cast<std::size_t>(t)];
+  }
+
+  std::size_t total_events() const;
+
+  /// Count / payload-sum helpers for reconciliation tests and metrics.
+  std::uint64_t CountSpans(SpanKind kind) const;
+  std::uint64_t CountInstants(InstantKind kind) const;
+  std::uint64_t SumSpanArgB(SpanKind kind) const;
+  std::uint64_t SumInstantArgA(InstantKind kind) const;
+
+  void Clear();
+
+ private:
+  int num_workers_;
+  std::vector<std::vector<TraceEvent>> tracks_;
+  mutable std::mutex mutex_;
+};
+
+/// RAII span bound to the executing worker's track. Reads the tracer
+/// once; a null tracer (tracing off, or `enabled` false for
+/// algorithm-gated spans) makes every member a no-op.
+class SpanScope {
+ public:
+  SpanScope(exec::WorkerContext& worker, SpanKind kind,
+            bool enabled = true)
+      : worker_(worker),
+        tracer_(enabled ? worker.tracer() : nullptr),
+        kind_(kind) {
+    if (tracer_ != nullptr) begin_ = worker_.TraceNow();
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void set_args(std::uint64_t a, std::uint64_t b = 0) {
+    a_ = a;
+    b_ = b;
+  }
+
+  bool active() const { return tracer_ != nullptr; }
+
+  ~SpanScope() {
+    if (tracer_ != nullptr) {
+      tracer_->AddSpan(worker_.worker_id(), kind_, begin_,
+                       worker_.TraceNow(), a_, b_);
+    }
+  }
+
+ private:
+  exec::WorkerContext& worker_;
+  Tracer* tracer_;
+  SpanKind kind_;
+  exec::VirtualTime begin_ = 0;
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+
+}  // namespace sparta::obs

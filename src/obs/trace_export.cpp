@@ -1,0 +1,161 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sparta::obs {
+namespace {
+
+// Fixed-point ns → µs: "12.345". Byte-stable (no doubles).
+void AppendMicros(std::string& out, exec::VirtualTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void AppendMetadata(std::string& out, const char* what, int tid,
+                    const std::string& name) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+  AppendU64(out, static_cast<std::uint64_t>(tid));
+  out += ",\"args\":{\"name\":\"" + name + "\"}}";
+}
+
+std::string TrackName(const Tracer& tracer, int t) {
+  if (t == tracer.scheduler_track()) return "scheduler";
+  if (t == tracer.serving_track()) return "serving";
+  return "worker " + std::to_string(t);
+}
+
+void AppendEvent(std::string& out, const TraceEvent& e, int tid) {
+  if (e.is_instant) {
+    const InstantKind kind = e.instant_kind();
+    out += "{\"name\":\"";
+    out += InstantKindName(kind);
+    out += "\",\"cat\":\"sparta\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+    AppendMicros(out, e.begin);
+    out += ",\"pid\":1,\"tid\":";
+    AppendU64(out, static_cast<std::uint64_t>(tid));
+    out += ",\"args\":{\"";
+    out += InstantArgName(kind, 0);
+    out += "\":";
+    AppendU64(out, e.a);
+    out += ",\"";
+    out += InstantArgName(kind, 1);
+    out += "\":";
+    AppendU64(out, e.b);
+    out += "}}";
+    return;
+  }
+  const SpanKind kind = e.span_kind();
+  out += "{\"name\":\"";
+  out += SpanKindName(kind);
+  out += "\",\"cat\":\"sparta\",\"ph\":\"X\",\"ts\":";
+  AppendMicros(out, e.begin);
+  out += ",\"dur\":";
+  AppendMicros(out, e.end - e.begin);
+  out += ",\"pid\":1,\"tid\":";
+  AppendU64(out, static_cast<std::uint64_t>(tid));
+  out += ",\"args\":{\"";
+  out += SpanArgName(kind, 0);
+  out += "\":";
+  AppendU64(out, e.a);
+  out += ",\"";
+  out += SpanArgName(kind, 1);
+  out += "\":";
+  AppendU64(out, e.b);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const Tracer& tracer) {
+  std::string out;
+  out.reserve(256 + tracer.total_events() * 144);
+  out += "[\n";
+  AppendMetadata(out, "process_name", 0, "sparta");
+  for (int t = 0; t < tracer.num_tracks(); ++t) {
+    out += ",\n";
+    AppendMetadata(out, "thread_name", t, TrackName(tracer, t));
+  }
+  for (int t = 0; t < tracer.num_tracks(); ++t) {
+    for (const TraceEvent& e : tracer.track(t)) {
+      out += ",\n";
+      AppendEvent(out, e, t);
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::vector<AttributionRow> ComputeAttribution(const Tracer& tracer) {
+  constexpr int kNumKinds = static_cast<int>(SpanKind::kAdmissionWait) + 1;
+  std::uint64_t count[kNumKinds] = {};
+  exec::VirtualTime total[kNumKinds] = {};
+  exec::VirtualTime self[kNumKinds] = {};
+
+  for (int t = 0; t < tracer.num_workers(); ++t) {
+    std::vector<TraceEvent> spans;
+    for (const TraceEvent& e : tracer.track(t)) {
+      if (!e.is_instant) spans.push_back(e);
+    }
+    // Parents sort before their children: begin ascending, then end
+    // descending (RAII on a monotone per-worker clock guarantees proper
+    // containment, never partial overlap).
+    std::sort(spans.begin(), spans.end(),
+              [](const TraceEvent& x, const TraceEvent& y) {
+                if (x.begin != y.begin) return x.begin < y.begin;
+                return x.end > y.end;
+              });
+    struct Frame {
+      int kind;
+      exec::VirtualTime begin;
+      exec::VirtualTime end;
+      exec::VirtualTime child = 0;  ///< Σ durations of direct children.
+    };
+    std::vector<Frame> st;
+    auto close = [&](const Frame& f) {
+      self[f.kind] += (f.end - f.begin) - f.child;
+      if (!st.empty()) st.back().child += f.end - f.begin;
+    };
+    for (const TraceEvent& e : spans) {
+      while (!st.empty() && st.back().end <= e.begin) {
+        const Frame f = st.back();
+        st.pop_back();
+        close(f);
+      }
+      const int k = static_cast<int>(e.span_kind());
+      ++count[k];
+      total[k] += e.end - e.begin;
+      st.push_back({k, e.begin, e.end, 0});
+    }
+    while (!st.empty()) {
+      const Frame f = st.back();
+      st.pop_back();
+      close(f);
+    }
+  }
+
+  std::vector<AttributionRow> rows;
+  for (int k = 0; k < kNumKinds; ++k) {
+    if (count[k] == 0) continue;
+    rows.push_back({static_cast<SpanKind>(k), count[k], total[k], self[k]});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const AttributionRow& x, const AttributionRow& y) {
+              if (x.self != y.self) return x.self > y.self;
+              return static_cast<int>(x.kind) < static_cast<int>(y.kind);
+            });
+  return rows;
+}
+
+}  // namespace sparta::obs

@@ -1,0 +1,38 @@
+// Chrome trace-event JSON export and per-phase latency attribution.
+//
+// ExportChromeTrace emits the classic trace-event array format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// loadable in chrome://tracing and ui.perfetto.dev: "X" complete events
+// for spans, "i" instant events, "M" metadata naming the tracks.
+// Virtual-time nanoseconds are printed as fixed-point microseconds
+// (integer µs + 3 decimal digits) — no floating-point formatting — so
+// the export is byte-stable across runs and platforms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/context.h"
+#include "obs/trace.h"
+
+namespace sparta::obs {
+
+std::string ExportChromeTrace(const Tracer& tracer);
+
+/// One row of the where-the-time-goes table, aggregated over all worker
+/// tracks. `total` sums span durations; `self` subtracts the durations
+/// of directly nested child spans, so Σ self over kinds ≤ Σ job time and
+/// a kind's self time is honest exclusive attribution.
+struct AttributionRow {
+  SpanKind kind = SpanKind::kJob;
+  std::uint64_t count = 0;
+  exec::VirtualTime total = 0;
+  exec::VirtualTime self = 0;
+};
+
+/// Computes exclusive/inclusive time per span kind from the worker
+/// tracks (scheduler/serving tracks are wait time, not work, and are
+/// excluded). Rows sorted by self time descending.
+std::vector<AttributionRow> ComputeAttribution(const Tracer& tracer);
+
+}  // namespace sparta::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace sparta::serve {
@@ -21,6 +22,10 @@ bool IsMachineFailure(topk::ResultStatus status) {
 struct Decision {
   AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
   bool probe = false;
+  /// Breaker state observed at decision time (kClosed when disabled),
+  /// so the serving loops can trace state flips without re-reading the
+  /// (time-advancing, non-const) breaker.
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
 };
 
 /// Admission + breaker policy shared by the sim and threaded paths; all
@@ -37,7 +42,8 @@ class PolicyState {
     Decision d;
     bool half_open = false;
     if (config_.breaker_enabled) {
-      switch (breaker_.state(arrival)) {
+      d.breaker_state = breaker_.state(arrival);
+      switch (d.breaker_state) {
         case CircuitBreaker::State::kOpen:
           d.outcome = AdmissionOutcome::kBreakerDropped;
           return d;
@@ -84,6 +90,59 @@ class PolicyState {
   const ServeConfig& config_;
   AdmissionController ctrl_;
   CircuitBreaker breaker_;
+};
+
+/// Serving-track trace emission shared by the sim and threaded paths.
+/// Null tracer → every call is a no-op. Admission waits become spans
+/// [arrival, dispatch]; policy outcomes become instants at their
+/// decision time; rung / breaker-state instants fire only on change.
+struct ServeTrace {
+  obs::Tracer* tracer = nullptr;
+  int track = 0;
+  std::size_t last_rung = 0;
+  CircuitBreaker::State last_state = CircuitBreaker::State::kClosed;
+
+  explicit ServeTrace(obs::Tracer* t) : tracer(t) {
+    if (tracer != nullptr) track = tracer->serving_track();
+  }
+
+  void OnDecision(std::size_t record, exec::VirtualTime arrival,
+                  const Decision& d, bool breaker_enabled) {
+    if (tracer == nullptr) return;
+    if (breaker_enabled && d.breaker_state != last_state) {
+      tracer->AddInstant(track, obs::InstantKind::kBreakerState, arrival,
+                         static_cast<std::uint64_t>(d.breaker_state));
+      last_state = d.breaker_state;
+    }
+    switch (d.outcome) {
+      case AdmissionOutcome::kRejectedFull:
+        tracer->AddInstant(track, obs::InstantKind::kAdmissionReject,
+                           arrival, record);
+        break;
+      case AdmissionOutcome::kShedPredictedWait:
+        tracer->AddInstant(track, obs::InstantKind::kAdmissionShed,
+                           arrival, record);
+        break;
+      case AdmissionOutcome::kBreakerDropped:
+        tracer->AddInstant(track, obs::InstantKind::kBreakerDrop, arrival,
+                           record);
+        break;
+      case AdmissionOutcome::kAdmitted:
+        break;
+    }
+  }
+
+  void OnDispatch(std::size_t record, exec::VirtualTime arrival,
+                  exec::VirtualTime now, std::size_t rung) {
+    if (tracer == nullptr) return;
+    tracer->AddSpan(track, obs::SpanKind::kAdmissionWait, arrival, now,
+                    record, rung);
+    if (rung != last_rung) {
+      tracer->AddInstant(track, obs::InstantKind::kLadderRung, now, rung,
+                         record);
+      last_rung = rung;
+    }
+  }
 };
 
 /// Fills the per-query records shared fields and computes aggregates.
@@ -142,6 +201,7 @@ ServeResult Server::ServeOnSim(sim::SimExecutor& executor,
   }
 
   PolicyState policy(config_);
+  ServeTrace strace(executor.tracer());
 
   struct Flight {
     std::size_t record = 0;
@@ -197,6 +257,7 @@ ServeResult Server::ServeOnSim(sim::SimExecutor& executor,
     rec.outcome = d.outcome;
     rec.probe = d.probe;
     rec.result.stats.admission_outcome = d.outcome;
+    strace.OnDecision(idx, rec.arrival, d, config_.breaker_enabled);
     if (d.outcome == AdmissionOutcome::kAdmitted) {
       queue.push_back(idx);
       result.max_queue_depth =
@@ -218,6 +279,7 @@ ServeResult Server::ServeOnSim(sim::SimExecutor& executor,
     rec.rung = rung;
     ++result.rung_dispatches[std::min(rung,
                                       result.rung_dispatches.size() - 1)];
+    strace.OnDispatch(rec_idx, rec.arrival, now, rung);
     topk::SearchParams params = base_params;
     if (config_.deadline_from_slo && config_.slo != exec::kNever) {
       // Slack against the *budgeted* SLO (headroom applied): a query
@@ -281,6 +343,10 @@ ServeResult Server::ServeOnThreads(
   }
 
   PolicyState policy(config_);
+  // Serving-track events use the emulated serving timeline (arrival
+  // schedule + measured service times), self-consistent on their own
+  // track even though worker tracks run on the wall clock.
+  ServeTrace strace(executor.tracer());
   std::deque<std::size_t> queue;
   std::size_t next_arrival = 0;
   // The pool serves one query at a time (pool-per-query, the paper's
@@ -294,6 +360,7 @@ ServeResult Server::ServeOnThreads(
     rec.outcome = d.outcome;
     rec.probe = d.probe;
     rec.result.stats.admission_outcome = d.outcome;
+    strace.OnDecision(idx, rec.arrival, d, config_.breaker_enabled);
     if (d.outcome == AdmissionOutcome::kAdmitted) {
       queue.push_back(idx);
       result.max_queue_depth =
@@ -320,6 +387,7 @@ ServeResult Server::ServeOnThreads(
     rec.rung = rung;
     ++result.rung_dispatches[std::min(rung,
                                       result.rung_dispatches.size() - 1)];
+    strace.OnDispatch(rec_idx, rec.arrival, start, rung);
     topk::SearchParams params = base_params;
     if (config_.deadline_from_slo && config_.slo != exec::kNever) {
       // Slack against the *budgeted* SLO (headroom applied): a query
@@ -352,6 +420,30 @@ ServeResult Server::ServeOnThreads(
 
   Finalize(result, policy, config_.slo);
   return result;
+}
+
+void AddServeMetrics(const ServeResult& result,
+                     obs::MetricsRegistry& reg) {
+  reg.GetCounter("serve.offered").Add(result.offered);
+  reg.GetCounter("serve.admitted").Add(result.admitted);
+  reg.GetCounter("serve.rejected_full").Add(result.rejected_full);
+  reg.GetCounter("serve.shed").Add(result.shed);
+  reg.GetCounter("serve.breaker_dropped").Add(result.breaker_dropped);
+  reg.GetCounter("serve.completed").Add(result.completed);
+  reg.GetCounter("serve.degraded").Add(result.degraded);
+  reg.GetCounter("serve.faulted").Add(result.faulted);
+  reg.GetCounter("serve.oom").Add(result.oom);
+  reg.GetCounter("serve.goodput").Add(result.goodput);
+  reg.GetCounter("serve.breaker.trips").Add(result.breaker_trips);
+  reg.GetCounter("serve.breaker.probes").Add(result.breaker_probes);
+  reg.GetGauge("serve.max_queue_depth")
+      .Set(static_cast<std::int64_t>(result.max_queue_depth));
+  for (std::size_t r = 0; r < result.rung_dispatches.size(); ++r) {
+    reg.GetCounter("serve.rung." + std::to_string(r) + ".dispatches")
+        .Add(result.rung_dispatches[r]);
+  }
+  reg.GetHistogram("serve.e2e_ns").Merge(result.e2e_ns);
+  reg.GetHistogram("serve.queue_wait_ns").Merge(result.queue_wait_ns);
 }
 
 }  // namespace sparta::serve

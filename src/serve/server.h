@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "exec/threaded_executor.h"
+#include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/arrivals.h"
 #include "serve/breaker.h"
@@ -145,5 +146,11 @@ class Server {
   const topk::Algorithm& algo_;
   ServeConfig config_;
 };
+
+/// Folds a finished run's aggregates into the metrics registry under the
+/// "serve." prefix (counters for every admission outcome, per-rung
+/// dispatch counts, breaker trips/probes; histograms for end-to-end and
+/// queue-wait latency).
+void AddServeMetrics(const ServeResult& result, obs::MetricsRegistry& reg);
 
 }  // namespace sparta::serve

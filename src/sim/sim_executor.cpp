@@ -10,6 +10,8 @@ using exec::VirtualTime;
 
 /// Shared mutable state of one simulated query.
 struct SimExecutor::SimQueryState {
+  /// Deterministic query id (admission order); stamped into trace events.
+  std::uint64_t qid = 0;
   VirtualTime start = 0;
   VirtualTime end = 0;
   std::int64_t mem_used = 0;
@@ -131,6 +133,8 @@ class SimWorkerContext final : public exec::WorkerContext {
            static_cast<double>(exec_.config_.num_workers);
   }
 
+  obs::Tracer* tracer() const override { return exec_.tracer_.get(); }
+
   /// Counts one injected fault against this worker's query (used by the
   /// lock model, which only sees the WorkerContext).
   void CountInjectedFault() { ++query_.faults.injected; }
@@ -143,11 +147,18 @@ class SimWorkerContext final : public exec::WorkerContext {
   /// exhausting the retry budget latches StopCause::kFault on the query
   /// so algorithms wind down at their next poll point.
   void ReadPage(std::uint64_t page, bool random) {
+    // One io.read span per page; payload b is a flag word (bit 0 =
+    // random access, bit 1 = page-cache hit) so tests can reconcile
+    // span counts against QueryStats::random_accesses.
+    obs::SpanScope span(*this, obs::SpanKind::kIoRead);
+    const std::uint64_t random_flag = random ? 1u : 0u;
     const auto& costs = exec_.config_.costs;
     if (exec_.page_cache_.Touch(page)) {
+      span.set_args(page, random_flag | 2u);
       Charge(costs.page_cache_hit);
       return;
     }
+    span.set_args(page, random_flag);
     const VirtualTime device =
         random ? costs.ssd_random_page : costs.ssd_seq_page;
     Charge(device);
@@ -170,6 +181,10 @@ class SimWorkerContext final : public exec::WorkerContext {
     Charge(extra);
     query_.faults.io_retries += static_cast<std::uint64_t>(retries);
     ++query_.faults.injected;
+    if (auto* tracer = exec_.tracer_.get()) {
+      tracer->AddInstant(worker_, obs::InstantKind::kIoRetry, Now(),
+                         static_cast<std::uint64_t>(retries), page);
+    }
     injector->LogIoError(worker_, Now(), extra);
     if (failures > fc.io_retry_limit) {
       // Retry budget exhausted: escalate instead of blocking forever.
@@ -194,13 +209,20 @@ namespace {
 class SimLock final : public exec::CtxLock {
  public:
   SimLock(const CostModel& costs, RaceDetector* detector,
-          FaultInjector* injector)
-      : costs_(costs), detector_(detector), injector_(injector) {}
+          FaultInjector* injector, std::uint64_t id)
+      : costs_(costs), detector_(detector), injector_(injector), id_(id) {}
 
   void Lock(exec::WorkerContext& worker) override {
     const VirtualTime now = worker.Now();
     if (now < free_at_) {
       worker.Charge((free_at_ - now) + costs_.lock_handoff);
+      // Contended acquisitions only: the span covers stall + handoff.
+      // `id_` is a MakeLock counter, never an address, so traces stay
+      // byte-stable across runs.
+      if (auto* tracer = worker.tracer()) {
+        tracer->AddSpan(worker.worker_id(), obs::SpanKind::kLockWait, now,
+                        worker.Now(), id_);
+      }
     } else {
       worker.Charge(costs_.lock_uncontended);
     }
@@ -229,6 +251,7 @@ class SimLock final : public exec::CtxLock {
   const CostModel& costs_;
   RaceDetector* detector_;
   FaultInjector* injector_;
+  std::uint64_t id_;
   VirtualTime free_at_ = 0;
 };
 
@@ -250,7 +273,8 @@ class SimQuery final : public exec::QueryContext {
   std::unique_ptr<exec::CtxLock> MakeLock() override {
     return std::make_unique<SimLock>(exec_.config().costs,
                                      exec_.race_detector_.get(),
-                                     exec_.fault_injector_.get());
+                                     exec_.fault_injector_.get(),
+                                     exec_.next_lock_id_++);
   }
 
   void RunToCompletion() override { exec_.Drain(); }
@@ -292,6 +316,9 @@ SimExecutor::SimExecutor(SimConfig config)
   if (config_.faults.enabled()) {
     fault_injector_ = std::make_unique<FaultInjector>(config_.faults);
   }
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<obs::Tracer>(config_.num_workers);
+  }
 }
 
 SimExecutor::~SimExecutor() = default;
@@ -307,6 +334,7 @@ std::unique_ptr<exec::QueryContext> SimExecutor::CreateQuery() {
 std::unique_ptr<exec::QueryContext> SimExecutor::CreateQueryAt(
     VirtualTime start) {
   auto state = std::make_shared<SimQueryState>();
+  state->qid = next_query_id_++;
   state->start = start;
   state->end = start;
   state->mem_budget = config_.memory_budget_bytes;
@@ -358,7 +386,17 @@ void SimExecutor::Drain(
     jobs_.pop();
     const int w = PickWorker();
     auto& clock = clocks_[static_cast<std::size_t>(w)];
-    clock = std::max(clock, job.ready) + config_.costs.job_dispatch;
+    // Pickup: the moment the worker turns to this job. The job span
+    // starts here (dispatch overhead and injected stalls are part of the
+    // job); the time since readiness is queue wait, on the scheduler
+    // track (waits of different jobs legitimately overlap there).
+    const VirtualTime pickup = std::max(clock, job.ready);
+    if (tracer_ != nullptr && pickup > job.ready) {
+      tracer_->AddSpan(tracer_->scheduler_track(),
+                       obs::SpanKind::kQueueWait, job.ready, pickup,
+                       job.query->qid, job.seq);
+    }
+    clock = pickup + config_.costs.job_dispatch;
     if (fault_injector_ != nullptr) {
       // Straggler injection: the worker freezes (in virtual time) before
       // picking up the job, exactly like an OS preemption would stall it.
@@ -366,6 +404,11 @@ void SimExecutor::Drain(
       if (stall > 0) {
         clock += stall;
         ++job.query->faults.injected;
+        if (tracer_ != nullptr) {
+          tracer_->AddInstant(w, obs::InstantKind::kFaultStall, clock,
+                              static_cast<std::uint64_t>(stall),
+                              job.query->qid);
+        }
       }
     }
 
@@ -377,6 +420,10 @@ void SimExecutor::Drain(
 
     --job.query->outstanding;
     job.query->end = std::max(job.query->end, clock);
+    if (tracer_ != nullptr) {
+      tracer_->AddSpan(w, obs::SpanKind::kJob, pickup, clock,
+                       job.query->qid, job.seq);
+    }
   }
 }
 

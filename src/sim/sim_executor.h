@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "exec/context.h"
+#include "obs/trace.h"
 #include "sim/coherence.h"
 #include "sim/cost_model.h"
 #include "sim/fault_injector.h"
@@ -60,6 +61,15 @@ struct SimConfig {
   /// hook reduces to a null check, so fault-free runs stay bit-identical
   /// to builds without the fault layer.
   FaultConfig faults;
+  /// Query-lifecycle tracing (see obs/trace.h). Off by default: no
+  /// tracer is constructed and every emission site reduces to a null
+  /// check, so untraced runs stay bit-identical to builds without the
+  /// observability layer. Trace hooks never charge virtual time, so
+  /// traced runs produce the same results and latencies; event payloads
+  /// avoid addresses, so with an address-independent cost model
+  /// (costs.coherence_miss == costs.l1_hit) the exported trace is
+  /// byte-identical across runs of the same seed.
+  obs::TraceConfig trace;
 };
 
 class SimExecutor {
@@ -105,6 +115,10 @@ class SimExecutor {
   /// for determinism tests and the degradation benchmark.
   FaultInjector* fault_injector() const { return fault_injector_.get(); }
 
+  /// Non-null iff `SimConfig::trace.enabled`. Tracks 0..W-1 are the
+  /// workers, W the scheduler (queue waits), W+1 the serving layer.
+  obs::Tracer* tracer() const { return tracer_.get(); }
+
  private:
   friend class SimQuery;
   friend class SimWorkerContext;
@@ -137,6 +151,10 @@ class SimExecutor {
   PageCache page_cache_;
   std::unique_ptr<RaceDetector> race_detector_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  /// Deterministic ids stamped into trace events in place of addresses.
+  std::uint64_t next_query_id_ = 0;
+  std::uint64_t next_lock_id_ = 0;
 
   /// Worker currently executing a job (-1 outside Drain); used to stamp
   /// readiness of jobs submitted from inside jobs.

@@ -1,5 +1,6 @@
 #include "topk/doc_map.h"
 
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace sparta::topk {
@@ -64,6 +65,12 @@ ConcurrentDocMap::GetOrCreateResult ConcurrentDocMap::GetOrCreate(
     DocId doc, exec::WorkerContext& worker) {
   Stripe& stripe = stripes_[StripeOf(doc)];
   GetOrCreateResult result;
+  // Machine-gated span (the map sees only the WorkerContext, no
+  // SearchParams); payload b is the operation: 0 = lookup hit,
+  // 1 = insert, 2 = Find, 3 = Freeze drain. Begins before the stripe
+  // guard so lock.wait spans nest inside.
+  obs::SpanScope span(worker, obs::SpanKind::kDocMapAccess);
+  span.set_args(doc, 0);
   const exec::CtxLockGuard guard(*stripe.lock, worker);
   worker.StructureAccess(ApproxBytes(), /*write_shared=*/true);
   worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
@@ -95,6 +102,7 @@ ConcurrentDocMap::GetOrCreateResult ConcurrentDocMap::GetOrCreate(
   }
   result.doc = created;
   result.inserted = true;
+  span.set_args(doc, 1);
   return result;
 }
 
@@ -105,6 +113,8 @@ DocType* ConcurrentDocMap::Find(DocId doc, exec::WorkerContext& worker) {
   // workers keep using the locked concurrent map until their termMap
   // replicas take over).
   Stripe& stripe = stripes_[StripeOf(doc)];
+  obs::SpanScope span(worker, obs::SpanKind::kDocMapAccess);
+  span.set_args(doc, 2);
   const exec::CtxLockGuard guard(*stripe.lock, worker);
   worker.StructureAccess(ApproxBytes(), /*write_shared=*/!read_only());
   worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
@@ -113,6 +123,8 @@ DocType* ConcurrentDocMap::Find(DocId doc, exec::WorkerContext& worker) {
 }
 
 void ConcurrentDocMap::Freeze(exec::WorkerContext& worker) {
+  obs::SpanScope span(worker, obs::SpanKind::kDocMapAccess);
+  span.set_args(0, 3);
   insert_cutoff_.store(true, std::memory_order_release);
   // Drain: any insert that passed the cutoff check is still inside its
   // stripe's critical section; acquiring each lock once waits it out.

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "exec/context.h"
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace sparta::topk {
@@ -50,6 +51,13 @@ struct SearchParams {
 
   /// Optional heap-update observer for recall-dynamics experiments.
   HeapTracer* tracer = nullptr;
+
+  /// Algorithm-level span tracing (postings scans, heap updates, cleaner
+  /// passes, merges). Spans are only recorded when the executor also has
+  /// tracing on (SimConfig::trace / ThreadedExecutor::Options::trace),
+  /// which creates the sink; this knob lets a caller keep machine-level
+  /// tracing while muting the much larger algorithm-level volume.
+  obs::TraceConfig trace;
 };
 
 }  // namespace sparta::topk

@@ -1,0 +1,54 @@
+#include "topk/query_metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/common.h"
+
+namespace sparta::topk {
+
+bool ConsistentQueryStats(const QueryStats& stats) {
+  if (stats.postings_total != 0 &&
+      stats.postings_processed > stats.postings_total) {
+    return false;
+  }
+  if (stats.latency < 0 || stats.queue_wait < 0) return false;
+  const double fraction = stats.PostingsFraction();
+  return fraction >= 0.0 && fraction <= 1.0;
+}
+
+void ValidateQueryStats(const QueryStats& stats, const char* where) {
+  if (ConsistentQueryStats(stats)) return;
+  std::fprintf(stderr,
+               "inconsistent QueryStats at %s: postings %" PRIu64 "/%" PRIu64
+               " latency %lld queue_wait %lld\n",
+               where, stats.postings_processed, stats.postings_total,
+               static_cast<long long>(stats.latency),
+               static_cast<long long>(stats.queue_wait));
+  SPARTA_CHECK_MSG(false, "QueryStats invariant violated");
+}
+
+void AccumulateQueryStats(const QueryStats& stats,
+                          obs::MetricsRegistry& registry) {
+  registry.GetCounter("query.count").Add();
+  registry.GetCounter("query.postings_processed")
+      .Add(stats.postings_processed);
+  registry.GetCounter("query.postings_total").Add(stats.postings_total);
+  registry.GetCounter("query.heap_inserts").Add(stats.heap_inserts);
+  registry.GetCounter("query.random_accesses").Add(stats.random_accesses);
+  registry.GetCounter("query.io_retries").Add(stats.io_retries);
+  registry.GetCounter("query.faults_injected").Add(stats.faults_injected);
+  registry.GetHistogram("query.latency_ns").Add(stats.latency);
+  registry.GetHistogram("query.queue_wait_ns").Add(stats.queue_wait);
+  if (stats.postings_total != 0) {
+    // Per-mille so the integer histogram keeps useful resolution.
+    registry.GetHistogram("query.postings_fraction_pm")
+        .Add(static_cast<std::int64_t>(stats.PostingsFraction() * 1000.0));
+  }
+  registry
+      .GetCounter(std::string("query.admission.") +
+                  AdmissionOutcomeName(stats.admission_outcome))
+      .Add();
+}
+
+}  // namespace sparta::topk

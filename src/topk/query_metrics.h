@@ -1,0 +1,34 @@
+// QueryStats consistency checks and metrics-registry accumulation.
+//
+// The drivers aggregate QueryStats from every algorithm and executor
+// combination; accounting drift there (a baseline double-counting
+// postings, a negative latency from clock misuse) silently poisons
+// whole result tables. ValidateQueryStats makes the invariants explicit
+// and is asserted at driver aggregation time; AccumulateQueryStats folds
+// one query's stats into an obs::MetricsRegistry so serving-level
+// reporting can pull a single snapshot.
+#pragma once
+
+#include "obs/metrics.h"
+#include "topk/result.h"
+
+namespace sparta::topk {
+
+/// True iff the stats satisfy the cross-field invariants:
+///   * postings_processed <= postings_total whenever a total is reported;
+///   * latency and queue_wait are non-negative;
+///   * PostingsFraction() lands in [0, 1].
+bool ConsistentQueryStats(const QueryStats& stats);
+
+/// SPARTA_CHECK-asserts ConsistentQueryStats with a field dump on
+/// failure. `where` names the aggregation site (algorithm / driver loop).
+void ValidateQueryStats(const QueryStats& stats, const char* where);
+
+/// Folds one query's stats into the registry: `query.count` counter,
+/// per-field counters (postings processed/total, heap inserts, random
+/// accesses, io retries, faults) and latency/queue-wait/postings-fraction
+/// histograms.
+void AccumulateQueryStats(const QueryStats& stats,
+                          obs::MetricsRegistry& registry);
+
+}  // namespace sparta::topk

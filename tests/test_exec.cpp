@@ -19,7 +19,7 @@ TEST(JobQueueTest, FifoOrderSingleThread) {
   for (int i = 0; i < 5; ++i) {
     queue.Push([&order, i](WorkerContext&) { order.push_back(i); });
   }
-  ThreadedExecutor executor({.num_workers = 1});
+  ThreadedExecutor executor({.num_workers = 1, .trace = {}});
   auto ctx = executor.CreateQuery();
   while (auto job = queue.Pop()) {
     // Run through a real worker context for interface coverage.
@@ -59,7 +59,7 @@ TEST(JobQueueTest, BlockedPopperWakesOnDrain) {
 }
 
 TEST(ThreadedExecutorTest, RunsAllJobs) {
-  ThreadedExecutor executor({.num_workers = 4});
+  ThreadedExecutor executor({.num_workers = 4, .trace = {}});
   auto ctx = executor.CreateQuery();
   std::atomic<int> count{0};
   for (int i = 0; i < 100; ++i) {
@@ -73,7 +73,7 @@ TEST(ThreadedExecutorTest, RunsAllJobs) {
 }
 
 TEST(ThreadedExecutorTest, SelfReplenishingJobsComplete) {
-  ThreadedExecutor executor({.num_workers = 3});
+  ThreadedExecutor executor({.num_workers = 3, .trace = {}});
   auto ctx = executor.CreateQuery();
   std::atomic<int> hops{0};
   std::function<void(WorkerContext&)> hop = [&](WorkerContext& w) {
@@ -89,7 +89,7 @@ TEST(ThreadedExecutorTest, SelfReplenishingJobsComplete) {
 
 TEST(ThreadedExecutorTest, WorkerIdsAreDistinct) {
   constexpr int kWorkers = 4;
-  ThreadedExecutor executor({.num_workers = kWorkers});
+  ThreadedExecutor executor({.num_workers = kWorkers, .trace = {}});
   auto ctx = executor.CreateQuery();
   std::mutex mu;
   std::set<int> ids;
@@ -124,7 +124,7 @@ TEST(ThreadedExecutorTest, MemoryBudgetEnforced) {
 }
 
 TEST(ThreadedExecutorTest, LocksAreMutuallyExclusive) {
-  ThreadedExecutor executor({.num_workers = 4});
+  ThreadedExecutor executor({.num_workers = 4, .trace = {}});
   auto ctx = executor.CreateQuery();
   auto lock = ctx->MakeLock();
   long counter = 0;
@@ -139,7 +139,7 @@ TEST(ThreadedExecutorTest, LocksAreMutuallyExclusive) {
 }
 
 TEST(ThreadedExecutorTest, ClockAdvances) {
-  ThreadedExecutor executor({.num_workers = 1});
+  ThreadedExecutor executor({.num_workers = 1, .trace = {}});
   auto ctx = executor.CreateQuery();
   VirtualTime first = 0, second = 0;
   ctx->Submit([&](WorkerContext& w) {

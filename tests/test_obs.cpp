@@ -1,0 +1,643 @@
+// Observability-layer tests: golden-trace determinism, span
+// well-formedness invariants, Chrome-export shape, trace-vs-QueryStats
+// reconciliation, the metrics registry, and the QueryStats accounting
+// invariants asserted at driver aggregation time.
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "driver/bench_driver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "serve/server.h"
+#include "test_helpers.h"
+#include "topk/query_metrics.h"
+
+namespace sparta::test {
+namespace {
+
+using obs::InstantKind;
+using obs::SpanKind;
+using obs::TraceEvent;
+using obs::Tracer;
+
+/// Simulator config for byte-identical trace runs: the coherence model
+/// keys cache lines by real heap addresses, so an address-independent
+/// cost model (coherence_miss == l1_hit) is required for traces — and
+/// latencies — to replay exactly across executor instances (see
+/// obs/trace.h).
+sim::SimConfig TraceSimConfig(int workers, bool trace = true) {
+  sim::SimConfig config;
+  config.num_workers = workers;
+  config.costs.coherence_miss = config.costs.l1_hit;
+  config.trace.enabled = trace;
+  return config;
+}
+
+struct TracedRun {
+  topk::SearchResult result;
+  exec::VirtualTime latency = 0;
+  std::string json;
+};
+
+/// Runs `algo_name` on a traced simulator and exports the trace.
+TracedRun RunTraced(const index::InvertedIndex& idx,
+                    std::string_view algo_name,
+                    const std::vector<TermId>& terms,
+                    topk::SearchParams params, const sim::SimConfig& config,
+                    const Tracer** tracer_out = nullptr,
+                    sim::SimExecutor* keep = nullptr) {
+  const auto algo = algos::MakeAlgorithm(algo_name);
+  SPARTA_CHECK(algo != nullptr);
+  params.trace.enabled = config.trace.enabled;
+  TracedRun run;
+  sim::SimExecutor local(config);
+  sim::SimExecutor& executor = keep != nullptr ? *keep : local;
+  auto ctx = executor.CreateQuery();
+  run.result = algo->Run(idx, terms, params, *ctx);
+  run.latency = ctx->end_time() - ctx->start_time();
+  if (executor.tracer() != nullptr) {
+    run.json = obs::ExportChromeTrace(*executor.tracer());
+  }
+  if (tracer_out != nullptr) *tracer_out = executor.tracer();
+  return run;
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------
+
+TEST(MetricsTest, RegistryHandlesAreStableAndSnapshotCopies) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.GetCounter("queries");
+  c.Add();
+  c.Add(4);
+  EXPECT_EQ(&c, &reg.GetCounter("queries"));  // same handle on re-lookup
+  reg.GetGauge("depth").Set(3);
+  reg.GetGauge("depth").Add(-1);
+  auto& h = reg.GetHistogram("latency_ns");
+  for (int i = 1; i <= 100; ++i) h.Add(i * 1000);
+
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("queries"), 5u);
+  EXPECT_EQ(snap.gauges.at("depth"), 2);
+  const obs::HistogramSummary& s = snap.histograms.at("latency_ns");
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1000);
+  EXPECT_EQ(s.max, 100000);
+  EXPECT_GE(s.p99, s.p50);
+
+  // Snapshot is a copy: later updates do not retroactively change it.
+  c.Add(100);
+  EXPECT_EQ(snap.counters.at("queries"), 5u);
+  EXPECT_EQ(reg.Snapshot().counters.at("queries"), 105u);
+}
+
+TEST(MetricsTest, AccumulateQueryStatsMatchesFields) {
+  topk::QueryStats stats;
+  stats.postings_processed = 120;
+  stats.postings_total = 400;
+  stats.heap_inserts = 7;
+  stats.random_accesses = 3;
+  stats.io_retries = 2;
+  stats.faults_injected = 1;
+  stats.latency = 5000;
+  stats.queue_wait = 1000;
+  obs::MetricsRegistry reg;
+  topk::AccumulateQueryStats(stats, reg);
+  topk::AccumulateQueryStats(stats, reg);
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("query.count"), 2u);
+  EXPECT_EQ(snap.counters.at("query.postings_processed"), 240u);
+  EXPECT_EQ(snap.counters.at("query.postings_total"), 800u);
+  EXPECT_EQ(snap.counters.at("query.heap_inserts"), 14u);
+  EXPECT_EQ(snap.counters.at("query.io_retries"), 4u);
+  EXPECT_EQ(snap.histograms.at("query.latency_ns").count, 2u);
+}
+
+// ---------------------------------------------------------------------
+// QueryStats invariants (satellite: accounting-drift fix)
+// ---------------------------------------------------------------------
+
+TEST(QueryStatsTest, ConsistencyInvariants) {
+  topk::QueryStats good;
+  good.postings_processed = 10;
+  good.postings_total = 20;
+  good.latency = 100;
+  EXPECT_TRUE(topk::ConsistentQueryStats(good));
+
+  topk::QueryStats drift = good;
+  drift.postings_processed = 21;  // processed > total
+  EXPECT_FALSE(topk::ConsistentQueryStats(drift));
+
+  topk::QueryStats negative = good;
+  negative.latency = -1;
+  EXPECT_FALSE(topk::ConsistentQueryStats(negative));
+  negative = good;
+  negative.queue_wait = -5;
+  EXPECT_FALSE(topk::ConsistentQueryStats(negative));
+
+  // Unknown total (0) reports no fraction and is not drift.
+  topk::QueryStats unknown;
+  unknown.postings_processed = 10;
+  EXPECT_TRUE(topk::ConsistentQueryStats(unknown));
+  EXPECT_EQ(unknown.PostingsFraction(), 0.0);
+}
+
+// Regression for the pBMW accounting drift: shallow moves overshoot a
+// range job's docid boundary, and counting raw cursor deltas
+// double-counted the skipped tail across jobs (postings_processed could
+// exceed postings_total).
+TEST(QueryStatsTest, PBmwPostingsStayWithinTotal) {
+  const auto idx = MakeTinyIndex();
+  topk::SearchParams params;
+  params.k = 10;
+  for (const std::uint64_t salt : {0u, 3u, 9u, 21u, 40u}) {
+    const auto terms = PickQueryTerms(idx, 4, salt);
+    for (const int workers : {2, 4, 8}) {
+      const auto r = RunOnSim(idx, "pBMW", terms, params, workers);
+      EXPECT_LE(r.stats.postings_processed, r.stats.postings_total)
+          << "salt " << salt << " workers " << workers;
+      EXPECT_TRUE(topk::ConsistentQueryStats(r.stats));
+      EXPECT_TRUE(IsExactTopK(idx, terms, params.k, r));
+    }
+  }
+}
+
+// A deadline-stopped query must still report consistent accounting: the
+// partial postings count stays within the total and PostingsFraction()
+// lands in [0, 1].
+TEST(QueryStatsTest, DeadlineStoppedQueryReportsConsistentFraction) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  sim::SimConfig config;
+  config.num_workers = 4;
+  for (const char* algo : {"Sparta", "pNRA", "sNRA", "pRA", "pJASS"}) {
+    // Reference run to pick a deadline that bites mid-query.
+    const auto full = RunOnSim(idx, algo, terms, params, config);
+    sim::SimExecutor executor(config);
+    auto ctx = executor.CreateQuery();
+    ctx->set_deadline(
+        std::max<exec::VirtualTime>(1, full.stats.latency / 3));
+    topk::SearchParams tight = params;
+    tight.deadline = exec::kNever;  // deadline set on the context directly
+    const auto algo_ptr = algos::MakeAlgorithm(algo);
+    auto run = algo_ptr->Run(idx, terms, tight, *ctx);
+    topk::ValidateQueryStats(run.stats, "test deadline");
+    EXPECT_LE(run.stats.postings_processed, run.stats.postings_total)
+        << algo;
+    const double f = run.stats.PostingsFraction();
+    EXPECT_GE(f, 0.0) << algo;
+    EXPECT_LE(f, 1.0) << algo;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Golden-trace determinism
+// ---------------------------------------------------------------------
+
+TEST(TraceDeterminismTest, SameSeedYieldsByteIdenticalExport) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  const auto config = TraceSimConfig(4);
+  for (const char* algo : {"Sparta", "pBMW", "pRA", "pJASS", "sNRA"}) {
+    const auto a = RunTraced(idx, algo, terms, params, config);
+    const auto b = RunTraced(idx, algo, terms, params, config);
+    ASSERT_FALSE(a.json.empty()) << algo;
+    EXPECT_EQ(a.json, b.json) << algo;  // byte-identical
+    EXPECT_EQ(a.latency, b.latency) << algo;
+  }
+}
+
+TEST(TraceDeterminismTest, TracingOnDoesNotChangeResultsOrClock) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  for (const char* algo :
+       {"Sparta", "pBMW", "pRA", "pNRA", "sNRA", "pJASS"}) {
+    const auto off =
+        RunTraced(idx, algo, terms, params, TraceSimConfig(4, false));
+    const auto on =
+        RunTraced(idx, algo, terms, params, TraceSimConfig(4, true));
+    EXPECT_TRUE(off.json.empty()) << algo;
+    ASSERT_EQ(off.result.entries.size(), on.result.entries.size()) << algo;
+    for (std::size_t i = 0; i < off.result.entries.size(); ++i) {
+      EXPECT_EQ(off.result.entries[i].doc, on.result.entries[i].doc);
+      EXPECT_EQ(off.result.entries[i].score, on.result.entries[i].score);
+    }
+    // Trace hooks charge no virtual time: the final clock is unchanged.
+    EXPECT_EQ(off.latency, on.latency) << algo;
+    EXPECT_EQ(off.result.stats.postings_processed,
+              on.result.stats.postings_processed)
+        << algo;
+  }
+}
+
+TEST(TraceDeterminismTest, TracingOffConstructsNoTracer) {
+  sim::SimExecutor executor(TraceSimConfig(2, false));
+  EXPECT_EQ(executor.tracer(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Span well-formedness
+// ---------------------------------------------------------------------
+
+/// Stack-checks one worker track: spans must strictly nest (a span
+/// either contains or is disjoint from every other) and stay within
+/// [lo, hi]. Instants only need to be in range.
+void CheckWorkerTrack(const std::vector<TraceEvent>& events,
+                      exec::VirtualTime lo, exec::VirtualTime hi) {
+  std::vector<const TraceEvent*> spans;
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.begin, lo);
+    EXPECT_LE(e.end, hi);
+    if (e.is_instant) {
+      EXPECT_EQ(e.begin, e.end);
+      continue;
+    }
+    EXPECT_GE(e.end, e.begin);
+    spans.push_back(&e);
+  }
+  // Parents before children: begin ascending, end descending.
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              return a->begin != b->begin ? a->begin < b->begin
+                                          : a->end > b->end;
+            });
+  std::vector<const TraceEvent*> stack;
+  for (const TraceEvent* s : spans) {
+    while (!stack.empty() && stack.back()->end <= s->begin) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      // Open ancestor: the span must be fully contained (no partial
+      // overlap on a single worker's monotone clock).
+      EXPECT_GE(s->begin, stack.back()->begin);
+      EXPECT_LE(s->end, stack.back()->end);
+    }
+    stack.push_back(s);
+  }
+}
+
+TEST(TraceShapeTest, WorkerSpansNestAndStayInQueryBounds) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  params.trace.enabled = true;
+  const auto config = TraceSimConfig(4);
+  for (const char* algo : {"Sparta", "pBMW", "pRA", "pJASS"}) {
+    sim::SimExecutor executor(config);
+    const auto algo_ptr = algos::MakeAlgorithm(algo);
+    auto ctx = executor.CreateQuery();
+    (void)algo_ptr->Run(idx, terms, params, *ctx);
+    const Tracer* tracer = executor.tracer();
+    ASSERT_NE(tracer, nullptr);
+    EXPECT_GT(tracer->total_events(), 0u) << algo;
+    for (int w = 0; w < tracer->num_workers(); ++w) {
+      CheckWorkerTrack(tracer->track(w), ctx->start_time(),
+                       ctx->end_time());
+    }
+    // Scheduler track: queue waits only; they may overlap but must be
+    // well-formed and in range.
+    for (const TraceEvent& e : tracer->track(tracer->scheduler_track())) {
+      EXPECT_FALSE(e.is_instant);
+      EXPECT_EQ(e.span_kind(), SpanKind::kQueueWait);
+      EXPECT_GE(e.end, e.begin);
+      EXPECT_GE(e.begin, ctx->start_time());
+      EXPECT_LE(e.end, ctx->end_time());
+    }
+  }
+}
+
+TEST(TraceShapeTest, EveryExpectedKindAppearsForSparta) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  const Tracer* tracer = nullptr;
+  sim::SimExecutor executor(TraceSimConfig(4));
+  RunTraced(idx, "Sparta", terms, params, TraceSimConfig(4), &tracer,
+            &executor);
+  ASSERT_NE(tracer, nullptr);
+  EXPECT_GT(tracer->CountSpans(SpanKind::kJob), 0u);
+  EXPECT_GT(tracer->CountSpans(SpanKind::kIoRead), 0u);
+  EXPECT_GT(tracer->CountSpans(SpanKind::kDocMapAccess), 0u);
+  EXPECT_GT(tracer->CountSpans(SpanKind::kPostingsScan), 0u);
+  EXPECT_GT(tracer->CountSpans(SpanKind::kTermMapBuild), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------
+
+TEST(TraceExportTest, EmitsChromeTraceEventShape) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  const auto run =
+      RunTraced(idx, "Sparta", terms, params, TraceSimConfig(4));
+  ASSERT_FALSE(run.json.empty());
+  EXPECT_EQ(run.json.front(), '[');
+  EXPECT_EQ(run.json.substr(run.json.size() - 2), "]\n");
+  // Required trace-event fields.
+  EXPECT_NE(run.json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(run.json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(run.json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(run.json.find("\"tid\":0"), std::string::npos);
+  // Track-naming metadata.
+  EXPECT_NE(run.json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(run.json.find("thread_name"), std::string::npos);
+  EXPECT_NE(run.json.find("worker 0"), std::string::npos);
+  EXPECT_NE(run.json.find("scheduler"), std::string::npos);
+  EXPECT_NE(run.json.find("serving"), std::string::npos);
+  // Required span kinds.
+  EXPECT_NE(run.json.find("\"name\":\"job\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"name\":\"io.read\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"name\":\"docmap.access\""),
+            std::string::npos);
+  // No floating-point formatting: every ts has fixed 3-digit micros.
+  const auto ts = run.json.find("\"ts\":");
+  ASSERT_NE(ts, std::string::npos);
+  const auto dot = run.json.find('.', ts);
+  ASSERT_NE(dot, std::string::npos);
+  EXPECT_TRUE(std::isdigit(run.json[dot + 1]) &&
+              std::isdigit(run.json[dot + 2]) &&
+              std::isdigit(run.json[dot + 3]));
+}
+
+TEST(TraceExportTest, AttributionRowsAreSane) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  const Tracer* tracer = nullptr;
+  sim::SimExecutor executor(TraceSimConfig(4));
+  RunTraced(idx, "Sparta", terms, params, TraceSimConfig(4), &tracer,
+            &executor);
+  ASSERT_NE(tracer, nullptr);
+  const auto rows = obs::ComputeAttribution(*tracer);
+  ASSERT_FALSE(rows.empty());
+  exec::VirtualTime job_total = 0;
+  exec::VirtualTime non_job_self = 0;
+  for (const auto& row : rows) {
+    EXPECT_GT(row.count, 0u);
+    EXPECT_GE(row.total, 0);
+    EXPECT_GE(row.self, 0);
+    EXPECT_LE(row.self, row.total);
+    if (row.kind == SpanKind::kJob) {
+      job_total = row.total;
+    } else {
+      non_job_self += row.self;
+    }
+  }
+  EXPECT_GT(job_total, 0);
+  // Self time is exclusive: nested kinds can never exceed the enclosing
+  // job time.
+  EXPECT_LE(non_job_self, job_total);
+  // Sorted by self descending.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].self, rows[i].self);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Trace-vs-QueryStats reconciliation
+// ---------------------------------------------------------------------
+
+TEST(TraceReconcileTest, PostingsScanSpansSumToPostingsProcessed) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  for (const char* algo : {"Sparta", "pRA", "pJASS"}) {
+    const Tracer* tracer = nullptr;
+    sim::SimExecutor executor(TraceSimConfig(4));
+    const auto run = RunTraced(idx, algo, terms, params, TraceSimConfig(4),
+                               &tracer, &executor);
+    ASSERT_NE(tracer, nullptr) << algo;
+    EXPECT_EQ(tracer->SumSpanArgB(SpanKind::kPostingsScan),
+              run.result.stats.postings_processed)
+        << algo;
+  }
+}
+
+TEST(TraceReconcileTest, RandomIoSpansMatchRandomAccesses) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 3);
+  topk::SearchParams params;
+  params.k = 10;
+  const Tracer* tracer = nullptr;
+  sim::SimExecutor executor(TraceSimConfig(4));
+  const auto run = RunTraced(idx, "pRA", terms, params, TraceSimConfig(4),
+                             &tracer, &executor);
+  ASSERT_NE(tracer, nullptr);
+  ASSERT_GT(run.result.stats.random_accesses, 0u);
+  // One io.read span per ReadPage; payload bit 0 marks random accesses.
+  std::uint64_t random_spans = 0;
+  for (int t = 0; t < tracer->num_workers(); ++t) {
+    for (const TraceEvent& e : tracer->track(t)) {
+      if (!e.is_instant && e.span_kind() == SpanKind::kIoRead &&
+          (e.b & 1u) != 0) {
+        ++random_spans;
+      }
+    }
+  }
+  EXPECT_EQ(random_spans, run.result.stats.random_accesses);
+}
+
+TEST(TraceReconcileTest, IoRetryInstantsSumToIoRetries) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  auto config = TraceSimConfig(4);
+  config.faults.seed = 23;
+  config.faults.io_error_prob = 0.3;
+  const Tracer* tracer = nullptr;
+  sim::SimExecutor executor(config);
+  const auto run =
+      RunTraced(idx, "Sparta", terms, params, config, &tracer, &executor);
+  ASSERT_NE(tracer, nullptr);
+  ASSERT_GT(run.result.stats.io_retries, 0u);
+  EXPECT_EQ(tracer->SumInstantArgA(InstantKind::kIoRetry),
+            run.result.stats.io_retries);
+  EXPECT_EQ(tracer->CountInstants(InstantKind::kIoRetry),
+            run.result.stats.faults_injected);
+}
+
+TEST(TraceReconcileTest, AccumulateTraceMetricsMatchesTracerCounts) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  const Tracer* tracer = nullptr;
+  sim::SimExecutor executor(TraceSimConfig(4));
+  RunTraced(idx, "Sparta", terms, params, TraceSimConfig(4), &tracer,
+            &executor);
+  ASSERT_NE(tracer, nullptr);
+  obs::MetricsRegistry reg;
+  obs::AccumulateTraceMetrics(*tracer, reg);
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("trace.spans.job"),
+            tracer->CountSpans(SpanKind::kJob));
+  EXPECT_EQ(snap.counters.at("trace.spans.io.read"),
+            tracer->CountSpans(SpanKind::kIoRead));
+  EXPECT_EQ(snap.histograms.at("trace.span_ns.job").count,
+            tracer->CountSpans(SpanKind::kJob));
+}
+
+// ---------------------------------------------------------------------
+// Serving-layer trace events
+// ---------------------------------------------------------------------
+
+TEST(TraceServeTest, AdmissionWaitsAndPolicyInstantsAppear) {
+  const auto idx = MakeTinyIndex();
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  std::vector<std::vector<TermId>> queries;
+  for (const std::uint64_t salt : {0u, 3u, 11u}) {
+    queries.push_back(PickQueryTerms(idx, 4, salt));
+  }
+  topk::SearchParams params;
+  params.k = 10;
+
+  // Reference latency to construct guaranteed overload.
+  sim::SimConfig ref_config = TraceSimConfig(4, false);
+  sim::SimExecutor ref(ref_config);
+  auto ref_ctx = ref.CreateQuery();
+  (void)algo->Run(idx, queries[0], params, *ref_ctx);
+  const auto service = ref_ctx->end_time() - ref_ctx->start_time();
+  ASSERT_GT(service, 0);
+
+  serve::ServeConfig sc;
+  sc.arrivals.seed = 5;
+  sc.arrivals.rate_qps = 16.0 * 1e9 / static_cast<double>(service);
+  sc.arrivals.count = 60;
+  sc.slo = 50 * service;
+  sc.admission.queue_capacity = 8;
+  sc.deadline_from_slo = false;
+
+  sim::SimExecutor executor(TraceSimConfig(4, true));
+  serve::Server server(idx, *algo, sc);
+  const auto r = server.ServeOnSim(executor, queries, params);
+  const Tracer* tracer = executor.tracer();
+  ASSERT_NE(tracer, nullptr);
+
+  // One admission-wait span per dispatched query, on the serving track.
+  EXPECT_EQ(tracer->CountSpans(SpanKind::kAdmissionWait),
+            static_cast<std::uint64_t>(r.admitted));
+  for (const TraceEvent& e : tracer->track(tracer->serving_track())) {
+    if (!e.is_instant) {
+      EXPECT_EQ(e.span_kind(), SpanKind::kAdmissionWait);
+      EXPECT_GE(e.end, e.begin);
+    }
+  }
+  // Turned-away arrivals appear as instants.
+  EXPECT_EQ(tracer->CountInstants(InstantKind::kAdmissionReject),
+            static_cast<std::uint64_t>(r.rejected_full));
+  EXPECT_EQ(tracer->CountInstants(InstantKind::kAdmissionShed),
+            static_cast<std::uint64_t>(r.shed));
+  EXPECT_GT(r.rejected_full + r.shed, 0u);  // overload by construction
+
+  const std::string json = obs::ExportChromeTrace(*tracer);
+  EXPECT_NE(json.find("\"name\":\"admission.wait\""), std::string::npos);
+
+  obs::MetricsRegistry reg;
+  serve::AddServeMetrics(r, reg);
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("serve.offered"),
+            static_cast<std::uint64_t>(r.offered));
+  EXPECT_EQ(snap.counters.at("serve.admitted"),
+            static_cast<std::uint64_t>(r.admitted));
+  EXPECT_EQ(snap.histograms.at("serve.e2e_ns").count, r.e2e_ns.count());
+}
+
+TEST(TraceServeTest, ServeTraceIsByteIdenticalPerSeed) {
+  const auto idx = MakeTinyIndex();
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  std::vector<std::vector<TermId>> queries;
+  queries.push_back(PickQueryTerms(idx, 4));
+  topk::SearchParams params;
+  params.k = 10;
+  serve::ServeConfig sc;
+  sc.arrivals.seed = 13;
+  sc.arrivals.rate_qps = 3000.0;
+  sc.arrivals.count = 20;
+  std::string first;
+  for (int rep = 0; rep < 2; ++rep) {
+    sim::SimExecutor executor(TraceSimConfig(4, true));
+    serve::Server server(idx, *algo, sc);
+    (void)server.ServeOnSim(executor, queries, params);
+    const std::string json = obs::ExportChromeTrace(*executor.tracer());
+    if (rep == 0) {
+      first = json;
+    } else {
+      EXPECT_EQ(first, json);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Threaded executor tracing
+// ---------------------------------------------------------------------
+
+TEST(TraceThreadedTest, JobSpansAppearAndAreWellFormed) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  params.trace.enabled = true;
+  exec::ThreadedExecutor::Options options;
+  options.num_workers = 4;
+  options.trace.enabled = true;
+  exec::ThreadedExecutor executor(options);
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  auto ctx = executor.CreateQuery();
+  const auto result = algo->Run(idx, terms, params, *ctx);
+  EXPECT_TRUE(result.ok());
+  const Tracer* tracer = executor.tracer();
+  ASSERT_NE(tracer, nullptr);
+  EXPECT_GT(tracer->CountSpans(SpanKind::kJob), 0u);
+  for (int t = 0; t < tracer->num_workers(); ++t) {
+    for (const TraceEvent& e : tracer->track(t)) {
+      EXPECT_GE(e.end, e.begin);
+    }
+  }
+  // The export is structurally valid here too (timestamps are wall
+  // clock, so no byte-determinism claim).
+  const std::string json = obs::ExportChromeTrace(*tracer);
+  EXPECT_NE(json.find("\"name\":\"job\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Driver trace entry point
+// ---------------------------------------------------------------------
+
+TEST(TraceDriverTest, TraceSingleQueryProducesExportAndAttribution) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  topk::SearchParams params;
+  params.k = 10;
+  auto config = TraceSimConfig(4, false);  // TraceSingleQuery enables it
+  const auto report =
+      driver::TraceSingleQuery(idx, *algo, terms, params, config);
+  EXPECT_TRUE(report.result.ok());
+  EXPECT_GT(report.latency, 0);
+  EXPECT_FALSE(report.json.empty());
+  ASSERT_FALSE(report.attribution.empty());
+  const auto table = driver::AttributionTable(report);
+  EXPECT_EQ(table.title(), "where the time goes");
+}
+
+}  // namespace
+}  // namespace sparta::test

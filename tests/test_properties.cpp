@@ -4,10 +4,13 @@
 // exactly checkable (no timing noise).
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "core/sparta.h"
 #include "corpus/scale_up.h"
 #include "driver/experiment.h"
 #include "test_helpers.h"
+#include "topk/query_metrics.h"
 
 namespace sparta::test {
 namespace {
@@ -138,6 +141,51 @@ TEST(MonotonicityTest, ProbFactorTradesWorkMonotonically) {
     prev_postings = res.stats.postings_processed;
   }
 }
+
+// Randomized differential suite: every exact configuration must match
+// the brute-force oracle on random queries under random machine shapes
+// (worker counts, cache sizes; fault-free). Seeded, so failures replay.
+class RandomDifferentialTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RandomDifferentialTest, MatchesOracleOnRandomQueriesAndConfigs) {
+  const auto idx = MakeTinyIndex(2500, 701, 500);
+  std::uint64_t seed = 0xC0FFEE;
+  for (const char c : std::string_view(GetParam())) {
+    seed = seed * 131 + static_cast<std::uint64_t>(c);
+  }
+  std::mt19937_64 rng(seed);
+  constexpr int kQueries = 200;
+  for (int q = 0; q < kQueries; ++q) {
+    const std::size_t m = 2 + rng() % 5;  // 2..6 terms
+    const auto terms = PickQueryTerms(idx, m, rng() % 997);
+    topk::SearchParams params;
+    params.k = static_cast<int>(5 + rng() % 40);
+    sim::SimConfig config;
+    config.num_workers = static_cast<int>(1 + rng() % 12);
+    // Randomize the memory shape: page cache from "everything misses"
+    // to unbounded, and an occasionally tiny LLC.
+    config.page_cache_bytes =
+        (rng() % 2) != 0 ? 0 : (64 + rng() % 192) * 1024;
+    if ((rng() % 4) == 0) config.costs.llc_bytes = 256 * 1024;
+    const auto res = RunOnSim(idx, GetParam(), terms, params, config);
+    ASSERT_TRUE(res.ok()) << GetParam() << " query " << q;
+    EXPECT_TRUE(IsExactTopK(idx, terms, params.k, res))
+        << GetParam() << " query " << q << " workers "
+        << config.num_workers << " k " << params.k;
+    EXPECT_TRUE(topk::ConsistentQueryStats(res.stats))
+        << GetParam() << " query " << q;
+  }
+}
+
+// The five exact configurations: Sparta and pBMW are exact at their
+// defaults (gamma = 1, f = 1); the TA family is exact with delta off.
+INSTANTIATE_TEST_SUITE_P(ExactAlgorithms, RandomDifferentialTest,
+                         ::testing::Values("Sparta", "pBMW", "pRA",
+                                           "pNRA", "sNRA"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
 
 TEST(ScaleTest, BiggerCorpusMeansMoreExactWork) {
   // Sanity direction on the scale-up itself: a 3x corpus costs the exact

@@ -53,7 +53,7 @@ TEST(ThreadedStressTest, SpartaApproximateUnderRealTime) {
 
 TEST(ThreadedStressTest, ManyQueriesBackToBack) {
   const auto idx = MakeTinyIndex(1200, 97);
-  exec::ThreadedExecutor executor({.num_workers = 6});
+  exec::ThreadedExecutor executor({.num_workers = 6, .trace = {}});
   const auto algo = algos::MakeAlgorithm("Sparta");
   topk::SearchParams params;
   params.k = 10;
