@@ -5,12 +5,15 @@
 // Set SPARTA_QUICK=1 for a fast smoke run with reduced query counts.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <span>
+#include <string>
 
 #include "baselines/registry.h"
 #include "corpus/datasets.h"
 #include "driver/bench_driver.h"
+#include "driver/bench_json.h"
 #include "driver/experiment.h"
 #include "driver/table.h"
 
@@ -24,13 +27,26 @@ inline const corpus::Dataset& Cwx10() {
   return corpus::GetDataset(corpus::ClueWebX10SimSpec());
 }
 
-inline const char* kResultsDir = "results";
+/// Output directory for CSV/JSON/report artifacts. Defaults to the
+/// committed results/ tree; run_benches.sh --json-only points it at a
+/// scratch directory so fresh numbers never clobber the baseline.
+inline std::string ResultsDir() {
+  const char* dir = std::getenv("SPARTA_RESULTS_DIR");
+  return (dir != nullptr && dir[0] != '\0') ? dir : "results";
+}
 
 inline void Emit(const driver::Table& table) {
   table.Print(std::cout);
-  if (!table.WriteCsv(kResultsDir)) {
+  if (!table.WriteCsv(ResultsDir())) {
     std::cerr << "warning: could not write CSV for '" << table.title()
               << "'\n";
+  }
+}
+
+inline void EmitJson(const driver::BenchJson& json) {
+  if (!json.Write(ResultsDir())) {
+    std::cerr << "warning: could not write BENCH_" << json.name()
+              << ".json\n";
   }
 }
 

@@ -1,0 +1,124 @@
+// Contention profile: Sparta vs pRA as workers scale.
+//
+// The paper's §4.2 argument for the striped document map is that pRA's
+// shared map serializes workers on hot stripes while Sparta's UB-pruned
+// traversal touches it far less. This bench makes that visible: both
+// high-recall variants run the same 12-term queries at 1/2/4/8 workers
+// on a profiled simulator, and the per-structure contention report
+// (coherence misses, invalidations, lock waits attributed to named
+// structures) plus the virtual-time flamegraph are written next to the
+// latency numbers.
+//
+// Everything here is virtual-time and — because the profiler keys cache
+// lines by registered structure, not by heap address — byte-identical
+// across runs. results/BENCH_contention.json is therefore the perf
+// baseline that tools/bench_compare.py gates CI against; the query
+// count is fixed (SPARTA_QUICK is ignored) so a smoke run produces the
+// exact committed numbers.
+#include <filesystem>
+#include <fstream>
+
+#include "bench_common.h"
+
+namespace sparta::bench {
+namespace {
+
+constexpr std::size_t kQueries = 10;
+constexpr int kQueryLen = 12;
+constexpr exec::VirtualTime kSamplePeriod = 10'000;  // 10 us
+
+std::span<const corpus::Query> FixedQueries(const corpus::Dataset& ds) {
+  const auto& bucket = ds.queries().OfLength(kQueryLen);
+  return {bucket.data(), std::min(kQueries, bucket.size())};
+}
+
+/// The two variants whose docMap behaviour the paper contrasts.
+std::vector<driver::AlgoVariant> Variants() {
+  std::vector<driver::AlgoVariant> out;
+  for (const auto& v : driver::HighRecallVariants()) {
+    if (v.algorithm == "Sparta" || v.algorithm == "pRA") out.push_back(v);
+  }
+  return out;
+}
+
+std::uint64_t TotalSamples(const driver::ProfileResult& res) {
+  std::uint64_t n = 0;
+  for (const auto& row : res.self_times) n += row.samples;
+  return n;
+}
+
+void WriteText(const std::string& path, const std::string& text) {
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  std::ofstream out(path);
+  if (!out || !(out << text)) {
+    std::cerr << "warning: could not write " << path << "\n";
+  }
+}
+
+void Run() {
+  const auto& ds = Cw();
+  driver::BenchDriver bench(ds);
+  const auto queries = FixedQueries(ds);
+  const auto variants = Variants();
+
+  driver::Table table(
+      "contention: Sparta vs pRA, 12-term queries, " + ds.spec().name,
+      {"config", "mean_ms", "misses", "lock_wait_ms", "samples"});
+  driver::BenchJson json("contention");
+  std::string w8_reports;
+
+  for (const int workers : {1, 2, 4, 8}) {
+    for (const auto& variant : variants) {
+      const auto algo = algos::MakeAlgorithm(variant.algorithm);
+      sim::SimConfig config = bench.MakeSimConfig(workers);
+      config.profile.contention = true;
+      config.profile.sample_period = kSamplePeriod;
+      const auto res = bench.ProfileLatency(*algo, queries,
+                                            variant.params, config);
+
+      const std::string name =
+          variant.algorithm + "/w" + std::to_string(workers);
+      const double lock_wait_ms =
+          static_cast<double>(res.contention.total_lock_wait_ns) / 1e6;
+      json.SetLatency(name, res.latency);
+      json.Set(name, "coherence_misses",
+               static_cast<double>(res.contention.total_misses));
+      json.Set(name, "lock_wait_virtual_ms", lock_wait_ms);
+      for (const auto& s : res.contention.structures) {
+        // Per-structure breakdown for the stacked-bar plot.
+        json.Set(name, "misses." + s.name,
+                 static_cast<double>(s.misses()));
+        json.Set(name, "lock_wait_virtual_ms." + s.name,
+                 static_cast<double>(s.lock_wait_ns) / 1e6);
+      }
+      table.AddRow({name, driver::FormatF(res.latency.MeanMs(), 2),
+                    std::to_string(res.contention.total_misses),
+                    driver::FormatF(lock_wait_ms, 3),
+                    std::to_string(TotalSamples(res))});
+      std::cerr << "  [contention] " << name << " done\n";
+
+      // Committed goldens: the side-by-side w8 report and the w4
+      // Sparta folded stacks (FlameGraph / speedscope input).
+      if (workers == 8) {
+        if (!w8_reports.empty()) w8_reports += "\n";
+        w8_reports += driver::RenderProfileReport(
+            res, variant.algorithm + ", 12-term queries, w8");
+      }
+      if (workers == 4 && variant.algorithm == "Sparta") {
+        WriteText(ResultsDir() + "/flame_sparta_w4.folded", res.folded);
+      }
+    }
+  }
+
+  WriteText(ResultsDir() + "/contention_sparta_vs_pra_w8.txt",
+            w8_reports);
+  Emit(table);
+  EmitJson(json);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::Run(); }

@@ -10,7 +10,8 @@
 namespace sparta::bench {
 namespace {
 
-void RunDataset(const corpus::Dataset& ds, bool include_p95) {
+void RunDataset(const corpus::Dataset& ds, bool include_p95,
+                driver::BenchJson& json) {
   driver::BenchDriver bench(ds);
   const auto variants = driver::HighRecallVariants();
 
@@ -42,6 +43,11 @@ void RunDataset(const corpus::Dataset& ds, bool include_p95) {
         p95.push_back(res.AllOom() ? "N/A"
                                    : driver::FormatF(res.P95Ms(), 1));
       }
+      if (!res.AllOom()) {
+        json.SetLatency(ds.spec().name + "/" + variant.label + "/t" +
+                            std::to_string(terms),
+                        res);
+      }
     }
     row.insert(row.end(), p95.begin(), p95.end());
     table.AddRow(std::move(row));
@@ -55,6 +61,10 @@ void RunDataset(const corpus::Dataset& ds, bool include_p95) {
 }  // namespace sparta::bench
 
 int main() {
-  sparta::bench::RunDataset(sparta::bench::Cw(), /*include_p95=*/true);
-  sparta::bench::RunDataset(sparta::bench::Cwx10(), /*include_p95=*/false);
+  sparta::driver::BenchJson json("fig3_latency");
+  sparta::bench::RunDataset(sparta::bench::Cw(), /*include_p95=*/true,
+                            json);
+  sparta::bench::RunDataset(sparta::bench::Cwx10(),
+                            /*include_p95=*/false, json);
+  sparta::bench::EmitJson(json);
 }

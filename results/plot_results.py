@@ -6,9 +6,12 @@ Usage:  python3 results/plot_results.py [results_dir] [out_dir]
 Requires matplotlib (not needed to *run* the benchmarks, only to plot).
 Produces one PNG per figure-style CSV, mirroring the paper's plots:
 latency-vs-terms (Figs 3a-3e), recall-over-time (3f-3g),
-latency-vs-workers (3h-3i), throughput-vs-terms (Fig 4).
+latency-vs-workers (3h-3i), throughput-vs-terms (Fig 4) — plus a
+contention-breakdown stacked bar (per-structure lock wait, Sparta vs
+pRA across worker counts) fed from BENCH_contention.json.
 """
 import csv
+import json
 import pathlib
 import sys
 
@@ -51,11 +54,54 @@ def plot_series(path, out_dir, logy):
     print(f"wrote {out}")
 
 
+def plot_contention(path, out_dir):
+    """Stacked bars of per-structure lock-wait ms per config, one bar
+    per (algorithm, workers) column of BENCH_contention.json."""
+    import matplotlib.pyplot as plt
+
+    with open(path) as f:
+        doc = json.load(f)
+    configs = sorted(doc.get("configs", {}).items())
+    if not configs:
+        return False
+    prefix = "lock_wait_virtual_ms."
+    structures = sorted(
+        {m[len(prefix):] for _, metrics in configs for m in metrics
+         if m.startswith(prefix)})
+    if not structures:
+        return False
+    fig, ax = plt.subplots(figsize=(8, 4.5))
+    xs = range(len(configs))
+    bottoms = [0.0] * len(configs)
+    for s in structures:
+        heights = [metrics.get(prefix + s, 0.0) for _, metrics in configs]
+        if not any(heights):
+            continue
+        ax.bar(xs, heights, bottom=bottoms, label=s)
+        bottoms = [b + h for b, h in zip(bottoms, heights)]
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels([name for name, _ in configs], rotation=30,
+                       ha="right", fontsize=7)
+    ax.set_ylabel("lock wait (virtual ms, all workers)")
+    ax.set_title("contention breakdown by structure")
+    ax.legend(fontsize=7)
+    ax.grid(alpha=0.3, axis="y")
+    out = out_dir / "contention_breakdown.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return True
+
+
 def main():
     results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
     out_dir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else results)
     out_dir.mkdir(parents=True, exist_ok=True)
     plotted = 0
+    contention = results / "BENCH_contention.json"
+    if contention.exists() and plot_contention(contention, out_dir):
+        plotted += 1
     for path in sorted(results.glob("*.csv")):
         name = path.stem
         if name.startswith("fig_3f") or name.startswith("fig_3g"):

@@ -4,8 +4,21 @@
 # Fails fast when the build tree is missing or stale, runs every bench
 # even if one fails, and exits non-zero if any did (per-bench exit codes
 # are recorded in the output).
+#
+# --json-only: fast perf-gate mode. Runs only the benches whose
+# machine-readable output is gated by tools/bench_compare.py
+# (bench_contention, plus bench_micro for the uploaded wall-clock
+# artifact), writes into results/_fresh/ instead of results/ so the
+# committed baseline is never clobbered, then compares. This is what CI's
+# perf-smoke job runs.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+json_only=0
+if [[ "${1:-}" == "--json-only" ]]; then
+  json_only=1
+  shift
+fi
 
 if [[ ! -d build ]]; then
   echo "error: no build/ directory — run: cmake -B build -S . && cmake --build build -j" >&2
@@ -24,9 +37,13 @@ BENCHES=(
   bench_ablation_sparta
   bench_extensions
   bench_adaptive
+  bench_contention
   bench_degradation
   bench_overload
 )
+if [[ $json_only -eq 1 ]]; then
+  BENCHES=(bench_contention)
+fi
 
 # Fail fast on missing or stale binaries: every bench must exist and be
 # no older than the newest source file.
@@ -44,8 +61,15 @@ for b in "${BENCHES[@]}" bench_micro; do
 done
 
 # Tier-1 gate: no benchmark numbers without a passing fast-correctness
-# suite (see README "Test tiers").
-ctest --test-dir build -L tier1 --output-on-failure -j"$(nproc)"
+# suite (see README "Test tiers"). Skipped in --json-only mode, which
+# only builds the gated benches (CI runs tier 1 as its own job).
+if [[ $json_only -eq 0 ]]; then
+  ctest --test-dir build -L tier1 --output-on-failure -j"$(nproc)"
+else
+  export SPARTA_RESULTS_DIR=results/_fresh
+  rm -rf results/_fresh
+  mkdir -p results/_fresh
+fi
 
 failed=0
 {
@@ -61,7 +85,9 @@ failed=0
   done
   echo "===== build/bench/bench_micro ====="
   rc=0
-  build/bench/bench_micro --benchmark_min_time=0.2 || rc=$?
+  micro_out="${SPARTA_RESULTS_DIR:-results}/BENCH_micro_wallclock.json"
+  build/bench/bench_micro --benchmark_min_time=0.2 \
+    --benchmark_out="$micro_out" --benchmark_out_format=json || rc=$?
   if [[ $rc -ne 0 ]]; then
     echo "BENCH FAILED: bench_micro (exit $rc)"
     failed=1
@@ -74,3 +100,8 @@ failed=0
 } 2>bench_stderr.log | tee bench_output.txt
 
 grep -q '^DONE_ALL$' bench_output.txt
+
+if [[ $json_only -eq 1 ]]; then
+  python3 tools/bench_compare.py --baseline results --fresh results/_fresh \
+    --require contention
+fi

@@ -41,7 +41,10 @@ class JassRun final : public topk::QueryRun {
     budget_ = static_cast<std::uint64_t>(
         params_.p * static_cast<double>(total));
     budget_ = std::max<std::uint64_t>(budget_, 1);
-    if (params_.tracer != nullptr) trace_lock_ = ctx.MakeLock();
+    if (params_.tracer != nullptr) {
+      trace_lock_ = ctx.MakeLock();
+      ctx.RegisterContentionRange(trace_lock_.get(), 1, "jass.traceLock");
+    }
   }
 
   void Start() override {

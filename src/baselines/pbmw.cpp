@@ -30,6 +30,8 @@ class PBmwRun final : public topk::QueryRun {
     // The shared Θ is a deliberately lock-free atomic (§5.2.2).
     ctx.AnnotateBenignRace(&shared_theta_, sizeof(shared_theta_),
                            "pbmw.theta");
+    ctx.RegisterContentionRange(&shared_theta_, sizeof(shared_theta_),
+                                "bmw.theta");
   }
 
   void Start() override {

@@ -39,6 +39,14 @@ class RaRun final : public topk::QueryRun {
     // Lock-free by design: lazy UB updates and the done flag.
     ctx.AnnotateBenignRace(ub_.data(), m_ * sizeof(ub_[0]), "ra.UB");
     ctx.AnnotateBenignRace(&done_, sizeof(done_), "ra.done");
+    // Contention-profiler registry, same structure names as Sparta's so
+    // the per-structure reports line up side by side (the `seen_` docMap
+    // registers its own stripes).
+    ctx.RegisterContentionRange(ub_.data(), m_ * sizeof(ub_[0]), "UB");
+    ctx.RegisterContentionRange(&done_, sizeof(done_), "done.flag");
+    ctx.RegisterContentionRange(&heap_upd_time_, sizeof(heap_upd_time_),
+                                "heap.updTime");
+    ctx.RegisterContentionRange(heap_lock_.get(), 1, "heap.lock");
   }
 
   void Start() override {

@@ -126,6 +126,15 @@ class SpartaRun final : public topk::QueryRun {
     // (DESIGN.md §6).
     ctx.AnnotateBenignRace(ub_.data(), m_ * sizeof(ub_[0]), "sparta.UB");
     ctx.AnnotateBenignRace(&done_, sizeof(done_), "sparta.done");
+    // Contention-profiler registry: the shared hot state whose coherence
+    // misses and lock waits the paper's optimizations target (the docMap
+    // stripes register themselves). Structure names are shared with the
+    // TA/RA baselines so reports compare side by side.
+    ctx.RegisterContentionRange(ub_.data(), m_ * sizeof(ub_[0]), "UB");
+    ctx.RegisterContentionRange(&done_, sizeof(done_), "done.flag");
+    ctx.RegisterContentionRange(&heap_upd_time_, sizeof(heap_upd_time_),
+                                "heap.updTime");
+    ctx.RegisterContentionRange(heap_lock_.get(), 1, "heap.lock");
   }
 
   void Start() override {

@@ -71,7 +71,13 @@ LatencyResult BenchDriver::MeasureLatency(
   sim::SimExecutor executor(config);
   // "Prior to each experiment, we flush the file system's page cache."
   executor.page_cache().Reset();
+  return RunLatencyLoop(executor, algo, queries, params, measure_recall);
+}
 
+LatencyResult BenchDriver::RunLatencyLoop(
+    sim::SimExecutor& executor, const topk::Algorithm& algo,
+    std::span<const corpus::Query> queries,
+    const topk::SearchParams& params, bool measure_recall) {
   LatencyResult result;
   double recall_sum = 0.0;
   std::size_t recall_n = 0;
@@ -312,6 +318,40 @@ TraceReport BenchDriver::TraceQuery(const topk::Algorithm& algo,
                                     int workers) {
   return TraceSingleQuery(dataset_.index(), algo, query, params,
                           MakeSimConfig(workers));
+}
+
+ProfileResult BenchDriver::ProfileLatency(
+    const topk::Algorithm& algo, std::span<const corpus::Query> queries,
+    const topk::SearchParams& params, sim::SimConfig config,
+    bool measure_recall) {
+  SPARTA_CHECK_MSG(config.profile.enabled(),
+                   "ProfileLatency needs config.profile enabled");
+  sim::SimExecutor executor(config);
+  executor.page_cache().Reset();
+
+  topk::SearchParams profiled_params = params;
+  profiled_params.trace.enabled = true;
+
+  ProfileResult result;
+  result.latency = RunLatencyLoop(executor, algo, queries,
+                                  profiled_params, measure_recall);
+
+  const obs::Profiler* profiler = executor.profiler();
+  SPARTA_CHECK(profiler != nullptr);
+  result.contention = profiler->ContentionSnapshot();
+  result.folded = obs::ExportFolded(*profiler);
+  result.self_times = obs::SelfTimeTable(*profiler);
+  return result;
+}
+
+std::string RenderProfileReport(const ProfileResult& result,
+                                const std::string& title) {
+  std::string out = obs::RenderContentionReport(result.contention, title);
+  if (!result.self_times.empty()) {
+    out += "\n";
+    out += obs::RenderSelfTimeTable(result.self_times);
+  }
+  return out;
 }
 
 }  // namespace sparta::driver

@@ -18,6 +18,8 @@
 
 #include "corpus/datasets.h"
 #include "driver/table.h"
+#include "obs/flame_export.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
 #include "serve/server.h"
 #include "sim/sim_executor.h"
@@ -87,6 +89,22 @@ TraceReport TraceSingleQuery(const index::InvertedIndex& index,
 /// table: per span kind, count, inclusive and exclusive (self) time, and
 /// self time as a share of query latency.
 Table AttributionTable(const TraceReport& report);
+
+/// One profiled latency run (see obs/profiler.h): the usual latency
+/// aggregates plus the contention report (accumulated over all queries),
+/// the folded sample stacks, and the per-phase self-time table.
+struct ProfileResult {
+  LatencyResult latency;
+  obs::ContentionReport contention;
+  std::string folded;
+  std::vector<obs::SelfTimeRow> self_times;
+};
+
+/// Renders a ProfileResult's per-structure contention rows plus the
+/// per-phase self-time table as one plain-text report (the committed
+/// results/contention_*.txt golden format).
+std::string RenderProfileReport(const ProfileResult& result,
+                                const std::string& title);
 
 struct OpenLoopResult {
   /// Full per-query and aggregate serving record (see serve/server.h).
@@ -160,10 +178,33 @@ class BenchDriver {
                          const corpus::Query& query,
                          const topk::SearchParams& params, int workers);
 
+  /// Latency mode on a profiled simulator: `config.profile` must be
+  /// enabled. Algorithm-level spans are force-enabled (they are the
+  /// profiler's frames; without a tracer they cost a null check each) so
+  /// samples and contention events attribute to phases. The cost model
+  /// in `config` is used as given — registered-range coherence keys make
+  /// the report byte-identical per seed under any cost model; pass
+  /// coherence_miss == l1_hit when the latencies must also match
+  /// unprofiled runs.
+  ProfileResult ProfileLatency(const topk::Algorithm& algo,
+                               std::span<const corpus::Query> queries,
+                               const topk::SearchParams& params,
+                               sim::SimConfig config,
+                               bool measure_recall = true);
+
   /// Ground truth for (query, k), cached across calls.
   const topk::ExactTopK& Oracle(const corpus::Query& query, int k);
 
  private:
+  /// Shared latency-mode measurement loop: runs every query alone on
+  /// `executor` and aggregates. The caller owns the executor so it can
+  /// inspect observers (tracer, profiler) after the loop.
+  LatencyResult RunLatencyLoop(sim::SimExecutor& executor,
+                               const topk::Algorithm& algo,
+                               std::span<const corpus::Query> queries,
+                               const topk::SearchParams& params,
+                               bool measure_recall);
+
   const corpus::Dataset& dataset_;
   std::map<std::string, topk::ExactTopK> oracle_cache_;
 };

@@ -24,6 +24,7 @@
 #include "util/common.h"
 
 namespace sparta::obs {
+class Profiler;
 class Tracer;
 }  // namespace sparta::obs
 
@@ -166,6 +167,11 @@ class WorkerContext {
   /// threaded executor rebases onto an executor-lifetime epoch so spans
   /// from successive queries stay monotone on one timeline.
   virtual VirtualTime TraceNow() const { return Now(); }
+
+  /// Contention/sampling profiler, or nullptr when profiling is off (the
+  /// default, and always on real threads). Like tracer(), sites read it
+  /// once so the off path is a single null check.
+  virtual obs::Profiler* profiler() const { return nullptr; }
 };
 
 /// A mutual-exclusion lock priced by the executor (real std::mutex on
@@ -249,6 +255,15 @@ class QueryContext {
   virtual void AnnotateBenignRace(const void* /*addr*/,
                                   std::size_t /*bytes*/,
                                   const char* /*label*/) {}
+
+  /// Names [addr, addr+bytes) for the contention profiler: coherence
+  /// misses, invalidations and lock waits on the range are attributed to
+  /// `structure` (register a CtxLock's own address to name the lock).
+  /// Algorithms register their shared hot state once at query setup;
+  /// no-op when profiling is off.
+  virtual void RegisterContentionRange(const void* /*addr*/,
+                                       std::size_t /*bytes*/,
+                                       const char* /*structure*/) {}
 };
 
 }  // namespace sparta::exec

@@ -1,0 +1,86 @@
+#include "obs/flame_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace sparta::obs {
+namespace {
+
+constexpr std::uint8_t kOutside = 0xFF;
+
+std::string FrameName(std::uint8_t code) {
+  return code == kOutside ? "(none)"
+                          : SpanKindName(static_cast<SpanKind>(code));
+}
+
+}  // namespace
+
+std::string ExportFolded(const Profiler& profiler) {
+  std::vector<std::string> lines;
+  lines.reserve(profiler.folded_samples().size());
+  for (const auto& [stack, count] : profiler.folded_samples()) {
+    std::string line;
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      if (i != 0) line += ';';
+      line += FrameName(stack[i]);
+    }
+    line += ' ';
+    line += std::to_string(count);
+    line += '\n';
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& line : lines) out += line;
+  return out;
+}
+
+std::vector<SelfTimeRow> SelfTimeTable(const Profiler& profiler) {
+  // Innermost frame of each folded stack owns its samples.
+  std::map<std::uint8_t, std::uint64_t> by_leaf;
+  for (const auto& [stack, count] : profiler.folded_samples()) {
+    by_leaf[stack.back()] += count;
+  }
+  std::vector<SelfTimeRow> rows;
+  rows.reserve(by_leaf.size());
+  const auto total = profiler.total_samples();
+  for (const auto& [code, samples] : by_leaf) {
+    SelfTimeRow row;
+    row.outside = code == kOutside;
+    if (!row.outside) row.kind = static_cast<SpanKind>(code);
+    row.samples = samples;
+    row.self_ns = static_cast<exec::VirtualTime>(samples) *
+                  profiler.sample_period();
+    row.share = total > 0 ? static_cast<double>(samples) /
+                                static_cast<double>(total)
+                          : 0.0;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SelfTimeRow& a, const SelfTimeRow& b) {
+              if (a.samples != b.samples) return a.samples > b.samples;
+              return std::strcmp(a.name(), b.name()) < 0;
+            });
+  return rows;
+}
+
+std::string RenderSelfTimeTable(const std::vector<SelfTimeRow>& rows) {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-16s %10s %12s %8s\n", "phase",
+                "samples", "self_ms", "share");
+  out += buf;
+  for (const auto& row : rows) {
+    std::snprintf(buf, sizeof(buf), "%-16s %10llu %12.3f %7.1f%%\n",
+                  row.name(),
+                  static_cast<unsigned long long>(row.samples),
+                  static_cast<double>(row.self_ns) / 1e6,
+                  row.share * 100.0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sparta::obs

@@ -1,0 +1,39 @@
+// Exports of the virtual-time sampling profiler: folded stacks in the
+// FlameGraph / speedscope "collapsed" format and a per-phase self-time
+// table. All outputs are byte-stable for equal profiles (lines sorted,
+// fixed number formatting) so per-seed goldens can be committed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/profiler.h"
+
+namespace sparta::obs {
+
+/// One row of the per-phase self-time table: samples whose *innermost*
+/// live span was `kind`. Self time is samples * sample_period.
+struct SelfTimeRow {
+  SpanKind kind = SpanKind::kJob;
+  bool outside = false;  ///< sample hit outside any span
+  std::uint64_t samples = 0;
+  exec::VirtualTime self_ns = 0;
+  double share = 0.0;  ///< of total samples
+
+  const char* name() const {
+    return outside ? "(none)" : SpanKindName(kind);
+  }
+};
+
+/// Folded stacks, one per line: "job;postings.scan;io.read 42\n",
+/// sorted lexicographically. Feed to flamegraph.pl or speedscope.
+std::string ExportFolded(const Profiler& profiler);
+
+/// Per-phase self-time rows, sorted by samples descending (ties by
+/// name).
+std::vector<SelfTimeRow> SelfTimeTable(const Profiler& profiler);
+
+/// Renders the self-time table as fixed-width text.
+std::string RenderSelfTimeTable(const std::vector<SelfTimeRow>& rows);
+
+}  // namespace sparta::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cstdio>
 #include <string>
 
 #include "obs/trace.h"
@@ -39,6 +40,57 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snap.histograms[name] = s;
   }
   return snap;
+}
+
+namespace {
+
+std::string Sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out.push_back(ok ? ch : '_');
+  }
+  // Prometheus names must not start with a digit.
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string TextFormat(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = Sanitize(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = Sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, summary] : snapshot.histograms) {
+    const std::string n = Sanitize(name);
+    out += "# TYPE " + n + " summary\n";
+    out += n + "{quantile=\"0.5\"} " + std::to_string(summary.p50) + "\n";
+    out += n + "{quantile=\"0.99\"} " + std::to_string(summary.p99) + "\n";
+    out += n + "_sum " +
+           FormatDouble(summary.mean *
+                        static_cast<double>(summary.count)) +
+           "\n";
+    out += n + "_count " + std::to_string(summary.count) + "\n";
+  }
+  return out;
 }
 
 void AccumulateTraceMetrics(const Tracer& tracer, MetricsRegistry& registry) {

@@ -84,4 +84,11 @@ class MetricsRegistry {
 /// `trace.span_ns.<kind>` histograms of span durations.
 void AccumulateTraceMetrics(const Tracer& tracer, MetricsRegistry& registry);
 
+/// Prometheus text exposition (version 0.0.4) of a snapshot: counters
+/// and gauges as single samples, histograms as summaries (quantile
+/// labels plus _sum/_count). Metric names are sanitized to
+/// [a-zA-Z0-9_:] ('.' becomes '_'); output is deterministic (sorted by
+/// name, fixed float formatting).
+std::string TextFormat(const MetricsSnapshot& snapshot);
+
 }  // namespace sparta::obs

@@ -1,0 +1,315 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/common.h"
+
+namespace sparta::obs {
+namespace {
+
+constexpr std::uint8_t kNoPhase = 0xFF;
+/// Bits of a virtual line key reserved for the line-in-range index.
+constexpr unsigned kLineBits = 20;
+
+const char* PhaseName(std::uint8_t code) {
+  return code == kNoPhase ? "(none)"
+                          : SpanKindName(static_cast<SpanKind>(code));
+}
+
+void Append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+double Ms(exec::VirtualTime ns) {
+  return static_cast<double>(ns) / 1e6;
+}
+
+}  // namespace
+
+Profiler::Profiler(int num_workers, ProfilerConfig config)
+    : num_workers_(num_workers),
+      config_(config),
+      frames_(static_cast<std::size_t>(num_workers)),
+      next_sample_(static_cast<std::size_t>(num_workers), 0) {
+  SPARTA_CHECK(num_workers >= 1);
+  SPARTA_CHECK(config_.sample_period >= 0);
+  // Id 0 is the fallback bucket for events on unregistered addresses.
+  names_.emplace_back("(unregistered)");
+  name_ids_.emplace(names_.back(), 0);
+  next_ordinal_.push_back(0);
+  stats_.emplace_back();
+}
+
+std::uint32_t Profiler::StructureId(const char* name) {
+  const auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  next_ordinal_.push_back(0);
+  stats_.emplace_back();
+  return id;
+}
+
+Profiler::StructureStats& Profiler::Stats(std::uint32_t structure) {
+  auto& stats = stats_[structure];
+  if (stats.worker_misses.empty()) {
+    stats.worker_misses.assign(static_cast<std::size_t>(num_workers_), 0);
+    stats.worker_wait_ns.assign(static_cast<std::size_t>(num_workers_), 0);
+  }
+  return stats;
+}
+
+void Profiler::RegisterRange(const void* addr, std::size_t bytes,
+                             const char* structure) {
+  SPARTA_CHECK(addr != nullptr && bytes > 0 && structure != nullptr);
+  Range range;
+  range.base = reinterpret_cast<std::uintptr_t>(addr);
+  range.end = range.base + bytes;
+  range.structure = StructureId(structure);
+  range.ordinal = next_ordinal_[range.structure]++;
+  const std::uintptr_t lines = (bytes - 1) >> 6;
+  SPARTA_CHECK(lines < (1u << kLineBits));
+  // Evict any range the new one overlaps: a recycled heap address must
+  // never resolve to a structure from an earlier query.
+  auto it = ranges_.lower_bound(range.base);
+  if (it != ranges_.begin() && std::prev(it)->second.end > range.base) {
+    --it;
+  }
+  while (it != ranges_.end() && it->second.base < range.end) {
+    it = ranges_.erase(it);
+  }
+  ranges_.emplace(range.base, range);
+}
+
+void Profiler::ResetRanges() {
+  ranges_.clear();
+  std::fill(next_ordinal_.begin(), next_ordinal_.end(), 0);
+}
+
+Profiler::Resolution Profiler::Resolve(const void* addr) const {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  Resolution res;
+  auto it = ranges_.upper_bound(a);
+  if (it != ranges_.begin()) {
+    const Range& range = std::prev(it)->second;
+    if (a < range.end) {
+      // Line identity is the byte offset within the range, /64 — i.e.
+      // the range is treated as 64-byte aligned. The real base's
+      // alignment within its cache line must not matter: it varies with
+      // allocator state, and byte-identical reports across executor
+      // instances are the whole point of the virtual key space.
+      const auto line = static_cast<std::uint64_t>((a - range.base) >> 6);
+      res.structure = range.structure;
+      res.line_id =
+          (static_cast<std::uint64_t>(range.ordinal) << kLineBits) | line;
+      // Allocator-independent key: disjoint from the address-derived
+      // fallback space via the top bit (addresses' bit 63 is never set
+      // after the >> 6 of LineOf).
+      res.line_key = (1ULL << 63) |
+                     (static_cast<std::uint64_t>(res.structure) << 40) |
+                     res.line_id;
+      return res;
+    }
+  }
+  res.line_key = static_cast<std::uint64_t>(a >> 6);
+  return res;
+}
+
+void Profiler::OnSharedAccess(int worker, const Resolution& where,
+                              exec::AccessKind kind, bool miss,
+                              int copies_invalidated) {
+  if (!config_.contention) return;
+  auto& stats = Stats(where.structure);
+  if (kind == exec::AccessKind::kRead) {
+    ++stats.reads;
+    if (miss) ++stats.read_misses;
+  } else {
+    ++stats.writes;
+    if (miss) ++stats.write_misses;
+    stats.copies_invalidated +=
+        static_cast<std::uint64_t>(copies_invalidated);
+  }
+  if (!miss) return;
+  ++stats.worker_misses[static_cast<std::size_t>(worker)];
+  ++stats.phases[CurrentPhase(worker)].misses;
+  // Line identity is only meaningful for registered ranges; everything
+  // unregistered collapses onto one pseudo-line.
+  ++stats.line_misses[where.structure == 0 ? 0 : where.line_id];
+}
+
+void Profiler::OnLockAcquire(int worker, const void* lock, bool contended,
+                             exec::VirtualTime wait_ns) {
+  if (!config_.contention) return;
+  auto& stats = Stats(Resolve(lock).structure);
+  ++stats.lock_acquires;
+  if (!contended) return;
+  ++stats.lock_contended;
+  stats.lock_wait_ns += wait_ns;
+  stats.worker_wait_ns[static_cast<std::size_t>(worker)] += wait_ns;
+  stats.phases[CurrentPhase(worker)].lock_wait_ns += wait_ns;
+  total_lock_wait_ns_ += wait_ns;
+}
+
+std::uint8_t Profiler::CurrentPhase(int worker) const {
+  const auto& stack = frames_[static_cast<std::size_t>(worker)];
+  return stack.empty() ? kNoPhase : stack.back();
+}
+
+void Profiler::PushFrame(int worker, SpanKind kind) {
+  frames_[static_cast<std::size_t>(worker)].push_back(
+      static_cast<std::uint8_t>(kind));
+}
+
+void Profiler::PopFrame(int worker) {
+  auto& stack = frames_[static_cast<std::size_t>(worker)];
+  SPARTA_CHECK(!stack.empty());
+  stack.pop_back();
+}
+
+void Profiler::RecordSample(int worker) {
+  const auto& stack = frames_[static_cast<std::size_t>(worker)];
+  if (stack.empty()) {
+    static const std::vector<std::uint8_t> kOutside{kNoPhase};
+    ++folded_[kOutside];
+  } else {
+    ++folded_[stack];
+  }
+  ++total_samples_;
+}
+
+void Profiler::OnAdvance(int worker, exec::VirtualTime before,
+                         exec::VirtualTime after) {
+  const exec::VirtualTime period = config_.sample_period;
+  if (period <= 0) return;
+  auto& next = next_sample_[static_cast<std::size_t>(worker)];
+  // Uncharged gaps (queue waits, dispatch, barriers) move the clock
+  // without passing through here; fast-forward past them instead of
+  // back-filling samples for time the worker did not spend working.
+  if (next <= before) next = (before / period + 1) * period;
+  while (next <= after) {
+    RecordSample(worker);
+    next += period;
+  }
+}
+
+ContentionReport Profiler::ContentionSnapshot() const {
+  ContentionReport report;
+  // Sorted by name: name_ids_ is an ordered map.
+  for (const auto& [name, id] : name_ids_) {
+    const StructureStats& stats = stats_[id];
+    const bool touched =
+        stats.reads + stats.writes + stats.lock_acquires > 0;
+    // The fallback bucket appears only when something actually landed in
+    // it; registered-but-idle structures keep their zero row (the row
+    // proves the registration is wired).
+    if (id == 0 && !touched) continue;
+    ContentionStructureRow row;
+    row.name = name;
+    row.reads = stats.reads;
+    row.writes = stats.writes;
+    row.read_misses = stats.read_misses;
+    row.write_misses = stats.write_misses;
+    row.copies_invalidated = stats.copies_invalidated;
+    row.lock_acquires = stats.lock_acquires;
+    row.lock_contended = stats.lock_contended;
+    row.lock_wait_ns = stats.lock_wait_ns;
+    row.worker_misses = stats.worker_misses;
+    row.worker_wait_ns = stats.worker_wait_ns;
+    if (row.worker_misses.empty()) {
+      row.worker_misses.assign(static_cast<std::size_t>(num_workers_), 0);
+      row.worker_wait_ns.assign(static_cast<std::size_t>(num_workers_), 0);
+    }
+    for (const auto& [phase, agg] : stats.phases) {
+      row.phases.push_back({PhaseName(phase), agg.misses,
+                            agg.lock_wait_ns});
+    }
+    std::sort(row.phases.begin(), row.phases.end(),
+              [](const ContentionPhaseRow& a, const ContentionPhaseRow& b) {
+                return a.phase < b.phase;
+              });
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> lines(
+        stats.line_misses.begin(), stats.line_misses.end());
+    std::sort(lines.begin(), lines.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (lines.size() > 8) lines.resize(8);
+    for (const auto& [line_id, misses] : lines) {
+      char label[96];
+      std::snprintf(label, sizeof(label), "%s#%u+0x%llx", name.c_str(),
+                    static_cast<unsigned>(line_id >> kLineBits),
+                    static_cast<unsigned long long>(
+                        (line_id & ((1u << kLineBits) - 1)) * 64));
+      row.hot_lines.push_back({label, misses});
+    }
+    report.total_misses += row.misses();
+    report.total_lock_wait_ns += row.lock_wait_ns;
+    report.structures.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string RenderContentionReport(const ContentionReport& report,
+                                   const std::string& title) {
+  std::string out;
+  Append(out, "== contention: %s ==\n", title.c_str());
+  Append(out, "%-18s %9s %9s %9s %9s %8s %8s %8s %11s\n", "structure",
+         "reads", "writes", "rd.miss", "wr.miss", "inval", "lk.acq",
+         "lk.cont", "lk.wait.ms");
+  for (const auto& row : report.structures) {
+    Append(out, "%-18s %9llu %9llu %9llu %9llu %8llu %8llu %8llu %11.3f\n",
+           row.name.c_str(), static_cast<unsigned long long>(row.reads),
+           static_cast<unsigned long long>(row.writes),
+           static_cast<unsigned long long>(row.read_misses),
+           static_cast<unsigned long long>(row.write_misses),
+           static_cast<unsigned long long>(row.copies_invalidated),
+           static_cast<unsigned long long>(row.lock_acquires),
+           static_cast<unsigned long long>(row.lock_contended),
+           Ms(row.lock_wait_ns));
+  }
+  Append(out, "total misses %llu, total lock wait %.3f ms\n",
+         static_cast<unsigned long long>(report.total_misses),
+         Ms(report.total_lock_wait_ns));
+
+  out += "\nhottest lines:\n";
+  for (const auto& row : report.structures) {
+    for (const auto& line : row.hot_lines) {
+      Append(out, "  %-28s %9llu\n", line.line.c_str(),
+             static_cast<unsigned long long>(line.misses));
+    }
+  }
+
+  out += "\nper-phase attribution:\n";
+  for (const auto& row : report.structures) {
+    for (const auto& phase : row.phases) {
+      Append(out, "  %-18s %-14s misses %9llu  lk.wait.ms %9.3f\n",
+             row.name.c_str(), phase.phase.c_str(),
+             static_cast<unsigned long long>(phase.misses),
+             Ms(phase.lock_wait_ns));
+    }
+  }
+
+  out += "\nper-worker misses / lock-wait ms:\n";
+  for (const auto& row : report.structures) {
+    if (row.misses() == 0 && row.lock_wait_ns == 0) continue;
+    Append(out, "  %-18s", row.name.c_str());
+    for (std::size_t w = 0; w < row.worker_misses.size(); ++w) {
+      Append(out, " w%zu:%llu/%.3f", w,
+             static_cast<unsigned long long>(row.worker_misses[w]),
+             Ms(row.worker_wait_ns[w]));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sparta::obs

@@ -1,0 +1,250 @@
+// Simulator-native profiling: where the contention and the cycles go.
+//
+// Two instruments, both driven by the executor's deterministic virtual
+// clocks (no host timers, no signals):
+//
+//   * Contention profiler — a named address-range registry. Algorithms
+//     register their shared hot structures (docMap stripes, UB arrays,
+//     done flags, result-heap locks) once per query; every coherence
+//     miss, invalidation and lock-wait interval the simulator prices is
+//     then attributed to (data structure, owner algorithm phase, worker),
+//     yielding per-structure contention tables and a "hottest cache
+//     lines" report. This measures the paper's central claim directly:
+//     Sparta's lazy UB updates and termMap replicas exist to drain
+//     exactly these counters relative to pNRA/pRA.
+//
+//   * Virtual-time sampling profiler — snapshots each worker's live span
+//     stack (the same SpanKind scopes the tracer records) every
+//     `sample_period` virtual nanoseconds of *charged* work, producing
+//     folded stacks (FlameGraph / speedscope collapsed format) and a
+//     per-phase self-time table.
+//
+// Determinism contract (enforced by tests/test_profiler.cpp, same
+// pattern as obs/trace.h): profiling is off by default and the off path
+// is a null-pointer check — no charges, no allocations — so
+// profiler-off runs are bit-identical to builds without this layer.
+// With profiling on, hooks never charge virtual time; coherence lines of
+// *registered* ranges are keyed by (structure, offset/64) instead of by
+// heap address, so the same seed yields byte-identical contention
+// reports and folded stacks regardless of allocator layout (unregistered
+// addresses keep the address-derived key and land in an "(unregistered)"
+// bucket).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/context.h"
+#include "obs/trace.h"
+
+namespace sparta::obs {
+
+/// Runtime profiling knob, carried by SimConfig. Off by default.
+struct ProfilerConfig {
+  /// Attribute coherence misses, invalidations and lock waits to
+  /// registered structures.
+  bool contention = false;
+  /// Sampling period in virtual ns (0 = sampling off). Every worker's
+  /// span stack is snapshotted each time its charged work crosses a
+  /// period boundary.
+  exec::VirtualTime sample_period = 0;
+
+  bool enabled() const { return contention || sample_period > 0; }
+};
+
+/// One row of the per-(structure, phase) contention breakdown. The phase
+/// is the innermost live span (SpanKindName) at the time of the event,
+/// "(none)" outside any span.
+struct ContentionPhaseRow {
+  std::string phase;
+  std::uint64_t misses = 0;  ///< read misses + write RFO misses
+  exec::VirtualTime lock_wait_ns = 0;
+};
+
+/// One of a structure's hottest cache lines. `line` names the range
+/// ordinal within the structure and the 64-byte line offset inside it,
+/// e.g. "docMap#17+0x0".
+struct ContentionLineRow {
+  std::string line;
+  std::uint64_t misses = 0;
+};
+
+/// Aggregated contention of one registered structure.
+struct ContentionStructureRow {
+  std::string name;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Reads that paid an invalidation miss (line version moved).
+  std::uint64_t read_misses = 0;
+  /// Writes that paid a request-for-ownership round trip.
+  std::uint64_t write_misses = 0;
+  /// Remote copies invalidated by this structure's writes.
+  std::uint64_t copies_invalidated = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_contended = 0;
+  exec::VirtualTime lock_wait_ns = 0;
+  /// Per-worker miss / lock-wait breakdown, indexed by worker id.
+  std::vector<std::uint64_t> worker_misses;
+  std::vector<exec::VirtualTime> worker_wait_ns;
+  /// Per-phase breakdown, sorted by phase name.
+  std::vector<ContentionPhaseRow> phases;
+  /// Hottest cache lines, by misses descending (top 8).
+  std::vector<ContentionLineRow> hot_lines;
+
+  std::uint64_t misses() const { return read_misses + write_misses; }
+};
+
+/// Deterministic snapshot of the contention profiler, sorted by
+/// structure name.
+struct ContentionReport {
+  std::vector<ContentionStructureRow> structures;
+  std::uint64_t total_misses = 0;
+  exec::VirtualTime total_lock_wait_ns = 0;
+};
+
+/// Renders a ContentionReport as a fixed-width text table (the format of
+/// the committed results/contention_*.txt goldens): a per-structure
+/// summary, per-phase rows, and the hottest-lines list. Byte-stable for
+/// equal reports.
+std::string RenderContentionReport(const ContentionReport& report,
+                                   const std::string& title);
+
+/// The profiling engine, owned by the simulator (constructed iff
+/// ProfilerConfig::enabled(), like the tracer). All hooks are
+/// charge-free: they never touch worker clocks.
+class Profiler {
+ public:
+  Profiler(int num_workers, ProfilerConfig config);
+
+  const ProfilerConfig& config() const { return config_; }
+  int num_workers() const { return num_workers_; }
+
+  // --- address-range registry -----------------------------------------
+
+  /// Registers [addr, addr+bytes) under `structure`. Ranges registered
+  /// under the same name aggregate (each gets a deterministic ordinal —
+  /// registration order — used for line identity). A new range evicts
+  /// any previously registered range it overlaps: heap addresses recycle
+  /// across queries, so a stale mapping must never claim a new query's
+  /// allocation.
+  void RegisterRange(const void* addr, std::size_t bytes,
+                     const char* structure);
+
+  /// Drops all ranges and resets per-structure ordinals (called between
+  /// latency-mode queries, with the coherence reset). Accumulated
+  /// statistics persist.
+  void ResetRanges();
+
+  /// Where an address lives. `line_key` is the coherence-map key:
+  /// structure-relative (and allocator-independent) for registered
+  /// addresses, address-derived for unregistered ones — the two spaces
+  /// are disjoint (registered keys have the top bit set).
+  struct Resolution {
+    std::uint64_t line_key = 0;
+    std::uint32_t structure = 0;  ///< 0 = unregistered
+    std::uint64_t line_id = 0;    ///< (ordinal << 20) | line-in-range
+  };
+  Resolution Resolve(const void* addr) const;
+
+  // --- event sinks (called by the simulator) --------------------------
+
+  /// One coherence event on a resolved line. `copies_invalidated` is the
+  /// number of remote valid copies a write invalidated (0 for reads).
+  void OnSharedAccess(int worker, const Resolution& where,
+                      exec::AccessKind kind, bool miss,
+                      int copies_invalidated);
+
+  /// One lock acquisition. `lock` is resolved against the registry
+  /// (register the CtxLock object's address to name it); `wait_ns` is
+  /// stall + handoff for contended acquisitions, 0 otherwise — exactly
+  /// the duration the tracer records as a lock.wait span, so the two
+  /// instruments reconcile.
+  void OnLockAcquire(int worker, const void* lock, bool contended,
+                     exec::VirtualTime wait_ns);
+
+  // --- span-stack maintenance and sampling ----------------------------
+
+  void PushFrame(int worker, SpanKind kind);
+  void PopFrame(int worker);
+
+  /// Charged-work advance of one worker's clock from `before` to
+  /// `after`; emits a sample for every period boundary crossed. Idle
+  /// time (queue waits, dispatch gaps) is never sampled — the profile
+  /// answers "what was the worker doing while it worked".
+  void OnAdvance(int worker, exec::VirtualTime before,
+                 exec::VirtualTime after);
+
+  // --- results --------------------------------------------------------
+
+  ContentionReport ContentionSnapshot() const;
+
+  /// Folded samples: stack (outermost..innermost SpanKind codes; the
+  /// sentinel 0xFF alone means "outside any span") -> sample count.
+  const std::map<std::vector<std::uint8_t>, std::uint64_t>&
+  folded_samples() const {
+    return folded_;
+  }
+  std::uint64_t total_samples() const { return total_samples_; }
+  exec::VirtualTime sample_period() const { return config_.sample_period; }
+
+  /// Total contended lock-wait time recorded (all structures, including
+  /// unregistered locks) — reconciles against the tracer's lock.wait
+  /// span durations.
+  exec::VirtualTime total_lock_wait_ns() const {
+    return total_lock_wait_ns_;
+  }
+
+ private:
+  struct Range {
+    std::uintptr_t base = 0;
+    std::uintptr_t end = 0;
+    std::uint32_t structure = 0;
+    std::uint32_t ordinal = 0;  ///< registration order within structure
+  };
+
+  struct PhaseAgg {
+    std::uint64_t misses = 0;
+    exec::VirtualTime lock_wait_ns = 0;
+  };
+
+  struct StructureStats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t read_misses = 0;
+    std::uint64_t write_misses = 0;
+    std::uint64_t copies_invalidated = 0;
+    std::uint64_t lock_acquires = 0;
+    std::uint64_t lock_contended = 0;
+    exec::VirtualTime lock_wait_ns = 0;
+    std::vector<std::uint64_t> worker_misses;
+    std::vector<exec::VirtualTime> worker_wait_ns;
+    /// Keyed by SpanKind code (0xFF = outside any span).
+    std::map<std::uint8_t, PhaseAgg> phases;
+    /// Keyed by line id ((ordinal << 20) | line-in-range).
+    std::map<std::uint64_t, std::uint64_t> line_misses;
+  };
+
+  std::uint32_t StructureId(const char* name);
+  StructureStats& Stats(std::uint32_t structure);
+  std::uint8_t CurrentPhase(int worker) const;
+  void RecordSample(int worker);
+
+  int num_workers_;
+  ProfilerConfig config_;
+  /// Ranges keyed by base address (non-overlapping by construction).
+  std::map<std::uintptr_t, Range> ranges_;
+  /// Structure id -> name; id 0 is the "(unregistered)" bucket.
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t> name_ids_;
+  std::vector<std::uint32_t> next_ordinal_;  ///< per structure
+  std::vector<StructureStats> stats_;        ///< parallel to names_
+  std::vector<std::vector<std::uint8_t>> frames_;  ///< per worker
+  std::vector<exec::VirtualTime> next_sample_;     ///< per worker
+  std::map<std::vector<std::uint8_t>, std::uint64_t> folded_;
+  std::uint64_t total_samples_ = 0;
+  exec::VirtualTime total_lock_wait_ns_ = 0;
+};
+
+}  // namespace sparta::obs

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/profiler.h"
+
 namespace sparta::obs {
 
 const char* SpanKindName(SpanKind kind) {
@@ -177,5 +179,17 @@ void Tracer::Clear() {
   const std::lock_guard<std::mutex> guard(mutex_);
   for (auto& t : tracks_) t.clear();
 }
+
+namespace detail {
+
+void ProfilerPushFrame(Profiler& profiler, int worker, SpanKind kind) {
+  profiler.PushFrame(worker, kind);
+}
+
+void ProfilerPopFrame(Profiler& profiler, int worker) {
+  profiler.PopFrame(worker);
+}
+
+}  // namespace detail
 
 }  // namespace sparta::obs

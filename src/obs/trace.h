@@ -128,17 +128,33 @@ class Tracer {
   mutable std::mutex mutex_;
 };
 
+class Profiler;
+namespace detail {
+/// Out-of-line Profiler frame hooks (trace.h cannot include profiler.h —
+/// profiler.h needs SpanKind from here). Called only on non-null
+/// profilers; the null check stays inline in SpanScope.
+void ProfilerPushFrame(Profiler& profiler, int worker, SpanKind kind);
+void ProfilerPopFrame(Profiler& profiler, int worker);
+}  // namespace detail
+
 /// RAII span bound to the executing worker's track. Reads the tracer
 /// once; a null tracer (tracing off, or `enabled` false for
-/// algorithm-gated spans) makes every member a no-op.
+/// algorithm-gated spans) makes every member a no-op. Also maintains the
+/// worker's live span stack for the sampling profiler (obs/profiler.h):
+/// the same scope that emits a span is a profiler frame, so folded
+/// stacks and the trace describe identical nesting.
 class SpanScope {
  public:
   SpanScope(exec::WorkerContext& worker, SpanKind kind,
             bool enabled = true)
       : worker_(worker),
         tracer_(enabled ? worker.tracer() : nullptr),
+        profiler_(enabled ? worker.profiler() : nullptr),
         kind_(kind) {
     if (tracer_ != nullptr) begin_ = worker_.TraceNow();
+    if (profiler_ != nullptr) {
+      detail::ProfilerPushFrame(*profiler_, worker_.worker_id(), kind_);
+    }
   }
 
   SpanScope(const SpanScope&) = delete;
@@ -152,6 +168,9 @@ class SpanScope {
   bool active() const { return tracer_ != nullptr; }
 
   ~SpanScope() {
+    if (profiler_ != nullptr) {
+      detail::ProfilerPopFrame(*profiler_, worker_.worker_id());
+    }
     if (tracer_ != nullptr) {
       tracer_->AddSpan(worker_.worker_id(), kind_, begin_,
                        worker_.TraceNow(), a_, b_);
@@ -161,6 +180,7 @@ class SpanScope {
  private:
   exec::WorkerContext& worker_;
   Tracer* tracer_;
+  Profiler* profiler_;
   SpanKind kind_;
   exec::VirtualTime begin_ = 0;
   std::uint64_t a_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/coherence.h"
 
+#include "obs/profiler.h"
 #include "sim/race_detector.h"
 #include "util/common.h"
 
@@ -10,11 +11,19 @@ CoherenceModel::Access CoherenceModel::Read(int worker, const void* addr) {
   if (race_detector_ != nullptr) {
     race_detector_->OnAccess(worker, addr, exec::AccessKind::kRead);
   }
-  LineState& line = lines_[LineOf(addr)];
+  obs::Profiler::Resolution where;
+  if (profiler_ != nullptr) where = profiler_->Resolve(addr);
+  const std::uint64_t key =
+      profiler_ != nullptr ? where.line_key : LineOf(addr);
+  LineState& line = lines_[key];
   if (line.version == 0) line.version = 1;  // first sighting of this line
   Access access;
   access.miss = line.seen[static_cast<std::size_t>(worker)] != line.version;
   line.seen[static_cast<std::size_t>(worker)] = line.version;
+  if (profiler_ != nullptr) {
+    profiler_->OnSharedAccess(worker, where, exec::AccessKind::kRead,
+                              access.miss, 0);
+  }
   return access;
 }
 
@@ -23,15 +32,31 @@ CoherenceModel::Access CoherenceModel::Write(int worker, const void* addr) {
   if (race_detector_ != nullptr) {
     race_detector_->OnAccess(worker, addr, exec::AccessKind::kWrite);
   }
-  LineState& line = lines_[LineOf(addr)];
+  obs::Profiler::Resolution where;
+  if (profiler_ != nullptr) where = profiler_->Resolve(addr);
+  const std::uint64_t key =
+      profiler_ != nullptr ? where.line_key : LineOf(addr);
+  LineState& line = lines_[key];
   Access access;
   // Writing a line someone else touched since our last write/read is a
   // request-for-ownership (invalidate) round trip.
   access.miss = line.version != 0 &&
                 line.seen[static_cast<std::size_t>(worker)] != line.version;
+  // Remote workers holding the current version lose their copy.
+  for (int w = 0; w < kMaxSimWorkers; ++w) {
+    if (w != worker &&
+        line.seen[static_cast<std::size_t>(w)] == line.version &&
+        line.version != 0) {
+      ++access.copies_invalidated;
+    }
+  }
   ++line.version;
   line.seen.fill(0);  // everyone else is invalidated
   line.seen[static_cast<std::size_t>(worker)] = line.version;
+  if (profiler_ != nullptr) {
+    profiler_->OnSharedAccess(worker, where, exec::AccessKind::kWrite,
+                              access.miss, access.copies_invalidated);
+  }
   return access;
 }
 

@@ -9,6 +9,12 @@
 // Only registered "small hot" lines go through this model (UB entries,
 // flags, thresholds); large structures use the size-based cost in
 // CostModel::StructureAccessCost.
+//
+// With a profiler attached (SimConfig::profile), lines are keyed through
+// its address-range registry: registered ranges get structure-relative
+// keys (so miss counts are independent of allocator layout and per-seed
+// reports are byte-identical), and every miss/invalidation is forwarded
+// for (structure, phase, worker) attribution.
 #pragma once
 
 #include <array>
@@ -16,6 +22,10 @@
 #include <unordered_map>
 
 #include "exec/context.h"
+
+namespace sparta::obs {
+class Profiler;
+}  // namespace sparta::obs
 
 namespace sparta::sim {
 
@@ -25,9 +35,11 @@ class RaceDetector;
 
 class CoherenceModel {
  public:
-  /// Outcome of one access: whether this worker pays a miss.
+  /// Outcome of one access: whether this worker pays a miss, and (for
+  /// writes) how many remote valid copies the write invalidated.
   struct Access {
     bool miss = false;
+    int copies_invalidated = 0;
   };
 
   Access Read(int worker, const void* addr);
@@ -40,6 +52,11 @@ class CoherenceModel {
   void set_race_detector(RaceDetector* detector) {
     race_detector_ = detector;
   }
+
+  /// Attaches a profiler: lines resolve through its range registry and
+  /// every access outcome is forwarded for contention attribution. Pass
+  /// nullptr to detach.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
   /// Drops all tracked lines (called between queries; heap addresses are
   /// recycled across queries, so stale versions must not leak).
@@ -55,12 +72,14 @@ class CoherenceModel {
     std::array<std::uint64_t, kMaxSimWorkers> seen{};
   };
 
-  static std::uintptr_t LineOf(const void* addr) {
-    return reinterpret_cast<std::uintptr_t>(addr) >> 6;
+  static std::uint64_t LineOf(const void* addr) {
+    return static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(addr) >> 6);
   }
 
-  std::unordered_map<std::uintptr_t, LineState> lines_;
+  std::unordered_map<std::uint64_t, LineState> lines_;
   RaceDetector* race_detector_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace sparta::sim

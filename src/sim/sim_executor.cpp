@@ -42,7 +42,13 @@ class SimWorkerContext final : public exec::WorkerContext {
 
   void Charge(VirtualTime ns) override {
     SPARTA_CHECK(ns >= 0);
-    exec_.clocks_[static_cast<std::size_t>(worker_)] += ns;
+    auto& clock = exec_.clocks_[static_cast<std::size_t>(worker_)];
+    const VirtualTime before = clock;
+    clock += ns;
+    // Sampling hook: charges nothing, only observes the advance.
+    if (exec_.profiler_ != nullptr) {
+      exec_.profiler_->OnAdvance(worker_, before, clock);
+    }
   }
 
   void ChargePostings(std::uint64_t n) override {
@@ -135,6 +141,10 @@ class SimWorkerContext final : public exec::WorkerContext {
 
   obs::Tracer* tracer() const override { return exec_.tracer_.get(); }
 
+  obs::Profiler* profiler() const override {
+    return exec_.profiler_.get();
+  }
+
   /// Counts one injected fault against this worker's query (used by the
   /// lock model, which only sees the WorkerContext).
   void CountInjectedFault() { ++query_.faults.injected; }
@@ -209,13 +219,33 @@ namespace {
 class SimLock final : public exec::CtxLock {
  public:
   SimLock(const CostModel& costs, RaceDetector* detector,
-          FaultInjector* injector, std::uint64_t id)
-      : costs_(costs), detector_(detector), injector_(injector), id_(id) {}
+          FaultInjector* injector, obs::Profiler* profiler,
+          std::uint64_t id)
+      : costs_(costs),
+        detector_(detector),
+        injector_(injector),
+        profiler_(profiler),
+        id_(id) {}
 
   void Lock(exec::WorkerContext& worker) override {
     const VirtualTime now = worker.Now();
     if (now < free_at_) {
+      // The stall is charged under a lock.wait frame so profiler samples
+      // falling into it attribute to the wait, exactly like the span.
+      if (profiler_ != nullptr) {
+        profiler_->PushFrame(worker.worker_id(),
+                             obs::SpanKind::kLockWait);
+      }
       worker.Charge((free_at_ - now) + costs_.lock_handoff);
+      if (profiler_ != nullptr) {
+        profiler_->PopFrame(worker.worker_id());
+        // Recorded wait == span duration (stall + handoff), so the
+        // contention report reconciles with the tracer's lock.wait
+        // totals. Attribution uses the *enclosing* phase (frame popped
+        // first).
+        profiler_->OnLockAcquire(worker.worker_id(), this,
+                                 /*contended=*/true, worker.Now() - now);
+      }
       // Contended acquisitions only: the span covers stall + handoff.
       // `id_` is a MakeLock counter, never an address, so traces stay
       // byte-stable across runs.
@@ -225,6 +255,10 @@ class SimLock final : public exec::CtxLock {
       }
     } else {
       worker.Charge(costs_.lock_uncontended);
+      if (profiler_ != nullptr) {
+        profiler_->OnLockAcquire(worker.worker_id(), this,
+                                 /*contended=*/false, 0);
+      }
     }
     if (detector_ != nullptr) {
       detector_->OnLockAcquire(worker.worker_id(), this);
@@ -251,6 +285,7 @@ class SimLock final : public exec::CtxLock {
   const CostModel& costs_;
   RaceDetector* detector_;
   FaultInjector* injector_;
+  obs::Profiler* profiler_;
   std::uint64_t id_;
   VirtualTime free_at_ = 0;
 };
@@ -274,6 +309,7 @@ class SimQuery final : public exec::QueryContext {
     return std::make_unique<SimLock>(exec_.config().costs,
                                      exec_.race_detector_.get(),
                                      exec_.fault_injector_.get(),
+                                     exec_.profiler_.get(),
                                      exec_.next_lock_id_++);
   }
 
@@ -298,6 +334,13 @@ class SimQuery final : public exec::QueryContext {
     }
   }
 
+  void RegisterContentionRange(const void* addr, std::size_t bytes,
+                               const char* structure) override {
+    if (exec_.profiler_ != nullptr) {
+      exec_.profiler_->RegisterRange(addr, bytes, structure);
+    }
+  }
+
  private:
   SimExecutor& exec_;
   std::shared_ptr<SimExecutor::SimQueryState> state_;
@@ -319,6 +362,11 @@ SimExecutor::SimExecutor(SimConfig config)
   if (config_.trace.enabled) {
     tracer_ = std::make_unique<obs::Tracer>(config_.num_workers);
   }
+  if (config_.profile.enabled()) {
+    profiler_ = std::make_unique<obs::Profiler>(config_.num_workers,
+                                                config_.profile);
+    coherence_.set_profiler(profiler_.get());
+  }
 }
 
 SimExecutor::~SimExecutor() = default;
@@ -328,6 +376,9 @@ std::unique_ptr<exec::QueryContext> SimExecutor::CreateQuery() {
   // Heap addresses recycle across queries: stale shadow epochs must not
   // alias a new query's allocations (reports accumulated so far persist).
   if (race_detector_ != nullptr) race_detector_->ResetShadow();
+  // Same recycling hazard for the profiler's range registry; its
+  // accumulated statistics persist across queries like the detector's.
+  if (profiler_ != nullptr) profiler_->ResetRanges();
   return CreateQueryAt(SyncBarrier());
 }
 
@@ -414,8 +465,14 @@ void SimExecutor::Drain(
 
     current_worker_ = w;
     if (race_detector_ != nullptr) race_detector_->OnJobStart(w, job.fork);
+    // The job frame roots every worker stack the sampler snapshots
+    // (SpanScope frames nest inside it), mirroring the kJob span below.
+    if (profiler_ != nullptr) {
+      profiler_->PushFrame(w, obs::SpanKind::kJob);
+    }
     SimWorkerContext ctx(*this, w, *job.query);
     job.fn(ctx);
+    if (profiler_ != nullptr) profiler_->PopFrame(w);
     current_worker_ = -1;
 
     --job.query->outstanding;

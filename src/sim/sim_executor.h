@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "exec/context.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "sim/coherence.h"
 #include "sim/cost_model.h"
@@ -70,6 +71,17 @@ struct SimConfig {
   /// (costs.coherence_miss == costs.l1_hit) the exported trace is
   /// byte-identical across runs of the same seed.
   obs::TraceConfig trace;
+  /// Contention + virtual-time sampling profiler (see obs/profiler.h).
+  /// Off by default: no profiler is constructed and every hook reduces
+  /// to a null check, so unprofiled runs stay bit-identical to builds
+  /// without the profiling layer. Profiler hooks never charge virtual
+  /// time; with profiling on, coherence lines of registered ranges are
+  /// keyed structure-relative instead of by heap address, so the same
+  /// seed yields byte-identical contention reports and folded stacks
+  /// (and latencies lose the ~0.1% allocator-layout jitter noted above,
+  /// at the price of differing from profiler-off runs unless the cost
+  /// model is address-independent: costs.coherence_miss == costs.l1_hit).
+  obs::ProfilerConfig profile;
 };
 
 class SimExecutor {
@@ -119,6 +131,9 @@ class SimExecutor {
   /// workers, W the scheduler (queue waits), W+1 the serving layer.
   obs::Tracer* tracer() const { return tracer_.get(); }
 
+  /// Non-null iff `SimConfig::profile.enabled()`.
+  obs::Profiler* profiler() const { return profiler_.get(); }
+
  private:
   friend class SimQuery;
   friend class SimWorkerContext;
@@ -152,6 +167,7 @@ class SimExecutor {
   std::unique_ptr<RaceDetector> race_detector_;
   std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::Profiler> profiler_;
   /// Deterministic ids stamped into trace events in place of addresses.
   std::uint64_t next_query_id_ = 0;
   std::uint64_t next_lock_id_ = 0;

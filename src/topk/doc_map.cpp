@@ -51,7 +51,12 @@ ConcurrentDocMap::ConcurrentDocMap(exec::QueryContext& ctx, int num_terms,
                        ? modeled_entry_bytes
                        : ModeledEntryBytes(num_terms, /*concurrent=*/true)),
       stripes_(kStripes) {
-  for (auto& stripe : stripes_) stripe.lock = ctx.MakeLock();
+  for (auto& stripe : stripes_) {
+    stripe.lock = ctx.MakeLock();
+    // All stripes aggregate under one name; waits on the granular locks
+    // are the docMap's serialization cost (§4.3).
+    ctx.RegisterContentionRange(stripe.lock.get(), 1, "docMap.stripe");
+  }
 }
 
 std::size_t ConcurrentDocMap::ApproxBytes() const {

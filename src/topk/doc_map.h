@@ -79,7 +79,9 @@ class ConcurrentDocMap {
   /// `num_terms` sizes each DocType's score vector (0 for accumulator
   /// maps like pJASS's). `modeled_entry_bytes` overrides the default
   /// Java-footprint model (pJASS's per-document lock objects make its
-  /// entries heavier); 0 keeps the default.
+  /// entries heavier); 0 keeps the default. The stripe locks are
+  /// registered with the contention profiler as "docMap.stripe" — the
+  /// structure at the heart of the paper's Sparta-vs-pRA scaling story.
   ConcurrentDocMap(exec::QueryContext& ctx, int num_terms,
                    std::int64_t modeled_entry_bytes = 0);
 

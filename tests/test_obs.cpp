@@ -117,6 +117,39 @@ TEST(MetricsTest, AccumulateQueryStatsMatchesFields) {
   EXPECT_EQ(snap.histograms.at("query.latency_ns").count, 2u);
 }
 
+TEST(MetricsTest, TextFormatEmitsPrometheusShape) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("query.count").Add(5);
+  reg.GetGauge("serve.queue_depth").Set(-2);
+  auto& h = reg.GetHistogram("query.latency_ns");
+  for (int i = 1; i <= 100; ++i) h.Add(i * 1000);
+
+  const std::string text = obs::TextFormat(reg.Snapshot());
+  // Names sanitized to [a-zA-Z0-9_:], one TYPE line per metric.
+  EXPECT_NE(text.find("# TYPE query_count counter\nquery_count 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_queue_depth gauge\n"
+                      "serve_queue_depth -2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE query_latency_ns summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns_count 100\n"), std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns_sum "), std::string::npos);
+  // No unsanitized characters survive anywhere.
+  for (const char ch : text) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(ch)) ||
+                std::string("#_:{}=\". \n-+e").find(ch) !=
+                    std::string::npos)
+        << "unexpected char " << ch;
+  }
+  // Deterministic: same snapshot, same bytes.
+  EXPECT_EQ(text, obs::TextFormat(reg.Snapshot()));
+}
+
 // ---------------------------------------------------------------------
 // QueryStats invariants (satellite: accounting-drift fix)
 // ---------------------------------------------------------------------

@@ -1,0 +1,310 @@
+// Profiler tests: the gating/determinism contract of obs/profiler.h
+// (off = no profiler and bit-identical clocks; on = byte-identical
+// contention reports and folded stacks per seed), contention
+// attribution of Sparta's registered structures, lock-wait
+// reconciliation against the tracer, and folded-stack shape.
+#include <cctype>
+#include <numeric>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/bench_driver.h"
+#include "obs/flame_export.h"
+#include "obs/profiler.h"
+#include "test_helpers.h"
+
+namespace sparta::test {
+namespace {
+
+using obs::SpanKind;
+
+/// Profiled simulator config. The default (address-keyed) cost model is
+/// fine for byte-determinism *with the profiler on* — registered ranges
+/// are keyed structure-relative — but off-vs-on clock comparisons need
+/// the address-independent model (see obs/profiler.h).
+sim::SimConfig ProfiledConfig(int workers, bool address_independent,
+                              exec::VirtualTime sample_period = 5'000) {
+  sim::SimConfig config;
+  config.num_workers = workers;
+  if (address_independent) {
+    config.costs.coherence_miss = config.costs.l1_hit;
+  }
+  config.profile.contention = true;
+  config.profile.sample_period = sample_period;
+  return config;
+}
+
+struct ProfiledRun {
+  topk::SearchResult result;
+  exec::VirtualTime latency = 0;
+  std::string report;
+  std::string folded;
+  exec::VirtualTime lock_wait_ns = 0;
+  std::uint64_t total_samples = 0;
+};
+
+/// Runs `queries` back to back on one profiled executor (covering the
+/// per-query range-reset path) and snapshots the profiler.
+ProfiledRun RunProfiled(const index::InvertedIndex& idx,
+                        std::string_view algo_name,
+                        const std::vector<std::vector<TermId>>& queries,
+                        topk::SearchParams params,
+                        const sim::SimConfig& config) {
+  const auto algo = algos::MakeAlgorithm(algo_name);
+  SPARTA_CHECK(algo != nullptr);
+  params.trace.enabled = true;  // algorithm spans are the profiler frames
+  sim::SimExecutor executor(config);
+  ProfiledRun run;
+  for (const auto& terms : queries) {
+    auto ctx = executor.CreateQuery();
+    run.result = algo->Run(idx, terms, params, *ctx);
+    run.latency += ctx->end_time() - ctx->start_time();
+  }
+  const obs::Profiler* profiler = executor.profiler();
+  if (profiler != nullptr) {
+    run.report = obs::RenderContentionReport(
+        profiler->ContentionSnapshot(), "test");
+    run.folded = obs::ExportFolded(*profiler);
+    run.lock_wait_ns = profiler->total_lock_wait_ns();
+    run.total_samples = profiler->total_samples();
+  }
+  return run;
+}
+
+TEST(ProfilerGateTest, OffByDefaultConstructsNoProfiler) {
+  sim::SimConfig config;
+  config.num_workers = 2;
+  ASSERT_FALSE(config.profile.enabled());
+  sim::SimExecutor off(config);
+  EXPECT_EQ(off.profiler(), nullptr);
+
+  config.profile.contention = true;
+  sim::SimExecutor on(config);
+  EXPECT_NE(on.profiler(), nullptr);
+}
+
+// The golden-clock guarantee: under the address-independent cost model,
+// turning the profiler on changes neither the results nor a single
+// virtual timestamp.
+TEST(ProfilerGateTest, ProfilingOnDoesNotChangeResultsOrClock) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 6);
+  topk::SearchParams params;
+  params.k = 20;
+
+  sim::SimConfig off = ProfiledConfig(4, /*address_independent=*/true);
+  off.profile = obs::ProfilerConfig{};
+  ASSERT_FALSE(off.profile.enabled());
+  const auto base = RunProfiled(idx, "Sparta", {terms}, params, off);
+  const auto profiled = RunProfiled(
+      idx, "Sparta", {terms}, params,
+      ProfiledConfig(4, /*address_independent=*/true));
+
+  EXPECT_EQ(base.latency, profiled.latency);
+  ASSERT_EQ(base.result.entries.size(), profiled.result.entries.size());
+  for (std::size_t i = 0; i < base.result.entries.size(); ++i) {
+    EXPECT_EQ(base.result.entries[i].doc, profiled.result.entries[i].doc);
+    EXPECT_EQ(base.result.entries[i].score,
+              profiled.result.entries[i].score);
+  }
+  EXPECT_TRUE(base.report.empty());
+  EXPECT_FALSE(profiled.report.empty());
+}
+
+// With the profiler on, registered-range line keys are
+// allocator-independent, so two executor instances (different heap
+// layouts) must agree byte for byte — report, folded stacks, and clock —
+// even under the default address-sensitive cost model.
+TEST(ProfilerDeterminismTest, SameSeedYieldsByteIdenticalReports) {
+  const auto idx = MakeTinyIndex();
+  const auto q1 = PickQueryTerms(idx, 6);
+  const auto q2 = PickQueryTerms(idx, 5, /*salt=*/3);
+  topk::SearchParams params;
+  params.k = 20;
+
+  const auto a = RunProfiled(idx, "Sparta", {q1, q2}, params,
+                             ProfiledConfig(4, false));
+  const auto b = RunProfiled(idx, "Sparta", {q1, q2}, params,
+                             ProfiledConfig(4, false));
+  EXPECT_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_EQ(a.folded, b.folded);
+  EXPECT_EQ(a.total_samples, b.total_samples);
+  EXPECT_GT(a.total_samples, 0u);
+}
+
+// The two instruments price the same stalls: the profiler's total lock
+// wait must equal the sum of the tracer's lock.wait span durations.
+TEST(ProfilerReconcileTest, LockWaitMatchesTracerSpans) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 8);
+  topk::SearchParams params;
+  params.k = 50;
+  params.trace.enabled = true;
+
+  sim::SimConfig config = ProfiledConfig(8, false);
+  config.trace.enabled = true;
+  const auto algo = algos::MakeAlgorithm("pRA");
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  (void)algo->Run(idx, terms, params, *ctx);
+
+  ASSERT_NE(executor.tracer(), nullptr);
+  ASSERT_NE(executor.profiler(), nullptr);
+  exec::VirtualTime traced_wait = 0;
+  std::uint64_t traced_spans = 0;
+  for (int t = 0; t < executor.tracer()->num_tracks(); ++t) {
+    for (const obs::TraceEvent& e : executor.tracer()->track(t)) {
+      if (!e.is_instant && e.span_kind() == SpanKind::kLockWait) {
+        traced_wait += e.end - e.begin;
+        ++traced_spans;
+      }
+    }
+  }
+  EXPECT_EQ(executor.profiler()->total_lock_wait_ns(), traced_wait);
+  // The run must actually have contended, or this test checks nothing.
+  EXPECT_GT(traced_spans, 0u);
+  EXPECT_GT(traced_wait, 0);
+}
+
+// Sparta's registered structures show up by name, with the docMap
+// stripes carrying lock traffic and the UB array carrying misses.
+TEST(ProfilerContentionTest, SpartaStructuresAppear) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 8);
+  topk::SearchParams params;
+  params.k = 50;
+  params.trace.enabled = true;
+
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  sim::SimExecutor executor(ProfiledConfig(8, false));
+  auto ctx = executor.CreateQuery();
+  (void)algo->Run(idx, terms, params, *ctx);
+
+  const auto report = executor.profiler()->ContentionSnapshot();
+  const auto ContentionRowOf = [](const obs::ContentionReport& r,
+                                  const std::string& name)
+      -> const obs::ContentionStructureRow* {
+    for (const auto& s : r.structures) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const auto* stripes = ContentionRowOf(report, "docMap.stripe");
+  const auto* ub = ContentionRowOf(report, "UB");
+  ASSERT_NE(stripes, nullptr);
+  ASSERT_NE(ub, nullptr);
+  EXPECT_GT(stripes->lock_acquires, 0u);
+  EXPECT_GT(ub->reads + ub->writes, 0u);
+  EXPECT_GT(report.total_misses, 0u);
+
+  // Nothing the paper algorithms touch through SharedAccess is
+  // unregistered — the "(unregistered)" bucket must stay silent, which
+  // is what makes the report allocator-independent.
+  EXPECT_EQ(ContentionRowOf(report, "(unregistered)"), nullptr);
+
+  const std::string text =
+      obs::RenderContentionReport(report, "Sparta w8");
+  EXPECT_NE(text.find("docMap.stripe"), std::string::npos);
+  EXPECT_NE(text.find("UB"), std::string::npos);
+  EXPECT_NE(text.find("hottest lines:"), std::string::npos);
+}
+
+// Folded export: "frame;frame;... count" lines, every stack rooted at
+// the job frame, counts summing to total_samples, and the self-time
+// table consistent with the samples.
+TEST(ProfilerSamplingTest, FoldedStacksAreWellFormed) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 6);
+  topk::SearchParams params;
+  params.k = 20;
+
+  const auto run = RunProfiled(idx, "Sparta", {terms}, params,
+                               ProfiledConfig(4, false));
+  ASSERT_GT(run.total_samples, 0u);
+  ASSERT_FALSE(run.folded.empty());
+
+  std::uint64_t sum = 0;
+  std::istringstream lines(run.folded);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string stack = line.substr(0, space);
+    const std::string count = line.substr(space + 1);
+    ASSERT_FALSE(stack.empty()) << line;
+    ASSERT_FALSE(count.empty()) << line;
+    for (const char ch : count) ASSERT_TRUE(std::isdigit(ch)) << line;
+    sum += std::stoull(count);
+    // Work only happens inside jobs, so every sampled stack is rooted
+    // at the job frame.
+    EXPECT_EQ(stack.substr(0, 3), "job") << line;
+  }
+  EXPECT_EQ(sum, run.total_samples);
+}
+
+// The per-phase self-time table is the folded data re-aggregated by
+// innermost frame: samples must agree and self time is samples x period.
+TEST(ProfilerSamplingTest, SelfTimeTableMatchesSamples) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 6);
+  topk::SearchParams params;
+  params.k = 20;
+  params.trace.enabled = true;
+
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  sim::SimExecutor executor(ProfiledConfig(4, false));
+  auto ctx = executor.CreateQuery();
+  (void)algo->Run(idx, terms, params, *ctx);
+
+  const obs::Profiler& profiler = *executor.profiler();
+  const auto rows = obs::SelfTimeTable(profiler);
+  ASSERT_FALSE(rows.empty());
+  std::uint64_t samples = 0;
+  double share = 0.0;
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.self_ns,
+              static_cast<exec::VirtualTime>(row.samples) *
+                  profiler.sample_period());
+    samples += row.samples;
+    share += row.share;
+  }
+  EXPECT_EQ(samples, profiler.total_samples());
+  EXPECT_NEAR(share, 1.0, 1e-9);
+  const std::string table = obs::RenderSelfTimeTable(rows);
+  EXPECT_NE(table.find("self_ms"), std::string::npos);
+}
+
+// Driver integration: ProfileLatency runs the latency loop on a
+// profiled simulator and returns latency aggregates, a renderable
+// contention report, folded stacks and the self-time table together.
+TEST(ProfilerDriverTest, ProfileLatencyProducesReport) {
+  const auto& ds = corpus::GetDataset(corpus::TinySpec(2500, 31),
+                                      "/tmp/sparta_test_data");
+  driver::BenchDriver bench(ds);
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  topk::SearchParams params;
+  params.k = 20;
+  const auto& bucket = ds.queries().OfLength(4);
+  ASSERT_GE(bucket.size(), 3u);
+  const std::span<const corpus::Query> queries{bucket.data(), 3};
+
+  sim::SimConfig config = bench.MakeSimConfig(4);
+  config.profile.contention = true;
+  config.profile.sample_period = 5'000;
+  const auto res = bench.ProfileLatency(*algo, queries, params, config);
+
+  EXPECT_EQ(res.latency.queries, 3u);
+  EXPECT_GT(res.latency.MeanMs(), 0.0);
+  EXPECT_FALSE(res.contention.structures.empty());
+  EXPECT_FALSE(res.folded.empty());
+  EXPECT_FALSE(res.self_times.empty());
+  const std::string text = driver::RenderProfileReport(res, "tiny");
+  EXPECT_NE(text.find("total misses"), std::string::npos);
+  EXPECT_NE(text.find("self_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sparta::test

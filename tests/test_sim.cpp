@@ -2,8 +2,11 @@
 // cache, lock model, memory budget, FCFS admission.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <memory>
 
+#include "obs/profiler.h"
 #include "sim/coherence.h"
 #include "sim/page_cache.h"
 #include "sim/sim_executor.h"
@@ -164,6 +167,72 @@ TEST(CoherenceTest, DistinctLinesIndependent) {
   EXPECT_TRUE(model.Read(1, buffer.data() + 64).miss);   // cold line
   EXPECT_FALSE(model.Read(1, buffer.data() + 64).miss);  // unaffected
   EXPECT_EQ(model.tracked_lines(), 2u);
+}
+
+TEST(CoherenceTest, WriteCountsRemoteCopiesInvalidated) {
+  CoherenceModel model;
+  int line = 0;
+  model.Read(0, &line);
+  model.Read(1, &line);
+  model.Read(2, &line);
+  // Worker 3 writes: workers 0-2 hold the current version and lose it.
+  EXPECT_EQ(model.Write(3, &line).copies_invalidated, 3);
+  // Immediately rewriting invalidates nobody — the others are gone.
+  EXPECT_EQ(model.Write(3, &line).copies_invalidated, 0);
+  // Reads never invalidate.
+  EXPECT_EQ(model.Read(0, &line).copies_invalidated, 0);
+}
+
+TEST(CoherenceTest, ResetForgetsOwnershipAndTrackedLines) {
+  CoherenceModel model;
+  int line = 0;
+  model.Write(0, &line);
+  EXPECT_FALSE(model.Read(0, &line).miss);
+  EXPECT_EQ(model.tracked_lines(), 1u);
+  model.Reset();
+  EXPECT_EQ(model.tracked_lines(), 0u);
+  // Post-reset the line is cold again for everyone (recycled-address
+  // hygiene between queries).
+  EXPECT_TRUE(model.Read(0, &line).miss);
+}
+
+// With a profiler attached, registered ranges resolve to
+// structure-relative keys: the same structure re-registered at a
+// different address (the across-queries reallocation case) maps to the
+// same line key, and accesses attribute to the structure by name.
+TEST(CoherenceTest, ProfilerKeysAreAllocatorIndependent) {
+  obs::ProfilerConfig pconfig;
+  pconfig.contention = true;
+  obs::Profiler profiler(4, pconfig);
+  CoherenceModel model;
+  model.set_profiler(&profiler);
+
+  auto a = std::make_unique<std::array<char, 256>>();
+  profiler.RegisterRange(a->data(), a->size(), "S");
+  const auto key_a = profiler.Resolve(a->data() + 64).line_key;
+  model.Read(0, a->data() + 64);
+  model.Write(1, a->data() + 64);
+
+  // New query: ranges reset, structure reallocated elsewhere.
+  profiler.ResetRanges();
+  model.Reset();
+  auto b = std::make_unique<std::array<char, 256>>();
+  profiler.RegisterRange(b->data(), b->size(), "S");
+  const auto key_b = profiler.Resolve(b->data() + 64).line_key;
+  EXPECT_EQ(key_a, key_b);  // same structure, same offset -> same line
+  model.Read(2, b->data() + 64);
+
+  const auto report = profiler.ContentionSnapshot();
+  ASSERT_EQ(report.structures.size(), 1u);
+  EXPECT_EQ(report.structures[0].name, "S");
+  EXPECT_EQ(report.structures[0].reads, 2u);
+  EXPECT_EQ(report.structures[0].writes, 1u);
+  // Unregistered addresses stay in the address-keyed space (top bit
+  // clear) and never collide with structure keys.
+  int stray = 0;
+  EXPECT_EQ(profiler.Resolve(&stray).structure, 0u);
+  EXPECT_NE(profiler.Resolve(&stray).line_key & (1ULL << 63),
+            key_a & (1ULL << 63));
 }
 
 TEST(PageCacheTest, HitsAndMisses) {

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over results/BENCH_*.json files.
+
+Compares a freshly generated set of machine-readable bench outputs
+against the committed baseline and exits non-zero when any metric
+drifts past its noise threshold -- in either direction, so unexplained
+speedups (usually a sign the bench stopped measuring what it used to)
+fail the gate just like slowdowns. Thresholds are per metric family:
+
+  *_virtual_ms   5% relative   (virtual-time latencies; deterministic,
+                                the margin absorbs intentional-change
+                                review rather than run noise)
+  postings       2% relative   (work counters are exactly reproducible)
+  recall         0.02 absolute
+  anything else  10% relative
+
+Usage:
+  tools/bench_compare.py --baseline results --fresh results/_fresh \
+      [--require contention] [--verbose]
+  tools/bench_compare.py --self-test
+
+Benches present in the fresh directory but missing from the baseline
+are reported and skipped (a new bench has no baseline yet); benches
+named in --require must exist in both. A config or metric that exists
+on one side only is a failure: silently dropped coverage is how perf
+gates rot.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def threshold_for(metric):
+    """Returns (kind, limit): kind is 'rel' or 'abs'."""
+    if metric == "recall" or metric.startswith("recall."):
+        return ("abs", 0.02)
+    if metric.endswith("_virtual_ms") or "_virtual_ms." in metric:
+        return ("rel", 0.05)
+    if metric == "postings" or metric.startswith("postings."):
+        return ("rel", 0.02)
+    return ("rel", 0.10)
+
+
+def drift(base, fresh, kind, limit):
+    """Returns (exceeded, description)."""
+    if kind == "abs":
+        delta = abs(fresh - base)
+        return (delta > limit, "|delta|=%.4f (abs limit %.4f)" % (delta, limit))
+    if base == 0.0:
+        # No relative scale; any nonzero fresh value on a zero baseline
+        # is judged against the absolute value itself being tiny.
+        delta = abs(fresh)
+        return (delta > 1e-9, "baseline 0, fresh %.6g" % fresh)
+    rel = abs(fresh - base) / abs(base)
+    return (rel > limit, "rel=%.2f%% (limit %.0f%%)" % (rel * 100.0, limit * 100.0))
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != 1:
+        raise ValueError("%s: unsupported schema %r" % (path, doc.get("schema")))
+    return doc
+
+
+def compare_bench(name, base_doc, fresh_doc, verbose):
+    """Returns a list of failure strings."""
+    failures = []
+    base_cfgs = base_doc.get("configs", {})
+    fresh_cfgs = fresh_doc.get("configs", {})
+    for cfg in sorted(set(base_cfgs) | set(fresh_cfgs)):
+        if cfg not in fresh_cfgs:
+            failures.append("%s: config %r missing from fresh run" % (name, cfg))
+            continue
+        if cfg not in base_cfgs:
+            failures.append("%s: config %r missing from baseline" % (name, cfg))
+            continue
+        base_m, fresh_m = base_cfgs[cfg], fresh_cfgs[cfg]
+        for metric in sorted(set(base_m) | set(fresh_m)):
+            if metric not in fresh_m:
+                failures.append("%s: %s.%s missing from fresh run" % (name, cfg, metric))
+                continue
+            if metric not in base_m:
+                failures.append("%s: %s.%s missing from baseline" % (name, cfg, metric))
+                continue
+            kind, limit = threshold_for(metric)
+            exceeded, desc = drift(float(base_m[metric]), float(fresh_m[metric]), kind, limit)
+            line = "%s: %s.%s %.6g -> %.6g %s" % (
+                name, cfg, metric, base_m[metric], fresh_m[metric], desc)
+            if exceeded:
+                failures.append(line)
+            elif verbose:
+                print("  ok  " + line)
+    return failures
+
+
+def run_compare(baseline_dir, fresh_dir, require, verbose):
+    fresh_paths = sorted(glob.glob(os.path.join(fresh_dir, "BENCH_*.json")))
+    if not fresh_paths:
+        print("bench_compare: no BENCH_*.json under %s" % fresh_dir, file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = set()
+    for fresh_path in fresh_paths:
+        fname = os.path.basename(fresh_path)
+        name = fname[len("BENCH_"):-len(".json")]
+        base_path = os.path.join(baseline_dir, fname)
+        if not os.path.exists(base_path):
+            print("bench_compare: %s has no committed baseline; skipping" % fname)
+            continue
+        failures += compare_bench(name, load(base_path), load(fresh_path), verbose)
+        compared.add(name)
+
+    for name in require:
+        if name not in compared:
+            failures.append("required bench %r was not compared "
+                            "(missing fresh output or baseline)" % name)
+
+    if failures:
+        print("bench_compare: FAIL (%d)" % len(failures), file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("bench_compare: OK (%s)" % (", ".join(sorted(compared)) or "nothing compared"))
+    return 0
+
+
+def self_test():
+    """Exercises the gate on synthetic documents; exits non-zero on any
+    unexpected verdict."""
+    base = {
+        "bench": "t", "schema": 1,
+        "configs": {"A/w8": {"mean_virtual_ms": 10.0, "postings": 1000.0,
+                             "recall": 0.97, "coherence_misses": 50.0}},
+    }
+
+    def fresh_with(**overrides):
+        cfg = dict(base["configs"]["A/w8"])
+        cfg.update(overrides)
+        return {"bench": "t", "schema": 1, "configs": {"A/w8": cfg}}
+
+    cases = [
+        ("identical", fresh_with(), 0),
+        ("latency +20%", fresh_with(mean_virtual_ms=12.0), 1),
+        ("latency -20% (speedup also fails)", fresh_with(mean_virtual_ms=8.0), 1),
+        ("latency +4% (within noise)", fresh_with(mean_virtual_ms=10.4), 0),
+        ("postings +5%", fresh_with(postings=1050.0), 1),
+        ("recall -0.05", fresh_with(recall=0.92), 1),
+        ("recall -0.01 (within noise)", fresh_with(recall=0.96), 0),
+        ("misses +8% (default 10%)", fresh_with(coherence_misses=54.0), 0),
+        ("misses +15%", fresh_with(coherence_misses=57.5), 1),
+        ("dropped metric", {"bench": "t", "schema": 1, "configs": {
+            "A/w8": {"mean_virtual_ms": 10.0}}}, 1),
+        ("dropped config", {"bench": "t", "schema": 1, "configs": {}}, 1),
+    ]
+    bad = 0
+    for label, fresh, want_fail in cases:
+        failures = compare_bench("t", base, fresh, verbose=False)
+        got_fail = 1 if failures else 0
+        verdict = "ok" if got_fail == want_fail else "WRONG"
+        if got_fail != want_fail:
+            bad += 1
+        print("self-test [%s] %-35s expect %s got %s" % (
+            verdict, label, "fail" if want_fail else "pass",
+            "fail" if got_fail else "pass"))
+    if bad:
+        print("bench_compare self-test: %d case(s) misjudged" % bad, file=sys.stderr)
+        return 1
+    print("bench_compare self-test: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="results")
+    ap.add_argument("--fresh", default="results/_fresh")
+    ap.add_argument("--require", action="append", default=[],
+                    help="bench name that must be compared (repeatable)")
+    ap.add_argument("--verbose", action="store_true")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in threshold/verdict checks and exit")
+    args = ap.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    sys.exit(run_compare(args.baseline, args.fresh, args.require, args.verbose))
+
+
+if __name__ == "__main__":
+    main()
