@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "topk/doc_map.h"
 #include "topk/doc_heap.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::algos {
 namespace {
@@ -190,6 +191,8 @@ class JassRun final : public topk::QueryRun {
       // Refresh the threshold: kth largest tracked value.
       std::vector<Score> values;
       values.reserve(trace_best_.size());
+      // sparta-lint: allow(unordered-iter) order-insensitive: the values
+      // feed nth_element, whose result is a set-property of the map.
       for (const auto& [doc, score] : trace_best_) {
         values.push_back(score);
       }
@@ -217,9 +220,10 @@ class JassRun final : public topk::QueryRun {
   std::atomic<bool> oom_{false};
   std::atomic<exec::StopCause> stop_cause_{exec::StopCause::kNone};
 
-  std::unordered_map<DocId, Score> trace_best_;
+  std::unordered_map<DocId, Score> trace_best_
+      SPARTA_GUARDED_BY(*trace_lock_);
   std::atomic<Score> trace_threshold_{0};
-  std::uint64_t trace_updates_ = 0;
+  std::uint64_t trace_updates_ SPARTA_GUARDED_BY(*trace_lock_) = 0;
   std::unique_ptr<exec::CtxLock> trace_lock_;
 };
 

@@ -6,6 +6,7 @@
 
 #include "baselines/bmw.h"
 #include "obs/trace.h"
+#include "util/racy.h"
 
 namespace sparta::algos {
 namespace {
@@ -27,9 +28,10 @@ class PBmwRun final : public topk::QueryRun {
     local_heaps_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) local_heaps_.emplace_back(params.k);
     local_stats_.resize(static_cast<std::size_t>(workers));
-    // The shared Θ is a deliberately lock-free atomic (§5.2.2).
-    ctx.AnnotateBenignRace(&shared_theta_, sizeof(shared_theta_),
-                           "pbmw.theta");
+    // The shared Θ is a deliberately lock-free atomic (§5.2.2); the
+    // Racy<> declaration pairs this runtime registration with the
+    // static exemption (DESIGN.md §11).
+    shared_theta_.RegisterBenign(ctx, "pbmw.theta");
     ctx.RegisterContentionRange(&shared_theta_, sizeof(shared_theta_),
                                 "bmw.theta");
   }
@@ -103,7 +105,8 @@ class PBmwRun final : public topk::QueryRun {
 
   int num_jobs_ = 0;
   std::atomic<int> jobs_left_{0};
-  std::atomic<Score> shared_theta_{0};
+  /// Racy<> by design: every range job reads and raises Θ lock-free.
+  util::Racy<std::atomic<Score>> shared_theta_{0};
   std::vector<topk::TopKHeap> local_heaps_;
   std::vector<BmwScanStats> local_stats_;
   topk::TopKHeap merged_;

@@ -183,6 +183,9 @@ NraShardOutput NraShardScan(const NraShardInput& input, WorkerContext& w) {
     // beaten. Only checkable (and only reachable) after UBStop.
     if (ubstop) {
       bool resolved = true;
+      // sparta-lint: allow(unordered-iter) order-insensitive: an
+      // AND-reduction over all candidates; the early break changes
+      // which element disproves it, never the verdict.
       for (auto& [id, c] : candidates) {
         if (c.in_heap) continue;
         Score cand_ub = 0;

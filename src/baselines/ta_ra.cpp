@@ -7,6 +7,8 @@
 #include "obs/trace.h"
 #include "topk/doc_heap.h"
 #include "topk/doc_map.h"
+#include "util/racy.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::algos {
 namespace {
@@ -36,9 +38,12 @@ class RaRun final : public topk::QueryRun {
                    std::memory_order_relaxed);
     }
     heap_upd_time_.store(ctx.start_time(), std::memory_order_relaxed);
-    // Lock-free by design: lazy UB updates and the done flag.
-    ctx.AnnotateBenignRace(ub_.data(), m_ * sizeof(ub_[0]), "ra.UB");
-    ctx.AnnotateBenignRace(&done_, sizeof(done_), "ra.done");
+    // Lock-free by design: lazy UB updates, the done flag and the
+    // Δ-stopping timestamp — the Racy<> declarations pair these runtime
+    // registrations with the static exemption (DESIGN.md §11).
+    ub_.RegisterBenign(ctx, "ra.UB");
+    done_.RegisterBenign(ctx, "ra.done");
+    heap_upd_time_.RegisterBenign(ctx, "ra.updTime");
     // Contention-profiler registry, same structure names as Sparta's so
     // the per-structure reports line up side by side (the `seen_` docMap
     // registers its own stripes).
@@ -55,7 +60,9 @@ class RaRun final : public topk::QueryRun {
     }
   }
 
-  topk::SearchResult TakeResult() override {
+  // TSA-exempt: harvests heap_ without heap_lock_ — valid only after the
+  // executor drained every job, when no worker can still be inserting.
+  topk::SearchResult TakeResult() override SPARTA_NO_THREAD_SAFETY_ANALYSIS {
     topk::SearchResult result;
     // Anytime: the heap holds fully-scored documents even after OOM or a
     // deadline stop, so always return the best-so-far entries.
@@ -76,6 +83,13 @@ class RaRun final : public topk::QueryRun {
   }
 
  private:
+  /// Lock-free Θ peek (TA's pre-insert check and Eq. 1). TSA-exempt:
+  /// heap_ is guarded by heap_lock_, but Θ is published through an
+  /// atomic and stale reads are safe (a stale Θ only admits extras).
+  Score Theta() const SPARTA_NO_THREAD_SAFETY_ANALYSIS {
+    return heap_.threshold();
+  }
+
   void RecordStop(exec::StopCause cause) {
     exec::StopCause prev = stop_cause_.load(std::memory_order_relaxed);
     while (exec::MergeStopCause(prev, cause) != prev &&
@@ -149,7 +163,7 @@ class RaRun final : public topk::QueryRun {
       if (!res.inserted) continue;
 
       const Score score = FullScore(i, posting, w);
-      if (score > heap_.threshold()) {
+      if (score > Theta()) {
         const exec::CtxLockGuard guard(*heap_lock_, w);
         if (heap_.Insert({score, posting.doc})) {
           heap_upd_time_.store(w.Now(), std::memory_order_relaxed);
@@ -177,7 +191,7 @@ class RaRun final : public topk::QueryRun {
     const VirtualTime upd = heap_upd_time_.load(std::memory_order_relaxed);
     const bool delta_stop = params_.delta != exec::kNever &&
                             upd + params_.delta < w.Now();
-    if (ub_sum <= heap_.threshold() || delta_stop) {
+    if (ub_sum <= Theta() || delta_stop) {
       done_.store(true, std::memory_order_release);
       w.SharedAccess(&done_, AccessKind::kWrite);
       return;
@@ -193,14 +207,18 @@ class RaRun final : public topk::QueryRun {
   exec::QueryContext& ctx_;
   std::size_t m_;
 
-  topk::UpperBounds ub_;
+  /// Racy<> by design: pRA's lazy UB array, updated lock-free (§5.3).
+  util::Racy<topk::UpperBounds> ub_;
   topk::ConcurrentDocMap seen_;  // scored-document set
-  topk::TopKHeap heap_;
+  topk::TopKHeap heap_ SPARTA_GUARDED_BY(*heap_lock_);
   std::unique_ptr<exec::CtxLock> heap_lock_;
-  std::atomic<VirtualTime> heap_upd_time_{0};
+  /// Racy<> by design: written under heap_lock_, read lock-free by the
+  /// Δ-stopping check.
+  util::Racy<std::atomic<VirtualTime>> heap_upd_time_{0};
 
   std::vector<std::size_t> positions_;
-  std::atomic<bool> done_{false};
+  /// Racy<> by design: the done flag, polled lock-free at loop heads.
+  util::Racy<std::atomic<bool>> done_{false};
   std::atomic<bool> oom_{false};
   std::atomic<exec::StopCause> stop_cause_{exec::StopCause::kNone};
   std::atomic<std::uint64_t> postings_{0};

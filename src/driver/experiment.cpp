@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <unordered_map>
+#include <map>
 
 #include "topk/doc_heap.h"
 
@@ -121,8 +121,10 @@ std::vector<double> RecallOverTime(
   }
 
   // Reconstruct the heap at each sample: best-score-so-far per doc,
-  // top-k by score.
-  std::unordered_map<DocId, Score> best;
+  // top-k by score. Ordered map so the rebuild below inserts in doc-id
+  // order — the reported curves must not depend on hash iteration
+  // order (sparta_lint's unordered-iter invariant).
+  std::map<DocId, Score> best;
   topk::TopKHeap heap(k);
   std::size_t next_event = 0;
   for (const auto offset : sample_offsets) {

@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "util/common.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::obs {
 class Profiler;
@@ -176,21 +177,28 @@ class WorkerContext {
 
 /// A mutual-exclusion lock priced by the executor (real std::mutex on
 /// threads; a contention/serialization model in the simulator).
-class CtxLock {
+///
+/// The capability lives on this interface: fields are declared
+/// SPARTA_GUARDED_BY(*lock_) against the CtxLock pointer, and the
+/// executor-specific implementations (SimLock/ThreadedLock/PoolLock)
+/// mark their override bodies SPARTA_NO_THREAD_SAFETY_ANALYSIS — the
+/// analysis checks call sites against this contract, not the pricing
+/// internals.
+class SPARTA_CAPABILITY("mutex") CtxLock {
  public:
   virtual ~CtxLock() = default;
-  virtual void Lock(WorkerContext& worker) = 0;
-  virtual void Unlock(WorkerContext& worker) = 0;
+  virtual void Lock(WorkerContext& worker) SPARTA_ACQUIRE() = 0;
+  virtual void Unlock(WorkerContext& worker) SPARTA_RELEASE() = 0;
 };
 
 /// RAII guard for CtxLock.
-class CtxLockGuard {
+class SPARTA_SCOPED_CAPABILITY CtxLockGuard {
  public:
-  CtxLockGuard(CtxLock& lock, WorkerContext& worker)
+  CtxLockGuard(CtxLock& lock, WorkerContext& worker) SPARTA_ACQUIRE(lock)
       : lock_(lock), worker_(worker) {
     lock_.Lock(worker_);
   }
-  ~CtxLockGuard() { lock_.Unlock(worker_); }
+  ~CtxLockGuard() SPARTA_RELEASE() { lock_.Unlock(worker_); }
   CtxLockGuard(const CtxLockGuard&) = delete;
   CtxLockGuard& operator=(const CtxLockGuard&) = delete;
 

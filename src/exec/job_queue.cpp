@@ -4,16 +4,16 @@ namespace sparta::exec {
 
 void JobQueue::Push(JobFn job) {
   {
-    const std::lock_guard guard(mutex_);
+    const util::MutexLock guard(mutex_);
     queue_.push_back(std::move(job));
     ++outstanding_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 std::optional<JobFn> JobQueue::Pop() {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return !queue_.empty() || outstanding_ == 0; });
+  const util::MutexLock guard(mutex_);
+  while (queue_.empty() && outstanding_ > 0) cv_.Wait(mutex_);
   if (queue_.empty()) return std::nullopt;  // drained
   JobFn job = std::move(queue_.front());
   queue_.pop_front();
@@ -23,21 +23,21 @@ std::optional<JobFn> JobQueue::Pop() {
 void JobQueue::JobDone() {
   bool drained = false;
   {
-    const std::lock_guard guard(mutex_);
+    const util::MutexLock guard(mutex_);
     SPARTA_CHECK(outstanding_ > 0);
     --outstanding_;
     drained = (outstanding_ == 0);
   }
-  if (drained) cv_.notify_all();  // wake blocked poppers so they can exit
+  if (drained) cv_.NotifyAll();  // wake blocked poppers so they can exit
 }
 
 std::size_t JobQueue::outstanding() const {
-  const std::lock_guard guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return outstanding_;
 }
 
 std::size_t JobQueue::queued() const {
-  const std::lock_guard guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return queue_.size();
 }
 

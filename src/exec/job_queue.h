@@ -2,12 +2,12 @@
 // detection, used by the threaded executor.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "exec/context.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::exec {
 
@@ -30,10 +30,10 @@ class JobQueue {
   std::size_t queued() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<JobFn> queue_;
-  std::size_t outstanding_ = 0;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<JobFn> queue_ SPARTA_GUARDED_BY(mutex_);
+  std::size_t outstanding_ SPARTA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sparta::exec

@@ -11,15 +11,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "exec/context.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::exec {
 
@@ -58,9 +58,13 @@ class ThreadPool {
   void WorkerLoop(int id);
 
   Options options_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void(WorkerContext&)>> jobs_;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<std::function<void(WorkerContext&)>> jobs_
+      SPARTA_GUARDED_BY(mutex_);
+  /// Atomic (not guarded): written under mutex_, but the CondVar
+  /// predicate re-reads it after wakeup and the store doubles as the
+  /// release fence the destructor's notify relies on.
   std::atomic<bool> shutdown_{false};
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::thread> workers_;

@@ -8,22 +8,22 @@
 namespace sparta::obs {
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return gauges_[name];
 }
 
 util::Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return histograms_[name];
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();

@@ -3,19 +3,21 @@
 //
 // The registry subsumes the ad-hoc aggregate fields scattered across
 // QueryStats and the serving layer: callers register (or look up) a
-// metric by name once, hold the returned reference, and update it with
-// atomic operations; a reporting thread calls Snapshot() to get a
-// consistent by-name copy. Handles returned by GetCounter/GetGauge/
+// metric by name once, hold the returned reference, and update it from
+// a single thread (the serving loop; metric bodies are plain ints, not
+// atomics — see DESIGN.md §11); Snapshot() copies every metric by name
+// under the registry lock. Handles returned by GetCounter/GetGauge/
 // GetHistogram are valid for the registry's lifetime (std::map nodes
 // never move).
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "util/histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::obs {
 
@@ -72,10 +74,14 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, util::Histogram> histograms_;
+  /// Guards the name->metric maps only; the metric objects themselves
+  /// are updated through the returned references by single-threaded
+  /// updaters (see the Counter/Gauge comments above).
+  mutable util::Mutex mutex_;
+  std::map<std::string, Counter> counters_ SPARTA_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ SPARTA_GUARDED_BY(mutex_);
+  std::map<std::string, util::Histogram> histograms_
+      SPARTA_GUARDED_BY(mutex_);
 };
 
 /// Folds a finished trace into the registry: one

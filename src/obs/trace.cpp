@@ -111,7 +111,7 @@ void Tracer::AddSpan(int track, SpanKind kind, exec::VirtualTime begin,
                      std::uint64_t b) {
   SPARTA_CHECK(track >= 0 && track < num_tracks());
   SPARTA_CHECK(end >= begin);
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   tracks_[static_cast<std::size_t>(track)].push_back(
       {begin, end, a, b, static_cast<std::uint8_t>(kind), false});
 }
@@ -119,20 +119,20 @@ void Tracer::AddSpan(int track, SpanKind kind, exec::VirtualTime begin,
 void Tracer::AddInstant(int track, InstantKind kind, exec::VirtualTime ts,
                         std::uint64_t a, std::uint64_t b) {
   SPARTA_CHECK(track >= 0 && track < num_tracks());
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   tracks_[static_cast<std::size_t>(track)].push_back(
       {ts, ts, a, b, static_cast<std::uint8_t>(kind), true});
 }
 
 std::size_t Tracer::total_events() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   std::size_t total = 0;
   for (const auto& t : tracks_) total += t.size();
   return total;
 }
 
 std::uint64_t Tracer::CountSpans(SpanKind kind) const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   std::uint64_t count = 0;
   for (const auto& t : tracks_) {
     for (const auto& e : t) {
@@ -143,7 +143,7 @@ std::uint64_t Tracer::CountSpans(SpanKind kind) const {
 }
 
 std::uint64_t Tracer::CountInstants(InstantKind kind) const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   std::uint64_t count = 0;
   for (const auto& t : tracks_) {
     for (const auto& e : t) {
@@ -154,7 +154,7 @@ std::uint64_t Tracer::CountInstants(InstantKind kind) const {
 }
 
 std::uint64_t Tracer::SumSpanArgB(SpanKind kind) const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   std::uint64_t sum = 0;
   for (const auto& t : tracks_) {
     for (const auto& e : t) {
@@ -165,7 +165,7 @@ std::uint64_t Tracer::SumSpanArgB(SpanKind kind) const {
 }
 
 std::uint64_t Tracer::SumInstantArgA(InstantKind kind) const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   std::uint64_t sum = 0;
   for (const auto& t : tracks_) {
     for (const auto& e : t) {
@@ -176,7 +176,7 @@ std::uint64_t Tracer::SumInstantArgA(InstantKind kind) const {
 }
 
 void Tracer::Clear() {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   for (auto& t : tracks_) t.clear();
 }
 

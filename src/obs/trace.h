@@ -20,11 +20,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "exec/context.h"
 #include "util/common.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::obs {
 
@@ -108,7 +109,13 @@ class Tracer {
 
   /// Events of one track in emission order (inner RAII spans precede the
   /// enclosing span — order by end time, not begin).
-  const std::vector<TraceEvent>& track(int t) const {
+  //
+  // TSA-exempt: returns an unlocked reference into tracks_. Valid only
+  // after the run drains (export/reconciliation readers), when no worker
+  // can still be emitting; taking the mutex here could not protect the
+  // returned reference anyway.
+  const std::vector<TraceEvent>& track(int t) const
+      SPARTA_NO_THREAD_SAFETY_ANALYSIS {
     return tracks_[static_cast<std::size_t>(t)];
   }
 
@@ -124,8 +131,8 @@ class Tracer {
 
  private:
   int num_workers_;
-  std::vector<std::vector<TraceEvent>> tracks_;
-  mutable std::mutex mutex_;
+  std::vector<std::vector<TraceEvent>> tracks_ SPARTA_GUARDED_BY(mutex_);
+  mutable util::Mutex mutex_;
 };
 
 class Profiler;

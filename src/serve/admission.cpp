@@ -6,6 +6,7 @@ namespace sparta::serve {
 
 topk::AdmissionOutcome AdmissionController::Decide(exec::VirtualTime now) {
   (void)now;  // decisions are state-based; `now` documents the instant.
+  const util::SerialGuard guard(domain_);
   if (queue_depth_ >= config_.queue_capacity) {
     return topk::AdmissionOutcome::kRejectedFull;
   }
@@ -13,7 +14,7 @@ topk::AdmissionOutcome AdmissionController::Decide(exec::VirtualTime now) {
     // Admitting is only useful if the query can still finish inside its
     // SLO after waiting behind the current backlog.
     const exec::VirtualTime predicted =
-        PredictedWait() + EstimatedService();
+        PredictedWaitLocked() + EstimatedServiceLocked();
     if (predicted > BudgetedSlo()) {
       return topk::AdmissionOutcome::kShedPredictedWait;
     }
@@ -24,12 +25,14 @@ topk::AdmissionOutcome AdmissionController::Decide(exec::VirtualTime now) {
 
 void AdmissionController::OnDispatch(exec::VirtualTime now) {
   (void)now;
+  const util::SerialGuard guard(domain_);
   SPARTA_CHECK(queue_depth_ > 0);
   --queue_depth_;
 }
 
 void AdmissionController::OnComplete(exec::VirtualTime now,
                                      exec::VirtualTime service_ns) {
+  const util::SerialGuard guard(domain_);
   const double alpha = config_.ewma_alpha;
   if (last_departure_ >= 0 && now > last_departure_) {
     const auto gap = static_cast<double>(now - last_departure_);

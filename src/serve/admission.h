@@ -24,6 +24,8 @@
 
 #include "exec/context.h"
 #include "topk/result.h"
+#include "util/serial_domain.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::serve {
 
@@ -48,6 +50,9 @@ struct AdmissionConfig {
 };
 
 /// Tracks queue depth and drain-rate estimates; decides per arrival.
+/// All state lives in one SerialDomain: the serving loop (one
+/// SimExecutor drain pass, or the single dispatcher thread) is the only
+/// mutator, and the capability makes that contract checkable.
 class AdmissionController {
  public:
   AdmissionController(const AdmissionConfig& config, exec::VirtualTime slo)
@@ -69,9 +74,13 @@ class AdmissionController {
   /// drain-rate signal) and the service-time EWMA.
   void OnComplete(exec::VirtualTime now, exec::VirtualTime service_ns);
 
-  std::size_t queue_depth() const { return queue_depth_; }
+  std::size_t queue_depth() const {
+    const util::SerialGuard guard(domain_);
+    return queue_depth_;
+  }
   /// Queue occupancy in [0, 1] — the degradation ladder's input.
   double Occupancy() const {
+    const util::SerialGuard guard(domain_);
     return config_.queue_capacity == 0
                ? 0.0
                : static_cast<double>(queue_depth_) /
@@ -79,11 +88,12 @@ class AdmissionController {
   }
   /// Predicted wait for an arrival joining the queue now.
   exec::VirtualTime PredictedWait() const {
-    return static_cast<exec::VirtualTime>(
-        static_cast<double>(queue_depth_) * departure_gap_);
+    const util::SerialGuard guard(domain_);
+    return PredictedWaitLocked();
   }
   exec::VirtualTime EstimatedService() const {
-    return static_cast<exec::VirtualTime>(service_);
+    const util::SerialGuard guard(domain_);
+    return EstimatedServiceLocked();
   }
   exec::VirtualTime slo() const { return slo_; }
   /// The end-to-end budget admission and dispatch actually aim for:
@@ -95,12 +105,23 @@ class AdmissionController {
   }
 
  private:
-  AdmissionConfig config_;
-  exec::VirtualTime slo_;
-  std::size_t queue_depth_ = 0;
-  double departure_gap_;  ///< EWMA of completion spacing, ns.
-  double service_;        ///< EWMA of per-query service time, ns.
-  exec::VirtualTime last_departure_ = -1;
+  exec::VirtualTime PredictedWaitLocked() const SPARTA_REQUIRES(domain_) {
+    return static_cast<exec::VirtualTime>(
+        static_cast<double>(queue_depth_) * departure_gap_);
+  }
+  exec::VirtualTime EstimatedServiceLocked() const SPARTA_REQUIRES(domain_) {
+    return static_cast<exec::VirtualTime>(service_);
+  }
+
+  mutable util::SerialDomain domain_;
+  AdmissionConfig config_;   // immutable after construction
+  exec::VirtualTime slo_;    // immutable after construction
+  std::size_t queue_depth_ SPARTA_GUARDED_BY(domain_) = 0;
+  /// EWMA of completion spacing, ns.
+  double departure_gap_ SPARTA_GUARDED_BY(domain_);
+  /// EWMA of per-query service time, ns.
+  double service_ SPARTA_GUARDED_BY(domain_);
+  exec::VirtualTime last_departure_ SPARTA_GUARDED_BY(domain_) = -1;
 };
 
 }  // namespace sparta::serve

@@ -3,6 +3,11 @@
 namespace sparta::serve {
 
 CircuitBreaker::State CircuitBreaker::state(exec::VirtualTime now) {
+  const util::SerialGuard guard(domain_);
+  return StateLocked(now);
+}
+
+CircuitBreaker::State CircuitBreaker::StateLocked(exec::VirtualTime now) {
   if (state_ == State::kOpen && now >= opened_at_ + config_.open_ns) {
     state_ = State::kHalfOpen;
     probe_in_flight_ = false;
@@ -21,7 +26,8 @@ void CircuitBreaker::Trip(exec::VirtualTime now) {
 }
 
 bool CircuitBreaker::Admit(exec::VirtualTime now) {
-  switch (state(now)) {
+  const util::SerialGuard guard(domain_);
+  switch (StateLocked(now)) {
     case State::kClosed:
       return true;
     case State::kOpen:
@@ -36,6 +42,7 @@ bool CircuitBreaker::Admit(exec::VirtualTime now) {
 }
 
 void CircuitBreaker::OnSuccess(exec::VirtualTime now, bool probe) {
+  const util::SerialGuard guard(domain_);
   if (probe && state_ == State::kHalfOpen) {
     probe_in_flight_ = false;
     if (++probe_successes_ >= config_.probe_successes_to_close) {
@@ -49,6 +56,7 @@ void CircuitBreaker::OnSuccess(exec::VirtualTime now, bool probe) {
 }
 
 void CircuitBreaker::OnFailure(exec::VirtualTime now, bool probe) {
+  const util::SerialGuard guard(domain_);
   if (probe && state_ == State::kHalfOpen) {
     // The machine is still sick: back to a full cooloff.
     Trip(now);

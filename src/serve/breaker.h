@@ -19,6 +19,8 @@
 #include <deque>
 
 #include "exec/context.h"
+#include "util/serial_domain.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::serve {
 
@@ -50,7 +52,8 @@ class CircuitBreaker {
   /// Whether an Admit() at `now` would be a probe (call before Admit to
   /// tag the query).
   bool WouldProbe(exec::VirtualTime now) {
-    return state(now) == State::kHalfOpen && !probe_in_flight_;
+    const util::SerialGuard guard(domain_);
+    return StateLocked(now) == State::kHalfOpen && !probe_in_flight_;
   }
 
   /// Completion callbacks for admitted queries. Every `Admit`ted query
@@ -60,21 +63,31 @@ class CircuitBreaker {
   void OnSuccess(exec::VirtualTime now, bool probe = false);
   void OnFailure(exec::VirtualTime now, bool probe = false);
 
-  std::uint64_t trips() const { return trips_; }
-  std::uint64_t probes() const { return probes_; }
+  std::uint64_t trips() const {
+    const util::SerialGuard guard(domain_);
+    return trips_;
+  }
+  std::uint64_t probes() const {
+    const util::SerialGuard guard(domain_);
+    return probes_;
+  }
 
  private:
-  void Trip(exec::VirtualTime now);
+  State StateLocked(exec::VirtualTime now) SPARTA_REQUIRES(domain_);
+  void Trip(exec::VirtualTime now) SPARTA_REQUIRES(domain_);
 
-  BreakerConfig config_;
-  State state_ = State::kClosed;
+  /// One serving loop drives the whole state machine; the SerialDomain
+  /// capability makes that single-mutator contract checkable.
+  mutable util::SerialDomain domain_;
+  BreakerConfig config_;  // immutable after construction
+  State state_ SPARTA_GUARDED_BY(domain_) = State::kClosed;
   /// Failure timestamps inside the sliding window (closed state).
-  std::deque<exec::VirtualTime> failures_;
-  exec::VirtualTime opened_at_ = 0;
-  bool probe_in_flight_ = false;
-  int probe_successes_ = 0;
-  std::uint64_t trips_ = 0;
-  std::uint64_t probes_ = 0;
+  std::deque<exec::VirtualTime> failures_ SPARTA_GUARDED_BY(domain_);
+  exec::VirtualTime opened_at_ SPARTA_GUARDED_BY(domain_) = 0;
+  bool probe_in_flight_ SPARTA_GUARDED_BY(domain_) = false;
+  int probe_successes_ SPARTA_GUARDED_BY(domain_) = 0;
+  std::uint64_t trips_ SPARTA_GUARDED_BY(domain_) = 0;
+  std::uint64_t probes_ SPARTA_GUARDED_BY(domain_) = 0;
 };
 
 }  // namespace sparta::serve

@@ -39,6 +39,9 @@ struct DegradationRung {
   double p_scale = 1.0;
 };
 
+/// Sharing contract (DESIGN.md §11): immutable after construction —
+/// rungs_ is set once and only read thereafter, so the ladder is safely
+/// shared across workers with no capability at all.
 class DegradationLadder {
  public:
   /// No rungs = ladder disabled: every dispatch uses rung 0 semantics

@@ -3,6 +3,7 @@
 namespace sparta::sim {
 
 bool PageCache::Touch(std::uint64_t page_id) {
+  const util::SerialGuard guard(domain_);
   const auto it = map_.find(page_id);
   if (it != map_.end()) {
     ++hits_;
@@ -24,6 +25,7 @@ bool PageCache::Touch(std::uint64_t page_id) {
 }
 
 void PageCache::Reset() {
+  const util::SerialGuard guard(domain_);
   lru_.clear();
   map_.clear();
   hits_ = 0;

@@ -12,11 +12,16 @@
 #include <unordered_map>
 
 #include "exec/context.h"
+#include "util/serial_domain.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::sim {
 
 inline constexpr std::uint64_t kPageBytes = 4096;
 
+/// Single-threaded by construction: only the simulator's host thread
+/// touches the cache (from IoSequential/IoRandom charging), which the
+/// SerialDomain capability makes checkable.
 class PageCache {
  public:
   /// capacity_bytes == 0 means unbounded (everything stays cached).
@@ -30,18 +35,28 @@ class PageCache {
   /// file system's page cache").
   void Reset();
 
-  std::uint64_t pages_cached() const { return map_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  std::uint64_t pages_cached() const {
+    const util::SerialGuard guard(domain_);
+    return map_.size();
+  }
+  std::uint64_t hits() const {
+    const util::SerialGuard guard(domain_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    const util::SerialGuard guard(domain_);
+    return misses_;
+  }
 
  private:
+  mutable util::SerialDomain domain_;
   std::uint64_t capacity_pages_;  // 0 = unbounded
   // LRU: most-recent at front.
-  std::list<std::uint64_t> lru_;
+  std::list<std::uint64_t> lru_ SPARTA_GUARDED_BY(domain_);
   std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
-      map_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+      map_ SPARTA_GUARDED_BY(domain_);
+  std::uint64_t hits_ SPARTA_GUARDED_BY(domain_) = 0;
+  std::uint64_t misses_ SPARTA_GUARDED_BY(domain_) = 0;
 };
 
 }  // namespace sparta::sim

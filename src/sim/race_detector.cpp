@@ -127,6 +127,7 @@ void RaceDetector::Report(const void* addr, int prior_worker,
 
 void RaceDetector::OnAccess(int worker, const void* addr,
                             exec::AccessKind kind) {
+  const util::SerialGuard guard(domain_);
   SPARTA_CHECK(worker >= 0 && worker < num_workers_);
   const auto w = static_cast<std::size_t>(worker);
   Shadow& s = shadow_[addr];
@@ -163,6 +164,7 @@ void RaceDetector::OnAccess(int worker, const void* addr,
 }
 
 void RaceDetector::OnLockAcquire(int worker, const void* lock) {
+  const util::SerialGuard guard(domain_);
   SPARTA_CHECK(worker >= 0 && worker < num_workers_);
   const auto w = static_cast<std::size_t>(worker);
   LockId(lock);  // assign ids in deterministic first-acquire order
@@ -172,6 +174,7 @@ void RaceDetector::OnLockAcquire(int worker, const void* lock) {
 }
 
 void RaceDetector::OnLockRelease(int worker, const void* lock) {
+  const util::SerialGuard guard(domain_);
   SPARTA_CHECK(worker >= 0 && worker < num_workers_);
   const auto w = static_cast<std::size_t>(worker);
   Join(sync_vc_[lock], vc_[w]);
@@ -182,6 +185,7 @@ void RaceDetector::OnLockRelease(int worker, const void* lock) {
 }
 
 std::uint64_t RaceDetector::OnJobSubmit(int worker) {
+  const util::SerialGuard guard(domain_);
   SPARTA_CHECK(worker >= 0 && worker < num_workers_);
   const auto w = static_cast<std::size_t>(worker);
   const std::uint64_t token = ++next_fork_;
@@ -193,6 +197,7 @@ std::uint64_t RaceDetector::OnJobSubmit(int worker) {
 }
 
 void RaceDetector::OnJobStart(int worker, std::uint64_t fork_token) {
+  const util::SerialGuard guard(domain_);
   SPARTA_CHECK(worker >= 0 && worker < num_workers_);
   const auto w = static_cast<std::size_t>(worker);
   if (fork_token != 0) {
@@ -206,6 +211,7 @@ void RaceDetector::OnJobStart(int worker, std::uint64_t fork_token) {
 }
 
 void RaceDetector::OnSyncAcquire(int worker, const void* token) {
+  const util::SerialGuard guard(domain_);
   SPARTA_CHECK(worker >= 0 && worker < num_workers_);
   const auto it = sync_vc_.find(token);
   if (it != sync_vc_.end()) {
@@ -215,17 +221,20 @@ void RaceDetector::OnSyncAcquire(int worker, const void* token) {
 
 void RaceDetector::AllowRange(const void* addr, std::size_t bytes,
                               std::string label) {
+  const util::SerialGuard guard(domain_);
   const auto lo = reinterpret_cast<std::uintptr_t>(addr);
   ranges_.push_back({lo, lo + bytes, std::move(label), /*allow=*/true});
 }
 
 void RaceDetector::LabelRange(const void* addr, std::size_t bytes,
                               std::string label) {
+  const util::SerialGuard guard(domain_);
   const auto lo = reinterpret_cast<std::uintptr_t>(addr);
   ranges_.push_back({lo, lo + bytes, std::move(label), /*allow=*/false});
 }
 
 void RaceDetector::ResetShadow() {
+  const util::SerialGuard guard(domain_);
   for (std::size_t w = 0; w < vc_.size(); ++w) {
     vc_[w].fill(0);
     vc_[w][w] = 1;

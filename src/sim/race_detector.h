@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "sim/coherence.h"
+#include "util/serial_domain.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::sim {
 
@@ -102,9 +104,15 @@ class RaceDetector {
   // --- results ----------------------------------------------------------
 
   /// All unsuppressed violations, in detection order (deterministic).
-  const std::vector<RaceReport>& reports() const { return reports_; }
+  const std::vector<RaceReport>& reports() const {
+    const util::SerialGuard guard(domain_);
+    return reports_;
+  }
   /// Count of detections inside allowlisted ranges.
-  std::uint64_t suppressed() const { return suppressed_; }
+  std::uint64_t suppressed() const {
+    const util::SerialGuard guard(domain_);
+    return suppressed_;
+  }
 
   /// Drops all shadow/synchronization state and annotations (reports
   /// persist). Called between latency-mode queries: heap addresses are
@@ -133,33 +141,39 @@ class RaceDetector {
     bool allow = false;
   };
 
-  const Range* FindRange(const void* addr) const;
-  int LockId(const void* lock);
+  const Range* FindRange(const void* addr) const SPARTA_REQUIRES(domain_);
+  int LockId(const void* lock) SPARTA_REQUIRES(domain_);
   /// True if the recorded access happens-before `worker`'s current epoch.
   bool OrderedBefore(const AccessRecord& prior, int prior_worker,
-                     int worker) const;
+                     int worker) const SPARTA_REQUIRES(domain_);
   static bool Disjoint(const LockSet& a, const LockSet& b);
   void Report(const void* addr, int prior_worker,
               exec::AccessKind prior_kind, const AccessRecord& prior,
-              int worker, exec::AccessKind kind);
-  std::vector<int> LockIds(const LockSet& locks);
+              int worker, exec::AccessKind kind) SPARTA_REQUIRES(domain_);
+  std::vector<int> LockIds(const LockSet& locks) SPARTA_REQUIRES(domain_);
 
+  /// The detector runs on the simulator's single host thread; every
+  /// public hook enters this domain, and all shadow state is guarded.
+  mutable util::SerialDomain domain_;
   int num_workers_;
-  std::array<VectorClock, kMaxSimWorkers> vc_{};
-  std::array<LockSet, kMaxSimWorkers> held_;
+  std::array<VectorClock, kMaxSimWorkers> vc_ SPARTA_GUARDED_BY(domain_){};
+  std::array<LockSet, kMaxSimWorkers> held_ SPARTA_GUARDED_BY(domain_);
   /// Release clocks of locks and sync tokens.
-  std::unordered_map<const void*, VectorClock> sync_vc_;
-  std::unordered_map<std::uint64_t, VectorClock> fork_vc_;
-  std::uint64_t next_fork_ = 0;
+  std::unordered_map<const void*, VectorClock> sync_vc_
+      SPARTA_GUARDED_BY(domain_);
+  std::unordered_map<std::uint64_t, VectorClock> fork_vc_
+      SPARTA_GUARDED_BY(domain_);
+  std::uint64_t next_fork_ SPARTA_GUARDED_BY(domain_) = 0;
 
-  std::unordered_map<const void*, Shadow> shadow_;
-  std::vector<Range> ranges_;
-  std::unordered_map<const void*, int> lock_ids_;
+  std::unordered_map<const void*, Shadow> shadow_ SPARTA_GUARDED_BY(domain_);
+  std::vector<Range> ranges_ SPARTA_GUARDED_BY(domain_);
+  std::unordered_map<const void*, int> lock_ids_ SPARTA_GUARDED_BY(domain_);
 
   /// Dedup: one report per (addr, worker pair, kind pair).
-  std::set<std::tuple<const void*, int, int, int, int>> seen_;
-  std::vector<RaceReport> reports_;
-  std::uint64_t suppressed_ = 0;
+  std::set<std::tuple<const void*, int, int, int, int>> seen_
+      SPARTA_GUARDED_BY(domain_);
+  std::vector<RaceReport> reports_ SPARTA_GUARDED_BY(domain_);
+  std::uint64_t suppressed_ SPARTA_GUARDED_BY(domain_) = 0;
 };
 
 }  // namespace sparta::sim

@@ -5,6 +5,7 @@
 namespace sparta::text {
 
 TermId Vocabulary::GetOrAdd(std::string_view term) {
+  const util::SerialGuard guard(domain_);
   const auto it = ids_.find(std::string(term));
   if (it != ids_.end()) return it->second;
   const auto id = static_cast<TermId>(terms_.size());
@@ -14,17 +15,20 @@ TermId Vocabulary::GetOrAdd(std::string_view term) {
 }
 
 std::optional<TermId> Vocabulary::Lookup(std::string_view term) const {
+  const util::SerialGuard guard(domain_);
   const auto it = ids_.find(std::string(term));
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& Vocabulary::TermOf(TermId id) const {
+  const util::SerialGuard guard(domain_);
   SPARTA_CHECK(id < terms_.size());
   return terms_[id];
 }
 
 bool Vocabulary::SaveToFile(const std::string& path) const {
+  const util::SerialGuard guard(domain_);
   std::ofstream out(path);
   if (!out) return false;
   for (const auto& term : terms_) out << term << '\n';

@@ -8,9 +8,14 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/serial_domain.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::text {
 
+/// Mutated only during single-threaded index builds and lookups; the
+/// SerialDomain capability makes that contract checkable (queries must
+/// resolve terms to ids before fanning out to workers).
 class Vocabulary {
  public:
   /// Returns the id of `term`, interning it if new.
@@ -22,16 +27,22 @@ class Vocabulary {
   /// Returns the string for a valid id.
   const std::string& TermOf(TermId id) const;
 
-  std::size_t size() const { return terms_.size(); }
+  std::size_t size() const {
+    const util::SerialGuard guard(domain_);
+    return terms_.size();
+  }
 
   /// Plain-text persistence: one term per line, id = line number.
   /// Companion to the binary index file (which stores ids only).
+  /// Iterates terms_ (insertion-ordered vector), never ids_ — the
+  /// on-disk order is deterministic by construction.
   bool SaveToFile(const std::string& path) const;
   static std::optional<Vocabulary> LoadFromFile(const std::string& path);
 
  private:
-  std::unordered_map<std::string, TermId> ids_;
-  std::vector<std::string> terms_;
+  mutable util::SerialDomain domain_;
+  std::unordered_map<std::string, TermId> ids_ SPARTA_GUARDED_BY(domain_);
+  std::vector<std::string> terms_ SPARTA_GUARDED_BY(domain_);
 };
 
 }  // namespace sparta::text

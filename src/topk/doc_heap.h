@@ -12,6 +12,7 @@
 
 #include "topk/result.h"
 #include "util/common.h"
+#include "util/racy.h"
 
 namespace sparta::topk {
 
@@ -73,7 +74,12 @@ class TopKHeap {
 
   int k_;
   std::vector<HeapEntry> heap_;  // min-heap via WorseThan
-  std::atomic<Score> threshold_{0};
+  /// Racy<> by design: Θ is published lock-free so workers can prune
+  /// without taking the heap owner's lock (§3); readers tolerate stale
+  /// values (a stale Θ only admits extra candidates, never drops one).
+  /// Owners holding the heap under a CtxLock register the benign range
+  /// themselves (e.g. "sparta.updTime" neighbors in core/sparta.cpp).
+  util::Racy<std::atomic<Score>> threshold_{0};
 };
 
 }  // namespace sparta::topk

@@ -25,6 +25,7 @@
 #include "exec/context.h"
 #include "topk/result.h"
 #include "util/common.h"
+#include "util/thread_annotations.h"
 
 namespace sparta::topk {
 
@@ -32,6 +33,8 @@ namespace sparta::topk {
 /// written only by the worker that owns the term's posting list; padding
 /// would reduce simulated ping-pong, but the paper's layout is a plain
 /// array, so we keep one (coherence effects are part of the study).
+// sparta-lint: allow(padded-shared) deliberately compact: the paper's
+// UB[m] is an unpadded array and its false sharing is under study.
 using UpperBounds = std::vector<std::atomic<Score>>;
 
 /// Sum of all term upper bounds (left side of UBStop, Eq. 1).
@@ -54,6 +57,9 @@ class DocType {
   std::atomic<bool> in_heap{false};
   /// Term scores observed so far (0 = not yet seen). Index = query term
   /// position, not global TermId.
+  // sparta-lint: allow(padded-shared) deliberately compact: per-doc
+  // score slots mirror the paper's accumulator layout; padding every
+  // entry would distort the modeled memory footprint (§5.2.1).
   std::vector<std::atomic<Score>> score;
 
   /// Σ score[i] (the document's current lower bound, recomputed).
@@ -139,10 +145,17 @@ class ConcurrentDocMap {
   }
 
   /// Iterates all entries. Only valid once read-only.
+  //
+  // TSA-exempt: reads stripe maps without their locks. Safe only because
+  // the SPARTA_CHECK proves the freeze protocol ran — Freeze() drained
+  // every stripe lock before publishing frozen_, so all inserts
+  // happened-before this scan.
   template <typename Fn>
-  void ForEach(Fn&& fn) const {
+  void ForEach(Fn&& fn) const SPARTA_NO_THREAD_SAFETY_ANALYSIS {
     SPARTA_CHECK(read_only());
     for (const auto& stripe : stripes_) {
+      // sparta-lint: allow(unordered-iter) order-insensitive: consumers
+      // fold into a TopKHeap (strict total order on (score, doc)).
       for (const auto& [id, doc] : stripe.map) fn(doc);
     }
   }
@@ -155,12 +168,18 @@ class ConcurrentDocMap {
   /// before SetReadOnly() records unsynchronized reads the detector will
   /// flag against the stripe inserts — deliberately no SPARTA_CHECK here;
   /// misuse surfaces as a race report instead of a crash.
+  // TSA-exempt for the same freeze-protocol reason as ForEach(fn); the
+  // AnnotateAcquire calls express the happens-before edge to the dynamic
+  // detector, which — unlike the static analysis — verifies it.
   template <typename Fn>
-  void ForEach(Fn&& fn, exec::WorkerContext& worker) const {
+  void ForEach(Fn&& fn, exec::WorkerContext& worker) const
+      SPARTA_NO_THREAD_SAFETY_ANALYSIS {
     const bool frozen = read_only();
     for (const auto& stripe : stripes_) {
       if (frozen) worker.AnnotateAcquire(stripe.lock.get());
       worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
+      // sparta-lint: allow(unordered-iter) order-insensitive: consumers
+      // fold into a TopKHeap (strict total order on (score, doc)).
       for (const auto& [id, doc] : stripe.map) fn(doc);
     }
   }
@@ -172,6 +191,8 @@ class ConcurrentDocMap {
     for (auto& stripe : stripes_) {
       const exec::CtxLockGuard guard(*stripe.lock, worker);
       worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
+      // sparta-lint: allow(unordered-iter) order-insensitive: consumers
+      // fold into a TopKHeap (strict total order on (score, doc)).
       for (const auto& [id, doc] : stripe.map) fn(doc);
     }
   }
@@ -181,8 +202,8 @@ class ConcurrentDocMap {
  private:
   struct Stripe {
     std::unique_ptr<exec::CtxLock> lock;
-    std::unordered_map<DocId, DocType*> map;
-    std::deque<DocType> arena;
+    std::unordered_map<DocId, DocType*> map SPARTA_GUARDED_BY(*lock);
+    std::deque<DocType> arena SPARTA_GUARDED_BY(*lock);
   };
 
   static std::size_t StripeOf(DocId doc);
@@ -220,6 +241,10 @@ class LocalDocMap {
 
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    // sparta-lint: allow(unordered-iter) order-insensitive: every
+    // consumer folds accumulators into a TopKHeap, whose admission is
+    // a strict total order on (score, doc) — any visit order yields
+    // the same top-k set.
     for (const auto& [id, doc] : map_) fn(doc);
   }
 

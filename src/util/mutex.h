@@ -1,0 +1,68 @@
+// Annotated mutex + condition variable: std::mutex with clang
+// thread-safety capability attributes, so GUARDED_BY fields can be
+// checked at compile time (DESIGN.md §11).
+//
+// std::mutex itself carries no annotations under libstdc++, which makes
+// it invisible to -Wthread-safety; every long-lived mutex member in the
+// library uses this wrapper instead. The condition variable is a
+// std::condition_variable_any so it can wait on the annotated Mutex
+// directly; there is deliberately no predicate overload — callers write
+// the classic `while (!pred) cv.Wait(mu);` loop, which keeps the
+// predicate's guarded-field reads inside the caller where the analysis
+// can see the held capability.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace sparta::util {
+
+class SPARTA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SPARTA_ACQUIRE() { m_.lock(); }
+  void unlock() SPARTA_RELEASE() { m_.unlock(); }
+  bool try_lock() SPARTA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  // sparta-lint: allow(lock-pairing) the inner mutex implements the
+  // Mutex capability itself; guarded fields live at the use sites.
+  std::mutex m_;
+};
+
+/// RAII guard for Mutex (the std::lock_guard equivalent the analysis
+/// understands).
+class SPARTA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SPARTA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SPARTA_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. Wait() atomically releases the mutex,
+/// blocks, and reacquires before returning; spurious wakeups are
+/// possible, so callers must loop on their predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) SPARTA_REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace sparta::util

@@ -1,0 +1,56 @@
+// Racy<T>: the explicit marker for *intentionally* lock-free shared
+// state (DESIGN.md §11).
+//
+// Sparta's algorithm relies on a handful of deliberate benign races —
+// the lazy UB reads of §4.3, done flags, heap update-time words, pBMW's
+// shared Θ. Those fields must be exempt from both checkers at once:
+//   * statically, the lint suite (tools/lint/sparta_lint.py) accepts a
+//     Racy<> declaration where it would otherwise demand a
+//     SPARTA_GUARDED_BY pairing;
+//   * dynamically, RegisterBenign() feeds the same storage range into
+//     QueryContext::AnnotateBenignRace, so the simulator's race detector
+//     counts detections there as suppressed instead of reporting them.
+// One declaration drives both — a field can no longer be allowlisted at
+// runtime while looking like an ordinary guarded field to the compiler,
+// or vice versa.
+//
+// Racy<T> derives from T so call sites are untouched: Racy<atomic<bool>>
+// still load()s and store()s, Racy<vector<atomic<Score>>> still
+// indexes. It adds no state; sizeof(Racy<T>) == sizeof(T).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace sparta::util {
+
+template <typename T>
+class Racy : public T {
+  static_assert(std::is_class_v<T>,
+                "Racy<T> wraps class types (std::atomic<U>, containers)");
+
+ public:
+  using T::T;
+  Racy() = default;
+
+  /// Registers the wrapped storage with the runtime race detector's
+  /// allowlist. `Context` is any type with
+  /// AnnotateBenignRace(const void*, size_t, const char*) —
+  /// exec::QueryContext in practice (templated to keep this header
+  /// dependency-free). Contiguous containers register their element
+  /// storage; everything else registers the object itself.
+  template <typename Context>
+  void RegisterBenign(Context& ctx, const char* label) const {
+    if constexpr (requires(const T& t) {
+                    t.data();
+                    t.size();
+                  }) {
+      ctx.AnnotateBenignRace(
+          this->data(), this->size() * sizeof(*this->data()), label);
+    } else {
+      ctx.AnnotateBenignRace(static_cast<const T*>(this), sizeof(T), label);
+    }
+  }
+};
+
+}  // namespace sparta::util

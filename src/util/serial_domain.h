@@ -1,0 +1,66 @@
+// SerialDomain: a zero-cost capability for externally-serialized state
+// (DESIGN.md §11).
+//
+// Several mutable structures in the tree are thread-safe only by
+// *construction*, not by locking: the page cache and race detector run
+// on the simulator's single host thread, the serving controllers
+// (admission queue, breaker state) run inside one SimExecutor::Drain
+// pass, and the vocabulary is mutated during single-threaded index
+// builds. Their sharing contract used to live in comments; SerialDomain
+// makes it a capability the compiler checks. Fields are declared
+// SPARTA_GUARDED_BY(domain_) and every entry point takes a SerialGuard,
+// so any new code path that touches the state without flowing through a
+// declared entry point fails the -Wthread-safety build.
+//
+// Entering the domain costs nothing in release builds; debug builds keep
+// a reentrancy flag so two overlapping entries (i.e. a second thread, or
+// recursion that would invalidate iterators) abort loudly.
+#pragma once
+
+#include "util/common.h"
+#include "util/thread_annotations.h"
+
+namespace sparta::util {
+
+class SPARTA_CAPABILITY("serial domain") SerialDomain {
+ public:
+  SerialDomain() = default;
+  // Copy/move produce a *fresh* (un-entered) domain: the capability
+  // tracks an execution context, not data, so containing classes stay
+  // copyable (e.g. Vocabulary returned through std::optional).
+  SerialDomain(const SerialDomain&) {}
+  SerialDomain& operator=(const SerialDomain&) { return *this; }
+
+  void Enter() SPARTA_ACQUIRE() {
+#ifndef NDEBUG
+    SPARTA_CHECK_MSG(!entered_, "SerialDomain entered twice");
+    entered_ = true;
+#endif
+  }
+  void Exit() SPARTA_RELEASE() {
+#ifndef NDEBUG
+    entered_ = false;
+#endif
+  }
+
+ private:
+#ifndef NDEBUG
+  bool entered_ = false;
+#endif
+};
+
+class SPARTA_SCOPED_CAPABILITY SerialGuard {
+ public:
+  explicit SerialGuard(SerialDomain& domain) SPARTA_ACQUIRE(domain)
+      : domain_(domain) {
+    domain_.Enter();
+  }
+  ~SerialGuard() SPARTA_RELEASE() { domain_.Exit(); }
+  SerialGuard(const SerialGuard&) = delete;
+  SerialGuard& operator=(const SerialGuard&) = delete;
+
+ private:
+  SerialDomain& domain_;
+};
+
+}  // namespace sparta::util

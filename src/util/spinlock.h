@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "util/common.h"
+#include "util/thread_annotations.h"
 
 // ThreadSanitizer detection (gcc defines __SANITIZE_THREAD__; clang
 // exposes it through __has_feature).
@@ -24,7 +25,7 @@
 
 namespace sparta::util {
 
-class alignas(kCacheLine) Spinlock {
+class SPARTA_CAPABILITY("mutex") alignas(kCacheLine) Spinlock {
  public:
   /// Under TSan, instrumented spinning is ~10x slower and long spins
   /// starve the scheduler that would let the holder run — yield on the
@@ -38,7 +39,7 @@ class alignas(kCacheLine) Spinlock {
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  void lock() {
+  void lock() SPARTA_ACQUIRE() {
     int spins = 0;
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
@@ -55,16 +56,32 @@ class alignas(kCacheLine) Spinlock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() SPARTA_TRY_ACQUIRE(true) {
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() SPARTA_RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   int yield_threshold_;
   std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for Spinlock.
+class SPARTA_SCOPED_CAPABILITY SpinlockGuard {
+ public:
+  explicit SpinlockGuard(Spinlock& lock) SPARTA_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinlockGuard() SPARTA_RELEASE() { lock_.unlock(); }
+  SpinlockGuard(const SpinlockGuard&) = delete;
+  SpinlockGuard& operator=(const SpinlockGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
 };
 
 }  // namespace sparta::util

@@ -1,0 +1,82 @@
+// Clang thread-safety-analysis annotation macros (the static half of the
+// sharing contract; DESIGN.md §11).
+//
+// The macros expand to clang's capability attributes when the compiler
+// supports them and to nothing elsewhere (gcc builds are unaffected).
+// Build with -DSPARTA_THREAD_SAFETY=ON (clang only) to turn the analysis
+// on as -Werror; the CI `lint-static` job does this on every push.
+//
+// Conventions (enforced by tools/lint/sparta_lint.py, rule lock-pairing):
+//   * every lock member (util::Spinlock, util::Mutex, std::mutex,
+//     unique_ptr<exec::CtxLock>) must have at least one
+//     SPARTA_GUARDED_BY / SPARTA_PT_GUARDED_BY / SPARTA_REQUIRES user in
+//     its file, or an explicit `// sparta-lint: allow(lock-pairing)`
+//     waiver saying why the capability cannot be expressed;
+//   * intentionally lock-free shared fields are declared through
+//     sparta::util::Racy<T> (util/racy.h), never left bare;
+//   * code that reads guarded state outside its lock on purpose (freeze
+//     protocols, post-drain harvesting) is marked
+//     SPARTA_NO_THREAD_SAFETY_ANALYSIS with a justification comment.
+#pragma once
+
+// clang has shipped the capability attribute set since 3.6; gcc ignores
+// the analysis entirely, so expand to nothing there instead of spraying
+// -Wattributes warnings.
+#if defined(__clang__) && !defined(SPARTA_NO_THREAD_ANNOTATIONS)
+#define SPARTA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SPARTA_THREAD_ANNOTATION(x)  // not clang: annotations vanish
+#endif
+
+/// Marks a class as a capability (a lock). The string names the
+/// capability kind in diagnostics ("mutex", "serial domain").
+#define SPARTA_CAPABILITY(x) SPARTA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define SPARTA_SCOPED_CAPABILITY SPARTA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define SPARTA_GUARDED_BY(x) SPARTA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed under the
+/// capability (the pointer itself is unguarded).
+#define SPARTA_PT_GUARDED_BY(x) SPARTA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability (exclusive / shared) to be held on
+/// entry and does not release it.
+#define SPARTA_REQUIRES(...) \
+  SPARTA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SPARTA_REQUIRES_SHARED(...) \
+  SPARTA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability (itself when no argument
+/// is given, e.g. on a lock type's own lock()/unlock()).
+#define SPARTA_ACQUIRE(...) \
+  SPARTA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SPARTA_ACQUIRE_SHARED(...) \
+  SPARTA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SPARTA_RELEASE(...) \
+  SPARTA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the return value
+/// meaning success.
+#define SPARTA_TRY_ACQUIRE(...) \
+  SPARTA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability.
+#define SPARTA_EXCLUDES(...) SPARTA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the capability is held — for code
+/// that knows it runs inside a critical section the analysis cannot see.
+#define SPARTA_ASSERT_CAPABILITY(x) \
+  SPARTA_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define SPARTA_RETURN_CAPABILITY(x) SPARTA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function deliberately breaks the discipline (freeze
+/// protocols, post-drain reads). Every use must carry a justification
+/// comment — the lint suite's conventions, see file header.
+#define SPARTA_NO_THREAD_SAFETY_ANALYSIS \
+  SPARTA_THREAD_ANNOTATION(no_thread_safety_analysis)

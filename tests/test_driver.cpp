@@ -185,5 +185,32 @@ TEST(DatasetTest, TinyDatasetWellFormedAndCached) {
   EXPECT_TRUE(found);
 }
 
+TEST(RecallOverTimeTest, EventOrderInvariantWithTiedScores) {
+  // Golden-stability regression: the reconstruction used to rebuild the
+  // sample heap from an unordered_map, so reported curves could depend
+  // on hash iteration order when tied scores straddle the k boundary.
+  // The same event set delivered in any order must now yield the same
+  // curve (the best-score map iterates in doc-id order).
+  topk::ExactTopK exact;
+  exact.topk = {{0, 90}, {1, 90}};
+  exact.kth_score = 90;
+  const std::vector<exec::VirtualTime> offsets{50, 200};
+
+  auto reconstruct = [&](const std::vector<DocId>& order) {
+    TraceRecorder trace;
+    for (const DocId doc : order) trace.OnHeapUpdate(10, doc, 90);
+    return RecallOverTime(trace, 0, exact, offsets);
+  };
+
+  std::vector<DocId> forward, reversed, shuffled;
+  for (DocId d = 0; d < 32; ++d) forward.push_back(d);
+  reversed.assign(forward.rbegin(), forward.rend());
+  for (DocId d = 0; d < 32; ++d) shuffled.push_back((d * 13) % 32);
+
+  const auto base = reconstruct(forward);
+  EXPECT_EQ(base, reconstruct(reversed));
+  EXPECT_EQ(base, reconstruct(shuffled));
+}
+
 }  // namespace
 }  // namespace sparta::driver

@@ -279,5 +279,19 @@ TEST(RecallTest, EmptyExactIsPerfect) {
   EXPECT_DOUBLE_EQ(Recall(exact, {}), 1.0);
 }
 
+using DocMapDeathTest = DocMapTest;
+
+TEST_F(DocMapDeathTest, UnfrozenForEachAborts) {
+  // The unlocked ForEach(fn) is sound only after the freeze protocol
+  // ran (Freeze() drains every stripe lock before publishing frozen_);
+  // calling it on a live map must trip the always-on check rather than
+  // silently scan racing stripes.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ConcurrentDocMap map(*ctx_, /*num_terms=*/1);
+  ctx_->Submit([&](exec::WorkerContext& w) { (void)map.GetOrCreate(1, w); });
+  ctx_->RunToCompletion();
+  EXPECT_DEATH(map.ForEach([](DocType*) {}), "read_only");
+}
+
 }  // namespace
 }  // namespace sparta::topk

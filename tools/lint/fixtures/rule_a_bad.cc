@@ -1,0 +1,20 @@
+// Fixture: sim-clock violations. Sim-path code reading the host clock
+// or an unseeded RNG breaks run-to-run determinism.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+long WallClockLatency() {
+  const auto begin = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();
+  return (end - begin).count();
+}
+
+int EntropySeed() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}
+
+}  // namespace fixture

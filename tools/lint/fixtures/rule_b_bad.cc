@@ -1,0 +1,37 @@
+// Fixture: unordered-iter violations — range-for and explicit .begin()
+// iteration over unordered containers, including a multi-line guarded
+// member declaration.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Report {
+  std::unordered_map<std::uint64_t, double> scores_;
+  std::unordered_set<std::uint64_t>
+      flagged_docs_;
+
+  double Sum() const {
+    double total = 0.0;
+    for (const auto& [doc, score] : scores_) total += score;
+    return total;
+  }
+
+  std::uint64_t First() const { return *flagged_docs_.begin(); }
+};
+
+struct Striped {
+  struct Stripe {
+    std::unordered_map<std::uint64_t, double> map;
+  };
+  Stripe stripe;
+
+  double Total() const {
+    double total = 0.0;
+    for (const auto& [doc, score] : stripe.map) total += score;
+    return total;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: unordered-iter clean — membership tests stay on unordered
+// containers; anything iterated is an ordered map, a sorted copy, or
+// carries a justified waiver.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Report {
+  std::unordered_map<std::uint64_t, double> scores_;
+  std::map<std::uint64_t, double> ordered_;
+
+  bool Has(std::uint64_t doc) const {
+    return scores_.find(doc) != scores_.end();
+  }
+
+  std::vector<std::uint64_t> SortedDocs() const {
+    std::vector<std::uint64_t> docs;
+    docs.reserve(scores_.size());
+    // sparta-lint: allow(unordered-iter) order-insensitive: collects
+    // keys that are immediately sorted below.
+    for (const auto& [doc, score] : scores_) docs.push_back(doc);
+    std::sort(docs.begin(), docs.end());
+    return docs;
+  }
+
+  double OrderedSum() const {
+    double total = 0.0;
+    for (const auto& [doc, score] : ordered_) total += score;
+    return total;
+  }
+};
+
+}  // namespace fixture

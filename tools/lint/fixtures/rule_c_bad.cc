@@ -1,0 +1,21 @@
+// Fixture: lock-pairing violation — a mutex member that no annotation
+// in the file pairs with. The sharing contract it protects is
+// invisible to the thread-safety analysis.
+#include <cstdint>
+#include <mutex>
+
+#define SPARTA_GUARDED_BY(x)
+
+namespace fixture {
+
+class Counterbank {
+ public:
+  void Bump();
+
+ private:
+  std::mutex mutex_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace fixture

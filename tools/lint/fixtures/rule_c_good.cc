@@ -1,0 +1,31 @@
+// Fixture: lock-pairing clean — the mutex names the fields it guards,
+// and a capability-implementing mutex carries a justified waiver.
+#include <cstdint>
+#include <mutex>
+
+#define SPARTA_GUARDED_BY(x)
+
+namespace fixture {
+
+class Counterbank {
+ public:
+  void Bump();
+
+ private:
+  std::mutex mutex_;
+  std::uint64_t hits_ SPARTA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ SPARTA_GUARDED_BY(mutex_) = 0;
+};
+
+class LockShim {
+ public:
+  void Lock();
+  void Unlock();
+
+ private:
+  // sparta-lint: allow(lock-pairing) the inner mutex implements the
+  // shim's capability itself; there is no separate guarded field.
+  std::mutex mutex_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: padded-shared violation — a vector of bare atomics that
+// workers hammer concurrently; adjacent elements share cache lines.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct ShardCounters {
+  std::vector<std::atomic<std::uint64_t>> per_worker_hits;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: padded-shared clean — the padding idiom on the element type,
+// and a waived deliberately-compact layout.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+constexpr std::size_t kCacheLine = 64;
+
+struct alignas(kCacheLine) Padded {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct ShardCounters {
+  std::vector<Padded> per_worker_hits;
+  // sparta-lint: allow(padded-shared) deliberately compact: the false
+  // sharing on this array is part of the modeled behavior under test.
+  std::vector<std::atomic<std::uint64_t>> contended_by_design;
+};
+
+}  // namespace fixture
