@@ -1,0 +1,261 @@
+// Live-update serving scenarios: query traffic while documents arrive.
+//
+// Three questions the frozen-index benches cannot answer:
+//   * staleness — how far does result quality (recall against the
+//     crash-free converged index, LiveIndex::CompactNow's oracle) fall
+//     as the ingest rate rises and queries race refresh visibility?
+//   * interference — what does background merge work do to query tail
+//     latency? Queries overlapping a merge window are split out from
+//     queries that don't (LiveServeResult::OverlapsMerge).
+//   * recovery — with injected merge aborts and torn writes, how long
+//     until the next committed publish (virtual ns from failure to
+//     recovery)?
+//
+// Everything runs on the simulator's virtual clock from seeded arrival
+// and fault plans, so results/BENCH_live_update.json is reproducible and
+// sits under the tools/bench_compare.py perf gate. The workload is
+// fixed-size (SPARTA_QUICK is ignored) so a smoke run produces the
+// committed numbers.
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.h"
+#include "index/builder.h"
+#include "index/live_index.h"
+#include "serve/live.h"
+#include "topk/oracle.h"
+#include "topk/recall.h"
+
+namespace sparta::bench {
+namespace {
+
+constexpr std::uint32_t kMainDocs = 6000;
+constexpr std::uint32_t kIngestDocs = 1500;
+constexpr std::uint32_t kVocab = 1200;
+constexpr std::size_t kQueryArrivals = 120;
+constexpr int kWorkers = 4;
+constexpr int kTopK = 20;
+
+index::InvertedIndex MakeMainIndex() {
+  corpus::SyntheticCorpusSpec spec;
+  spec.num_docs = kMainDocs;
+  spec.vocab_size = kVocab;
+  spec.mean_unique_terms = 25.0;
+  spec.seed = 7;
+  return index::FinalizeIndex(corpus::GenerateRawCorpus(spec));
+}
+
+std::vector<serve::IngestDoc> MakeIngestStream() {
+  corpus::SyntheticCorpusSpec spec;
+  spec.num_docs = kIngestDocs;
+  spec.vocab_size = kVocab;
+  spec.mean_unique_terms = 25.0;
+  spec.seed = 99;
+  const auto raw = corpus::GenerateRawCorpus(spec);
+  std::vector<serve::IngestDoc> docs(raw.num_docs);
+  for (TermId t = 0; t < raw.term_postings.size(); ++t) {
+    for (const index::RawPosting& p : raw.term_postings[t]) {
+      docs[p.doc].terms.push_back({t, p.tf});
+    }
+  }
+  for (std::uint32_t d = 0; d < raw.num_docs; ++d) {
+    docs[d].doc_len = std::max<std::uint32_t>(1, raw.doc_lengths[d]);
+  }
+  return docs;
+}
+
+/// Deterministic query mix over the popularity spectrum (the bench has
+/// no dataset query log; terms are picked like the test suite does).
+std::vector<std::vector<TermId>> MakeQueries(
+    const index::InvertedIndex& idx, std::size_t count,
+    std::size_t terms_per_query) {
+  std::vector<TermId> candidates;
+  for (TermId t = 0; t < idx.num_terms(); ++t) {
+    if (idx.Entry(t).df >= 8) candidates.push_back(t);
+  }
+  std::vector<std::vector<TermId>> queries;
+  const std::size_t stride =
+      std::max<std::size_t>(1, candidates.size() / (terms_per_query + 1));
+  for (std::size_t q = 0; q < count; ++q) {
+    std::vector<TermId> terms;
+    for (std::size_t i = 0; terms.size() < terms_per_query; ++i) {
+      const TermId t =
+          candidates[(q * 131 + (i + 1) * stride) % candidates.size()];
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    std::sort(terms.begin(), terms.end());
+    queries.push_back(std::move(terms));
+  }
+  return queries;
+}
+
+/// The crash-free converged index every configuration would settle to:
+/// main + every ingest doc, folded synchronously (exactly what
+/// LiveIndex::CompactNow publishes, built standalone).
+index::InvertedIndex MakeOracleIndex(
+    const std::vector<serve::IngestDoc>& docs) {
+  index::InvertedIndex main_idx = MakeMainIndex();
+  index::DeltaSegment delta(main_idx);
+  for (const auto& d : docs) delta.Add(d.terms, d.doc_len);
+  const index::InvertedIndex frozen = delta.Freeze();
+  return index::MergeSegments(main_idx, frozen);
+}
+
+serve::LiveServeConfig MakeConfig(double ingest_rate_dps,
+                                  std::size_t ingest_count) {
+  serve::LiveServeConfig config;
+  config.serve.arrivals.count = kQueryArrivals;
+  config.serve.arrivals.rate_qps = 2000.0;
+  config.serve.arrivals.seed = 11;
+  config.serve.slo = 50 * exec::kMillisecond;
+  config.ingest.arrivals.count = ingest_count;
+  config.ingest.arrivals.rate_qps =
+      ingest_rate_dps > 0.0 ? ingest_rate_dps : 1.0;
+  config.ingest.arrivals.seed = 12;
+  config.ingest.refresh_every_docs = 64;
+  config.ingest.merge_min_docs = 192;
+  config.ingest.merge_chunk_postings = 4096;
+  return config;
+}
+
+struct RunOutput {
+  serve::LiveServeResult result;
+  /// Mean recall of admitted queries against the converged oracle —
+  /// the staleness metric (unseen docs cap attainable recall).
+  double recall_vs_oracle = 0.0;
+  util::Histogram e2e_all;
+  util::Histogram e2e_in_merge;
+  util::Histogram e2e_outside;
+};
+
+RunOutput RunScenario(const serve::LiveServeConfig& config,
+                      const std::vector<std::vector<TermId>>& queries,
+                      const std::vector<serve::IngestDoc>& docs,
+                      const index::InvertedIndex& oracle,
+                      const sim::SimConfig& sim_config) {
+  index::LiveIndex live(MakeMainIndex());
+  sim::SimExecutor executor(sim_config);
+  const auto algo = algos::MakeAlgorithm("MaxScore");
+  SPARTA_CHECK(algo != nullptr);
+  topk::SearchParams params;
+  params.k = kTopK;
+  serve::LiveServer server(live, *algo, config);
+  RunOutput out;
+  out.result = server.ServeOnSim(executor, queries, docs, params);
+
+  double recall_sum = 0.0;
+  std::size_t recall_n = 0;
+  for (const auto& q : out.result.serve.queries) {
+    if (q.outcome != topk::AdmissionOutcome::kAdmitted) continue;
+    const auto exact = topk::ComputeExactTopK(
+        oracle, queries[q.query_index % queries.size()], kTopK);
+    recall_sum += topk::Recall(exact, q.result.entries);
+    ++recall_n;
+    const exec::VirtualTime e2e = q.EndToEnd();
+    out.e2e_all.Add(e2e);
+    if (out.result.OverlapsMerge(q.dispatch, q.completion)) {
+      out.e2e_in_merge.Add(e2e);
+    } else {
+      out.e2e_outside.Add(e2e);
+    }
+  }
+  out.recall_vs_oracle = recall_n > 0 ? recall_sum / recall_n : 0.0;
+  return out;
+}
+
+double Ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+double HistP99Ms(const util::Histogram& h) {
+  return h.empty() ? 0.0 : Ms(h.P99());
+}
+double HistMeanMs(const util::Histogram& h) {
+  return h.empty() ? 0.0 : h.Mean() / 1e6;
+}
+
+void Run() {
+  const auto docs = MakeIngestStream();
+  const auto main_idx = MakeMainIndex();
+  const auto queries = MakeQueries(main_idx, 24, 3);
+  const auto oracle = MakeOracleIndex(docs);
+
+  driver::Table table(
+      "live update: recall vs ingest rate, merge interference, recovery",
+      {"config", "recall_vs_oracle", "mean_ms", "p99_ms", "merge_p99_ms",
+       "merges", "recovery_ms"});
+  driver::BenchJson json("live_update");
+
+  struct Scenario {
+    const char* name;
+    double ingest_rate_dps;  // 0 = no ingest
+    double merge_abort_prob;
+    double torn_write_prob;
+  };
+  const Scenario scenarios[] = {
+      {"no_ingest", 0.0, 0.0, 0.0},
+      {"ingest_r10k", 10'000.0, 0.0, 0.0},
+      {"ingest_r40k", 40'000.0, 0.0, 0.0},
+      {"ingest_r40k_faults", 40'000.0, 0.4, 0.4},
+  };
+
+  for (const Scenario& s : scenarios) {
+    const bool ingest = s.ingest_rate_dps > 0.0;
+    const auto config =
+        MakeConfig(s.ingest_rate_dps, ingest ? docs.size() : 0);
+    sim::SimConfig sim_config;
+    sim_config.num_workers = kWorkers;
+    sim_config.faults.seed = 1;
+    sim_config.faults.merge_abort_prob = s.merge_abort_prob;
+    sim_config.faults.torn_write_prob = s.torn_write_prob;
+
+    const auto out = RunScenario(
+        config, queries, ingest ? docs : std::vector<serve::IngestDoc>{},
+        oracle, sim_config);
+    const auto& r = out.result;
+
+    const std::string name =
+        std::string(s.name) + "/w" + std::to_string(kWorkers);
+    json.Set(name, "recall_vs_oracle", out.recall_vs_oracle);
+    json.Set(name, "mean_virtual_ms", HistMeanMs(out.e2e_all));
+    json.Set(name, "p99_virtual_ms", HistP99Ms(out.e2e_all));
+    json.Set(name, "merge_overlap_p99_virtual_ms",
+             HistP99Ms(out.e2e_in_merge));
+    json.Set(name, "no_merge_p99_virtual_ms", HistP99Ms(out.e2e_outside));
+    json.Set(name, "docs_ingested", static_cast<double>(r.docs_ingested));
+    json.Set(name, "refreshes", static_cast<double>(r.refreshes));
+    json.Set(name, "merges_committed",
+             static_cast<double>(r.merges_committed));
+    json.Set(name, "merges_aborted",
+             static_cast<double>(r.merges_aborted));
+    json.Set(name, "torn_writes", static_cast<double>(r.torn_writes));
+    json.Set(name, "epochs_reclaimed",
+             static_cast<double>(r.epochs_reclaimed));
+
+    double recovery_mean_ms = 0.0;
+    double recovery_max_ms = 0.0;
+    if (!r.recovery_ns.empty()) {
+      util::Histogram rec;
+      for (const exec::VirtualTime ns : r.recovery_ns) rec.Add(ns);
+      recovery_mean_ms = rec.Mean() / 1e6;
+      recovery_max_ms = Ms(rec.Max());
+    }
+    json.Set(name, "recovery_mean_virtual_ms", recovery_mean_ms);
+    json.Set(name, "recovery_max_virtual_ms", recovery_max_ms);
+
+    table.AddRow({name, driver::FormatF(out.recall_vs_oracle, 4),
+                  driver::FormatF(HistMeanMs(out.e2e_all), 3),
+                  driver::FormatF(HistP99Ms(out.e2e_all), 3),
+                  driver::FormatF(HistP99Ms(out.e2e_in_merge), 3),
+                  std::to_string(r.merges.size()),
+                  driver::FormatF(recovery_mean_ms, 3)});
+    std::cerr << "  [live_update] " << name << " done\n";
+  }
+
+  Emit(table);
+  EmitJson(json);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::Run(); }

@@ -7,8 +7,9 @@
 #
 # --json-only: fast perf-gate mode. Runs only the benches whose
 # machine-readable output is gated by tools/bench_compare.py
-# (bench_contention, plus bench_micro for the uploaded wall-clock
-# artifact), writes into results/_fresh/ instead of results/ so the
+# (bench_contention and bench_live_update, plus bench_micro for the
+# uploaded wall-clock artifact), writes into results/_fresh/ instead of
+# results/ so the
 # committed baseline is never clobbered, then compares. This is what CI's
 # perf-smoke job runs.
 set -euo pipefail
@@ -40,9 +41,10 @@ BENCHES=(
   bench_contention
   bench_degradation
   bench_overload
+  bench_live_update
 )
 if [[ $json_only -eq 1 ]]; then
-  BENCHES=(bench_contention)
+  BENCHES=(bench_contention bench_live_update)
 fi
 
 # Fail fast on missing or stale binaries: every bench must exist and be
@@ -103,5 +105,5 @@ grep -q '^DONE_ALL$' bench_output.txt
 
 if [[ $json_only -eq 1 ]]; then
   python3 tools/bench_compare.py --baseline results --fresh results/_fresh \
-    --require contention
+    --require contention --require live_update
 fi

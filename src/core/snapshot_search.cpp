@@ -1,0 +1,116 @@
+#include "core/snapshot_search.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sparta::core {
+namespace {
+
+/// Drops terms a segment has never heard of (ids past its term table —
+/// possible when queries are drawn against a newer vocabulary than the
+/// segment was frozen with). In-vocabulary terms with df == 0 stay: the
+/// algorithms handle empty lists.
+std::vector<TermId> ClampTerms(const std::vector<TermId>& terms,
+                               const index::InvertedIndex& idx) {
+  std::vector<TermId> kept;
+  kept.reserve(terms.size());
+  for (const TermId t : terms) {
+    if (t < idx.num_terms()) kept.push_back(t);
+  }
+  return kept;
+}
+
+class SnapshotRun final : public topk::QueryRun {
+ public:
+  SnapshotRun(std::unique_ptr<topk::QueryRun> main_run,
+              std::unique_ptr<topk::QueryRun> delta_run,
+              std::uint32_t delta_doc_base, int k)
+      : main_(std::move(main_run)),
+        delta_(std::move(delta_run)),
+        delta_doc_base_(delta_doc_base),
+        k_(k) {}
+
+  void Start() override {
+    main_->Start();
+    if (delta_ != nullptr) delta_->Start();
+  }
+
+  topk::SearchResult TakeResult() override {
+    topk::SearchResult result = main_->TakeResult();
+    if (delta_ == nullptr) return result;
+    topk::SearchResult delta_result = delta_->TakeResult();
+
+    // Rebase delta docs into the global id space and merge the top-k
+    // candidates; scores are directly comparable (same scorer anchor,
+    // preserved bit-for-bit by segment merges).
+    for (topk::ResultEntry& entry : delta_result.entries) {
+      entry.doc += delta_doc_base_;
+      result.entries.push_back(entry);
+    }
+    topk::CanonicalizeResult(result.entries);
+    if (result.entries.size() > static_cast<std::size_t>(k_)) {
+      result.entries.resize(static_cast<std::size_t>(k_));
+    }
+
+    // Statuses are ordered by severity (kComplete < kDeadlineDegraded <
+    // kPartialAfterFault < kOom): the composed query is only as healthy
+    // as its sickest segment.
+    result.status = std::max(result.status, delta_result.status);
+
+    result.stats.postings_processed += delta_result.stats.postings_processed;
+    result.stats.postings_total += delta_result.stats.postings_total;
+    result.stats.heap_inserts += delta_result.stats.heap_inserts;
+    result.stats.docmap_peak_entries += delta_result.stats.docmap_peak_entries;
+    result.stats.random_accesses += delta_result.stats.random_accesses;
+    return result;
+  }
+
+ private:
+  std::unique_ptr<topk::QueryRun> main_;
+  std::unique_ptr<topk::QueryRun> delta_;  // null when no delta segment
+  std::uint32_t delta_doc_base_;
+  int k_;
+};
+
+}  // namespace
+
+std::unique_ptr<topk::QueryRun> PrepareSnapshotRun(
+    const topk::Algorithm& algo, const index::IndexSnapshot& snap,
+    const std::vector<TermId>& terms, const topk::SearchParams& params,
+    exec::QueryContext& ctx) {
+  SPARTA_CHECK(snap.main != nullptr);
+  auto main_run =
+      algo.Prepare(*snap.main, ClampTerms(terms, *snap.main), params, ctx);
+  std::unique_ptr<topk::QueryRun> delta_run;
+  if (snap.delta != nullptr && snap.delta->num_docs() > 0) {
+    std::vector<TermId> delta_terms = ClampTerms(terms, *snap.delta);
+    if (!delta_terms.empty()) {
+      delta_run =
+          algo.Prepare(*snap.delta, std::move(delta_terms), params, ctx);
+    }
+  }
+  return std::make_unique<SnapshotRun>(std::move(main_run),
+                                       std::move(delta_run),
+                                       snap.delta_doc_base, params.k);
+}
+
+topk::SearchResult SearchSnapshot(const topk::Algorithm& algo,
+                                  const index::IndexSnapshot& snap,
+                                  const std::vector<TermId>& terms,
+                                  const topk::SearchParams& params,
+                                  exec::QueryContext& ctx) {
+  auto run = PrepareSnapshotRun(algo, snap, terms, params, ctx);
+  if (params.deadline != exec::kNever) {
+    ctx.set_deadline(ctx.start_time() + params.deadline);
+  }
+  run->Start();
+  ctx.RunToCompletion();
+  topk::SearchResult result = run->TakeResult();
+  result.stats.latency = ctx.end_time() - ctx.start_time();
+  const exec::FaultStats faults = ctx.fault_stats();
+  result.stats.io_retries = faults.io_retries;
+  result.stats.faults_injected = faults.injected;
+  return result;
+}
+
+}  // namespace sparta::core

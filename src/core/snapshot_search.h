@@ -1,0 +1,45 @@
+// Searching a live-index snapshot: one query over {main, delta}.
+//
+// A pinned IndexSnapshot is at most two immutable segments. Rather than
+// teach every algorithm about segmentation, a SnapshotRun composes two
+// ordinary QueryRuns — one per segment, prepared by the same algorithm
+// on the same execution context, so their jobs interleave on the same
+// simulated machine — and merges at harvest: delta doc ids are rebased
+// by delta_doc_base, the union is canonicalized and truncated to k, the
+// statuses combine at max severity, and the work counters sum.
+//
+// Because segment merges preserve posting scores bit-for-bit
+// (MergeSegments), an exact algorithm run this way returns exactly what
+// it would return on the merged single-segment index — the snapshot
+// equivalence the live-update tests pin.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/context.h"
+#include "index/epoch.h"
+#include "topk/algorithm.h"
+#include "topk/params.h"
+#include "topk/result.h"
+
+namespace sparta::core {
+
+/// Prepares a composed run over `snap` (which the caller keeps pinned
+/// for the run's lifetime). Terms outside a segment's vocabulary are
+/// skipped for that segment; a delta-less snapshot degenerates to a
+/// plain single-segment run.
+std::unique_ptr<topk::QueryRun> PrepareSnapshotRun(
+    const topk::Algorithm& algo, const index::IndexSnapshot& snap,
+    const std::vector<TermId>& terms, const topk::SearchParams& params,
+    exec::QueryContext& ctx);
+
+/// Blocking convenience mirroring Algorithm::Run: prepare, start, drain
+/// the context, harvest, and fill latency/fault stats from the context.
+topk::SearchResult SearchSnapshot(const topk::Algorithm& algo,
+                                  const index::IndexSnapshot& snap,
+                                  const std::vector<TermId>& terms,
+                                  const topk::SearchParams& params,
+                                  exec::QueryContext& ctx);
+
+}  // namespace sparta::core

@@ -1,0 +1,187 @@
+#include "index/delta_segment.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "index/block_max.h"
+
+namespace sparta::index {
+
+DeltaSegment::DeltaSegment(const InvertedIndex& anchor, ScorerParams params)
+    : anchor_(&anchor),
+      scorer_(anchor.num_docs(), anchor.avg_doc_len(), params) {
+  SPARTA_CHECK_MSG(anchor.num_docs() > 0,
+                   "delta segment needs a non-empty anchor for scoring");
+  term_postings_.resize(anchor.num_terms());
+}
+
+DocId DeltaSegment::Add(std::span<const TermCount> terms,
+                        std::uint32_t doc_len) {
+  SPARTA_CHECK_MSG(doc_len > 0, "delta doc must have positive length");
+  const DocId local = static_cast<DocId>(doc_lengths_.size());
+  TermId prev = kInvalidTerm;
+  for (const TermCount& tc : terms) {
+    SPARTA_CHECK_MSG(tc.tf > 0, "delta posting must have positive tf");
+    SPARTA_CHECK_MSG(prev == kInvalidTerm || tc.term > prev,
+                     "delta doc terms must be sorted and unique");
+    SPARTA_CHECK(tc.term != kInvalidTerm);
+    prev = tc.term;
+    if (tc.term >= term_postings_.size()) {
+      term_postings_.resize(tc.term + 1);
+    }
+    term_postings_[tc.term].push_back(RawPosting{local, tc.tf});
+    ++num_postings_;
+  }
+  doc_lengths_.push_back(doc_len);
+  return local;
+}
+
+InvertedIndex DeltaSegment::Freeze() {
+  const auto num_docs = static_cast<std::uint32_t>(doc_lengths_.size());
+  SPARTA_CHECK_MSG(num_docs > 0, "cannot freeze an empty delta segment");
+  const std::size_t num_terms = term_postings_.size();
+
+  std::vector<TermEntry> entries(num_terms);
+  std::vector<Posting> doc_postings;
+  std::vector<Posting> impact_postings;
+  std::vector<BlockMeta> blocks;
+  doc_postings.reserve(num_postings_);
+  impact_postings.reserve(num_postings_);
+
+  std::vector<Posting> scratch;
+  for (TermId t = 0; t < num_terms; ++t) {
+    const std::vector<RawPosting>& raw = term_postings_[t];
+    const auto df = static_cast<std::uint32_t>(raw.size());
+    TermEntry& entry = entries[t];
+    entry.doc_off = doc_postings.size();
+    entry.impact_off = impact_postings.size();
+    entry.block_off = blocks.size();
+    entry.df = df;
+    if (df == 0) continue;
+
+    // Anchor-statistics scoring: N and avgdl come from the main segment,
+    // df is the anchor df plus the df observed here, so delta scores are
+    // comparable with main scores inside one snapshot.
+    const std::uint32_t anchor_df =
+        t < anchor_->num_terms() ? anchor_->Entry(t).df : 0;
+    const std::uint32_t df_for_idf = anchor_df + df;
+
+    scratch.clear();
+    scratch.reserve(df);
+    for (const RawPosting& rp : raw) {
+      const PackedScore s =
+          scorer_.TermScore(rp.tf, df_for_idf, doc_lengths_[rp.doc]);
+      scratch.push_back(Posting{rp.doc, s});
+      entry.max_score = std::max(entry.max_score, s);
+    }
+    doc_postings.insert(doc_postings.end(), scratch.begin(), scratch.end());
+    const auto term_blocks = BuildBlockMeta(
+        std::span<const Posting>(scratch.data(), scratch.size()));
+    entry.num_blocks = static_cast<std::uint32_t>(term_blocks.size());
+    blocks.insert(blocks.end(), term_blocks.begin(), term_blocks.end());
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Posting& a, const Posting& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    impact_postings.insert(impact_postings.end(), scratch.begin(),
+                           scratch.end());
+  }
+
+  std::uint64_t total_len = 0;
+  for (const auto len : doc_lengths_) total_len += len;
+  const double avg_doc_len =
+      std::max(1.0, static_cast<double>(total_len) /
+                        static_cast<double>(num_docs));
+
+  term_postings_.clear();
+  term_postings_.resize(anchor_->num_terms());
+  doc_lengths_.clear();
+  num_postings_ = 0;
+
+  return InvertedIndex::FromParts(num_docs, avg_doc_len, std::move(entries),
+                                  std::move(doc_postings),
+                                  std::move(impact_postings),
+                                  std::move(blocks));
+}
+
+InvertedIndex MergeSegments(const InvertedIndex& older,
+                            const InvertedIndex& newer) {
+  const std::uint32_t base = older.num_docs();
+  const std::uint32_t num_docs = base + newer.num_docs();
+  SPARTA_CHECK_MSG(num_docs > 0, "cannot merge two empty segments");
+  const std::size_t num_terms =
+      std::max(older.num_terms(), newer.num_terms());
+
+  std::vector<TermEntry> entries(num_terms);
+  std::vector<Posting> doc_postings;
+  std::vector<Posting> impact_postings;
+  std::vector<BlockMeta> blocks;
+  doc_postings.reserve(older.total_postings() + newer.total_postings());
+  impact_postings.reserve(older.total_postings() + newer.total_postings());
+
+  std::vector<Posting> scratch;
+  for (TermId t = 0; t < num_terms; ++t) {
+    const bool in_older = t < older.num_terms();
+    const bool in_newer = t < newer.num_terms();
+    const TermView old_view = in_older ? older.Term(t) : TermView{};
+    const TermView new_view = in_newer ? newer.Term(t) : TermView{};
+
+    TermEntry& entry = entries[t];
+    entry.doc_off = doc_postings.size();
+    entry.impact_off = impact_postings.size();
+    entry.block_off = blocks.size();
+    entry.df = static_cast<std::uint32_t>(old_view.doc_order.size() +
+                                          new_view.doc_order.size());
+    if (entry.df == 0) continue;
+    entry.max_score = std::max(old_view.max_score, new_view.max_score);
+
+    // Doc-ordered: older ids are unchanged, newer ids are rebased past
+    // them, so plain concatenation stays doc-sorted.
+    scratch.clear();
+    scratch.reserve(entry.df);
+    scratch.insert(scratch.end(), old_view.doc_order.begin(),
+                   old_view.doc_order.end());
+    for (const Posting& p : new_view.doc_order) {
+      scratch.push_back(Posting{p.doc + base, p.score});
+    }
+    doc_postings.insert(doc_postings.end(), scratch.begin(), scratch.end());
+    const auto term_blocks = BuildBlockMeta(
+        std::span<const Posting>(scratch.data(), scratch.size()));
+    entry.num_blocks = static_cast<std::uint32_t>(term_blocks.size());
+    blocks.insert(blocks.end(), term_blocks.begin(), term_blocks.end());
+
+    // Impact-ordered: both inputs already follow (score desc, doc asc);
+    // a two-way merge preserves that order over the rebased global ids
+    // without rescoring anything. Equal scores take the older posting
+    // first — its global ids are always below the rebased newer ones.
+    const std::span<const Posting> a = old_view.impact_order;
+    const std::span<const Posting> b = new_view.impact_order;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() || j < b.size()) {
+      const bool take_old =
+          j == b.size() ||
+          (i < a.size() && a[i].score >= b[j].score);
+      if (take_old) {
+        impact_postings.push_back(a[i++]);
+      } else {
+        impact_postings.push_back(Posting{b[j].doc + base, b[j].score});
+        ++j;
+      }
+    }
+  }
+
+  const double total_len =
+      older.avg_doc_len() * older.num_docs() +
+      newer.avg_doc_len() * newer.num_docs();
+  const double avg_doc_len =
+      std::max(1.0, total_len / static_cast<double>(num_docs));
+
+  return InvertedIndex::FromParts(num_docs, avg_doc_len, std::move(entries),
+                                  std::move(doc_postings),
+                                  std::move(impact_postings),
+                                  std::move(blocks));
+}
+
+}  // namespace sparta::index

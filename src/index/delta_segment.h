@@ -1,0 +1,80 @@
+// In-memory delta segment: where live document adds land (DESIGN.md §12).
+//
+// The main segment is immutable (that immutability is what every
+// retrieval algorithm and the mmap disk format are built on), so
+// incremental indexing follows the classic Lucene/LSM shape: adds
+// accumulate raw (term, tf) postings in a small mutable buffer, Freeze()
+// turns the buffer into a mini immutable InvertedIndex (doc-ordered +
+// impact-ordered lists + block-max metadata, exactly the main segment's
+// shape), and a background merge later folds frozen deltas into a new
+// main segment.
+//
+// Scoring: delta postings are scored against the *anchor* (main)
+// segment's collection statistics — N and avgdl from the anchor, df as
+// anchor df + local df — so delta scores are comparable with main
+// scores inside one snapshot. Scores are assigned once, at freeze time,
+// and never recomputed afterwards (like real engines between full
+// rebuilds); MergeSegments() below preserves them bit-for-bit, which is
+// what makes snapshot-equivalence testable: querying {main, delta}
+// returns exactly the merged index's results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/scorer.h"
+#include "index/types.h"
+
+namespace sparta::index {
+
+/// One (term, frequency) pair of an incoming document.
+struct TermCount {
+  TermId term = kInvalidTerm;
+  std::uint32_t tf = 0;
+};
+
+class DeltaSegment {
+ public:
+  /// `anchor` supplies the scoring statistics (N, avgdl, per-term df);
+  /// it must outlive the segment.
+  explicit DeltaSegment(const InvertedIndex& anchor,
+                        ScorerParams params = {});
+
+  /// Adds one document. `terms` must be sorted by term id, duplicate
+  /// free, with positive frequencies. Returns the segment-local doc id
+  /// (dense, insertion order).
+  DocId Add(std::span<const TermCount> terms, std::uint32_t doc_len);
+
+  std::uint32_t num_docs() const {
+    return static_cast<std::uint32_t>(doc_lengths_.size());
+  }
+  std::uint64_t num_postings() const { return num_postings_; }
+  bool empty() const { return doc_lengths_.empty(); }
+
+  /// Freezes the buffered documents into an immutable mini-index scored
+  /// against the anchor statistics, leaving the segment empty. The
+  /// frozen index has max(anchor terms, terms seen) term entries so the
+  /// anchor's term-id space stays valid against it.
+  InvertedIndex Freeze();
+
+ private:
+  const InvertedIndex* anchor_;
+  Scorer scorer_;
+  /// term -> raw postings, doc-sorted by construction (local ids are
+  /// assigned in insertion order).
+  std::vector<std::vector<RawPosting>> term_postings_;
+  std::vector<std::uint32_t> doc_lengths_;
+  std::uint64_t num_postings_ = 0;
+};
+
+/// Merges two immutable segments into one, renumbering `newer`'s docs to
+/// follow `older`'s (global id = older.num_docs() + local id). Posting
+/// scores are copied verbatim — never rescored — so top-k results over
+/// the merged segment equal the merged per-segment results. Works for
+/// main+delta merges and for delta+delta refreezes alike.
+InvertedIndex MergeSegments(const InvertedIndex& older,
+                            const InvertedIndex& newer);
+
+}  // namespace sparta::index

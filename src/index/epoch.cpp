@@ -1,0 +1,98 @@
+#include "index/epoch.h"
+
+#include <algorithm>
+
+namespace sparta::index {
+
+void EpochManager::Pin::Release() {
+  if (mgr_ != nullptr && snap_ != nullptr) {
+    mgr_->ReleasePin(snap_->epoch);
+  }
+  mgr_ = nullptr;
+  snap_.reset();
+}
+
+EpochManager::EpochManager(IndexSnapshot initial)
+    : current_(std::make_shared<IndexSnapshot>(std::move(initial))) {}
+
+EpochManager::Pin EpochManager::Acquire() {
+  const util::MutexLock guard(mutex_);
+  ++pins_[current_->epoch];
+  return Pin(this, current_);
+}
+
+void EpochManager::Publish(IndexSnapshot next) {
+  const util::MutexLock guard(mutex_);
+  SPARTA_CHECK_MSG(next.epoch > current_->epoch,
+                   "snapshot epochs must be monotone");
+  retired_.push_back({current_->epoch, std::move(current_)});
+  current_ = std::make_shared<IndexSnapshot>(std::move(next));
+}
+
+std::size_t EpochManager::Collect() {
+  const util::MutexLock guard(mutex_);
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < retired_.size();) {
+    const auto it = pins_.find(retired_[i].epoch);
+    if (it == pins_.end() || it->second == 0) {
+      retired_.erase(retired_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++freed;
+    } else {
+      ++i;
+    }
+  }
+  reclaimed_ += freed;
+  return freed;
+}
+
+std::size_t EpochManager::Collect(exec::WorkerContext& worker) {
+  const util::MutexLock guard(mutex_);
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < retired_.size();) {
+    const std::uint64_t epoch = retired_[i].epoch;
+    const auto it = pins_.find(epoch);
+    if (it == pins_.end() || it->second == 0) {
+      // The write side of the epoch-table shadow: reclaiming an epoch
+      // conflicts with any reader still shadow-reading its slot unless
+      // both hold the epoch CtxLock.
+      worker.ShadowAccess(shadow_slot(epoch), exec::AccessKind::kWrite);
+      retired_.erase(retired_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++freed;
+    } else {
+      ++i;
+    }
+  }
+  reclaimed_ += freed;
+  return freed;
+}
+
+std::uint64_t EpochManager::current_epoch() const {
+  const util::MutexLock guard(mutex_);
+  return current_->epoch;
+}
+
+std::uint64_t EpochManager::pins(std::uint64_t epoch) const {
+  const util::MutexLock guard(mutex_);
+  const auto it = pins_.find(epoch);
+  return it != pins_.end() ? it->second : 0;
+}
+
+std::size_t EpochManager::retired() const {
+  const util::MutexLock guard(mutex_);
+  return retired_.size();
+}
+
+std::uint64_t EpochManager::reclaimed() const {
+  const util::MutexLock guard(mutex_);
+  return reclaimed_;
+}
+
+void EpochManager::ReleasePin(std::uint64_t epoch) {
+  const util::MutexLock guard(mutex_);
+  const auto it = pins_.find(epoch);
+  SPARTA_CHECK_MSG(it != pins_.end() && it->second > 0,
+                   "unbalanced epoch pin release");
+  if (--it->second == 0) pins_.erase(it);
+}
+
+}  // namespace sparta::index

@@ -1,0 +1,161 @@
+// Epoch-based snapshot reclamation for the live index (DESIGN.md §12).
+//
+// Every in-flight query pins one immutable IndexSnapshot — the pair
+// {main segment, frozen delta} published at some epoch — and keeps
+// reading it until it drains, no matter how many refreshes or merges
+// publish newer epochs meanwhile. The manager keeps a per-epoch pin
+// table; Publish() retires the previous snapshot and Collect() reclaims
+// retired snapshots only once their pin count has dropped to zero, so a
+// reader can never observe a snapshot being torn down under it.
+//
+// Two independent enforcement layers check that discipline:
+//   * SPARTA_* annotations — the pin table and retired list are
+//     SPARTA_GUARDED_BY an annotated util::Mutex, so every access path
+//     is checked by clang -Wthread-safety (CI's lint-static job) and is
+//     genuinely thread-safe for the real-thread ingest stress test.
+//   * a race-detector shadow — each epoch owns a shadow slot
+//     (shadow_slot()). Query jobs shadow-READ their pinned epoch's slot
+//     and reclamation shadow-WRITEs it (Collect(worker)), both under the
+//     serving layer's epoch CtxLock; a reclaim that races a pinned
+//     reader (no common lock, no fork edge) is reported by the
+//     deterministic race detector exactly like any data race
+//     (tests/test_live_index.cpp proves both directions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "exec/context.h"
+#include "index/inverted_index.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace sparta::index {
+
+/// A consistent, immutable two-segment view of the live index. Queries
+/// search `main` and (when present) `delta`, rebasing delta doc ids by
+/// `delta_doc_base`; posting scores are preserved bit-for-bit across
+/// merges, so the merged index returns exactly the merged per-segment
+/// results (snapshot equivalence, tested in test_live_index.cpp).
+struct IndexSnapshot {
+  std::shared_ptr<const InvertedIndex> main;
+  /// Frozen delta segment, or null right after a merge publish.
+  std::shared_ptr<const InvertedIndex> delta;
+  /// Global doc id of the delta's local doc 0 (== main->num_docs()).
+  std::uint32_t delta_doc_base = 0;
+  /// Publication epoch (monotone; bumped by Refresh and merge publish).
+  std::uint64_t epoch = 0;
+
+  std::uint32_t num_docs() const {
+    return (main != nullptr ? main->num_docs() : 0) +
+           (delta != nullptr ? delta->num_docs() : 0);
+  }
+};
+
+class EpochManager {
+ public:
+  /// RAII pin: while alive, the pinned snapshot's epoch cannot be
+  /// reclaimed (and the shared_ptr keeps the segments alive regardless —
+  /// the pin table is what makes the reclamation *protocol* checkable).
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept
+        : mgr_(other.mgr_), snap_(std::move(other.snap_)) {
+      other.mgr_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        mgr_ = other.mgr_;
+        snap_ = std::move(other.snap_);
+        other.mgr_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+    bool valid() const { return snap_ != nullptr; }
+    const IndexSnapshot& operator*() const { return *snap_; }
+    const IndexSnapshot* operator->() const { return snap_.get(); }
+    std::shared_ptr<const IndexSnapshot> snapshot() const { return snap_; }
+
+    /// Unpins early (idempotent; the destructor calls it).
+    void Release();
+
+   private:
+    friend class EpochManager;
+    Pin(EpochManager* mgr, std::shared_ptr<const IndexSnapshot> snap)
+        : mgr_(mgr), snap_(std::move(snap)) {}
+
+    EpochManager* mgr_ = nullptr;
+    std::shared_ptr<const IndexSnapshot> snap_;
+  };
+
+  explicit EpochManager(IndexSnapshot initial);
+
+  /// Pins the currently published snapshot.
+  Pin Acquire();
+
+  /// Publishes `next` (its epoch must exceed the current one) and
+  /// retires the previously published snapshot.
+  void Publish(IndexSnapshot next);
+
+  /// Reclaims retired snapshots with zero pins. Returns how many were
+  /// reclaimed in this call.
+  std::size_t Collect();
+
+  /// Collect() variant for race-checked runs: emits a shadow WRITE on
+  /// each reclaimed epoch's slot through `worker`. The caller must hold
+  /// the serving layer's epoch CtxLock (the same one readers hold for
+  /// ShadowPin), or the detector will report the reclaim as racing any
+  /// concurrent pinned reader — which is the point.
+  std::size_t Collect(exec::WorkerContext& worker);
+
+  /// Emits the reader-side shadow READ on `epoch`'s slot. Query jobs
+  /// call this once after pinning, under the epoch CtxLock.
+  void ShadowPin(exec::WorkerContext& worker, std::uint64_t epoch) {
+    worker.ShadowAccess(shadow_slot(epoch), exec::AccessKind::kRead);
+  }
+
+  std::uint64_t current_epoch() const;
+  /// Live pins on `epoch`.
+  std::uint64_t pins(std::uint64_t epoch) const;
+  /// Retired snapshots not yet reclaimed.
+  std::size_t retired() const;
+  /// Total snapshots reclaimed so far.
+  std::uint64_t reclaimed() const;
+
+  /// Address identifying `epoch` for the race-detector shadow (stable
+  /// for the manager's lifetime; epochs alias mod the table size, far
+  /// beyond any plausible pin overlap).
+  const void* shadow_slot(std::uint64_t epoch) const {
+    return &shadow_slots_[epoch % kShadowSlots];
+  }
+
+ private:
+  static constexpr std::size_t kShadowSlots = 64;
+
+  struct Retired {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const IndexSnapshot> snap;
+  };
+
+  void ReleasePin(std::uint64_t epoch);
+
+  mutable util::Mutex mutex_;
+  std::shared_ptr<const IndexSnapshot> current_ SPARTA_GUARDED_BY(mutex_);
+  /// epoch -> live pin count; erased at zero so the map stays small.
+  std::map<std::uint64_t, std::uint64_t> pins_ SPARTA_GUARDED_BY(mutex_);
+  std::vector<Retired> retired_ SPARTA_GUARDED_BY(mutex_);
+  std::uint64_t reclaimed_ SPARTA_GUARDED_BY(mutex_) = 0;
+  /// Shadow table: never dereferenced, only its element addresses feed
+  /// the race detector.
+  std::uint64_t shadow_slots_[kShadowSlots] = {};
+};
+
+}  // namespace sparta::index

@@ -1,0 +1,172 @@
+#include "index/live_index.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "index/disk_format.h"
+
+namespace sparta::index {
+namespace {
+
+/// Flips one byte in the middle of `path`'s body — the torn-write model:
+/// the write syscall "succeeded" but the bytes on disk are not the bytes
+/// handed to it. Validation (checksums) must catch this.
+bool CorruptFileBody(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return false;
+  bool ok = std::fseek(f, 0, SEEK_END) == 0;
+  const long size = ok ? std::ftell(f) : -1;
+  ok = ok && size > 0;
+  if (ok) {
+    const long at = size / 2;
+    ok = std::fseek(f, at, SEEK_SET) == 0;
+    int byte = ok ? std::fgetc(f) : EOF;
+    ok = ok && byte != EOF;
+    if (ok) {
+      ok = std::fseek(f, at, SEEK_SET) == 0;
+      const int flipped = (byte ^ 0x5a) & 0xff;
+      ok = ok && std::fputc(flipped, f) == flipped;
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+LiveIndex::LiveIndex(InvertedIndex main, LiveIndexConfig config)
+    : config_(std::move(config)),
+      main_(std::make_shared<const InvertedIndex>(std::move(main))),
+      // epochs_ is declared after the segment mirrors on purpose: the
+      // initial snapshot (epoch 0, main only) is built from main_ here.
+      epochs_(IndexSnapshot{main_, nullptr, main_->num_docs(), 0}) {
+  // Construction is single-threaded by definition; entering the writer
+  // domain here keeps the capability analysis satisfied and asserts the
+  // no-reentrancy contract from the first touch.
+  const util::SerialGuard guard(writer_);
+  active_anchor_ = main_;
+  active_ = std::make_unique<DeltaSegment>(*active_anchor_, config_.scorer);
+}
+
+DocId LiveIndex::Add(std::span<const TermCount> terms,
+                     std::uint32_t doc_len) {
+  const std::uint32_t base =
+      main_->num_docs() + (frozen_ != nullptr ? frozen_->num_docs() : 0);
+  return base + active_->Add(terms, doc_len);
+}
+
+std::uint32_t LiveIndex::buffered_docs() const { return active_->num_docs(); }
+
+bool LiveIndex::Refresh() {
+  if (active_->empty()) return false;
+  if (merge_in_flight_) return false;
+  InvertedIndex fresh = active_->Freeze();
+  if (frozen_ != nullptr) {
+    // Fold into the existing frozen delta so a snapshot never carries
+    // more than two segments. Fresh local ids land after the old frozen
+    // ones — exactly the global ids Add() already promised.
+    fresh = MergeSegments(*frozen_, std::move(fresh));
+  }
+  frozen_ = std::make_shared<const InvertedIndex>(std::move(fresh));
+  // Re-anchor the (now empty) active delta to the current main segment.
+  active_anchor_ = main_;
+  active_ = std::make_unique<DeltaSegment>(*active_anchor_, config_.scorer);
+  ++refreshes_;
+  epochs_.Publish(
+      IndexSnapshot{main_, frozen_, main_->num_docs(), next_epoch_++});
+  return true;
+}
+
+bool LiveIndex::CanMerge() const {
+  return frozen_ != nullptr && !merge_in_flight_;
+}
+
+IndexSnapshot LiveIndex::BeginMerge() {
+  SPARTA_CHECK_MSG(CanMerge(), "BeginMerge requires a frozen delta and no "
+                               "merge in flight");
+  merge_in_flight_ = true;
+  return IndexSnapshot{main_, frozen_, main_->num_docs(),
+                       epochs_.current_epoch()};
+}
+
+MergeOutcome LiveIndex::CommitMerge(InvertedIndex merged, bool abort_fault,
+                                    bool torn_write_fault) {
+  SPARTA_CHECK_MSG(merge_in_flight_, "CommitMerge without BeginMerge");
+  merge_in_flight_ = false;
+  if (abort_fault) {
+    // Crash before the segment write: nothing was published, nothing
+    // was persisted — the rollback is simply not touching anything.
+    ++merges_aborted_;
+    return MergeOutcome::kAborted;
+  }
+  return PublishMerged(std::move(merged), torn_write_fault);
+}
+
+MergeOutcome LiveIndex::PublishMerged(InvertedIndex merged,
+                                      bool torn_write_fault) {
+  SPARTA_CHECK_MSG(merged.num_docs() ==
+                       main_->num_docs() + frozen_->num_docs(),
+                   "merged segment does not cover main + frozen delta");
+  std::shared_ptr<const InvertedIndex> next_main;
+  if (!config_.persist_path.empty()) {
+    // Build-then-swap through the disk format: write the temporary,
+    // (maybe) tear it, checksum-validate, and only rename over the old
+    // index if validation passed. The published main becomes the
+    // validated mmap-backed load, like a real engine reopening the
+    // segment it just wrote.
+    const std::string tmp = config_.persist_path + ".tmp";
+    if (!SaveIndex(merged, tmp)) {
+      std::remove(tmp.c_str());
+      ++torn_writes_;
+      return MergeOutcome::kTornWrite;
+    }
+    if (torn_write_fault && !CorruptFileBody(tmp)) {
+      std::remove(tmp.c_str());
+      ++torn_writes_;
+      return MergeOutcome::kTornWrite;
+    }
+    auto loaded = LoadIndex(tmp);
+    if (!loaded.has_value()) {
+      std::remove(tmp.c_str());
+      ++torn_writes_;
+      return MergeOutcome::kTornWrite;
+    }
+    if (std::rename(tmp.c_str(), config_.persist_path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      ++torn_writes_;
+      return MergeOutcome::kTornWrite;
+    }
+    next_main = std::make_shared<const InvertedIndex>(*std::move(loaded));
+  } else {
+    if (torn_write_fault) {
+      // No disk configured: model the torn write as a failed publish of
+      // the in-memory segment — same rollback, no filesystem.
+      ++torn_writes_;
+      return MergeOutcome::kTornWrite;
+    }
+    next_main = std::make_shared<const InvertedIndex>(std::move(merged));
+  }
+  main_ = std::move(next_main);
+  frozen_.reset();
+  ++merges_committed_;
+  epochs_.Publish(
+      IndexSnapshot{main_, nullptr, main_->num_docs(), next_epoch_++});
+  return MergeOutcome::kCommitted;
+}
+
+bool LiveIndex::merge_in_flight() const { return merge_in_flight_; }
+
+void LiveIndex::CompactNow() {
+  SPARTA_CHECK_MSG(!merge_in_flight_, "CompactNow during a merge");
+  Refresh();
+  while (CanMerge()) {
+    const IndexSnapshot snap = BeginMerge();
+    InvertedIndex merged = MergeSegments(*snap.main, *snap.delta);
+    const MergeOutcome outcome = CommitMerge(std::move(merged));
+    SPARTA_CHECK_MSG(outcome == MergeOutcome::kCommitted,
+                     "fault-free compaction must commit");
+    Refresh();  // anything added meanwhile (none in synchronous use)
+  }
+}
+
+}  // namespace sparta::index

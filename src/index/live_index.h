@@ -1,0 +1,194 @@
+// LiveIndex: the mutable top of the live-update path (DESIGN.md §12).
+//
+// Composition of the pieces below it: document adds land in an active
+// DeltaSegment; Refresh() freezes the active delta and publishes a new
+// {main, frozen delta} IndexSnapshot through the EpochManager; a merge
+// (driven externally, typically as background jobs on the serving
+// executor) folds the frozen delta into a new immutable main segment and
+// publishes {merged, no delta}. Readers never see any of this happen:
+// they pin a snapshot, search it, and unpin — epochs make reclamation
+// safe, immutability makes the reads safe.
+//
+// Single-writer discipline: all mutating entry points run under one
+// util::SerialDomain — in the sim that is the host thread between Drain
+// steps or a single merge job; the real-thread ingest stress test uses
+// one writer thread. Readers only touch the EpochManager (internally
+// locked), so AcquireSnapshot() is safe from any thread.
+//
+// Crash consistency: CommitMerge publishes build-then-swap, never in
+// place. With a persist path the merged segment goes through
+// AtomicSaveIndex (write temporary, fsync, checksum-validate, rename);
+// an injected torn write corrupts the temporary before validation, which
+// must then fail, roll back to the published snapshot and leave the old
+// on-disk index intact. Without a persist path the same outcomes are
+// modeled in memory. Either way an abort leaves every published epoch
+// exactly as it was — the rollback test replays the same seed and gets
+// bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "index/delta_segment.h"
+#include "index/epoch.h"
+#include "index/inverted_index.h"
+#include "util/serial_domain.h"
+#include "util/thread_annotations.h"
+
+namespace sparta::index {
+
+struct LiveIndexConfig {
+  ScorerParams scorer;
+  /// When non-empty, committed merges persist the new main segment here
+  /// via AtomicSaveIndex and the published main is the validated,
+  /// mmap-backed load of that file. Empty = in-memory only.
+  std::string persist_path;
+};
+
+/// How one CommitMerge ended.
+enum class MergeOutcome : std::uint8_t {
+  /// New main segment published (and persisted when configured).
+  kCommitted,
+  /// Injected merge abort before the write: published snapshot untouched.
+  kAborted,
+  /// The written segment failed checksum validation (torn write):
+  /// temporary discarded, published snapshot untouched.
+  kTornWrite,
+};
+
+constexpr const char* MergeOutcomeName(MergeOutcome outcome) {
+  switch (outcome) {
+    case MergeOutcome::kCommitted:
+      return "committed";
+    case MergeOutcome::kAborted:
+      return "aborted";
+    case MergeOutcome::kTornWrite:
+      return "torn-write";
+  }
+  return "unknown";
+}
+
+class LiveIndex {
+ public:
+  explicit LiveIndex(InvertedIndex main, LiveIndexConfig config = {});
+
+  // --- reader side (any thread) ---
+
+  /// Pins the currently published snapshot; the query searches exactly
+  /// this view until the pin is released, across any number of
+  /// refreshes and merges.
+  EpochManager::Pin AcquireSnapshot() { return epochs_.Acquire(); }
+
+  std::uint64_t published_epoch() const { return epochs_.current_epoch(); }
+
+  EpochManager& epochs() { return epochs_; }
+
+  // --- writer side (single mutator, SerialDomain-checked) ---
+
+  /// Adds one document to the active delta. Returns its global doc id,
+  /// valid in every snapshot published once the doc becomes visible
+  /// (after the next Refresh).
+  DocId Add(std::span<const TermCount> terms, std::uint32_t doc_len)
+      SPARTA_REQUIRES(writer_);
+
+  /// Docs buffered in the active delta (not yet visible to queries).
+  std::uint32_t buffered_docs() const SPARTA_REQUIRES(writer_);
+
+  /// Postings buffered in the active delta (the freeze-cost driver the
+  /// serving loop charges when a Refresh runs inside an ingest job).
+  std::uint64_t buffered_postings() const SPARTA_REQUIRES(writer_) {
+    return active_->num_postings();
+  }
+
+  /// Docs in the frozen delta (0 when none) — the merge-trigger signal.
+  std::uint32_t frozen_docs() const SPARTA_REQUIRES(writer_) {
+    return frozen_ != nullptr ? frozen_->num_docs() : 0;
+  }
+
+  /// Freezes the active delta and publishes a new snapshot containing
+  /// it. With an existing frozen delta the two are folded into one
+  /// (MergeSegments) so a snapshot never carries more than two segments.
+  /// Returns false — publishing nothing — when the active delta is
+  /// empty, or while a merge is in flight (the merge would lose the
+  /// refreeze; adds keep accumulating and the refresh happens after
+  /// CommitMerge).
+  bool Refresh() SPARTA_REQUIRES(writer_);
+
+  /// True when a frozen delta exists and no merge is running.
+  bool CanMerge() const SPARTA_REQUIRES(writer_);
+
+  /// Marks a merge in flight and returns the snapshot to fold (callers
+  /// run MergeSegments(*main, *delta) on it, typically in background
+  /// jobs). Requires CanMerge().
+  IndexSnapshot BeginMerge() SPARTA_REQUIRES(writer_);
+
+  /// Completes the merge started by BeginMerge. `merged` must be the
+  /// fold of that snapshot. `abort_fault` models a merge crash before
+  /// the segment write; `torn_write_fault` corrupts the written
+  /// temporary so checksum validation must catch it (modeled in memory
+  /// when no persist path is configured). On anything but kCommitted the
+  /// published snapshot and the on-disk index are untouched and the
+  /// frozen delta stays queued for the next merge.
+  MergeOutcome CommitMerge(InvertedIndex merged, bool abort_fault = false,
+                           bool torn_write_fault = false)
+      SPARTA_REQUIRES(writer_);
+
+  bool merge_in_flight() const SPARTA_REQUIRES(writer_);
+
+  /// Synchronous, fault-free fold of everything buffered into one main
+  /// segment (refresh + merge + commit, repeated until no delta
+  /// remains). The benchmark oracle: the index a crash-free system would
+  /// converge to. Requires no merge in flight.
+  void CompactNow() SPARTA_REQUIRES(writer_);
+
+  // --- counters (writer domain) ---
+  std::uint64_t merges_committed() const SPARTA_REQUIRES(writer_) {
+    return merges_committed_;
+  }
+  std::uint64_t merges_aborted() const SPARTA_REQUIRES(writer_) {
+    return merges_aborted_;
+  }
+  std::uint64_t torn_writes() const SPARTA_REQUIRES(writer_) {
+    return torn_writes_;
+  }
+  std::uint64_t refreshes() const SPARTA_REQUIRES(writer_) {
+    return refreshes_;
+  }
+
+  /// The single-writer capability; entry points take a SerialGuard on it.
+  util::SerialDomain& writer() SPARTA_RETURN_CAPABILITY(writer_) {
+    return writer_;
+  }
+
+ private:
+  MergeOutcome PublishMerged(InvertedIndex merged, bool torn_write_fault)
+      SPARTA_REQUIRES(writer_);
+
+  util::SerialDomain writer_;
+  LiveIndexConfig config_;
+
+  /// Mirrors of the published snapshot's segments (the EpochManager owns
+  /// publication; these keep the writer's view without re-locking).
+  std::shared_ptr<const InvertedIndex> main_ SPARTA_GUARDED_BY(writer_);
+  std::shared_ptr<const InvertedIndex> frozen_ SPARTA_GUARDED_BY(writer_);
+
+  /// Active delta plus the anchor its scorer is bound to. The anchor may
+  /// lag the published main by one merge (scores freeze against the
+  /// stats current when the delta was created — real engines do the
+  /// same between rebuilds); the shared_ptr keeps it alive regardless.
+  std::shared_ptr<const InvertedIndex> active_anchor_
+      SPARTA_GUARDED_BY(writer_);
+  std::unique_ptr<DeltaSegment> active_ SPARTA_GUARDED_BY(writer_);
+
+  bool merge_in_flight_ SPARTA_GUARDED_BY(writer_) = false;
+  std::uint64_t next_epoch_ SPARTA_GUARDED_BY(writer_) = 1;
+  std::uint64_t merges_committed_ SPARTA_GUARDED_BY(writer_) = 0;
+  std::uint64_t merges_aborted_ SPARTA_GUARDED_BY(writer_) = 0;
+  std::uint64_t torn_writes_ SPARTA_GUARDED_BY(writer_) = 0;
+  std::uint64_t refreshes_ SPARTA_GUARDED_BY(writer_) = 0;
+
+  EpochManager epochs_;
+};
+
+}  // namespace sparta::index

@@ -30,6 +30,10 @@ const char* SpanKindName(SpanKind kind) {
       return "finalize";
     case SpanKind::kAdmissionWait:
       return "admission.wait";
+    case SpanKind::kMergeBuild:
+      return "merge.build";
+    case SpanKind::kDeltaFreeze:
+      return "delta.freeze";
   }
   return "span";
 }
@@ -50,6 +54,12 @@ const char* InstantKindName(InstantKind kind) {
       return "ladder.rung";
     case InstantKind::kBreakerState:
       return "breaker.state";
+    case InstantKind::kMergePublish:
+      return "merge.publish";
+    case InstantKind::kMergeAbort:
+      return "merge.abort";
+    case InstantKind::kEpochReclaim:
+      return "epoch.reclaim";
   }
   return "instant";
 }
@@ -79,6 +89,10 @@ const char* SpanArgName(SpanKind kind, int slot) {
       return slot == 0 ? "scanned" : "arg";
     case SpanKind::kAdmissionWait:
       return slot == 0 ? "record" : "rung";
+    case SpanKind::kMergeBuild:
+      return slot == 0 ? "chunk" : "postings";
+    case SpanKind::kDeltaFreeze:
+      return slot == 0 ? "docs" : "postings";
   }
   return slot == 0 ? "a" : "b";
 }
@@ -97,6 +111,12 @@ const char* InstantArgName(InstantKind kind, int slot) {
       return slot == 0 ? "rung" : "record";
     case InstantKind::kBreakerState:
       return slot == 0 ? "state" : "arg";
+    case InstantKind::kMergePublish:
+      return slot == 0 ? "epoch" : "docs";
+    case InstantKind::kMergeAbort:
+      return slot == 0 ? "epoch" : "outcome";
+    case InstantKind::kEpochReclaim:
+      return slot == 0 ? "reclaimed" : "epoch";
   }
   return slot == 0 ? "a" : "b";
 }

@@ -51,6 +51,9 @@ enum class SpanKind : std::uint8_t {
   kMerge,         ///< local-heap / shard-result merge job
   kFinalize,      ///< accumulator sweep building the final heap
   kAdmissionWait, ///< admission-queue wait (serving track)
+  // Appended (not inserted) so pre-live-update traces keep their codes.
+  kMergeBuild,    ///< one live-index merge chunk job
+  kDeltaFreeze,   ///< freezing the active delta segment (refresh)
 };
 
 /// Point events.
@@ -62,6 +65,10 @@ enum class InstantKind : std::uint8_t {
   kBreakerDrop,     ///< dropped: circuit breaker open
   kLadderRung,      ///< degradation-ladder rung changed at dispatch
   kBreakerState,    ///< observed breaker state changed
+  // Appended (not inserted) so pre-live-update traces keep their codes.
+  kMergePublish,    ///< live-index merge committed a new main segment
+  kMergeAbort,      ///< live-index merge aborted (crash or torn write)
+  kEpochReclaim,    ///< retired snapshot epochs reclaimed
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -1,0 +1,141 @@
+// Live serving: queries and document ingest on one simulated machine.
+//
+// The plain Server assumes a frozen index. This loop serves the same
+// open-loop query traffic *while documents arrive*: ingest events land
+// in a LiveIndex's active delta, periodic refreshes publish new
+// snapshots, and background merges fold the frozen delta into a new
+// main segment — all as jobs on the same SimExecutor, so merge work is
+// background load the admission controller and degradation ladder see
+// as queue pressure, exactly like any other work (DESIGN.md §12).
+//
+// Consistency protocol per query: the dispatch path pins the published
+// snapshot (EpochManager::Acquire), a first job shadow-READs the pinned
+// epoch's slot under the shared epoch CtxLock, and the query searches
+// the pinned {main, delta} pair through core::PrepareSnapshotRun. Merge
+// publication and epoch reclamation run in merge jobs under the same
+// lock (shadow-WRITE per reclaimed epoch), so the deterministic race
+// detector checks the reclamation protocol on every race_check run.
+//
+// Crash consistency: each merge's final job draws the injected
+// merge-abort / torn-write faults from the executor's seeded fault plan
+// and routes them through LiveIndex::CommitMerge, which publishes
+// build-then-swap or rolls back to the last good snapshot. Both
+// outcomes land in the trace (merge.publish / merge.abort instants) and
+// in MergeRecords, from which recovery time is measured.
+//
+// Determinism: with ingest disabled (zero docs) this loop reduces to
+// the plain serving loop — same decisions, same trace — and with
+// ingest enabled every run is bit-reproducible per (arrival seed, fault
+// seed) pair.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/delta_segment.h"
+#include "index/live_index.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "sim/sim_executor.h"
+#include "topk/algorithm.h"
+
+namespace sparta::serve {
+
+/// One incoming document of the ingest stream (arrival i ingests doc
+/// i mod docs.size(), mirroring the query span convention).
+struct IngestDoc {
+  std::vector<index::TermCount> terms;  ///< sorted by term id, unique
+  std::uint32_t doc_len = 0;
+};
+
+struct IngestConfig {
+  /// Document arrival schedule (count = documents offered). Seeded
+  /// independently of the query schedule.
+  ArrivalConfig arrivals;
+  /// Freeze + publish the active delta once it holds this many docs.
+  std::size_t refresh_every_docs = 64;
+  /// Begin a background merge once the frozen delta holds this many
+  /// docs (and no merge is in flight).
+  std::size_t merge_min_docs = 256;
+  /// Virtual postings charged per merge chunk job — the granularity at
+  /// which merge work interleaves with query jobs.
+  std::uint64_t merge_chunk_postings = 4096;
+  /// Master switch for background merges (refreshes still publish).
+  bool merge_enabled = true;
+};
+
+struct LiveServeConfig {
+  ServeConfig serve;
+  IngestConfig ingest;
+};
+
+/// One background merge attempt, on the serving clock.
+struct MergeRecord {
+  exec::VirtualTime begin = 0;
+  exec::VirtualTime end = 0;
+  index::MergeOutcome outcome = index::MergeOutcome::kCommitted;
+  /// Epoch published by the commit (unchanged published epoch for
+  /// aborted / torn-write attempts).
+  std::uint64_t epoch = 0;
+  /// Docs the merged segment would hold.
+  std::uint32_t docs = 0;
+};
+
+struct LiveServeResult {
+  ServeResult serve;
+
+  std::size_t docs_offered = 0;
+  std::size_t docs_ingested = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t merges_committed = 0;
+  std::uint64_t merges_aborted = 0;
+  std::uint64_t torn_writes = 0;
+  /// Final published epoch / total snapshots reclaimed.
+  std::uint64_t epochs_published = 0;
+  std::uint64_t epochs_reclaimed = 0;
+
+  std::vector<MergeRecord> merges;
+  /// Per failed merge attempt: virtual ns from the failure to the next
+  /// committed publish (the bench's recovery-time metric). Failures
+  /// never recovered within the run are excluded.
+  std::vector<exec::VirtualTime> recovery_ns;
+
+  /// True when [t0, t1] overlaps any merge attempt's [begin, end].
+  bool OverlapsMerge(exec::VirtualTime t0, exec::VirtualTime t1) const {
+    for (const MergeRecord& m : merges) {
+      if (t0 <= m.end && m.begin <= t1) return true;
+    }
+    return false;
+  }
+};
+
+/// Serves query traffic against a LiveIndex while ingesting documents,
+/// all on one SimExecutor Drain pass. The LiveIndex's writer domain is
+/// entered only from ingest/merge jobs and the (serialized) admission
+/// loop; readers pin snapshots through the epoch manager.
+class LiveServer {
+ public:
+  LiveServer(index::LiveIndex& live, const topk::Algorithm& algo,
+             LiveServeConfig config)
+      : live_(live), algo_(algo), config_(std::move(config)) {}
+
+  const LiveServeConfig& config() const { return config_; }
+
+  LiveServeResult ServeOnSim(sim::SimExecutor& executor,
+                             std::span<const std::vector<TermId>> queries,
+                             std::span<const IngestDoc> docs,
+                             const topk::SearchParams& base_params);
+
+ private:
+  index::LiveIndex& live_;
+  const topk::Algorithm& algo_;
+  LiveServeConfig config_;
+};
+
+/// Folds serve aggregates (AddServeMetrics) plus the live counters into
+/// the registry under the "live." prefix.
+void AddLiveServeMetrics(const LiveServeResult& result,
+                         obs::MetricsRegistry& reg);
+
+}  // namespace sparta::serve

@@ -1,0 +1,194 @@
+// Serving policy machinery shared by the serving loops.
+//
+// Extracted (verbatim, behavior-preserving) from server.cpp's anonymous
+// namespace so the live-update serving loop (serve/live.cpp) and the
+// policy unit tests can drive exactly the production decision paths:
+// admission + breaker decisions (PolicyState), serving-track trace
+// emission (ServeTrace), and per-run aggregate computation
+// (FinalizeServeResult).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "obs/trace.h"
+#include "serve/server.h"
+#include "util/common.h"
+
+namespace sparta::serve {
+
+/// A failed completion from the breaker's point of view: the machine
+/// mangled the query (fault escalation, OOM). Deadline degradation is a
+/// policy outcome, not a machine failure, and must not trip the breaker.
+inline bool IsMachineFailure(topk::ResultStatus status) {
+  return status == topk::ResultStatus::kPartialAfterFault ||
+         status == topk::ResultStatus::kOom;
+}
+
+struct Decision {
+  topk::AdmissionOutcome outcome = topk::AdmissionOutcome::kAdmitted;
+  bool probe = false;
+  /// Breaker state observed at decision time (kClosed when disabled),
+  /// so the serving loops can trace state flips without re-reading the
+  /// (time-advancing, non-const) breaker.
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+};
+
+/// Admission + breaker policy shared by the sim and threaded paths; all
+/// timestamps are caller-provided, so this is exactly as deterministic
+/// as its inputs.
+class PolicyState {
+ public:
+  explicit PolicyState(const ServeConfig& config)
+      : config_(config),
+        ctrl_(config.admission, config.slo),
+        breaker_(config.breaker) {}
+
+  Decision Decide(exec::VirtualTime arrival) {
+    Decision d;
+    bool half_open = false;
+    if (config_.breaker_enabled) {
+      d.breaker_state = breaker_.state(arrival);
+      switch (d.breaker_state) {
+        case CircuitBreaker::State::kOpen:
+          d.outcome = topk::AdmissionOutcome::kBreakerDropped;
+          return d;
+        case CircuitBreaker::State::kHalfOpen:
+          if (!breaker_.WouldProbe(arrival)) {
+            d.outcome = topk::AdmissionOutcome::kBreakerDropped;
+            return d;
+          }
+          half_open = true;
+          break;
+        case CircuitBreaker::State::kClosed:
+          break;
+      }
+    }
+    d.outcome = ctrl_.Decide(arrival);
+    if (d.outcome == topk::AdmissionOutcome::kAdmitted && half_open) {
+      // Claim the probe slot only for queries that clear the queue too,
+      // so a rejected arrival cannot leak the slot.
+      const bool ok = breaker_.Admit(arrival);
+      SPARTA_CHECK(ok);
+      d.probe = true;
+    }
+    return d;
+  }
+
+  void OnDispatch(exec::VirtualTime now) { ctrl_.OnDispatch(now); }
+
+  void OnComplete(exec::VirtualTime completion, exec::VirtualTime service,
+                  topk::ResultStatus status, bool probe) {
+    ctrl_.OnComplete(completion, service);
+    if (config_.breaker_enabled) {
+      if (IsMachineFailure(status)) {
+        breaker_.OnFailure(completion, probe);
+      } else {
+        breaker_.OnSuccess(completion, probe);
+      }
+    }
+  }
+
+  AdmissionController& ctrl() { return ctrl_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+ private:
+  const ServeConfig& config_;
+  AdmissionController ctrl_;
+  CircuitBreaker breaker_;
+};
+
+/// Serving-track trace emission shared by the sim and threaded paths.
+/// Null tracer → every call is a no-op. Admission waits become spans
+/// [arrival, dispatch]; policy outcomes become instants at their
+/// decision time; rung / breaker-state instants fire only on change.
+struct ServeTrace {
+  obs::Tracer* tracer = nullptr;
+  int track = 0;
+  std::size_t last_rung = 0;
+  CircuitBreaker::State last_state = CircuitBreaker::State::kClosed;
+
+  explicit ServeTrace(obs::Tracer* t) : tracer(t) {
+    if (tracer != nullptr) track = tracer->serving_track();
+  }
+
+  void OnDecision(std::size_t record, exec::VirtualTime arrival,
+                  const Decision& d, bool breaker_enabled) {
+    if (tracer == nullptr) return;
+    if (breaker_enabled && d.breaker_state != last_state) {
+      tracer->AddInstant(track, obs::InstantKind::kBreakerState, arrival,
+                         static_cast<std::uint64_t>(d.breaker_state));
+      last_state = d.breaker_state;
+    }
+    switch (d.outcome) {
+      case topk::AdmissionOutcome::kRejectedFull:
+        tracer->AddInstant(track, obs::InstantKind::kAdmissionReject,
+                           arrival, record);
+        break;
+      case topk::AdmissionOutcome::kShedPredictedWait:
+        tracer->AddInstant(track, obs::InstantKind::kAdmissionShed,
+                           arrival, record);
+        break;
+      case topk::AdmissionOutcome::kBreakerDropped:
+        tracer->AddInstant(track, obs::InstantKind::kBreakerDrop, arrival,
+                           record);
+        break;
+      case topk::AdmissionOutcome::kAdmitted:
+        break;
+    }
+  }
+
+  void OnDispatch(std::size_t record, exec::VirtualTime arrival,
+                  exec::VirtualTime now, std::size_t rung) {
+    if (tracer == nullptr) return;
+    tracer->AddSpan(track, obs::SpanKind::kAdmissionWait, arrival, now,
+                    record, rung);
+    if (rung != last_rung) {
+      tracer->AddInstant(track, obs::InstantKind::kLadderRung, now, rung,
+                         record);
+      last_rung = rung;
+    }
+  }
+};
+
+/// Fills the per-query records' shared fields and computes aggregates.
+inline void FinalizeServeResult(ServeResult& result,
+                                const PolicyState& policy,
+                                exec::VirtualTime slo) {
+  result.offered = result.queries.size();
+  for (const ServedQuery& q : result.queries) {
+    result.horizon = std::max(result.horizon, q.arrival);
+    switch (q.outcome) {
+      case topk::AdmissionOutcome::kRejectedFull:
+        ++result.rejected_full;
+        continue;
+      case topk::AdmissionOutcome::kShedPredictedWait:
+        ++result.shed;
+        continue;
+      case topk::AdmissionOutcome::kBreakerDropped:
+        ++result.breaker_dropped;
+        continue;
+      case topk::AdmissionOutcome::kAdmitted:
+        break;
+    }
+    ++result.admitted;
+    if (q.completion < 0) continue;
+    ++result.completed;
+    result.queue_wait_ns.Add(q.QueueWait());
+    result.e2e_ns.Add(q.EndToEnd());
+    result.horizon = std::max(result.horizon, q.completion);
+    if (q.result.degraded()) ++result.degraded;
+    if (q.result.status == topk::ResultStatus::kPartialAfterFault) {
+      ++result.faulted;
+    }
+    if (q.result.status == topk::ResultStatus::kOom) {
+      ++result.oom;
+    } else if (slo == exec::kNever || q.EndToEnd() <= slo) {
+      ++result.goodput;
+    }
+  }
+  result.breaker_trips = policy.breaker().trips();
+  result.breaker_probes = policy.breaker().probes();
+}
+
+}  // namespace sparta::serve

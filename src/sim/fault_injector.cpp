@@ -41,6 +41,18 @@ VirtualTime FaultInjector::OnLockRelease(int worker, VirtualTime now) {
   return config_.lock_preempt_ns;
 }
 
+bool FaultInjector::OnMergeAbort(int worker, VirtualTime now) {
+  if (!Draw(config_.merge_abort_prob)) return false;
+  events_.push_back({Kind::kMergeAbort, worker, now, 0});
+  return true;
+}
+
+bool FaultInjector::OnMergeWrite(int worker, VirtualTime now) {
+  if (!Draw(config_.torn_write_prob)) return false;
+  events_.push_back({Kind::kTornWrite, worker, now, 0});
+  return true;
+}
+
 void FaultInjector::LogMemSqueeze(int worker, VirtualTime now) {
   events_.push_back({Kind::kMemSqueeze, worker, now, 0});
 }

@@ -58,6 +58,16 @@ struct FaultConfig {
   double lock_preempt_prob = 0.0;
   exec::VirtualTime lock_preempt_ns = 100'000;  // 0.1 ms
 
+  // --- live-index merge faults ---
+  /// Probability that a merge crashes right before its segment write
+  /// (power loss / OOM-kill mid-merge). The merge aborts, the published
+  /// snapshot stays, and the frozen delta is retried later.
+  double merge_abort_prob = 0.0;
+  /// Probability that the merge's segment write is torn: the temporary
+  /// file is corrupted after writing, so checksum validation must reject
+  /// it and the publish rolls back (build-then-swap never promotes it).
+  double torn_write_prob = 0.0;
+
   // --- memory-budget squeeze ---
   /// If set (!= kNever): once a query has been running this long, its
   /// memory budget is multiplied by mem_squeeze_factor (a co-tenant
@@ -71,7 +81,8 @@ struct FaultConfig {
   /// bit-identical to pre-fault-layer builds.
   bool enabled() const {
     return stall_prob > 0.0 || io_spike_prob > 0.0 || io_error_prob > 0.0 ||
-           lock_preempt_prob > 0.0 || mem_squeeze_after != exec::kNever;
+           lock_preempt_prob > 0.0 || merge_abort_prob > 0.0 ||
+           torn_write_prob > 0.0 || mem_squeeze_after != exec::kNever;
   }
 };
 
@@ -83,6 +94,10 @@ class FaultInjector {
     kIoError,
     kLockPreempt,
     kMemSqueeze,
+    // Appended (not inserted) so pre-live-update fault logs and golden
+    // traces keep their numeric values.
+    kMergeAbort,
+    kTornWrite,
   };
 
   /// One injected fault, in injection order. `cost` is the virtual time
@@ -118,6 +133,14 @@ class FaultInjector {
   /// Lock-holder-preemption probe at lock release. Returns the extra
   /// hold time to charge (0 = none).
   exec::VirtualTime OnLockRelease(int worker, exec::VirtualTime now);
+
+  /// Merge-crash probe, drawn once per merge right before its segment
+  /// write. True = the merge aborts (logged as kMergeAbort).
+  bool OnMergeAbort(int worker, exec::VirtualTime now);
+
+  /// Torn-write probe, drawn once per merge segment write. True = the
+  /// written temporary is corrupted before validation (kTornWrite).
+  bool OnMergeWrite(int worker, exec::VirtualTime now);
 
   /// Records a memory-budget squeeze taking effect on a query.
   void LogMemSqueeze(int worker, exec::VirtualTime now);

@@ -185,8 +185,15 @@ class SimWorkerContext final : public exec::WorkerContext {
     VirtualTime extra = 0;
     const int retries = failures > fc.io_retry_limit ? fc.io_retry_limit
                                                      : failures;
+    // Saturating doubling: a shift could run into the sign bit for a
+    // large configured backoff, and a charge is capped at kNever anyway
+    // (tests pin both the exact cost at the limit and the saturation).
+    VirtualTime backoff = fc.io_retry_backoff_ns;
     for (int attempt = 0; attempt < retries; ++attempt) {
-      extra += device + (fc.io_retry_backoff_ns << attempt);
+      extra += device + backoff;
+      if (extra > exec::kNever || extra < 0) extra = exec::kNever;
+      backoff = backoff > exec::kNever - backoff ? exec::kNever
+                                                 : backoff * 2;
     }
     Charge(extra);
     query_.faults.io_retries += static_cast<std::uint64_t>(retries);

@@ -353,5 +353,97 @@ TEST(FaultInjectionTest, PostingsFractionReflectsDeadlineTightness) {
   EXPECT_LE(run.result.stats.PostingsFraction(), 1.0);
 }
 
+// ---------------------------------------------------------------------
+// Retry-backoff arithmetic (DESIGN.md §7): exact cost at the retry
+// limit, and saturation instead of overflow for extreme backoffs.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjectionTest, RetryBackoffChargesExactCostAtTheLimit) {
+  // io_error_prob = 1.0: the first cache-missing random read fails
+  // every attempt. With the default plan (limit 3, backoff 20us
+  // doubling, random page 80us) the charged extra is
+  //   3 * 80'000 (re-paid device) + 20'000 + 40'000 + 80'000 = 380'000.
+  SimConfig config;
+  config.num_workers = 2;
+  config.faults.io_error_prob = 1.0;
+  ASSERT_EQ(config.faults.io_retry_limit, 3);
+  ASSERT_EQ(config.faults.io_retry_backoff_ns, 20'000);
+  ASSERT_EQ(config.costs.ssd_random_page, 80'000);
+
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  ctx->Submit([](exec::WorkerContext& worker) { worker.IoRandom(0); });
+  ctx->RunToCompletion();
+
+  const auto stats = ctx->fault_stats();
+  EXPECT_EQ(stats.io_retries, 3u);
+  EXPECT_EQ(stats.io_escalations, 1u)
+      << "failures past the limit must escalate, not block";
+  ASSERT_NE(executor.fault_injector(), nullptr);
+  const auto& events = executor.fault_injector()->events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FaultInjector::Kind::kIoError);
+  EXPECT_EQ(events[0].cost, 380'000);
+}
+
+TEST(FaultInjectionTest, RetryBackoffSaturatesInsteadOfOverflowing) {
+  // A pathological backoff near the representable ceiling: the doubling
+  // and the accumulated charge must both clamp at kNever rather than
+  // wrap (the guard in ReadPage's loop).
+  SimConfig config;
+  config.num_workers = 2;
+  config.faults.io_error_prob = 1.0;
+  config.faults.io_retry_backoff_ns = exec::kNever / 2;
+
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  ctx->Submit([](exec::WorkerContext& worker) { worker.IoRandom(0); });
+  ctx->RunToCompletion();
+
+  ASSERT_NE(executor.fault_injector(), nullptr);
+  const auto& events = executor.fault_injector()->events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FaultInjector::Kind::kIoError);
+  EXPECT_EQ(events[0].cost, exec::kNever);
+  EXPECT_GT(events[0].cost, 0) << "saturation must never go negative";
+}
+
+// ---------------------------------------------------------------------
+// Merge-fault hooks: part of the enabled() gate, inert at probability
+// zero (so fault logs of merge-free configs stay bit-identical).
+// ---------------------------------------------------------------------
+
+TEST(FaultInjectionTest, MergeFaultProbabilitiesGateTheInjector) {
+  EXPECT_FALSE(FaultConfig{}.enabled());
+  FaultConfig abort_only;
+  abort_only.merge_abort_prob = 0.5;
+  EXPECT_TRUE(abort_only.enabled());
+  FaultConfig torn_only;
+  torn_only.torn_write_prob = 0.5;
+  EXPECT_TRUE(torn_only.enabled());
+}
+
+TEST(FaultInjectionTest, ZeroProbabilityMergeDrawsConsumeNoRandomness) {
+  // Interleaving merge probes at probability zero must not advance the
+  // RNG: the I/O failure sequence stays bit-identical, so adding the
+  // live-update path to a config without merge faults cannot perturb
+  // any existing seeded fault plan.
+  FaultConfig config;
+  config.seed = 71;
+  config.io_error_prob = 0.3;
+  FaultInjector plain(config);
+  FaultInjector interleaved(config);
+  std::vector<int> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(plain.IoFailures());
+    EXPECT_FALSE(interleaved.OnMergeAbort(0, i));
+    EXPECT_FALSE(interleaved.OnMergeWrite(0, i));
+    b.push_back(interleaved.IoFailures());
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(interleaved.events().empty())
+      << "zero-probability merge probes must log nothing";
+}
+
 }  // namespace
 }  // namespace sparta::test

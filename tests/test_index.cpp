@@ -204,6 +204,124 @@ TEST(DiskFormatTest, TruncatedFileRejected) {
   std::filesystem::remove(path);
 }
 
+// --- Payload checksums (SPARTA02 integrity footer) -------------------
+
+namespace {
+
+/// XORs one byte of `path` at `offset` (guaranteed to change it).
+void FlipByteAt(const std::string& path, std::uint64_t offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  std::fputc(c ^ 0x5a, f);
+  std::fclose(f);
+}
+
+SectionLayout LayoutOf(const InvertedIndex& idx) {
+  std::uint64_t num_blocks = 0;
+  for (TermId t = 0; t < idx.num_terms(); ++t) {
+    num_blocks += idx.Entry(t).num_blocks;
+  }
+  return ComputeSectionLayout(idx.num_terms(), idx.total_postings(),
+                              idx.total_postings(), num_blocks);
+}
+
+}  // namespace
+
+TEST(DiskFormatTest, CorruptedSectionsAreNamedInTheError) {
+  // One corrupted byte anywhere in a section payload must fail the load
+  // with an error naming that section — this is what makes the live
+  // index's torn-write rollback observable rather than silent.
+  const auto idx = test::MakeTinyIndex(400, 17);
+  const std::string path = "/tmp/sparta_test_corrupt_section.idx";
+  const SectionLayout layout = LayoutOf(idx);
+
+  const struct {
+    const char* name;
+    std::uint64_t offset;
+  } sections[] = {
+      {"term table", layout.term_table_offset},
+      {"doc-ordered postings", layout.doc_postings_offset},
+      {"impact-ordered postings", layout.impact_postings_offset},
+      {"block metadata", layout.blocks_offset},
+  };
+  for (const auto& s : sections) {
+    ASSERT_TRUE(SaveIndex(idx, path));
+    FlipByteAt(path, s.offset + 16);  // inside the section payload
+    std::string error;
+    EXPECT_FALSE(LoadIndex(path, &error).has_value()) << s.name;
+    EXPECT_EQ(error,
+              std::string(s.name) + " checksum mismatch: corrupted index body")
+        << s.name;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(DiskFormatTest, CorruptedHeaderAndFooterAreRejected) {
+  const auto idx = test::MakeTinyIndex(400, 17);
+  const std::string path = "/tmp/sparta_test_corrupt_meta.idx";
+  const SectionLayout layout = LayoutOf(idx);
+  std::string error;
+
+  // Header byte past the magic: caught by the header checksum.
+  ASSERT_TRUE(SaveIndex(idx, path));
+  FlipByteAt(path, 40);
+  EXPECT_FALSE(LoadIndex(path, &error).has_value());
+  EXPECT_EQ(error, "header checksum mismatch: corrupted index header");
+
+  // Footer corruption: caught by the footer's self-checksum.
+  ASSERT_TRUE(SaveIndex(idx, path));
+  FlipByteAt(path, layout.total_size + 8);
+  EXPECT_FALSE(LoadIndex(path, &error).has_value());
+  EXPECT_EQ(error, "integrity footer corrupted");
+
+  // Wrong magic entirely.
+  ASSERT_TRUE(SaveIndex(idx, path));
+  FlipByteAt(path, 0);
+  EXPECT_FALSE(LoadIndex(path, &error).has_value());
+  EXPECT_EQ(error, "bad magic: not a SPARTA02 index file");
+  std::filesystem::remove(path);
+}
+
+TEST(DiskFormatTest, PreChecksumFormatGetsClearRejection) {
+  const auto idx = test::MakeTinyIndex(300, 17);
+  const std::string path = "/tmp/sparta_test_v1_magic.idx";
+  ASSERT_TRUE(SaveIndex(idx, path));
+  // Rewrite the magic to the pre-checksum SPARTA01 value.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const std::uint64_t v1 = kIndexMagicV1;
+  ASSERT_EQ(std::fwrite(&v1, sizeof(v1), 1, f), 1u);
+  std::fclose(f);
+  std::string error;
+  EXPECT_FALSE(LoadIndex(path, &error).has_value());
+  EXPECT_EQ(error,
+            "pre-checksum SPARTA01 index; rebuild with the current format");
+  std::filesystem::remove(path);
+}
+
+TEST(DiskFormatTest, AtomicSaveValidatesAndSwapsCleanly) {
+  const auto old_idx = test::MakeTinyIndex(300, 13);
+  const auto new_idx = test::MakeTinyIndex(500, 29);
+  const std::string path = "/tmp/sparta_test_atomic_save.idx";
+
+  ASSERT_TRUE(AtomicSaveIndex(old_idx, path));
+  ASSERT_TRUE(LoadIndex(path).has_value());
+
+  // Replacing an existing index leaves no temporary behind and the
+  // final file is the complete new index.
+  ASSERT_TRUE(AtomicSaveIndex(new_idx, path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_docs(), new_idx.num_docs());
+  EXPECT_EQ(loaded->total_postings(), new_idx.total_postings());
+  std::filesystem::remove(path);
+}
+
 TEST(RandomAccessTest, MatchesDocOrderList) {
   const auto idx = test::MakeTinyIndex(700, 11);
   for (TermId t = 0; t < std::min<TermId>(50, idx.num_terms()); ++t) {

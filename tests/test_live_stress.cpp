@@ -1,0 +1,166 @@
+// Real-thread ingest stress: one writer thread mutating a LiveIndex
+// (adds, refreshes, merges, reclamation) while reader threads
+// continuously pin snapshots and walk posting lists. The epoch pin
+// table is the only shared mutable state readers touch; everything they
+// read through a pin is immutable. This is the suite's
+// ThreadSanitizer target for the live-update path (CI's sanitize-tsan
+// job) — the deterministic race detector checks the same protocol on
+// the simulator in test_live_index.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "index/delta_segment.h"
+#include "index/live_index.h"
+#include "test_helpers.h"
+
+namespace sparta::test {
+namespace {
+
+using index::IndexSnapshot;
+using index::InvertedIndex;
+using index::LiveIndex;
+using index::MergeOutcome;
+using index::MergeSegments;
+using index::TermCount;
+
+TEST(LiveStress, ConcurrentReadersDuringIngestAndMerges) {
+  constexpr std::uint32_t kMainDocs = 1500;
+  constexpr int kWriterIters = 50;
+  constexpr std::uint32_t kDocsPerIter = 20;
+  constexpr int kReaders = 4;
+
+  LiveIndex live(MakeTinyIndex(kMainDocs, 7));
+  std::atomic<bool> done{false};
+
+  // Synthetic ingest stream, generated up front so the writer loop does
+  // no RNG work while racing the readers.
+  corpus::SyntheticCorpusSpec spec;
+  spec.num_docs = kWriterIters * kDocsPerIter;
+  spec.vocab_size = 400;
+  spec.mean_unique_terms = 25.0;
+  spec.seed = 41;
+  const auto raw = corpus::GenerateRawCorpus(spec);
+  std::vector<std::vector<TermCount>> doc_terms(raw.num_docs);
+  for (TermId t = 0; t < raw.term_postings.size(); ++t) {
+    for (const index::RawPosting& p : raw.term_postings[t]) {
+      doc_terms[p.doc].push_back({t, p.tf});
+    }
+  }
+
+  std::thread writer([&] {
+    const util::SerialGuard guard(live.writer());
+    std::uint32_t next = 0;
+    for (int iter = 0; iter < kWriterIters; ++iter) {
+      for (std::uint32_t j = 0; j < kDocsPerIter; ++j, ++next) {
+        live.Add(doc_terms[next],
+                 std::max<std::uint32_t>(1, raw.doc_lengths[next]));
+      }
+      live.Refresh();
+      if (iter % 4 == 3 && live.CanMerge()) {
+        const IndexSnapshot snap = live.BeginMerge();
+        InvertedIndex merged = MergeSegments(*snap.main, *snap.delta);
+        ASSERT_EQ(live.CommitMerge(std::move(merged)),
+                  MergeOutcome::kCommitted);
+      }
+      if (iter % 8 == 5) live.epochs().Collect();
+    }
+    live.CompactNow();
+    done.store(true, std::memory_order_release);
+  });
+
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto pin = live.AcquireSnapshot();
+        ASSERT_TRUE(pin.valid());
+        // Epochs are published monotonically; a reader can never see
+        // them go backwards.
+        ASSERT_GE(pin->epoch, last_epoch);
+        last_epoch = pin->epoch;
+        ASSERT_NE(pin->main, nullptr);
+        ASSERT_GE(pin->main->num_docs(), kMainDocs);
+        if (pin->delta != nullptr) {
+          ASSERT_EQ(pin->delta_doc_base, pin->main->num_docs());
+        }
+        // Walk a few posting lists of whichever segments are pinned —
+        // all immutable, so any torn read here is a reclamation bug.
+        std::uint64_t sum = 0;
+        const TermId step = static_cast<TermId>(7 + r);
+        for (TermId t = 0; t < pin->main->num_terms(); t += step) {
+          for (const index::Posting& p : pin->main->Term(t).doc_order) {
+            sum += p.score;
+          }
+        }
+        if (pin->delta != nullptr) {
+          for (TermId t = 0; t < pin->delta->num_terms(); t += step) {
+            for (const index::Posting& p : pin->delta->Term(t).doc_order) {
+              sum += p.score;
+            }
+          }
+        }
+        ASSERT_GT(sum, 0u);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_GT(reads.load(), 0u);
+
+  // Everything folded: one main segment holding every ingested doc.
+  auto pin = live.AcquireSnapshot();
+  EXPECT_EQ(pin->delta, nullptr);
+  ASSERT_NE(pin->main, nullptr);
+  EXPECT_EQ(pin->main->num_docs(),
+            kMainDocs + kWriterIters * kDocsPerIter);
+  // And the folded index answers queries exactly.
+  const auto terms = PickQueryTerms(*pin->main, 3, 2);
+  topk::SearchParams params;
+  params.k = 15;
+  const auto result = RunOnThreads(*pin->main, "MaxScore", terms, params);
+  EXPECT_TRUE(IsExactTopK(*pin->main, terms, params.k, result));
+}
+
+TEST(LiveStress, PinsFromManyThreadsBlockReclamation) {
+  constexpr int kThreads = 8;
+  LiveIndex live(MakeTinyIndex(400, 9));
+  std::vector<std::thread> threads;
+  std::atomic<int> pinned{0};
+  std::atomic<bool> release{false};
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto pin = live.AcquireSnapshot();
+      ASSERT_EQ(pin->epoch, 0u);
+      pinned.fetch_add(1, std::memory_order_acq_rel);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  while (pinned.load(std::memory_order_acquire) < kThreads) {
+    std::this_thread::yield();
+  }
+  {
+    const util::SerialGuard guard(live.writer());
+    const std::vector<TermCount> doc = {{0, 1}};
+    live.Add(doc, 5);
+    ASSERT_TRUE(live.Refresh());
+  }
+  EXPECT_EQ(live.epochs().Collect(), 0u)
+      << "epoch 0 is pinned by every thread";
+  release.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(live.epochs().Collect(), 1u);
+}
+
+}  // namespace
+}  // namespace sparta::test

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "serve/policy.h"
 #include "serve/server.h"
 #include "test_helpers.h"
 
@@ -292,6 +293,112 @@ TEST(BreakerTest, ProbeFailureReopensAndWindowExpires) {
   strag.OnFailure(7 * ms, /*probe=*/false);
   EXPECT_EQ(strag.state(7 * ms), CircuitBreaker::State::kHalfOpen);
   EXPECT_TRUE(strag.WouldProbe(7 * ms));
+}
+
+TEST(BreakerPolicyTest, IsMachineFailureClassification) {
+  // Deadline degradation is a policy outcome; only fault escalation and
+  // OOM are machine failures from the breaker's point of view.
+  EXPECT_FALSE(serve::IsMachineFailure(topk::ResultStatus::kComplete));
+  EXPECT_FALSE(
+      serve::IsMachineFailure(topk::ResultStatus::kDeadlineDegraded));
+  EXPECT_TRUE(
+      serve::IsMachineFailure(topk::ResultStatus::kPartialAfterFault));
+  EXPECT_TRUE(serve::IsMachineFailure(topk::ResultStatus::kOom));
+}
+
+// Probe-slot accounting through the shared policy layer: every probe
+// completion — success, deadline-degraded, or faulted — must return the
+// half-open probe slot, or the breaker wedges with the slot claimed and
+// no probe in flight (dropping all traffic forever).
+TEST(BreakerPolicyTest, DegradedProbeReleasesSlotAndCountsTowardClose) {
+  const exec::VirtualTime ms = exec::kMillisecond;
+  ServeConfig config;
+  config.breaker_enabled = true;
+  config.breaker.failure_threshold = 2;
+  config.breaker.window_ns = 10 * ms;
+  config.breaker.open_ns = 5 * ms;
+  config.breaker.probe_successes_to_close = 2;
+  serve::PolicyState policy(config);
+
+  // Trip with two machine failures.
+  for (int i = 0; i < 2; ++i) {
+    const auto d = policy.Decide(i * ms);
+    ASSERT_EQ(d.outcome, AdmissionOutcome::kAdmitted);
+    ASSERT_FALSE(d.probe);
+    policy.OnDispatch(i * ms);
+    policy.OnComplete(i * ms + ms / 2, ms / 2,
+                      topk::ResultStatus::kPartialAfterFault, d.probe);
+  }
+  const auto dropped = policy.Decide(2 * ms);
+  EXPECT_EQ(dropped.outcome, AdmissionOutcome::kBreakerDropped);
+  EXPECT_EQ(dropped.breaker_state, CircuitBreaker::State::kOpen);
+
+  // Half-open: the first arrival claims the probe slot, the second is
+  // dropped while the probe is in flight.
+  const auto probe1 = policy.Decide(8 * ms);
+  ASSERT_EQ(probe1.outcome, AdmissionOutcome::kAdmitted);
+  ASSERT_TRUE(probe1.probe);
+  EXPECT_EQ(probe1.breaker_state, CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(policy.Decide(8 * ms).outcome,
+            AdmissionOutcome::kBreakerDropped);
+  policy.OnDispatch(8 * ms);
+
+  // The probe comes back deadline-degraded — NOT a machine failure: it
+  // must release the slot and count toward closing.
+  policy.OnComplete(9 * ms, ms, topk::ResultStatus::kDeadlineDegraded,
+                    probe1.probe);
+  const auto probe2 = policy.Decide(9 * ms);
+  ASSERT_EQ(probe2.outcome, AdmissionOutcome::kAdmitted)
+      << "degraded probe completion leaked the probe slot";
+  ASSERT_TRUE(probe2.probe);
+  policy.OnDispatch(9 * ms);
+  policy.OnComplete(10 * ms, ms, topk::ResultStatus::kComplete,
+                    probe2.probe);
+
+  // Two probe successes: closed again, normal admission.
+  const auto after = policy.Decide(10 * ms);
+  EXPECT_EQ(after.outcome, AdmissionOutcome::kAdmitted);
+  EXPECT_FALSE(after.probe);
+  EXPECT_EQ(after.breaker_state, CircuitBreaker::State::kClosed);
+  EXPECT_EQ(policy.breaker().probes(), 2u);
+  EXPECT_EQ(policy.breaker().trips(), 1u);
+}
+
+TEST(BreakerPolicyTest, FaultedProbeReopensWithSlotFreeNextHalfOpen) {
+  const exec::VirtualTime ms = exec::kMillisecond;
+  ServeConfig config;
+  config.breaker_enabled = true;
+  config.breaker.failure_threshold = 2;
+  config.breaker.window_ns = 10 * ms;
+  config.breaker.open_ns = 5 * ms;
+  config.breaker.probe_successes_to_close = 2;
+  serve::PolicyState policy(config);
+
+  for (int i = 0; i < 2; ++i) {
+    const auto d = policy.Decide(i * ms);
+    ASSERT_EQ(d.outcome, AdmissionOutcome::kAdmitted);
+    policy.OnDispatch(i * ms);
+    policy.OnComplete(i * ms + ms / 2, ms / 2,
+                      topk::ResultStatus::kPartialAfterFault, d.probe);
+  }
+
+  // Probe comes back with a machine failure (kPartialAfterFault): the
+  // breaker re-trips immediately.
+  const auto probe = policy.Decide(8 * ms);
+  ASSERT_TRUE(probe.probe);
+  policy.OnDispatch(8 * ms);
+  policy.OnComplete(9 * ms, ms, topk::ResultStatus::kPartialAfterFault,
+                    probe.probe);
+  EXPECT_EQ(policy.breaker().trips(), 2u);
+  EXPECT_EQ(policy.Decide(9 * ms).outcome,
+            AdmissionOutcome::kBreakerDropped);
+
+  // Next half-open window: the slot is free again (re-trip cleared it),
+  // so a fresh probe is admitted.
+  const auto retry = policy.Decide(15 * ms);
+  EXPECT_EQ(retry.outcome, AdmissionOutcome::kAdmitted);
+  EXPECT_TRUE(retry.probe);
+  EXPECT_EQ(retry.breaker_state, CircuitBreaker::State::kHalfOpen);
 }
 
 // ---------------------------------------------------------------------
