@@ -1,0 +1,221 @@
+// Shard-fault serving scenarios: scatter-gather under injected failure.
+//
+// The cluster tier's contract (DESIGN.md §13) is "always answer, say
+// how much of the corpus the answer saw". This bench prices that
+// contract across the fault matrix the tests assert on, one seeded
+// scenario per row:
+//
+//   healthy           — 4 shards / 4 nodes / R=1, no faults (the merge
+//                       must be bit-equal to the unsharded machine);
+//   crash_no_replica  — a node dies and its shard has no replica: every
+//                       query still answers, degraded with honest
+//                       coverage, and recall against the full-index
+//                       oracle drops by at most the lost doc fraction;
+//   crash_failover    — same crash with R=2: retries reach the replica
+//                       and coverage returns to 1.0 at the cost of one
+//                       shard deadline + backoff on affected queries;
+//   partition         — a node is unreachable for a window, then heals;
+//   straggler         — one node's inbound link is slow; without
+//                       hedging every query eats the slow path;
+//   straggler_hedged  — the same cluster with hedged requests: the
+//                       replica's fast reply wins and the tail falls.
+//
+// Everything runs on the virtual clock from seeded plans, so
+// results/BENCH_shard_faults.json is byte-identical across runs and
+// sits under the tools/bench_compare.py perf gate. The workload is
+// fixed-size (SPARTA_QUICK is ignored) so a smoke run produces the
+// committed numbers.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "index/builder.h"
+#include "index/sharding.h"
+#include "serve/coordinator.h"
+#include "topk/oracle.h"
+#include "topk/recall.h"
+
+namespace sparta::bench {
+namespace {
+
+constexpr std::uint32_t kDocs = 6000;
+constexpr std::uint32_t kVocab = 1200;
+constexpr int kShards = 4;
+constexpr int kNodes = 4;
+constexpr int kTopK = 20;
+constexpr std::size_t kDistinctQueries = 16;
+constexpr std::size_t kArrivals = 48;
+constexpr exec::VirtualTime kSpacing = 12 * exec::kMillisecond;
+
+index::InvertedIndex MakeIndex() {
+  corpus::SyntheticCorpusSpec spec;
+  spec.num_docs = kDocs;
+  spec.vocab_size = kVocab;
+  spec.mean_unique_terms = 25.0;
+  spec.seed = 7;
+  return index::FinalizeIndex(corpus::GenerateRawCorpus(spec));
+}
+
+/// Deterministic 3-term query mix over the popularity spectrum (same
+/// recipe as bench_live_update; the bench has no dataset query log).
+std::vector<std::vector<TermId>> MakeQueries(
+    const index::InvertedIndex& idx) {
+  std::vector<TermId> candidates;
+  for (TermId t = 0; t < idx.num_terms(); ++t) {
+    if (idx.Entry(t).df >= 8) candidates.push_back(t);
+  }
+  std::vector<std::vector<TermId>> queries;
+  const std::size_t stride =
+      std::max<std::size_t>(1, candidates.size() / 4);
+  for (std::size_t q = 0; q < kDistinctQueries; ++q) {
+    std::vector<TermId> terms;
+    for (std::size_t i = 0; terms.size() < 3; ++i) {
+      const TermId t =
+          candidates[(q * 131 + (i + 1) * stride) % candidates.size()];
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    std::sort(terms.begin(), terms.end());
+    queries.push_back(std::move(terms));
+  }
+  return queries;
+}
+
+serve::ClusterConfig BaseConfig(int replication) {
+  serve::ClusterConfig cfg;
+  cfg.num_shards = kShards;
+  cfg.num_nodes = kNodes;
+  cfg.replication = replication;
+  cfg.node_sim.num_workers = 2;
+  return cfg;
+}
+
+struct Scenario {
+  std::string name;
+  serve::ClusterConfig cfg;
+};
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> out;
+  out.push_back({"healthy", BaseConfig(1)});
+
+  {
+    serve::ClusterConfig cfg = BaseConfig(1);
+    cfg.net_faults.crash_node = 1;
+    cfg.net_faults.crash_at = 20 * exec::kMillisecond;
+    out.push_back({"crash_no_replica", cfg});
+  }
+  {
+    serve::ClusterConfig cfg = BaseConfig(2);
+    cfg.net_faults.crash_node = 0;
+    cfg.net_faults.crash_at = 20 * exec::kMillisecond;
+    out.push_back({"crash_failover", cfg});
+  }
+  {
+    serve::ClusterConfig cfg = BaseConfig(1);
+    cfg.net_faults.partition_from = 100 * exec::kMillisecond;
+    cfg.net_faults.partition_until = 300 * exec::kMillisecond;
+    cfg.net_faults.partition_nodes = 1ull << 2;
+    out.push_back({"partition", cfg});
+  }
+  // Straggler pair: node 0's inbound link is 4 ms while its replica
+  // sits 50 us away; the only difference between the two rows is the
+  // hedge, so their delta prices the straggler defense alone.
+  {
+    serve::ClusterConfig cfg = BaseConfig(2);
+    cfg.fabric.overrides.push_back(
+        {sim::kCoordinatorNode, 0, {4 * exec::kMillisecond, 1.25}});
+    out.push_back({"straggler", cfg});
+    cfg.hedge_delay = 2 * exec::kMillisecond;
+    out.push_back({"straggler_hedged", cfg});
+  }
+  return out;
+}
+
+double Ms(double ns) { return ns / 1e6; }
+
+void Run() {
+  const index::InvertedIndex full = MakeIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, kShards);
+  const auto queries = MakeQueries(full);
+  const auto algo = algos::MakeAlgorithm("BMW");
+  SPARTA_CHECK(algo != nullptr);
+  topk::SearchParams params;
+  params.k = kTopK;
+
+  // The full-index oracle: recall against it prices exactly what a
+  // lost shard costs (and nothing else — BMW is exact).
+  std::vector<topk::ExactTopK> oracle;
+  oracle.reserve(queries.size());
+  for (const auto& q : queries) {
+    oracle.push_back(topk::ComputeExactTopK(full, q, kTopK));
+  }
+
+  std::vector<exec::VirtualTime> arrivals;
+  for (std::size_t i = 0; i < kArrivals; ++i) {
+    arrivals.push_back(static_cast<exec::VirtualTime>(i + 1) * kSpacing);
+  }
+
+  driver::Table table(
+      "shard faults: scatter-gather under crash / partition / straggler",
+      {"scenario", "completed", "degraded", "min_cov", "recall",
+       "mean_ms", "p99_ms", "timeouts", "retries", "hedges_won"});
+  driver::BenchJson json("shard_faults");
+
+  for (const Scenario& s : Scenarios()) {
+    serve::Cluster cluster(sharded, s.cfg);
+    serve::Coordinator coord(cluster, *algo);
+    const serve::ClusterServeResult run =
+        coord.Serve(queries, params, arrivals);
+
+    // The serving contract, enforced on every scenario: no query is
+    // ever lost to a backend fault.
+    SPARTA_CHECK(run.completed == run.offered);
+
+    double recall_sum = 0.0;
+    for (const serve::ServedQuery& q : run.queries) {
+      recall_sum += topk::Recall(oracle[q.query_index % queries.size()],
+                                 q.result.entries);
+    }
+    const double recall =
+        recall_sum / static_cast<double>(run.queries.size());
+
+    json.Set(s.name, "completed", static_cast<double>(run.completed));
+    json.Set(s.name, "shards_degraded",
+             static_cast<double>(run.shards_degraded));
+    json.Set(s.name, "min_coverage", run.min_coverage);
+    json.Set(s.name, "recall.vs_full", recall);
+    json.Set(s.name, "mean_virtual_ms", Ms(run.e2e_ns.Mean()));
+    json.Set(s.name, "p99_virtual_ms",
+             Ms(static_cast<double>(run.e2e_ns.P99())));
+    json.Set(s.name, "goodput_qps", run.GoodputQps());
+    json.Set(s.name, "rpc_timeouts",
+             static_cast<double>(run.rpc_timeouts));
+    json.Set(s.name, "retries", static_cast<double>(run.retries));
+    json.Set(s.name, "hedges_won", static_cast<double>(run.hedges_won));
+    json.Set(s.name, "breaker_skips",
+             static_cast<double>(run.breaker_skips));
+    json.Set(s.name, "net_drops", static_cast<double>(run.net_drops));
+
+    table.AddRow({s.name, std::to_string(run.completed),
+                  std::to_string(run.shards_degraded),
+                  driver::FormatF(run.min_coverage, 3),
+                  driver::FormatF(recall, 3),
+                  driver::FormatF(Ms(run.e2e_ns.Mean()), 2),
+                  driver::FormatF(Ms(static_cast<double>(run.e2e_ns.P99())), 2),
+                  std::to_string(run.rpc_timeouts),
+                  std::to_string(run.retries),
+                  std::to_string(run.hedges_won)});
+    std::cerr << "  [shard_faults] " << s.name << " done\n";
+  }
+
+  Emit(table);
+  EmitJson(json);
+}
+
+}  // namespace
+}  // namespace sparta::bench
+
+int main() { sparta::bench::Run(); }

@@ -7,11 +7,11 @@
 #
 # --json-only: fast perf-gate mode. Runs only the benches whose
 # machine-readable output is gated by tools/bench_compare.py
-# (bench_contention and bench_live_update, plus bench_micro for the
-# uploaded wall-clock artifact), writes into results/_fresh/ instead of
-# results/ so the
-# committed baseline is never clobbered, then compares. This is what CI's
-# perf-smoke job runs.
+# (bench_contention, bench_live_update and bench_shard_faults, plus
+# bench_micro for the uploaded wall-clock artifact), writes into
+# results/_fresh/ instead of results/ so the committed baseline is
+# never clobbered, then compares. This is what CI's perf-smoke job
+# runs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -42,9 +42,10 @@ BENCHES=(
   bench_degradation
   bench_overload
   bench_live_update
+  bench_shard_faults
 )
 if [[ $json_only -eq 1 ]]; then
-  BENCHES=(bench_contention bench_live_update)
+  BENCHES=(bench_contention bench_live_update bench_shard_faults)
 fi
 
 # Fail fast on missing or stale binaries: every bench must exist and be
@@ -105,5 +106,5 @@ grep -q '^DONE_ALL$' bench_output.txt
 
 if [[ $json_only -eq 1 ]]; then
   python3 tools/bench_compare.py --baseline results --fresh results/_fresh \
-    --require contention --require live_update
+    --require contention,live_update,shard_faults
 fi

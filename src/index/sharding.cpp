@@ -1,0 +1,98 @@
+#include "index/sharding.h"
+
+#include <algorithm>
+
+#include "index/block_max.h"
+
+namespace sparta::index {
+
+int ShardedIndex::ShardOf(DocId global) const {
+  SPARTA_CHECK(global < total_docs);
+  // Shards are contiguous and sorted by doc_base; upper_bound finds the
+  // first shard starting past `global`, whose predecessor owns it.
+  auto it = std::upper_bound(
+      infos.begin(), infos.end(), global,
+      [](DocId doc, const ShardInfo& info) { return doc < info.doc_base; });
+  SPARTA_CHECK(it != infos.begin());
+  return static_cast<int>(std::distance(infos.begin(), it)) - 1;
+}
+
+ShardedIndex ShardIndex(const InvertedIndex& full, int num_shards) {
+  SPARTA_CHECK(num_shards >= 1);
+  SPARTA_CHECK(full.num_docs() >= static_cast<std::uint32_t>(num_shards));
+  ShardedIndex sharded;
+  sharded.total_docs = full.num_docs();
+  sharded.infos.resize(static_cast<std::size_t>(num_shards));
+  sharded.shards.reserve(static_cast<std::size_t>(num_shards));
+
+  const std::uint32_t total = full.num_docs();
+  for (int s = 0; s < num_shards; ++s) {
+    ShardInfo& info = sharded.infos[static_cast<std::size_t>(s)];
+    // Contiguous near-equal ranges: shard s owns [s*T/S, (s+1)*T/S).
+    info.doc_base = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(total) * static_cast<std::uint32_t>(s)) /
+        static_cast<std::uint32_t>(num_shards));
+    const std::uint32_t end = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(total) *
+         (static_cast<std::uint32_t>(s) + 1)) /
+        static_cast<std::uint32_t>(num_shards));
+    info.num_docs = end - info.doc_base;
+    info.doc_fraction =
+        static_cast<double>(info.num_docs) / static_cast<double>(total);
+
+    std::vector<TermEntry> terms(full.num_terms());
+    std::vector<Posting> doc_postings;
+    std::vector<Posting> impact_postings;
+    std::vector<BlockMeta> blocks;
+    std::vector<Posting> scratch;
+    for (TermId t = 0; t < full.num_terms(); ++t) {
+      const TermView view = full.Term(t);
+      // The shard's slice of the doc-ordered list: doc ids are sorted,
+      // so the range is a contiguous run found by binary search.
+      const auto lo = std::lower_bound(
+          view.doc_order.begin(), view.doc_order.end(), info.doc_base,
+          [](const Posting& p, DocId doc) { return p.doc < doc; });
+      const auto hi = std::lower_bound(
+          lo, view.doc_order.end(), end,
+          [](const Posting& p, DocId doc) { return p.doc < doc; });
+      TermEntry& entry = terms[t];
+      entry.doc_off = doc_postings.size();
+      entry.impact_off = impact_postings.size();
+      entry.block_off = blocks.size();
+      entry.df = static_cast<std::uint32_t>(std::distance(lo, hi));
+      if (entry.df == 0) continue;
+
+      scratch.clear();
+      scratch.reserve(entry.df);
+      for (auto it = lo; it != hi; ++it) {
+        // Rebase to shard-local ids; the score — computed against the
+        // full corpus statistics — is preserved bit for bit.
+        scratch.push_back(Posting{it->doc - info.doc_base, it->score});
+        entry.max_score = std::max(entry.max_score, it->score);
+      }
+      doc_postings.insert(doc_postings.end(), scratch.begin(),
+                          scratch.end());
+      const auto term_blocks = BuildBlockMeta(
+          std::span<const Posting>(scratch.data(), scratch.size()));
+      entry.num_blocks = static_cast<std::uint32_t>(term_blocks.size());
+      blocks.insert(blocks.end(), term_blocks.begin(), term_blocks.end());
+      // Impact order exactly as FinalizeIndex builds it: decreasing
+      // score, ties by increasing (local) doc id.
+      std::sort(scratch.begin(), scratch.end(),
+                [](const Posting& a, const Posting& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.doc < b.doc;
+                });
+      impact_postings.insert(impact_postings.end(), scratch.begin(),
+                             scratch.end());
+    }
+    sharded.shards.push_back(std::make_shared<InvertedIndex>(
+        InvertedIndex::FromParts(info.num_docs, full.avg_doc_len(),
+                                 std::move(terms), std::move(doc_postings),
+                                 std::move(impact_postings),
+                                 std::move(blocks))));
+  }
+  return sharded;
+}
+
+}  // namespace sparta::index

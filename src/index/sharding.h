@@ -1,0 +1,61 @@
+// Doc-partitioned index sharding for the simulated cluster.
+//
+// A ShardedIndex splits one finalized InvertedIndex into `num_shards`
+// contiguous document ranges. Each shard is itself a complete
+// InvertedIndex over its local (0-based) doc ids, with posting scores
+// preserved *bit for bit* from the full index — scores were computed
+// against global corpus statistics (idf over all N docs, global avgdl),
+// so per-shard top-k scores stay comparable across shards and the
+// scatter-gather merge of all shards' results is exactly the full
+// index's result (ShardMergeEquivalence in tests/test_cluster.cpp).
+// This mirrors how production tiers shard: documents are routed to
+// shards at ingest, but collection statistics are computed (or
+// broadcast) globally so scores merge.
+//
+// The route table is trivial by construction — shard s owns the global
+// doc range [infos[s].doc_base, doc_base + num_docs) — which keeps the
+// coordinator's local→global rebase a single addition, the same trick
+// the live index uses for delta doc ids (DESIGN.md §12).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace sparta::index {
+
+/// One shard's slice of the document space.
+struct ShardInfo {
+  /// Global doc id of the shard's local doc 0.
+  std::uint32_t doc_base = 0;
+  std::uint32_t num_docs = 0;
+  /// num_docs / total docs: the recall this shard's loss can cost.
+  double doc_fraction = 0.0;
+};
+
+struct ShardedIndex {
+  /// shards[s] indexes local doc ids [0, infos[s].num_docs).
+  std::vector<std::shared_ptr<const InvertedIndex>> shards;
+  std::vector<ShardInfo> infos;
+  std::uint32_t total_docs = 0;
+
+  int num_shards() const { return static_cast<int>(shards.size()); }
+
+  /// Rebase a shard-local doc id to the global document space.
+  DocId ToGlobal(int shard, DocId local) const {
+    return infos[static_cast<std::size_t>(shard)].doc_base + local;
+  }
+
+  /// Route a global doc id to its owning shard (contiguous ranges).
+  int ShardOf(DocId global) const;
+};
+
+/// Splits `full` into `num_shards` contiguous doc ranges (sizes differ
+/// by at most one document). Scores, per-term ordering conventions and
+/// block-max metadata are rebuilt per shard from the full index's
+/// postings without rescoring, so a merge over all shards reproduces
+/// the unsharded result exactly.
+ShardedIndex ShardIndex(const InvertedIndex& full, int num_shards);
+
+}  // namespace sparta::index

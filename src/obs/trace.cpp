@@ -34,6 +34,8 @@ const char* SpanKindName(SpanKind kind) {
       return "merge.build";
     case SpanKind::kDeltaFreeze:
       return "delta.freeze";
+    case SpanKind::kShardRpc:
+      return "shard.rpc";
   }
   return "span";
 }
@@ -60,6 +62,16 @@ const char* InstantKindName(InstantKind kind) {
       return "merge.abort";
     case InstantKind::kEpochReclaim:
       return "epoch.reclaim";
+    case InstantKind::kShardTimeout:
+      return "shard.timeout";
+    case InstantKind::kShardHedge:
+      return "shard.hedge";
+    case InstantKind::kNetDrop:
+      return "net.drop";
+    case InstantKind::kNodeCrash:
+      return "node.crash";
+    case InstantKind::kNodeRestart:
+      return "node.restart";
   }
   return "instant";
 }
@@ -93,6 +105,8 @@ const char* SpanArgName(SpanKind kind, int slot) {
       return slot == 0 ? "chunk" : "postings";
     case SpanKind::kDeltaFreeze:
       return slot == 0 ? "docs" : "postings";
+    case SpanKind::kShardRpc:
+      return slot == 0 ? "record" : "shard";
   }
   return slot == 0 ? "a" : "b";
 }
@@ -117,6 +131,13 @@ const char* InstantArgName(InstantKind kind, int slot) {
       return slot == 0 ? "epoch" : "outcome";
     case InstantKind::kEpochReclaim:
       return slot == 0 ? "reclaimed" : "epoch";
+    case InstantKind::kShardTimeout:
+    case InstantKind::kShardHedge:
+    case InstantKind::kNetDrop:
+      return slot == 0 ? "record" : "shard";
+    case InstantKind::kNodeCrash:
+    case InstantKind::kNodeRestart:
+      return slot == 0 ? "node" : "arg";
   }
   return slot == 0 ? "a" : "b";
 }

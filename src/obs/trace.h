@@ -54,6 +54,10 @@ enum class SpanKind : std::uint8_t {
   // Appended (not inserted) so pre-live-update traces keep their codes.
   kMergeBuild,    ///< one live-index merge chunk job
   kDeltaFreeze,   ///< freezing the active delta segment (refresh)
+  // Appended for cluster serving. In a cluster trace, tracks 0..N-1 are
+  // the *nodes*, the scheduler track carries fabric events, and the
+  // serving track the coordinator's policy events (serve/coordinator.h).
+  kShardRpc,      ///< one shard RPC, send to reply arrival (node track)
 };
 
 /// Point events.
@@ -69,6 +73,12 @@ enum class InstantKind : std::uint8_t {
   kMergePublish,    ///< live-index merge committed a new main segment
   kMergeAbort,      ///< live-index merge aborted (crash or torn write)
   kEpochReclaim,    ///< retired snapshot epochs reclaimed
+  // Appended for cluster serving (see SpanKind note on track layout).
+  kShardTimeout,    ///< attempt deadline expired with no reply
+  kShardHedge,      ///< hedged duplicate sent to another replica
+  kNetDrop,         ///< message lost (injected drop or partition)
+  kNodeCrash,       ///< node fail-stopped
+  kNodeRestart,     ///< node rejoined cold
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -7,7 +7,7 @@ namespace sparta::serve {
 topk::AdmissionOutcome AdmissionController::Decide(exec::VirtualTime now) {
   (void)now;  // decisions are state-based; `now` documents the instant.
   const util::SerialGuard guard(domain_);
-  if (queue_depth_ >= config_.queue_capacity) {
+  if (queue_depth_ >= EffectiveCapacityLocked()) {
     return topk::AdmissionOutcome::kRejectedFull;
   }
   if (config_.shed_predicted_wait && slo_ != exec::kNever) {
@@ -21,6 +21,11 @@ topk::AdmissionOutcome AdmissionController::Decide(exec::VirtualTime now) {
   }
   ++queue_depth_;
   return topk::AdmissionOutcome::kAdmitted;
+}
+
+void AdmissionController::SetCapacityScale(double scale) {
+  const util::SerialGuard guard(domain_);
+  capacity_scale_ = scale < 0.0 ? 0.0 : (scale > 1.0 ? 1.0 : scale);
 }
 
 void AdmissionController::OnDispatch(exec::VirtualTime now) {

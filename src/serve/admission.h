@@ -74,17 +74,30 @@ class AdmissionController {
   /// drain-rate signal) and the service-time EWMA.
   void OnComplete(exec::VirtualTime now, exec::VirtualTime service_ns);
 
+  /// Shard-aware capacity scaling (cluster serving): the coordinator
+  /// sets this to the live fraction of its backend, shrinking the
+  /// effective queue bound — a half-dead cluster drains at half the
+  /// rate, so admitting a full queue just converts rejects into SLO
+  /// misses. Scale is clamped to [0, 1]; effective capacity never drops
+  /// below 1 while any backend is alive.
+  void SetCapacityScale(double scale);
+
   std::size_t queue_depth() const {
     const util::SerialGuard guard(domain_);
     return queue_depth_;
   }
+  /// Queue bound currently enforced (capacity x scale).
+  std::size_t EffectiveCapacity() const {
+    const util::SerialGuard guard(domain_);
+    return EffectiveCapacityLocked();
+  }
   /// Queue occupancy in [0, 1] — the degradation ladder's input.
   double Occupancy() const {
     const util::SerialGuard guard(domain_);
-    return config_.queue_capacity == 0
-               ? 0.0
-               : static_cast<double>(queue_depth_) /
-                     static_cast<double>(config_.queue_capacity);
+    const std::size_t capacity = EffectiveCapacityLocked();
+    return capacity == 0 ? 0.0
+                         : static_cast<double>(queue_depth_) /
+                               static_cast<double>(capacity);
   }
   /// Predicted wait for an arrival joining the queue now.
   exec::VirtualTime PredictedWait() const {
@@ -112,11 +125,20 @@ class AdmissionController {
   exec::VirtualTime EstimatedServiceLocked() const SPARTA_REQUIRES(domain_) {
     return static_cast<exec::VirtualTime>(service_);
   }
+  std::size_t EffectiveCapacityLocked() const SPARTA_REQUIRES(domain_) {
+    if (capacity_scale_ >= 1.0) return config_.queue_capacity;
+    if (capacity_scale_ <= 0.0) return 0;
+    const auto scaled = static_cast<std::size_t>(
+        static_cast<double>(config_.queue_capacity) * capacity_scale_);
+    return scaled > 0 ? scaled : 1;
+  }
 
   mutable util::SerialDomain domain_;
   AdmissionConfig config_;   // immutable after construction
   exec::VirtualTime slo_;    // immutable after construction
   std::size_t queue_depth_ SPARTA_GUARDED_BY(domain_) = 0;
+  /// Live-backend fraction set by the cluster coordinator; 1 otherwise.
+  double capacity_scale_ SPARTA_GUARDED_BY(domain_) = 1.0;
   /// EWMA of completion spacing, ns.
   double departure_gap_ SPARTA_GUARDED_BY(domain_);
   /// EWMA of per-query service time, ns.

@@ -1,0 +1,699 @@
+#include "serve/coordinator.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "serve/policy.h"
+#include "util/common.h"
+
+namespace sparta::serve {
+
+using exec::VirtualTime;
+
+Cluster::Cluster(const index::ShardedIndex& sharded,
+                 const ClusterConfig& config)
+    : sharded_(sharded), config_(config), fabric_(config.fabric) {
+  SPARTA_CHECK(sharded.num_shards() == config.num_shards);
+  SPARTA_CHECK(config.num_nodes >= 1 && config.num_nodes <= 64);
+  SPARTA_CHECK(config.replication >= 1 &&
+               config.replication <= config.num_nodes);
+  for (int n = 0; n < config.num_nodes; ++n) {
+    sim::NodeConfig nc;
+    nc.id = n;
+    nc.sim = config.node_sim;
+    // Salt the node-local fault seed so the same plan applied to every
+    // node still yields node-distinct (but replayable) fault streams.
+    if (nc.sim.faults.enabled()) {
+      nc.sim.faults.seed += static_cast<std::uint64_t>(n);
+    }
+    for (const ClusterConfig::NodeFaults& nf : config.node_faults) {
+      if (nf.node == n) nc.sim.faults = nf.faults;
+    }
+    nodes_.push_back(std::make_unique<sim::Node>(nc));
+  }
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    for (int r = 0; r < config.replication; ++r) {
+      node(ReplicaNode(s, r))
+          .HostShard(s, sharded.shards[static_cast<std::size_t>(s)]);
+    }
+  }
+  const sim::FaultConfig& nf = config.net_faults;
+  if (nf.crash_node >= 0) {
+    SPARTA_CHECK(nf.crash_node < config.num_nodes);
+    SPARTA_CHECK(nf.crash_at != exec::kNever);
+    node(nf.crash_node).ScheduleCrash(nf.crash_at, nf.restart_at);
+  }
+  if (nf.enabled()) injector_ = std::make_unique<sim::FaultInjector>(nf);
+  if (config.trace.enabled) {
+    tracer_ = std::make_unique<obs::Tracer>(config.num_nodes);
+  }
+}
+
+bool Cluster::NodeReachable(int n, VirtualTime now) const {
+  return nodes_[static_cast<std::size_t>(n)]->up(now) &&
+         !config_.net_faults.Partitioned(n, now);
+}
+
+namespace {
+
+// Modeled wire sizes: a request is a term list plus framing, a response
+// a top-k entry list. Only ratios matter — they price large responses
+// above small requests in the fabric's bandwidth term.
+constexpr std::uint64_t kMsgBytesBase = 64;
+constexpr std::uint64_t kReqBytesPerTerm = 8;
+constexpr std::uint64_t kRespBytesPerHit = 16;
+
+enum class EventType : std::uint8_t {
+  kArrival,
+  kSend,     ///< (re)send one shard attempt
+  kReply,    ///< shard response reached the coordinator
+  kTimeout,  ///< per-attempt deadline expired
+  kHedge,    ///< hedge timer fired
+  kCrash,    ///< scheduled node fail-stop (log/trace only)
+  kRestart,  ///< scheduled node rejoin (log/trace only)
+};
+
+struct Event {
+  VirtualTime at = 0;
+  std::uint64_t seq = 0;
+  EventType type = EventType::kArrival;
+  std::size_t record = 0;
+  int shard = 0;
+  std::size_t attempt = 0;  ///< kReply/kTimeout
+  int node = 0;             ///< kReply sender; kCrash/kRestart subject
+  std::size_t reply = 0;    ///< kReply: index into the reply store
+  bool hedge = false;       ///< kSend
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+struct Attempt {
+  int replica = 0;  ///< replica ordinal
+  int node = -1;
+  bool probe = false;
+  bool hedge = false;
+  /// Breaker outcome delivered (first of reply/timeout wins).
+  bool reported = false;
+};
+
+struct ShardProgress {
+  bool answered = false;
+  /// Answered, or every attempt exhausted — the query stops waiting.
+  bool resolved = false;
+  bool hedge_sent = false;
+  int started = 0;  ///< non-hedge attempts consumed
+  int next_replica = 0;
+  int outstanding = 0;  ///< sent attempts not yet reported
+  std::vector<Attempt> attempts;
+  topk::SearchResult result;  ///< shard-local ids, valid iff answered
+};
+
+struct QueryState {
+  bool dispatched = false;
+  bool finalized = false;
+  VirtualTime dispatch = 0;
+  int unresolved = 0;
+  std::vector<ShardProgress> shards;
+};
+
+/// The whole scatter-gather run: one global deterministic event loop.
+class ServeLoop {
+ public:
+  ServeLoop(Cluster& cluster, const topk::Algorithm& algo,
+            std::span<const std::vector<TermId>> queries,
+            const topk::SearchParams& base_params,
+            std::span<const VirtualTime> arrivals)
+      : cluster_(cluster),
+        cfg_(cluster.config()),
+        algo_(algo),
+        queries_(queries),
+        params_(base_params),
+        arrivals_(arrivals),
+        ctrl_(cfg_.admission, cfg_.slo),
+        injector_(cluster.fault_injector()),
+        tracer_(cluster.tracer()) {
+    SPARTA_CHECK(!queries_.empty());
+    breakers_.reserve(static_cast<std::size_t>(cfg_.num_shards));
+    for (int s = 0; s < cfg_.num_shards; ++s) {
+      std::vector<CircuitBreaker> row;
+      row.reserve(static_cast<std::size_t>(cfg_.replication));
+      for (int r = 0; r < cfg_.replication; ++r) {
+        row.emplace_back(cfg_.breaker);
+      }
+      breakers_.push_back(std::move(row));
+    }
+  }
+
+  ClusterServeResult Run() {
+    out_.queries.resize(arrivals_.size());
+    states_.resize(arrivals_.size());
+    for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+      out_.queries[i].query_index = i % queries_.size();
+      out_.queries[i].arrival = arrivals_[i];
+      Push({.at = arrivals_[i], .type = EventType::kArrival, .record = i});
+    }
+    const sim::FaultConfig& nf = cfg_.net_faults;
+    if (nf.crash_node >= 0) {
+      Push({.at = nf.crash_at,
+            .type = EventType::kCrash,
+            .node = nf.crash_node});
+      if (nf.restart_at != exec::kNever) {
+        Push({.at = nf.restart_at,
+              .type = EventType::kRestart,
+              .node = nf.crash_node});
+      }
+    }
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      Handle(ev);
+    }
+    FinalizeAggregates();
+    return std::move(out_);
+  }
+
+ private:
+  void Push(Event ev) {
+    ev.seq = next_seq_++;
+    events_.push(ev);
+  }
+
+  void Handle(const Event& ev) {
+    switch (ev.type) {
+      case EventType::kArrival:
+        OnArrival(ev.record, ev.at);
+        break;
+      case EventType::kSend:
+        SendAttempt(ev.record, ev.shard, ev.at, ev.hedge);
+        break;
+      case EventType::kReply:
+        OnReply(ev);
+        break;
+      case EventType::kTimeout:
+        OnTimeout(ev);
+        break;
+      case EventType::kHedge:
+        OnHedge(ev.record, ev.shard, ev.at);
+        break;
+      case EventType::kCrash:
+        if (injector_ != nullptr) injector_->LogNodeCrash(ev.node, ev.at);
+        if (tracer_ != nullptr) {
+          tracer_->AddInstant(tracer_->scheduler_track(),
+                              obs::InstantKind::kNodeCrash, ev.at,
+                              static_cast<std::uint64_t>(ev.node));
+        }
+        break;
+      case EventType::kRestart:
+        if (injector_ != nullptr) injector_->LogNodeRestart(ev.node, ev.at);
+        if (tracer_ != nullptr) {
+          tracer_->AddInstant(tracer_->scheduler_track(),
+                              obs::InstantKind::kNodeRestart, ev.at,
+                              static_cast<std::uint64_t>(ev.node));
+        }
+        break;
+    }
+  }
+
+  double LiveFraction(VirtualTime now) const {
+    int reachable = 0;
+    for (int n = 0; n < cluster_.num_nodes(); ++n) {
+      if (cluster_.NodeReachable(n, now)) ++reachable;
+    }
+    return static_cast<double>(reachable) /
+           static_cast<double>(cluster_.num_nodes());
+  }
+
+  void OnArrival(std::size_t record, VirtualTime now) {
+    ServedQuery& q = out_.queries[record];
+    if (cfg_.shard_aware_admission) {
+      ctrl_.SetCapacityScale(LiveFraction(now));
+    }
+    const topk::AdmissionOutcome outcome = ctrl_.Decide(now);
+    q.outcome = outcome;
+    q.result.stats.admission_outcome = outcome;
+    if (tracer_ != nullptr &&
+        outcome != topk::AdmissionOutcome::kAdmitted) {
+      tracer_->AddInstant(
+          tracer_->serving_track(),
+          outcome == topk::AdmissionOutcome::kRejectedFull
+              ? obs::InstantKind::kAdmissionReject
+              : obs::InstantKind::kAdmissionShed,
+          now, record);
+    }
+    if (outcome != topk::AdmissionOutcome::kAdmitted) return;
+    pending_.push_back(record);
+    TryDispatch(now);
+  }
+
+  void TryDispatch(VirtualTime now) {
+    while (inflight_ < cfg_.max_inflight && !pending_.empty()) {
+      const std::size_t record = pending_.front();
+      pending_.erase(pending_.begin());
+      ctrl_.OnDispatch(now);
+      ++inflight_;
+      ServedQuery& sq = out_.queries[record];
+      sq.dispatch = now;
+      if (tracer_ != nullptr) {
+        tracer_->AddSpan(tracer_->serving_track(),
+                         obs::SpanKind::kAdmissionWait, sq.arrival, now,
+                         record, 0);
+      }
+      QueryState& q = states_[record];
+      q.dispatched = true;
+      q.dispatch = now;
+      q.unresolved = cfg_.num_shards;
+      q.shards.resize(static_cast<std::size_t>(cfg_.num_shards));
+      for (int s = 0; s < cfg_.num_shards; ++s) {
+        SendAttempt(record, s, now, /*hedge=*/false);
+        if (cfg_.hedge_delay != exec::kNever && cfg_.replication > 1) {
+          Push({.at = now + cfg_.hedge_delay,
+                .type = EventType::kHedge,
+                .record = record,
+                .shard = s});
+        }
+      }
+    }
+  }
+
+  /// Node-side search budget for one attempt: the coordinator's
+  /// per-attempt deadline minus the round-trip estimate, floored at
+  /// half the deadline so a slow link never starves the search itself.
+  VirtualTime NodeBudget(int node, std::size_t num_terms) const {
+    const std::uint64_t req =
+        kMsgBytesBase + kReqBytesPerTerm * num_terms;
+    const std::uint64_t resp =
+        kMsgBytesBase +
+        kRespBytesPerHit * static_cast<std::uint64_t>(params_.k);
+    const VirtualTime rtt =
+        cluster_.fabric().TransferTime(sim::kCoordinatorNode, node, req) +
+        cluster_.fabric().TransferTime(node, sim::kCoordinatorNode, resp);
+    const VirtualTime floor = cfg_.shard_deadline / 2;
+    return cfg_.shard_deadline - rtt > floor ? cfg_.shard_deadline - rtt
+                                             : floor;
+  }
+
+  void SendAttempt(std::size_t record, int shard, VirtualTime now,
+                   bool hedge) {
+    QueryState& q = states_[record];
+    ShardProgress& sp = q.shards[static_cast<std::size_t>(shard)];
+    if (q.finalized || sp.answered || sp.resolved) return;
+
+    // Pick the next replica whose breaker will take traffic.
+    int chosen = -1;
+    bool probe = false;
+    for (int i = 0; i < cfg_.replication; ++i) {
+      const int r = (sp.next_replica + i) % cfg_.replication;
+      if (!cfg_.breaker_enabled) {
+        chosen = r;
+        break;
+      }
+      CircuitBreaker& b = Breaker(shard, r);
+      const CircuitBreaker::State st = b.state(now);
+      if (st == CircuitBreaker::State::kOpen) continue;
+      if (st == CircuitBreaker::State::kHalfOpen) {
+        if (!b.WouldProbe(now)) continue;
+        const bool ok = b.Admit(now);
+        SPARTA_CHECK(ok);
+        probe = true;
+      }
+      chosen = r;
+      break;
+    }
+    if (chosen < 0) {
+      // Every replica's breaker refused: fail this attempt immediately
+      // instead of waiting out a timeout on a known-dead backend.
+      ++out_.breaker_skips;
+      if (!hedge) {
+        ++sp.started;
+        MaybeRetryOrExhaust(record, shard, now);
+      }
+      return;
+    }
+    sp.next_replica = (chosen + 1) % cfg_.replication;
+    const int node = cluster_.ReplicaNode(shard, chosen);
+    const std::size_t attempt_idx = sp.attempts.size();
+    sp.attempts.push_back(
+        {.replica = chosen, .node = node, .probe = probe, .hedge = hedge});
+    if (!hedge) ++sp.started;
+    ++sp.outstanding;
+    ++out_.rpcs_sent;
+    if (hedge) {
+      ++out_.hedges_sent;
+      if (tracer_ != nullptr) {
+        tracer_->AddInstant(tracer_->serving_track(),
+                            obs::InstantKind::kShardHedge, now, record,
+                            static_cast<std::uint64_t>(shard));
+      }
+    }
+    // Every attempt owns exactly one timeout; attempts are resolved by
+    // their reply or their timeout, whichever lands first, so no
+    // breaker report or probe slot can leak.
+    Push({.at = now + cfg_.shard_deadline,
+          .type = EventType::kTimeout,
+          .record = record,
+          .shard = shard,
+          .attempt = attempt_idx});
+
+    const std::vector<TermId>& terms =
+        queries_[out_.queries[record].query_index];
+    const std::uint64_t req_bytes =
+        kMsgBytesBase + kReqBytesPerTerm * terms.size();
+    VirtualTime node_arrival =
+        now + cluster_.fabric().TransferTime(sim::kCoordinatorNode, node,
+                                             req_bytes);
+    if (injector_ != nullptr) {
+      const sim::FaultInjector::NetFault f =
+          injector_->OnNetMessage(sim::kCoordinatorNode, node, now);
+      if (f.dropped) {
+        TraceNetDrop(record, shard, now);
+        return;  // the timeout is the only way the coordinator learns
+      }
+      node_arrival += f.delay;
+    }
+
+    topk::SearchParams node_params = params_;
+    node_params.deadline = NodeBudget(node, terms.size());
+    sim::Node::ShardReply reply = cluster_.node(node).Execute(
+        shard, algo_, terms, node_params, node_arrival);
+    if (!reply.responded) return;  // down or died mid-request
+
+    // sparta-lint: allow(result-status) size-only read to price the
+    // response on the wire; OnReply judges this result's status when
+    // the reply event lands (IsMachineFailure drives the breaker).
+    const std::uint64_t resp_hits = reply.result.entries.size();
+    const std::uint64_t resp_bytes = kMsgBytesBase + kRespBytesPerHit * resp_hits;
+    VirtualTime reply_arrival =
+        reply.completed + cluster_.fabric().TransferTime(
+                              node, sim::kCoordinatorNode, resp_bytes);
+    if (injector_ != nullptr) {
+      const sim::FaultInjector::NetFault f = injector_->OnNetMessage(
+          node, sim::kCoordinatorNode, reply.completed);
+      if (f.dropped) {
+        TraceNetDrop(record, shard, reply.completed);
+        return;
+      }
+      reply_arrival += f.delay;
+    }
+    const std::size_t reply_idx = replies_.size();
+    replies_.push_back(std::move(reply.result));
+    if (tracer_ != nullptr) {
+      tracer_->AddSpan(node, obs::SpanKind::kShardRpc, now, reply_arrival,
+                       record, static_cast<std::uint64_t>(shard));
+    }
+    Push({.at = reply_arrival,
+          .type = EventType::kReply,
+          .record = record,
+          .shard = shard,
+          .attempt = attempt_idx,
+          .node = node,
+          .reply = reply_idx});
+  }
+
+  void TraceNetDrop(std::size_t record, int shard, VirtualTime at) {
+    ++out_.net_drops;
+    if (tracer_ != nullptr) {
+      tracer_->AddInstant(tracer_->scheduler_track(),
+                          obs::InstantKind::kNetDrop, at, record,
+                          static_cast<std::uint64_t>(shard));
+    }
+  }
+
+  CircuitBreaker& Breaker(int shard, int replica) {
+    return breakers_[static_cast<std::size_t>(shard)]
+                    [static_cast<std::size_t>(replica)];
+  }
+
+  void ReportAttempt(int shard, Attempt& a, VirtualTime now, bool success) {
+    if (a.reported) return;
+    a.reported = true;
+    if (cfg_.breaker_enabled) {
+      CircuitBreaker& b = Breaker(shard, a.replica);
+      if (success) {
+        b.OnSuccess(now, a.probe);
+      } else {
+        b.OnFailure(now, a.probe);
+      }
+    }
+  }
+
+  void OnReply(const Event& ev) {
+    QueryState& q = states_[ev.record];
+    ShardProgress& sp = q.shards[static_cast<std::size_t>(ev.shard)];
+    Attempt& a = sp.attempts[ev.attempt];
+    topk::SearchResult result = std::move(replies_[ev.reply]);
+    // The replica responded; whether its *machine* mangled the query
+    // decides the breaker verdict (deadline partials are policy, not
+    // failure — same rule as the single-machine tier).
+    const bool was_reported = a.reported;
+    ReportAttempt(ev.shard, a, ev.at, !IsMachineFailure(result.status));
+    if (!was_reported) --sp.outstanding;
+    ++out_.rpcs_answered;
+    if (q.finalized || sp.answered) return;  // hedge/duplicate lost
+    sp.answered = true;
+    sp.resolved = true;
+    sp.result = std::move(result);
+    if (a.hedge) ++out_.hedges_won;
+    --q.unresolved;
+    if (q.unresolved == 0) Finalize(ev.record, ev.at);
+  }
+
+  void OnTimeout(const Event& ev) {
+    QueryState& q = states_[ev.record];
+    ShardProgress& sp = q.shards[static_cast<std::size_t>(ev.shard)];
+    Attempt& a = sp.attempts[ev.attempt];
+    if (a.reported) return;  // its reply beat the deadline
+    ReportAttempt(ev.shard, a, ev.at, /*success=*/false);
+    --sp.outstanding;
+    ++out_.rpc_timeouts;
+    if (tracer_ != nullptr) {
+      tracer_->AddInstant(tracer_->serving_track(),
+                          obs::InstantKind::kShardTimeout, ev.at, ev.record,
+                          static_cast<std::uint64_t>(ev.shard));
+    }
+    if (q.finalized || sp.answered) return;
+    MaybeRetryOrExhaust(ev.record, ev.shard, ev.at);
+  }
+
+  /// A shard attempt just died. Retry on the next replica after the
+  /// backoff while attempts remain; otherwise, once nothing is in
+  /// flight, give the shard up and let the query finish without it.
+  void MaybeRetryOrExhaust(std::size_t record, int shard, VirtualTime now) {
+    QueryState& q = states_[record];
+    ShardProgress& sp = q.shards[static_cast<std::size_t>(shard)];
+    if (sp.answered || sp.resolved) return;
+    if (sp.started < cfg_.attempts_per_shard) {
+      ++out_.retries;
+      Push({.at = now + cfg_.retry_backoff,
+            .type = EventType::kSend,
+            .record = record,
+            .shard = shard});
+      return;
+    }
+    if (sp.outstanding > 0) return;  // a hedge may still answer
+    sp.resolved = true;
+    --q.unresolved;
+    if (q.unresolved == 0) Finalize(record, now);
+  }
+
+  void OnHedge(std::size_t record, int shard, VirtualTime now) {
+    QueryState& q = states_[record];
+    ShardProgress& sp = q.shards[static_cast<std::size_t>(shard)];
+    if (q.finalized || sp.answered || sp.resolved || sp.hedge_sent) return;
+    sp.hedge_sent = true;
+    SendAttempt(record, shard, now, /*hedge=*/true);
+  }
+
+  void Finalize(std::size_t record, VirtualTime now) {
+    QueryState& q = states_[record];
+    SPARTA_CHECK(!q.finalized);
+    q.finalized = true;
+    ServedQuery& sq = out_.queries[record];
+
+    topk::SearchResult merged;
+    std::uint32_t answered = 0;
+    double coverage = 0.0;
+    for (int s = 0; s < cfg_.num_shards; ++s) {
+      const ShardProgress& sp = q.shards[static_cast<std::size_t>(s)];
+      if (!sp.answered) continue;
+      ++answered;
+      coverage +=
+          cluster_.sharded().infos[static_cast<std::size_t>(s)].doc_fraction;
+      for (const topk::ResultEntry& e : sp.result.entries) {
+        merged.entries.push_back(
+            {cluster_.sharded().ToGlobal(s, e.doc), e.score});
+      }
+      merged.status = std::max(merged.status, sp.result.status);
+      merged.stats.postings_processed += sp.result.stats.postings_processed;
+      merged.stats.postings_total += sp.result.stats.postings_total;
+      merged.stats.heap_inserts += sp.result.stats.heap_inserts;
+      merged.stats.docmap_peak_entries +=
+          sp.result.stats.docmap_peak_entries;
+      merged.stats.random_accesses += sp.result.stats.random_accesses;
+      merged.stats.io_retries += sp.result.stats.io_retries;
+      merged.stats.faults_injected += sp.result.stats.faults_injected;
+    }
+    topk::CanonicalizeResult(merged.entries);
+    if (merged.entries.size() > static_cast<std::size_t>(params_.k)) {
+      merged.entries.resize(static_cast<std::size_t>(params_.k));
+    }
+    const auto total = static_cast<std::uint32_t>(cfg_.num_shards);
+    if (answered < total) {
+      merged.status = topk::ResultStatus::kShardsDegraded;
+    }
+    merged.stats.shards_answered = answered;
+    merged.stats.shards_total = total;
+    merged.stats.shard_coverage = answered == total ? 1.0 : coverage;
+    merged.stats.latency = now - q.dispatch;
+    merged.stats.queue_wait = q.dispatch - sq.arrival;
+    merged.stats.admission_outcome = topk::AdmissionOutcome::kAdmitted;
+    sq.completion = now;
+    sq.result = std::move(merged);
+
+    ctrl_.OnComplete(now, now - q.dispatch);
+    SPARTA_CHECK(inflight_ > 0);
+    --inflight_;
+    TryDispatch(now);
+  }
+
+  void FinalizeAggregates() {
+    out_.offered = out_.queries.size();
+    for (const ServedQuery& sq : out_.queries) {
+      out_.horizon = std::max(out_.horizon, sq.arrival);
+      switch (sq.outcome) {
+        case topk::AdmissionOutcome::kRejectedFull:
+          ++out_.rejected_full;
+          continue;
+        case topk::AdmissionOutcome::kShedPredictedWait:
+          ++out_.shed;
+          continue;
+        case topk::AdmissionOutcome::kBreakerDropped:
+        case topk::AdmissionOutcome::kAdmitted:
+          break;
+      }
+      ++out_.admitted;
+      if (sq.completion < 0) continue;
+      ++out_.completed;
+      out_.horizon = std::max(out_.horizon, sq.completion);
+      out_.e2e_ns.Add(sq.EndToEnd());
+      out_.queue_wait_ns.Add(sq.QueueWait());
+      const double coverage = sq.result.stats.shard_coverage;
+      out_.coverage_pm.Add(static_cast<std::int64_t>(coverage * 1000.0));
+      out_.min_coverage = std::min(out_.min_coverage, coverage);
+      if (sq.result.degraded()) ++out_.degraded;
+      if (sq.result.status == topk::ResultStatus::kShardsDegraded) {
+        ++out_.shards_degraded;
+      }
+      if (coverage == 1.0 &&
+          sq.result.status != topk::ResultStatus::kOom &&
+          (cfg_.slo == exec::kNever || sq.EndToEnd() <= cfg_.slo)) {
+        ++out_.goodput;
+      }
+    }
+    for (auto& row : breakers_) {
+      for (CircuitBreaker& b : row) {
+        out_.breaker_trips += b.trips();
+        out_.breaker_probes += b.probes();
+      }
+    }
+  }
+
+  Cluster& cluster_;
+  const ClusterConfig& cfg_;
+  const topk::Algorithm& algo_;
+  std::span<const std::vector<TermId>> queries_;
+  const topk::SearchParams& params_;
+  std::span<const VirtualTime> arrivals_;
+
+  AdmissionController ctrl_;
+  sim::FaultInjector* injector_;
+  obs::Tracer* tracer_;
+  /// breakers_[shard][replica ordinal].
+  std::vector<std::vector<CircuitBreaker>> breakers_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<QueryState> states_;
+  std::vector<topk::SearchResult> replies_;
+  std::vector<std::size_t> pending_;
+  std::size_t inflight_ = 0;
+
+  ClusterServeResult out_;
+};
+
+}  // namespace
+
+ClusterServeResult Coordinator::Serve(
+    std::span<const std::vector<TermId>> queries,
+    const topk::SearchParams& base_params) {
+  const std::vector<VirtualTime> arrivals =
+      GenerateArrivals(cluster_.config().arrivals);
+  return Serve(queries, base_params, arrivals);
+}
+
+ClusterServeResult Coordinator::Serve(
+    std::span<const std::vector<TermId>> queries,
+    const topk::SearchParams& base_params,
+    std::span<const VirtualTime> arrivals) {
+  ServeLoop loop(cluster_, algo_, queries, base_params, arrivals);
+  return loop.Run();
+}
+
+std::vector<topk::SearchResult> SearchOnCluster(
+    Cluster& cluster, const topk::Algorithm& algo,
+    std::span<const std::vector<TermId>> queries,
+    const topk::SearchParams& params) {
+  const ClusterConfig& cfg = cluster.config();
+  // One query at a time: space arrivals past the worst-case resolution
+  // time (every attempt timing out plus backoffs, with slack), so no
+  // two queries ever overlap on the timeline.
+  const VirtualTime spacing =
+      static_cast<VirtualTime>(cfg.attempts_per_shard) *
+          (cfg.shard_deadline + cfg.retry_backoff) +
+      20 * exec::kMillisecond;
+  std::vector<VirtualTime> arrivals;
+  arrivals.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    arrivals.push_back(static_cast<VirtualTime>(i + 1) * spacing);
+  }
+  ServeLoop loop(cluster, algo, queries, params, arrivals);
+  ClusterServeResult run = loop.Run();
+  std::vector<topk::SearchResult> results;
+  results.reserve(queries.size());
+  for (ServedQuery& sq : run.queries) {
+    results.push_back(std::move(sq.result));
+  }
+  return results;
+}
+
+void AddClusterMetrics(const ClusterServeResult& result,
+                       obs::MetricsRegistry& reg) {
+  reg.GetCounter("cluster.offered").Add(result.offered);
+  reg.GetCounter("cluster.admitted").Add(result.admitted);
+  reg.GetCounter("cluster.rejected_full").Add(result.rejected_full);
+  reg.GetCounter("cluster.shed").Add(result.shed);
+  reg.GetCounter("cluster.completed").Add(result.completed);
+  reg.GetCounter("cluster.degraded").Add(result.degraded);
+  reg.GetCounter("cluster.shards_degraded").Add(result.shards_degraded);
+  reg.GetCounter("cluster.goodput").Add(result.goodput);
+  reg.GetCounter("cluster.rpcs.sent").Add(result.rpcs_sent);
+  reg.GetCounter("cluster.rpcs.answered").Add(result.rpcs_answered);
+  reg.GetCounter("cluster.rpcs.timeouts").Add(result.rpc_timeouts);
+  reg.GetCounter("cluster.rpcs.retries").Add(result.retries);
+  reg.GetCounter("cluster.hedges.sent").Add(result.hedges_sent);
+  reg.GetCounter("cluster.hedges.won").Add(result.hedges_won);
+  reg.GetCounter("cluster.breaker.skips").Add(result.breaker_skips);
+  reg.GetCounter("cluster.breaker.trips").Add(result.breaker_trips);
+  reg.GetCounter("cluster.breaker.probes").Add(result.breaker_probes);
+  reg.GetCounter("cluster.net.drops").Add(result.net_drops);
+  reg.GetHistogram("cluster.e2e_ns").Merge(result.e2e_ns);
+  reg.GetHistogram("cluster.queue_wait_ns").Merge(result.queue_wait_ns);
+  reg.GetHistogram("cluster.coverage_pm").Merge(result.coverage_pm);
+}
+
+}  // namespace sparta::serve

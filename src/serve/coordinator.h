@@ -1,0 +1,238 @@
+// Sharded scatter-gather serving that survives failures (DESIGN.md §13).
+//
+// A Cluster is N simulated nodes (sim/node.h) hosting a doc-partitioned
+// index (index/sharding.h) with R-way replication — shard s's replica r
+// lives on node (s + r) % N, the classic chained-declustering placement
+// that spreads a dead node's load over all survivors. The Coordinator
+// runs the open-loop serving tier over that cluster on one global
+// discrete-event timeline:
+//
+//   admission  — the single-machine AdmissionController, with its
+//       effective queue capacity scaled by the live-node fraction
+//       (shard-aware admission: a half-dead cluster drains at half the
+//       rate, so keeping the full queue only converts rejects into SLO
+//       misses);
+//   scatter    — one RPC per shard over the fabric cost model
+//       (sim/fabric.h), each carrying a node-side deadline derived from
+//       the per-attempt budget so nodes return honest partials instead
+//       of blowing the coordinator's timeout;
+//   failure    — per-replica circuit breakers fail fast past known-dead
+//       replicas; per-attempt timeouts retry the next replica with
+//       backoff; an optional hedge duplicates the request to another
+//       replica when the primary is slow (straggler defense);
+//   gather     — per-shard top-k lists are rebased to global doc ids
+//       and merged; shards that never answered make the response an
+//       honest partial: ResultStatus::kShardsDegraded with the covered
+//       corpus fraction in QueryStats::shard_coverage. A query is never
+//       *failed* by a backend fault — the contract is "always answer,
+//       say how much of the corpus the answer saw".
+//
+// Determinism: every source of variation is seeded — node machines,
+// arrival schedule, and one cluster-level FaultInjector whose network
+// draws (delay, drop) happen in global event order, while partitions
+// and crashes are config-scheduled windows that consume no randomness.
+// The same ClusterConfig therefore replays bit-identical results,
+// coverage, fault logs and traces (tests/test_cluster.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "index/sharding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/admission.h"
+#include "serve/arrivals.h"
+#include "serve/breaker.h"
+#include "serve/server.h"
+#include "sim/fabric.h"
+#include "sim/fault_injector.h"
+#include "sim/node.h"
+#include "topk/algorithm.h"
+#include "util/histogram.h"
+
+namespace sparta::serve {
+
+struct ClusterConfig {
+  /// Cluster shape. Shards are placed shard s, replica r -> node
+  /// (s + r) % num_nodes; replication > num_nodes is meaningless.
+  int num_shards = 4;
+  int num_nodes = 4;
+  int replication = 1;
+
+  /// Template for every node's machine. Each node's fault seed is
+  /// salted with its id so node-local fault plans differ across nodes
+  /// but stay deterministic.
+  sim::SimConfig node_sim;
+  /// Per-node fault-plan overrides (e.g. one stall-prone straggler).
+  struct NodeFaults {
+    int node = 0;
+    sim::FaultConfig faults;
+  };
+  std::vector<NodeFaults> node_faults;
+
+  /// Link cost model.
+  sim::FabricConfig fabric;
+  /// Cluster-level fault plan: network delay/drop draws plus the
+  /// partition window and node crash/restart schedule. Node-*local*
+  /// faults (stalls, IO) belong in node_sim/node_faults.
+  sim::FaultConfig net_faults;
+
+  // --- scatter-gather policy ---
+  /// Per-attempt budget at the coordinator, send to reply; an attempt
+  /// without a reply by then is declared dead and the next replica is
+  /// tried. Also bounds the node-side search deadline (minus the
+  /// round-trip estimate), so nodes answer honestly within it.
+  exec::VirtualTime shard_deadline = 10 * exec::kMillisecond;
+  /// Send attempts per shard per query, first try included.
+  int attempts_per_shard = 2;
+  /// Wait between an attempt's death and the retry send.
+  exec::VirtualTime retry_backoff = 500'000;  // 0.5 ms
+  /// If set (!= kNever) and the shard has > 1 replica: duplicate an
+  /// unanswered request to the next replica after this delay; first
+  /// reply wins. The straggler defense (Dean & Barroso, tail at scale).
+  exec::VirtualTime hedge_delay = exec::kNever;
+
+  // --- coordinator policy ---
+  ArrivalConfig arrivals;
+  AdmissionConfig admission;
+  /// End-to-end SLO (queue wait + scatter-gather), kNever = none.
+  exec::VirtualTime slo = 50 * exec::kMillisecond;
+  /// Scale admission capacity by the live-node fraction.
+  bool shard_aware_admission = true;
+  /// Queries scattered concurrently; others wait in the admission queue.
+  std::size_t max_inflight = 8;
+  /// Per-replica circuit breakers (replica = (shard, node) assignment).
+  bool breaker_enabled = true;
+  BreakerConfig breaker;
+
+  /// Cluster trace: tracks 0..num_nodes-1 are the nodes (kShardRpc
+  /// spans), the scheduler track carries fabric/node-lifecycle events,
+  /// the serving track the coordinator's policy events.
+  obs::TraceConfig trace;
+};
+
+/// Aggregates of one cluster serving run; `queries` reuses the
+/// single-machine ServedQuery record (coverage lives in
+/// result.stats.shard_coverage).
+struct ClusterServeResult {
+  std::vector<ServedQuery> queries;
+
+  std::size_t offered = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected_full = 0;
+  std::size_t shed = 0;
+  std::size_t completed = 0;
+  /// Results merged from fewer than all shards (kShardsDegraded).
+  std::size_t shards_degraded = 0;
+  /// Any degraded status (deadline, fault, OOM, shards).
+  std::size_t degraded = 0;
+  /// Admitted, full-coverage, within the SLO.
+  std::size_t goodput = 0;
+
+  // Scatter-gather accounting.
+  std::uint64_t rpcs_sent = 0;
+  std::uint64_t rpcs_answered = 0;
+  std::uint64_t rpc_timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t hedges_sent = 0;
+  /// Hedged replies that answered their shard first.
+  std::uint64_t hedges_won = 0;
+  /// Attempts resolved instantly because every candidate replica's
+  /// breaker refused (fail-fast on known-dead replicas).
+  std::uint64_t breaker_skips = 0;
+  std::uint64_t breaker_trips = 0;
+  /// Half-open probe attempts across all replica breakers.
+  std::uint64_t breaker_probes = 0;
+  /// Messages lost to injected drops or the partition window.
+  std::uint64_t net_drops = 0;
+
+  util::Histogram e2e_ns;
+  util::Histogram queue_wait_ns;
+  /// Per-query corpus coverage in per-mille (1000 = full).
+  util::Histogram coverage_pm;
+  double min_coverage = 1.0;
+  exec::VirtualTime horizon = 0;
+
+  double GoodputQps() const {
+    return horizon > 0 ? static_cast<double>(goodput) /
+                             (static_cast<double>(horizon) / 1e9)
+                       : 0.0;
+  }
+};
+
+/// The simulated cluster: nodes, shard placement, fabric, and the
+/// cluster-level fault plan. Owns no query state — Coordinator does.
+class Cluster {
+ public:
+  /// `sharded.num_shards()` must equal config.num_shards; shards are
+  /// replicated onto nodes at construction (cold caches everywhere).
+  Cluster(const index::ShardedIndex& sharded, const ClusterConfig& config);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_shards() const { return sharded_.num_shards(); }
+  int replication() const { return config_.replication; }
+  /// Node hosting shard `shard`'s replica ordinal `r`.
+  int ReplicaNode(int shard, int r) const {
+    return (shard + r) % num_nodes();
+  }
+
+  sim::Node& node(int id) { return *nodes_[static_cast<std::size_t>(id)]; }
+  const index::ShardedIndex& sharded() const { return sharded_; }
+  const ClusterConfig& config() const { return config_; }
+  const sim::Fabric& fabric() const { return fabric_; }
+  /// Non-null iff config.net_faults.enabled().
+  sim::FaultInjector* fault_injector() { return injector_.get(); }
+  /// Non-null iff config.trace.enabled.
+  obs::Tracer* tracer() { return tracer_.get(); }
+
+  /// True when `node` can be reached and is up at `now` (crash schedule
+  /// + partition window; used for shard-aware admission scaling).
+  bool NodeReachable(int node, exec::VirtualTime now) const;
+
+ private:
+  const index::ShardedIndex& sharded_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<sim::Node>> nodes_;
+  sim::Fabric fabric_;
+  std::unique_ptr<sim::FaultInjector> injector_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
+
+/// Scatter-gather serving over a Cluster on one global event timeline.
+class Coordinator {
+ public:
+  Coordinator(Cluster& cluster, const topk::Algorithm& algo)
+      : cluster_(cluster), algo_(algo) {}
+
+  /// Open-loop run: arrivals from config.arrivals (arrival i runs query
+  /// i mod queries.size()), deterministic per config.
+  ClusterServeResult Serve(std::span<const std::vector<TermId>> queries,
+                           const topk::SearchParams& base_params);
+
+  /// Same, with an explicit arrival schedule (sorted, virtual ns).
+  ClusterServeResult Serve(std::span<const std::vector<TermId>> queries,
+                           const topk::SearchParams& base_params,
+                           std::span<const exec::VirtualTime> arrivals);
+
+ private:
+  Cluster& cluster_;
+  const topk::Algorithm& algo_;
+};
+
+/// Closed-loop convenience for tests: serves the given queries one at a
+/// time (arrival spacing wide enough that they never overlap) and
+/// returns the merged per-query results in query order.
+std::vector<topk::SearchResult> SearchOnCluster(
+    Cluster& cluster, const topk::Algorithm& algo,
+    std::span<const std::vector<TermId>> queries,
+    const topk::SearchParams& params);
+
+/// Folds a finished cluster run into the registry under "cluster."
+/// (admission outcomes, RPC/retry/hedge counters, coverage, latency).
+void AddClusterMetrics(const ClusterServeResult& result,
+                       obs::MetricsRegistry& reg);
+
+}  // namespace sparta::serve

@@ -1,0 +1,23 @@
+#include "sim/fabric.h"
+
+#include "util/common.h"
+
+namespace sparta::sim {
+
+const LinkModel& Fabric::Link(int src, int dst) const {
+  for (const LinkOverride& o : config_.overrides) {
+    if (o.src == src && o.dst == dst) return o.link;
+  }
+  return config_.default_link;
+}
+
+exec::VirtualTime Fabric::TransferTime(int src, int dst,
+                                       std::uint64_t bytes) const {
+  const LinkModel& link = Link(src, dst);
+  SPARTA_CHECK(link.bytes_per_ns > 0.0);
+  const auto stream = static_cast<exec::VirtualTime>(
+      static_cast<double>(bytes) / link.bytes_per_ns);
+  return link.latency_ns + stream;
+}
+
+}  // namespace sparta::sim

@@ -1,0 +1,66 @@
+// Network fabric cost model for the simulated cluster.
+//
+// Nodes exchange messages (shard requests, shard responses) over
+// point-to-point links priced latency + size/bandwidth, the same
+// two-parameter model ScaleStore uses for its RDMA fabric and the
+// natural network analogue of the SSD model's seek + streaming split.
+// The fabric itself is pure arithmetic — deterministic, stateless —
+// while everything that can go *wrong* with a message (injected delay,
+// drop, partition) is drawn from the cluster's seeded FaultInjector in
+// event order, so fault runs replay bit-identically (DESIGN.md §7).
+//
+// Per-link overrides express asymmetric topologies: a slow or lossy
+// link to one replica, a cross-rack hop with higher base latency. The
+// coordinator endpoint is addressed as kCoordinatorNode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/context.h"
+
+namespace sparta::sim {
+
+/// The coordinator's endpoint id in link addressing (node ids are >= 0).
+inline constexpr int kCoordinatorNode = -1;
+
+/// One direction of one link: base propagation+switching latency plus a
+/// streaming bandwidth term.
+struct LinkModel {
+  /// One-way base latency (per message, size-independent).
+  exec::VirtualTime latency_ns = 50'000;  // 50 us: same-DC RTT/2
+  /// Streaming bandwidth in bytes per nanosecond (1.25 == 10 Gbit/s).
+  double bytes_per_ns = 1.25;
+};
+
+/// Override of the default link for the (src, dst) pair, directional.
+struct LinkOverride {
+  int src = kCoordinatorNode;
+  int dst = 0;
+  LinkModel link;
+};
+
+struct FabricConfig {
+  LinkModel default_link;
+  std::vector<LinkOverride> overrides;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config) : config_(std::move(config)) {}
+
+  /// The link model in effect for src -> dst.
+  const LinkModel& Link(int src, int dst) const;
+
+  /// Virtual transfer time of a `bytes`-sized message src -> dst
+  /// (latency + bytes/bandwidth), before any injected network faults.
+  exec::VirtualTime TransferTime(int src, int dst,
+                                 std::uint64_t bytes) const;
+
+  const FabricConfig& config() const { return config_; }
+
+ private:
+  FabricConfig config_;
+};
+
+}  // namespace sparta::sim

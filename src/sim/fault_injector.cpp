@@ -57,4 +57,38 @@ void FaultInjector::LogMemSqueeze(int worker, VirtualTime now) {
   events_.push_back({Kind::kMemSqueeze, worker, now, 0});
 }
 
+FaultInjector::NetFault FaultInjector::OnNetMessage(int src_node,
+                                                    int dst_node,
+                                                    VirtualTime now) {
+  NetFault fault;
+  // Partition is a deterministic config window: no RNG is consumed, so
+  // adding a partition to a config cannot shift the delay/drop stream.
+  if (config_.Partitioned(src_node, now) !=
+      config_.Partitioned(dst_node, now)) {
+    events_.push_back({Kind::kPartitionDrop, dst_node, now, 0});
+    fault.dropped = true;
+    return fault;
+  }
+  if (Draw(config_.net_drop_prob)) {
+    events_.push_back({Kind::kNetDrop, dst_node, now, 0});
+    fault.dropped = true;
+    return fault;
+  }
+  if (Draw(config_.net_delay_prob)) {
+    const auto base = static_cast<std::uint64_t>(config_.net_delay_ns);
+    fault.delay = static_cast<VirtualTime>(base / 2 +
+                                           rng_.Below(base > 1 ? base : 1));
+    events_.push_back({Kind::kNetDelay, dst_node, now, fault.delay});
+  }
+  return fault;
+}
+
+void FaultInjector::LogNodeCrash(int node, VirtualTime at) {
+  events_.push_back({Kind::kNodeCrash, node, at, 0});
+}
+
+void FaultInjector::LogNodeRestart(int node, VirtualTime at) {
+  events_.push_back({Kind::kNodeRestart, node, at, 0});
+}
+
 }  // namespace sparta::sim

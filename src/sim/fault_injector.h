@@ -76,13 +76,48 @@ struct FaultConfig {
   exec::VirtualTime mem_squeeze_after = exec::kNever;
   double mem_squeeze_factor = 1.0;
 
+  // --- network faults (cluster serving; sim/fabric.h) ---
+  /// Probability that one fabric message takes an extra queueing delay
+  /// on top of its link cost (congested switch, kernel softirq storm).
+  double net_delay_prob = 0.0;
+  /// Delay drawn uniformly from [net_delay_ns/2, 3*net_delay_ns/2).
+  exec::VirtualTime net_delay_ns = 500'000;  // 0.5 ms
+  /// Probability that one fabric message is silently dropped. The
+  /// coordinator only learns via its per-shard deadline.
+  double net_drop_prob = 0.0;
+
+  // --- network partition (deterministic window, no draw) ---
+  /// During [partition_from, partition_until), every message between a
+  /// node in `partition_nodes` (bitmask of node ids; the coordinator is
+  /// never partitioned) and any endpoint outside the set is dropped.
+  exec::VirtualTime partition_from = exec::kNever;
+  exec::VirtualTime partition_until = exec::kNever;
+  std::uint64_t partition_nodes = 0;
+
+  // --- node crash/restart (deterministic schedule, no draw) ---
+  /// If crash_node >= 0: that node fail-stops at crash_at — in-flight
+  /// shard requests never answer, snapshot pins are released — and, if
+  /// restart_at != kNever, rejoins at restart_at with a cold cache.
+  int crash_node = -1;
+  exec::VirtualTime crash_at = exec::kNever;
+  exec::VirtualTime restart_at = exec::kNever;
+
   /// True when any fault source is active; a config with all sources
   /// off never constructs an injector, keeping fault-free runs
   /// bit-identical to pre-fault-layer builds.
   bool enabled() const {
     return stall_prob > 0.0 || io_spike_prob > 0.0 || io_error_prob > 0.0 ||
            lock_preempt_prob > 0.0 || merge_abort_prob > 0.0 ||
-           torn_write_prob > 0.0 || mem_squeeze_after != exec::kNever;
+           torn_write_prob > 0.0 || mem_squeeze_after != exec::kNever ||
+           net_delay_prob > 0.0 || net_drop_prob > 0.0 ||
+           partition_from != exec::kNever || crash_node >= 0;
+  }
+
+  /// True when `node` is inside the partitioned set at time `now`.
+  bool Partitioned(int node, exec::VirtualTime now) const {
+    return partition_from != exec::kNever && now >= partition_from &&
+           now < partition_until && node >= 0 && node < 64 &&
+           (partition_nodes >> node) & 1;
   }
 };
 
@@ -98,6 +133,15 @@ class FaultInjector {
     // traces keep their numeric values.
     kMergeAbort,
     kTornWrite,
+    // Appended for cluster serving. For network kinds, Event::worker
+    // holds the *destination node id* of the affected message
+    // (kCoordinatorNode = -1 for responses headed to the coordinator);
+    // for kNodeCrash/kNodeRestart it holds the node id.
+    kNetDelay,
+    kNetDrop,
+    kPartitionDrop,
+    kNodeCrash,
+    kNodeRestart,
   };
 
   /// One injected fault, in injection order. `cost` is the virtual time
@@ -144,6 +188,23 @@ class FaultInjector {
 
   /// Records a memory-budget squeeze taking effect on a query.
   void LogMemSqueeze(int worker, exec::VirtualTime now);
+
+  /// Per-message network probe, called once per fabric send in the
+  /// cluster's deterministic event order. Checks the partition window
+  /// first (no draw), then drop, then delay — at most two RNG draws per
+  /// message, so the fault stream replays bit-identically per seed.
+  struct NetFault {
+    /// Extra delay to add to the link transfer time (0 = none).
+    exec::VirtualTime delay = 0;
+    /// True = the message never arrives; the sender learns nothing.
+    bool dropped = false;
+  };
+  NetFault OnNetMessage(int src_node, int dst_node, exec::VirtualTime now);
+
+  /// Records a scheduled node fail-stop / rejoin (config-driven, not
+  /// drawn — logged so fault logs narrate the full cluster timeline).
+  void LogNodeCrash(int node, exec::VirtualTime at);
+  void LogNodeRestart(int node, exec::VirtualTime at);
 
   const FaultConfig& config() const { return config_; }
   const std::vector<Event>& events() const { return events_; }

@@ -1,0 +1,97 @@
+#include "sim/node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/common.h"
+
+namespace sparta::sim {
+
+using exec::VirtualTime;
+
+Node::Node(NodeConfig config) : config_(std::move(config)) {
+  SPARTA_CHECK(config_.id >= 0 && config_.id < 64);
+  executor_ = std::make_unique<SimExecutor>(config_.sim);
+}
+
+void Node::HostShard(int shard_id,
+                     std::shared_ptr<const index::InvertedIndex> index) {
+  SPARTA_CHECK(index != nullptr);
+  SPARTA_CHECK(shards_.count(shard_id) == 0);
+  ShardState state;
+  state.index = index;
+  index::IndexSnapshot snap;
+  snap.main = std::move(index);
+  snap.delta_doc_base = snap.main->num_docs();
+  snap.epoch = 1;
+  state.epochs = std::make_unique<index::EpochManager>(std::move(snap));
+  shards_.emplace(shard_id, std::move(state));
+}
+
+void Node::ScheduleCrash(VirtualTime crash_at, VirtualTime restart_at) {
+  SPARTA_CHECK(restart_at == exec::kNever || restart_at > crash_at);
+  crash_at_ = crash_at;
+  restart_at_ = restart_at;
+}
+
+bool Node::up(VirtualTime now) const {
+  if (crash_at_ == exec::kNever || now < crash_at_) return true;
+  return restart_at_ != exec::kNever && now >= restart_at_;
+}
+
+void Node::MaybeRestart(VirtualTime now) {
+  if (restarted_ || restart_at_ == exec::kNever || now < restart_at_) return;
+  // The machine comes back cold: fresh executor (empty page cache,
+  // zeroed clocks) advanced to the restart instant. The shards survive
+  // on disk, so their epoch managers — and the proof that every pin
+  // from before the crash was released — carry over.
+  executor_ = std::make_unique<SimExecutor>(config_.sim);
+  executor_->AdvanceTo(restart_at_);
+  for (auto& [shard_id, state] : shards_) state.epochs->Collect();
+  restarted_ = true;
+  ++cold_restarts_;
+}
+
+index::EpochManager& Node::epoch_manager(int shard_id) {
+  auto it = shards_.find(shard_id);
+  SPARTA_CHECK(it != shards_.end());
+  return *it->second.epochs;
+}
+
+Node::ShardReply Node::Execute(int shard_id, const topk::Algorithm& algo,
+                               const std::vector<TermId>& terms,
+                               const topk::SearchParams& params,
+                               VirtualTime arrival) {
+  ShardReply reply;
+  if (!up(arrival)) return reply;
+  MaybeRestart(arrival);
+
+  auto it = shards_.find(shard_id);
+  SPARTA_CHECK(it != shards_.end());
+  ShardState& state = it->second;
+
+  auto ctx = executor_->CreateQueryAt(arrival);
+  index::EpochManager::Pin pin = state.epochs->Acquire();
+  topk::SearchResult result =
+      core::SearchSnapshot(algo, *pin, terms, params, *ctx);
+  const VirtualTime done = ctx->end_time();
+
+  const bool died_in_flight = crash_at_ != exec::kNever &&
+                              arrival < crash_at_ && done > crash_at_;
+  pin.Release();
+  state.epochs->Collect();
+  if (died_in_flight) {
+    // The response never left the box. The work above still computed a
+    // result natively, but the simulated machine lost it at crash_at_;
+    // the pin release above models the process dying with its pins.
+    ++killed_in_flight_;
+    return reply;
+  }
+  ++served_;
+  reply.responded = true;
+  reply.result = std::move(result);
+  reply.completed = done;
+  return reply;
+}
+
+}  // namespace sparta::sim

@@ -1,0 +1,124 @@
+// One simulated serving node: a whole SimExecutor machine behind a
+// network endpoint.
+//
+// The single-machine layers (sim_executor, page_cache, fault_injector)
+// already model one box faithfully; a Node lifts that box into a
+// cluster member. Each node owns its own discrete-event machine —
+// workers, clocks, page cache, SSD, node-local fault plan — plus the
+// index shards assigned to it, each published through an EpochManager
+// exactly like the live index's snapshots. Shard requests execute on
+// the node's machine at their (virtual) arrival time; queueing behind
+// earlier requests emerges from the per-worker clocks, so a hot or
+// stall-prone node becomes a straggler the coordinator can observe and
+// hedge around.
+//
+// Failure semantics (fail-stop, the model in the scatter-gather
+// literature): a node scheduled to crash at T answers nothing in
+// [T, restart). A request in flight at T is killed — its snapshot pin
+// is released, its result is discarded, and no response is ever sent;
+// the coordinator only learns through its per-shard deadline. On
+// restart the machine comes back *cold*: a fresh executor (empty page
+// cache, clocks advanced to the restart instant) re-publishes the
+// on-disk shards, and the epoch managers verify no snapshot leaked
+// across the crash (tests/test_cluster.cpp).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/snapshot_search.h"
+#include "index/epoch.h"
+#include "index/inverted_index.h"
+#include "sim/sim_executor.h"
+#include "topk/algorithm.h"
+#include "topk/params.h"
+#include "topk/result.h"
+
+namespace sparta::sim {
+
+struct NodeConfig {
+  /// Cluster-unique id in [0, 64) (the partition mask is 64-bit).
+  int id = 0;
+  /// The node's machine. Node-local faults (worker stalls, IO spikes)
+  /// go in sim.faults with a node-local seed; *network* faults live in
+  /// the cluster-level injector (serve/coordinator.h).
+  SimConfig sim;
+};
+
+class Node {
+ public:
+  explicit Node(NodeConfig config);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Assigns a shard replica to this node, publishing it at epoch 1
+  /// through a fresh EpochManager.
+  void HostShard(int shard_id, std::shared_ptr<const index::InvertedIndex> index);
+
+  bool Hosts(int shard_id) const { return shards_.count(shard_id) > 0; }
+
+  /// Schedules a fail-stop at `crash_at`; `restart_at` == kNever means
+  /// the node never rejoins.
+  void ScheduleCrash(exec::VirtualTime crash_at, exec::VirtualTime restart_at);
+
+  /// True when the node can accept a request arriving at `now`.
+  bool up(exec::VirtualTime now) const;
+
+  /// Outcome of one shard request. `responded == false` means the node
+  /// was down at arrival or died mid-request — the caller hears nothing
+  /// and must rely on its own deadline.
+  struct ShardReply {
+    bool responded = false;
+    /// Top-k over the shard, *shard-local* doc ids.
+    topk::SearchResult result;
+    /// Virtual time the response leaves the node.
+    exec::VirtualTime completed = exec::kNever;
+  };
+
+  /// Executes one shard request arriving at `arrival`. Pins the shard's
+  /// published snapshot for the duration, runs the algorithm on this
+  /// node's machine (honoring params.deadline as the node-side budget),
+  /// and releases the pin before replying — or, when the machine dies
+  /// mid-request, without replying.
+  ShardReply Execute(int shard_id, const topk::Algorithm& algo,
+                     const std::vector<TermId>& terms,
+                     const topk::SearchParams& params,
+                     exec::VirtualTime arrival);
+
+  int id() const { return config_.id; }
+  SimExecutor& executor() { return *executor_; }
+  index::EpochManager& epoch_manager(int shard_id);
+
+  /// Requests whose machine died before their response left the node.
+  std::uint64_t killed_in_flight() const { return killed_in_flight_; }
+  /// Requests answered (excludes killed and down-at-arrival).
+  std::uint64_t served() const { return served_; }
+  /// 1 after the node has rejoined from a crash (cold machine).
+  std::uint64_t cold_restarts() const { return cold_restarts_; }
+
+ private:
+  struct ShardState {
+    std::shared_ptr<const index::InvertedIndex> index;
+    std::unique_ptr<index::EpochManager> epochs;
+  };
+
+  /// Rebuilds the machine cold the first time a request arrives at or
+  /// after restart_at_.
+  void MaybeRestart(exec::VirtualTime now);
+
+  NodeConfig config_;
+  std::unique_ptr<SimExecutor> executor_;
+  std::map<int, ShardState> shards_;
+
+  exec::VirtualTime crash_at_ = exec::kNever;
+  exec::VirtualTime restart_at_ = exec::kNever;
+  bool restarted_ = false;
+
+  std::uint64_t killed_in_flight_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t cold_restarts_ = 0;
+};
+
+}  // namespace sparta::sim

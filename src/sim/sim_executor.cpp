@@ -510,4 +510,8 @@ VirtualTime SimExecutor::SyncBarrier() {
   return t;
 }
 
+void SimExecutor::AdvanceTo(VirtualTime t) {
+  for (VirtualTime& clock : clocks_) clock = std::max(clock, t);
+}
+
 }  // namespace sparta::sim

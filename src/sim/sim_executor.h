@@ -116,6 +116,12 @@ class SimExecutor {
   /// Synchronizes all worker clocks to GlobalTime() and returns it.
   exec::VirtualTime SyncBarrier();
 
+  /// Raises every worker clock to at least `t`. Used when a simulated
+  /// node rejoins the cluster: its machine was dark between crash and
+  /// restart, so all of its workers resume no earlier than the restart
+  /// instant. No-op for clocks already past `t`.
+  void AdvanceTo(exec::VirtualTime t);
+
   PageCache& page_cache() { return page_cache_; }
   CoherenceModel& coherence() { return coherence_; }
   const SimConfig& config() const { return config_; }

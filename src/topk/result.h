@@ -33,6 +33,12 @@ enum class ResultStatus : std::uint8_t {
   /// the paper's "N/A: crashed due to lack of memory" outcomes, now with
   /// the partial top-k retained so achieved recall is still reportable.
   kOom,
+  /// Scatter-gather merge over a sharded cluster in which one or more
+  /// shards never answered (crash, partition, exhausted retries).
+  /// Entries are the honest merge of the shards that did answer;
+  /// QueryStats::shard_coverage says how much of the corpus they span.
+  /// Appended (not inserted) so pre-cluster statuses keep their codes.
+  kShardsDegraded,
 };
 
 /// Legacy alias from when the enum had only kOk/kOutOfMemory.
@@ -102,6 +108,15 @@ struct QueryStats {
   exec::VirtualTime queue_wait = 0;
   /// Filled by the serving layer; closed-loop modes leave the default.
   AdmissionOutcome admission_outcome = AdmissionOutcome::kAdmitted;
+  /// Filled by the cluster coordinator: shards that contributed to the
+  /// merged result / shards the route table asked (0/0 outside cluster
+  /// serving, where the single machine is the whole corpus).
+  std::uint32_t shards_answered = 0;
+  std::uint32_t shards_total = 0;
+  /// Fraction of the corpus' documents covered by the shards that
+  /// answered, in [0, 1]. 1.0 outside cluster serving so single-node
+  /// accounting can read it unconditionally.
+  double shard_coverage = 1.0;
 
   /// Fraction of the query terms' postings consumed before termination,
   /// in [0, 1]; 0 when postings_total is unknown.
@@ -124,7 +139,8 @@ struct SearchResult {
   /// Ended early but with a usable best-so-far result (anytime path).
   bool degraded() const {
     return status == ResultStatus::kDeadlineDegraded ||
-           status == ResultStatus::kPartialAfterFault;
+           status == ResultStatus::kPartialAfterFault ||
+           status == ResultStatus::kShardsDegraded;
   }
 };
 

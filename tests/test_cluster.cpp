@@ -1,0 +1,552 @@
+// Sharded scatter-gather serving: shard-merge equivalence, honest
+// partials under node crashes / partitions / stragglers, replica
+// failover, hedging, per-replica breakers, and seeded replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "index/sharding.h"
+#include "obs/metrics.h"
+#include "serve/coordinator.h"
+#include "test_helpers.h"
+#include "topk/oracle.h"
+#include "topk/recall.h"
+
+namespace sparta {
+namespace {
+
+using exec::VirtualTime;
+using exec::kMillisecond;
+using serve::Cluster;
+using serve::ClusterConfig;
+using serve::ClusterServeResult;
+using serve::Coordinator;
+using test::MakeTinyIndex;
+using test::PickQueryTerms;
+
+ClusterConfig BaseConfig(int shards, int nodes, int replication) {
+  ClusterConfig cfg;
+  cfg.num_shards = shards;
+  cfg.num_nodes = nodes;
+  cfg.replication = replication;
+  cfg.node_sim.num_workers = 2;
+  return cfg;
+}
+
+std::vector<std::vector<TermId>> MakeQueries(
+    const index::InvertedIndex& idx, std::size_t n) {
+  std::vector<std::vector<TermId>> queries;
+  for (std::size_t i = 0; i < n; ++i) {
+    queries.push_back(PickQueryTerms(idx, 3, /*salt=*/i * 17));
+  }
+  return queries;
+}
+
+/// Exact top-k of the corpus restricted to the shards in `alive`,
+/// rebased to global ids — the honest answer a degraded cluster owes.
+std::vector<topk::ResultEntry> ExactOverShards(
+    const index::ShardedIndex& sharded, const std::vector<TermId>& terms,
+    int k, const std::vector<bool>& alive) {
+  std::vector<topk::ResultEntry> merged;
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    if (!alive[static_cast<std::size_t>(s)]) continue;
+    const topk::ExactTopK exact = topk::ComputeExactTopK(
+        *sharded.shards[static_cast<std::size_t>(s)], terms, k);
+    for (const topk::ResultEntry& e : exact.topk) {
+      merged.push_back({sharded.ToGlobal(s, e.doc), e.score});
+    }
+  }
+  topk::CanonicalizeResult(merged);
+  if (merged.size() > static_cast<std::size_t>(k)) {
+    merged.resize(static_cast<std::size_t>(k));
+  }
+  return merged;
+}
+
+TEST(Sharding, ContiguousRangesAndRouting) {
+  const index::InvertedIndex full = MakeTinyIndex(1000, 11, 300);
+  const index::ShardedIndex sharded = index::ShardIndex(full, 3);
+  ASSERT_EQ(sharded.num_shards(), 3);
+  EXPECT_EQ(sharded.total_docs, full.num_docs());
+
+  std::uint32_t docs = 0;
+  double fraction = 0.0;
+  for (const index::ShardInfo& info : sharded.infos) {
+    EXPECT_EQ(info.doc_base, docs);  // contiguous, in order
+    docs += info.num_docs;
+    fraction += info.doc_fraction;
+  }
+  EXPECT_EQ(docs, full.num_docs());
+  EXPECT_NEAR(fraction, 1.0, 1e-12);
+
+  for (DocId d = 0; d < full.num_docs(); d += 97) {
+    const int s = sharded.ShardOf(d);
+    const index::ShardInfo& info = sharded.infos[static_cast<std::size_t>(s)];
+    EXPECT_GE(d, info.doc_base);
+    EXPECT_LT(d, info.doc_base + info.num_docs);
+    EXPECT_EQ(sharded.ToGlobal(s, d - info.doc_base), d);
+  }
+
+  // Every shard posting carries the full-index score bit for bit.
+  std::uint64_t postings = 0;
+  for (TermId t = 0; t < full.num_terms(); ++t) {
+    for (int s = 0; s < sharded.num_shards(); ++s) {
+      const auto view =
+          sharded.shards[static_cast<std::size_t>(s)]->Term(t);
+      for (const index::Posting& p : view.doc_order) {
+        ++postings;
+        const DocId global = sharded.ToGlobal(s, p.doc);
+        const auto full_view = full.Term(t);
+        const auto it = std::lower_bound(
+            full_view.doc_order.begin(), full_view.doc_order.end(), global,
+            [](const index::Posting& fp, DocId doc) { return fp.doc < doc; });
+        ASSERT_NE(it, full_view.doc_order.end());
+        ASSERT_EQ(it->doc, global);
+        EXPECT_EQ(it->score, p.score);
+      }
+    }
+  }
+  std::uint64_t full_postings = 0;
+  for (TermId t = 0; t < full.num_terms(); ++t) {
+    full_postings += full.Entry(t).df;
+  }
+  EXPECT_EQ(postings, full_postings);  // nothing lost, nothing invented
+}
+
+TEST(Cluster, HealthyScatterGatherMatchesFullIndex) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  const ClusterConfig cfg = BaseConfig(4, 4, 1);
+  Cluster cluster(sharded, cfg);
+  const auto algo = algos::MakeAlgorithm("BMW");
+  topk::SearchParams params;
+  params.k = 20;
+
+  const auto queries = MakeQueries(full, 5);
+  const auto results =
+      serve::SearchOnCluster(cluster, *algo, queries, params);
+  ASSERT_EQ(results.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const topk::SearchResult& r = results[i];
+    EXPECT_EQ(r.status, topk::ResultStatus::kComplete);
+    EXPECT_EQ(r.stats.shards_answered, 4u);
+    EXPECT_EQ(r.stats.shards_total, 4u);
+    EXPECT_EQ(r.stats.shard_coverage, 1.0);
+    // Scores survive sharding bit for bit, so the scatter-gather merge
+    // must equal the unsharded machine's exact result entry-for-entry.
+    const topk::SearchResult local =
+        test::RunOnSim(full, "BMW", queries[i], params);
+    EXPECT_EQ(r.entries, local.entries) << "query " << i;
+  }
+}
+
+TEST(Cluster, KilledShardYieldsHonestPartialWithCoverage) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  ClusterConfig cfg = BaseConfig(4, 4, 1);
+  cfg.net_faults.crash_node = 1;  // hosts shard 1 (no replica)
+  cfg.net_faults.crash_at = 1000;
+  Cluster cluster(sharded, cfg);
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 20;
+
+  const auto queries = MakeQueries(full, 4);
+  std::vector<VirtualTime> arrivals;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    arrivals.push_back(static_cast<VirtualTime>(i + 1) * 50 * kMillisecond);
+  }
+  const ClusterServeResult run = coord.Serve(queries, params, arrivals);
+
+  // Zero failed queries: every offered query completed with an answer.
+  EXPECT_EQ(run.offered, queries.size());
+  EXPECT_EQ(run.admitted, queries.size());
+  EXPECT_EQ(run.completed, queries.size());
+  EXPECT_EQ(run.shards_degraded, queries.size());
+
+  const double lost = sharded.infos[1].doc_fraction;
+  std::vector<bool> alive = {true, false, true, true};
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const topk::SearchResult& r = run.queries[i].result;
+    EXPECT_EQ(r.status, topk::ResultStatus::kShardsDegraded);
+    EXPECT_EQ(r.stats.shards_answered, 3u);
+    EXPECT_NEAR(r.stats.shard_coverage, 1.0 - lost, 1e-12);
+    EXPECT_FALSE(r.entries.empty());
+    // The partial is not merely nonempty — it is the exact top-k of the
+    // surviving shards, so nothing reachable was left on the table.
+    EXPECT_EQ(r.entries,
+              ExactOverShards(sharded, queries[i], params.k, alive));
+    for (const topk::ResultEntry& e : r.entries) {
+      EXPECT_NE(cluster.sharded().ShardOf(e.doc), 1);
+    }
+  }
+  EXPECT_NEAR(run.min_coverage, 1.0 - lost, 1e-12);
+  EXPECT_GT(run.rpc_timeouts, 0u);
+}
+
+TEST(Cluster, ReplicaFailoverRestoresFullCoverage) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  ClusterConfig cfg = BaseConfig(4, 4, 2);
+  cfg.net_faults.crash_node = 0;  // shard 0 fails over to node 1
+  cfg.net_faults.crash_at = 1000;
+  cfg.breaker_enabled = false;  // isolate the retry path
+  Cluster cluster(sharded, cfg);
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 20;
+
+  const auto queries = MakeQueries(full, 3);
+  std::vector<VirtualTime> arrivals = {50 * kMillisecond,
+                                       100 * kMillisecond,
+                                       150 * kMillisecond};
+  const ClusterServeResult run = coord.Serve(queries, params, arrivals);
+  EXPECT_EQ(run.completed, queries.size());
+  EXPECT_GT(run.retries, 0u);  // the dead primary cost one attempt
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const topk::SearchResult& r = run.queries[i].result;
+    EXPECT_EQ(r.status, topk::ResultStatus::kComplete) << "query " << i;
+    EXPECT_EQ(r.stats.shard_coverage, 1.0);
+    const topk::SearchResult local =
+        test::RunOnSim(full, "BMW", queries[i], params);
+    EXPECT_EQ(r.entries, local.entries);
+    // Failover happens within the retry budget: one shard deadline plus
+    // the backoff plus the replica's service time.
+    EXPECT_LT(run.queries[i].EndToEnd(),
+              cfg.shard_deadline + cfg.retry_backoff + 10 * kMillisecond);
+  }
+}
+
+TEST(Cluster, PartitionWindowDegradesThenHeals) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  ClusterConfig cfg = BaseConfig(4, 4, 1);
+  cfg.net_faults.partition_from = 40 * kMillisecond;
+  cfg.net_faults.partition_until = 60 * kMillisecond;
+  cfg.net_faults.partition_nodes = 1ull << 1;  // node 1 isolated
+  Cluster cluster(sharded, cfg);
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 20;
+
+  const auto queries = MakeQueries(full, 2);
+  // First query lands inside the window (both attempts dropped), the
+  // second well after it heals.
+  std::vector<VirtualTime> arrivals = {41 * kMillisecond,
+                                       120 * kMillisecond};
+  const ClusterServeResult run = coord.Serve(queries, params, arrivals);
+  ASSERT_EQ(run.completed, 2u);
+
+  const topk::SearchResult& during = run.queries[0].result;
+  EXPECT_EQ(during.status, topk::ResultStatus::kShardsDegraded);
+  EXPECT_EQ(during.stats.shards_answered, 3u);
+  EXPECT_NEAR(during.stats.shard_coverage,
+              1.0 - sharded.infos[1].doc_fraction, 1e-12);
+  EXPECT_GT(run.net_drops, 0u);
+
+  const topk::SearchResult& after = run.queries[1].result;
+  EXPECT_EQ(after.status, topk::ResultStatus::kComplete);
+  EXPECT_EQ(after.stats.shard_coverage, 1.0);
+}
+
+TEST(Cluster, HedgingCutsStragglerLatency) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  ClusterConfig cfg = BaseConfig(4, 4, 2);
+  // Node 0's inbound link is a straggler: 6 ms base latency, so shard
+  // 0's primary replies land ~6 ms late while replicas are ~50 us away.
+  cfg.fabric.overrides.push_back(
+      {sim::kCoordinatorNode, 0, {6 * kMillisecond, 1.25}});
+  Cluster slow(sharded, cfg);
+
+  ClusterConfig hedged_cfg = cfg;
+  hedged_cfg.hedge_delay = 2 * kMillisecond;
+  Cluster hedged(sharded, hedged_cfg);
+
+  const auto algo = algos::MakeAlgorithm("BMW");
+  topk::SearchParams params;
+  params.k = 20;
+  const auto queries = MakeQueries(full, 3);
+  std::vector<VirtualTime> arrivals = {50 * kMillisecond,
+                                       100 * kMillisecond,
+                                       150 * kMillisecond};
+
+  Coordinator coord_slow(slow, *algo);
+  const ClusterServeResult base = coord_slow.Serve(queries, params, arrivals);
+  Coordinator coord_hedged(hedged, *algo);
+  const ClusterServeResult fast =
+      coord_hedged.Serve(queries, params, arrivals);
+
+  ASSERT_EQ(base.completed, queries.size());
+  ASSERT_EQ(fast.completed, queries.size());
+  EXPECT_GT(fast.hedges_sent, 0u);
+  EXPECT_GT(fast.hedges_won, 0u);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    // The hedge changes who answers, never what the answer is.
+    EXPECT_EQ(base.queries[i].result.entries,
+              fast.queries[i].result.entries);
+    EXPECT_EQ(fast.queries[i].result.stats.shard_coverage, 1.0);
+    EXPECT_LT(fast.queries[i].EndToEnd(), base.queries[i].EndToEnd());
+  }
+}
+
+TEST(Cluster, BreakerFailsFastPastDeadReplica) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  ClusterConfig cfg = BaseConfig(4, 4, 1);
+  cfg.net_faults.crash_node = 2;
+  cfg.net_faults.crash_at = 1000;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.window_ns = 500 * kMillisecond;
+  cfg.breaker.open_ns = 10'000 * kMillisecond;  // stays open for the run
+  Cluster cluster(sharded, cfg);
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 10;
+
+  const auto queries = MakeQueries(full, 6);
+  std::vector<VirtualTime> arrivals;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    arrivals.push_back(static_cast<VirtualTime>(i + 1) * 50 * kMillisecond);
+  }
+  const ClusterServeResult run = coord.Serve(queries, params, arrivals);
+  EXPECT_EQ(run.completed, queries.size());
+  EXPECT_GE(run.breaker_trips, 1u);
+  EXPECT_GT(run.breaker_skips, 0u);
+  // Early queries pay timeouts learning node 2 is dead; once the
+  // breaker opens, queries fail fast and only pay the retry backoff.
+  EXPECT_GE(run.queries.front().EndToEnd(), 2 * cfg.shard_deadline);
+  EXPECT_LT(run.queries.back().EndToEnd(), cfg.shard_deadline);
+  EXPECT_EQ(run.queries.back().result.status,
+            topk::ResultStatus::kShardsDegraded);
+}
+
+TEST(Cluster, HalfOpenProbesRaceFailoverWithoutLeakingSlots) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  ClusterConfig cfg = BaseConfig(4, 4, 2);
+  cfg.net_faults.crash_node = 0;
+  cfg.net_faults.crash_at = 5 * kMillisecond;
+  cfg.net_faults.restart_at = 200 * kMillisecond;
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.window_ns = 200 * kMillisecond;
+  cfg.breaker.open_ns = 30 * kMillisecond;
+  cfg.breaker.probe_successes_to_close = 1;
+  Cluster cluster(sharded, cfg);
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 10;
+
+  // Queries straddle the crash, the open window, several half-open
+  // probes against the still-dead primary (each racing the failover
+  // retry that answers the shard), the restart, and recovery.
+  const auto queries = MakeQueries(full, 10);
+  std::vector<VirtualTime> arrivals;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    arrivals.push_back(static_cast<VirtualTime>(i + 1) * 41 * kMillisecond);
+  }
+  const ClusterServeResult run = coord.Serve(queries, params, arrivals);
+
+  // The probe slot never leaks (CircuitBreaker::Admit would have
+  // crashed) and no query ever loses coverage: probes that time out
+  // re-open the breaker while the replica still answers the shard.
+  EXPECT_EQ(run.completed, queries.size());
+  EXPECT_GE(run.breaker_trips, 2u);  // initial trip + failed probe
+  EXPECT_GE(run.breaker_probes, 2u);
+  for (const serve::ServedQuery& q : run.queries) {
+    EXPECT_EQ(q.result.stats.shard_coverage, 1.0);
+    EXPECT_NE(q.result.status, topk::ResultStatus::kShardsDegraded);
+  }
+  // After the restart the primary serves again (the closing probe).
+  EXPECT_EQ(cluster.node(0).cold_restarts(), 1u);
+  EXPECT_GT(cluster.node(0).served(), 0u);
+}
+
+TEST(ClusterNode, CrashMidQueryReleasesPinsAndRestartsCold) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 1);
+  sim::NodeConfig nc;
+  nc.id = 0;
+  nc.sim.num_workers = 2;
+  sim::Node node(nc);
+  node.HostShard(0, sharded.shards[0]);
+  node.ScheduleCrash(kMillisecond, 50 * kMillisecond);
+
+  const auto algo = algos::MakeAlgorithm("BMW");
+  topk::SearchParams params;
+  params.k = 10;
+  const auto terms = PickQueryTerms(full, 3);
+
+  // Arrives 1 us before the crash; any real search runs past it.
+  const sim::Node::ShardReply killed =
+      node.Execute(0, *algo, terms, params, kMillisecond - 1000);
+  EXPECT_FALSE(killed.responded);
+  EXPECT_EQ(node.killed_in_flight(), 1u);
+  // The dying process released its snapshot pin: epoch accounting is
+  // balanced, so a publish over the crash window can reclaim.
+  index::EpochManager& mgr = node.epoch_manager(0);
+  EXPECT_EQ(mgr.pins(1), 0u);
+  index::IndexSnapshot next;
+  next.main = sharded.shards[0];
+  next.delta_doc_base = next.main->num_docs();
+  next.epoch = 2;
+  mgr.Publish(next);
+  EXPECT_EQ(mgr.retired(), 1u);
+  EXPECT_EQ(mgr.Collect(), 1u);  // nothing leaked across the crash
+
+  // Down window: no response at all.
+  EXPECT_FALSE(node.Execute(0, *algo, terms, params, 10 * kMillisecond)
+                   .responded);
+  EXPECT_FALSE(node.up(10 * kMillisecond));
+
+  // After restart: cold machine answers again, clocks past the restart.
+  const sim::Node::ShardReply revived =
+      node.Execute(0, *algo, terms, params, 60 * kMillisecond);
+  EXPECT_TRUE(revived.responded);
+  EXPECT_GE(revived.completed, 60 * kMillisecond);
+  EXPECT_EQ(node.cold_restarts(), 1u);
+  EXPECT_EQ(node.served(), 1u);
+  EXPECT_EQ(mgr.pins(2), 0u);
+}
+
+/// Builds the seeded fault mix the CI fault matrix sweeps; the default
+/// (no env) exercises the crash scenario so the test always bites.
+ClusterConfig ScenarioConfig(const std::string& scenario) {
+  ClusterConfig cfg = BaseConfig(4, 4, 2);
+  cfg.net_faults.seed = 77;
+  cfg.net_faults.net_delay_prob = 0.2;
+  cfg.net_faults.net_delay_ns = 300'000;
+  if (scenario == "partition") {
+    cfg.net_faults.partition_from = 60 * kMillisecond;
+    cfg.net_faults.partition_until = 140 * kMillisecond;
+    cfg.net_faults.partition_nodes = 1ull << 2;
+  } else if (scenario == "straggler") {
+    ClusterConfig::NodeFaults straggler;
+    straggler.node = 1;
+    straggler.faults.seed = 31;
+    straggler.faults.stall_prob = 0.5;
+    straggler.faults.stall_ns = 4 * kMillisecond;
+    cfg.node_faults.push_back(straggler);
+    cfg.hedge_delay = 3 * kMillisecond;
+  } else {  // "crash" (default)
+    cfg.net_faults.crash_node = 0;
+    cfg.net_faults.crash_at = 50 * kMillisecond;
+    cfg.net_faults.restart_at = 250 * kMillisecond;
+    cfg.net_faults.net_drop_prob = 0.05;
+  }
+  return cfg;
+}
+
+ClusterServeResult RunScenario(Cluster& cluster,
+                               std::span<const std::vector<TermId>> queries) {
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 10;
+  std::vector<VirtualTime> arrivals;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    arrivals.push_back(static_cast<VirtualTime>(i + 1) * 30 * kMillisecond);
+  }
+  return coord.Serve(queries, params, arrivals);
+}
+
+TEST(Cluster, FaultMatrixScenarioIsSafeAndReplaysBitIdentically) {
+  const char* env = std::getenv("SPARTA_FAULT_SCENARIO");
+  const std::string scenario = env != nullptr ? env : "crash";
+  const ClusterConfig cfg = ScenarioConfig(scenario);
+
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  const auto queries = MakeQueries(full, 8);
+
+  Cluster ca(sharded, cfg);
+  const ClusterServeResult a = RunScenario(ca, queries);
+  // Safety: whatever the scenario does, every query gets an answer with
+  // honest labeling — no lost queries, coverage always reported.
+  EXPECT_EQ(a.completed, a.admitted);
+  EXPECT_EQ(a.admitted, queries.size());
+  for (const serve::ServedQuery& q : a.queries) {
+    EXPECT_GE(q.result.stats.shard_coverage, 0.0);
+    EXPECT_LE(q.result.stats.shard_coverage, 1.0);
+    if (q.result.status == topk::ResultStatus::kShardsDegraded) {
+      EXPECT_LT(q.result.stats.shard_coverage, 1.0);
+      EXPECT_LT(q.result.stats.shards_answered,
+                q.result.stats.shards_total);
+    }
+  }
+
+  // Replay: a fresh cluster under the same seeds reproduces the run bit
+  // for bit — results, coverage, timings, and the injected fault log.
+  Cluster cb(sharded, cfg);
+  const ClusterServeResult b = RunScenario(cb, queries);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (std::size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].result.entries, b.queries[i].result.entries);
+    EXPECT_EQ(a.queries[i].result.status, b.queries[i].result.status);
+    EXPECT_EQ(a.queries[i].result.stats.shard_coverage,
+              b.queries[i].result.stats.shard_coverage);
+    EXPECT_EQ(a.queries[i].completion, b.queries[i].completion);
+  }
+  EXPECT_EQ(a.rpcs_sent, b.rpcs_sent);
+  EXPECT_EQ(a.rpc_timeouts, b.rpc_timeouts);
+  EXPECT_EQ(a.net_drops, b.net_drops);
+  ASSERT_NE(ca.fault_injector(), nullptr);
+  ASSERT_NE(cb.fault_injector(), nullptr);
+  EXPECT_EQ(ca.fault_injector()->events(), cb.fault_injector()->events());
+}
+
+TEST(Cluster, MetricsAndTraceCarryClusterRun) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  ClusterConfig cfg = BaseConfig(4, 4, 1);
+  cfg.trace.enabled = true;
+  cfg.net_faults.crash_node = 3;
+  cfg.net_faults.crash_at = 1000;
+  Cluster cluster(sharded, cfg);
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 10;
+  const auto queries = MakeQueries(full, 3);
+  std::vector<VirtualTime> arrivals = {50 * kMillisecond,
+                                       100 * kMillisecond,
+                                       150 * kMillisecond};
+  const ClusterServeResult run = coord.Serve(queries, params, arrivals);
+
+  obs::MetricsRegistry reg;
+  serve::AddClusterMetrics(run, reg);
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("cluster.completed"),
+            static_cast<std::uint64_t>(run.completed));
+  EXPECT_EQ(snap.counters.at("cluster.rpcs.sent"), run.rpcs_sent);
+  EXPECT_GT(snap.counters.at("cluster.shards_degraded"), 0u);
+
+  obs::Tracer* tracer = cluster.tracer();
+  ASSERT_NE(tracer, nullptr);
+  // Node tracks carry one RPC span per answered request; the crash and
+  // the per-attempt timeouts are visible as instants.
+  EXPECT_EQ(tracer->CountSpans(obs::SpanKind::kShardRpc),
+            run.rpcs_answered);
+  EXPECT_EQ(tracer->CountInstants(obs::InstantKind::kNodeCrash), 1u);
+  EXPECT_EQ(tracer->CountInstants(obs::InstantKind::kShardTimeout),
+            run.rpc_timeouts);
+  // The fault injector narrates the same crash.
+  ASSERT_NE(cluster.fault_injector(), nullptr);
+  bool logged_crash = false;
+  for (const sim::FaultInjector::Event& e :
+       cluster.fault_injector()->events()) {
+    if (e.kind == sim::FaultInjector::Kind::kNodeCrash) logged_crash = true;
+  }
+  EXPECT_TRUE(logged_crash);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -16,7 +16,7 @@ fail the gate just like slowdowns. Thresholds are per metric family:
 
 Usage:
   tools/bench_compare.py --baseline results --fresh results/_fresh \
-      [--require contention] [--verbose]
+      [--require contention,live_update] [--verbose]
   tools/bench_compare.py --self-test
 
 Benches present in the fresh directory but missing from the baseline
@@ -179,14 +179,22 @@ def main():
     ap.add_argument("--baseline", default="results")
     ap.add_argument("--fresh", default="results/_fresh")
     ap.add_argument("--require", action="append", default=[],
-                    help="bench name that must be compared (repeatable)")
+                    help="bench name(s) that must be compared "
+                         "(repeatable; each flag accepts a "
+                         "comma-separated list)")
     ap.add_argument("--verbose", action="store_true")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in threshold/verdict checks and exit")
     args = ap.parse_args()
     if args.self_test:
         sys.exit(self_test())
-    sys.exit(run_compare(args.baseline, args.fresh, args.require, args.verbose))
+    # Each --require may carry a comma-separated list; flatten so every
+    # missing bench is reported (not just the first flag's).
+    require = [name
+               for flag in args.require
+               for name in (part.strip() for part in flag.split(","))
+               if name]
+    sys.exit(run_compare(args.baseline, args.fresh, require, args.verbose))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,33 @@
+// Fixture: result-status violation — a SearchResult's entries are
+// consumed with no look at its status or coverage anywhere in the
+// file, so a deadline partial or shards-degraded merge would silently
+// pass for a complete answer.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+enum class ResultStatus { kComplete, kPartialDeadline, kShardsDegraded };
+
+struct QueryStats {
+  double shard_coverage = 1.0;
+};
+
+struct SearchResult {
+  std::vector<int> entries;
+  ResultStatus status = ResultStatus::kComplete;
+  QueryStats stats;
+};
+
+SearchResult Search();
+
+// Blind consumer: sums the hits without ever asking whether the result
+// covered the whole corpus.
+int SumTopDocs() {
+  const SearchResult result = Search();
+  int sum = 0;
+  for (const int doc : result.entries) sum += doc;
+  return sum;
+}
+
+}  // namespace fixture

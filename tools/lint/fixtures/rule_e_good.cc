@@ -1,0 +1,44 @@
+// Fixture: result-status clean — every entries consumer either checks
+// the result's status/coverage first or carries a reasoned waiver for
+// a deliberately status-blind access.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+enum class ResultStatus { kComplete, kPartialDeadline, kShardsDegraded };
+
+struct QueryStats {
+  double shard_coverage = 1.0;
+};
+
+struct SearchResult {
+  std::vector<int> entries;
+  ResultStatus status = ResultStatus::kComplete;
+  QueryStats stats;
+
+  bool degraded() const { return status != ResultStatus::kComplete; }
+};
+
+SearchResult Search();
+
+// Honest consumer: reports coverage alongside the hits.
+int SumTopDocs(double* coverage_out) {
+  const SearchResult result = Search();
+  if (result.degraded()) {
+    *coverage_out = result.stats.shard_coverage;
+  }
+  int sum = 0;
+  for (const int doc : result.entries) sum += doc;
+  return sum;
+}
+
+// Status-blind by design, and says so.
+std::size_t WireBytes() {
+  const SearchResult reply = Search();
+  // sparta-lint: allow(result-status) size-only read to price the
+  // response on the wire; the receiving coordinator judges the status.
+  return reply.entries.size() * sizeof(int);
+}
+
+}  // namespace fixture

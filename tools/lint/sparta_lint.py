@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """sparta_lint: repo-invariant lint suite for the Sparta codebase.
 
-Four rules, each guarding an invariant the simulator's determinism or
-the lock discipline depends on (DESIGN.md §11):
+Five rules, each guarding an invariant the simulator's determinism,
+the lock discipline or the serving tier's honesty depends on
+(DESIGN.md §11):
 
   sim-clock      No wall clocks or nondeterministic randomness in
                  sim-path code. Virtual time comes from the executor;
@@ -36,6 +37,18 @@ the lock discipline depends on (DESIGN.md §11):
                  deliberately compact UB array, whose false sharing is
                  part of the modeled behavior).
 
+  result-status  A SearchResult's entries must not be consumed blind to
+                 the result's honesty fields. Any file that touches
+                 X.entries must somewhere consult X.status, X.ok(),
+                 X.degraded() or X.stats.shard_* — a deadline partial,
+                 fault partial or shards-degraded cluster merge would
+                 otherwise pass for a complete answer (the serving
+                 contract is "always answer, say how much of the corpus
+                 the answer saw"; consuming the answer while dropping
+                 the 'how much' breaks it). Waive when the access is
+                 status-blind by design (e.g. sizing the response for
+                 the wire) or the producer provably never degrades.
+
 Waiver syntax, on the offending line or the line above:
 
     // sparta-lint: allow(<rule>) <reason — mandatory>
@@ -61,7 +74,8 @@ import sys
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
 
-RULES = ("sim-clock", "unordered-iter", "lock-pairing", "padded-shared")
+RULES = ("sim-clock", "unordered-iter", "lock-pairing", "padded-shared",
+         "result-status")
 
 CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 
@@ -100,6 +114,17 @@ ATOMIC_CONTAINER_RE = re.compile(
     r"\b(?:std::)?(?:vector|array)\s*<[^;{}]*\batomic\s*<")
 
 PADDING_IDIOM_RE = re.compile(r"\balignas\s*\(|\bPadded\b|\bkCacheLine\b")
+
+# Member access on a result's entry list, capturing the full dotted
+# receiver chain ("sp.result.entries" -> "sp.result").
+RESULT_ENTRIES_RE = re.compile(r"\b((?:\w+(?:\.|->))*\w+)(?:\.|->)entries\b")
+
+# What counts as consulting the result's honesty fields. Bare `.stats`
+# access is NOT enough — producers fill counters without ever looking
+# at completeness; only the status itself or the shard-coverage fields
+# qualify.
+STATUS_CONSULT_SUFFIX = (
+    r"(?:\.|->)(?:status\b|ok\s*\(|degraded\s*\(|stats(?:\.|->)shard)")
 
 
 class Finding:
@@ -296,11 +321,36 @@ def rule_padded_shared(path, scrubbed, waivers, findings):
             "false-share; pad or waive citing the intended layout"))
 
 
+def rule_result_status(path, scrubbed, waivers, findings):
+    text = "\n".join(scrubbed)
+    checked = {}  # receiver -> consulted?
+    for lineno, line in enumerate(scrubbed, start=1):
+        for m in RESULT_ENTRIES_RE.finditer(line):
+            receiver = m.group(1)
+            if receiver not in checked:
+                checked[receiver] = re.search(
+                    re.escape(receiver) + STATUS_CONSULT_SUFFIX,
+                    text) is not None
+            if checked[receiver]:
+                continue
+            if waived(waivers, lineno, "result-status"):
+                continue
+            findings.append(Finding(
+                path, lineno, "result-status",
+                "'%s.entries' is consumed but '%s.status' (or ok()/"
+                "degraded()/stats.shard_*) is never consulted in this "
+                "file: a degraded or shards-degraded partial would pass "
+                "for complete; check the status/coverage or waive with "
+                "why this access may be status-blind" % (receiver,
+                                                         receiver)))
+
+
 RULE_FUNCS = {
     "sim-clock": rule_sim_clock,
     "unordered-iter": rule_unordered_iter,
     "lock-pairing": rule_lock_pairing,
     "padded-shared": rule_padded_shared,
+    "result-status": rule_result_status,
 }
 
 
@@ -384,6 +434,8 @@ FIXTURES = {
     "rule_c_good.cc": set(),
     "rule_d_bad.cc": {"padded-shared"},
     "rule_d_good.cc": set(),
+    "rule_e_bad.cc": {"result-status"},
+    "rule_e_good.cc": set(),
 }
 
 
