@@ -454,11 +454,18 @@ class ServeLoop {
     ReportAttempt(ev.shard, a, ev.at, !IsMachineFailure(result.status));
     if (!was_reported) --sp.outstanding;
     ++out_.rpcs_answered;
-    if (q.finalized || sp.answered) return;  // hedge/duplicate lost
+    // Drop if another attempt already answered (hedge/duplicate lost)
+    // or the shard was given up by retry exhaustion — an exhausted
+    // shard already surrendered its unresolved slot, so a late reply
+    // resurrecting it would decrement the count a second time and
+    // finalize the query while other shards are still in flight. The
+    // timeout failed the attempt; late data stays dropped.
+    if (q.finalized || sp.answered || sp.resolved) return;
     sp.answered = true;
     sp.resolved = true;
     sp.result = std::move(result);
     if (a.hedge) ++out_.hedges_won;
+    SPARTA_CHECK(q.unresolved > 0);
     --q.unresolved;
     if (q.unresolved == 0) Finalize(ev.record, ev.at);
   }
@@ -652,10 +659,20 @@ std::vector<topk::SearchResult> SearchOnCluster(
   // One query at a time: space arrivals past the worst-case resolution
   // time (every attempt timing out plus backoffs, with slack), so no
   // two queries ever overlap on the timeline.
-  const VirtualTime spacing =
+  VirtualTime spacing =
       static_cast<VirtualTime>(cfg.attempts_per_shard) *
           (cfg.shard_deadline + cfg.retry_backoff) +
       20 * exec::kMillisecond;
+  // A hedge fires hedge_delay after dispatch and owns a full deadline
+  // of its own, so it can outlive every regular attempt.
+  if (cfg.hedge_delay != exec::kNever && cfg.replication > 1) {
+    spacing += cfg.hedge_delay + cfg.shard_deadline;
+  }
+  // Injected network delays push sends and replies later; each message
+  // draws < 1.5 * net_delay_ns extra (request + reply per attempt).
+  if (cfg.net_faults.net_delay_prob > 0.0) {
+    spacing += 3 * cfg.net_faults.net_delay_ns;
+  }
   std::vector<VirtualTime> arrivals;
   arrivals.reserve(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {

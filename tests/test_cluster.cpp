@@ -370,6 +370,71 @@ TEST(Cluster, HalfOpenProbesRaceFailoverWithoutLeakingSlots) {
   EXPECT_GT(cluster.node(0).served(), 0u);
 }
 
+TEST(Cluster, LateReplyAfterExhaustionStaysDropped) {
+  // Regression: a shard resolved by retry exhaustion surrendered its
+  // unresolved slot; a late reply for one of its timed-out attempts
+  // must be dropped, not decrement the count a second time (which
+  // finalized the query while another shard was still in flight and
+  // silently dropped that shard's answer).
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 2);
+  ClusterConfig cfg = BaseConfig(2, 2, 1);
+  // Shard 0 (node 0): the reply link is slower than the attempt
+  // deadline, so every shard-0 reply arrives ~4 ms after its timeout.
+  cfg.fabric.overrides.push_back(
+      {0, sim::kCoordinatorNode, {14 * kMillisecond, 1.25}});
+  // Shard 1 (node 1): replies land ~6 ms after dispatch — inside the
+  // deadline, but after shard 0's late reply when sent from a retry.
+  cfg.fabric.overrides.push_back(
+      {1, sim::kCoordinatorNode, {6 * kMillisecond, 1.25}});
+  // Query 0 trips shard 0's only breaker (two timed-out attempts);
+  // query 1's half-open probe then re-trips it, so the retry is
+  // refused and shard 0 exhausts while its probe reply is in flight.
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.window_ns = 200 * kMillisecond;
+  cfg.breaker.open_ns = 15 * kMillisecond;
+  // Node 1 is down when query 1 scatters and back up for the retry,
+  // so shard 1 is still unresolved when shard 0's late reply arrives.
+  cfg.net_faults.crash_node = 1;
+  cfg.net_faults.crash_at = 69 * kMillisecond;
+  cfg.net_faults.restart_at = 78 * kMillisecond;
+  Cluster cluster(sharded, cfg);
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 10;
+
+  const auto queries = MakeQueries(full, 2);
+  std::vector<VirtualTime> arrivals = {30 * kMillisecond,
+                                       70 * kMillisecond};
+  const ClusterServeResult run = coord.Serve(queries, params, arrivals);
+  ASSERT_EQ(run.completed, 2u);
+  EXPECT_GE(run.breaker_trips, 2u);
+  EXPECT_GT(run.breaker_skips, 0u);
+
+  // Query 0: shard 0's first reply is late but lands while the shard
+  // is still retrying — resurrection before exhaustion is legitimate.
+  EXPECT_EQ(run.queries[0].result.status, topk::ResultStatus::kComplete);
+  EXPECT_EQ(run.queries[0].result.stats.shard_coverage, 1.0);
+
+  // Query 1: shard 0 exhausted (probe timed out, retry refused by the
+  // re-opened breaker) before its late probe reply arrived. The honest
+  // answer is shard 1 alone — the failover reply that lands *after*
+  // the late shard-0 reply. Under the bug, the late reply finalized
+  // the query early with only shard 0 and dropped shard 1's answer.
+  const topk::SearchResult& r = run.queries[1].result;
+  EXPECT_EQ(r.status, topk::ResultStatus::kShardsDegraded);
+  EXPECT_EQ(r.stats.shards_answered, 1u);
+  EXPECT_NEAR(r.stats.shard_coverage, sharded.infos[1].doc_fraction,
+              1e-12);
+  EXPECT_FALSE(r.entries.empty());
+  for (const topk::ResultEntry& e : r.entries) {
+    EXPECT_EQ(sharded.ShardOf(e.doc), 1) << "late shard-0 reply leaked";
+  }
+  EXPECT_EQ(r.entries, ExactOverShards(sharded, queries[1], params.k,
+                                       {false, true}));
+}
+
 TEST(ClusterNode, CrashMidQueryReleasesPinsAndRestartsCold) {
   const index::InvertedIndex full = MakeTinyIndex();
   const index::ShardedIndex sharded = index::ShardIndex(full, 1);
