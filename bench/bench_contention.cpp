@@ -1,13 +1,17 @@
-// Contention profile: Sparta vs pRA as workers scale.
+// Contention profile: Sparta vs pRA as workers scale, with and without
+// private accumulators.
 //
 // The paper's §4.2 argument for the striped document map is that pRA's
 // shared map serializes workers on hot stripes while Sparta's UB-pruned
-// traversal touches it far less. This bench makes that visible: both
-// high-recall variants run the same 12-term queries at 1/2/4/8 workers
-// on a profiled simulator, and the per-structure contention report
+// traversal touches it far less. This bench makes that visible: the
+// high-recall variants and their contention-minimal "+acc" twins
+// (DESIGN.md §14: per-worker private accumulators merged at segment
+// boundaries) run the same 12-term queries at 1/2/4/8/16 workers on a
+// profiled simulator, and the per-structure contention report
 // (coherence misses, invalidations, lock waits attributed to named
 // structures) plus the virtual-time flamegraph are written next to the
-// latency numbers.
+// latency numbers. A two-domain NUMA pass at w8 adds the local/remote
+// miss split (rm.miss) for the stripe-placement experiments.
 //
 // Everything here is virtual-time and — because the profiler keys cache
 // lines by registered structure, not by heap address — byte-identical
@@ -32,11 +36,20 @@ std::span<const corpus::Query> FixedQueries(const corpus::Dataset& ds) {
   return {bucket.data(), std::min(kQueries, bucket.size())};
 }
 
-/// The two variants whose docMap behaviour the paper contrasts.
+/// The two variants whose docMap behaviour the paper contrasts, plus
+/// their private-accumulator twins (identical parameters; only the
+/// synchronization pattern differs, and the differential suite proves
+/// the results bit-equal).
 std::vector<driver::AlgoVariant> Variants() {
   std::vector<driver::AlgoVariant> out;
   for (const auto& v : driver::HighRecallVariants()) {
-    if (v.algorithm == "Sparta" || v.algorithm == "pRA") out.push_back(v);
+    if (v.algorithm == "Sparta" || v.algorithm == "pRA") {
+      out.push_back(v);
+      driver::AlgoVariant acc = v;
+      acc.algorithm += "+acc";
+      acc.label += "+acc";
+      out.push_back(acc);
+    }
   }
   return out;
 }
@@ -69,45 +82,59 @@ void Run() {
   driver::BenchJson json("contention");
   std::string w8_reports;
 
-  for (const int workers : {1, 2, 4, 8}) {
-    for (const auto& variant : variants) {
-      const auto algo = algos::MakeAlgorithm(variant.algorithm);
-      sim::SimConfig config = bench.MakeSimConfig(workers);
-      config.profile.contention = true;
-      config.profile.sample_period = kSamplePeriod;
-      const auto res = bench.ProfileLatency(*algo, queries,
-                                            variant.params, config);
+  for (const int workers : {1, 2, 4, 8, 16}) {
+    // numa_domains = 1 everywhere, plus a two-socket pass at w8 that
+    // exposes the local/remote miss split.
+    for (const int numa_domains : {1, 2}) {
+      if (numa_domains == 2 && workers != 8) continue;
+      for (const auto& variant : variants) {
+        const auto algo = algos::MakeAlgorithm(variant.algorithm);
+        sim::SimConfig config = bench.MakeSimConfig(workers);
+        config.costs.numa_domains = numa_domains;
+        config.profile.contention = true;
+        config.profile.sample_period = kSamplePeriod;
+        const auto res = bench.ProfileLatency(*algo, queries,
+                                              variant.params, config);
 
-      const std::string name =
-          variant.algorithm + "/w" + std::to_string(workers);
-      const double lock_wait_ms =
-          static_cast<double>(res.contention.total_lock_wait_ns) / 1e6;
-      json.SetLatency(name, res.latency);
-      json.Set(name, "coherence_misses",
-               static_cast<double>(res.contention.total_misses));
-      json.Set(name, "lock_wait_virtual_ms", lock_wait_ms);
-      for (const auto& s : res.contention.structures) {
-        // Per-structure breakdown for the stacked-bar plot.
-        json.Set(name, "misses." + s.name,
-                 static_cast<double>(s.misses()));
-        json.Set(name, "lock_wait_virtual_ms." + s.name,
-                 static_cast<double>(s.lock_wait_ns) / 1e6);
-      }
-      table.AddRow({name, driver::FormatF(res.latency.MeanMs(), 2),
-                    std::to_string(res.contention.total_misses),
-                    driver::FormatF(lock_wait_ms, 3),
-                    std::to_string(TotalSamples(res))});
-      std::cerr << "  [contention] " << name << " done\n";
+        std::string name =
+            variant.algorithm + "/w" + std::to_string(workers);
+        if (numa_domains > 1) {
+          name += "/numa" + std::to_string(numa_domains);
+        }
+        const double lock_wait_ms =
+            static_cast<double>(res.contention.total_lock_wait_ns) / 1e6;
+        json.SetLatency(name, res.latency);
+        json.Set(name, "coherence_misses",
+                 static_cast<double>(res.contention.total_misses));
+        json.Set(name, "lock_wait_virtual_ms", lock_wait_ms);
+        for (const auto& s : res.contention.structures) {
+          // Per-structure breakdown for the stacked-bar plot.
+          json.Set(name, "misses." + s.name,
+                   static_cast<double>(s.misses()));
+          json.Set(name, "lock_wait_virtual_ms." + s.name,
+                   static_cast<double>(s.lock_wait_ns) / 1e6);
+          if (numa_domains > 1) {
+            json.Set(name, "remote_misses." + s.name,
+                     static_cast<double>(s.remote_misses));
+          }
+        }
+        table.AddRow({name, driver::FormatF(res.latency.MeanMs(), 2),
+                      std::to_string(res.contention.total_misses),
+                      driver::FormatF(lock_wait_ms, 3),
+                      std::to_string(TotalSamples(res))});
+        std::cerr << "  [contention] " << name << " done\n";
 
-      // Committed goldens: the side-by-side w8 report and the w4
-      // Sparta folded stacks (FlameGraph / speedscope input).
-      if (workers == 8) {
-        if (!w8_reports.empty()) w8_reports += "\n";
-        w8_reports += driver::RenderProfileReport(
-            res, variant.algorithm + ", 12-term queries, w8");
-      }
-      if (workers == 4 && variant.algorithm == "Sparta") {
-        WriteText(ResultsDir() + "/flame_sparta_w4.folded", res.folded);
+        // Committed goldens: the side-by-side w8 report (single-domain
+        // pass) and the w4 Sparta folded stacks (FlameGraph /
+        // speedscope input).
+        if (workers == 8 && numa_domains == 1) {
+          if (!w8_reports.empty()) w8_reports += "\n";
+          w8_reports += driver::RenderProfileReport(
+              res, variant.algorithm + ", 12-term queries, w8");
+        }
+        if (workers == 4 && variant.algorithm == "Sparta") {
+          WriteText(ResultsDir() + "/flame_sparta_w4.folded", res.folded);
+        }
       }
     }
   }

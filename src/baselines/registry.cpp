@@ -13,10 +13,20 @@ namespace sparta::algos {
 
 std::unique_ptr<topk::Algorithm> MakeAlgorithm(std::string_view name) {
   if (name == "Sparta") return std::make_unique<core::Sparta>();
+  if (name == "Sparta+acc") {
+    core::SpartaOptions options;
+    options.private_accumulators = true;
+    options.name = "Sparta+acc";
+    return std::make_unique<core::Sparta>(options);
+  }
   if (name == "pNRA") return std::make_unique<PNra>();
   if (name == "sNRA") return std::make_unique<SNra>();
   if (name == "TA-NRA") return std::make_unique<SNra>(false);
   if (name == "pRA") return std::make_unique<RandomAccessTA>();
+  if (name == "pRA+acc") {
+    return std::make_unique<RandomAccessTA>(true,
+                                            /*private_accumulators=*/true);
+  }
   if (name == "TA-RA") return std::make_unique<RandomAccessTA>(false);
   if (name == "pBMW") return std::make_unique<PBmw>();
   if (name == "pJASS") return std::make_unique<Jass>();
@@ -32,8 +42,9 @@ std::vector<std::string_view> PaperAlgorithms() {
 }
 
 std::vector<std::string_view> AllAlgorithms() {
-  return {"Sparta", "pNRA", "sNRA", "pRA",  "pBMW", "pJASS",
-          "TA-RA",  "TA-NRA", "JASS", "BMW", "WAND", "MaxScore"};
+  return {"Sparta", "Sparta+acc", "pNRA", "sNRA", "pRA", "pRA+acc",
+          "pBMW",   "pJASS",      "TA-RA", "TA-NRA", "JASS", "BMW",
+          "WAND",   "MaxScore"};
 }
 
 }  // namespace sparta::algos

@@ -1,5 +1,6 @@
 #include "baselines/ta_ra.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <memory>
@@ -7,6 +8,8 @@
 #include "obs/trace.h"
 #include "topk/doc_heap.h"
 #include "topk/doc_map.h"
+#include "topk/local_accumulator.h"
+#include "util/padded.h"
 #include "util/racy.h"
 #include "util/thread_annotations.h"
 
@@ -21,37 +24,50 @@ using index::Posting;
 class RaRun final : public topk::QueryRun {
  public:
   RaRun(const index::InvertedIndex& idx, std::vector<TermId> terms,
-        const topk::SearchParams& params, exec::QueryContext& ctx)
+        const topk::SearchParams& params, exec::QueryContext& ctx,
+        bool private_accumulators)
       : idx_(idx),
         terms_(std::move(terms)),
         params_(params),
         ctx_(ctx),
+        private_accumulators_(private_accumulators),
         m_(terms_.size()),
         ub_(m_),
         seen_(ctx, /*num_terms=*/0),
         heap_(params.k),
         heap_lock_(ctx.MakeLock()),
-        positions_(m_, 0) {
+        positions_(m_, 0),
+        heap_upd_time_(static_cast<std::size_t>(ctx.numa_domains())) {
     SPARTA_CHECK(m_ >= 1);
     for (std::size_t i = 0; i < m_; ++i) {
       ub_[i].store(static_cast<Score>(idx_.Term(terms_[i]).max_score),
                    std::memory_order_relaxed);
     }
-    heap_upd_time_.store(ctx.start_time(), std::memory_order_relaxed);
     // Lock-free by design: lazy UB updates, the done flag and the
     // Δ-stopping timestamp — the Racy<> declarations pair these runtime
     // registrations with the static exemption (DESIGN.md §11).
     ub_.RegisterBenign(ctx, "ra.UB");
     done_.RegisterBenign(ctx, "ra.done");
-    heap_upd_time_.RegisterBenign(ctx, "ra.updTime");
+    // Δ timestamp sharded per NUMA domain, one padded word each (same
+    // layout as Sparta's; a single domain is the original word).
+    for (auto& shard : heap_upd_time_) {
+      shard->store(ctx.start_time(), std::memory_order_relaxed);
+      shard.get().RegisterBenign(ctx, "ra.updTime");
+      ctx.RegisterContentionRange(&shard, sizeof(shard), "heap.updTime");
+    }
     // Contention-profiler registry, same structure names as Sparta's so
     // the per-structure reports line up side by side (the `seen_` docMap
     // registers its own stripes).
     ctx.RegisterContentionRange(ub_.data(), m_ * sizeof(ub_[0]), "UB");
     ctx.RegisterContentionRange(&done_, sizeof(done_), "done.flag");
-    ctx.RegisterContentionRange(&heap_upd_time_, sizeof(heap_upd_time_),
-                                "heap.updTime");
     ctx.RegisterContentionRange(heap_lock_.get(), 1, "heap.lock");
+    if (private_accumulators_) {
+      accumulators_.reserve(static_cast<std::size_t>(ctx.num_workers()));
+      for (int w = 0; w < ctx.num_workers(); ++w) {
+        accumulators_.emplace_back(topk::AccumulatorMode::kStore,
+                                   /*num_terms=*/0);
+      }
+    }
   }
 
   void Start() override {
@@ -101,26 +117,80 @@ class RaRun final : public topk::QueryRun {
 
   /// Full document score: the traversed posting plus a random-access
   /// lookup per other term (one random SSD page each on a disk-resident
-  /// index — pRA's Achilles' heel, §5.3.2).
-  Score FullScore(std::size_t from_term, const Posting& posting,
+  /// index — pRA's Achilles' heel, §5.3.2). The total is symmetric in
+  /// which term's traversal triggers it, so deferring it across a merge
+  /// changes nothing but the moment the I/O is charged.
+  Score FullScore(std::size_t from_term, DocId doc, Score posting_score,
                   WorkerContext& w) {
-    Score sum = static_cast<Score>(posting.score);
+    Score sum = posting_score;
     for (std::size_t j = 0; j < m_; ++j) {
       if (j == from_term) continue;
       const auto view = idx_.Term(terms_[j]);
-      sum += static_cast<Score>(
-          idx_.RandomAccessScore(terms_[j], posting.doc));
+      sum += static_cast<Score>(idx_.RandomAccessScore(terms_[j], doc));
       // The page touched sits at roughly the docid-proportional position
       // of the doc-ordered list.
       const auto est_pos = static_cast<std::uint64_t>(
           static_cast<double>(view.df()) *
-          (static_cast<double>(posting.doc) /
+          (static_cast<double>(doc) /
            static_cast<double>(idx_.num_docs())));
       w.IoRandom(view.doc_order_file_offset + est_pos * sizeof(Posting));
       w.Charge(30);  // binary search within the page
       random_accesses_.fetch_add(1, std::memory_order_relaxed);
     }
     return sum;
+  }
+
+  /// Heap offer for a fully-scored document (shared by the per-posting
+  /// and the merge path).
+  void OfferHeap(DocId doc, Score score, WorkerContext& w) {
+    if (score <= Theta()) return;
+    const exec::CtxLockGuard guard(*heap_lock_, w);
+    if (heap_.Insert({score, doc})) {
+      TouchHeapUpdTime(w);
+      if (params_.tracer != nullptr) {
+        params_.tracer->OnHeapUpdate(w.Now(), doc, score);
+      }
+    }
+  }
+
+  /// Records a heap change on this worker's own NUMA domain's word.
+  void TouchHeapUpdTime(WorkerContext& w) {
+    auto& shard = heap_upd_time_[static_cast<std::size_t>(w.numa_domain())];
+    shard->store(w.Now(), std::memory_order_relaxed);
+  }
+
+  /// Most recent heap change across all domains (the Δ-stopping read).
+  VirtualTime LastHeapUpdTime() const {
+    VirtualTime latest = 0;
+    for (const auto& shard : heap_upd_time_) {
+      latest = std::max(latest, shard->load(std::memory_order_relaxed));
+    }
+    return latest;
+  }
+
+  /// Segment-end merge of the buffered membership tests: one batched
+  /// stripe pass decides first-encounter winners; only winners pay the
+  /// random accesses. Returns false on memory exhaustion (the partial
+  /// merge stays — honest kOom).
+  [[nodiscard]] bool MergeSeen(WorkerContext& w) {
+    auto& acc = accumulators_[static_cast<std::size_t>(w.worker_id())];
+    if (acc.Empty()) return true;
+    std::vector<topk::PendingScore> winners;
+    const auto stats = acc.MergeInto(
+        seen_, w,
+        [&](std::span<const topk::PendingScore> group,
+            topk::DocType* /*d*/, bool inserted, Score /*folded*/) {
+          // "Only the first takes effect": a group that found an
+          // existing entry lost the race to another worker's merge.
+          if (inserted) winners.push_back(group.front());
+        });
+    for (const topk::PendingScore& p : winners) {
+      OfferHeap(p.doc,
+                FullScore(static_cast<std::size_t>(p.term), p.doc, p.score,
+                          w),
+                w);
+    }
+    return !stats.oom;
   }
 
   void ProcessTerm(std::size_t i, WorkerContext& w) {
@@ -152,6 +222,20 @@ class RaRun final : public topk::QueryRun {
       last_score = static_cast<Score>(posting.score);
       ++processed;
 
+      if (private_accumulators_) {
+        // Buffer the membership test; the batched merge at segment end
+        // resolves first-encounter winners against the shared set.
+        if (!accumulators_[static_cast<std::size_t>(w.worker_id())].Add(
+                posting.doc, static_cast<std::int32_t>(i),
+                static_cast<Score>(posting.score), w)) {
+          (void)MergeSeen(w);  // keep what fits — honest kOom partial
+          oom_.store(true);
+          done_.store(true, std::memory_order_release);
+          return;
+        }
+        continue;
+      }
+
       // Only the first encounter scores a document ("the implementation
       // allows only the first to take effect").
       const auto res = seen_.GetOrCreate(posting.doc, w);
@@ -162,21 +246,25 @@ class RaRun final : public topk::QueryRun {
       }
       if (!res.inserted) continue;
 
-      const Score score = FullScore(i, posting, w);
-      if (score > Theta()) {
-        const exec::CtxLockGuard guard(*heap_lock_, w);
-        if (heap_.Insert({score, posting.doc})) {
-          heap_upd_time_.store(w.Now(), std::memory_order_relaxed);
-          if (params_.tracer != nullptr) {
-            params_.tracer->OnHeapUpdate(w.Now(), posting.doc, score);
-          }
-        }
-      }
+      OfferHeap(posting.doc,
+                FullScore(i, posting.doc,
+                          static_cast<Score>(posting.score), w),
+                w);
     }
     positions_[i] = begin + processed;
     postings_.fetch_add(processed, std::memory_order_relaxed);
     w.ChargePostings(processed);
     scan_span.set_args(terms_[i], processed);
+
+    // Segment boundary: resolve the buffered membership tests and score
+    // the winners *before* publishing UB and running the stop checks —
+    // UBStop's "every potential winner is fully scored by now" argument
+    // needs no document parked unscored in a private buffer.
+    if (private_accumulators_ && !MergeSeen(w)) {
+      oom_.store(true);
+      done_.store(true, std::memory_order_release);
+      return;
+    }
 
     ub_[i].store(positions_[i] >= list.size() ? 0 : last_score,
                  std::memory_order_relaxed);
@@ -188,7 +276,7 @@ class RaRun final : public topk::QueryRun {
       w.SharedAccess(&ub_[r], AccessKind::kRead);
       ub_sum += ub_[r].load(std::memory_order_relaxed);
     }
-    const VirtualTime upd = heap_upd_time_.load(std::memory_order_relaxed);
+    const VirtualTime upd = LastHeapUpdTime();
     const bool delta_stop = params_.delta != exec::kNever &&
                             upd + params_.delta < w.Now();
     if (ub_sum <= Theta() || delta_stop) {
@@ -205,6 +293,7 @@ class RaRun final : public topk::QueryRun {
   std::vector<TermId> terms_;
   topk::SearchParams params_;
   exec::QueryContext& ctx_;
+  const bool private_accumulators_;
   std::size_t m_;
 
   /// Racy<> by design: pRA's lazy UB array, updated lock-free (§5.3).
@@ -212,11 +301,15 @@ class RaRun final : public topk::QueryRun {
   topk::ConcurrentDocMap seen_;  // scored-document set
   topk::TopKHeap heap_ SPARTA_GUARDED_BY(*heap_lock_);
   std::unique_ptr<exec::CtxLock> heap_lock_;
-  /// Racy<> by design: written under heap_lock_, read lock-free by the
-  /// Δ-stopping check.
-  util::Racy<std::atomic<VirtualTime>> heap_upd_time_{0};
 
   std::vector<std::size_t> positions_;
+  /// Racy<> by design: written under heap_lock_, read lock-free by the
+  /// Δ-stopping check. One padded word per NUMA domain (DESIGN.md §14).
+  std::vector<util::Padded<util::Racy<std::atomic<VirtualTime>>>>
+      heap_upd_time_;
+  /// Per-worker private buffers (empty unless private_accumulators_);
+  /// each worker touches only its own entry, indexed by worker_id.
+  std::vector<topk::LocalAccumulator> accumulators_;
   /// Racy<> by design: the done flag, polled lock-free at loop heads.
   util::Racy<std::atomic<bool>> done_{false};
   std::atomic<bool> oom_{false};
@@ -230,7 +323,8 @@ class RaRun final : public topk::QueryRun {
 std::unique_ptr<topk::QueryRun> RandomAccessTA::Prepare(
     const index::InvertedIndex& idx, std::vector<TermId> terms,
     const topk::SearchParams& params, exec::QueryContext& ctx) const {
-  return std::make_unique<RaRun>(idx, std::move(terms), params, ctx);
+  return std::make_unique<RaRun>(idx, std::move(terms), params, ctx,
+                                 private_accumulators_);
 }
 
 }  // namespace sparta::algos

@@ -17,8 +17,16 @@ namespace sparta::algos {
 
 class RandomAccessTA final : public topk::Algorithm {
  public:
-  explicit RandomAccessTA(bool parallel_name = true)
-      : name_(parallel_name ? "pRA" : "TA-RA") {}
+  /// `private_accumulators` buffers the seen-set membership test in a
+  /// per-worker map and resolves it in stripe-homogeneous batches at
+  /// segment boundaries (DESIGN.md §14) — same first-encounter-wins
+  /// semantics and random-access count, a fraction of the `seen_`
+  /// stripe-lock traffic. The display name gains a "+acc" suffix.
+  explicit RandomAccessTA(bool parallel_name = true,
+                          bool private_accumulators = false)
+      : name_(private_accumulators ? "pRA+acc"
+                                   : (parallel_name ? "pRA" : "TA-RA")),
+        private_accumulators_(private_accumulators) {}
 
   std::string_view name() const override { return name_; }
 
@@ -30,6 +38,7 @@ class RandomAccessTA final : public topk::Algorithm {
 
  private:
   std::string_view name_;
+  bool private_accumulators_;
 };
 
 }  // namespace sparta::algos

@@ -6,6 +6,8 @@
 
 #include "obs/trace.h"
 #include "topk/doc_map.h"
+#include "topk/local_accumulator.h"
+#include "util/padded.h"
 #include "util/racy.h"
 #include "util/thread_annotations.h"
 
@@ -111,7 +113,8 @@ class SpartaRun final : public topk::QueryRun {
         heap_lock_(ctx.MakeLock()),
         doc_map_(ctx, static_cast<int>(m_)),
         positions_(m_, 0),
-        term_maps_(m_) {
+        term_maps_(m_),
+        heap_upd_time_(static_cast<std::size_t>(ctx.numa_domains())) {
     SPARTA_CHECK(m_ >= 1);
     for (std::size_t i = 0; i < m_; ++i) {
       const auto view = idx_.Term(terms_[i]);
@@ -122,7 +125,6 @@ class SpartaRun final : public topk::QueryRun {
       ub_[i].store(static_cast<Score>(view.max_score),
                    std::memory_order_relaxed);
     }
-    heap_upd_time_.store(ctx.start_time(), std::memory_order_relaxed);
     // Deliberate lock-free synchronization — lazy UB reads (§4.3), the
     // done flag, the Δ-stopping timestamp. The Racy<> declarations above
     // exempt these fields from the static lock discipline; registering
@@ -130,16 +132,29 @@ class SpartaRun final : public topk::QueryRun {
     // the same storage (DESIGN.md §6/§11 — one declaration drives both).
     ub_.RegisterBenign(ctx, "sparta.UB");
     done_.RegisterBenign(ctx, "sparta.done");
-    heap_upd_time_.RegisterBenign(ctx, "sparta.updTime");
+    // The Δ-stopping timestamp is sharded per NUMA domain (one padded
+    // word each, DESIGN.md §14): writers touch their own domain's word,
+    // the Δ check folds the max. One domain = one word = the original
+    // layout bit-for-bit.
+    for (auto& shard : heap_upd_time_) {
+      shard->store(ctx.start_time(), std::memory_order_relaxed);
+      shard.get().RegisterBenign(ctx, "sparta.updTime");
+      ctx.RegisterContentionRange(&shard, sizeof(shard), "heap.updTime");
+    }
     // Contention-profiler registry: the shared hot state whose coherence
     // misses and lock waits the paper's optimizations target (the docMap
     // stripes register themselves). Structure names are shared with the
     // TA/RA baselines so reports compare side by side.
     ctx.RegisterContentionRange(ub_.data(), m_ * sizeof(ub_[0]), "UB");
     ctx.RegisterContentionRange(&done_, sizeof(done_), "done.flag");
-    ctx.RegisterContentionRange(&heap_upd_time_, sizeof(heap_upd_time_),
-                                "heap.updTime");
     ctx.RegisterContentionRange(heap_lock_.get(), 1, "heap.lock");
+    if (options_.private_accumulators) {
+      accumulators_.reserve(static_cast<std::size_t>(ctx.num_workers()));
+      for (int w = 0; w < ctx.num_workers(); ++w) {
+        accumulators_.emplace_back(topk::AccumulatorMode::kStore,
+                                   static_cast<int>(m_));
+      }
+    }
   }
 
   void Start() override {
@@ -257,6 +272,23 @@ class SpartaRun final : public topk::QueryRun {
     return true;
   }
 
+  /// Records a heap change for Δ-stopping: each writer touches its own
+  /// NUMA domain's padded timestamp word.
+  void TouchHeapUpdTime(WorkerContext& w) {
+    auto& shard = heap_upd_time_[static_cast<std::size_t>(w.numa_domain())];
+    shard->store(w.Now(), std::memory_order_relaxed);
+    w.SharedAccess(&shard, AccessKind::kWrite);
+  }
+
+  /// Most recent heap change across all domains (the Δ-stopping read).
+  VirtualTime LastHeapUpdTime() const {
+    VirtualTime latest = 0;
+    for (const auto& shard : heap_upd_time_) {
+      latest = std::max(latest, shard->load(std::memory_order_relaxed));
+    }
+    return latest;
+  }
+
   /// UB(D) with unknown-term contributions scaled by the probabilistic
   /// factor (= the paper's safe bound when prob_factor == 1).
   Score ProbUpperBound(const DocType* d) const {
@@ -313,6 +345,19 @@ class SpartaRun final : public topk::QueryRun {
         d = term_maps_[i]->Find(posting.doc, w);
       } else if (!options_.insert_cutoff_at_ubstop ||
                  !ubstop_.load(std::memory_order_acquire)) {
+        if (options_.private_accumulators) {
+          // Controlled sharing (DESIGN.md §14): buffer the write
+          // privately; the shared map is touched once per stripe at the
+          // segment-end merge instead of once per posting.
+          if (!accumulators_[static_cast<std::size_t>(w.worker_id())].Add(
+                  posting.doc, static_cast<std::int32_t>(i),
+                  static_cast<Score>(posting.score), w)) {
+            // Keep what fits — honest kOom partial.
+            (void)MergeAccumulator(w);
+            return AbortOom();
+          }
+          continue;  // score store + heap check happen at the merge
+        }
         // Lines 17-20 (and the pNRA configuration, which keeps inserting
         // for the whole run). GetOrCreate refuses inserts if the freeze
         // raced ahead of us, which is exactly line 21's "continue".
@@ -339,6 +384,16 @@ class SpartaRun final : public topk::QueryRun {
     w.ChargePostings(processed);
     scan_span.set_args(terms_[i], processed);
 
+    // Phase boundary: drain the private buffer into the shared map
+    // *before* publishing this segment's UB. During the segment UB[i]
+    // still holds the previous segment's (larger) bound, so every
+    // buffered score is ≤ its term's published UB — which keeps the
+    // insert-cutoff drop-safety argument intact for docs whose merge
+    // races the freeze (DESIGN.md §14).
+    if (options_.private_accumulators && !MergeAccumulator(w)) {
+      return AbortOom();
+    }
+
     if (options_.lazy_ub_updates) {
       // Line 24: one UB publication per segment.
       ub_[i].store(last_score, std::memory_order_relaxed);
@@ -361,6 +416,36 @@ class SpartaRun final : public topk::QueryRun {
         positions_[i] < list.size()) {
       ctx_.Submit([this, i](WorkerContext& cw) { ProcessTerm(i, cw); });
     }
+  }
+
+  /// Merges this worker's private accumulator into the shared docMap in
+  /// stripe-homogeneous batches, then runs the deferred heap checks.
+  /// Returns false when the merge ran out of memory budget (everything
+  /// applied so far stays — the caller aborts with an honest kOom).
+  [[nodiscard]] bool MergeAccumulator(WorkerContext& w) {
+    auto& acc = accumulators_[static_cast<std::size_t>(w.worker_id())];
+    if (acc.Empty()) return true;
+    // Heap candidates are collected under the stripe lock but inserted
+    // after the merge: UpdateHeap takes the heap lock, and holding
+    // stripe→heap would couple the two hot locks' wait times.
+    std::vector<DocType*> candidates;
+    const auto stats = acc.MergeInto(
+        doc_map_, w,
+        [&](std::span<const topk::PendingScore> group, DocType* d,
+            bool /*inserted*/, Score /*folded*/) {
+          for (const topk::PendingScore& p : group) {
+            // Line 22, deferred: the slot store is idempotent and the
+            // accumulator kept the latest value per (doc, term).
+            d->score[static_cast<std::size_t>(p.term)].store(
+                p.score, std::memory_order_relaxed);
+          }
+          if (d->SumScores() > Theta()) candidates.push_back(d);
+        });
+    for (DocType* d : candidates) {
+      // Line 23, deferred; Θ may have grown since collection.
+      if (d->SumScores() > Theta()) UpdateHeap(d, w);
+    }
+    return !stats.oom;
   }
 
   void BuildTermMap(std::size_t i, WorkerContext& w) {
@@ -399,8 +484,7 @@ class SpartaRun final : public topk::QueryRun {
     const bool changed = heap_.Insert(d, w);
     heap_inserts_.fetch_add(1, std::memory_order_relaxed);
     // Line 37: the update timestamp drives Δ-stopping.
-    heap_upd_time_.store(w.Now(), std::memory_order_relaxed);
-    w.SharedAccess(&heap_upd_time_, AccessKind::kWrite);
+    TouchHeapUpdTime(w);
     if (changed && params_.tracer != nullptr) {
       // Re-emit every member with its lazily refreshed lower bound, so
       // recall-over-time reconstruction sees score growth, not just the
@@ -477,8 +561,7 @@ class SpartaRun final : public topk::QueryRun {
     // for Δ. With pruning on, Eq. 2 reduces to |docMap| == |docHeap|;
     // without it (the pNRA configuration / the no-cleaner ablation) the
     // whole map must be scanned for unresolved candidates.
-    const VirtualTime upd =
-        heap_upd_time_.load(std::memory_order_relaxed);
+    const VirtualTime upd = LastHeapUpdTime();
     const bool delta_stop =
         params_.delta != exec::kNever && upd + params_.delta < w.Now();
     bool stop = delta_stop;
@@ -547,9 +630,6 @@ class SpartaRun final : public topk::QueryRun {
   util::Racy<topk::UpperBounds> ub_;
   LbHeap heap_ SPARTA_GUARDED_BY(*heap_lock_);
   std::unique_ptr<exec::CtxLock> heap_lock_;
-  /// Racy<> by design: written under heap_lock_, but Δ-stopping reads it
-  /// lock-free in the cleaner (staleness only delays the stop).
-  util::Racy<std::atomic<VirtualTime>> heap_upd_time_{0};
 
   topk::ConcurrentDocMap doc_map_;
   std::atomic<const LocalDocMap*> snapshot_{nullptr};
@@ -557,6 +637,20 @@ class SpartaRun final : public topk::QueryRun {
 
   std::vector<std::size_t> positions_;  // per-term traversal position
   std::vector<std::unique_ptr<LocalDocMap>> term_maps_;
+
+  /// Racy<> by design: written under heap_lock_, but Δ-stopping reads it
+  /// lock-free in the cleaner (staleness only delays the stop). One
+  /// padded word per NUMA domain — writers update their own domain's
+  /// word, so the Δ timestamp never ping-pongs across the interconnect;
+  /// the Δ check takes the max (one domain degenerates to the original
+  /// single-word layout).
+  std::vector<util::Padded<util::Racy<std::atomic<VirtualTime>>>>
+      heap_upd_time_;
+
+  /// Per-worker private accumulators (empty unless
+  /// options_.private_accumulators); each worker touches only its own
+  /// entry, indexed by worker_id (sparta_lint rule f).
+  std::vector<topk::LocalAccumulator> accumulators_;
 
   std::atomic<int> exhausted_terms_{0};
   std::size_t last_cleaner_size_ = std::numeric_limits<std::size_t>::max();
@@ -580,6 +674,10 @@ Sparta::Sparta(SpartaOptions options) : options_(std::move(options)) {
   SPARTA_CHECK(!options_.cleaner_prunes ||
                options_.insert_cutoff_at_ubstop);
   SPARTA_CHECK(!options_.term_maps || options_.insert_cutoff_at_ubstop);
+  // The accumulator merge lands before each segment's UB publication;
+  // per-posting UB publication (the pNRA configuration) would break the
+  // buffered-score ≤ published-UB invariant the cutoff relies on.
+  SPARTA_CHECK(!options_.private_accumulators || options_.lazy_ub_updates);
   SPARTA_CHECK(options_.prob_factor > 0.0 && options_.prob_factor <= 1.0);
 }
 

@@ -44,6 +44,16 @@ struct SpartaOptions {
   bool cleaner_prunes = true;
   bool term_maps = true;
   bool insert_cutoff_at_ubstop = true;
+  /// Corey-style private accumulators (DESIGN.md §14): workers buffer
+  /// term-score writes in a per-worker map during each posting segment
+  /// and merge into the shared docMap at the segment boundary — one
+  /// stripe-lock acquisition per touched stripe instead of one per
+  /// posting. Requires lazy_ub_updates: the merge must land before the
+  /// segment's UB publication so every buffered score stays bounded by
+  /// its term's published UB (the insert-cutoff drop-safety argument).
+  /// Results are bit-equal to the unbuffered path
+  /// (tests/test_equivalence.cpp).
+  bool private_accumulators = false;
   /// Probabilistic pruning (the paper's §6 future work, after Theobald
   /// et al. [VLDB'04]): scale the *unknown*-term contributions of upper
   /// bounds by this factor in the stopping/pruning rules. A document

@@ -111,6 +111,23 @@ class WorkerContext {
                                    bool write_shared,
                                    std::uint64_t count) = 0;
 
+  /// NUMA-placed variant of StructureAccess: the structure (or stripe of
+  /// one) has a home memory domain, and accesses from workers on another
+  /// socket pay the remote-memory premium when the access misses to
+  /// DRAM. Executors without a socket topology (real threads; the
+  /// default single-domain simulation) ignore the hint, so the default
+  /// forwarding keeps them bit-identical to pre-NUMA behavior.
+  virtual void StructureAccessHomed(std::size_t structure_bytes,
+                                    bool write_shared, int /*home_domain*/,
+                                    bool insert = false) {
+    StructureAccess(structure_bytes, write_shared, insert);
+  }
+
+  /// The NUMA domain this worker's core belongs to (0 on executors
+  /// without a socket topology). Contiguous worker blocks map to
+  /// domains, mirroring how cores enumerate on real two-socket parts.
+  virtual int numa_domain() const { return 0; }
+
   /// Sequential read of `length` bytes at `offset` of the index file;
   /// charged through the page-cache/SSD model.
   virtual void IoSequential(std::uint64_t offset, std::uint64_t length) = 0;
@@ -220,6 +237,11 @@ class QueryContext {
 
   /// Number of workers the query may use.
   virtual int num_workers() const = 0;
+
+  /// NUMA domains of the executing machine (1 = no socket topology).
+  /// Algorithms use this to size per-domain sharded state (heap update
+  /// words) and to compute stripe home domains at query setup.
+  virtual int numa_domains() const { return 1; }
 
   /// Creates a lock priced by this executor.
   virtual std::unique_ptr<CtxLock> MakeLock() = 0;

@@ -125,7 +125,7 @@ Profiler::Resolution Profiler::Resolve(const void* addr) const {
 
 void Profiler::OnSharedAccess(int worker, const Resolution& where,
                               exec::AccessKind kind, bool miss,
-                              int copies_invalidated) {
+                              int copies_invalidated, bool remote) {
   if (!config_.contention) return;
   auto& stats = Stats(where.structure);
   if (kind == exec::AccessKind::kRead) {
@@ -138,6 +138,7 @@ void Profiler::OnSharedAccess(int worker, const Resolution& where,
         static_cast<std::uint64_t>(copies_invalidated);
   }
   if (!miss) return;
+  if (remote) ++stats.remote_misses;
   ++stats.worker_misses[static_cast<std::size_t>(worker)];
   ++stats.phases[CurrentPhase(worker)].misses;
   // Line identity is only meaningful for registered ranges; everything
@@ -217,6 +218,7 @@ ContentionReport Profiler::ContentionSnapshot() const {
     row.writes = stats.writes;
     row.read_misses = stats.read_misses;
     row.write_misses = stats.write_misses;
+    row.remote_misses = stats.remote_misses;
     row.copies_invalidated = stats.copies_invalidated;
     row.lock_acquires = stats.lock_acquires;
     row.lock_contended = stats.lock_contended;
@@ -262,15 +264,17 @@ std::string RenderContentionReport(const ContentionReport& report,
                                    const std::string& title) {
   std::string out;
   Append(out, "== contention: %s ==\n", title.c_str());
-  Append(out, "%-18s %9s %9s %9s %9s %8s %8s %8s %11s\n", "structure",
-         "reads", "writes", "rd.miss", "wr.miss", "inval", "lk.acq",
-         "lk.cont", "lk.wait.ms");
+  Append(out, "%-18s %9s %9s %9s %9s %8s %8s %8s %8s %11s\n", "structure",
+         "reads", "writes", "rd.miss", "wr.miss", "rm.miss", "inval",
+         "lk.acq", "lk.cont", "lk.wait.ms");
   for (const auto& row : report.structures) {
-    Append(out, "%-18s %9llu %9llu %9llu %9llu %8llu %8llu %8llu %11.3f\n",
+    Append(out,
+           "%-18s %9llu %9llu %9llu %9llu %8llu %8llu %8llu %8llu %11.3f\n",
            row.name.c_str(), static_cast<unsigned long long>(row.reads),
            static_cast<unsigned long long>(row.writes),
            static_cast<unsigned long long>(row.read_misses),
            static_cast<unsigned long long>(row.write_misses),
+           static_cast<unsigned long long>(row.remote_misses),
            static_cast<unsigned long long>(row.copies_invalidated),
            static_cast<unsigned long long>(row.lock_acquires),
            static_cast<unsigned long long>(row.lock_contended),

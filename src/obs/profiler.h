@@ -80,6 +80,11 @@ struct ContentionStructureRow {
   std::uint64_t read_misses = 0;
   /// Writes that paid a request-for-ownership round trip.
   std::uint64_t write_misses = 0;
+  /// Misses (read or write) filled across the socket interconnect: the
+  /// line's last writer sat on another NUMA domain. Always 0 on a
+  /// single-domain machine — the local/remote split is how the NUMA
+  /// stripe-placement experiments read their win.
+  std::uint64_t remote_misses = 0;
   /// Remote copies invalidated by this structure's writes.
   std::uint64_t copies_invalidated = 0;
   std::uint64_t lock_acquires = 0;
@@ -151,10 +156,11 @@ class Profiler {
   // --- event sinks (called by the simulator) --------------------------
 
   /// One coherence event on a resolved line. `copies_invalidated` is the
-  /// number of remote valid copies a write invalidated (0 for reads).
+  /// number of remote valid copies a write invalidated (0 for reads);
+  /// `remote` marks a miss filled from another NUMA domain's cache.
   void OnSharedAccess(int worker, const Resolution& where,
                       exec::AccessKind kind, bool miss,
-                      int copies_invalidated);
+                      int copies_invalidated, bool remote = false);
 
   /// One lock acquisition. `lock` is resolved against the registry
   /// (register the CtxLock object's address to name it); `wait_ns` is
@@ -214,6 +220,7 @@ class Profiler {
     std::uint64_t writes = 0;
     std::uint64_t read_misses = 0;
     std::uint64_t write_misses = 0;
+    std::uint64_t remote_misses = 0;
     std::uint64_t copies_invalidated = 0;
     std::uint64_t lock_acquires = 0;
     std::uint64_t lock_contended = 0;

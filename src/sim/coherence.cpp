@@ -6,6 +6,15 @@
 
 namespace sparta::sim {
 
+void CoherenceModel::SetTopology(int num_workers, int numa_domains) {
+  // More domains than workers is legal (a small query on a big box):
+  // DomainOf simply never produces the unpopulated domains.
+  SPARTA_CHECK(num_workers >= 1 && num_workers <= kMaxSimWorkers);
+  SPARTA_CHECK(numa_domains >= 1 && numa_domains <= kMaxSimWorkers);
+  num_workers_ = num_workers;
+  numa_domains_ = numa_domains;
+}
+
 CoherenceModel::Access CoherenceModel::Read(int worker, const void* addr) {
   SPARTA_CHECK(worker >= 0 && worker < kMaxSimWorkers);
   if (race_detector_ != nullptr) {
@@ -19,10 +28,14 @@ CoherenceModel::Access CoherenceModel::Read(int worker, const void* addr) {
   if (line.version == 0) line.version = 1;  // first sighting of this line
   Access access;
   access.miss = line.seen[static_cast<std::size_t>(worker)] != line.version;
+  // The fill is sourced from the last writer's cache; a writer on the
+  // other socket means the line crosses the interconnect.
+  access.remote = access.miss && line.last_writer >= 0 &&
+                  DomainOf(line.last_writer) != DomainOf(worker);
   line.seen[static_cast<std::size_t>(worker)] = line.version;
   if (profiler_ != nullptr) {
     profiler_->OnSharedAccess(worker, where, exec::AccessKind::kRead,
-                              access.miss, 0);
+                              access.miss, 0, access.remote);
   }
   return access;
 }
@@ -42,6 +55,8 @@ CoherenceModel::Access CoherenceModel::Write(int worker, const void* addr) {
   // request-for-ownership (invalidate) round trip.
   access.miss = line.version != 0 &&
                 line.seen[static_cast<std::size_t>(worker)] != line.version;
+  access.remote = access.miss && line.last_writer >= 0 &&
+                  DomainOf(line.last_writer) != DomainOf(worker);
   // Remote workers holding the current version lose their copy.
   for (int w = 0; w < kMaxSimWorkers; ++w) {
     if (w != worker &&
@@ -51,11 +66,13 @@ CoherenceModel::Access CoherenceModel::Write(int worker, const void* addr) {
     }
   }
   ++line.version;
+  line.last_writer = worker;
   line.seen.fill(0);  // everyone else is invalidated
   line.seen[static_cast<std::size_t>(worker)] = line.version;
   if (profiler_ != nullptr) {
     profiler_->OnSharedAccess(worker, where, exec::AccessKind::kWrite,
-                              access.miss, access.copies_invalidated);
+                              access.miss, access.copies_invalidated,
+                              access.remote);
   }
   return access;
 }

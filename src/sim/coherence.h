@@ -39,11 +39,30 @@ class CoherenceModel {
   /// writes) how many remote valid copies the write invalidated.
   struct Access {
     bool miss = false;
+    /// A miss whose line was last written on another NUMA domain: the
+    /// fill crosses the socket interconnect (always false without a
+    /// topology or when the line has no prior writer).
+    bool remote = false;
     int copies_invalidated = 0;
   };
 
   Access Read(int worker, const void* addr);
   Access Write(int worker, const void* addr);
+
+  /// Declares the socket topology: `num_workers` cores split into
+  /// `numa_domains` contiguous blocks (CostModel::DomainOfWorker). With
+  /// the default 1 domain every access resolves local and the model is
+  /// bit-identical to its pre-NUMA behavior.
+  void SetTopology(int num_workers, int numa_domains);
+
+  /// Domain of a worker under the declared topology (0 without one).
+  int DomainOf(int worker) const {
+    if (numa_domains_ <= 1) return 0;
+    const int domain = worker * numa_domains_ / num_workers_;
+    return domain < numa_domains_ ? domain : numa_domains_ - 1;
+  }
+
+  int numa_domains() const { return numa_domains_; }
 
   /// Attaches a race detector: every Read/Write event is forwarded to it
   /// as an access at byte granularity (the hinted address, not the
@@ -67,6 +86,9 @@ class CoherenceModel {
  private:
   struct LineState {
     std::uint64_t version = 0;
+    /// Worker that produced the current version (-1 = no writer yet);
+    /// its domain decides whether a miss fill crosses sockets.
+    int last_writer = -1;
     /// Last version observed per worker; 0 = never seen (versions start
     /// at 1).
     std::array<std::uint64_t, kMaxSimWorkers> seen{};
@@ -80,6 +102,8 @@ class CoherenceModel {
   std::unordered_map<std::uint64_t, LineState> lines_;
   RaceDetector* race_detector_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  int num_workers_ = kMaxSimWorkers;
+  int numa_domains_ = 1;
 };
 
 }  // namespace sparta::sim

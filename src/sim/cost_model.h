@@ -31,6 +31,40 @@ struct CostModel {
   /// Hash-map entry allocation (node + rehash amortization).
   exec::VirtualTime map_insert_extra = 35;
 
+  // --- NUMA (socket topology) ---
+  /// Sockets of the simulated machine. 1 (the default) models the
+  /// paper's single-socket view: every NUMA hook degenerates to the
+  /// pre-NUMA cost and runs stay bit-identical. With >1 domains,
+  /// workers are split into contiguous blocks (DomainOfWorker) and the
+  /// two remote premiums below start to apply.
+  int numa_domains = 1;
+  /// Coherence miss served from another socket's cache (the line's last
+  /// writer sits across the interconnect): snoop + QPI/UPI hop.
+  exec::VirtualTime remote_coherence_miss = 140;
+  /// DRAM access to a page homed on another socket's memory controller.
+  exec::VirtualTime remote_dram_access = 105;
+
+  /// Home domain of worker `w` on a machine with `num_workers` cores in
+  /// play: contiguous blocks (cores 0..n/2-1 = socket 0), mirroring how
+  /// cores enumerate on real multi-socket parts. Pure arithmetic on ids,
+  /// never addresses, so domain keys are allocator-independent.
+  int DomainOfWorker(int w, int num_workers) const {
+    if (numa_domains <= 1 || num_workers <= 0) return 0;
+    const int domain =
+        w * numa_domains / (num_workers < numa_domains ? numa_domains
+                                                       : num_workers);
+    return domain < numa_domains ? domain : numa_domains - 1;
+  }
+
+  /// Home domain of stripe `index` out of `count` round-striped
+  /// structures (docMap stripes): stripes interleave across domains the
+  /// way first-touch interleaved allocation places them. Id-based, so
+  /// the placement is identical on every run and host.
+  int DomainOfStripe(std::size_t index, std::size_t count) const {
+    if (numa_domains <= 1 || count == 0) return 0;
+    return static_cast<int>(index % static_cast<std::size_t>(numa_domains));
+  }
+
   /// Capacities deciding which level a structure of a given size
   /// effectively lives in. Write-shared structures are priced at least
   /// at LLC (lines bounce between cores and are never L1/L2-stable).
@@ -66,6 +100,18 @@ struct CostModel {
       cost = dram_access;
     }
     if (write_shared && cost < llc_hit) cost = llc_hit;
+    return cost;
+  }
+
+  /// NUMA-placed variant: only accesses that would go to DRAM pay the
+  /// remote premium — cache-resident structures are served by the local
+  /// hierarchy wherever their backing pages live, which is exactly why
+  /// stripe *placement* matters most for DRAM-sized maps.
+  exec::VirtualTime StructureAccessCostHomed(std::size_t bytes,
+                                             bool write_shared,
+                                             bool remote) const {
+    const exec::VirtualTime cost = StructureAccessCost(bytes, write_shared);
+    if (remote && cost == dram_access) return remote_dram_access;
     return cost;
   }
 };

@@ -60,8 +60,10 @@ class SimWorkerContext final : public exec::WorkerContext {
     const auto access = kind == exec::AccessKind::kRead
                             ? exec_.coherence_.Read(worker_, line)
                             : exec_.coherence_.Write(worker_, line);
-    Charge(access.miss ? exec_.config_.costs.coherence_miss
-                       : exec_.config_.costs.l1_hit);
+    const auto& costs = exec_.config_.costs;
+    Charge(access.miss ? (access.remote ? costs.remote_coherence_miss
+                                        : costs.coherence_miss)
+                       : costs.l1_hit);
   }
 
   void StructureAccess(std::size_t structure_bytes, bool write_shared,
@@ -70,6 +72,20 @@ class SimWorkerContext final : public exec::WorkerContext {
                                                         write_shared);
     if (insert) cost += exec_.config_.costs.map_insert_extra;
     Charge(cost);
+  }
+
+  void StructureAccessHomed(std::size_t structure_bytes, bool write_shared,
+                            int home_domain, bool insert) override {
+    const auto& costs = exec_.config_.costs;
+    auto cost = costs.StructureAccessCostHomed(
+        structure_bytes, write_shared,
+        /*remote=*/home_domain != numa_domain());
+    if (insert) cost += costs.map_insert_extra;
+    Charge(cost);
+  }
+
+  int numa_domain() const override {
+    return exec_.coherence_.DomainOf(worker_);
   }
 
   void StructureAccessMany(std::size_t structure_bytes, bool write_shared,
@@ -317,6 +333,10 @@ class SimQuery final : public exec::QueryContext {
 
   int num_workers() const override { return exec_.config().num_workers; }
 
+  int numa_domains() const override {
+    return exec_.coherence_.numa_domains();
+  }
+
   std::unique_ptr<exec::CtxLock> MakeLock() override {
     return std::make_unique<SimLock>(exec_.config().costs,
                                      exec_.race_detector_.get(),
@@ -364,6 +384,7 @@ SimExecutor::SimExecutor(SimConfig config)
       page_cache_(config.page_cache_bytes) {
   SPARTA_CHECK(config.num_workers >= 1 &&
                config.num_workers <= kMaxSimWorkers);
+  coherence_.SetTopology(config_.num_workers, config_.costs.numa_domains);
   if (config_.race_check) {
     race_detector_ = std::make_unique<RaceDetector>(config_.num_workers);
     coherence_.set_race_detector(race_detector_.get());

@@ -51,8 +51,16 @@ ConcurrentDocMap::ConcurrentDocMap(exec::QueryContext& ctx, int num_terms,
                        ? modeled_entry_bytes
                        : ModeledEntryBytes(num_terms, /*concurrent=*/true)),
       stripes_(kStripes) {
-  for (auto& stripe : stripes_) {
+  const int domains = ctx.numa_domains();
+  for (std::size_t s = 0; s < stripes_.size(); ++s) {
+    Stripe& stripe = stripes_[s];
     stripe.lock = ctx.MakeLock();
+    // Round-robin stripe placement across sockets by stripe *index* —
+    // an allocator-independent key, so the placement (and every trace
+    // downstream of it) is identical run to run. One domain degenerates
+    // to the pre-NUMA layout: everything homed on domain 0.
+    stripe.home_domain = domains <= 1 ? 0 : static_cast<int>(
+        s % static_cast<std::size_t>(domains));
     // All stripes aggregate under one name; waits on the granular locks
     // are the docMap's serialization cost (§4.3).
     ctx.RegisterContentionRange(stripe.lock.get(), 1, "docMap.stripe");
@@ -77,7 +85,8 @@ ConcurrentDocMap::GetOrCreateResult ConcurrentDocMap::GetOrCreate(
   obs::SpanScope span(worker, obs::SpanKind::kDocMapAccess);
   span.set_args(doc, 0);
   const exec::CtxLockGuard guard(*stripe.lock, worker);
-  worker.StructureAccess(ApproxBytes(), /*write_shared=*/true);
+  worker.StructureAccessHomed(ApproxBytes(), /*write_shared=*/true,
+                              stripe.home_domain);
   worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
   const auto it = stripe.map.find(doc);
   if (it != stripe.map.end()) {
@@ -93,8 +102,8 @@ ConcurrentDocMap::GetOrCreateResult ConcurrentDocMap::GetOrCreate(
     result.oom = true;
     return result;
   }
-  worker.StructureAccess(ApproxBytes(), /*write_shared=*/true,
-                         /*insert=*/true);
+  worker.StructureAccessHomed(ApproxBytes(), /*write_shared=*/true,
+                              stripe.home_domain, /*insert=*/true);
   worker.ShadowAccess(&stripe.map, exec::AccessKind::kWrite);
   DocType* created = &stripe.arena.emplace_back(doc, num_terms_);
   stripe.map.emplace(doc, created);
@@ -121,10 +130,71 @@ DocType* ConcurrentDocMap::Find(DocId doc, exec::WorkerContext& worker) {
   obs::SpanScope span(worker, obs::SpanKind::kDocMapAccess);
   span.set_args(doc, 2);
   const exec::CtxLockGuard guard(*stripe.lock, worker);
-  worker.StructureAccess(ApproxBytes(), /*write_shared=*/!read_only());
+  worker.StructureAccessHomed(ApproxBytes(), /*write_shared=*/!read_only(),
+                              stripe.home_domain);
   worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
   const auto it = stripe.map.find(doc);
   return it == stripe.map.end() ? nullptr : it->second;
+}
+
+ConcurrentDocMap::BatchResult ConcurrentDocMap::ApplyBatch(
+    std::span<const PendingScore> batch, exec::WorkerContext& worker,
+    const ApplySink& sink) {
+  BatchResult result;
+  if (batch.empty()) return result;
+  const std::size_t stripe_index = StripeOf(batch.front().doc);
+  Stripe& stripe = stripes_[stripe_index];
+  // Payload b = 4: batched phase-boundary merge (one span per stripe
+  // batch, not per posting — the trace mirrors the cost structure).
+  obs::SpanScope span(worker, obs::SpanKind::kDocMapAccess);
+  span.set_args(batch.front().doc, 4);
+  const exec::CtxLockGuard guard(*stripe.lock, worker);
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    const DocId doc = batch[i].doc;
+    SPARTA_CHECK(StripeOf(doc) == stripe_index);
+    std::size_t j = i + 1;
+    while (j < batch.size() && batch[j].doc == doc) ++j;
+    const std::span<const PendingScore> group = batch.subspan(i, j - i);
+    i = j;
+    worker.StructureAccessHomed(ApproxBytes(), /*write_shared=*/true,
+                                stripe.home_domain);
+    worker.ShadowAccess(&stripe.map, exec::AccessKind::kRead);
+    const auto it = stripe.map.find(doc);
+    DocType* entry = it != stripe.map.end() ? it->second : nullptr;
+    bool inserted = false;
+    if (entry == nullptr) {
+      // Same protocol as GetOrCreate: refusing an unseen doc after the
+      // cutoff is exact (its buffered scores are ≤ the still-published
+      // UB[i], so Σ UB ≤ Θ already rules it out of the top-k), and OOM
+      // stops the batch honestly mid-way.
+      if (insert_cutoff()) {
+        ++result.refused;
+        continue;
+      }
+      if (!worker.ChargeMemory(entry_bytes_)) {
+        (void)worker.ChargeMemory(-entry_bytes_);  // nothing was stored
+        result.oom = true;
+        break;
+      }
+      worker.StructureAccessHomed(ApproxBytes(), /*write_shared=*/true,
+                                  stripe.home_domain, /*insert=*/true);
+      worker.ShadowAccess(&stripe.map, exec::AccessKind::kWrite);
+      entry = &stripe.arena.emplace_back(doc, num_terms_);
+      stripe.map.emplace(doc, entry);
+      inserted = true;
+      const auto new_size =
+          size_.fetch_add(1, std::memory_order_relaxed) + 1;
+      auto peak = peak_.load(std::memory_order_relaxed);
+      while (new_size > peak &&
+             !peak_.compare_exchange_weak(peak, new_size,
+                                          std::memory_order_relaxed)) {
+      }
+    }
+    sink(group, entry, inserted);
+    ++result.applied;
+  }
+  return result;
 }
 
 void ConcurrentDocMap::Freeze(exec::WorkerContext& worker) {

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -75,6 +76,16 @@ class DocType {
 /// Modeled per-entry footprint (bytes) of the paper's Java maps.
 std::int64_t ModeledEntryBytes(int num_terms, bool concurrent);
 
+/// One buffered term-score contribution, produced by a worker's private
+/// accumulator during a phase and applied to the shared map at the phase
+/// boundary (DESIGN.md §14). `term` is the query-term position (the
+/// score-slot index; ignored by presence-set consumers).
+struct PendingScore {
+  DocId doc = kInvalidDoc;
+  std::int32_t term = 0;
+  Score score = 0;
+};
+
 /// Striped concurrent hash map DocId -> DocType*, owning the DocType
 /// storage (arena per stripe; entries live until the map is destroyed,
 /// which lets cleaner snapshots hold raw pointers safely).
@@ -113,6 +124,45 @@ class ConcurrentDocMap {
   /// granular striping.
   GetOrCreateResult AddScore(DocId doc, Score delta,
                              exec::WorkerContext& worker);
+
+  /// Per-doc-group callback of ApplyBatch, invoked under the stripe lock
+  /// once per distinct document: the group's buffered contributions, the
+  /// (found or created) entry, and whether this batch inserted it. The
+  /// sink applies the contributions (slot stores, lb adds) so the merge
+  /// semantics stay with the algorithm, not the map.
+  using ApplySink = std::function<void(std::span<const PendingScore>,
+                                       DocType*, bool inserted)>;
+
+  struct BatchResult {
+    /// Doc groups resolved to an entry (found, or inserted pre-cutoff).
+    std::size_t applied = 0;
+    /// Doc groups refused: unseen documents arriving after the insert
+    /// cutoff. Safe to drop — by then Σ UB ≤ Θ bounds them out of the
+    /// top-k (the batched twin of GetOrCreate's post-freeze refusal).
+    std::size_t refused = 0;
+    bool oom = false;
+  };
+
+  /// Phase-boundary merge: applies a stripe-homogeneous batch (every
+  /// entry hashes to the same stripe; doc groups contiguous) under ONE
+  /// stripe-lock acquisition — the Corey-style contention win: a
+  /// 1024-posting segment costs at most kStripes acquisitions instead of
+  /// one per posting. Honors the insert cutoff/freeze protocol exactly
+  /// like GetOrCreate. On memory exhaustion stops mid-batch with
+  /// oom=true; everything applied so far stays (honest kOom partials).
+  BatchResult ApplyBatch(std::span<const PendingScore> batch,
+                         exec::WorkerContext& worker,
+                         const ApplySink& sink);
+
+  /// Stripe of a document — public so private accumulators can group
+  /// their buffered contributions into stripe-homogeneous batches.
+  static std::size_t StripeOf(DocId doc);
+
+  /// Home NUMA domain of a stripe (id-based round placement, so the
+  /// stripe→domain key is identical on every run and allocator layout).
+  int StripeHomeDomain(std::size_t stripe) const {
+    return stripes_[stripe].home_domain;
+  }
 
   std::size_t Size() const {
     return size_.load(std::memory_order_relaxed);
@@ -204,9 +254,9 @@ class ConcurrentDocMap {
     std::unique_ptr<exec::CtxLock> lock;
     std::unordered_map<DocId, DocType*> map SPARTA_GUARDED_BY(*lock);
     std::deque<DocType> arena SPARTA_GUARDED_BY(*lock);
+    /// NUMA domain whose memory backs this stripe (0 without topology).
+    int home_domain = 0;
   };
-
-  static std::size_t StripeOf(DocId doc);
 
   bool insert_cutoff() const {
     return insert_cutoff_.load(std::memory_order_acquire);

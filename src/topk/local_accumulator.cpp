@@ -1,0 +1,104 @@
+#include "topk/local_accumulator.h"
+
+namespace sparta::topk {
+
+LocalAccumulator::LocalAccumulator(AccumulatorMode mode, int num_terms)
+    : mode_(mode),
+      entry_bytes_(ModeledEntryBytes(num_terms, /*concurrent=*/false)) {}
+
+bool LocalAccumulator::Add(DocId doc, std::int32_t term, Score score,
+                           exec::WorkerContext& worker) {
+  // Private structure: cacheable, no stripe lock, no coherence traffic —
+  // exactly the cost asymmetry the accumulators exist to exploit.
+  worker.StructureAccess(ApproxBytes(), /*write_shared=*/false);
+  const std::uint64_t key = KeyOf(doc, term);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    PendingScore& entry = entries_[it->second];
+    if (mode_ == AccumulatorMode::kAccumulate) {
+      entry.score += score;
+    } else {
+      entry.score = score;
+    }
+    return true;
+  }
+  if (!worker.ChargeMemory(entry_bytes_)) {
+    (void)worker.ChargeMemory(-entry_bytes_);  // nothing was stored
+    return false;
+  }
+  worker.StructureAccess(ApproxBytes(), /*write_shared=*/false,
+                         /*insert=*/true);
+  index_.emplace(key, entries_.size());
+  entries_.push_back(PendingScore{doc, term, score});
+  return true;
+}
+
+std::size_t LocalAccumulator::ApproxBytes() const {
+  // Entry payload plus hash-index node, for the cache-level cost model.
+  return entries_.size() * (sizeof(PendingScore) + 40);
+}
+
+LocalAccumulator::MergeStats LocalAccumulator::MergeInto(
+    ConcurrentDocMap& map, exec::WorkerContext& worker,
+    const MergeSink& sink) {
+  MergeStats stats;
+  if (entries_.empty()) return stats;
+
+  // Bucket by stripe in arrival order, then make doc groups contiguous
+  // within each bucket by stable-sorting on the doc's first-arrival
+  // rank. Both keys (stripe index, arrival rank) are deterministic
+  // functions of this worker's posting stream — no pointer or
+  // unordered-iteration order leaks into the merge.
+  std::vector<std::vector<PendingScore>> buckets(
+      static_cast<std::size_t>(ConcurrentDocMap::kStripes));
+  std::unordered_map<DocId, std::size_t> first_seen;
+  first_seen.reserve(entries_.size());
+  for (const PendingScore& entry : entries_) {
+    first_seen.emplace(entry.doc, first_seen.size());
+    buckets[ConcurrentDocMap::StripeOf(entry.doc)].push_back(entry);
+  }
+  for (auto& bucket : buckets) {
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [&](const PendingScore& a, const PendingScore& b) {
+                       return first_seen.at(a.doc) < first_seen.at(b.doc);
+                     });
+  }
+
+  const int self = worker.worker_id();
+  std::vector<Contribution<Score>> fold;
+  const auto wrapped = [&](std::span<const PendingScore> group,
+                           DocType* entry, bool inserted) {
+    fold.clear();
+    for (const PendingScore& p : group) {
+      fold.push_back(Contribution<Score>{self, p.term, p.score});
+    }
+    const Score folded = FoldInWorkerOrder<Score>(fold);
+    sink(group, entry, inserted, folded);
+  };
+
+  for (const auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    const auto result = map.ApplyBatch(bucket, worker, wrapped);
+    ++stats.batches;
+    stats.applied += result.applied;
+    stats.refused += result.refused;
+    if (result.oom) {
+      stats.oom = true;
+      break;  // budget gone: stop merging, report the honest partial
+    }
+  }
+  Clear(worker);
+  return stats;
+}
+
+void LocalAccumulator::Clear(exec::WorkerContext& worker) {
+  if (!entries_.empty()) {
+    // Releasing cannot newly exceed the budget; ignore the flag.
+    (void)worker.ChargeMemory(
+        -entry_bytes_ * static_cast<std::int64_t>(entries_.size()));
+  }
+  entries_.clear();
+  index_.clear();
+}
+
+}  // namespace sparta::topk

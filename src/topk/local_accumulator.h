@@ -1,0 +1,126 @@
+// Private per-worker score accumulators (DESIGN.md §14).
+//
+// Corey-style "don't share by default": during a posting segment a
+// worker buffers its term-score contributions in an unsynchronized
+// private map instead of taking a docMap stripe lock per posting. At
+// the phase boundary (segment end) the buffer is merged into the shared
+// ConcurrentDocMap in stripe-homogeneous batches — one stripe-lock
+// acquisition per touched stripe instead of one per posting, which is
+// where the contention win comes from.
+//
+// Determinism contract: the merge visits stripes in stripe-index order
+// and doc groups in first-arrival order, and every per-doc fold runs
+// through FoldInWorkerOrder — a canonical (worker, term) summation
+// order — so results are bit-equal to the unbuffered per-posting path
+// regardless of posting arrival order (tests/test_equivalence.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/context.h"
+#include "topk/doc_map.h"
+#include "util/common.h"
+
+namespace sparta::topk {
+
+/// One tagged score contribution for order-canonical folding.
+template <typename V>
+struct Contribution {
+  int worker = 0;
+  std::int32_t term = 0;
+  V value{};
+};
+
+/// Folds contributions in (worker, term) order — a canonical order that
+/// depends only on *who produced what*, never on arrival interleaving.
+/// Integer scores are order-insensitive anyway; for floating-point
+/// values this is what makes phase-boundary merges bit-equal to the
+/// oracle under any buffering or scheduling (the fp-order regression in
+/// tests/test_equivalence.cpp fails without it). Sorts in place.
+template <typename V>
+V FoldInWorkerOrder(std::span<Contribution<V>> contributions) {
+  std::stable_sort(contributions.begin(), contributions.end(),
+                   [](const Contribution<V>& a, const Contribution<V>& b) {
+                     return a.worker != b.worker ? a.worker < b.worker
+                                                 : a.term < b.term;
+                   });
+  V sum{};
+  for (const auto& c : contributions) sum += c.value;
+  return sum;
+}
+
+/// What Add does when the same (doc, term) key recurs within a phase.
+enum class AccumulatorMode : std::uint8_t {
+  /// Keep the latest value (Sparta score slots / pRA presence sets —
+  /// the per-posting path overwrites the same slot, so must we).
+  kStore,
+  /// Sum deltas (JASS-family additive accumulators).
+  kAccumulate,
+};
+
+/// The per-worker private buffer. Never shared: each worker owns one
+/// instance, indexed by its worker id (sparta_lint rule f enforces the
+/// indexing discipline). Modeled memory is charged per buffered entry
+/// so deferral cannot hide footprint from the OOM budget.
+class LocalAccumulator {
+ public:
+  LocalAccumulator(AccumulatorMode mode, int num_terms);
+
+  /// Buffers one contribution. Returns false when the memory budget is
+  /// exceeded — the caller must wind down with an honest kOom partial
+  /// (buffered entries stay mergeable).
+  [[nodiscard]] bool Add(DocId doc, std::int32_t term, Score score,
+                         exec::WorkerContext& worker);
+
+  bool Empty() const { return entries_.empty(); }
+  std::size_t Size() const { return entries_.size(); }
+  std::size_t ApproxBytes() const;
+
+  struct MergeStats {
+    std::size_t batches = 0;  ///< stripe-lock acquisitions
+    std::size_t applied = 0;  ///< doc groups resolved to an entry
+    std::size_t refused = 0;  ///< doc groups dropped at the cutoff
+    bool oom = false;
+  };
+
+  /// Per-doc-group merge callback, invoked under the stripe lock: the
+  /// group's contributions, the map entry (found or created), whether
+  /// this merge inserted it, and the group's FoldInWorkerOrder total.
+  using MergeSink = std::function<void(std::span<const PendingScore>,
+                                       DocType*, bool inserted,
+                                       Score folded)>;
+
+  /// Phase-boundary merge into the shared map: buckets entries by
+  /// stripe, walks stripes in index order (doc groups in first-arrival
+  /// order within each), and applies each bucket with one
+  /// ConcurrentDocMap::ApplyBatch call. Always clears the buffer and
+  /// releases its modeled memory, even on a mid-merge OOM (the partial
+  /// is reported through MergeStats::oom).
+  MergeStats MergeInto(ConcurrentDocMap& map, exec::WorkerContext& worker,
+                       const MergeSink& sink);
+
+  /// Drops all buffered entries and releases their modeled memory
+  /// (abandon path: deadline/fault wind-down before a merge).
+  void Clear(exec::WorkerContext& worker);
+
+ private:
+  static std::uint64_t KeyOf(DocId doc, std::int32_t term) {
+    return (static_cast<std::uint64_t>(doc) << 16) |
+           (static_cast<std::uint64_t>(term) & 0xFFFF);
+  }
+
+  AccumulatorMode mode_;
+  std::int64_t entry_bytes_;
+  /// Arrival-ordered entries — merge order derives from this vector,
+  /// never from unordered_map iteration.
+  std::vector<PendingScore> entries_;
+  /// (doc, term) -> index into entries_, for recurrence coalescing.
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace sparta::topk

@@ -1,0 +1,39 @@
+// Padded<T>: one cache line per element (DESIGN.md §14).
+//
+// The companion of util::Racy<T> in the sharing contract: Racy<> marks
+// storage that is *deliberately* accessed lock-free, Padded<> guarantees
+// that such storage does not false-share a line with its neighbors. The
+// sparta_lint `padded-shared` rule accepts either this wrapper or a raw
+// alignas(kCacheLine) where a container of atomics would otherwise be
+// contended-by-construction (per-domain heap update words, per-worker
+// counters).
+//
+// The element is embedded, not derived: atomics and other final-ish
+// types must be wrappable too. Access goes through get()/operator* so
+// call sites make the indirection visible.
+#pragma once
+
+#include "util/common.h"
+
+namespace sparta::util {
+
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value;
+
+  Padded() = default;
+  template <typename... Args>
+  explicit Padded(Args&&... args) : value(static_cast<Args&&>(args)...) {}
+
+  T& get() { return value; }
+  const T& get() const { return value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+static_assert(sizeof(Padded<int>) == kCacheLine);
+static_assert(alignof(Padded<int>) == kCacheLine);
+
+}  // namespace sparta::util

@@ -1,0 +1,442 @@
+// Differential equivalence suite (DESIGN.md §14): proves the
+// contention-minimal features — private per-worker accumulators and
+// NUMA-aware placement — changed nothing but speed.
+//
+//   * Feature-matrix sweep: {accumulators on/off} × {NUMA domains 1/2}
+//     × {1,2,4,8 workers} × seeds × cost models, asserting the exact
+//     top-k is bit-equal to the oracle and identical across every
+//     combination.
+//   * Repeat-run determinism: a feature-on run replays bit-identically
+//     (entries, latency, exported trace).
+//   * Metrics reconciliation: the profiler's lock-wait total matches
+//     the tracer's lock.wait spans with features on, and accumulators
+//     strictly reduce docMap stripe-lock traffic.
+//   * Merge-under-pressure: deadline expiry, mid-query memory squeezes
+//     and lock-holder preemption racing the phase-boundary merge yield
+//     honestly-labeled partials, never crashes or silent score loss.
+//   * FoldInWorkerOrder regression: floating-point merge folds are
+//     bit-stable under arbitrary arrival order only because the fold
+//     canonicalizes to (worker, term) order first.
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "test_helpers.h"
+#include "topk/local_accumulator.h"
+
+namespace sparta::test {
+namespace {
+
+/// One point of the feature matrix.
+struct FeatureCombo {
+  bool accumulators;
+  int numa_domains;
+  bool address_independent_costs;
+};
+
+sim::SimConfig ComboConfig(int workers, const FeatureCombo& combo) {
+  sim::SimConfig config;
+  config.num_workers = workers;
+  config.costs.numa_domains = combo.numa_domains;
+  if (combo.address_independent_costs) {
+    // The second cost model of the sweep: coherence misses priced like
+    // hits, which removes allocator-layout jitter and doubles as a
+    // "different machine" point.
+    config.costs.coherence_miss = config.costs.l1_hit;
+    config.costs.remote_coherence_miss = config.costs.l1_hit;
+  }
+  return config;
+}
+
+std::string AlgoName(std::string_view base, bool accumulators) {
+  return std::string(base) + (accumulators ? "+acc" : "");
+}
+
+std::string ComboLabel(std::string_view base, int workers,
+                       const FeatureCombo& combo, std::uint64_t seed) {
+  return AlgoName(base, combo.accumulators) + " w" +
+         std::to_string(workers) + " numa" +
+         std::to_string(combo.numa_domains) +
+         (combo.address_independent_costs ? " flatcosts" : "") + " seed" +
+         std::to_string(seed);
+}
+
+constexpr std::uint64_t kSeeds[] = {11, 22, 33, 44, 55};
+
+const std::vector<FeatureCombo>& AllCombos() {
+  static const std::vector<FeatureCombo> combos = [] {
+    std::vector<FeatureCombo> v;
+    for (const bool acc : {false, true}) {
+      for (const int numa : {1, 2}) {
+        for (const bool flat : {false, true}) {
+          v.push_back({acc, numa, flat});
+        }
+      }
+    }
+    return v;
+  }();
+  return combos;
+}
+
+// ---------------------------------------------------------------------
+// Feature-matrix sweep: bit-equal top-k everywhere
+// ---------------------------------------------------------------------
+
+/// Runs the full matrix for one algorithm family and asserts every
+/// combination returns the exact oracle top-k, entry-for-entry equal to
+/// every other combination.
+void SweepFamily(std::string_view base) {
+  for (const std::uint64_t seed : kSeeds) {
+    const auto idx = MakeTinyIndex(/*num_docs=*/1500, seed);
+    const auto terms = PickQueryTerms(idx, 4, seed);
+    topk::SearchParams params;
+    params.k = 50;
+    params.delta = exec::kNever;  // exact mode: the oracle comparison
+    std::vector<topk::ResultEntry> baseline;
+    std::string baseline_label;
+    for (const int workers : {1, 2, 4, 8}) {
+      for (const FeatureCombo& combo : AllCombos()) {
+        const std::string label = ComboLabel(base, workers, combo, seed);
+        const auto result =
+            RunOnSim(idx, AlgoName(base, combo.accumulators), terms,
+                     params, ComboConfig(workers, combo));
+        ASSERT_TRUE(IsExactTopK(idx, terms, params.k, result)) << label;
+        if (baseline.empty()) {
+          baseline = result.entries;
+          baseline_label = label;
+          ASSERT_FALSE(baseline.empty()) << label;
+        } else {
+          EXPECT_EQ(result.entries, baseline)
+              << label << " diverged from " << baseline_label;
+        }
+      }
+    }
+  }
+}
+
+TEST(DifferentialEquivalenceTest, SpartaTopKBitEqualAcrossMatrix) {
+  SweepFamily("Sparta");
+}
+
+TEST(DifferentialEquivalenceTest, RaTopKBitEqualAcrossMatrix) {
+  SweepFamily("pRA");
+}
+
+// Work metrics the features must not change: both modes traverse
+// posting lists in the same segments, and pRA's random-access count is
+// one fan-out per first-encountered document either way.
+TEST(DifferentialEquivalenceTest, RaRandomAccessCountUnchanged) {
+  const auto idx = MakeTinyIndex(1500, 22);
+  const auto terms = PickQueryTerms(idx, 4, 22);
+  topk::SearchParams params;
+  params.k = 50;
+  for (const int workers : {1, 4}) {
+    const auto plain = RunOnSim(idx, "pRA", terms, params,
+                                ComboConfig(workers, {false, 1, false}));
+    const auto acc = RunOnSim(idx, "pRA+acc", terms, params,
+                              ComboConfig(workers, {true, 1, false}));
+    // Identical stopping work at w1 (single worker: same schedule).
+    if (workers == 1) {
+      EXPECT_EQ(plain.stats.random_accesses, acc.stats.random_accesses);
+      EXPECT_EQ(plain.stats.postings_processed,
+                acc.stats.postings_processed);
+    }
+    EXPECT_GT(acc.stats.random_accesses, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Repeat-run determinism with every feature on
+// ---------------------------------------------------------------------
+
+struct TracedRun {
+  topk::SearchResult result;
+  exec::VirtualTime latency = 0;
+  std::string trace_json;
+};
+
+TracedRun RunFeaturesOnTraced(const index::InvertedIndex& idx,
+                              std::string_view algo_name,
+                              const std::vector<TermId>& terms) {
+  topk::SearchParams params;
+  params.k = 50;
+  params.trace.enabled = true;
+  sim::SimConfig config = ComboConfig(4, {true, 2, true});
+  config.trace.enabled = true;
+  const auto algo = algos::MakeAlgorithm(algo_name);
+  SPARTA_CHECK(algo != nullptr);
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  TracedRun run;
+  run.result = algo->Run(idx, terms, params, *ctx);
+  run.latency = ctx->end_time() - ctx->start_time();
+  run.trace_json = obs::ExportChromeTrace(*executor.tracer());
+  return run;
+}
+
+TEST(DifferentialEquivalenceTest, FeaturesOnRunsReplayBitIdentically) {
+  const auto idx = MakeTinyIndex(1500, 33);
+  const auto terms = PickQueryTerms(idx, 4, 33);
+  for (const char* algo : {"Sparta+acc", "pRA+acc"}) {
+    const TracedRun a = RunFeaturesOnTraced(idx, algo, terms);
+    const TracedRun b = RunFeaturesOnTraced(idx, algo, terms);
+    EXPECT_EQ(a.result.entries, b.result.entries) << algo;
+    EXPECT_EQ(a.latency, b.latency) << algo;
+    EXPECT_EQ(a.trace_json, b.trace_json) << algo;  // byte-identical
+  }
+}
+
+// ---------------------------------------------------------------------
+// Metrics reconciliation
+// ---------------------------------------------------------------------
+
+const obs::ContentionStructureRow* RowOf(const obs::ContentionReport& r,
+                                         const std::string& name) {
+  for (const auto& s : r.structures) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+struct ProfiledContention {
+  topk::SearchResult result;
+  obs::ContentionReport report;
+  exec::VirtualTime total_lock_wait_ns = 0;
+  exec::VirtualTime traced_lock_wait_ns = 0;
+};
+
+ProfiledContention RunContention(const index::InvertedIndex& idx,
+                                 std::string_view algo_name,
+                                 const std::vector<TermId>& terms,
+                                 int workers, int numa_domains) {
+  topk::SearchParams params;
+  params.k = 50;
+  params.trace.enabled = true;
+  sim::SimConfig config;
+  config.num_workers = workers;
+  config.costs.numa_domains = numa_domains;
+  config.profile.contention = true;
+  config.trace.enabled = true;
+  const auto algo = algos::MakeAlgorithm(algo_name);
+  SPARTA_CHECK(algo != nullptr);
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  ProfiledContention out;
+  out.result = algo->Run(idx, terms, params, *ctx);
+  out.report = executor.profiler()->ContentionSnapshot();
+  out.total_lock_wait_ns = executor.profiler()->total_lock_wait_ns();
+  for (int t = 0; t < executor.tracer()->num_tracks(); ++t) {
+    for (const obs::TraceEvent& e : executor.tracer()->track(t)) {
+      if (!e.is_instant && e.span_kind() == obs::SpanKind::kLockWait) {
+        out.traced_lock_wait_ns += e.end - e.begin;
+      }
+    }
+  }
+  return out;
+}
+
+// The two instruments reconcile with the new features on, and the
+// report's own totals are internally consistent.
+TEST(DifferentialEquivalenceTest, FeatureOnMetricsReconcile) {
+  const auto idx = MakeTinyIndex(1500, 44);
+  const auto terms = PickQueryTerms(idx, 6, 44);
+  const auto run = RunContention(idx, "Sparta+acc", terms, 8, 2);
+  EXPECT_EQ(run.total_lock_wait_ns, run.traced_lock_wait_ns);
+  exec::VirtualTime structure_wait = 0;
+  std::uint64_t structure_misses = 0;
+  for (const auto& row : run.report.structures) {
+    structure_wait += row.lock_wait_ns;
+    structure_misses += row.misses();
+    // The local/remote split never exceeds the misses it splits.
+    EXPECT_LE(row.remote_misses, row.misses()) << row.name;
+  }
+  EXPECT_EQ(structure_wait, run.report.total_lock_wait_ns);
+  EXPECT_EQ(structure_misses, run.report.total_misses);
+}
+
+// The headline mechanism: batched phase-boundary merges take the docMap
+// stripe locks orders of magnitude less often than per-posting access.
+TEST(DifferentialEquivalenceTest, AccumulatorsReduceStripeLockTraffic) {
+  const auto idx = MakeTinyIndex(2000, 55);
+  const auto terms = PickQueryTerms(idx, 6, 55);
+  const auto plain = RunContention(idx, "Sparta", terms, 8, 1);
+  const auto acc = RunContention(idx, "Sparta+acc", terms, 8, 1);
+  const auto* plain_row = RowOf(plain.report, "docMap.stripe");
+  const auto* acc_row = RowOf(acc.report, "docMap.stripe");
+  ASSERT_NE(plain_row, nullptr);
+  ASSERT_NE(acc_row, nullptr);
+  EXPECT_LT(acc_row->lock_acquires, plain_row->lock_acquires);
+  EXPECT_LT(acc_row->lock_wait_ns, plain_row->lock_wait_ns);
+  // Same answer, cheaper synchronization.
+  EXPECT_EQ(plain.result.entries, acc.result.entries);
+}
+
+// On a two-domain machine, id-based stripe homes split misses into
+// local and remote; the single-domain run must report zero remote.
+TEST(DifferentialEquivalenceTest, RemoteMissSplitOnlyWithTopology) {
+  const auto idx = MakeTinyIndex(1500, 11);
+  const auto terms = PickQueryTerms(idx, 6, 11);
+  const auto one = RunContention(idx, "Sparta", terms, 8, 1);
+  const auto two = RunContention(idx, "Sparta", terms, 8, 2);
+  std::uint64_t one_remote = 0, two_remote = 0;
+  for (const auto& row : one.report.structures) {
+    one_remote += row.remote_misses;
+  }
+  for (const auto& row : two.report.structures) {
+    two_remote += row.remote_misses;
+  }
+  EXPECT_EQ(one_remote, 0u);
+  EXPECT_GT(two_remote, 0u);
+  EXPECT_EQ(one.result.entries, two.result.entries);
+}
+
+// ---------------------------------------------------------------------
+// Merge under pressure: honest partials, no silent loss
+// ---------------------------------------------------------------------
+
+topk::SearchResult RunPressure(const index::InvertedIndex& idx,
+                               std::string_view algo_name,
+                               const std::vector<TermId>& terms,
+                               const topk::SearchParams& params,
+                               const sim::SimConfig& config) {
+  const auto algo = algos::MakeAlgorithm(algo_name);
+  SPARTA_CHECK(algo != nullptr);
+  sim::SimExecutor executor(config);
+  auto ctx = executor.CreateQuery();
+  return algo->Run(idx, terms, params, *ctx);
+}
+
+// A deadline that expires mid-run: the buffered scores drain at the
+// wind-down merge and the result is labeled kDeadlineDegraded with a
+// usable best-so-far heap.
+TEST(MergeUnderPressureTest, DeadlineExpiryYieldsHonestPartial) {
+  const auto idx = MakeTinyIndex(2000, 11);
+  const auto terms = PickQueryTerms(idx, 6, 11);
+  topk::SearchParams params;
+  params.k = 50;
+  sim::SimConfig config = ComboConfig(4, {true, 2, false});
+  const auto free_run = RunPressure(idx, "Sparta+acc", terms, params,
+                                    config);
+  ASSERT_TRUE(free_run.ok());
+  ASSERT_GT(free_run.stats.latency, 0);
+
+  topk::SearchParams tight = params;
+  tight.deadline = free_run.stats.latency / 8;
+  for (const char* algo : {"Sparta+acc", "pRA+acc"}) {
+    const auto result = RunPressure(idx, algo, terms, tight, config);
+    EXPECT_EQ(result.status, topk::ResultStatus::kDeadlineDegraded)
+        << algo;
+    EXPECT_FALSE(result.entries.empty()) << algo;
+    EXPECT_LE(result.entries.size(), static_cast<std::size_t>(params.k))
+        << algo;
+  }
+}
+
+// A mid-query memory squeeze (co-tenant ballooning) racing the merge:
+// accumulator charges and merge-time inserts both hit the shrunken
+// budget; the result is a kOom partial, never a crash or empty lie.
+TEST(MergeUnderPressureTest, MemorySqueezeYieldsHonestOomPartial) {
+  const auto idx = MakeTinyIndex(4000, 22);
+  const auto terms = PickQueryTerms(idx, 8, 22);
+  topk::SearchParams params;
+  params.k = 50;
+  sim::SimConfig config = ComboConfig(4, {true, 2, false});
+  for (const char* algo : {"Sparta+acc", "pRA+acc"}) {
+    const auto free_run = RunPressure(idx, algo, terms, params, config);
+    ASSERT_TRUE(free_run.ok()) << algo;
+
+    sim::SimConfig squeezed = config;
+    squeezed.faults.mem_squeeze_after = free_run.stats.latency / 3;
+    squeezed.faults.mem_squeeze_factor = 0.0;
+    const auto result = RunPressure(idx, algo, terms, params, squeezed);
+    EXPECT_EQ(result.status, topk::ResultStatus::kOom) << algo;
+    // Everything merged before the squeeze stays: the partial heap is
+    // harvested, not discarded.
+    EXPECT_FALSE(result.entries.empty()) << algo;
+  }
+}
+
+// Lock-holder preemption stretching stripe-lock hold times while merges
+// contend for them: slower, but bit-equal to the pressure-free answer
+// (preemption delays releases; it never corrupts the protocol).
+TEST(MergeUnderPressureTest, LockPreemptionChangesNothingButTime) {
+  const auto idx = MakeTinyIndex(1500, 33);
+  const auto terms = PickQueryTerms(idx, 4, 33);
+  topk::SearchParams params;
+  params.k = 50;
+  sim::SimConfig config = ComboConfig(8, {true, 2, false});
+  const auto calm = RunPressure(idx, "Sparta+acc", terms, params, config);
+  ASSERT_TRUE(calm.ok());
+
+  sim::SimConfig stormy = config;
+  stormy.faults.lock_preempt_prob = 0.2;
+  const auto result = RunPressure(idx, "Sparta+acc", terms, params,
+                                  stormy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsExactTopK(idx, terms, params.k, result));
+  EXPECT_EQ(result.entries, calm.entries);
+}
+
+// ---------------------------------------------------------------------
+// FoldInWorkerOrder: the fp-order regression (satellite of DESIGN.md §14)
+// ---------------------------------------------------------------------
+
+// Floating-point addition is not associative: summing the same
+// contributions in arrival order produces bit-different totals under
+// different schedules. The canonical (worker, term) fold is
+// permutation-invariant — this is what makes phase-boundary merges
+// bit-equal to the oracle for any value type, not just integers.
+TEST(FoldInWorkerOrderTest, DoubleFoldIsArrivalOrderInvariant) {
+  using topk::Contribution;
+  std::mt19937_64 rng(4242);
+  std::uniform_real_distribution<double> dist(1e-9, 1e9);
+  std::vector<Contribution<double>> base;
+  for (int worker = 0; worker < 8; ++worker) {
+    for (int term = 0; term < 6; ++term) {
+      base.push_back({worker, term, dist(rng)});
+    }
+  }
+
+  auto canonical = base;
+  const double want =
+      topk::FoldInWorkerOrder<double>(std::span(canonical));
+
+  bool naive_diverged = false;
+  for (int shuffle = 0; shuffle < 32; ++shuffle) {
+    auto arrival = base;
+    std::shuffle(arrival.begin(), arrival.end(), rng);
+    // The failure mode the fold exists to kill: arrival-order summation.
+    double naive = 0.0;
+    for (const auto& c : arrival) naive += c.value;
+    if (naive != want) naive_diverged = true;
+    // The canonical fold is bit-stable under the same permutations.
+    EXPECT_EQ(topk::FoldInWorkerOrder<double>(std::span(arrival)), want)
+        << "shuffle " << shuffle;
+  }
+  EXPECT_TRUE(naive_diverged)
+      << "arrival-order sums never diverged; the regression is inert";
+}
+
+// Integer folds are order-insensitive either way, but must go through
+// the same canonical path so the merge has one code shape.
+TEST(FoldInWorkerOrderTest, IntegerFoldMatchesPlainSum) {
+  using topk::Contribution;
+  std::vector<Contribution<Score>> contributions;
+  Score plain = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Score v = (i * 7919) % 1000;
+    contributions.push_back({i % 8, i % 5, v});
+    plain += v;
+  }
+  std::mt19937_64 rng(7);
+  std::shuffle(contributions.begin(), contributions.end(), rng);
+  EXPECT_EQ(topk::FoldInWorkerOrder<Score>(std::span(contributions)),
+            plain);
+}
+
+}  // namespace
+}  // namespace sparta::test

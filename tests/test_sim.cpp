@@ -235,6 +235,131 @@ TEST(CoherenceTest, ProfilerKeysAreAllocatorIndependent) {
             key_a & (1ULL << 63));
 }
 
+// --- NUMA topology (DESIGN.md §14) ---------------------------------
+
+TEST(CoherenceTest, TopologySplitsWorkersIntoContiguousBlocks) {
+  CoherenceModel model;
+  // Without a topology everything is domain 0.
+  EXPECT_EQ(model.DomainOf(0), 0);
+  EXPECT_EQ(model.DomainOf(7), 0);
+  model.SetTopology(/*num_workers=*/8, /*numa_domains=*/2);
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(model.DomainOf(w), 0) << w;
+  for (int w = 4; w < 8; ++w) EXPECT_EQ(model.DomainOf(w), 1) << w;
+}
+
+TEST(CoherenceTest, RemoteFlagRequiresCrossDomainWriter) {
+  CoherenceModel model;
+  model.SetTopology(8, 2);
+  int line = 0;
+  // Cold read with no prior writer: a miss, but nobody's cache to pull
+  // from — never remote.
+  const auto cold = model.Read(0, &line);
+  EXPECT_TRUE(cold.miss);
+  EXPECT_FALSE(cold.remote);
+  model.Write(0, &line);  // last writer: worker 0, domain 0
+  // Same-domain fill: worker 1 misses but fills from its own socket.
+  const auto local = model.Read(1, &line);
+  EXPECT_TRUE(local.miss);
+  EXPECT_FALSE(local.remote);
+  // Cross-domain fill: worker 4 (domain 1) pulls the line across the
+  // interconnect.
+  const auto remote = model.Read(4, &line);
+  EXPECT_TRUE(remote.miss);
+  EXPECT_TRUE(remote.remote);
+  // Ownership transfer across domains is remote for the writer too.
+  const auto rfo = model.Write(5, &line);
+  EXPECT_TRUE(rfo.miss);
+  EXPECT_TRUE(rfo.remote);
+  // And back: domain 0 now fills from domain 1's writer.
+  EXPECT_TRUE(model.Read(0, &line).remote);
+}
+
+TEST(CoherenceTest, SingleDomainNeverReportsRemote) {
+  CoherenceModel model;
+  model.SetTopology(8, 1);
+  int line = 0;
+  model.Write(0, &line);
+  for (int w = 1; w < 8; ++w) {
+    EXPECT_FALSE(model.Read(w, &line).remote) << w;
+    EXPECT_FALSE(model.Write(w, &line).remote) << w;
+  }
+}
+
+TEST(CoherenceTest, CrossDomainInvalidationCountsAllCopies) {
+  CoherenceModel model;
+  model.SetTopology(8, 2);
+  int line = 0;
+  model.Read(0, &line);  // domain 0 copy
+  model.Read(4, &line);  // domain 1 copy
+  model.Read(5, &line);  // domain 1 copy
+  // A write from domain 0 invalidates every other valid copy regardless
+  // of which socket holds it.
+  EXPECT_EQ(model.Write(1, &line).copies_invalidated, 3);
+}
+
+// The profiler's remote split: with a two-domain topology, misses filled
+// across sockets land in remote_misses; the local ones don't.
+TEST(CoherenceTest, ProfilerAttributesRemoteMisses) {
+  obs::ProfilerConfig pconfig;
+  pconfig.contention = true;
+  obs::Profiler profiler(8, pconfig);
+  CoherenceModel model;
+  model.set_profiler(&profiler);
+  model.SetTopology(8, 2);
+
+  alignas(64) std::array<char, 64> structure{};
+  profiler.RegisterRange(structure.data(), structure.size(), "S");
+  model.Write(0, structure.data());  // domain 0 owns
+  model.Read(1, structure.data());   // local miss
+  model.Read(4, structure.data());   // remote miss
+  model.Read(4, structure.data());   // hit
+
+  const auto report = profiler.ContentionSnapshot();
+  ASSERT_EQ(report.structures.size(), 1u);
+  EXPECT_EQ(report.structures[0].read_misses, 2u);
+  EXPECT_EQ(report.structures[0].remote_misses, 1u);
+}
+
+TEST(CostModelTest, DomainKeysAreIdBasedAndDeterministic) {
+  CostModel costs;
+  costs.numa_domains = 2;
+  // Contiguous worker blocks on an 8-core machine.
+  EXPECT_EQ(costs.DomainOfWorker(0, 8), 0);
+  EXPECT_EQ(costs.DomainOfWorker(3, 8), 0);
+  EXPECT_EQ(costs.DomainOfWorker(4, 8), 1);
+  EXPECT_EQ(costs.DomainOfWorker(7, 8), 1);
+  // Fewer workers than domains still yields a valid domain.
+  EXPECT_EQ(costs.DomainOfWorker(0, 1), 0);
+  // Stripes interleave by index — a pure function of (index, domains),
+  // never of addresses, so placement replays identically on any host
+  // and allocator.
+  for (std::size_t s = 0; s < 64; ++s) {
+    EXPECT_EQ(costs.DomainOfStripe(s, 64), static_cast<int>(s % 2)) << s;
+  }
+  // Single-domain degenerates to 0 everywhere.
+  costs.numa_domains = 1;
+  EXPECT_EQ(costs.DomainOfWorker(7, 8), 0);
+  EXPECT_EQ(costs.DomainOfStripe(63, 64), 0);
+}
+
+TEST(CostModelTest, RemotePremiumOnlyAtDramTier) {
+  CostModel costs;
+  costs.numa_domains = 2;
+  const std::size_t dram_sized = costs.llc_bytes + 1;
+  // Remote access to a DRAM-resident structure pays the interconnect.
+  EXPECT_EQ(costs.StructureAccessCostHomed(dram_sized, false, true),
+            costs.remote_dram_access);
+  EXPECT_EQ(costs.StructureAccessCostHomed(dram_sized, false, false),
+            costs.dram_access);
+  // Cache-resident structures are served locally wherever their pages
+  // are homed: no premium at L1/L2/LLC tiers.
+  EXPECT_EQ(costs.StructureAccessCostHomed(64, false, true), costs.l1_hit);
+  EXPECT_EQ(costs.StructureAccessCostHomed(64, true, true), costs.llc_hit);
+  EXPECT_EQ(
+      costs.StructureAccessCostHomed(costs.l2_bytes, false, true),
+      costs.l2_hit);
+}
+
 TEST(PageCacheTest, HitsAndMisses) {
   PageCache cache(0);  // unbounded
   EXPECT_FALSE(cache.Touch(1));

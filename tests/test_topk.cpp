@@ -8,6 +8,7 @@
 #include "test_helpers.h"
 #include "topk/doc_heap.h"
 #include "topk/doc_map.h"
+#include "topk/local_accumulator.h"
 
 namespace sparta::topk {
 namespace {
@@ -199,6 +200,182 @@ TEST(LocalDocMapTest, AddFindAndMemoryRelease) {
     map.ReleaseModeledMemory(w);  // idempotent
     LocalDocMap fresh(2);
     EXPECT_TRUE(fresh.Add(&a, w));
+  });
+  ctx->RunToCompletion();
+}
+
+// --- batched merge protocol (DESIGN.md §14) -------------------------
+
+// Builds a stripe-homogeneous batch: ApplyBatch's contract is one
+// stripe per call, so pick docs that StripeOf maps to the same stripe.
+std::vector<DocId> DocsOnOneStripe(std::size_t count) {
+  std::vector<DocId> docs;
+  const std::size_t stripe = ConcurrentDocMap::StripeOf(0);
+  for (DocId d = 0; docs.size() < count && d < 100'000; ++d) {
+    if (ConcurrentDocMap::StripeOf(d) == stripe) docs.push_back(d);
+  }
+  SPARTA_CHECK(docs.size() == count);
+  return docs;
+}
+
+TEST_F(DocMapTest, ApplyBatchGroupsDocsAndReportsInserted) {
+  ConcurrentDocMap map(*ctx_, /*num_terms=*/2);
+  const auto docs = DocsOnOneStripe(3);
+  ctx_->Submit([&](exec::WorkerContext& w) {
+    (void)map.GetOrCreate(docs[1], w);  // pre-existing entry
+    // Two contributions for docs[0] (contiguous group), one each for
+    // the others.
+    const std::vector<PendingScore> batch = {
+        {docs[0], 0, 5}, {docs[0], 1, 7}, {docs[1], 0, 3}, {docs[2], 1, 9},
+    };
+    std::vector<std::pair<DocId, bool>> seen;
+    std::vector<std::size_t> group_sizes;
+    const auto result = map.ApplyBatch(
+        batch, w,
+        [&](std::span<const PendingScore> group, DocType* entry,
+            bool inserted) {
+          ASSERT_NE(entry, nullptr);
+          seen.emplace_back(group.front().doc, inserted);
+          group_sizes.push_back(group.size());
+          for (const auto& p : group) {
+            entry->score[p.term].store(p.score,
+                                       std::memory_order_relaxed);
+          }
+        });
+    EXPECT_EQ(result.applied, 3u);  // three doc groups
+    EXPECT_EQ(result.refused, 0u);
+    EXPECT_FALSE(result.oom);
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], (std::pair<DocId, bool>{docs[0], true}));
+    EXPECT_EQ(seen[1], (std::pair<DocId, bool>{docs[1], false}));
+    EXPECT_EQ(seen[2], (std::pair<DocId, bool>{docs[2], true}));
+    EXPECT_EQ(group_sizes, (std::vector<std::size_t>{2, 1, 1}));
+    // The sink's writes landed under the lock.
+    EXPECT_EQ(map.Find(docs[0], w)->score[1].load(), 7);
+    EXPECT_EQ(map.Find(docs[2], w)->score[1].load(), 9);
+    EXPECT_EQ(map.Size(), 3u);
+  });
+  ctx_->RunToCompletion();
+}
+
+TEST_F(DocMapTest, ApplyBatchRefusesNewDocsAfterCutoff) {
+  ConcurrentDocMap map(*ctx_, 1);
+  const auto docs = DocsOnOneStripe(2);
+  ctx_->Submit([&](exec::WorkerContext& w) {
+    (void)map.GetOrCreate(docs[0], w);
+    map.SetReadOnly();
+    const std::vector<PendingScore> batch = {{docs[0], 0, 4},
+                                             {docs[1], 0, 6}};
+    const auto result = map.ApplyBatch(
+        batch, w,
+        [](std::span<const PendingScore> group, DocType* entry, bool) {
+          entry->score[0].store(group.front().score,
+                                std::memory_order_relaxed);
+        });
+    // Existing docs still take updates; new docs are refused — the
+    // post-cutoff drop the caller proves safe via SumUB <= theta.
+    EXPECT_EQ(result.applied, 1u);
+    EXPECT_EQ(result.refused, 1u);
+    EXPECT_FALSE(result.oom);
+    EXPECT_EQ(map.Find(docs[0], w)->score[0].load(), 4);
+    EXPECT_EQ(map.Find(docs[1], w), nullptr);
+  });
+  ctx_->RunToCompletion();
+}
+
+TEST(DocMapBatchOomTest, ApplyBatchStopsHonestlyMidBatch) {
+  exec::ThreadedExecutor::Options options;
+  options.num_workers = 1;
+  options.memory_budget_bytes = ModeledEntryBytes(1, true) * 2 + 1;
+  exec::ThreadedExecutor executor(options);
+  auto ctx = executor.CreateQuery();
+  ConcurrentDocMap map(*ctx, 1);
+  ctx->Submit([&](exec::WorkerContext& w) {
+    std::vector<PendingScore> batch;
+    const std::size_t stripe = ConcurrentDocMap::StripeOf(0);
+    for (DocId d = 0; batch.size() < 8 && d < 100'000; ++d) {
+      if (ConcurrentDocMap::StripeOf(d) == stripe) batch.push_back({d, 0, 1});
+    }
+    std::size_t sink_calls = 0;
+    const auto result = map.ApplyBatch(
+        batch, w,
+        [&](std::span<const PendingScore>, DocType*, bool) {
+          ++sink_calls;
+        });
+    // The budget admits two entries; the third insert fails and the
+    // batch stops there — applied groups stay applied (no rollback),
+    // the rest is reported via oom, never silently dropped.
+    EXPECT_TRUE(result.oom);
+    EXPECT_EQ(result.applied, 2u);
+    EXPECT_EQ(sink_calls, 2u);
+    EXPECT_EQ(map.Size(), 2u);
+  });
+  ctx->RunToCompletion();
+}
+
+TEST(LocalAccumulatorTest, CoalescesPerModeAndMergesInArrivalOrder) {
+  exec::ThreadedExecutor executor({.num_workers = 1});
+  auto ctx = executor.CreateQuery();
+  ConcurrentDocMap map(*ctx, 2);
+  ctx->Submit([&](exec::WorkerContext& w) {
+    LocalAccumulator store(AccumulatorMode::kStore, 2);
+    ASSERT_TRUE(store.Add(10, 0, 5, w));
+    ASSERT_TRUE(store.Add(10, 0, 8, w));  // same key: overwrite
+    ASSERT_TRUE(store.Add(11, 1, 2, w));
+    EXPECT_EQ(store.Size(), 2u);  // coalesced, not appended
+
+    std::vector<DocId> merge_order;
+    const auto stats = store.MergeInto(
+        map, w,
+        [&](std::span<const PendingScore> group, DocType* entry,
+            bool inserted, Score folded) {
+          merge_order.push_back(group.front().doc);
+          EXPECT_TRUE(inserted);
+          EXPECT_EQ(group.size(), 1u);
+          entry->score[group.front().term].store(
+              folded, std::memory_order_relaxed);
+        });
+    EXPECT_EQ(stats.applied, 2u);
+    EXPECT_FALSE(stats.oom);
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_TRUE(store.Empty());  // merge always drains the buffer
+    EXPECT_EQ(map.Find(10, w)->score[0].load(), 8);  // latest value won
+    EXPECT_EQ(map.Find(11, w)->score[1].load(), 2);
+
+    LocalAccumulator sum(AccumulatorMode::kAccumulate, 2);
+    ASSERT_TRUE(sum.Add(20, 0, 5, w));
+    ASSERT_TRUE(sum.Add(20, 0, 8, w));  // same key: add
+    EXPECT_EQ(sum.Size(), 1u);
+    Score folded_total = 0;
+    (void)sum.MergeInto(map, w,
+                        [&](std::span<const PendingScore>, DocType*, bool,
+                            Score folded) { folded_total = folded; });
+    EXPECT_EQ(folded_total, 13);
+  });
+  ctx->RunToCompletion();
+}
+
+TEST(LocalAccumulatorTest, ChargesAndReleasesModeledMemory) {
+  exec::ThreadedExecutor::Options options;
+  options.num_workers = 1;
+  options.memory_budget_bytes = ModeledEntryBytes(1, false) * 2 + 1;
+  exec::ThreadedExecutor executor(options);
+  auto ctx = executor.CreateQuery();
+  ctx->Submit([&](exec::WorkerContext& w) {
+    LocalAccumulator acc(AccumulatorMode::kStore, 1);
+    EXPECT_TRUE(acc.Add(1, 0, 1, w));
+    EXPECT_TRUE(acc.Add(2, 0, 1, w));
+    // Third distinct doc exceeds the budget: buffering cannot hide
+    // footprint from the OOM accounting.
+    EXPECT_FALSE(acc.Add(3, 0, 1, w));
+    EXPECT_EQ(acc.Size(), 2u);  // refused entry not stored
+    // Recurrence on a buffered key needs no new memory.
+    EXPECT_TRUE(acc.Add(1, 0, 9, w));
+    // Clear releases the modeled bytes; a fresh buffer fits again.
+    acc.Clear(w);
+    EXPECT_TRUE(acc.Empty());
+    LocalAccumulator fresh(AccumulatorMode::kStore, 1);
+    EXPECT_TRUE(fresh.Add(7, 0, 1, w));
   });
   ctx->RunToCompletion();
 }

@@ -1,0 +1,27 @@
+// Fixture: private-accumulator violation — a per-worker accumulator
+// container indexed by something other than the accessing worker's own
+// id (a loop variable and a neighboring worker), sharing "private"
+// unsynchronized buffers across workers.
+#include <vector>
+
+namespace fixture {
+
+struct LocalAccumulator {
+  bool Add(int doc, int term, long score);
+};
+
+struct Run {
+  std::vector<LocalAccumulator> accumulators_;
+
+  void Process(int num_workers) {
+    for (int w = 0; w < num_workers; ++w) {
+      accumulators_[w].Add(1, 0, 10);  // not this worker's buffer
+    }
+  }
+
+  void Steal(int worker_id_of_victim) {
+    accumulators_[worker_id_of_victim + 1].Add(2, 0, 20);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: private-accumulator clean — every subscript is the accessing
+// worker's own id, plus a waived structurally single-threaded drain.
+#include <vector>
+
+namespace fixture {
+
+struct LocalAccumulator {
+  bool Add(int doc, int term, long score);
+  void Clear();
+};
+
+struct Worker {
+  int worker_id() const { return 0; }
+};
+
+struct Run {
+  std::vector<LocalAccumulator> accumulators_;
+
+  void Process(Worker& worker) {
+    accumulators_[worker.worker_id()].Add(1, 0, 10);
+    const int self_id = worker.worker_id();
+    accumulators_[self_id].Add(2, 0, 20);
+  }
+
+  void DrainAfterJoin(int num_workers) {
+    for (int i = 0; i < num_workers; ++i) {
+      // sparta-lint: allow(private-accumulator) post-join drain: all
+      // workers have exited, this loop is single-threaded by structure.
+      accumulators_[i].Clear();
+    }
+  }
+};
+
+}  // namespace fixture

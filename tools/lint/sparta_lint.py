@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """sparta_lint: repo-invariant lint suite for the Sparta codebase.
 
-Five rules, each guarding an invariant the simulator's determinism,
+Six rules, each guarding an invariant the simulator's determinism,
 the lock discipline or the serving tier's honesty depends on
 (DESIGN.md §11):
 
@@ -49,6 +49,17 @@ the lock discipline or the serving tier's honesty depends on
                  status-blind by design (e.g. sizing the response for
                  the wire) or the producer provably never degrades.
 
+  private-accumulator
+                 Containers of topk::LocalAccumulator hold one PRIVATE
+                 buffer per worker (DESIGN.md §14): the whole point is
+                 unsynchronized access, so the only sound subscript is
+                 the accessing worker's own id. An index that is not
+                 <worker>.worker_id() hands one worker's buffer to
+                 another — a data race the clang thread-safety analysis
+                 cannot see (the buffers carry no capability). Waive
+                 only where single-threaded access is structurally
+                 guaranteed (constructor fill, post-join drain).
+
 Waiver syntax, on the offending line or the line above:
 
     // sparta-lint: allow(<rule>) <reason — mandatory>
@@ -75,7 +86,7 @@ REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
 
 RULES = ("sim-clock", "unordered-iter", "lock-pairing", "padded-shared",
-         "result-status")
+         "result-status", "private-accumulator")
 
 CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 
@@ -114,6 +125,19 @@ ATOMIC_CONTAINER_RE = re.compile(
     r"\b(?:std::)?(?:vector|array)\s*<[^;{}]*\batomic\s*<")
 
 PADDING_IDIOM_RE = re.compile(r"\balignas\s*\(|\bPadded\b|\bkCacheLine\b")
+
+# Declaration of a per-worker accumulator container: the element type
+# names LocalAccumulator and the declared identifier follows the
+# closing angle bracket.
+ACCUMULATOR_CONTAINER_RE = re.compile(
+    r"\b(?:std::)?(?:vector|array|deque)\s*<[^;{}]*\bLocalAccumulator\b"
+    r"[^;{}]*>\s*(\w+)\s*[;={]")
+
+# A subscript index that resolves to "the accessing worker's own id":
+# any receiver chain ending in worker_id(), or a local already named
+# worker_id / self_id (the common hoisted form).
+OWN_WORKER_INDEX_RE = re.compile(
+    r"worker_id\s*\(\s*\)|\b(?:worker_id|self_id|self)\b")
 
 # Member access on a result's entry list, capturing the full dotted
 # receiver chain ("sp.result.entries" -> "sp.result").
@@ -345,12 +369,37 @@ def rule_result_status(path, scrubbed, waivers, findings):
                                                          receiver)))
 
 
+def rule_private_accumulator(path, scrubbed, waivers, findings):
+    names = set()
+    for line in scrubbed:
+        for m in ACCUMULATOR_CONTAINER_RE.finditer(line):
+            names.add(m.group(1))
+    if not names:
+        return
+    subscript_re = re.compile(
+        r"\b(%s)\s*\[([^\]]*)\]" % "|".join(re.escape(n)
+                                            for n in sorted(names)))
+    for lineno, line in enumerate(scrubbed, start=1):
+        for m in subscript_re.finditer(line):
+            if OWN_WORKER_INDEX_RE.search(m.group(2)):
+                continue
+            if waived(waivers, lineno, "private-accumulator"):
+                continue
+            findings.append(Finding(
+                path, lineno, "private-accumulator",
+                "'%s[%s]': a LocalAccumulator container is per-worker "
+                "private state; index it with the accessing worker's "
+                "own worker_id() or waive with why this access is "
+                "single-threaded" % (m.group(1), m.group(2).strip())))
+
+
 RULE_FUNCS = {
     "sim-clock": rule_sim_clock,
     "unordered-iter": rule_unordered_iter,
     "lock-pairing": rule_lock_pairing,
     "padded-shared": rule_padded_shared,
     "result-status": rule_result_status,
+    "private-accumulator": rule_private_accumulator,
 }
 
 
@@ -436,6 +485,8 @@ FIXTURES = {
     "rule_d_good.cc": set(),
     "rule_e_bad.cc": {"result-status"},
     "rule_e_good.cc": set(),
+    "rule_f_bad.cc": {"private-accumulator"},
+    "rule_f_good.cc": set(),
 }
 
 
