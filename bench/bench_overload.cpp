@@ -23,7 +23,12 @@
 //  3. Circuit breaker under a fault storm — an I/O error storm trips
 //     the breaker, which sheds arrivals for the cooloff instead of
 //     serving broken answers, then closes again via half-open probes.
+//  4. SLO burn-rate timeline — the protected stack at 1.5x capacity
+//     with the windowed SLO monitor on: the per-bucket series
+//     (offered/admitted/shed/goodput/burn rate) lands in
+//     results/overload_slo_burn_series.csv for plot_results.py.
 #include <algorithm>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -257,6 +262,48 @@ void BreakerUnderFaultStorm(driver::BenchDriver& bench,
   Emit(table);
 }
 
+void SloBurnSeries(driver::BenchDriver& bench,
+                   std::span<const corpus::Query> queries) {
+  driver::Table table(
+      "Overload: SLO burn-rate timeline (protected, 1.5x capacity)",
+      {"variant", "buckets", "breaches", "max_burn_pm", "goodput_qps",
+       "recall"});
+
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  const auto params = ExactParams();
+  const Calibration cal = Calibrate(bench, *algo, queries, params);
+
+  // Past-the-knee protected run with the windowed monitor on. Buckets
+  // are 50 ms of virtual time so the short serving horizon still yields
+  // a readable timeline; the alert window spans 5 buckets.
+  auto sc = MakeServeConfig(true, 1.5 * cal.capacity_qps, 17, cal.slo,
+                            cal.capacity_qps, cal.service_ns,
+                            serve::ArrivalKind::kPoisson);
+  sc.slo_monitor.enabled = true;
+  sc.slo_monitor.bucket_ns = 50 * exec::kMillisecond;
+  sc.slo_monitor.window_buckets = 5;
+  sc.slo_monitor.min_samples = 10;
+  const auto res = bench.MeasureOpenLoop(*algo, queries, params, sc,
+                                         driver::kMachineWorkers);
+  const auto& s = res.serve;
+
+  const std::string path = ResultsDir() + "/overload_slo_burn_series.csv";
+  std::ofstream out(path);
+  if (out) {
+    out << s.series.ToCsv();
+  } else {
+    std::cerr << "warning: could not write " << path << "\n";
+  }
+
+  table.AddRow({"Sparta", std::to_string(s.series.num_buckets()),
+                std::to_string(s.slo_breaches),
+                std::to_string(s.series.MaxLevel("burn_pm")),
+                driver::FormatF(s.GoodputQps(), 0),
+                driver::FormatPct(res.mean_recall)});
+  std::cerr << "  [overload] slo burn series done\n";
+  Emit(table);
+}
+
 void Run() {
   const corpus::Dataset& ds = Cw();
   driver::BenchDriver bench(ds);
@@ -264,6 +311,7 @@ void Run() {
   GoodputVsLoad(bench, queries);
   BurstyArrivals(bench, queries);
   BreakerUnderFaultStorm(bench, queries);
+  SloBurnSeries(bench, queries);
 }
 
 }  // namespace

@@ -26,12 +26,14 @@
 // fixed-size (SPARTA_QUICK is ignored) so a smoke run produces the
 // committed numbers.
 #include <algorithm>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "index/builder.h"
 #include "index/sharding.h"
+#include "obs/trace_export.h"
 #include "serve/coordinator.h"
 #include "topk/oracle.h"
 #include "topk/recall.h"
@@ -89,6 +91,13 @@ serve::ClusterConfig BaseConfig(int replication) {
   cfg.num_nodes = kNodes;
   cfg.replication = replication;
   cfg.node_sim.num_workers = 2;
+  // The observability plane rides along on every scenario: the cluster
+  // tracer feeds critical-path attribution and the flight recorder
+  // freezes postmortems at each anomaly. Both are coordinator-side —
+  // they charge no virtual time, so every committed number in
+  // BENCH_shard_faults.json is unchanged by having them on.
+  cfg.trace.enabled = true;
+  cfg.flight.enabled = true;
   return cfg;
 }
 
@@ -198,6 +207,26 @@ void Run() {
     json.Set(s.name, "breaker_skips",
              static_cast<double>(run.breaker_skips));
     json.Set(s.name, "net_drops", static_cast<double>(run.net_drops));
+    json.Set(s.name, "anomalies", static_cast<double>(run.anomalies));
+
+    // Example artifacts for EXPERIMENTS.md: the first frozen postmortem
+    // of the unreplicated crash, and the critical-path decomposition of
+    // the hedged-straggler scenario (where the attribution shows the
+    // hedge overhead buying back the slow link).
+    if (s.name == "crash_no_replica") {
+      obs::FlightRecorder* rec = cluster.flight_recorder();
+      SPARTA_CHECK(rec != nullptr && !rec->postmortems().empty());
+      const obs::Postmortem& pm = *rec->postmortems().front();
+      std::ofstream j(ResultsDir() + "/postmortem_crash_no_replica.json");
+      j << obs::ExportPostmortem(pm);
+      std::ofstream t(ResultsDir() + "/postmortem_crash_no_replica.txt");
+      t << driver::RenderPostmortem(pm);
+    }
+    if (s.name == "straggler_hedged") {
+      const auto paths =
+          driver::ComputeClusterCriticalPaths(*cluster.tracer(), run);
+      Emit(driver::CriticalPathTable(paths, run));
+    }
 
     table.AddRow({s.name, std::to_string(run.completed),
                   std::to_string(run.shards_degraded),

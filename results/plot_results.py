@@ -8,7 +8,10 @@ Produces one PNG per figure-style CSV, mirroring the paper's plots:
 latency-vs-terms (Figs 3a-3e), recall-over-time (3f-3g),
 latency-vs-workers (3h-3i), throughput-vs-terms (Fig 4) — plus a
 contention-breakdown stacked bar (per-structure lock wait, Sparta vs
-pRA across worker counts) fed from BENCH_contention.json.
+pRA across worker counts) fed from BENCH_contention.json, and a
+two-panel SLO timeline (goodput/offered/shed per bucket over the
+burn-rate trace with its alert line) fed from the windowed
+SloMonitor's overload_slo_burn_series.csv.
 """
 import csv
 import json
@@ -94,6 +97,51 @@ def plot_contention(path, out_dir):
     return True
 
 
+def plot_slo_burn(path, out_dir):
+    """Two stacked panels over the SloMonitor's bucket timeline: rates
+    (offered / admitted / goodput / shed per bucket) on top, the SLO
+    burn rate with its budget and alert lines below. Column-name
+    driven, so variants that never shed (or never breach) still plot."""
+    import matplotlib.pyplot as plt
+
+    header, rows = load(path)
+    col = {name: i for i, name in enumerate(header)}
+    if "start_ms" not in col or "burn_pm" not in col:
+        return False
+    t = [numeric(r[col["start_ms"]]) for r in rows]
+    fig, (ax_rate, ax_burn) = plt.subplots(
+        2, 1, figsize=(8, 5.5), sharex=True,
+        gridspec_kw={"height_ratios": [2, 1]})
+    for name in ("offered", "admitted", "goodput", "shed"):
+        if name not in col:
+            continue
+        y = [numeric(r[col[name]]) for r in rows]
+        ax_rate.plot(t, y, marker="o", markersize=2.5, label=name)
+    ax_rate.set_ylabel("queries / bucket")
+    ax_rate.set_title("overload SLO timeline: rates and burn")
+    ax_rate.legend(fontsize=7)
+    ax_rate.grid(alpha=0.3)
+    # burn_pm is per-mille: 1000 = spending the error budget exactly.
+    burn = [numeric(r[col["burn_pm"]]) for r in rows]
+    ax_burn.plot(t, [b / 1000.0 if b is not None else None for b in burn],
+                 color="tab:red", marker="o", markersize=2.5,
+                 label="burn rate")
+    ax_burn.axhline(1.0, color="gray", linestyle=":", linewidth=1,
+                    label="budget (1x)")
+    ax_burn.axhline(2.0, color="tab:red", linestyle="--", linewidth=1,
+                    label="alert (2x)")
+    ax_burn.set_xlabel("virtual time (ms)")
+    ax_burn.set_ylabel("burn rate")
+    ax_burn.legend(fontsize=7)
+    ax_burn.grid(alpha=0.3)
+    out = out_dir / "overload_slo_burn.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return True
+
+
 def main():
     results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
     out_dir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else results)
@@ -101,6 +149,9 @@ def main():
     plotted = 0
     contention = results / "BENCH_contention.json"
     if contention.exists() and plot_contention(contention, out_dir):
+        plotted += 1
+    slo_series = results / "overload_slo_burn_series.csv"
+    if slo_series.exists() and plot_slo_burn(slo_series, out_dir):
         plotted += 1
     for path in sorted(results.glob("*.csv")):
         name = path.stem

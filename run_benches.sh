@@ -7,8 +7,9 @@
 #
 # --json-only: fast perf-gate mode. Runs only the benches whose
 # machine-readable output is gated by tools/bench_compare.py
-# (bench_contention, bench_live_update and bench_shard_faults, plus
-# bench_micro for the uploaded wall-clock artifact), writes into
+# (bench_contention, bench_live_update, bench_shard_faults and
+# bench_obs_overhead, plus bench_micro for the uploaded wall-clock
+# artifact), writes into
 # results/_fresh/ instead of results/ so the committed baseline is
 # never clobbered, then compares. This is what CI's perf-smoke job
 # runs.
@@ -43,9 +44,11 @@ BENCHES=(
   bench_overload
   bench_live_update
   bench_shard_faults
+  bench_obs_overhead
 )
 if [[ $json_only -eq 1 ]]; then
-  BENCHES=(bench_contention bench_live_update bench_shard_faults)
+  BENCHES=(bench_contention bench_live_update bench_shard_faults
+           bench_obs_overhead)
 fi
 
 # Fail fast on missing or stale binaries: every bench must exist and be
@@ -106,5 +109,5 @@ grep -q '^DONE_ALL$' bench_output.txt
 
 if [[ $json_only -eq 1 ]]; then
   python3 tools/bench_compare.py --baseline results --fresh results/_fresh \
-    --require contention,live_update,shard_faults
+    --require contention,live_update,shard_faults,obs_overhead
 fi

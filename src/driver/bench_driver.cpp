@@ -354,4 +354,79 @@ std::string RenderProfileReport(const ProfileResult& result,
   return out;
 }
 
+std::string RenderPostmortem(const obs::Postmortem& pm) {
+  std::string out = "postmortem #" + std::to_string(pm.ordinal) + ": ";
+  out += obs::AnomalyKindName(pm.kind);
+  out += " at " + FormatMs(pm.at) + " ms (a=" + std::to_string(pm.a) +
+         " b=" + std::to_string(pm.b) + ")\n";
+  if (!pm.state.empty()) {
+    out += "state:\n";
+    for (const std::string& line : pm.state) {
+      out += "  " + line + "\n";
+    }
+  }
+  if (!pm.metrics.counters.empty() || !pm.metrics.gauges.empty()) {
+    out += "metrics:\n";
+    for (const auto& [name, v] : pm.metrics.counters) {
+      out += "  " + name + " = " + std::to_string(v) + "\n";
+    }
+    for (const auto& [name, v] : pm.metrics.gauges) {
+      out += "  " + name + " = " + std::to_string(v) + "\n";
+    }
+  }
+  for (std::size_t t = 0; t < pm.tracks.size(); ++t) {
+    const std::vector<obs::TraceEvent>& events = pm.tracks[t];
+    if (events.empty()) continue;
+    out += "track " + std::to_string(t) + " ring tail (" +
+           std::to_string(events.size()) + " events):\n";
+    for (const obs::TraceEvent& e : events) {
+      if (e.is_instant) {
+        out += "  [" + FormatMs(e.begin) + " ms] ";
+        out += obs::InstantKindName(e.instant_kind());
+      } else {
+        out += "  [" + FormatMs(e.begin) + " +" +
+               FormatMs(e.end - e.begin) + " ms] ";
+        out += obs::SpanKindName(e.span_kind());
+      }
+      out += " a=" + std::to_string(e.a) + " b=" + std::to_string(e.b) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::vector<obs::CriticalPath> ComputeClusterCriticalPaths(
+    const obs::Tracer& tracer, const serve::ClusterServeResult& run) {
+  std::vector<obs::CriticalPath> paths;
+  for (std::size_t record = 0; record < run.queries.size(); ++record) {
+    const serve::ServedQuery& q = run.queries[record];
+    if (q.dispatch < 0 || q.completion < 0) continue;
+    paths.push_back(obs::AttributeQuery(tracer, record, q.arrival,
+                                        q.dispatch, q.completion));
+  }
+  return paths;
+}
+
+Table CriticalPathTable(const std::vector<obs::CriticalPath>& paths,
+                        const serve::ClusterServeResult& run) {
+  Table table("critical path",
+              {"query", "shard", "node", "attempt", "queue_ms",
+               "retry_ms", "net_req_ms", "service_ms", "net_resp_ms",
+               "merge_ms", "e2e_ms"});
+  for (const obs::CriticalPath& p : paths) {
+    if (!p.found) continue;
+    const serve::ServedQuery& q = run.queries[p.record];
+    table.AddRow({std::to_string(p.record),
+                  p.shard >= 0 ? std::to_string(p.shard) : "?",
+                  p.node >= 0 ? std::to_string(p.node) : "?",
+                  p.timeout_bound ? "timeout"
+                                  : std::to_string(p.attempt),
+                  FormatMs(p.queue_wait), FormatMs(p.retry_overhead),
+                  FormatMs(p.net_request), FormatMs(p.service),
+                  FormatMs(p.net_response), FormatMs(p.merge),
+                  FormatMs(q.EndToEnd())});
+  }
+  return table;
+}
+
 }  // namespace sparta::driver

@@ -18,9 +18,12 @@
 
 #include "corpus/datasets.h"
 #include "driver/table.h"
+#include "obs/critical_path.h"
 #include "obs/flame_export.h"
+#include "obs/flight_recorder.h"
 #include "obs/profiler.h"
 #include "obs/trace_export.h"
+#include "serve/coordinator.h"
 #include "serve/server.h"
 #include "sim/sim_executor.h"
 #include "topk/algorithm.h"
@@ -105,6 +108,25 @@ struct ProfileResult {
 /// results/contention_*.txt golden format).
 std::string RenderProfileReport(const ProfileResult& result,
                                 const std::string& title);
+
+/// Renders one flight-recorder capture as a human-readable postmortem:
+/// the trigger line, the attached component state, the metrics
+/// snapshot, and the frozen ring tail per track. The operator-facing
+/// companion to the machine-facing ExportPostmortem JSON.
+std::string RenderPostmortem(const obs::Postmortem& pm);
+
+/// Computes the critical-path decomposition of every traced, completed
+/// query of a cluster run (obs/critical_path.h), in record order. The
+/// cluster must have been built with config.trace.enabled.
+std::vector<obs::CriticalPath> ComputeClusterCriticalPaths(
+    const obs::Tracer& tracer, const serve::ClusterServeResult& run);
+
+/// Renders critical paths as a where-the-latency-went table: one row
+/// per query with queue wait, retry/hedge overhead, request/response
+/// network time, shard service time and merge — columns that sum
+/// exactly to the measured end-to-end latency.
+Table CriticalPathTable(const std::vector<obs::CriticalPath>& paths,
+                        const serve::ClusterServeResult& run);
 
 struct OpenLoopResult {
   /// Full per-query and aggregate serving record (see serve/server.h).

@@ -25,6 +25,7 @@
 #include "util/thread_annotations.h"
 
 namespace sparta::obs {
+class FlightRecorder;
 class Profiler;
 class Tracer;
 }  // namespace sparta::obs
@@ -190,6 +191,13 @@ class WorkerContext {
   /// default, and always on real threads). Like tracer(), sites read it
   /// once so the off path is a single null check.
   virtual obs::Profiler* profiler() const { return nullptr; }
+
+  /// Always-on flight recorder (obs/flight_recorder.h), or nullptr when
+  /// recording is off (the default). Like tracer(), sites read it once
+  /// so the off path is a single null check; unlike tracer hooks,
+  /// recorder emission from a machine context charges the recorder's
+  /// modeled per-event cost.
+  virtual obs::FlightRecorder* recorder() const { return nullptr; }
 };
 
 /// A mutual-exclusion lock priced by the executor (real std::mutex on

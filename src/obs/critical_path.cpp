@@ -1,0 +1,82 @@
+#include "obs/critical_path.h"
+
+#include "util/common.h"
+
+namespace sparta::obs {
+
+CriticalPath AttributeQuery(const Tracer& tracer, std::size_t record,
+                            exec::VirtualTime arrival,
+                            exec::VirtualTime dispatch,
+                            exec::VirtualTime completion) {
+  CriticalPath path;
+  path.record = record;
+  if (completion < dispatch || dispatch < arrival) return path;
+  path.found = true;
+  path.queue_wait = dispatch - arrival;
+
+  // The winning attempt: the rpc span whose reply arrival IS the
+  // finalize instant (first reply wins per shard; the query finalizes
+  // on its last shard's resolution). Smallest payload breaks ties.
+  const TraceEvent* winner = nullptr;
+  int winner_track = -1;
+  for (int t = 0; t < tracer.num_workers(); ++t) {
+    for (const TraceEvent& e : tracer.track(t)) {
+      if (e.is_instant || e.a != record) continue;
+      if (e.span_kind() != SpanKind::kShardRpc) continue;
+      if (e.end != completion) continue;
+      if (winner == nullptr || e.b < winner->b) {
+        winner = &e;
+        winner_track = t;
+      }
+    }
+  }
+
+  if (winner == nullptr) {
+    // No reply landed at the finalize instant: the last shard was given
+    // up (attempt timeouts or instant breaker exhaustion), so the whole
+    // tail is retry/timeout overhead. The newest shard.timeout instant
+    // at or before completion names the shard when one exists.
+    path.timeout_bound = true;
+    path.retry_overhead = completion - dispatch;
+    const int serving = tracer.serving_track();
+    exec::VirtualTime best_ts = -1;
+    for (const TraceEvent& e : tracer.track(serving)) {
+      if (!e.is_instant || e.a != record) continue;
+      if (e.instant_kind() != InstantKind::kShardTimeout) continue;
+      if (e.begin <= completion && e.begin >= best_ts) {
+        best_ts = e.begin;
+        path.shard = static_cast<int>(e.b);
+      }
+    }
+    return path;
+  }
+
+  path.shard = UnpackShard(winner->b);
+  path.attempt = UnpackAttempt(winner->b);
+  path.node = winner_track;
+  path.retry_overhead = winner->begin - dispatch;
+  path.merge = completion - winner->end;  // 0 in the current model
+
+  // The child service span shares the correlation payload and track.
+  const TraceEvent* service = nullptr;
+  for (const TraceEvent& e : tracer.track(winner_track)) {
+    if (e.is_instant || e.a != record || e.b != winner->b) continue;
+    if (e.span_kind() != SpanKind::kShardService) continue;
+    service = &e;
+    break;
+  }
+  if (service == nullptr) {
+    // Parent without child should not happen (they are emitted
+    // together); attribute the whole parent to service to stay exact.
+    path.service = winner->end - winner->begin;
+    return path;
+  }
+  SPARTA_CHECK(service->begin >= winner->begin &&
+               service->end <= winner->end);
+  path.net_request = service->begin - winner->begin;
+  path.service = service->end - service->begin;
+  path.net_response = winner->end - service->end;
+  return path;
+}
+
+}  // namespace sparta::obs

@@ -1,0 +1,69 @@
+// Critical-path attribution for scatter-gather queries.
+//
+// A completed cluster query's end-to-end latency is the arrival→finalize
+// interval; the trace knows exactly where it went. The span DAG is:
+//
+//   kAdmissionWait (serving track)  arrival ─ dispatch
+//   kShardRpc (node track)          send ─ reply arrival   [parent]
+//     kShardService (same track)    node arrival ─ response departure
+//
+// linked by the shared correlation payload (a = query record,
+// b = PackShardAttempt(shard, attempt)). A query finalizes when its
+// *last* shard resolves, so the critical path runs through exactly one
+// attempt — the rpc span whose reply arrival equals the completion time
+// — or, when the last shard was given up (timeouts/breaker skips), the
+// whole dispatch→completion interval is retry/timeout overhead.
+//
+// AttributeQuery decomposes the interval into queue wait, retry+hedge
+// overhead (dispatch → winning send), request network, shard service,
+// response network and merge, and the pieces reconcile *exactly*:
+// Total() == completion - dispatch for every completed query, enforced
+// by tests/test_cluster.cpp against the measured virtual latency.
+#pragma once
+
+#include <vector>
+
+#include "exec/context.h"
+#include "obs/trace.h"
+
+namespace sparta::obs {
+
+struct CriticalPath {
+  std::size_t record = 0;
+  /// False only when the query never completed (no decomposition).
+  bool found = false;
+  /// Completion was set by giving a shard up (timeout exhaustion or
+  /// breaker fail-fast), not by a reply — the path is pure overhead.
+  bool timeout_bound = false;
+  /// Critical shard / node / attempt ordinal (attempt > 0 means the
+  /// winner was a retry or hedge). shard == -1 when unknown
+  /// (instant exhaustion leaves no per-shard event at completion).
+  int shard = -1;
+  int node = -1;
+  std::size_t attempt = 0;
+
+  exec::VirtualTime queue_wait = 0;      ///< arrival → dispatch
+  exec::VirtualTime retry_overhead = 0;  ///< dispatch → winning send
+  exec::VirtualTime net_request = 0;     ///< send → node arrival
+  exec::VirtualTime service = 0;         ///< node arrival → response out
+  exec::VirtualTime net_response = 0;    ///< response out → reply arrival
+  exec::VirtualTime merge = 0;           ///< reply arrival → finalize
+
+  /// Σ components past dispatch; equals completion - dispatch exactly.
+  exec::VirtualTime Total() const {
+    return retry_overhead + net_request + service + net_response + merge;
+  }
+};
+
+/// Walks the cluster trace for query `record` and attributes
+/// [dispatch, completion] across the stages above. `arrival`,
+/// `dispatch`, `completion` come from the serving record (ServedQuery);
+/// the trace supplies the structure. Deterministic: ties (two replies
+/// landing on the same virtual instant) break toward the smallest
+/// correlation payload.
+CriticalPath AttributeQuery(const Tracer& tracer, std::size_t record,
+                            exec::VirtualTime arrival,
+                            exec::VirtualTime dispatch,
+                            exec::VirtualTime completion);
+
+}  // namespace sparta::obs

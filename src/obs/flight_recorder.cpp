@@ -1,0 +1,126 @@
+#include "obs/flight_recorder.h"
+
+namespace sparta::obs {
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kShardsDegraded:
+      return "shards.degraded";
+    case AnomalyKind::kPartialAfterFault:
+      return "partial.after.fault";
+    case AnomalyKind::kOom:
+      return "oom";
+    case AnomalyKind::kBreakerOpen:
+      return "breaker.open";
+    case AnomalyKind::kNodeCrash:
+      return "node.crash";
+    case AnomalyKind::kSloBreach:
+      return "slo.breach";
+  }
+  return "anomaly";
+}
+
+FlightRecorder::FlightRecorder(int num_workers, FlightRecorderConfig config)
+    : num_workers_(num_workers), config_(config) {
+  SPARTA_CHECK(num_workers >= 1);
+  SPARTA_CHECK(config_.ring_capacity >= 1);
+  rings_.resize(static_cast<std::size_t>(num_tracks()));
+}
+
+void FlightRecorder::Append(int track, const TraceEvent& e) {
+  Ring& ring = rings_[static_cast<std::size_t>(track)];
+  if (ring.buf.size() < config_.ring_capacity) {
+    ring.buf.push_back(e);
+  } else {
+    ring.buf[ring.next] = e;
+    ring.next = (ring.next + 1) % config_.ring_capacity;
+    ++evicted_;
+  }
+  ++ring.written;
+  ++recorded_;
+}
+
+void FlightRecorder::AddSpan(int track, SpanKind kind,
+                             exec::VirtualTime begin, exec::VirtualTime end,
+                             std::uint64_t a, std::uint64_t b) {
+  SPARTA_CHECK(track >= 0 && track < num_tracks());
+  SPARTA_CHECK(end >= begin);
+  if (!RecordsSpan(kind)) return;
+  const util::MutexLock guard(mutex_);
+  Append(track, {begin, end, a, b, static_cast<std::uint8_t>(kind), false});
+}
+
+void FlightRecorder::AddInstant(int track, InstantKind kind,
+                                exec::VirtualTime ts, std::uint64_t a,
+                                std::uint64_t b) {
+  SPARTA_CHECK(track >= 0 && track < num_tracks());
+  const util::MutexLock guard(mutex_);
+  Append(track, {ts, ts, a, b, static_cast<std::uint8_t>(kind), true});
+}
+
+std::vector<TraceEvent> FlightRecorder::SnapshotLocked(int track) const {
+  const Ring& ring = rings_[static_cast<std::size_t>(track)];
+  std::vector<TraceEvent> out;
+  out.reserve(ring.buf.size());
+  if (ring.buf.size() < config_.ring_capacity) {
+    out = ring.buf;
+    return out;
+  }
+  for (std::size_t i = 0; i < ring.buf.size(); ++i) {
+    out.push_back(ring.buf[(ring.next + i) % ring.buf.size()]);
+  }
+  return out;
+}
+
+Postmortem* FlightRecorder::Trigger(AnomalyKind kind, exec::VirtualTime at,
+                                    std::uint64_t a, std::uint64_t b) {
+  const util::MutexLock guard(mutex_);
+  ++anomalies_;
+  if (postmortems_.size() >= config_.max_postmortems) return nullptr;
+  auto pm = std::make_unique<Postmortem>();
+  pm->kind = kind;
+  pm->at = at;
+  pm->a = a;
+  pm->b = b;
+  pm->ordinal = anomalies_;
+  pm->tracks.reserve(static_cast<std::size_t>(num_tracks()));
+  for (int t = 0; t < num_tracks(); ++t) {
+    pm->tracks.push_back(SnapshotLocked(t));
+  }
+  postmortems_.push_back(std::move(pm));
+  return postmortems_.back().get();
+}
+
+std::uint64_t FlightRecorder::events_recorded() const {
+  const util::MutexLock guard(mutex_);
+  return recorded_;
+}
+
+std::uint64_t FlightRecorder::events_evicted() const {
+  const util::MutexLock guard(mutex_);
+  return evicted_;
+}
+
+std::uint64_t FlightRecorder::anomalies() const {
+  const util::MutexLock guard(mutex_);
+  return anomalies_;
+}
+
+std::vector<TraceEvent> FlightRecorder::TrackSnapshot(int track) const {
+  SPARTA_CHECK(track >= 0 && track < num_tracks());
+  const util::MutexLock guard(mutex_);
+  return SnapshotLocked(track);
+}
+
+void FlightRecorder::Clear() {
+  const util::MutexLock guard(mutex_);
+  for (Ring& r : rings_) {
+    r.buf.clear();
+    r.next = 0;
+    r.written = 0;
+  }
+  recorded_ = evicted_ = anomalies_ = 0;
+  postmortems_.clear();
+}
+
+}  // namespace sparta::obs

@@ -1,0 +1,173 @@
+// Always-on flight recorder: the black box a production cluster lands
+// with.
+//
+// Tracing (obs/trace.h) is opt-in per run and unbounded — great for a
+// lab, wrong for a fleet. The flight recorder is the complement: a
+// bounded per-track ring of the most recent spans/instants, cheap
+// enough to leave on under full traffic, plus *anomaly triggers* that
+// freeze the rings the instant something goes wrong (a degraded
+// result, a breaker opening, a node crash, an SLO burn-rate breach)
+// into a postmortem capture: the recent events, a metrics snapshot and
+// the component state lines the triggering layer attaches. The capture
+// is exported as byte-deterministic JSON by ExportPostmortem
+// (obs/trace_export.h), so the same seed dumps the same bytes.
+//
+// Determinism contract (tests/test_obs.cpp, tests/test_cluster.cpp):
+// recorder-off is the default and every emission site reduces to a
+// null-pointer check — recorder-off runs are bit-identical to builds
+// without this layer. Recorder-on emission from *machine* contexts
+// charges a small modeled cost per event (`record_cost_ns`), so the
+// recorder's overhead is an honest, measurable part of virtual latency
+// (bench/bench_obs_overhead.cpp proves it stays < 5% at w8);
+// coordinator-side emission is off the machine clock and charges
+// nothing. Ring layout mirrors obs::Tracer: tracks 0..W-1 are workers
+// (nodes, in a cluster recorder), W the scheduler, W+1 the serving
+// layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/common.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace sparta::obs {
+
+/// Default FlightRecorderConfig::span_mask: every kind except the
+/// per-page / per-access / per-acquisition micro-spans. A production
+/// black box keeps operation-level history; recording every kIoRead
+/// would both flood a 256-event ring in microseconds of history and
+/// make the modeled per-event cost dominate query latency (the <5%
+/// always-on budget of bench/bench_obs_overhead.cpp).
+constexpr std::uint32_t kFlightDefaultSpanMask =
+    ~((1u << static_cast<int>(SpanKind::kPostingsScan)) |
+      (1u << static_cast<int>(SpanKind::kDocMapAccess)) |
+      (1u << static_cast<int>(SpanKind::kHeapUpdate)) |
+      (1u << static_cast<int>(SpanKind::kIoRead)) |
+      (1u << static_cast<int>(SpanKind::kLockWait)));
+
+/// Runtime knob, carried by sim::SimConfig (machine recorder) and
+/// serve::ClusterConfig (cluster recorder). Off by default everywhere.
+struct FlightRecorderConfig {
+  bool enabled = false;
+  /// Events retained per track; older events are evicted FIFO.
+  std::size_t ring_capacity = 256;
+  /// Postmortem captures kept (the first N triggers); later triggers
+  /// still count in anomalies() but capture nothing.
+  std::size_t max_postmortems = 8;
+  /// Modeled per-event recording cost charged to the emitting machine
+  /// worker (coordinator-side emission charges nothing).
+  exec::VirtualTime record_cost_ns = 25;
+  /// Bit per SpanKind; masked-out kinds are neither appended nor
+  /// charged (instants are always recorded — they are rare by nature).
+  std::uint32_t span_mask = kFlightDefaultSpanMask;
+};
+
+/// What tripped a postmortem capture. Append-only (codes are stamped
+/// into exported dumps).
+enum class AnomalyKind : std::uint8_t {
+  kShardsDegraded,    ///< merged result lost at least one shard
+  kPartialAfterFault, ///< result degraded by an escalated fault
+  kOom,               ///< result aborted on the memory budget
+  kBreakerOpen,       ///< a circuit breaker tripped open
+  kNodeCrash,         ///< a node fail-stopped
+  kSloBreach,         ///< windowed SLO burn rate crossed the alert line
+};
+
+const char* AnomalyKindName(AnomalyKind kind);
+
+/// One frozen capture: the trigger, the rings at trigger time, and
+/// whatever state/metrics the triggering layer attached before export.
+struct Postmortem {
+  AnomalyKind kind = AnomalyKind::kShardsDegraded;
+  exec::VirtualTime at = 0;
+  /// Kind-specific payloads (record/shard, node id, burn per-mille...).
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  /// 1-based trigger count at capture time (dumps are ordered).
+  std::uint64_t ordinal = 0;
+  /// Ring contents per track, oldest → newest.
+  std::vector<std::vector<TraceEvent>> tracks;
+  /// Component state lines attached by the trigger site ("shard=0
+  /// replica=1 node=1 breaker=open reachable=0"), deterministic order.
+  std::vector<std::string> state;
+  /// Metrics at trigger time.
+  MetricsSnapshot metrics;
+};
+
+/// Bounded event sink with the Tracer's track layout and API shape.
+/// Thread-safe for the same reason the Tracer is (threaded-executor
+/// workers could emit concurrently); the simulator and the coordinator
+/// pay one uncontended mutex per event.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(int num_workers,
+                          FlightRecorderConfig config = {.enabled = true});
+
+  int num_workers() const { return num_workers_; }
+  int num_tracks() const { return num_workers_ + 2; }
+  int scheduler_track() const { return num_workers_; }
+  int serving_track() const { return num_workers_ + 1; }
+
+  exec::VirtualTime record_cost() const { return config_.record_cost_ns; }
+
+  /// True when `kind` passes the configured span mask. Emission sites
+  /// skip both the append and the record_cost() charge for masked
+  /// kinds (AddSpan also drops them, so the ring never holds one).
+  bool RecordsSpan(SpanKind kind) const {
+    return ((config_.span_mask >> static_cast<int>(kind)) & 1u) != 0u;
+  }
+
+  void AddSpan(int track, SpanKind kind, exec::VirtualTime begin,
+               exec::VirtualTime end, std::uint64_t a = 0,
+               std::uint64_t b = 0);
+  void AddInstant(int track, InstantKind kind, exec::VirtualTime ts,
+                  std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Anomaly trigger. Always counts; captures and returns a Postmortem
+  /// (rings frozen, state/metrics left for the caller to fill) while
+  /// fewer than max_postmortems captures exist, else returns nullptr.
+  /// The returned pointer stays valid for the recorder's lifetime.
+  Postmortem* Trigger(AnomalyKind kind, exec::VirtualTime at,
+                      std::uint64_t a = 0, std::uint64_t b = 0);
+
+  std::uint64_t events_recorded() const;
+  std::uint64_t events_evicted() const;
+  std::uint64_t anomalies() const;
+  const std::vector<std::unique_ptr<Postmortem>>& postmortems() const {
+    return postmortems_;
+  }
+
+  /// One track's retained events, oldest → newest.
+  std::vector<TraceEvent> TrackSnapshot(int track) const;
+
+  void Clear();
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> buf;  ///< capacity-sized once full
+    std::size_t next = 0;         ///< write cursor once wrapped
+    std::uint64_t written = 0;
+  };
+
+  void Append(int track, const TraceEvent& e) SPARTA_REQUIRES(mutex_);
+  std::vector<TraceEvent> SnapshotLocked(int track) const
+      SPARTA_REQUIRES(mutex_);
+
+  int num_workers_;
+  FlightRecorderConfig config_;
+  mutable util::Mutex mutex_;
+  std::vector<Ring> rings_ SPARTA_GUARDED_BY(mutex_);
+  std::uint64_t recorded_ SPARTA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evicted_ SPARTA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t anomalies_ SPARTA_GUARDED_BY(mutex_) = 0;
+  /// unique_ptrs so Trigger's returned pointers survive vector growth.
+  std::vector<std::unique_ptr<Postmortem>> postmortems_;
+};
+
+}  // namespace sparta::obs

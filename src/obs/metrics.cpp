@@ -36,6 +36,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       s.max = h.Max();
       s.p50 = h.Percentile(50.0);
       s.p99 = h.P99();
+      s.p999 = h.P999();
     }
     snap.histograms[name] = s;
   }
@@ -84,6 +85,8 @@ std::string TextFormat(const MetricsSnapshot& snapshot) {
     out += "# TYPE " + n + " summary\n";
     out += n + "{quantile=\"0.5\"} " + std::to_string(summary.p50) + "\n";
     out += n + "{quantile=\"0.99\"} " + std::to_string(summary.p99) + "\n";
+    out += n + "{quantile=\"0.999\"} " + std::to_string(summary.p999) +
+           "\n";
     out += n + "_sum " +
            FormatDouble(summary.mean *
                         static_cast<double>(summary.count)) +

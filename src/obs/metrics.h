@@ -44,7 +44,8 @@ class Gauge {
   std::int64_t value_ = 0;
 };
 
-/// Five-number summary of a histogram at snapshot time.
+/// Summary of a histogram at snapshot time. p999 needs >= 1000 samples
+/// to be distinct from max (util/histogram nearest-rank semantics).
 struct HistogramSummary {
   std::uint64_t count = 0;
   double mean = 0.0;
@@ -52,6 +53,7 @@ struct HistogramSummary {
   std::int64_t max = 0;
   std::int64_t p50 = 0;
   std::int64_t p99 = 0;
+  std::int64_t p999 = 0;
 };
 
 /// Consistent by-name copy of every registered metric.

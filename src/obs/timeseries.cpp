@@ -1,0 +1,131 @@
+#include "obs/timeseries.h"
+
+#include <cstdio>
+
+#include "util/common.h"
+
+namespace sparta::obs {
+namespace {
+
+// Fixed-point ns → ms with 3 decimals ("12.345"); byte-stable.
+void AppendMillis(std::string& out, exec::VirtualTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1'000'000),
+                static_cast<long long>((ns / 1000) % 1000));
+  out += buf;
+}
+
+template <typename T>
+void Grow(std::vector<T>& v, std::size_t bucket) {
+  if (v.size() <= bucket) v.resize(bucket + 1);
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(TimeSeriesConfig config) : config_(config) {
+  SPARTA_CHECK(config_.bucket_ns > 0);
+}
+
+void TimeSeries::AddCount(const std::string& series, exec::VirtualTime at,
+                          std::uint64_t delta) {
+  const std::size_t b = BucketOf(at);
+  auto& v = counters_[series];
+  Grow(v, b);
+  v[b] += delta;
+  num_buckets_ = std::max(num_buckets_, b + 1);
+}
+
+void TimeSeries::AddSample(const std::string& series, exec::VirtualTime at,
+                           std::int64_t sample) {
+  const std::size_t b = BucketOf(at);
+  auto& v = samples_[series];
+  Grow(v, b);
+  v[b].Add(sample);
+  num_buckets_ = std::max(num_buckets_, b + 1);
+}
+
+void TimeSeries::SetLevel(const std::string& series, exec::VirtualTime at,
+                          std::int64_t value) {
+  const std::size_t b = BucketOf(at);
+  auto& v = levels_[series];
+  Grow(v, b);
+  v[b] = {true, value};
+  num_buckets_ = std::max(num_buckets_, b + 1);
+}
+
+std::uint64_t TimeSeries::Count(const std::string& series,
+                                std::size_t bucket) const {
+  auto it = counters_.find(series);
+  if (it == counters_.end() || bucket >= it->second.size()) return 0;
+  return it->second[bucket];
+}
+
+std::uint64_t TimeSeries::TotalCount(const std::string& series) const {
+  auto it = counters_.find(series);
+  if (it == counters_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : it->second) total += c;
+  return total;
+}
+
+std::int64_t TimeSeries::Level(const std::string& series,
+                               std::size_t bucket) const {
+  auto it = levels_.find(series);
+  if (it == levels_.end()) return 0;
+  std::int64_t value = 0;
+  const std::size_t limit = std::min(bucket + 1, it->second.size());
+  for (std::size_t b = 0; b < limit; ++b) {
+    if (it->second[b].set) value = it->second[b].value;
+  }
+  return value;
+}
+
+std::int64_t TimeSeries::MaxLevel(const std::string& series) const {
+  auto it = levels_.find(series);
+  if (it == levels_.end()) return 0;
+  std::int64_t best = 0;
+  for (const Level_& l : it->second) {
+    if (l.set && l.value > best) best = l.value;
+  }
+  return best;
+}
+
+const util::Histogram* TimeSeries::Samples(const std::string& series,
+                                           std::size_t bucket) const {
+  auto it = samples_.find(series);
+  if (it == samples_.end() || bucket >= it->second.size()) return nullptr;
+  const util::Histogram& h = it->second[bucket];
+  return h.empty() ? nullptr : &h;
+}
+
+std::string TimeSeries::ToCsv() const {
+  std::string out = "bucket,start_ms";
+  for (const auto& [name, v] : counters_) out += "," + name;
+  for (const auto& [name, v] : levels_) out += "," + name;
+  for (const auto& [name, v] : samples_) {
+    out += "," + name + "_count," + name + "_p50_ms," + name + "_p99_ms";
+  }
+  out += "\n";
+  for (std::size_t b = 0; b < num_buckets_; ++b) {
+    out += std::to_string(b) + ",";
+    AppendMillis(out, static_cast<exec::VirtualTime>(b) * config_.bucket_ns);
+    for (const auto& [name, v] : counters_) {
+      out += "," + std::to_string(b < v.size() ? v[b] : 0);
+    }
+    for (const auto& [name, v] : levels_) {
+      out += "," + std::to_string(Level(name, b));
+    }
+    for (const auto& [name, v] : samples_) {
+      const util::Histogram* h = Samples(name, b);
+      out += "," + std::to_string(h != nullptr ? h->count() : 0) + ",";
+      AppendMillis(out, h != nullptr ? h->Percentile(50.0) : 0);
+      out += ",";
+      AppendMillis(out, h != nullptr ? h->P99() : 0);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sparta::obs

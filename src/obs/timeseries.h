@@ -1,0 +1,84 @@
+// Windowed health series: metrics with a time axis.
+//
+// The metrics registry (obs/metrics.h) is a timeless snapshot — good
+// for "how many", useless for "when did it start". A TimeSeries buckets
+// named counters, last-write-wins levels and latency-sample histograms
+// by virtual second (configurable), which is what the serving layer's
+// SLO monitor (serve/slo_monitor.h) computes rolling burn rates over
+// and what the overload/fault benches export for plotting
+// (tools/plot_results.py).
+//
+// Everything is deterministic: series are keyed by name in sorted maps,
+// buckets are pure functions of virtual time, and ToCsv() renders with
+// fixed-point formatting only — the same run emits the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/context.h"
+#include "util/histogram.h"
+
+namespace sparta::obs {
+
+struct TimeSeriesConfig {
+  /// Bucket width; defaults to one virtual second.
+  exec::VirtualTime bucket_ns = 1'000'000'000;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(TimeSeriesConfig config = {});
+
+  exec::VirtualTime bucket_ns() const { return config_.bucket_ns; }
+  std::size_t BucketOf(exec::VirtualTime at) const {
+    return at <= 0 ? 0
+                   : static_cast<std::size_t>(at / config_.bucket_ns);
+  }
+
+  /// Adds `delta` to counter `series` in the bucket containing `at`.
+  void AddCount(const std::string& series, exec::VirtualTime at,
+                std::uint64_t delta = 1);
+  /// Adds one sample to histogram series `series` (latencies, sizes).
+  void AddSample(const std::string& series, exec::VirtualTime at,
+                 std::int64_t sample);
+  /// Sets level series `series` for the bucket containing `at`;
+  /// the last write in a bucket wins, and Level() carries the value
+  /// forward through buckets with no write (breaker state, burn rate).
+  void SetLevel(const std::string& series, exec::VirtualTime at,
+                std::int64_t value);
+
+  /// Highest touched bucket index + 1 (0 when nothing was recorded).
+  std::size_t num_buckets() const { return num_buckets_; }
+
+  std::uint64_t Count(const std::string& series, std::size_t bucket) const;
+  std::uint64_t TotalCount(const std::string& series) const;
+  /// Carry-forward level at `bucket`; 0 before the first write.
+  std::int64_t Level(const std::string& series, std::size_t bucket) const;
+  std::int64_t MaxLevel(const std::string& series) const;
+  /// Sample histogram of one bucket, or nullptr when the series has no
+  /// samples there.
+  const util::Histogram* Samples(const std::string& series,
+                                 std::size_t bucket) const;
+
+  /// Deterministic CSV: one row per bucket; counter and level columns
+  /// verbatim, sample series as <name>_count/<name>_p50/<name>_p99
+  /// (nanosecond values, rendered as fixed-point milliseconds).
+  std::string ToCsv() const;
+
+ private:
+  struct Level_ {
+    bool set = false;
+    std::int64_t value = 0;
+  };
+
+  TimeSeriesConfig config_;
+  std::size_t num_buckets_ = 0;
+  std::map<std::string, std::vector<std::uint64_t>> counters_;
+  std::map<std::string, std::vector<Level_>> levels_;
+  std::map<std::string, std::vector<util::Histogram>> samples_;
+};
+
+}  // namespace sparta::obs

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/profiler.h"
 
 namespace sparta::obs {
@@ -36,6 +37,8 @@ const char* SpanKindName(SpanKind kind) {
       return "delta.freeze";
     case SpanKind::kShardRpc:
       return "shard.rpc";
+    case SpanKind::kShardService:
+      return "shard.service";
   }
   return "span";
 }
@@ -72,6 +75,8 @@ const char* InstantKindName(InstantKind kind) {
       return "node.crash";
     case InstantKind::kNodeRestart:
       return "node.restart";
+    case InstantKind::kSloBreach:
+      return "slo.breach";
   }
   return "instant";
 }
@@ -106,7 +111,8 @@ const char* SpanArgName(SpanKind kind, int slot) {
     case SpanKind::kDeltaFreeze:
       return slot == 0 ? "docs" : "postings";
     case SpanKind::kShardRpc:
-      return slot == 0 ? "record" : "shard";
+    case SpanKind::kShardService:
+      return slot == 0 ? "record" : "shard_attempt";
   }
   return slot == 0 ? "a" : "b";
 }
@@ -138,6 +144,8 @@ const char* InstantArgName(InstantKind kind, int slot) {
     case InstantKind::kNodeCrash:
     case InstantKind::kNodeRestart:
       return slot == 0 ? "node" : "arg";
+    case InstantKind::kSloBreach:
+      return slot == 0 ? "burn_pm" : "bucket";
   }
   return slot == 0 ? "a" : "b";
 }
@@ -229,6 +237,18 @@ void ProfilerPushFrame(Profiler& profiler, int worker, SpanKind kind) {
 
 void ProfilerPopFrame(Profiler& profiler, int worker) {
   profiler.PopFrame(worker);
+}
+
+exec::VirtualTime RecorderAddSpan(FlightRecorder& recorder, int track,
+                                  SpanKind kind, exec::VirtualTime begin,
+                                  exec::VirtualTime end, std::uint64_t a,
+                                  std::uint64_t b) {
+  // Masked micro-kinds (per-page reads, lock waits...) are neither
+  // retained nor charged — the black box records operations, not
+  // instructions (see kFlightDefaultSpanMask).
+  if (!recorder.RecordsSpan(kind)) return 0;
+  recorder.AddSpan(track, kind, begin, end, a, b);
+  return recorder.record_cost();
 }
 
 }  // namespace detail

@@ -58,7 +58,28 @@ enum class SpanKind : std::uint8_t {
   // the *nodes*, the scheduler track carries fabric events, and the
   // serving track the coordinator's policy events (serve/coordinator.h).
   kShardRpc,      ///< one shard RPC, send to reply arrival (node track)
+  // Appended for cross-shard correlation (PR 10). The child of a
+  // kShardRpc parent: node arrival to response departure, same track.
+  // Both carry the same correlation payload — a = the coordinator's
+  // query record id, b = shard | attempt-ordinal << 16 — so the
+  // parent/child link survives export round-trips byte-for-byte
+  // (obs/critical_path.h walks it).
+  kShardService,  ///< node-side service time of one shard attempt
 };
+
+/// kShardRpc/kShardService payload b: shard in the low 16 bits, the
+/// per-(query, shard) attempt ordinal above (retries and hedges get
+/// fresh ordinals, so overlapping attempts stay distinguishable).
+constexpr std::uint64_t PackShardAttempt(int shard, std::size_t attempt) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(shard)) |
+         (static_cast<std::uint64_t>(attempt) << 16);
+}
+constexpr int UnpackShard(std::uint64_t packed) {
+  return static_cast<int>(packed & 0xFFFF);
+}
+constexpr std::size_t UnpackAttempt(std::uint64_t packed) {
+  return static_cast<std::size_t>(packed >> 16);
+}
 
 /// Point events.
 enum class InstantKind : std::uint8_t {
@@ -79,6 +100,8 @@ enum class InstantKind : std::uint8_t {
   kNetDrop,         ///< message lost (injected drop or partition)
   kNodeCrash,       ///< node fail-stopped
   kNodeRestart,     ///< node rejoined cold
+  // Appended for the observability plane (PR 10).
+  kSloBreach,       ///< windowed SLO burn rate crossed the alert line
 };
 
 const char* SpanKindName(SpanKind kind);
@@ -153,12 +176,21 @@ class Tracer {
 };
 
 class Profiler;
+class FlightRecorder;
 namespace detail {
 /// Out-of-line Profiler frame hooks (trace.h cannot include profiler.h —
 /// profiler.h needs SpanKind from here). Called only on non-null
 /// profilers; the null check stays inline in SpanScope.
 void ProfilerPushFrame(Profiler& profiler, int worker, SpanKind kind);
 void ProfilerPopFrame(Profiler& profiler, int worker);
+/// Out-of-line FlightRecorder span emission (same layering constraint:
+/// flight_recorder.h includes this header). Appends the span and
+/// returns the modeled per-event recording cost for the caller to
+/// charge. Called only on non-null recorders.
+exec::VirtualTime RecorderAddSpan(FlightRecorder& recorder, int track,
+                                  SpanKind kind, exec::VirtualTime begin,
+                                  exec::VirtualTime end, std::uint64_t a,
+                                  std::uint64_t b);
 }  // namespace detail
 
 /// RAII span bound to the executing worker's track. Reads the tracer
@@ -173,9 +205,12 @@ class SpanScope {
             bool enabled = true)
       : worker_(worker),
         tracer_(enabled ? worker.tracer() : nullptr),
+        recorder_(enabled ? worker.recorder() : nullptr),
         profiler_(enabled ? worker.profiler() : nullptr),
         kind_(kind) {
-    if (tracer_ != nullptr) begin_ = worker_.TraceNow();
+    if (tracer_ != nullptr || recorder_ != nullptr) {
+      begin_ = worker_.TraceNow();
+    }
     if (profiler_ != nullptr) {
       detail::ProfilerPushFrame(*profiler_, worker_.worker_id(), kind_);
     }
@@ -199,11 +234,21 @@ class SpanScope {
       tracer_->AddSpan(worker_.worker_id(), kind_, begin_,
                        worker_.TraceNow(), a_, b_);
     }
+    if (recorder_ != nullptr) {
+      // Recording is always-on and therefore honest about its cost: the
+      // modeled per-event charge lands after the span closes, so the
+      // span itself stays comparable to recorder-off traces.
+      worker_.Charge(detail::RecorderAddSpan(*recorder_,
+                                             worker_.worker_id(), kind_,
+                                             begin_, worker_.TraceNow(),
+                                             a_, b_));
+    }
   }
 
  private:
   exec::WorkerContext& worker_;
   Tracer* tracer_;
+  FlightRecorder* recorder_;
   Profiler* profiler_;
   SpanKind kind_;
   exec::VirtualTime begin_ = 0;

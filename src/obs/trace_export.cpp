@@ -97,8 +97,76 @@ std::string ExportChromeTrace(const Tracer& tracer) {
   return out;
 }
 
+std::string ExportPostmortem(const Postmortem& pm) {
+  std::string out;
+  out.reserve(1024 + pm.state.size() * 64);
+  out += "{\n\"schema\":1,\n\"anomaly\":\"";
+  out += AnomalyKindName(pm.kind);
+  out += "\",\n\"at_us\":";
+  AppendMicros(out, pm.at);
+  out += ",\n\"ordinal\":";
+  AppendU64(out, pm.ordinal);
+  out += ",\n\"a\":";
+  AppendU64(out, pm.a);
+  out += ",\n\"b\":";
+  AppendU64(out, pm.b);
+  out += ",\n\"state\":[";
+  for (std::size_t i = 0; i < pm.state.size(); ++i) {
+    out += i == 0 ? "\n\"" : ",\n\"";
+    out += pm.state[i];
+    out += "\"";
+  }
+  out += "\n],\n\"metrics\":{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : pm.metrics.counters) {
+    out += first ? "\n\"" : ",\n\"";
+    first = false;
+    out += name + "\":";
+    AppendU64(out, value);
+  }
+  out += "\n},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : pm.metrics.gauges) {
+    out += first ? "\n\"" : ",\n\"";
+    first = false;
+    out += name + "\":" + std::to_string(value);
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, s] : pm.metrics.histograms) {
+    out += first ? "\n\"" : ",\n\"";
+    first = false;
+    out += name + "\":{\"count\":";
+    AppendU64(out, s.count);
+    char mean[40];
+    std::snprintf(mean, sizeof(mean), "%.9g", s.mean);
+    out += ",\"mean\":";
+    out += mean;
+    out += ",\"min\":" + std::to_string(s.min);
+    out += ",\"max\":" + std::to_string(s.max);
+    out += ",\"p50\":" + std::to_string(s.p50);
+    out += ",\"p99\":" + std::to_string(s.p99);
+    out += ",\"p999\":" + std::to_string(s.p999);
+    out += "}";
+  }
+  out += "\n}\n},\n\"tracks\":[";
+  for (std::size_t t = 0; t < pm.tracks.size(); ++t) {
+    out += t == 0 ? "\n" : ",\n";
+    out += "{\"id\":";
+    AppendU64(out, t);
+    out += ",\"events\":[";
+    for (std::size_t i = 0; i < pm.tracks[t].size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      AppendEvent(out, pm.tracks[t][i], static_cast<int>(t));
+    }
+    out += "\n]}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
 std::vector<AttributionRow> ComputeAttribution(const Tracer& tracer) {
-  constexpr int kNumKinds = static_cast<int>(SpanKind::kAdmissionWait) + 1;
+  constexpr int kNumKinds = static_cast<int>(SpanKind::kShardService) + 1;
   std::uint64_t count[kNumKinds] = {};
   exec::VirtualTime total[kNumKinds] = {};
   exec::VirtualTime self[kNumKinds] = {};

@@ -13,11 +13,20 @@
 #include <vector>
 
 #include "exec/context.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace sparta::obs {
 
 std::string ExportChromeTrace(const Tracer& tracer);
+
+/// Renders one flight-recorder capture as JSON: the anomaly trigger,
+/// the caller-attached state lines and metrics snapshot, and the frozen
+/// ring contents per track (oldest → newest, same event rendering as
+/// the Chrome export). Deterministic byte-for-byte: sorted metric maps,
+/// fixed-point time formatting, no addresses anywhere — the same seed
+/// dumps the same bytes (tests/test_cluster.cpp golden test).
+std::string ExportPostmortem(const Postmortem& pm);
 
 /// One row of the where-the-time-goes table, aggregated over all worker
 /// tracks. `total` sums span durations; `self` subtracts the durations

@@ -43,6 +43,28 @@ class CircuitBreaker {
   /// Current state after advancing timers to `now`.
   State state(exec::VirtualTime now);
 
+  /// The state an observer at `now` would see, WITHOUT advancing the
+  /// machine (state() latches open→half-open as a side effect). Used by
+  /// postmortem capture so that dumping a snapshot never perturbs the
+  /// serving loop's deterministic replay.
+  State PeekState(exec::VirtualTime now) const {
+    const util::SerialGuard guard(domain_);
+    if (state_ == State::kOpen && now >= opened_at_ + config_.open_ns) {
+      return State::kHalfOpen;
+    }
+    return state_;
+  }
+
+  /// Name for state lines in postmortems ("closed"/"open"/"half-open").
+  static const char* StateName(State s) {
+    switch (s) {
+      case State::kClosed: return "closed";
+      case State::kOpen: return "open";
+      case State::kHalfOpen: return "half-open";
+    }
+    return "?";
+  }
+
   /// Arrival gate. Closed: always true. Open: false. Half-open: true
   /// for one probe at a time (the probe slot frees on its completion).
   /// A true return in half-open state claims the probe slot — the

@@ -48,6 +48,10 @@ Cluster::Cluster(const index::ShardedIndex& sharded,
   if (config.trace.enabled) {
     tracer_ = std::make_unique<obs::Tracer>(config.num_nodes);
   }
+  if (config.flight.enabled) {
+    flight_recorder_ = std::make_unique<obs::FlightRecorder>(
+        config.num_nodes, config.flight);
+  }
 }
 
 bool Cluster::NodeReachable(int n, VirtualTime now) const {
@@ -137,8 +141,12 @@ class ServeLoop {
         arrivals_(arrivals),
         ctrl_(cfg_.admission, cfg_.slo),
         injector_(cluster.fault_injector()),
-        tracer_(cluster.tracer()) {
+        tracer_(cluster.tracer()),
+        recorder_(cluster.flight_recorder()) {
     SPARTA_CHECK(!queries_.empty());
+    if (cfg_.slo_monitor.enabled) {
+      monitor_ = std::make_unique<SloMonitor>(cfg_.slo_monitor, cfg_.slo);
+    }
     breakers_.reserve(static_cast<std::size_t>(cfg_.num_shards));
     for (int s = 0; s < cfg_.num_shards; ++s) {
       std::vector<CircuitBreaker> row;
@@ -208,6 +216,15 @@ class ServeLoop {
                               obs::InstantKind::kNodeCrash, ev.at,
                               static_cast<std::uint64_t>(ev.node));
         }
+        if (recorder_ != nullptr) {
+          recorder_->AddInstant(recorder_->scheduler_track(),
+                                obs::InstantKind::kNodeCrash, ev.at,
+                                static_cast<std::uint64_t>(ev.node));
+          CapturePostmortem(
+              recorder_->Trigger(obs::AnomalyKind::kNodeCrash, ev.at,
+                                 static_cast<std::uint64_t>(ev.node)),
+              ev.at);
+        }
         break;
       case EventType::kRestart:
         if (injector_ != nullptr) injector_->LogNodeRestart(ev.node, ev.at);
@@ -215,6 +232,11 @@ class ServeLoop {
           tracer_->AddInstant(tracer_->scheduler_track(),
                               obs::InstantKind::kNodeRestart, ev.at,
                               static_cast<std::uint64_t>(ev.node));
+        }
+        if (recorder_ != nullptr) {
+          recorder_->AddInstant(recorder_->scheduler_track(),
+                                obs::InstantKind::kNodeRestart, ev.at,
+                                static_cast<std::uint64_t>(ev.node));
         }
         break;
     }
@@ -237,10 +259,20 @@ class ServeLoop {
     const topk::AdmissionOutcome outcome = ctrl_.Decide(now);
     q.outcome = outcome;
     q.result.stats.admission_outcome = outcome;
+    if (monitor_ != nullptr) monitor_->OnOutcome(now, outcome);
     if (tracer_ != nullptr &&
         outcome != topk::AdmissionOutcome::kAdmitted) {
       tracer_->AddInstant(
           tracer_->serving_track(),
+          outcome == topk::AdmissionOutcome::kRejectedFull
+              ? obs::InstantKind::kAdmissionReject
+              : obs::InstantKind::kAdmissionShed,
+          now, record);
+    }
+    if (recorder_ != nullptr &&
+        outcome != topk::AdmissionOutcome::kAdmitted) {
+      recorder_->AddInstant(
+          recorder_->serving_track(),
           outcome == topk::AdmissionOutcome::kRejectedFull
               ? obs::InstantKind::kAdmissionReject
               : obs::InstantKind::kAdmissionShed,
@@ -263,6 +295,11 @@ class ServeLoop {
         tracer_->AddSpan(tracer_->serving_track(),
                          obs::SpanKind::kAdmissionWait, sq.arrival, now,
                          record, 0);
+      }
+      if (recorder_ != nullptr) {
+        recorder_->AddSpan(recorder_->serving_track(),
+                           obs::SpanKind::kAdmissionWait, sq.arrival, now,
+                           record, 0);
       }
       QueryState& q = states_[record];
       q.dispatched = true;
@@ -350,6 +387,11 @@ class ServeLoop {
                             obs::InstantKind::kShardHedge, now, record,
                             static_cast<std::uint64_t>(shard));
       }
+      if (recorder_ != nullptr) {
+        recorder_->AddInstant(recorder_->serving_track(),
+                              obs::InstantKind::kShardHedge, now, record,
+                              static_cast<std::uint64_t>(shard));
+      }
     }
     // Every attempt owns exactly one timeout; attempts are resolved by
     // their reply or their timeout, whichever lands first, so no
@@ -379,8 +421,15 @@ class ServeLoop {
 
     topk::SearchParams node_params = params_;
     node_params.deadline = NodeBudget(node, terms.size());
+    // Correlation payload: query record + packed (shard, attempt). The
+    // same pair rides the cluster-side kShardRpc/kShardService spans
+    // below and the node's machine-local trace, so per-machine traces
+    // join the cluster trace without guessing.
+    const std::uint64_t shard_attempt =
+        obs::PackShardAttempt(shard, attempt_idx);
     sim::Node::ShardReply reply = cluster_.node(node).Execute(
-        shard, algo_, terms, node_params, node_arrival);
+        shard, algo_, terms, node_params, node_arrival, record,
+        shard_attempt);
     if (!reply.responded) return;  // down or died mid-request
 
     // sparta-lint: allow(result-status) size-only read to price the
@@ -402,9 +451,22 @@ class ServeLoop {
     }
     const std::size_t reply_idx = replies_.size();
     replies_.push_back(std::move(reply.result));
+    // Parent/child pair on the node's track: the rpc span covers send →
+    // reply arrival, its service child node arrival → response out.
+    // Both carry (record, shard_attempt), so the child links causally
+    // to exactly one parent even when a retry and a hedge overlap
+    // (obs/critical_path.h walks this DAG).
     if (tracer_ != nullptr) {
       tracer_->AddSpan(node, obs::SpanKind::kShardRpc, now, reply_arrival,
-                       record, static_cast<std::uint64_t>(shard));
+                       record, shard_attempt);
+      tracer_->AddSpan(node, obs::SpanKind::kShardService, node_arrival,
+                       reply.completed, record, shard_attempt);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->AddSpan(node, obs::SpanKind::kShardRpc, now,
+                         reply_arrival, record, shard_attempt);
+      recorder_->AddSpan(node, obs::SpanKind::kShardService, node_arrival,
+                         reply.completed, record, shard_attempt);
     }
     Push({.at = reply_arrival,
           .type = EventType::kReply,
@@ -422,6 +484,11 @@ class ServeLoop {
                           obs::InstantKind::kNetDrop, at, record,
                           static_cast<std::uint64_t>(shard));
     }
+    if (recorder_ != nullptr) {
+      recorder_->AddInstant(recorder_->scheduler_track(),
+                            obs::InstantKind::kNetDrop, at, record,
+                            static_cast<std::uint64_t>(shard));
+    }
   }
 
   CircuitBreaker& Breaker(int shard, int replica) {
@@ -429,15 +496,51 @@ class ServeLoop {
                     [static_cast<std::size_t>(replica)];
   }
 
+  /// Count of replica breakers an observer at `now` would see open.
+  std::int64_t OpenBreakers(VirtualTime now) const {
+    std::int64_t open = 0;
+    for (const auto& row : breakers_) {
+      for (const CircuitBreaker& b : row) {
+        if (b.PeekState(now) == CircuitBreaker::State::kOpen) ++open;
+      }
+    }
+    return open;
+  }
+
   void ReportAttempt(int shard, Attempt& a, VirtualTime now, bool success) {
     if (a.reported) return;
     a.reported = true;
     if (cfg_.breaker_enabled) {
       CircuitBreaker& b = Breaker(shard, a.replica);
+      const std::uint64_t trips_before = b.trips();
       if (success) {
         b.OnSuccess(now, a.probe);
       } else {
         b.OnFailure(now, a.probe);
+      }
+      if (b.trips() > trips_before) {
+        // The breaker just opened: a backend went from degraded to
+        // refused. Worth a state instant and a frozen postmortem.
+        if (tracer_ != nullptr) {
+          tracer_->AddInstant(tracer_->serving_track(),
+                              obs::InstantKind::kBreakerState, now,
+                              static_cast<std::uint64_t>(shard),
+                              static_cast<std::uint64_t>(a.replica));
+        }
+        if (monitor_ != nullptr) {
+          monitor_->OnBreakerState(now, OpenBreakers(now));
+        }
+        if (recorder_ != nullptr) {
+          recorder_->AddInstant(recorder_->serving_track(),
+                                obs::InstantKind::kBreakerState, now,
+                                static_cast<std::uint64_t>(shard),
+                                static_cast<std::uint64_t>(a.replica));
+          CapturePostmortem(
+              recorder_->Trigger(obs::AnomalyKind::kBreakerOpen, now,
+                                 static_cast<std::uint64_t>(shard),
+                                 static_cast<std::uint64_t>(a.replica)),
+              now);
+        }
       }
     }
   }
@@ -482,6 +585,12 @@ class ServeLoop {
       tracer_->AddInstant(tracer_->serving_track(),
                           obs::InstantKind::kShardTimeout, ev.at, ev.record,
                           static_cast<std::uint64_t>(ev.shard));
+    }
+    if (recorder_ != nullptr) {
+      recorder_->AddInstant(recorder_->serving_track(),
+                            obs::InstantKind::kShardTimeout, ev.at,
+                            ev.record,
+                            static_cast<std::uint64_t>(ev.shard));
     }
     if (q.finalized || sp.answered) return;
     MaybeRetryOrExhaust(ev.record, ev.shard, ev.at);
@@ -562,10 +671,106 @@ class ServeLoop {
     sq.completion = now;
     sq.result = std::move(merged);
 
+    // Anomalous result statuses freeze the flight recorder the moment
+    // the degraded answer is produced, while the evidence (recent rpc
+    // spans, timeouts, breaker state) is still in the rings.
+    if (recorder_ != nullptr) {
+      const topk::ResultStatus st = sq.result.status;
+      obs::Postmortem* pm = nullptr;
+      if (st == topk::ResultStatus::kShardsDegraded) {
+        pm = recorder_->Trigger(obs::AnomalyKind::kShardsDegraded, now,
+                                record, answered);
+      } else if (st == topk::ResultStatus::kOom) {
+        pm = recorder_->Trigger(obs::AnomalyKind::kOom, now, record);
+      } else if (st == topk::ResultStatus::kPartialAfterFault) {
+        pm = recorder_->Trigger(obs::AnomalyKind::kPartialAfterFault, now,
+                                record);
+      }
+      CapturePostmortem(pm, now);
+    }
+    if (monitor_ != nullptr) {
+      const bool good =
+          sq.result.stats.shard_coverage == 1.0 &&
+          sq.result.status != topk::ResultStatus::kOom &&
+          (cfg_.slo == exec::kNever || sq.EndToEnd() <= cfg_.slo);
+      const SloMonitor::Breach breach =
+          monitor_->OnCompletion(now, sq.EndToEnd(), good);
+      if (breach.fired) {
+        if (tracer_ != nullptr) {
+          tracer_->AddInstant(tracer_->serving_track(),
+                              obs::InstantKind::kSloBreach, now,
+                              breach.burn_pm, breach.bucket);
+        }
+        if (recorder_ != nullptr) {
+          recorder_->AddInstant(recorder_->serving_track(),
+                                obs::InstantKind::kSloBreach, now,
+                                breach.burn_pm, breach.bucket);
+          CapturePostmortem(
+              recorder_->Trigger(obs::AnomalyKind::kSloBreach, now,
+                                 breach.burn_pm, breach.bucket),
+              now);
+        }
+      }
+    }
+
     ctrl_.OnComplete(now, now - q.dispatch);
     SPARTA_CHECK(inflight_ > 0);
     --inflight_;
     TryDispatch(now);
+  }
+
+  /// Fills a freshly-triggered capture with the coordinator's view of
+  /// the world: per-node liveness, per-replica breaker state, loop
+  /// depth, and the running scatter-gather counters. Read-only
+  /// (PeekState, no timer advances), so capturing never perturbs the
+  /// deterministic replay.
+  void CapturePostmortem(obs::Postmortem* pm, VirtualTime now) {
+    if (pm == nullptr) return;
+    for (int n = 0; n < cluster_.num_nodes(); ++n) {
+      sim::Node& node = cluster_.node(n);
+      std::string line = "node=" + std::to_string(n);
+      line += " reachable=";
+      line += cluster_.NodeReachable(n, now) ? "1" : "0";
+      line += " served=" + std::to_string(node.served());
+      line += " killed=" + std::to_string(node.killed_in_flight());
+      line += " restarts=" + std::to_string(node.cold_restarts());
+      pm->state.push_back(std::move(line));
+    }
+    if (cfg_.breaker_enabled) {
+      for (int s = 0; s < cfg_.num_shards; ++s) {
+        for (int r = 0; r < cfg_.replication; ++r) {
+          const CircuitBreaker& b =
+              breakers_[static_cast<std::size_t>(s)]
+                       [static_cast<std::size_t>(r)];
+          std::string line = "shard=" + std::to_string(s);
+          line += " replica=" + std::to_string(r);
+          line += " node=" + std::to_string(cluster_.ReplicaNode(s, r));
+          line += " breaker=";
+          line += CircuitBreaker::StateName(b.PeekState(now));
+          line += " trips=" + std::to_string(b.trips());
+          pm->state.push_back(std::move(line));
+        }
+      }
+    }
+    pm->state.push_back("inflight=" + std::to_string(inflight_) +
+                        " pending=" + std::to_string(pending_.size()));
+    obs::MetricsRegistry reg;
+    reg.GetCounter("cluster.rpcs.sent").Add(out_.rpcs_sent);
+    reg.GetCounter("cluster.rpcs.answered").Add(out_.rpcs_answered);
+    reg.GetCounter("cluster.rpcs.timeouts").Add(out_.rpc_timeouts);
+    reg.GetCounter("cluster.rpcs.retries").Add(out_.retries);
+    reg.GetCounter("cluster.hedges.sent").Add(out_.hedges_sent);
+    reg.GetCounter("cluster.hedges.won").Add(out_.hedges_won);
+    reg.GetCounter("cluster.breaker.skips").Add(out_.breaker_skips);
+    reg.GetCounter("cluster.net.drops").Add(out_.net_drops);
+    reg.GetGauge("cluster.inflight")
+        .Set(static_cast<std::int64_t>(inflight_));
+    reg.GetGauge("cluster.pending")
+        .Set(static_cast<std::int64_t>(pending_.size()));
+    if (cfg_.breaker_enabled) {
+      reg.GetGauge("cluster.breakers.open").Set(OpenBreakers(now));
+    }
+    pm->metrics = reg.Snapshot();
   }
 
   void FinalizeAggregates() {
@@ -608,6 +813,11 @@ class ServeLoop {
         out_.breaker_probes += b.probes();
       }
     }
+    if (monitor_ != nullptr) {
+      out_.slo_breaches = monitor_->breaches();
+      out_.series = monitor_->series();
+    }
+    if (recorder_ != nullptr) out_.anomalies = recorder_->anomalies();
   }
 
   Cluster& cluster_;
@@ -620,6 +830,8 @@ class ServeLoop {
   AdmissionController ctrl_;
   sim::FaultInjector* injector_;
   obs::Tracer* tracer_;
+  obs::FlightRecorder* recorder_;
+  std::unique_ptr<SloMonitor> monitor_;
   /// breakers_[shard][replica ordinal].
   std::vector<std::vector<CircuitBreaker>> breakers_;
 

@@ -41,12 +41,15 @@
 #include <vector>
 
 #include "index/sharding.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/arrivals.h"
 #include "serve/breaker.h"
 #include "serve/server.h"
+#include "serve/slo_monitor.h"
 #include "sim/fabric.h"
 #include "sim/fault_injector.h"
 #include "sim/node.h"
@@ -109,9 +112,21 @@ struct ClusterConfig {
   BreakerConfig breaker;
 
   /// Cluster trace: tracks 0..num_nodes-1 are the nodes (kShardRpc
-  /// spans), the scheduler track carries fabric/node-lifecycle events,
-  /// the serving track the coordinator's policy events.
+  /// parent spans and their kShardService children, correlated on
+  /// (record, PackShardAttempt(shard, attempt))), the scheduler track
+  /// carries fabric/node-lifecycle events, the serving track the
+  /// coordinator's policy events.
   obs::TraceConfig trace;
+  /// Cluster flight recorder (same track layout as the trace). All
+  /// coordinator-side emission is off any machine clock and charges
+  /// nothing, so recorder-on cluster runs stay bit-identical to
+  /// recorder-off ones; anomaly triggers freeze postmortems
+  /// (kShardsDegraded / kPartialAfterFault / kOom results, breaker
+  /// trips, node crashes, SLO breaches).
+  obs::FlightRecorderConfig flight;
+  /// Windowed SLO burn-rate monitor over the serving timeline; its
+  /// breach alerts feed the flight recorder's kSloBreach trigger.
+  SloMonitorConfig slo_monitor;
 };
 
 /// Aggregates of one cluster serving run; `queries` reuses the
@@ -156,6 +171,14 @@ struct ClusterServeResult {
   double min_coverage = 1.0;
   exec::VirtualTime horizon = 0;
 
+  // Observability plane (populated when the respective config is on).
+  /// SLO burn-rate alerts fired by the monitor.
+  std::uint64_t slo_breaches = 0;
+  /// Flight-recorder anomaly triggers (counts past max_postmortems too).
+  std::uint64_t anomalies = 0;
+  /// Per-bucket health series from the SLO monitor (empty when off).
+  obs::TimeSeries series;
+
   double GoodputQps() const {
     return horizon > 0 ? static_cast<double>(goodput) /
                              (static_cast<double>(horizon) / 1e9)
@@ -187,6 +210,8 @@ class Cluster {
   sim::FaultInjector* fault_injector() { return injector_.get(); }
   /// Non-null iff config.trace.enabled.
   obs::Tracer* tracer() { return tracer_.get(); }
+  /// Non-null iff config.flight.enabled. Same track layout as tracer().
+  obs::FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
 
   /// True when `node` can be reached and is up at `now` (crash schedule
   /// + partition window; used for shard-aware admission scaling).
@@ -199,6 +224,7 @@ class Cluster {
   sim::Fabric fabric_;
   std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
 };
 
 /// Scatter-gather serving over a Cluster on one global event timeline.

@@ -30,6 +30,13 @@ ServeResult Server::ServeOnSim(sim::SimExecutor& executor,
 
   PolicyState policy(config_);
   ServeTrace strace(executor.tracer());
+  obs::FlightRecorder* recorder = executor.flight_recorder();
+  std::unique_ptr<SloMonitor> monitor;
+  if (config_.slo_monitor.enabled) {
+    monitor = std::make_unique<SloMonitor>(config_.slo_monitor,
+                                           config_.slo);
+  }
+  std::uint64_t breaker_trips_seen = 0;
 
   struct Flight {
     std::size_t record = 0;
@@ -41,6 +48,30 @@ ServeResult Server::ServeOnSim(sim::SimExecutor& executor,
   std::vector<std::size_t> active;  // unharvested indices into flights
   std::deque<std::size_t> queue;    // admitted records awaiting dispatch
   std::size_t next_arrival = 0;
+
+  // Fills a freshly-triggered machine postmortem with the serving
+  // loop's state. Read-only (PeekState), so capture never perturbs the
+  // run.
+  const auto capture = [&](obs::Postmortem* pm, exec::VirtualTime now) {
+    if (pm == nullptr) return;
+    pm->state.push_back("queue=" + std::to_string(queue.size()) +
+                        " active=" + std::to_string(active.size()) +
+                        " arrivals_seen=" + std::to_string(next_arrival));
+    if (config_.breaker_enabled) {
+      const CircuitBreaker& b = policy.breaker();
+      pm->state.push_back(
+          std::string("breaker=") +
+          CircuitBreaker::StateName(b.PeekState(now)) +
+          " trips=" + std::to_string(b.trips()));
+    }
+    obs::MetricsRegistry reg;
+    reg.GetGauge("serve.queue_depth")
+        .Set(static_cast<std::int64_t>(queue.size()));
+    reg.GetGauge("serve.active")
+        .Set(static_cast<std::int64_t>(active.size()));
+    reg.GetCounter("serve.arrivals_seen").Add(next_arrival);
+    pm->metrics = reg.Snapshot();
+  };
 
   // Completions feed the drain-rate EWMA and the breaker before any
   // decision at or after their completion time. A started query with
@@ -76,6 +107,60 @@ ServeResult Server::ServeOnSim(sim::SimExecutor& executor,
       rec.result.stats.admission_outcome = AdmissionOutcome::kAdmitted;
       policy.OnComplete(rec.completion, rec.completion - rec.dispatch,
                         rec.result.status, rec.probe);
+      if (recorder != nullptr) {
+        // Machine anomalies freeze the recorder with the evidence (the
+        // query's job/io spans) still in the rings.
+        obs::Postmortem* pm = nullptr;
+        if (rec.result.status == topk::ResultStatus::kOom) {
+          pm = recorder->Trigger(obs::AnomalyKind::kOom, rec.completion,
+                                 f.record);
+        } else if (rec.result.status ==
+                   topk::ResultStatus::kPartialAfterFault) {
+          pm = recorder->Trigger(obs::AnomalyKind::kPartialAfterFault,
+                                 rec.completion, f.record);
+        }
+        capture(pm, rec.completion);
+      }
+      if (config_.breaker_enabled &&
+          policy.breaker().trips() > breaker_trips_seen) {
+        breaker_trips_seen = policy.breaker().trips();
+        if (monitor != nullptr) {
+          monitor->OnBreakerState(rec.completion, 1);
+        }
+        if (recorder != nullptr) {
+          recorder->AddInstant(recorder->serving_track(),
+                               obs::InstantKind::kBreakerState,
+                               rec.completion, breaker_trips_seen);
+          capture(recorder->Trigger(obs::AnomalyKind::kBreakerOpen,
+                                    rec.completion, breaker_trips_seen),
+                  rec.completion);
+        }
+      }
+      if (monitor != nullptr) {
+        const bool good =
+            rec.result.status != topk::ResultStatus::kOom &&
+            (config_.slo == exec::kNever || rec.EndToEnd() <= config_.slo);
+        const SloMonitor::Breach breach =
+            monitor->OnCompletion(rec.completion, rec.EndToEnd(), good);
+        if (breach.fired) {
+          if (strace.tracer != nullptr) {
+            strace.tracer->AddInstant(strace.track,
+                                      obs::InstantKind::kSloBreach,
+                                      rec.completion, breach.burn_pm,
+                                      breach.bucket);
+          }
+          if (recorder != nullptr) {
+            recorder->AddInstant(recorder->serving_track(),
+                                 obs::InstantKind::kSloBreach,
+                                 rec.completion, breach.burn_pm,
+                                 breach.bucket);
+            capture(recorder->Trigger(obs::AnomalyKind::kSloBreach,
+                                      rec.completion, breach.burn_pm,
+                                      breach.bucket),
+                    rec.completion);
+          }
+        }
+      }
     }
   };
 
@@ -86,6 +171,7 @@ ServeResult Server::ServeOnSim(sim::SimExecutor& executor,
     rec.probe = d.probe;
     rec.result.stats.admission_outcome = d.outcome;
     strace.OnDecision(idx, rec.arrival, d, config_.breaker_enabled);
+    if (monitor != nullptr) monitor->OnOutcome(rec.arrival, d.outcome);
     if (d.outcome == AdmissionOutcome::kAdmitted) {
       queue.push_back(idx);
       result.max_queue_depth =
@@ -152,6 +238,11 @@ ServeResult Server::ServeOnSim(sim::SimExecutor& executor,
   SPARTA_CHECK(active.empty());
 
   FinalizeServeResult(result, policy, config_.slo);
+  if (monitor != nullptr) {
+    result.slo_breaches = monitor->breaches();
+    result.series = monitor->series();
+  }
+  if (recorder != nullptr) result.anomalies = recorder->anomalies();
   return result;
 }
 
@@ -175,6 +266,11 @@ ServeResult Server::ServeOnThreads(
   // schedule + measured service times), self-consistent on their own
   // track even though worker tracks run on the wall clock.
   ServeTrace strace(executor.tracer());
+  std::unique_ptr<SloMonitor> monitor;
+  if (config_.slo_monitor.enabled) {
+    monitor = std::make_unique<SloMonitor>(config_.slo_monitor,
+                                           config_.slo);
+  }
   std::deque<std::size_t> queue;
   std::size_t next_arrival = 0;
   // The pool serves one query at a time (pool-per-query, the paper's
@@ -189,6 +285,7 @@ ServeResult Server::ServeOnThreads(
     rec.probe = d.probe;
     rec.result.stats.admission_outcome = d.outcome;
     strace.OnDecision(idx, rec.arrival, d, config_.breaker_enabled);
+    if (monitor != nullptr) monitor->OnOutcome(rec.arrival, d.outcome);
     if (d.outcome == AdmissionOutcome::kAdmitted) {
       queue.push_back(idx);
       result.max_queue_depth =
@@ -244,9 +341,26 @@ ServeResult Server::ServeOnThreads(
     rec.result.stats.admission_outcome = AdmissionOutcome::kAdmitted;
     policy.OnComplete(rec.completion, service, rec.result.status,
                       rec.probe);
+    if (monitor != nullptr) {
+      const bool good =
+          rec.result.status != topk::ResultStatus::kOom &&
+          (config_.slo == exec::kNever || rec.EndToEnd() <= config_.slo);
+      const SloMonitor::Breach breach =
+          monitor->OnCompletion(rec.completion, rec.EndToEnd(), good);
+      if (breach.fired && strace.tracer != nullptr) {
+        strace.tracer->AddInstant(strace.track,
+                                  obs::InstantKind::kSloBreach,
+                                  rec.completion, breach.burn_pm,
+                                  breach.bucket);
+      }
+    }
   }
 
   FinalizeServeResult(result, policy, config_.slo);
+  if (monitor != nullptr) {
+    result.slo_breaches = monitor->breaches();
+    result.series = monitor->series();
+  }
   return result;
 }
 

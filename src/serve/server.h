@@ -31,10 +31,12 @@
 
 #include "exec/threaded_executor.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "serve/admission.h"
 #include "serve/arrivals.h"
 #include "serve/breaker.h"
 #include "serve/ladder.h"
+#include "serve/slo_monitor.h"
 #include "sim/sim_executor.h"
 #include "topk/algorithm.h"
 #include "util/histogram.h"
@@ -58,6 +60,10 @@ struct ServeConfig {
   /// under fault injection).
   bool breaker_enabled = false;
   BreakerConfig breaker;
+  /// Windowed SLO burn-rate monitor (serve/slo_monitor.h); breaches
+  /// feed the machine flight recorder's kSloBreach trigger when the
+  /// executor carries one.
+  SloMonitorConfig slo_monitor;
 };
 
 /// Per-query accounting record, in arrival order.
@@ -111,6 +117,14 @@ struct ServeResult {
   /// Last completion (or last arrival if nothing completed): the run's
   /// time horizon for rate computations.
   exec::VirtualTime horizon = 0;
+
+  // Observability plane (populated when the respective config is on).
+  /// SLO burn-rate alerts fired by the monitor.
+  std::uint64_t slo_breaches = 0;
+  /// Flight-recorder anomaly triggers on the machine executor.
+  std::uint64_t anomalies = 0;
+  /// Per-bucket health series from the SLO monitor (empty when off).
+  obs::TimeSeries series;
 
   double GoodputQps() const {
     return horizon > 0 ? static_cast<double>(goodput) /

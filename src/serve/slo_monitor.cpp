@@ -1,0 +1,96 @@
+#include "serve/slo_monitor.h"
+
+namespace sparta::serve {
+
+SloMonitor::SloMonitor(const SloMonitorConfig& config,
+                       exec::VirtualTime slo_ns)
+    : config_(config), slo_ns_(slo_ns),
+      series_(obs::TimeSeriesConfig{config.bucket_ns}) {}
+
+void SloMonitor::OnOutcome(exec::VirtualTime at,
+                           topk::AdmissionOutcome outcome) {
+  series_.AddCount("offered", at);
+  switch (outcome) {
+    case topk::AdmissionOutcome::kAdmitted:
+      series_.AddCount("admitted", at);
+      break;
+    case topk::AdmissionOutcome::kRejectedFull:
+      series_.AddCount("rejected_full", at);
+      break;
+    case topk::AdmissionOutcome::kShedPredictedWait:
+      series_.AddCount("shed", at);
+      break;
+    case topk::AdmissionOutcome::kBreakerDropped:
+      series_.AddCount("breaker_dropped", at);
+      break;
+  }
+}
+
+SloMonitor::Breach SloMonitor::OnCompletion(exec::VirtualTime at,
+                                            exec::VirtualTime e2e,
+                                            bool good) {
+  series_.AddCount("completed", at);
+  series_.AddSample("e2e", at, e2e);
+  if (good) series_.AddCount("goodput", at);
+  if (slo_ns_ != exec::kNever && e2e > slo_ns_) {
+    series_.AddCount("slo_violation", at);
+  }
+
+  Breach breach;
+  breach.bucket = series_.BucketOf(at);
+  breach.burn_pm = BurnPerMille(at);
+  series_.SetLevel("burn_pm", at,
+                   static_cast<std::int64_t>(breach.burn_pm));
+
+  // Count the window's completions for the min-samples gate.
+  std::uint64_t total = 0;
+  const std::size_t end = series_.BucketOf(at);
+  const std::size_t begin =
+      end + 1 >= static_cast<std::size_t>(config_.window_buckets)
+          ? end + 1 - static_cast<std::size_t>(config_.window_buckets)
+          : 0;
+  for (std::size_t b = begin; b <= end; ++b) {
+    total += series_.Count("completed", b);
+  }
+
+  const std::uint64_t alert_pm =
+      static_cast<std::uint64_t>(config_.burn_alert * 1000.0);
+  const bool over = total >= config_.min_samples &&
+                    breach.burn_pm >= alert_pm;
+  if (over && !latched_) {
+    latched_ = true;
+    ++breaches_;
+    breach.fired = true;
+  } else if (!over) {
+    latched_ = false;
+  }
+  return breach;
+}
+
+void SloMonitor::OnBreakerState(exec::VirtualTime at,
+                                std::int64_t open_count) {
+  series_.SetLevel("breakers_open", at, open_count);
+}
+
+std::uint64_t SloMonitor::BurnPerMille(exec::VirtualTime at) const {
+  const std::size_t end = series_.BucketOf(at);
+  const std::size_t begin =
+      end + 1 >= static_cast<std::size_t>(config_.window_buckets)
+          ? end + 1 - static_cast<std::size_t>(config_.window_buckets)
+          : 0;
+  std::uint64_t total = 0;
+  std::uint64_t violations = 0;
+  for (std::size_t b = begin; b <= end; ++b) {
+    total += series_.Count("completed", b);
+    violations += series_.Count("slo_violation", b);
+  }
+  if (total == 0) return 0;
+  const double budget = 1.0 - config_.target;
+  if (budget <= 0.0) return violations > 0 ? 1'000'000 : 0;
+  const double burn = (static_cast<double>(violations) /
+                       static_cast<double>(total)) /
+                      budget;
+  return static_cast<std::uint64_t>(burn * 1000.0 + 0.5);
+}
+
+}  // namespace sparta::serve

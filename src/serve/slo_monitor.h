@@ -1,0 +1,88 @@
+// Windowed SLO monitor: burn rate over the serving timeline.
+//
+// A run-level goodput number says whether the SLO held *on average*; an
+// operator needs to know the moment it started failing. The monitor
+// buckets every admission outcome and completion into an
+// obs::TimeSeries (per virtual second by default) and maintains a
+// rolling-window *burn rate*: the observed SLO-violation fraction
+// divided by the budgeted one (1 - target). Burn 1.0 means the error
+// budget is being spent exactly at the sustainable rate; the alert
+// fires when burn crosses `burn_alert` with enough samples in the
+// window, and latches until burn drops back under the line so a
+// sustained breach reports once, not once per completion.
+//
+// The monitor is policy-free glue: it owns the series and the breach
+// arithmetic but emits nothing itself — the serving loops translate a
+// returned Breach into a tracer kSloBreach instant and a flight-
+// recorder anomaly trigger (serve/server.cpp, serve/coordinator.cpp).
+// Everything is keyed by caller-provided virtual timestamps, so the
+// monitor is deterministic given its inputs and unit-testable without
+// an executor (tests/test_obs.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "exec/context.h"
+#include "obs/timeseries.h"
+#include "topk/result.h"
+
+namespace sparta::serve {
+
+struct SloMonitorConfig {
+  bool enabled = false;
+  /// Series bucket width (also the burn-rate evaluation grain).
+  exec::VirtualTime bucket_ns = 1'000'000'000;
+  /// Rolling window, in buckets, for the burn rate.
+  int window_buckets = 5;
+  /// SLO attainment target: the budgeted violation fraction is
+  /// 1 - target (e.g. 0.95 budgets 5% of completions over the SLO).
+  double target = 0.95;
+  /// Breach when burn >= this multiple of the budgeted rate.
+  double burn_alert = 2.0;
+  /// Completions required in the window before the alert may fire.
+  std::uint64_t min_samples = 20;
+};
+
+class SloMonitor {
+ public:
+  /// A newly-fired breach (burn crossed the alert line).
+  struct Breach {
+    bool fired = false;
+    /// Burn rate in per-mille (1000 = spending budget exactly).
+    std::uint64_t burn_pm = 0;
+    std::uint64_t bucket = 0;
+  };
+
+  /// `slo_ns` is the end-to-end SLO completions are judged against.
+  SloMonitor(const SloMonitorConfig& config, exec::VirtualTime slo_ns);
+
+  /// Records one arrival's admission outcome.
+  void OnOutcome(exec::VirtualTime at, topk::AdmissionOutcome outcome);
+
+  /// Records one completed query: its end-to-end latency and whether it
+  /// counted toward goodput (full quality within the SLO). Returns a
+  /// Breach with fired=true when this completion pushes the windowed
+  /// burn rate over the alert line.
+  Breach OnCompletion(exec::VirtualTime at, exec::VirtualTime e2e,
+                      bool good);
+
+  /// Level series for breaker state (count of open breakers).
+  void OnBreakerState(exec::VirtualTime at, std::int64_t open_count);
+
+  /// Burn rate in per-mille over the window ending at `at`'s bucket.
+  std::uint64_t BurnPerMille(exec::VirtualTime at) const;
+
+  const obs::TimeSeries& series() const { return series_; }
+  std::uint64_t breaches() const { return breaches_; }
+  const SloMonitorConfig& config() const { return config_; }
+
+ private:
+  SloMonitorConfig config_;
+  exec::VirtualTime slo_ns_;
+  obs::TimeSeries series_;
+  std::uint64_t breaches_ = 0;
+  /// Alert latch: set while burn >= alert, cleared when it recovers.
+  bool latched_ = false;
+};
+
+}  // namespace sparta::serve

@@ -61,7 +61,9 @@ index::EpochManager& Node::epoch_manager(int shard_id) {
 Node::ShardReply Node::Execute(int shard_id, const topk::Algorithm& algo,
                                const std::vector<TermId>& terms,
                                const topk::SearchParams& params,
-                               VirtualTime arrival) {
+                               VirtualTime arrival,
+                               std::uint64_t query_record,
+                               std::uint64_t shard_attempt) {
   ShardReply reply;
   if (!up(arrival)) return reply;
   MaybeRestart(arrival);
@@ -75,6 +77,20 @@ Node::ShardReply Node::Execute(int shard_id, const topk::Algorithm& algo,
   topk::SearchResult result =
       core::SearchSnapshot(algo, *pin, terms, params, *ctx);
   const VirtualTime done = ctx->end_time();
+
+  // The machine-local view of the request, correlated with the cluster
+  // trace through the coordinator's payload. Serving track: the span
+  // brackets worker activity rather than being charged to one worker.
+  if (auto* tracer = executor_->tracer()) {
+    tracer->AddSpan(tracer->serving_track(),
+                    obs::SpanKind::kShardService, arrival, done,
+                    query_record, shard_attempt);
+  }
+  if (auto* recorder = executor_->flight_recorder()) {
+    recorder->AddSpan(recorder->serving_track(),
+                      obs::SpanKind::kShardService, arrival, done,
+                      query_record, shard_attempt);
+  }
 
   const bool died_in_flight = crash_at_ != exec::kNever &&
                               arrival < crash_at_ && done > crash_at_;

@@ -82,10 +82,20 @@ class Node {
   /// node's machine (honoring params.deadline as the node-side budget),
   /// and releases the pin before replying — or, when the machine dies
   /// mid-request, without replying.
+  ///
+  /// `query_record` / `shard_attempt` are the coordinator's correlation
+  /// payload (query record index and PackShardAttempt(shard, attempt)):
+  /// when this node's machine has a tracer or flight recorder, the
+  /// request is bracketed by a shard.service span on the machine's
+  /// serving track carrying those ids, so a node-local trace joins the
+  /// cluster trace on (record, shard_attempt). Emission charges no
+  /// virtual time (the serving track has no clock).
   ShardReply Execute(int shard_id, const topk::Algorithm& algo,
                      const std::vector<TermId>& terms,
                      const topk::SearchParams& params,
-                     exec::VirtualTime arrival);
+                     exec::VirtualTime arrival,
+                     std::uint64_t query_record = 0,
+                     std::uint64_t shard_attempt = 0);
 
   int id() const { return config_.id; }
   SimExecutor& executor() { return *executor_; }

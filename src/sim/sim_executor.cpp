@@ -161,6 +161,10 @@ class SimWorkerContext final : public exec::WorkerContext {
     return exec_.profiler_.get();
   }
 
+  obs::FlightRecorder* recorder() const override {
+    return exec_.flight_recorder_.get();
+  }
+
   /// Counts one injected fault against this worker's query (used by the
   /// lock model, which only sees the WorkerContext).
   void CountInjectedFault() { ++query_.faults.injected; }
@@ -217,6 +221,11 @@ class SimWorkerContext final : public exec::WorkerContext {
     if (auto* tracer = exec_.tracer_.get()) {
       tracer->AddInstant(worker_, obs::InstantKind::kIoRetry, Now(),
                          static_cast<std::uint64_t>(retries), page);
+    }
+    if (auto* recorder = exec_.flight_recorder_.get()) {
+      recorder->AddInstant(worker_, obs::InstantKind::kIoRetry, Now(),
+                           static_cast<std::uint64_t>(retries), page);
+      Charge(recorder->record_cost());
     }
     injector->LogIoError(worker_, Now(), extra);
     if (failures > fc.io_retry_limit) {
@@ -279,6 +288,13 @@ class SimLock final : public exec::CtxLock {
       if (auto* tracer = worker.tracer()) {
         tracer->AddSpan(worker.worker_id(), obs::SpanKind::kLockWait, now,
                         worker.Now(), id_);
+      }
+      if (auto* recorder = worker.recorder();
+          recorder != nullptr &&
+          recorder->RecordsSpan(obs::SpanKind::kLockWait)) {
+        recorder->AddSpan(worker.worker_id(), obs::SpanKind::kLockWait,
+                          now, worker.Now(), id_);
+        worker.Charge(recorder->record_cost());
       }
     } else {
       worker.Charge(costs_.lock_uncontended);
@@ -400,6 +416,10 @@ SimExecutor::SimExecutor(SimConfig config)
                                                 config_.profile);
     coherence_.set_profiler(profiler_.get());
   }
+  if (config_.flight.enabled) {
+    flight_recorder_ = std::make_unique<obs::FlightRecorder>(
+        config_.num_workers, config_.flight);
+  }
 }
 
 SimExecutor::~SimExecutor() = default;
@@ -480,6 +500,14 @@ void SimExecutor::Drain(
                        obs::SpanKind::kQueueWait, job.ready, pickup,
                        job.query->qid, job.seq);
     }
+    // The scheduler has no clock of its own to charge, so queue-wait
+    // recording is free; every worker-track event below pays
+    // record_cost.
+    if (flight_recorder_ != nullptr && pickup > job.ready) {
+      flight_recorder_->AddSpan(flight_recorder_->scheduler_track(),
+                                obs::SpanKind::kQueueWait, job.ready,
+                                pickup, job.query->qid, job.seq);
+    }
     clock = pickup + config_.costs.job_dispatch;
     if (fault_injector_ != nullptr) {
       // Straggler injection: the worker freezes (in virtual time) before
@@ -492,6 +520,13 @@ void SimExecutor::Drain(
           tracer_->AddInstant(w, obs::InstantKind::kFaultStall, clock,
                               static_cast<std::uint64_t>(stall),
                               job.query->qid);
+        }
+        if (flight_recorder_ != nullptr) {
+          flight_recorder_->AddInstant(w, obs::InstantKind::kFaultStall,
+                                       clock,
+                                       static_cast<std::uint64_t>(stall),
+                                       job.query->qid);
+          clock += flight_recorder_->record_cost();
         }
       }
     }
@@ -509,11 +544,20 @@ void SimExecutor::Drain(
     current_worker_ = -1;
 
     --job.query->outstanding;
-    job.query->end = std::max(job.query->end, clock);
     if (tracer_ != nullptr) {
       tracer_->AddSpan(w, obs::SpanKind::kJob, pickup, clock,
                        job.query->qid, job.seq);
     }
+    // The recorder's kJob span matches the tracer's; the modeled
+    // recording charge lands after the span closes, so the worker's
+    // clock (and the query end below) carry the overhead.
+    if (flight_recorder_ != nullptr &&
+        flight_recorder_->RecordsSpan(obs::SpanKind::kJob)) {
+      flight_recorder_->AddSpan(w, obs::SpanKind::kJob, pickup, clock,
+                                job.query->qid, job.seq);
+      clock += flight_recorder_->record_cost();
+    }
+    job.query->end = std::max(job.query->end, clock);
   }
 }
 

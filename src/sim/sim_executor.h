@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "exec/context.h"
+#include "obs/flight_recorder.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "sim/coherence.h"
@@ -82,6 +83,15 @@ struct SimConfig {
   /// at the price of differing from profiler-off runs unless the cost
   /// model is address-independent: costs.coherence_miss == costs.l1_hit).
   obs::ProfilerConfig profile;
+  /// Always-on flight recorder (see obs/flight_recorder.h). Off by
+  /// default: no recorder is constructed and every emission site
+  /// reduces to a null check, so recorder-off runs stay bit-identical
+  /// to builds without it. Unlike the tracer, the recorder models its
+  /// own cost: each machine-context event charges
+  /// `flight.record_cost_ns` of virtual time, so recorder-on runs are
+  /// deterministically slower by exactly the recording overhead (the
+  /// bench_obs_overhead gate keeps that under 5%).
+  obs::FlightRecorderConfig flight;
 };
 
 class SimExecutor {
@@ -140,6 +150,12 @@ class SimExecutor {
   /// Non-null iff `SimConfig::profile.enabled()`.
   obs::Profiler* profiler() const { return profiler_.get(); }
 
+  /// Non-null iff `SimConfig::flight.enabled`. Same track layout as the
+  /// tracer: 0..W-1 workers, W scheduler, W+1 serving.
+  obs::FlightRecorder* flight_recorder() const {
+    return flight_recorder_.get();
+  }
+
  private:
   friend class SimQuery;
   friend class SimWorkerContext;
@@ -174,6 +190,7 @@ class SimExecutor {
   std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
   /// Deterministic ids stamped into trace events in place of addresses.
   std::uint64_t next_query_id_ = 0;
   std::uint64_t next_lock_id_ = 0;

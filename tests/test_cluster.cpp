@@ -5,11 +5,16 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "driver/bench_driver.h"
 #include "index/sharding.h"
+#include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "serve/coordinator.h"
 #include "test_helpers.h"
 #include "topk/oracle.h"
@@ -611,6 +616,248 @@ TEST(Cluster, MetricsAndTraceCarryClusterRun) {
     if (e.kind == sim::FaultInjector::Kind::kNodeCrash) logged_crash = true;
   }
   EXPECT_TRUE(logged_crash);
+}
+
+// ---------------------------------------------------------------------
+// Observability plane: trace correlation, critical-path attribution,
+// and the cluster flight recorder.
+// ---------------------------------------------------------------------
+
+/// Straggler + hedging cluster: node 0's inbound link is slow, hedges
+/// race it — the richest span DAG (retries, hedges, multi-attempt
+/// winners) for correlation and attribution tests.
+ClusterConfig StragglerHedgedConfig() {
+  ClusterConfig cfg = BaseConfig(4, 4, 2);
+  cfg.fabric.overrides.push_back(
+      {sim::kCoordinatorNode, 0, {6 * kMillisecond, 1.25}});
+  cfg.hedge_delay = 2 * kMillisecond;
+  cfg.trace.enabled = true;
+  return cfg;
+}
+
+TEST(ClusterObs, ShardRpcParentsCorrelateWithServiceChildren) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  Cluster cluster(sharded, StragglerHedgedConfig());
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 20;
+  const auto queries = MakeQueries(full, 3);
+  std::vector<VirtualTime> arrivals = {50 * kMillisecond,
+                                       100 * kMillisecond,
+                                       150 * kMillisecond};
+  const ClusterServeResult run = coord.Serve(queries, params, arrivals);
+  ASSERT_EQ(run.completed, queries.size());
+  EXPECT_GT(run.hedges_won, 0u);
+
+  const obs::Tracer* tracer = cluster.tracer();
+  ASSERT_NE(tracer, nullptr);
+  // Every answered rpc span has exactly one service child on the same
+  // track carrying the same (record, shard_attempt) payload, causally
+  // nested inside its parent: dispatched after the send, replied
+  // before the reply landed.
+  std::uint64_t parents = 0;
+  for (int t = 0; t < tracer->num_workers(); ++t) {
+    std::vector<const obs::TraceEvent*> rpcs;
+    std::vector<const obs::TraceEvent*> services;
+    for (const obs::TraceEvent& e : tracer->track(t)) {
+      if (e.is_instant) continue;
+      if (e.span_kind() == obs::SpanKind::kShardRpc) rpcs.push_back(&e);
+      if (e.span_kind() == obs::SpanKind::kShardService) {
+        services.push_back(&e);
+      }
+    }
+    ASSERT_EQ(rpcs.size(), services.size()) << "track " << t;
+    for (const obs::TraceEvent* rpc : rpcs) {
+      ++parents;
+      std::size_t children = 0;
+      for (const obs::TraceEvent* svc : services) {
+        if (svc->a != rpc->a || svc->b != rpc->b) continue;
+        ++children;
+        EXPECT_GE(svc->begin, rpc->begin);  // sent before it arrived
+        EXPECT_LE(svc->end, rpc->end);      // replied before it landed
+        // The payload decodes to the shard this track's node hosts on
+        // some replica, and the record names a real query.
+        EXPECT_LT(rpc->a, run.queries.size());
+        EXPECT_GE(obs::UnpackShard(svc->b), 0);
+        EXPECT_LT(obs::UnpackShard(svc->b), 4);
+      }
+      EXPECT_EQ(children, 1u)
+          << "rpc (a=" << rpc->a << " b=" << rpc->b << ") on track " << t;
+    }
+  }
+  EXPECT_EQ(parents, run.rpcs_answered);
+
+  // The correlation survives a Chrome-trace round trip: both span
+  // names and the shared arg are in the export.
+  const std::string json = obs::ExportChromeTrace(*tracer);
+  EXPECT_NE(json.find("\"name\":\"shard.rpc\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard.service\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard_attempt\""), std::string::npos);
+  EXPECT_NE(json.find("\"record\""), std::string::npos);
+}
+
+TEST(ClusterObs, CriticalPathReconcilesExactlyAgainstVirtualClock) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  Cluster cluster(sharded, StragglerHedgedConfig());
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 20;
+  const auto queries = MakeQueries(full, 3);
+  std::vector<VirtualTime> arrivals = {50 * kMillisecond,
+                                       100 * kMillisecond,
+                                       150 * kMillisecond};
+  const ClusterServeResult run = coord.Serve(queries, params, arrivals);
+  ASSERT_EQ(run.completed, queries.size());
+  ASSERT_GT(run.hedges_won, 0u);
+
+  ASSERT_NE(cluster.tracer(), nullptr);
+  const auto paths =
+      driver::ComputeClusterCriticalPaths(*cluster.tracer(), run);
+  ASSERT_EQ(paths.size(), run.completed);
+  bool hedge_won_path = false;
+  for (const obs::CriticalPath& p : paths) {
+    ASSERT_TRUE(p.found) << "record " << p.record;
+    EXPECT_FALSE(p.timeout_bound);
+    const serve::ServedQuery& q = run.queries[p.record];
+    // The decomposition reconciles *exactly* against the measured
+    // virtual latency — no slack, no double counting.
+    EXPECT_EQ(p.Total(), q.completion - q.dispatch) << p.record;
+    EXPECT_EQ(p.queue_wait, q.dispatch - q.arrival) << p.record;
+    EXPECT_GE(p.retry_overhead, 0);
+    EXPECT_GT(p.net_request, 0);  // the fabric is never free
+    EXPECT_GT(p.service, 0);
+    EXPECT_GT(p.net_response, 0);
+    EXPECT_GE(p.merge, 0);
+    EXPECT_GE(p.shard, 0);
+    EXPECT_LT(p.shard, 4);
+    EXPECT_GE(p.node, 0);
+    EXPECT_LT(p.node, 4);
+    if (p.attempt > 0) {
+      hedge_won_path = true;
+      // A hedge winner was sent hedge_delay after dispatch at the
+      // earliest, and that wait is attributed as overhead.
+      EXPECT_GE(p.retry_overhead, 2 * kMillisecond);
+      EXPECT_EQ(p.shard, 0);  // the straggler shard
+    }
+  }
+  // Hedges won, so some query's critical path ran through attempt 1.
+  EXPECT_TRUE(hedge_won_path);
+
+  // The driver rendering carries one row per attributed query.
+  driver::Table table = driver::CriticalPathTable(paths, run);
+  EXPECT_EQ(table.title(), "critical path");
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("service_ms"), std::string::npos);
+}
+
+TEST(ClusterObs, CriticalPathOfGivenUpShardIsTimeoutBound) {
+  // Crash the only replica of shard 1: every query's last shard is
+  // given up by retry exhaustion, so completion is set by a timeout,
+  // not a reply — the decomposition must say so and still reconcile.
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  ClusterConfig cfg = BaseConfig(4, 4, 1);
+  cfg.trace.enabled = true;
+  cfg.net_faults.crash_node = 1;
+  cfg.net_faults.crash_at = 1000;
+  Cluster cluster(sharded, cfg);
+  const auto algo = algos::MakeAlgorithm("BMW");
+  Coordinator coord(cluster, *algo);
+  topk::SearchParams params;
+  params.k = 20;
+  const auto queries = MakeQueries(full, 3);
+  std::vector<VirtualTime> arrivals = {50 * kMillisecond,
+                                       100 * kMillisecond,
+                                       150 * kMillisecond};
+  const ClusterServeResult run = coord.Serve(queries, params, arrivals);
+  ASSERT_EQ(run.completed, queries.size());
+  EXPECT_EQ(run.shards_degraded, queries.size());
+
+  const auto paths =
+      driver::ComputeClusterCriticalPaths(*cluster.tracer(), run);
+  ASSERT_EQ(paths.size(), run.completed);
+  for (const obs::CriticalPath& p : paths) {
+    ASSERT_TRUE(p.found);
+    EXPECT_TRUE(p.timeout_bound) << "record " << p.record;
+    const serve::ServedQuery& q = run.queries[p.record];
+    // Exhaustion has no reply to decompose: the whole interval is
+    // retry/timeout overhead, and it still reconciles exactly.
+    EXPECT_EQ(p.Total(), q.completion - q.dispatch);
+    EXPECT_EQ(p.retry_overhead, q.completion - q.dispatch);
+    EXPECT_EQ(p.service, 0);
+    EXPECT_EQ(p.shard, 1);  // the dead shard is named as the binder
+  }
+}
+
+TEST(ClusterObs, FlightRecorderOffIsBitIdenticalAndOnIsDeterministic) {
+  const index::InvertedIndex full = MakeTinyIndex();
+  const index::ShardedIndex sharded = index::ShardIndex(full, 4);
+  ClusterConfig cfg = BaseConfig(4, 4, 1);
+  cfg.net_faults.crash_node = 3;
+  cfg.net_faults.crash_at = 1000;
+  const auto algo = algos::MakeAlgorithm("BMW");
+  topk::SearchParams params;
+  params.k = 10;
+  const auto queries = MakeQueries(full, 3);
+  std::vector<VirtualTime> arrivals = {50 * kMillisecond,
+                                       100 * kMillisecond,
+                                       150 * kMillisecond};
+
+  const auto run_once = [&](Cluster& cluster) {
+    Coordinator coord(cluster, *algo);
+    return coord.Serve(queries, params, arrivals);
+  };
+
+  Cluster plain(sharded, cfg);
+  const ClusterServeResult off = run_once(plain);
+  EXPECT_EQ(off.anomalies, 0u);
+  EXPECT_EQ(plain.flight_recorder(), nullptr);
+
+  ClusterConfig on_cfg = cfg;
+  on_cfg.flight.enabled = true;
+  Cluster ca(sharded, on_cfg);
+  const ClusterServeResult a = run_once(ca);
+  Cluster cb(sharded, on_cfg);
+  const ClusterServeResult b = run_once(cb);
+
+  // Recorder-off bit-identity: coordinator-side recording charges no
+  // virtual time, so the recorded run IS the unrecorded run.
+  ASSERT_EQ(a.queries.size(), off.queries.size());
+  for (std::size_t i = 0; i < off.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].result.entries, off.queries[i].result.entries);
+    EXPECT_EQ(a.queries[i].completion, off.queries[i].completion);
+    EXPECT_EQ(a.queries[i].dispatch, off.queries[i].dispatch);
+  }
+
+  // The crash and each degraded merge tripped the recorder.
+  ASSERT_NE(ca.flight_recorder(), nullptr);
+  EXPECT_EQ(a.anomalies, ca.flight_recorder()->anomalies());
+  // One kNodeCrash + one kShardsDegraded per degraded query.
+  EXPECT_EQ(a.anomalies,
+            1u + static_cast<std::uint64_t>(a.shards_degraded));
+  const auto& pms = ca.flight_recorder()->postmortems();
+  ASSERT_FALSE(pms.empty());
+  EXPECT_EQ(pms.front()->kind, obs::AnomalyKind::kNodeCrash);
+
+  // Same seed, same bytes: every capture exports identically across
+  // independent runs, and the operator rendering names the state.
+  EXPECT_EQ(a.anomalies, b.anomalies);
+  const auto& pms_b = cb.flight_recorder()->postmortems();
+  ASSERT_EQ(pms.size(), pms_b.size());
+  for (std::size_t i = 0; i < pms.size(); ++i) {
+    EXPECT_EQ(obs::ExportPostmortem(*pms[i]),
+              obs::ExportPostmortem(*pms_b[i]))
+        << "postmortem " << i;
+  }
+  const std::string text = driver::RenderPostmortem(*pms.front());
+  EXPECT_NE(text.find("node.crash"), std::string::npos);
+  EXPECT_NE(text.find("node=3 reachable=0"), std::string::npos);
+  EXPECT_NE(text.find("cluster.rpcs.sent"), std::string::npos);
 }
 
 }  // namespace

@@ -8,10 +8,13 @@
 #include <vector>
 
 #include "driver/bench_driver.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "serve/server.h"
+#include "serve/slo_monitor.h"
 #include "test_helpers.h"
 #include "topk/query_metrics.h"
 
@@ -88,6 +91,8 @@ TEST(MetricsTest, RegistryHandlesAreStableAndSnapshotCopies) {
   EXPECT_EQ(s.min, 1000);
   EXPECT_EQ(s.max, 100000);
   EXPECT_GE(s.p99, s.p50);
+  EXPECT_GE(s.p999, s.p99);
+  EXPECT_LE(s.p999, s.max);
 
   // Snapshot is a copy: later updates do not retroactively change it.
   c.Add(100);
@@ -136,6 +141,8 @@ TEST(MetricsTest, TextFormatEmitsPrometheusShape) {
   EXPECT_NE(text.find("query_latency_ns{quantile=\"0.5\"} "),
             std::string::npos);
   EXPECT_NE(text.find("query_latency_ns{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("query_latency_ns{quantile=\"0.999\"} "),
             std::string::npos);
   EXPECT_NE(text.find("query_latency_ns_count 100\n"), std::string::npos);
   EXPECT_NE(text.find("query_latency_ns_sum "), std::string::npos);
@@ -649,6 +656,346 @@ TEST(TraceThreadedTest, JobSpansAppearAndAreWellFormed) {
   // clock, so no byte-determinism claim).
   const std::string json = obs::ExportChromeTrace(*tracer);
   EXPECT_NE(json.find("\"name\":\"job\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// p999 (satellite: tail quantile)
+// ---------------------------------------------------------------------
+
+TEST(MetricsTest, P999SeparatesFromMaxPastAThousandSamples) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.GetHistogram("t");
+  for (int i = 1; i <= 2000; ++i) h.Add(i);
+  const obs::HistogramSummary s = reg.Snapshot().histograms.at("t");
+  // Nearest-rank on 1..2000: the 1998th order statistic.
+  EXPECT_EQ(s.p999, 1998);
+  EXPECT_GT(s.p999, s.p99);
+  EXPECT_LT(s.p999, s.max);
+}
+
+// ---------------------------------------------------------------------
+// Time series
+// ---------------------------------------------------------------------
+
+TEST(TimeSeriesTest, BucketsCountersLevelsAndSamples) {
+  obs::TimeSeries ts(obs::TimeSeriesConfig{exec::kMillisecond});
+  ts.AddCount("offered", 100);          // bucket 0
+  ts.AddCount("offered", 1'500'000, 2); // bucket 1
+  ts.AddCount("offered", 3'200'000);    // bucket 3
+  EXPECT_EQ(ts.num_buckets(), 4u);
+  EXPECT_EQ(ts.Count("offered", 0), 1u);
+  EXPECT_EQ(ts.Count("offered", 1), 2u);
+  EXPECT_EQ(ts.Count("offered", 2), 0u);
+  EXPECT_EQ(ts.TotalCount("offered"), 4u);
+  EXPECT_EQ(ts.TotalCount("absent"), 0u);
+
+  // Levels are last-write-wins per bucket and carry forward after.
+  ts.SetLevel("burn_pm", 500, 100);
+  ts.SetLevel("burn_pm", 900, 300);      // same bucket, wins
+  ts.SetLevel("burn_pm", 2'100'000, 50); // bucket 2
+  EXPECT_EQ(ts.Level("burn_pm", 0), 300);
+  EXPECT_EQ(ts.Level("burn_pm", 1), 300);  // carried forward
+  EXPECT_EQ(ts.Level("burn_pm", 2), 50);
+  EXPECT_EQ(ts.Level("burn_pm", 3), 50);
+  EXPECT_EQ(ts.MaxLevel("burn_pm"), 300);
+
+  ts.AddSample("e2e", 100, 10);
+  ts.AddSample("e2e", 200, 30);
+  ASSERT_NE(ts.Samples("e2e", 0), nullptr);
+  EXPECT_EQ(ts.Samples("e2e", 0)->count(), 2u);
+  EXPECT_EQ(ts.Samples("e2e", 1), nullptr);
+}
+
+TEST(TimeSeriesTest, ToCsvIsDeterministicAndCoversEveryBucket) {
+  obs::TimeSeries a(obs::TimeSeriesConfig{exec::kMillisecond});
+  obs::TimeSeries b(obs::TimeSeriesConfig{exec::kMillisecond});
+  for (obs::TimeSeries* ts : {&a, &b}) {
+    ts->AddCount("completed", 100);
+    ts->AddCount("completed", 2'500'000, 3);
+    ts->SetLevel("breakers_open", 1'200'000, 1);
+    ts->AddSample("e2e", 100, 5'000'000);
+  }
+  const std::string csv = a.ToCsv();
+  EXPECT_EQ(csv, b.ToCsv());
+  EXPECT_NE(csv.find("bucket"), std::string::npos);
+  EXPECT_NE(csv.find("completed"), std::string::npos);
+  EXPECT_NE(csv.find("breakers_open"), std::string::npos);
+  // One data row per bucket (0..2) plus the header.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorderTest, RingEvictsOldestFifo) {
+  obs::FlightRecorderConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 4;
+  obs::FlightRecorder rec(2, cfg);
+  EXPECT_EQ(rec.num_tracks(), 4);
+  for (int i = 0; i < 10; ++i) {
+    rec.AddSpan(0, SpanKind::kJob, i * 10, i * 10 + 5,
+                static_cast<std::uint64_t>(i));
+  }
+  rec.AddInstant(1, InstantKind::kIoRetry, 7);
+  EXPECT_EQ(rec.events_recorded(), 11u);
+  EXPECT_EQ(rec.events_evicted(), 6u);
+
+  const auto tail = rec.TrackSnapshot(0);
+  ASSERT_EQ(tail.size(), 4u);  // capacity, oldest evicted
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].a, 6u + i);  // oldest → newest: spans 6..9
+  }
+  EXPECT_EQ(rec.TrackSnapshot(1).size(), 1u);
+  EXPECT_TRUE(rec.TrackSnapshot(2).empty());
+
+  rec.Clear();
+  EXPECT_TRUE(rec.TrackSnapshot(0).empty());
+}
+
+TEST(FlightRecorderTest, TriggerCapturesRingsAndCapsPostmortems) {
+  obs::FlightRecorderConfig cfg;
+  cfg.enabled = true;
+  cfg.max_postmortems = 2;
+  obs::FlightRecorder rec(1, cfg);
+  rec.AddSpan(0, SpanKind::kShardRpc, 10, 20, 3, 7);
+  rec.AddInstant(rec.serving_track(), InstantKind::kShardTimeout, 15, 3);
+
+  obs::Postmortem* p1 =
+      rec.Trigger(obs::AnomalyKind::kNodeCrash, 30, /*a=*/1);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->ordinal, 1u);
+  EXPECT_EQ(p1->kind, obs::AnomalyKind::kNodeCrash);
+  ASSERT_EQ(p1->tracks.size(), 3u);  // 1 worker + scheduler + serving
+  ASSERT_EQ(p1->tracks[0].size(), 1u);
+  EXPECT_EQ(p1->tracks[0][0].a, 3u);
+  EXPECT_EQ(p1->tracks[0][0].b, 7u);
+
+  // The capture froze the ring: later events do not leak in.
+  rec.AddSpan(0, SpanKind::kShardRpc, 40, 50, 9, 9);
+  EXPECT_EQ(p1->tracks[0].size(), 1u);
+
+  obs::Postmortem* p2 =
+      rec.Trigger(obs::AnomalyKind::kBreakerOpen, 60, 0, 1);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->ordinal, 2u);
+  EXPECT_EQ(p1->ordinal, 1u);  // p1 stayed valid across vector growth
+
+  // Past the cap: still counted, nothing captured.
+  EXPECT_EQ(rec.Trigger(obs::AnomalyKind::kOom, 70), nullptr);
+  EXPECT_EQ(rec.anomalies(), 3u);
+  EXPECT_EQ(rec.postmortems().size(), 2u);
+}
+
+TEST(FlightRecorderTest, PostmortemExportIsByteDeterministic) {
+  std::string first;
+  for (int rep = 0; rep < 2; ++rep) {
+    obs::FlightRecorderConfig cfg;
+    cfg.enabled = true;
+    obs::FlightRecorder rec(2, cfg);
+    rec.AddSpan(0, SpanKind::kShardService, 100, 2500, 1,
+                obs::PackShardAttempt(0, 1));
+    rec.AddInstant(1, InstantKind::kNodeCrash, 1800, 1);
+    obs::Postmortem* pm =
+        rec.Trigger(obs::AnomalyKind::kNodeCrash, 1800, 1);
+    ASSERT_NE(pm, nullptr);
+    pm->state.push_back("node=1 reachable=0 served=0");
+    obs::MetricsRegistry reg;
+    reg.GetCounter("cluster.rpcs.sent").Add(4);
+    reg.GetGauge("cluster.inflight").Set(2);
+    pm->metrics = reg.Snapshot();
+
+    const std::string json = obs::ExportPostmortem(*pm);
+    EXPECT_NE(json.find("node.crash"), std::string::npos);
+    EXPECT_NE(json.find("node=1 reachable=0"), std::string::npos);
+    EXPECT_NE(json.find("cluster.rpcs.sent"), std::string::npos);
+    if (rep == 0) {
+      first = json;
+    } else {
+      EXPECT_EQ(first, json);  // byte-identical per identical inputs
+    }
+    // The operator rendering covers the same capture.
+    const std::string text = driver::RenderPostmortem(*pm);
+    EXPECT_NE(text.find("node.crash"), std::string::npos);
+    EXPECT_NE(text.find("cluster.rpcs.sent"), std::string::npos);
+  }
+}
+
+TEST(FlightRecorderTest, RecorderOffIsBitIdenticalOnChargesHonestly) {
+  const auto idx = MakeTinyIndex();
+  const auto terms = PickQueryTerms(idx, 4);
+  topk::SearchParams params;
+  params.k = 10;
+  const auto algo = algos::MakeAlgorithm("Sparta");
+
+  auto run_one = [&](sim::SimExecutor& executor) {
+    auto ctx = executor.CreateQuery();
+    auto result = algo->Run(idx, terms, params, *ctx);
+    return std::make_pair(std::move(result),
+                          ctx->end_time() - ctx->start_time());
+  };
+  auto config_with = [&](const obs::FlightRecorderConfig& flight) {
+    sim::SimConfig config = TraceSimConfig(4, false);
+    config.flight = flight;
+    return config;
+  };
+
+  sim::SimExecutor off_exec(config_with({}));  // enabled = false
+  const auto off = run_one(off_exec);
+  EXPECT_EQ(off_exec.flight_recorder(), nullptr);
+
+  // Zero-cost recording: same results AND the same virtual clock.
+  obs::FlightRecorderConfig free;
+  free.enabled = true;
+  free.record_cost_ns = 0;
+  sim::SimExecutor free_exec(config_with(free));
+  const auto zero = run_one(free_exec);
+  EXPECT_EQ(off.first.entries, zero.first.entries);
+  EXPECT_EQ(off.second, zero.second);
+  ASSERT_NE(free_exec.flight_recorder(), nullptr);
+  EXPECT_GT(free_exec.flight_recorder()->events_recorded(), 0u);
+
+  // Modeled-cost recording: identical answer, honestly larger clock.
+  obs::FlightRecorderConfig priced;
+  priced.enabled = true;
+  sim::SimExecutor priced_exec(config_with(priced));
+  const auto on = run_one(priced_exec);
+  EXPECT_EQ(off.first.entries, on.first.entries);
+  EXPECT_GT(on.second, off.second);
+  // The overhead is proportional to events, not to work: on this
+  // microsecond-scale query it is a few µs. The < 5% guarantee holds
+  // at realistic scale and is gated by bench/bench_obs_overhead.cpp.
+  EXPECT_LT(on.second - off.second, off.second);
+}
+
+// ---------------------------------------------------------------------
+// SLO monitor
+// ---------------------------------------------------------------------
+
+TEST(SloMonitorTest, BurnRateFiresLatchesAndRecovers) {
+  serve::SloMonitorConfig cfg;
+  cfg.enabled = true;
+  cfg.bucket_ns = exec::kMillisecond;  // 1 ms buckets for the test
+  cfg.window_buckets = 3;
+  cfg.target = 0.9;      // budget: 10% of completions over the SLO
+  cfg.burn_alert = 2.0;  // alert at 20% violations
+  cfg.min_samples = 5;
+  const exec::VirtualTime slo = 100;
+  serve::SloMonitor mon(cfg, slo);
+
+  // Four good completions: under min_samples, nothing fires.
+  for (int i = 0; i < 4; ++i) {
+    const auto b = mon.OnCompletion(i * 10, 50, true);
+    EXPECT_FALSE(b.fired);
+  }
+  EXPECT_EQ(mon.BurnPerMille(40), 0u);
+
+  // The fifth violates: 1/5 = 20% of a 10% budget = burn 2.0 → fires.
+  const auto breach = mon.OnCompletion(50, 200, false);
+  EXPECT_TRUE(breach.fired);
+  EXPECT_EQ(breach.burn_pm, 2000u);
+  EXPECT_EQ(mon.breaches(), 1u);
+
+  // Latched: a sustained burn does not re-fire per completion.
+  const auto again = mon.OnCompletion(60, 300, false);
+  EXPECT_FALSE(again.fired);
+  EXPECT_GT(again.burn_pm, 2000u);
+  EXPECT_EQ(mon.breaches(), 1u);
+
+  // Far in the future the violating bucket leaves the window, burn
+  // recovers, the latch clears...
+  const exec::VirtualTime later = 10 * exec::kMillisecond;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(mon.OnCompletion(later + i * 10, 50, true).fired);
+  }
+  EXPECT_EQ(mon.BurnPerMille(later + 100), 0u);
+
+  // ... so a fresh burn episode reports as a second breach.
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (mon.OnCompletion(later + 200 + i * 10, 400, false).fired) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(mon.breaches(), 2u);
+
+  // The series recorded every completion and violation.
+  EXPECT_EQ(mon.series().TotalCount("completed"), 14u);
+  EXPECT_EQ(mon.series().TotalCount("slo_violation"), 5u);
+  EXPECT_EQ(mon.series().TotalCount("goodput"), 9u);
+}
+
+TEST(SloMonitorTest, ServeOnSimFeedsSeriesAndTriggersRecorder) {
+  const auto idx = MakeTinyIndex();
+  const auto algo = algos::MakeAlgorithm("Sparta");
+  std::vector<std::vector<TermId>> queries;
+  for (const std::uint64_t salt : {0u, 3u, 11u}) {
+    queries.push_back(PickQueryTerms(idx, 4, salt));
+  }
+  topk::SearchParams params;
+  params.k = 10;
+
+  // Reference service time to construct a guaranteed-violated SLO.
+  sim::SimConfig ref_config = TraceSimConfig(4, false);
+  sim::SimExecutor ref(ref_config);
+  auto ref_ctx = ref.CreateQuery();
+  (void)algo->Run(idx, queries[0], params, *ref_ctx);
+  const auto service = ref_ctx->end_time() - ref_ctx->start_time();
+  ASSERT_GT(service, 0);
+
+  serve::ServeConfig sc;
+  sc.arrivals.seed = 5;
+  sc.arrivals.rate_qps = 8.0 * 1e9 / static_cast<double>(service);
+  sc.arrivals.count = 40;
+  sc.slo = service / 2;  // every completion violates
+  // Shedding would honor the hopeless SLO by admitting nothing; turn
+  // it off so completions actually happen and the burn rate can fire.
+  sc.admission.shed_predicted_wait = false;
+  sc.deadline_from_slo = false;
+  sc.slo_monitor.enabled = true;
+  sc.slo_monitor.min_samples = 5;
+
+  std::string first_dump;
+  for (int rep = 0; rep < 2; ++rep) {
+    sim::SimConfig config = TraceSimConfig(4, false);
+    config.flight.enabled = true;
+    sim::SimExecutor executor(config);
+    serve::Server server(idx, *algo, sc);
+    const auto r = server.ServeOnSim(executor, queries, params);
+
+    // The series carries the run: every outcome and completion bucketed.
+    EXPECT_EQ(r.series.TotalCount("offered"),
+              static_cast<std::uint64_t>(r.offered));
+    EXPECT_EQ(r.series.TotalCount("admitted"),
+              static_cast<std::uint64_t>(r.admitted));
+    EXPECT_EQ(r.series.TotalCount("completed"),
+              static_cast<std::uint64_t>(r.completed));
+    EXPECT_EQ(r.series.TotalCount("goodput"),
+              static_cast<std::uint64_t>(r.goodput));
+    EXPECT_EQ(r.series.TotalCount("slo_violation"),
+              static_cast<std::uint64_t>(r.completed));  // all violate
+    ASSERT_GE(r.completed,
+              static_cast<std::size_t>(sc.slo_monitor.min_samples));
+    EXPECT_GE(r.slo_breaches, 1u);
+    EXPECT_EQ(r.goodput, 0u);
+
+    // The breach tripped the machine flight recorder.
+    const obs::FlightRecorder* rec = executor.flight_recorder();
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(r.anomalies, rec->anomalies());
+    EXPECT_GE(rec->anomalies(), r.slo_breaches);
+    ASSERT_FALSE(rec->postmortems().empty());
+    const std::string dump =
+        obs::ExportPostmortem(*rec->postmortems().front());
+    EXPECT_NE(dump.find("slo.breach"), std::string::npos);
+    if (rep == 0) {
+      first_dump = dump;
+    } else {
+      EXPECT_EQ(first_dump, dump);  // same seed, same bytes
+    }
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -12,6 +12,11 @@ fail the gate just like slowdowns. Thresholds are per metric family:
                                 review rather than run noise)
   postings       2% relative   (work counters are exactly reproducible)
   recall         0.02 absolute
+  overhead_pct   0.5 absolute  (observability overhead sits near zero,
+                                so relative drift on a ~0.001-point
+                                baseline would flag nothing real; the
+                                absolute band catches the recorder
+                                getting materially more expensive)
   anything else  10% relative
 
 Usage:
@@ -37,6 +42,8 @@ def threshold_for(metric):
     """Returns (kind, limit): kind is 'rel' or 'abs'."""
     if metric == "recall" or metric.startswith("recall."):
         return ("abs", 0.02)
+    if metric == "overhead_pct" or metric.startswith("overhead_pct."):
+        return ("abs", 0.5)
     if metric.endswith("_virtual_ms") or "_virtual_ms." in metric:
         return ("rel", 0.05)
     if metric == "postings" or metric.startswith("postings."):
@@ -135,7 +142,8 @@ def self_test():
     base = {
         "bench": "t", "schema": 1,
         "configs": {"A/w8": {"mean_virtual_ms": 10.0, "postings": 1000.0,
-                             "recall": 0.97, "coherence_misses": 50.0}},
+                             "recall": 0.97, "coherence_misses": 50.0,
+                             "overhead_pct": 0.001}},
     }
 
     def fresh_with(**overrides):
@@ -153,6 +161,8 @@ def self_test():
         ("recall -0.01 (within noise)", fresh_with(recall=0.96), 0),
         ("misses +8% (default 10%)", fresh_with(coherence_misses=54.0), 0),
         ("misses +15%", fresh_with(coherence_misses=57.5), 1),
+        ("overhead +0.3pt (abs limit 0.5)", fresh_with(overhead_pct=0.301), 0),
+        ("overhead +0.8pt", fresh_with(overhead_pct=0.801), 1),
         ("dropped metric", {"bench": "t", "schema": 1, "configs": {
             "A/w8": {"mean_virtual_ms": 10.0}}}, 1),
         ("dropped config", {"bench": "t", "schema": 1, "configs": {}}, 1),

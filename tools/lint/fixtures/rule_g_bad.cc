@@ -1,0 +1,39 @@
+// Fixture: trace-guard violations. Observability handles (tracer,
+// flight recorder) are nullptr whenever their layer is off — the
+// default — so emitting through an unchecked pointer crashes the
+// plain configuration.
+#include <cstdint>
+
+namespace fixture {
+
+struct Tracer {
+  void AddSpan(int track, int kind, long begin, long end);
+  void AddInstant(int track, int kind, long ts);
+};
+
+struct FlightRecorder {
+  void AddInstant(int track, int kind, long ts);
+  void* Trigger(int kind, long at);
+};
+
+struct Executor {
+  Tracer* tracer();
+  FlightRecorder* recorder();
+};
+
+// Unguarded emission: tracer() is nullptr when tracing is off.
+void EmitJobSpan(Executor& exec, long begin, long end) {
+  exec.tracer()->AddSpan(0, 1, begin, end);
+}
+
+// The null check is there — but on the wrong pointer.
+void EmitAnomaly(Executor& exec, long at) {
+  Tracer* tracer = exec.tracer();
+  FlightRecorder* recorder = exec.recorder();
+  if (tracer != nullptr) {
+    recorder->AddInstant(0, 2, at);
+    recorder->Trigger(2, at);
+  }
+}
+
+}  // namespace fixture

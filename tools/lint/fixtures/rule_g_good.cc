@@ -1,0 +1,62 @@
+// Fixture: trace-guard clean — every pointer emission sits under a
+// null check of its own receiver, reference emission is exempt by
+// construction, and the one invariantly-non-null pointer carries a
+// reasoned waiver.
+#include <memory>
+
+namespace fixture {
+
+struct Tracer {
+  void AddSpan(int track, int kind, long begin, long end);
+  void AddInstant(int track, int kind, long ts);
+};
+
+struct FlightRecorder {
+  void AddInstant(int track, int kind, long ts);
+  void* Trigger(int kind, long at);
+};
+
+struct Executor {
+  Tracer* tracer();
+  FlightRecorder* recorder();
+};
+
+// Classic guard: explicit nullptr comparison.
+void EmitJobSpan(Executor& exec, long begin, long end) {
+  Tracer* tracer = exec.tracer();
+  if (tracer != nullptr) {
+    tracer->AddSpan(0, 1, begin, end);
+  }
+}
+
+// If-with-initializer tests the pointer itself.
+void EmitRetry(Executor& exec, long ts) {
+  if (auto* tracer = exec.tracer()) {
+    tracer->AddInstant(0, 2, ts);
+  }
+}
+
+// Compound condition: the null check shares the if with a capability
+// test, and the trigger follows inside the same guard.
+void EmitAnomaly(Executor& exec, long at, bool armed) {
+  FlightRecorder* recorder = exec.recorder();
+  if (recorder != nullptr && armed) {
+    recorder->AddInstant(0, 3, at);
+    recorder->Trigger(3, at);
+  }
+}
+
+// Reference receivers cannot be null; dot calls are exempt.
+void EmitThroughReference(Tracer& tracer, long begin, long end) {
+  tracer.AddSpan(1, 1, begin, end);
+}
+
+// Invariantly non-null, and says why.
+void EmitOwned(long ts) {
+  const auto owned = std::make_unique<Tracer>();
+  // sparta-lint: allow(trace-guard) just constructed on the line above;
+  // make_unique either returns non-null or throws.
+  owned->AddInstant(0, 4, ts);
+}
+
+}  // namespace fixture

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """sparta_lint: repo-invariant lint suite for the Sparta codebase.
 
-Six rules, each guarding an invariant the simulator's determinism,
+Seven rules, each guarding an invariant the simulator's determinism,
 the lock discipline or the serving tier's honesty depends on
 (DESIGN.md §11):
 
@@ -49,6 +49,18 @@ the lock discipline or the serving tier's honesty depends on
                  status-blind by design (e.g. sizing the response for
                  the wire) or the producer provably never degrades.
 
+  trace-guard    Observability emission through a pointer receiver
+                 (X->AddSpan / X->AddInstant / X->Trigger) must sit
+                 under a null check of X within the preceding ~30
+                 lines. Tracer, flight-recorder and profiler handles
+                 are nullptr whenever their layer is off — that IS the
+                 off-path contract (obs/trace.h: "off is a null-pointer
+                 check") — so an unguarded arrow call is a crash on
+                 the default configuration. Calls through references
+                 are exempt (a reference was null-checked to exist).
+                 Waive where the pointer is invariantly non-null (e.g.
+                 just constructed, or checked by the enclosing layer).
+
   private-accumulator
                  Containers of topk::LocalAccumulator hold one PRIVATE
                  buffer per worker (DESIGN.md §14): the whole point is
@@ -86,7 +98,7 @@ REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
 
 RULES = ("sim-clock", "unordered-iter", "lock-pairing", "padded-shared",
-         "result-status", "private-accumulator")
+         "result-status", "private-accumulator", "trace-guard")
 
 CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 
@@ -142,6 +154,34 @@ OWN_WORKER_INDEX_RE = re.compile(
 # Member access on a result's entry list, capturing the full dotted
 # receiver chain ("sp.result.entries" -> "sp.result").
 RESULT_ENTRIES_RE = re.compile(r"\b((?:\w+(?:\.|->))*\w+)(?:\.|->)entries\b")
+
+# Observability emission through a pointer: receiver chain + arrow +
+# one of the sink entry points. Dot calls (references) are exempt by
+# construction — only `->` can dereference a nullptr handle.
+TRACE_EMIT_RE = re.compile(
+    r"\b((?:\w+(?:\.|->))*\w+)\s*->\s*(AddSpan|AddInstant|Trigger)\s*\(")
+
+# How many preceding lines may hold the null check. Emission sites sit
+# directly inside their guard in this codebase; 30 lines spans the
+# largest guarded block without letting a function-entry check excuse
+# an emission pages later.
+TRACE_GUARD_WINDOW = 30
+
+
+def trace_guard_patterns(receiver):
+    """Regexes that count as null-checking `receiver`."""
+    r = re.escape(receiver)
+    return (
+        re.compile(r + r"\s*(?:!=|==)\s*nullptr"),
+        re.compile(r"nullptr\s*(?:!=|==)\s*" + r),
+        # if (tracer) / while (tracer) / && tracer) / ternary tracer ?
+        re.compile(r"(?:if|while)\s*\(\s*" + r + r"\s*\)"),
+        re.compile(r"&&\s*" + r + r"\s*\)"),
+        re.compile(r + r"\s*\?"),
+        # if-with-initializer: `if (auto* t = ...)` tests the pointer.
+        re.compile(r"if\s*\(\s*(?:auto|[\w:]+)\s*\*\s*" + r + r"\s*="),
+        re.compile(r"SPARTA_CHECK\s*\(\s*" + r + r"\b"),
+    )
 
 # What counts as consulting the result's honesty fields. Bare `.stats`
 # access is NOT enough — producers fill counters without ever looking
@@ -393,6 +433,30 @@ def rule_private_accumulator(path, scrubbed, waivers, findings):
                 "single-threaded" % (m.group(1), m.group(2).strip())))
 
 
+def rule_trace_guard(path, scrubbed, waivers, findings):
+    for lineno, line in enumerate(scrubbed, start=1):
+        for m in TRACE_EMIT_RE.finditer(line):
+            receiver = m.group(1)
+            # `this->AddSpan(...)` inside the sink classes themselves.
+            if receiver == "this":
+                continue
+            window = scrubbed[max(0, lineno - 1 - TRACE_GUARD_WINDOW):
+                              lineno]
+            text = "\n".join(window)
+            if any(p.search(text) for p in trace_guard_patterns(receiver)):
+                continue
+            if waived(waivers, lineno, "trace-guard"):
+                continue
+            findings.append(Finding(
+                path, lineno, "trace-guard",
+                "'%s->%s(...)' without a null check of '%s' in the "
+                "preceding %d lines: observability handles are nullptr "
+                "whenever their layer is off (the default); guard the "
+                "emission or waive with why the pointer is invariantly "
+                "non-null" % (receiver, m.group(2), receiver,
+                              TRACE_GUARD_WINDOW)))
+
+
 RULE_FUNCS = {
     "sim-clock": rule_sim_clock,
     "unordered-iter": rule_unordered_iter,
@@ -400,6 +464,7 @@ RULE_FUNCS = {
     "padded-shared": rule_padded_shared,
     "result-status": rule_result_status,
     "private-accumulator": rule_private_accumulator,
+    "trace-guard": rule_trace_guard,
 }
 
 
@@ -487,6 +552,8 @@ FIXTURES = {
     "rule_e_good.cc": set(),
     "rule_f_bad.cc": {"private-accumulator"},
     "rule_f_good.cc": set(),
+    "rule_g_bad.cc": {"trace-guard"},
+    "rule_g_good.cc": set(),
 }
 
 
